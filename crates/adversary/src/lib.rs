@@ -1,0 +1,72 @@
+//! The paper's lower-bound constructions (Section 4.4 and Section 5).
+//!
+//! Each module builds an *instance* — a task graph plus, where the
+//! proof gives one, an explicit near-optimal offline schedule — such
+//! that the online algorithm (or, for [`arbitrary`], *any*
+//! deterministic online algorithm) is forced toward the proven
+//! competitive-ratio lower bound:
+//!
+//! * [`generic`] — the layered graph of **Figure 1**, shared by
+//!   Theorems 6–8;
+//! * [`roofline`] — **Theorem 5**: one task, ratio → `1/μ ≈ 2.618`;
+//! * [`communication`] — **Theorem 6**: ratio → `> 3.51`;
+//! * [`amdahl`] — **Theorem 7**: ratio → `> 4.73`;
+//! * [`general`] — **Theorem 8**: ratio → `> 5.25`;
+//! * [`arbitrary`] — **Theorem 9 / Figures 3–4**: the adaptive chain
+//!   adversary forcing `Ω(ln D)` on any deterministic algorithm.
+//!
+//! # Example
+//!
+//! ```
+//! use moldable_adversary::roofline;
+//!
+//! // Theorem 5: the measured ratio approaches 1/mu ≈ 2.618 as P grows.
+//! let r = roofline::measured_ratio(10_000);
+//! assert!(r > 2.61 && r < 2.62);
+//! ```
+
+pub mod amdahl;
+pub mod arbitrary;
+pub mod communication;
+pub mod general;
+pub mod generic;
+pub mod roofline;
+
+use moldable_core::OnlineScheduler;
+use moldable_graph::TaskGraph;
+use moldable_sim::{simulate, Schedule, SimOptions};
+
+/// A lower-bound instance ready to run: the graph, the μ the paper's
+/// proof fixes for the online algorithm, and the makespan of the
+/// proof's explicit alternative schedule (an upper bound on `T_opt`).
+#[derive(Debug)]
+pub struct LowerBoundInstance {
+    /// The adversarial task graph.
+    pub graph: TaskGraph,
+    /// Platform size the construction targets.
+    pub p_total: u32,
+    /// The μ the proof assumes the algorithm runs with.
+    pub mu: f64,
+    /// Makespan of the proof's explicit offline schedule (≥ `T_opt`).
+    pub t_opt_upper: f64,
+    /// The proof's offline schedule itself, when reconstructed.
+    pub proof_schedule: Option<Schedule>,
+}
+
+impl LowerBoundInstance {
+    /// Run the paper's algorithm (with the instance's μ) on the
+    /// instance and return `(makespan, ratio vs. t_opt_upper)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation fails — the instances are valid by
+    /// construction, so a failure is a bug.
+    #[must_use]
+    pub fn run_online(&self) -> (f64, f64) {
+        let mut sched = OnlineScheduler::with_mu(self.mu);
+        let s = simulate(&self.graph, &mut sched, &SimOptions::new(self.p_total))
+            .expect("lower-bound instances simulate cleanly");
+        s.validate(&self.graph).expect("online schedule is valid");
+        (s.makespan, s.makespan / self.t_opt_upper)
+    }
+}

@@ -1,0 +1,77 @@
+//! Theorem 9 is universal: *any* deterministic online algorithm is at
+//! least `Σ 1/(ℓ+i)`-competitive against the adaptive chain adversary.
+//! This test throws every scheduler in the repository at the adversary
+//! and checks the floor (T_opt = 1 by construction, so the makespan is
+//! the competitive ratio).
+
+use moldable_adversary::arbitrary::{params, AdaptiveChains};
+use moldable_analysis::lemma10_makespan;
+use moldable_core::baselines::{self, EctScheduler, EqualShareScheduler};
+use moldable_core::{AdaptiveScheduler, EasyBackfillScheduler, OnlineScheduler};
+use moldable_model::ModelClass;
+use moldable_sim::{simulate_instance, Scheduler, SimOptions};
+
+fn lineup() -> Vec<(&'static str, Box<dyn Scheduler>)> {
+    let mu = ModelClass::Arbitrary.optimal_mu();
+    vec![
+        (
+            "online",
+            Box::new(OnlineScheduler::for_class(ModelClass::Arbitrary)),
+        ),
+        ("adaptive", Box::new(AdaptiveScheduler::new())),
+        ("one-proc", Box::new(baselines::one_proc())),
+        ("max-proc", Box::new(baselines::max_proc())),
+        ("fixed-4", Box::new(baselines::fixed(4))),
+        ("ect", Box::new(EctScheduler::new())),
+        ("equal-share", Box::new(EqualShareScheduler::new())),
+        ("backfill", Box::new(EasyBackfillScheduler::new(mu))),
+        ("lpa-only", Box::new(baselines::lpa_only(mu))),
+        ("cap-only", Box::new(baselines::cap_only(mu))),
+    ]
+}
+
+#[test]
+fn no_deterministic_scheduler_beats_the_lemma10_floor() {
+    for l in [2u32, 3] {
+        let pr = params(l);
+        let floor = lemma10_makespan(pr.k, l);
+        for (name, mut sched) in lineup() {
+            let mut adv = AdaptiveChains::new(l);
+            let s = simulate_instance(&mut adv, sched.as_mut(), &SimOptions::new(pr.p_total))
+                .unwrap_or_else(|e| panic!("{name} failed at l={l}: {e}"));
+            s.check_capacity(1e-9).unwrap();
+            assert!(
+                s.makespan >= floor - 1e-9,
+                "{name} at l={l}: makespan {} beat the Lemma 10 floor {floor} — \
+                 Theorem 9 would be false",
+                s.makespan
+            );
+            // The adversary's bookkeeping must close out exactly.
+            let sizes = adv.realized_group_sizes();
+            for (i, &sz) in sizes.iter().enumerate().skip(1) {
+                assert_eq!(
+                    sz,
+                    1u64 << (pr.k - u32::try_from(i).expect("fits")),
+                    "{name} at l={l}: group {i} size"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn offline_schedule_beats_every_online_scheduler() {
+    // The offline optimum (makespan 1) is strictly better than every
+    // online run above — the gap Theorem 9 quantifies.
+    let (g, off) = moldable_adversary::arbitrary::offline_schedule(2);
+    off.validate(&g).unwrap();
+    assert!((off.makespan - 1.0).abs() < 1e-12);
+    for (name, mut sched) in lineup() {
+        let mut adv = AdaptiveChains::new(2);
+        let s = simulate_instance(&mut adv, sched.as_mut(), &SimOptions::new(32)).unwrap();
+        assert!(
+            s.makespan > off.makespan,
+            "{name} should not beat the offline optimum"
+        );
+    }
+}

@@ -1,0 +1,298 @@
+//! The numerical side of the paper's analysis: per-model `(α_x, β_x)`
+//! envelopes (Lemmas 6–9), the generic ratio of Lemma 5, the
+//! minimization over `μ` that yields the Table 1 upper bounds
+//! (Theorems 1–4), the closed-form lower bounds on the algorithm's
+//! competitiveness (Theorems 5–8), and the `Ω(ln D)` bound of
+//! Theorem 9.
+//!
+//! Everything here is pure `f64` math — no scheduling — and serves as
+//! the oracle the simulation experiments are compared against.
+//!
+//! # Example
+//!
+//! ```
+//! use moldable_analysis::{upper_bound, algorithm_lower_bound};
+//! use moldable_model::ModelClass;
+//!
+//! let ub = upper_bound(ModelClass::Amdahl);
+//! assert!((ub.ratio - 4.74).abs() < 0.01);   // Theorem 3
+//! assert!((ub.mu - 0.271).abs() < 0.005);
+//! let lb = algorithm_lower_bound(ModelClass::Amdahl);
+//! // Theorem 7 — for Amdahl the construction is tight: lb ≈ ub.
+//! assert!(lb > 4.73 - 0.01 && lb <= ub.ratio + 1e-5);
+//! ```
+
+mod envelopes;
+mod optimize;
+
+pub use envelopes::{amdahl, communication, general, roofline};
+pub use optimize::golden_section_min;
+
+use moldable_model::{delta, ModelClass, MU_MAX};
+
+/// The generic competitive ratio of Lemma 5:
+/// `(μα + 1 − 2μ) / (μ(1 − μ))`, valid whenever every task's initial
+/// allocation achieves area stretch `≤ α` and time stretch
+/// `≤ (1−2μ)/(μ(1−μ))`.
+///
+/// # Panics
+///
+/// Panics if `mu ∉ (0, 1)`.
+#[must_use]
+pub fn lemma5_ratio(mu: f64, alpha: f64) -> f64 {
+    assert!(mu > 0.0 && mu < 1.0);
+    (mu * alpha + 1.0 - 2.0 * mu) / (mu * (1.0 - mu))
+}
+
+/// Result of the upper-bound minimization for one model class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bound {
+    /// The competitive-ratio upper bound (Table 1, first row).
+    pub ratio: f64,
+    /// The minimizing `μ*`.
+    pub mu: f64,
+    /// The allocation parameter `x*(μ*)` (1.0 for roofline, where no
+    /// `x` exists).
+    pub x: f64,
+}
+
+/// Numerically reproduce the Table 1 *upper* bound for `class`
+/// (Theorems 1–4): minimize `lemma5_ratio(μ, α_{x*(μ)})` over
+/// `μ ∈ (0, (3−√5)/2]`.
+///
+/// # Panics
+///
+/// Panics for [`ModelClass::Arbitrary`], where Theorem 9 rules out any
+/// constant bound.
+#[must_use]
+pub fn upper_bound(class: ModelClass) -> Bound {
+    match class {
+        ModelClass::Roofline => {
+            // alpha = beta = 1 (Lemma 6); ratio = 1/mu, minimized at MU_MAX.
+            Bound {
+                ratio: 1.0 / MU_MAX,
+                mu: MU_MAX,
+                x: 1.0,
+            }
+        }
+        ModelClass::Communication => {
+            minimize_over_mu(communication::ratio_at, communication::x_star)
+        }
+        ModelClass::Amdahl => minimize_over_mu(amdahl::ratio_at, amdahl::x_star),
+        ModelClass::General => minimize_over_mu(general::ratio_at, general::x_star),
+        ModelClass::Arbitrary => {
+            panic!("no constant competitive ratio exists for the arbitrary model (Theorem 9)")
+        }
+    }
+}
+
+fn minimize_over_mu(ratio_at: impl Fn(f64) -> f64, x_star: impl Fn(f64) -> Option<f64>) -> Bound {
+    let (mu, ratio) = golden_section_min(&ratio_at, 1e-4, MU_MAX, 1e-10);
+    let x = x_star(mu).expect("minimizer lies in the feasible region");
+    Bound { ratio, mu, x }
+}
+
+/// The paper's closed-form lower bound on the competitiveness of *this
+/// algorithm* (Table 1, second row), evaluated at the μ the algorithm
+/// uses for `class`:
+///
+/// * roofline (Thm 5): `1/μ`;
+/// * communication (Thm 6): `1/μ + μ/(1−2μ) − 1/(3(1−μ))`;
+/// * Amdahl (Thm 7) and general (Thm 8): `δ/((δ−1)(1−μ)) + δ`.
+///
+/// # Panics
+///
+/// Panics for [`ModelClass::Arbitrary`].
+#[must_use]
+pub fn algorithm_lower_bound(class: ModelClass) -> f64 {
+    let mu = class.optimal_mu();
+    let d = delta(mu);
+    match class {
+        ModelClass::Roofline => 1.0 / mu,
+        ModelClass::Communication => 1.0 / mu + mu / (1.0 - 2.0 * mu) - 1.0 / (3.0 * (1.0 - mu)),
+        ModelClass::Amdahl | ModelClass::General => d / ((d - 1.0) * (1.0 - mu)) + d,
+        ModelClass::Arbitrary => {
+            panic!("use deterministic_lower_bound for the arbitrary model")
+        }
+    }
+}
+
+/// Theorem 9: any deterministic online algorithm is at least
+/// `ln K − ln ℓ − 1/ℓ`-competitive on the chain instance with
+/// parameters `K = 2^ℓ` groups (the bound grows as `Ω(ln D)` with the
+/// graph depth `D = K`).
+///
+/// # Panics
+///
+/// Panics if `l < 1` or `k < 2`.
+#[must_use]
+pub fn deterministic_lower_bound(k: u32, l: u32) -> f64 {
+    assert!(l >= 1 && k >= 2);
+    f64::from(k).ln() - f64::from(l).ln() - 1.0 / f64::from(l)
+}
+
+/// Harmonic number `H_j = Σ_{i=1..j} 1/i`, used in Theorem 9's proof
+/// (`ln j + γ < H_j < ln j + γ + 1/j`).
+#[must_use]
+pub fn harmonic(j: u32) -> f64 {
+    (1..=j).map(|i| 1.0 / f64::from(i)).sum()
+}
+
+/// The exact makespan lower bound of Lemma 10 summed:
+/// `Σ_{i=1..K} 1/(ℓ+i)` — what the adversary forces on any
+/// deterministic algorithm (tighter than [`deterministic_lower_bound`]).
+#[must_use]
+pub fn lemma10_makespan(k: u32, l: u32) -> f64 {
+    (1..=k).map(|i| 1.0 / f64::from(l + i)).sum()
+}
+
+/// One row of Table 1, as reproduced by this crate (upper bounds) and
+/// the paper's closed forms (lower bounds).
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Model class.
+    pub class: ModelClass,
+    /// Reproduced upper bound (numerical minimization).
+    pub upper: Bound,
+    /// Reproduced lower bound (closed form at the class μ).
+    pub lower: f64,
+    /// The paper's printed values (upper, lower) for comparison.
+    pub paper: (f64, f64),
+}
+
+/// Recompute all of Table 1.
+#[must_use]
+pub fn table1() -> Vec<Table1Row> {
+    ModelClass::bounded_classes()
+        .into_iter()
+        .map(|class| Table1Row {
+            class,
+            upper: upper_bound(class),
+            lower: algorithm_lower_bound(class),
+            paper: (
+                class.proven_upper_bound().expect("bounded class"),
+                class.proven_lower_bound().expect("bounded class"),
+            ),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma5_ratio_roofline_special_case() {
+        // alpha = 1: ratio = 1/mu.
+        for mu in [0.1, 0.2, 0.3, MU_MAX] {
+            assert!((lemma5_ratio(mu, 1.0) - 1.0 / mu).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn table1_upper_bounds_match_paper() {
+        // Theorem 1-4 constants to the paper's printed precision.
+        let t = table1();
+        for row in &t {
+            assert!(
+                (row.upper.ratio - row.paper.0).abs() < 0.01,
+                "{}: reproduced UB {} vs paper {}",
+                row.class,
+                row.upper.ratio,
+                row.paper.0
+            );
+        }
+    }
+
+    #[test]
+    fn table1_lower_bounds_match_paper() {
+        let t = table1();
+        for row in &t {
+            assert!(
+                (row.lower - row.paper.1).abs() < 0.01,
+                "{}: reproduced LB {} vs paper {}",
+                row.class,
+                row.lower,
+                row.paper.1
+            );
+        }
+    }
+
+    #[test]
+    fn lower_bounds_do_not_exceed_upper_bounds() {
+        // The Amdahl construction is *tight*: its lower bound equals
+        // the upper bound to ~6 decimal places, so allow float slack.
+        for row in table1() {
+            assert!(
+                row.lower <= row.upper.ratio + 1e-5,
+                "{}: LB {} vs UB {}",
+                row.class,
+                row.lower,
+                row.upper.ratio
+            );
+        }
+    }
+
+    #[test]
+    fn minimizing_mu_matches_model_class_constants() {
+        for class in ModelClass::bounded_classes() {
+            let b = upper_bound(class);
+            assert!(
+                (b.mu - class.optimal_mu()).abs() < 2e-3,
+                "{class}: mu* = {} vs constant {}",
+                b.mu,
+                class.optimal_mu()
+            );
+        }
+    }
+
+    #[test]
+    fn x_star_values_match_paper() {
+        let comm = upper_bound(ModelClass::Communication);
+        assert!((comm.x - 0.446).abs() < 0.005, "x* = {}", comm.x);
+        let amd = upper_bound(ModelClass::Amdahl);
+        assert!((amd.x - 0.759).abs() < 0.005, "x* = {}", amd.x);
+        let gen = upper_bound(ModelClass::General);
+        assert!((gen.x - 1.972).abs() < 0.005, "x* = {}", gen.x);
+    }
+
+    #[test]
+    fn roofline_bound_is_golden_ratio_squared() {
+        // 1/mu = (3+sqrt(5))/2 = phi^2 ≈ 2.618.
+        let b = upper_bound(ModelClass::Roofline);
+        assert!((b.ratio - (3.0 + 5.0_f64.sqrt()) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_lower_bound_grows_with_k() {
+        let mut prev = f64::NEG_INFINITY;
+        for e in 2..10 {
+            let k = 1u32 << e;
+            let b = deterministic_lower_bound(k, 2);
+            assert!(b > prev);
+            prev = b;
+        }
+        // ln bound sandwiched by Lemma 10's exact sum.
+        for l in [1u32, 2, 3] {
+            let k = 1u32 << l;
+            assert!(lemma10_makespan(k * k, l) >= deterministic_lower_bound(k * k, l));
+        }
+    }
+
+    #[test]
+    fn harmonic_brackets_log() {
+        const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+        for j in [10u32, 100, 1000] {
+            let h = harmonic(j);
+            let lj = f64::from(j).ln();
+            assert!(h > lj + EULER_GAMMA);
+            assert!(h < lj + EULER_GAMMA + 1.0 / f64::from(j));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no constant competitive ratio")]
+    fn arbitrary_has_no_upper_bound() {
+        let _ = upper_bound(ModelClass::Arbitrary);
+    }
+}

@@ -1,0 +1,105 @@
+//! Scalar minimization, used to tune `μ` per model class exactly as
+//! the paper's proofs do ("minimizing this function numerically for
+//! μ ∈ (0, (3−√5)/2]").
+
+/// Search for the minimum of `f` on `[a, b]`.
+///
+/// `f` may return `f64::INFINITY` outside its feasible region; the
+/// search first brackets the minimum with a coarse grid scan (robust
+/// to infinite plateaus on either side), then refines by
+/// golden-section search, assuming `f` is unimodal on its feasible
+/// interval — which holds for all the ratio functions of Theorems 2–4.
+/// Returns `(x_min, f(x_min))`.
+///
+/// # Panics
+///
+/// Panics if `a >= b`, `tol <= 0`, or `f` is infinite on the whole
+/// interval.
+#[must_use]
+pub fn golden_section_min(f: &dyn Fn(f64) -> f64, a: f64, b: f64, tol: f64) -> (f64, f64) {
+    assert!(a < b, "need a < b");
+    assert!(tol > 0.0);
+    // Bracket: coarse scan for the best grid point.
+    const GRID: usize = 512;
+    let step = (b - a) / GRID as f64;
+    let mut best_i = 0;
+    let mut best_f = f64::INFINITY;
+    for i in 0..=GRID {
+        let x = a + step * i as f64;
+        let fx = f(x);
+        if fx < best_f {
+            best_f = fx;
+            best_i = i;
+        }
+    }
+    assert!(best_f.is_finite(), "f is infinite on the whole interval");
+    let lo = a + step * best_i.saturating_sub(1) as f64;
+    let hi = a + step * (best_i + 1).min(GRID) as f64;
+    golden_section_core(f, lo, hi, tol)
+}
+
+fn golden_section_core(f: &dyn Fn(f64) -> f64, a: f64, b: f64, tol: f64) -> (f64, f64) {
+    const INV_PHI: f64 = 0.618_033_988_749_894_8; // (sqrt(5) - 1) / 2
+    let (mut a, mut b) = (a, b);
+    let mut c = b - (b - a) * INV_PHI;
+    let mut d = a + (b - a) * INV_PHI;
+    let mut fc = f(c);
+    let mut fd = f(d);
+    while (b - a).abs() > tol {
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - (b - a) * INV_PHI;
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + (b - a) * INV_PHI;
+            fd = f(d);
+        }
+    }
+    let x = 0.5 * (a + b);
+    (x, f(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_parabola_minimum() {
+        let (x, fx) = golden_section_min(&|x| (x - 2.5).powi(2) + 1.0, 0.0, 10.0, 1e-10);
+        assert!((x - 2.5).abs() < 1e-7);
+        assert!((fx - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finds_boundary_minimum() {
+        // Monotone decreasing: minimum at the right edge.
+        let (x, _) = golden_section_min(&|x| -x, 0.0, 1.0, 1e-10);
+        assert!((x - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn tolerates_infinite_regions() {
+        // Feasible only on [2, 3], minimum of (x-2.2)^2 there.
+        let f = |x: f64| {
+            if (2.0..=3.0).contains(&x) {
+                (x - 2.2).powi(2)
+            } else {
+                f64::INFINITY
+            }
+        };
+        let (x, _) = golden_section_min(&f, 0.0, 10.0, 1e-10);
+        assert!((x - 2.2).abs() < 1e-6, "got {x}");
+    }
+
+    #[test]
+    fn nonsmooth_vee() {
+        let (x, fx) = golden_section_min(&|x: f64| (x - 1.0).abs(), -5.0, 5.0, 1e-10);
+        assert!((x - 1.0).abs() < 1e-7);
+        assert!(fx < 1e-7);
+    }
+}

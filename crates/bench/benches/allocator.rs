@@ -1,0 +1,60 @@
+//! Criterion benches for Algorithm 2: allocation cost per model family
+//! and platform size (the per-task online overhead of the scheduler).
+
+#![allow(missing_docs)] // criterion_group! expands undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moldable_core::{allocate, allocate_linear_reference};
+use moldable_model::{ModelClass, SpeedupModel};
+use std::hint::black_box;
+
+fn models_for(p_total: u32) -> Vec<(&'static str, SpeedupModel)> {
+    let p = f64::from(p_total);
+    vec![
+        (
+            "roofline",
+            SpeedupModel::roofline(4.0 * p, p_total / 2 + 1).unwrap(),
+        ),
+        (
+            "communication",
+            SpeedupModel::communication(4.0 * p, 0.01).unwrap(),
+        ),
+        ("amdahl", SpeedupModel::amdahl(4.0 * p, 1.0).unwrap()),
+        (
+            "general",
+            SpeedupModel::general(4.0 * p, p_total, 1.0, 0.01).unwrap(),
+        ),
+    ]
+}
+
+fn bench_allocate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allocate");
+    for p_total in [64u32, 1024, 65_536] {
+        for (name, model) in models_for(p_total) {
+            let mu = ModelClass::General.optimal_mu();
+            g.bench_with_input(
+                BenchmarkId::new(name, p_total),
+                &(model, p_total),
+                |b, (m, p)| b.iter(|| allocate(black_box(m), black_box(*p), mu)),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_allocate_linear_vs_binary(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allocate_linear_vs_binary");
+    let p_total = 4096;
+    let m = SpeedupModel::amdahl(f64::from(p_total) * 4.0, 1.0).unwrap();
+    let mu = ModelClass::Amdahl.optimal_mu();
+    g.bench_function("binary_search", |b| {
+        b.iter(|| allocate(black_box(&m), p_total, mu));
+    });
+    g.bench_function("linear_reference", |b| {
+        b.iter(|| allocate_linear_reference(black_box(&m), p_total, mu));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_allocate, bench_allocate_linear_vs_binary);
+criterion_main!(benches);

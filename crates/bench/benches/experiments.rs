@@ -1,0 +1,61 @@
+//! Criterion benches tied to the paper's experiments: one per
+//! table/figure, measuring the cost of regenerating each artifact at a
+//! bench-friendly size (the full-size regeneration lives in the
+//! `table1`/`fig*`/`lower_bounds`/`thm9_scaling` binaries).
+
+#![allow(missing_docs)] // criterion_group! expands undocumented items
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use moldable_adversary::arbitrary::{offline_schedule, AdaptiveChains};
+use moldable_adversary::{amdahl, communication, general, roofline};
+use moldable_core::baselines::EqualShareScheduler;
+use moldable_sim::{simulate_instance, SimOptions};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    // Numerical side of Table 1: minimize the four ratio curves.
+    c.bench_function("table1_numeric", |b| {
+        b.iter(|| black_box(moldable_analysis::table1()));
+    });
+}
+
+fn bench_lower_bound_instances(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lower_bound_run");
+    g.sample_size(10);
+    g.bench_function("thm5_roofline_P4096", |b| {
+        b.iter(|| roofline::instance(4096).run_online());
+    });
+    g.bench_function("thm6_comm_P101", |b| {
+        b.iter(|| communication::instance(101).run_online());
+    });
+    g.bench_function("thm7_amdahl_K20", |b| {
+        b.iter(|| amdahl::instance(20).run_online());
+    });
+    g.bench_function("thm8_general_K20", |b| {
+        b.iter(|| general::instance(20).run_online());
+    });
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4");
+    g.bench_function("offline_schedule_l2", |b| {
+        b.iter(|| offline_schedule(black_box(2)));
+    });
+    g.bench_function("equal_share_adaptive_l3", |b| {
+        b.iter(|| {
+            let mut adv = AdaptiveChains::new(3);
+            let mut eq = EqualShareScheduler::new();
+            simulate_instance(&mut adv, &mut eq, &SimOptions::new(1024)).unwrap()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_lower_bound_instances,
+    bench_fig4
+);
+criterion_main!(benches);

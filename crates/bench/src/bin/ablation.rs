@@ -1,0 +1,140 @@
+//! Ablations of the design choices in Algorithms 1 and 2:
+//!
+//! 1. **μ sweep** — competitive behaviour of the full algorithm as μ
+//!    varies, on adversarial and realistic workloads (Theorems 1–4 pick
+//!    μ* per model; this shows the sensitivity).
+//! 2. **Step ablation** — LPA-only (no cap) and cap-only (no
+//!    α-minimization) against the full Algorithm 2.
+//! 3. **Queue policy** — the paper's FIFO versus the priority rules it
+//!    hypothesizes "may work better in practice".
+//!
+//! ```text
+//! cargo run --release -p moldable-bench --bin ablation
+//! ```
+
+use moldable_bench::{write_result, Table, Workload};
+use moldable_core::baselines;
+use moldable_core::{OnlineScheduler, QueuePolicy};
+use moldable_model::ModelClass;
+use moldable_sim::{simulate, Scheduler, SimOptions};
+
+const P_TOTAL: u32 = 64;
+const SEEDS: u64 = 5;
+
+/// Mean normalized makespan of `make()` over workloads × seeds for a class.
+fn mean_ratio(class: ModelClass, make: &dyn Fn() -> Box<dyn Scheduler>) -> f64 {
+    let workloads = [
+        Workload::Layered,
+        Workload::Cholesky,
+        Workload::ForkJoin,
+        Workload::Random,
+    ];
+    let mut sum = 0.0;
+    let mut n = 0u32;
+    for w in workloads {
+        for seed in 0..SEEDS {
+            let g = w.build(class, P_TOTAL, seed * 104_729 + 7);
+            let lb = g.bounds(P_TOTAL).lower_bound();
+            let mut s = make();
+            let sched = simulate(&g, s.as_mut(), &SimOptions::new(P_TOTAL)).expect("run");
+            sched.validate(&g).expect("valid");
+            sum += sched.makespan / lb;
+            n += 1;
+        }
+    }
+    sum / f64::from(n)
+}
+
+fn mu_sweep() -> Table {
+    println!("1) mu sweep (normalized makespan, mean over 4 workloads x {SEEDS} seeds)");
+    let mus = [
+        0.05, 0.10, 0.15, 0.211, 0.25, 0.271, 0.30, 0.324, 0.35, 0.38,
+    ];
+    let mut t = Table::new(&["mu", "roofline", "communication", "amdahl", "general"]);
+    for &mu in &mus {
+        let mut row = vec![format!("{mu:.3}")];
+        for class in ModelClass::bounded_classes() {
+            let r = mean_ratio(class, &|| Box::new(OnlineScheduler::with_mu(mu)));
+            row.push(format!("{r:.3}"));
+        }
+        t.row(row);
+    }
+    println!("{}", t.render());
+    t
+}
+
+fn step_ablation() -> Table {
+    println!("2) Algorithm 2 step ablation (normalized makespan)");
+    let mut t = Table::new(&["variant", "roofline", "communication", "amdahl", "general"]);
+    type MakeSched = Box<dyn Fn(ModelClass) -> Box<dyn Scheduler>>;
+    let variants: Vec<(&str, MakeSched)> = vec![
+        (
+            "full (LPA+cap)",
+            Box::new(|c: ModelClass| Box::new(OnlineScheduler::for_class(c)) as Box<dyn Scheduler>),
+        ),
+        (
+            "lpa-only",
+            Box::new(|c: ModelClass| {
+                Box::new(baselines::lpa_only(c.optimal_mu())) as Box<dyn Scheduler>
+            }),
+        ),
+        (
+            "cap-only",
+            Box::new(|c: ModelClass| {
+                Box::new(baselines::cap_only(c.optimal_mu())) as Box<dyn Scheduler>
+            }),
+        ),
+    ];
+    for (name, make) in &variants {
+        let mut row = vec![(*name).to_string()];
+        for class in ModelClass::bounded_classes() {
+            let r = mean_ratio(class, &|| make(class));
+            row.push(format!("{r:.3}"));
+        }
+        t.row(row);
+    }
+    println!("{}", t.render());
+    t
+}
+
+fn policy_ablation() -> Table {
+    println!("3) queue policy (normalized makespan, general model)");
+    let mut t = Table::new(&["policy", "layered", "cholesky", "fork-join", "random-dag"]);
+    for policy in QueuePolicy::all() {
+        let mut row = vec![policy.name().to_string()];
+        for w in [
+            Workload::Layered,
+            Workload::Cholesky,
+            Workload::ForkJoin,
+            Workload::Random,
+        ] {
+            let mut sum = 0.0;
+            for seed in 0..SEEDS {
+                let g = w.build(ModelClass::General, P_TOTAL, seed * 31 + 3);
+                let lb = g.bounds(P_TOTAL).lower_bound();
+                let mut s = OnlineScheduler::for_class(ModelClass::General).with_policy(policy);
+                let sched = simulate(&g, &mut s, &SimOptions::new(P_TOTAL)).expect("run");
+                sched.validate(&g).expect("valid");
+                sum += sched.makespan / lb;
+            }
+            #[allow(clippy::cast_precision_loss)]
+            row.push(format!("{:.3}", sum / SEEDS as f64));
+        }
+        t.row(row);
+    }
+    println!("{}", t.render());
+    t
+}
+
+fn main() {
+    println!("Ablations (P = {P_TOTAL})\n");
+    let a = mu_sweep();
+    let b = step_ablation();
+    let c = policy_ablation();
+    let mut out = a.to_csv();
+    out.push('\n');
+    out.push_str(&b.to_csv());
+    out.push('\n');
+    out.push_str(&c.to_csv());
+    write_result("ablation.csv", &out);
+}

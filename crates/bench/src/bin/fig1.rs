@@ -1,0 +1,52 @@
+//! Regenerates **Figure 1**: the generic task graph used by the
+//! lower-bound proofs (Theorems 6–8), as a Graphviz DOT file plus a
+//! structural summary.
+//!
+//! ```text
+//! cargo run --release -p moldable-bench --bin fig1
+//! ```
+
+use moldable_adversary::generic::GenericInstance;
+use moldable_bench::write_result;
+use moldable_model::SpeedupModel;
+
+fn main() {
+    // The paper draws the generic shape; sizes X, Y are symbolic there.
+    // Use a small readable example (X = 3, Y = 4) for the figure...
+    let unit = SpeedupModel::amdahl(1.0, 0.0).expect("valid task");
+    let small = GenericInstance::build(3, 4, &unit, &unit, unit.clone());
+    let dot = small.to_dot();
+    write_result("fig1.dot", &dot);
+
+    println!("Figure 1 — generic lower-bound task graph ((X+1)Y + 1 tasks)");
+    println!();
+    println!(
+        "Rendered X = 3, Y = 4: {} tasks, {} edges, depth {}",
+        small.n_tasks(),
+        small.graph.n_edges(),
+        small.graph.depth()
+    );
+    println!("{dot}");
+
+    // ...and report the real sizes each theorem instantiates.
+    println!("Instantiations used by the lower-bound theorems:");
+    for p in [100u32, 1000] {
+        let pr = moldable_adversary::communication::params(p);
+        println!(
+            "  Thm 6 (comm),   P = {p:>6}: X = {:>5}, Y = {:>5}  -> {} tasks",
+            pr.x,
+            pr.y,
+            (pr.x + 1) * pr.y + 1
+        );
+    }
+    for k in [10u32, 31] {
+        let pr = moldable_adversary::amdahl::params(k);
+        println!(
+            "  Thm 7 (amdahl), K = {k:>6}: X = {:>5}, Y = {:>5}, p_B = {} -> {} tasks",
+            pr.x,
+            pr.y,
+            pr.p_b,
+            (pr.x + 1) * pr.y + 1
+        );
+    }
+}

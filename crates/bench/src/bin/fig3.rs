@@ -1,0 +1,51 @@
+//! Regenerates **Figure 3**: the arbitrary-model lower-bound instance
+//! for ℓ = 2 (K = 4): 15 linear chains in 4 groups on P = 32
+//! processors, every task with `t(p) = 1/(lg p + 1)`.
+//!
+//! ```text
+//! cargo run --release -p moldable-bench --bin fig3
+//! ```
+
+use moldable_adversary::arbitrary::{fig3_graph, params};
+use moldable_bench::write_result;
+
+fn main() {
+    let l = 2;
+    let pr = params(l);
+    let (graph, chains) = fig3_graph(l);
+
+    println!("Figure 3 — Theorem 9 instance for l = {l}:");
+    println!(
+        "K = {}, P = {}, n = {} chains, {} tasks, depth D = {}",
+        pr.k,
+        pr.p_total,
+        pr.n_chains,
+        pr.n_tasks,
+        graph.depth()
+    );
+    println!();
+    for group in 1..=pr.k {
+        let members: Vec<String> = chains
+            .iter()
+            .enumerate()
+            .filter(|(_, (g, _))| *g == group)
+            .map(|(i, (_, tasks))| format!("chain {} ({} tasks)", i + 1, tasks.len()))
+            .collect();
+        println!("Group {group}: {}", members.join(", "));
+    }
+
+    // DOT: label each task "c(i)" with chain id and position, like the
+    // figure's "11(2)" notation.
+    let mut owner = vec![(0usize, 0usize); graph.n_tasks()];
+    for (ci, (_, tasks)) in chains.iter().enumerate() {
+        for (pos, t) in tasks.iter().enumerate() {
+            owner[t.index()] = (ci + 1, pos + 1);
+        }
+    }
+    let dot = graph.to_dot("figure3", |idx| {
+        let (chain, pos) = owner[idx];
+        format!("{chain}({pos})")
+    });
+    write_result("fig3.dot", &dot);
+    println!("\n{dot}");
+}

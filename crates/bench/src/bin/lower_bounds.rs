@@ -1,0 +1,91 @@
+//! Convergence sweep for the algorithm lower bounds (Theorems 5–8):
+//! the measured ratio of the online algorithm on each adversarial
+//! instance, as the instance grows, against the proven asymptote.
+//!
+//! ```text
+//! cargo run --release -p moldable-bench --bin lower_bounds
+//! ```
+
+use moldable_adversary::{amdahl, communication, general, roofline, LowerBoundInstance};
+use moldable_bench::{write_result, Table};
+
+fn sweep(
+    name: &str,
+    sizes: &[u32],
+    size_label: &str,
+    build: impl Fn(u32) -> LowerBoundInstance,
+    asymptote: f64,
+    upper: f64,
+    table: &mut Table,
+) {
+    println!("{name}: asymptote {asymptote:.4}, Theorem UB {upper:.4}");
+    for &s in sizes {
+        let inst = build(s);
+        let (makespan, ratio) = inst.run_online();
+        println!(
+            "  {size_label} = {s:>6}: tasks = {:>8}, T = {:>12.2}, T_opt <= {:>10.2}, ratio = {ratio:.4}",
+            inst.graph.n_tasks(),
+            makespan,
+            inst.t_opt_upper
+        );
+        assert!(
+            ratio <= upper + 1e-9,
+            "measured ratio exceeded the proven UB"
+        );
+        table.row(vec![
+            name.to_string(),
+            s.to_string(),
+            format!("{ratio:.5}"),
+            format!("{asymptote:.5}"),
+            format!("{upper:.5}"),
+        ]);
+    }
+    println!();
+}
+
+fn main() {
+    println!("Lower-bound convergence (Theorems 5-8)\n");
+    let mut t = Table::new(&["model", "size", "measured", "asymptote", "theorem_ub"]);
+
+    sweep(
+        "roofline (Thm 5)",
+        &[16, 64, 256, 1024, 4096, 16384, 65536, 262_144],
+        "P",
+        roofline::instance,
+        roofline::asymptotic_bound(),
+        1.0 / moldable_model::ModelClass::Roofline.optimal_mu() + 1e-12,
+        &mut t,
+    );
+    sweep(
+        "communication (Thm 6)",
+        &[11, 23, 47, 101, 211, 401, 801, 1601],
+        "P",
+        communication::instance,
+        communication::asymptotic_bound(),
+        communication::upper_bound(),
+        &mut t,
+    );
+    sweep(
+        "amdahl (Thm 7)",
+        &[5, 8, 12, 20, 32, 48, 80, 120],
+        "K",
+        amdahl::instance,
+        amdahl::asymptotic_bound(),
+        amdahl::upper_bound(),
+        &mut t,
+    );
+    sweep(
+        "general (Thm 8)",
+        // K = 5 degenerates (Y = 0) because delta ≈ 3.48 eats most of
+        // one layer; start at 6.
+        &[6, 8, 12, 20, 32, 48, 80, 120],
+        "K",
+        general::instance,
+        general::asymptotic_bound(),
+        general::upper_bound(),
+        &mut t,
+    );
+
+    write_result("lower_bounds.csv", &t.to_csv());
+    println!("{}", t.render());
+}

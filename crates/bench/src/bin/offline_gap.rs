@@ -1,0 +1,165 @@
+//! How close is the online algorithm to an *offline* scheduler that
+//! knows the whole graph — the comparison the competitive ratio is
+//! about, measured concretely:
+//!
+//! 1. on tiny instances, against the **exact optimum** (branch and
+//!    bound) — the true competitive ratio;
+//! 2. on full-size workflows, against the **CPA offline allocation**
+//!    (knows the whole graph) — a practical offline yardstick;
+//! 3. on independent task sets, against the **Turek dual bound** τ*.
+//!
+//! ```text
+//! cargo run --release -p moldable-bench --bin offline_gap
+//! ```
+
+use moldable_bench::{write_result, Table, Workload};
+use moldable_core::OnlineScheduler;
+use moldable_graph::TaskGraph;
+use moldable_model::sample::ParamDistribution;
+use moldable_model::ModelClass;
+use moldable_offline::{cpa, optimal_makespan, turek_schedule, BruteForceLimits};
+use moldable_sim::{simulate, SimOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn online_makespan(g: &TaskGraph, class: ModelClass, p: u32) -> f64 {
+    let mut s = OnlineScheduler::for_class(class);
+    let sched = simulate(g, &mut s, &SimOptions::new(p)).expect("run");
+    sched.validate(g).expect("valid");
+    sched.makespan
+}
+
+fn tiny_vs_exact() -> Table {
+    println!("1) online vs EXACT optimum (tiny random DAGs, true competitive ratio)");
+    let mut t = Table::new(&["model", "instances", "mean T/OPT", "max T/OPT", "guarantee"]);
+    for class in ModelClass::bounded_classes() {
+        let mut ratios = Vec::new();
+        let mut seed = 0u64;
+        while ratios.len() < 40 {
+            seed += 1;
+            let mut rng = StdRng::seed_from_u64(seed * 101 + class as u64);
+            let p: u32 = rng.gen_range(2..=6);
+            let n: usize = rng.gen_range(2..=6);
+            let dist = ParamDistribution {
+                w_min: 1.0,
+                w_max: 15.0,
+                d_frac: (0.0, 0.3),
+                c_frac: (0.0, 0.2),
+                pbar_range: (1, 6),
+            };
+            let mut g = TaskGraph::new();
+            let ids: Vec<_> = (0..n)
+                .map(|_| g.add_task(dist.sample(class, p, &mut rng)))
+                .collect();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if rng.gen_bool(0.3) {
+                        g.add_edge(ids[i], ids[j]).expect("forward edge");
+                    }
+                }
+            }
+            let Some(opt) = optimal_makespan(&g, p, BruteForceLimits::default()) else {
+                continue;
+            };
+            ratios.push(online_makespan(&g, class, p) / opt);
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        let max = ratios.iter().copied().fold(0.0, f64::max);
+        let guarantee = class.proven_upper_bound().expect("bounded");
+        assert!(
+            max <= guarantee + 1e-9,
+            "competitive ratio exceeded vs TRUE optimum"
+        );
+        t.row(vec![
+            class.name().to_string(),
+            ratios.len().to_string(),
+            format!("{mean:.3}"),
+            format!("{max:.3}"),
+            format!("{guarantee:.2}"),
+        ]);
+    }
+    println!("{}", t.render());
+    t
+}
+
+fn workflows_vs_cpa() -> Table {
+    println!("2) online vs CPA offline allocation (full-size workflows, P = 64)");
+    let p = 64;
+    let mut t = Table::new(&["workload", "model", "online T", "CPA T", "online/CPA"]);
+    for w in [
+        Workload::Cholesky,
+        Workload::Lu,
+        Workload::Layered,
+        Workload::Wavefront,
+    ] {
+        for class in ModelClass::bounded_classes() {
+            let mut ratio_sum = 0.0;
+            let mut on_sum = 0.0;
+            let mut off_sum = 0.0;
+            let seeds = 5u64;
+            for seed in 0..seeds {
+                let g = w.build(class, p, seed * 13 + 5);
+                let on = online_makespan(&g, class, p);
+                let off = cpa::cpa_schedule(&g, p).expect("cpa").makespan;
+                ratio_sum += on / off;
+                on_sum += on;
+                off_sum += off;
+            }
+            #[allow(clippy::cast_precision_loss)]
+            let k = seeds as f64;
+            t.row(vec![
+                w.name().to_string(),
+                class.name().to_string(),
+                format!("{:.1}", on_sum / k),
+                format!("{:.1}", off_sum / k),
+                format!("{:.3}", ratio_sum / k),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    t
+}
+
+fn independent_vs_turek() -> Table {
+    println!("3) online vs Turek dual bound tau* (independent tasks, P = 32)");
+    let p = 32;
+    let mut t = Table::new(&["model", "online/tau*", "turek/tau*"]);
+    for class in [
+        ModelClass::Roofline,
+        ModelClass::Communication,
+        ModelClass::Amdahl,
+    ] {
+        let mut on_r = 0.0;
+        let mut tu_r = 0.0;
+        let seeds = 8u64;
+        for seed in 0..seeds {
+            let g = Workload::Independent.build(class, p, seed * 7 + 3);
+            let r = turek_schedule(&g, p);
+            on_r += online_makespan(&g, class, p) / r.tau;
+            tu_r += r.schedule.makespan / r.tau;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let k = seeds as f64;
+        t.row(vec![
+            class.name().to_string(),
+            format!("{:.3}", on_r / k),
+            format!("{:.3}", tu_r / k),
+        ]);
+    }
+    println!("{}", t.render());
+    t
+}
+
+fn main() {
+    println!("Offline gap: how much does clairvoyance buy?\n");
+    let a = tiny_vs_exact();
+    let b = workflows_vs_cpa();
+    let c = independent_vs_turek();
+    let mut out = a.to_csv();
+    out.push('\n');
+    out.push_str(&b.to_csv());
+    out.push('\n');
+    out.push_str(&c.to_csv());
+    write_result("offline_gap.csv", &out);
+}

@@ -1,0 +1,51 @@
+//! The ratio-versus-μ curves behind Theorems 1–4: for each model, the
+//! Lemma 5 competitive ratio as a function of μ (with `x = x*(μ)`),
+//! sampled densely for plotting. The minima of these curves are the
+//! Table 1 upper bounds.
+//!
+//! ```text
+//! cargo run --release -p moldable-bench --bin ratio_curves
+//! ```
+
+use moldable_analysis::{amdahl, communication, general, roofline, upper_bound};
+use moldable_bench::{write_result, Table};
+use moldable_model::{ModelClass, MU_MAX};
+
+fn main() {
+    let mut t = Table::new(&["mu", "roofline", "communication", "amdahl", "general"]);
+    let steps = 200;
+    for i in 1..=steps {
+        #[allow(clippy::cast_precision_loss)]
+        let mu = MU_MAX * f64::from(i) / f64::from(steps);
+        let fmt = |v: f64| {
+            if v.is_finite() {
+                format!("{v:.6}")
+            } else {
+                String::from("inf")
+            }
+        };
+        t.row(vec![
+            format!("{mu:.6}"),
+            fmt(roofline::ratio_at(mu)),
+            fmt(communication::ratio_at(mu)),
+            fmt(amdahl::ratio_at(mu)),
+            fmt(general::ratio_at(mu)),
+        ]);
+    }
+    write_result("ratio_curves.csv", &t.to_csv());
+
+    println!("ratio(mu) curves sampled at {steps} points; minima (Table 1):");
+    for class in ModelClass::bounded_classes() {
+        let b = upper_bound(class);
+        println!(
+            "  {:>14}: min ratio {:.4} at mu* = {:.4} (x* = {:.4})",
+            class.name(),
+            b.ratio,
+            b.mu,
+            b.x
+        );
+    }
+    println!("\nfull series in results/ratio_curves.csv (plot mu vs each column;");
+    println!("the communication and general curves are infinite where the");
+    println!("beta-constraint is infeasible).");
+}

@@ -1,0 +1,280 @@
+//! Shared plumbing for the experiment binaries: result-file output,
+//! plain-text table rendering, and the scheduler/workload registries
+//! used by the `empirical` and `ablation` sweeps.
+
+use std::fs;
+use std::path::PathBuf;
+
+use moldable_core::baselines::{self, EctScheduler, EqualShareScheduler};
+use moldable_core::{EasyBackfillScheduler, OnlineScheduler};
+use moldable_graph::{gen, TaskGraph};
+use moldable_model::sample::ParamDistribution;
+use moldable_model::ModelClass;
+use moldable_sim::Scheduler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Where experiment outputs land: `<workspace>/results`.
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created.
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    let dir = workspace_root().join("results");
+    fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+fn workspace_root() -> PathBuf {
+    // crates/bench -> workspace root
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("bench crate lives two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// Write `content` to `results/<name>` and echo the path.
+///
+/// # Panics
+///
+/// Panics on I/O failure.
+pub fn write_result(name: &str, content: &str) {
+    let path = results_dir().join(name);
+    fs::write(&path, content).expect("write result file");
+    println!("[wrote {}]", path.display());
+}
+
+/// Minimal fixed-width table printer.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    #[must_use]
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header length).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let ncol = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..ncol {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:>w$}", cells[i], w = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncol - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Render as CSV.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = self.header.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Workload shapes used by the empirical sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Linear chain of 64 tasks.
+    Chain,
+    /// 128 independent tasks.
+    Independent,
+    /// 8-wide, 8-stage fork-join.
+    ForkJoin,
+    /// 8-layer, 16-wide random layered DAG.
+    Layered,
+    /// 96-task Erdős–Rényi DAG.
+    Random,
+    /// Tiled Cholesky, 8×8 blocks.
+    Cholesky,
+    /// Tiled LU, 6×6 blocks.
+    Lu,
+    /// FFT butterfly on 32 points.
+    Fft,
+    /// 12×12 wavefront sweep.
+    Wavefront,
+}
+
+impl Workload {
+    /// All shapes.
+    #[must_use]
+    pub fn all() -> [Workload; 9] {
+        [
+            Self::Chain,
+            Self::Independent,
+            Self::ForkJoin,
+            Self::Layered,
+            Self::Random,
+            Self::Cholesky,
+            Self::Lu,
+            Self::Fft,
+            Self::Wavefront,
+        ]
+    }
+
+    /// Short name for reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Chain => "chain",
+            Self::Independent => "independent",
+            Self::ForkJoin => "fork-join",
+            Self::Layered => "layered",
+            Self::Random => "random-dag",
+            Self::Cholesky => "cholesky",
+            Self::Lu => "lu",
+            Self::Fft => "fft",
+            Self::Wavefront => "wavefront",
+        }
+    }
+
+    /// Generate an instance of this shape with tasks of `class`.
+    #[must_use]
+    pub fn build(self, class: ModelClass, p_total: u32, seed: u64) -> TaskGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dist = ParamDistribution::default();
+        let mut assign = gen::weighted_sampler(class, dist, p_total, &mut rng);
+        match self {
+            Self::Chain => gen::chain(64, &mut assign),
+            Self::Independent => gen::independent(128, &mut assign),
+            Self::ForkJoin => gen::fork_join(8, 8, &mut assign),
+            Self::Layered => {
+                let mut srng = StdRng::seed_from_u64(seed ^ 0x5EED);
+                gen::layered_random(8, 16, 0.3, &mut srng, &mut assign)
+            }
+            Self::Random => {
+                let mut srng = StdRng::seed_from_u64(seed ^ 0xDA6);
+                gen::random_dag(96, 0.08, &mut srng, &mut assign)
+            }
+            Self::Cholesky => gen::cholesky(8, &mut assign),
+            Self::Lu => gen::lu(6, &mut assign),
+            Self::Fft => gen::fft(5, &mut assign),
+            Self::Wavefront => gen::wavefront(12, 12, &mut assign),
+        }
+    }
+}
+
+/// Named scheduler factory for the sweeps.
+pub struct SchedulerSpec {
+    /// Display name.
+    pub name: &'static str,
+    /// Fresh scheduler instance for a graph of `class`.
+    pub make: fn(ModelClass) -> Box<dyn Scheduler>,
+}
+
+/// The scheduler line-up compared in the empirical experiments.
+#[must_use]
+pub fn scheduler_lineup() -> Vec<SchedulerSpec> {
+    vec![
+        SchedulerSpec {
+            name: "online(paper)",
+            make: |c| Box::new(OnlineScheduler::for_class(c)),
+        },
+        SchedulerSpec {
+            name: "one-proc",
+            make: |_| Box::new(baselines::one_proc()),
+        },
+        SchedulerSpec {
+            name: "max-proc",
+            make: |_| Box::new(baselines::max_proc()),
+        },
+        SchedulerSpec {
+            name: "ect",
+            make: |_| Box::new(EctScheduler::new()),
+        },
+        SchedulerSpec {
+            name: "equal-share",
+            make: |_| Box::new(EqualShareScheduler::new()),
+        },
+        SchedulerSpec {
+            name: "lpa-only",
+            make: |c| Box::new(baselines::lpa_only(c.optimal_mu())),
+        },
+        SchedulerSpec {
+            name: "cap-only",
+            make: |c| Box::new(baselines::cap_only(c.optimal_mu())),
+        },
+        SchedulerSpec {
+            name: "backfill",
+            make: |c| Box::new(EasyBackfillScheduler::new(c.optimal_mu())),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["a", "bbbb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["333".into(), "4".into()]);
+        let r = t.render();
+        assert!(r.contains("a  bbbb"));
+        assert_eq!(r.lines().count(), 4);
+        assert!(t.to_csv().starts_with("a,bbbb\n1,2\n"));
+    }
+
+    #[test]
+    fn workloads_build_nonempty_graphs() {
+        for w in Workload::all() {
+            let g = w.build(ModelClass::Amdahl, 32, 1);
+            assert!(g.n_tasks() > 0, "{}", w.name());
+            assert_eq!(g.topo_order().len(), g.n_tasks());
+        }
+    }
+
+    #[test]
+    fn lineup_schedulers_run_a_small_graph() {
+        let g = Workload::ForkJoin.build(ModelClass::General, 16, 7);
+        for spec in scheduler_lineup() {
+            let mut s = (spec.make)(ModelClass::General);
+            let sched =
+                moldable_sim::simulate(&g, s.as_mut(), &moldable_sim::SimOptions::new(16)).unwrap();
+            sched.validate(&g).unwrap();
+        }
+    }
+}

@@ -1,0 +1,609 @@
+//! Command-line front end for the `moldable` workspace.
+//!
+//! Four subcommands, all operating on the `.mtg` workflow format:
+//!
+//! ```text
+//! moldable generate --shape cholesky --size 6 --model amdahl -P 32 --out w.mtg
+//! moldable info     --graph w.mtg -P 32
+//! moldable schedule --graph w.mtg -P 32 --scheduler online --gantt 100
+//! moldable bounds   --graph w.mtg -P 32
+//! ```
+//!
+//! The library entry point [`run`] takes the argument vector and
+//! returns the text that `main` prints, so the whole CLI is unit
+//! testable without spawning processes.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+
+use moldable_core::{baselines, OnlineScheduler, QueuePolicy};
+use moldable_graph::{gen, parse_workflow, TaskGraph};
+use moldable_model::ModelClass;
+use moldable_sim::{gantt_ascii, simulate, SimOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// CLI failure, printed to stderr with exit code 2.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Usage text (also returned for `--help`).
+pub const USAGE: &str = "\
+moldable — online scheduling of moldable task graphs (ICPP'22)
+
+USAGE:
+  moldable generate --shape SHAPE --size N [--model CLASS] [-P N] [--seed N] [--out FILE]
+  moldable info     --graph FILE [-P N]
+  moldable bounds   --graph FILE -P N
+  moldable schedule --graph FILE [-P N] [--scheduler NAME] [--mu X]
+                    [--policy NAME] [--gantt WIDTH] [--csv FILE] [--trace FILE]
+                    [--svg FILE]
+  moldable fit      --samples FILE   # lines: <procs> <time>
+
+SHAPES:      chain, independent, fork-join, in-tree, out-tree, layered,
+             random, lu, cholesky, fft, wavefront
+CLASSES:     roofline, communication, amdahl, general  (default: amdahl)
+SCHEDULERS:  online (paper's Algorithm 1+2, default), one-proc, max-proc,
+             ect, equal-share, backfill (EASY), adaptive (mu discovered
+             online), cpa (offline)
+POLICIES:    fifo (default), lpt, spt, narrow-first, wide-first
+";
+
+/// Parsed `--key value` options plus positional arguments.
+struct Opts {
+    named: HashMap<String, String>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut named = HashMap::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let Some(key) = a.strip_prefix('-') else {
+                return Err(err(format!("unexpected positional argument `{a}`")));
+            };
+            let key = key.trim_start_matches('-').to_string();
+            let value = it
+                .next()
+                .ok_or_else(|| err(format!("option --{key} requires a value")))?
+                .clone();
+            if named.insert(key.clone(), value).is_some() {
+                return Err(err(format!("option --{key} given twice")));
+            }
+        }
+        Ok(Self { named })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.named.get(key).map(String::as_str)
+    }
+
+    fn req(&self, key: &str) -> Result<&str, CliError> {
+        self.get(key)
+            .ok_or_else(|| err(format!("missing required option --{key}")))
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, CliError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| err(format!("--{key}: not a valid number: `{v}`"))),
+        }
+    }
+
+    fn known(&self, allowed: &[&str]) -> Result<(), CliError> {
+        for k in self.named.keys() {
+            if !allowed.contains(&k.as_str()) {
+                return Err(err(format!("unknown option --{k} (see --help)")));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn load_graph(opts: &Opts) -> Result<(TaskGraph, Option<u32>), CliError> {
+    let path = opts.req("graph")?;
+    let text = fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    parse_workflow(&text).map_err(|e| err(format!("{path}: {e}")))
+}
+
+fn platform(opts: &Opts, hint: Option<u32>) -> Result<u32, CliError> {
+    match opts.parse_num::<u32>("P")? {
+        Some(p) if p >= 1 => Ok(p),
+        Some(_) => Err(err("-P must be at least 1")),
+        None => hint.ok_or_else(|| err("no -P given and the workflow has no `p` hint")),
+    }
+}
+
+fn model_class(opts: &Opts) -> Result<ModelClass, CliError> {
+    Ok(match opts.get("model").unwrap_or("amdahl") {
+        "roofline" => ModelClass::Roofline,
+        "communication" | "comm" => ModelClass::Communication,
+        "amdahl" => ModelClass::Amdahl,
+        "general" => ModelClass::General,
+        other => return Err(err(format!("unknown model class `{other}`"))),
+    })
+}
+
+fn cmd_generate(opts: &Opts) -> Result<String, CliError> {
+    opts.known(&["shape", "size", "model", "P", "seed", "out"])?;
+    let shape = opts.req("shape")?.to_string();
+    let size: u32 = opts
+        .parse_num("size")?
+        .ok_or_else(|| err("missing required option --size"))?;
+    let p_total = opts.parse_num::<u32>("P")?.unwrap_or(64);
+    let seed = opts.parse_num::<u64>("seed")?.unwrap_or(42);
+    let class = model_class(opts)?;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dist = moldable_model::sample::ParamDistribution::default();
+    let mut assign = gen::weighted_sampler(class, dist, p_total, &mut rng);
+    let size_us = size as usize;
+    let graph = match shape.as_str() {
+        "chain" => gen::chain(size_us, &mut assign),
+        "independent" => gen::independent(size_us, &mut assign),
+        "fork-join" => gen::fork_join(size_us, 3, &mut assign),
+        "in-tree" => gen::in_tree(size, 2, &mut assign),
+        "out-tree" => gen::out_tree(size, 2, &mut assign),
+        "layered" => {
+            let mut srng = StdRng::seed_from_u64(seed ^ 0xFEED);
+            gen::layered_random(size_us, size_us, 0.3, &mut srng, &mut assign)
+        }
+        "random" => {
+            let mut srng = StdRng::seed_from_u64(seed ^ 0xFEED);
+            gen::random_dag(size_us, 0.15, &mut srng, &mut assign)
+        }
+        "lu" => gen::lu(size, &mut assign),
+        "cholesky" => gen::cholesky(size, &mut assign),
+        "fft" => gen::fft(size, &mut assign),
+        "wavefront" => gen::wavefront(size, size, &mut assign),
+        other => return Err(err(format!("unknown shape `{other}` (see --help)"))),
+    };
+    let text = graph.to_workflow(Some(p_total));
+    if let Some(out) = opts.get("out") {
+        fs::write(out, &text).map_err(|e| err(format!("cannot write {out}: {e}")))?;
+        Ok(format!(
+            "wrote {out}: {} tasks, {} edges (shape {shape}, class {}, seed {seed})\n",
+            graph.n_tasks(),
+            graph.n_edges(),
+            class.name()
+        ))
+    } else {
+        Ok(text)
+    }
+}
+
+fn cmd_info(opts: &Opts) -> Result<String, CliError> {
+    opts.known(&["graph", "P"])?;
+    let (g, hint) = load_graph(opts)?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "tasks: {}\nedges: {}\ndepth: {}\nsources: {}\nsinks: {}\n",
+        g.n_tasks(),
+        g.n_edges(),
+        g.depth(),
+        g.sources().len(),
+        g.sinks().len()
+    ));
+    if let Some(class) = g.model_class() {
+        out.push_str(&format!(
+            "model class: {class} (mu* = {:.4})\n",
+            class.optimal_mu()
+        ));
+    }
+    if let Ok(p) = platform(opts, hint) {
+        let b = g.bounds(p);
+        out.push_str(&format!(
+            "P = {p}: A_min/P = {:.4}, C_min = {:.4}, lower bound = {:.4}\n",
+            b.area_bound(),
+            b.c_min,
+            b.lower_bound()
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_bounds(opts: &Opts) -> Result<String, CliError> {
+    opts.known(&["graph", "P"])?;
+    let (g, hint) = load_graph(opts)?;
+    let p = platform(opts, hint)?;
+    let b = g.bounds(p);
+    Ok(format!(
+        "A_min = {:.6}\nA_min/P = {:.6}\nC_min = {:.6}\nlower_bound = {:.6}\ncritical_path = {}\n",
+        b.a_min_total,
+        b.area_bound(),
+        b.c_min,
+        b.lower_bound(),
+        b.critical_path
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    ))
+}
+
+fn make_policy(name: &str) -> Result<QueuePolicy, CliError> {
+    QueuePolicy::all()
+        .into_iter()
+        .find(|p| p.name() == name)
+        .ok_or_else(|| err(format!("unknown policy `{name}` (see --help)")))
+}
+
+fn cmd_schedule(opts: &Opts) -> Result<String, CliError> {
+    opts.known(&[
+        "graph",
+        "P",
+        "scheduler",
+        "mu",
+        "policy",
+        "gantt",
+        "csv",
+        "trace",
+        "svg",
+    ])?;
+    let (g, hint) = load_graph(opts)?;
+    let p = platform(opts, hint)?;
+    let name = opts.get("scheduler").unwrap_or("online");
+    let class = g.model_class().unwrap_or(ModelClass::General);
+    let mu = opts.parse_num::<f64>("mu")?;
+    let policy = match opts.get("policy") {
+        Some(p) => Some(make_policy(p)?),
+        None => None,
+    };
+    if mu.is_some() && name != "online" && name != "backfill" {
+        return Err(err("--mu only applies to the online scheduler"));
+    }
+    if policy.is_some() && name != "online" {
+        return Err(err("--policy only applies to the online scheduler"));
+    }
+
+    let want_visuals =
+        opts.get("gantt").is_some() || opts.get("trace").is_some() || opts.get("svg").is_some();
+    let sim_opts = if want_visuals {
+        SimOptions::new(p).with_proc_ids()
+    } else {
+        SimOptions::new(p)
+    };
+
+    let schedule = match name {
+        "online" => {
+            let mut s = match mu {
+                Some(m) => OnlineScheduler::with_mu(m),
+                None => OnlineScheduler::for_class(class),
+            };
+            if let Some(pol) = policy {
+                s = s.with_policy(pol);
+            }
+            simulate(&g, &mut s, &sim_opts)
+        }
+        "one-proc" => simulate(&g, &mut baselines::one_proc(), &sim_opts),
+        "max-proc" => simulate(&g, &mut baselines::max_proc(), &sim_opts),
+        "ect" => simulate(&g, &mut baselines::EctScheduler::new(), &sim_opts),
+        "equal-share" => simulate(&g, &mut baselines::EqualShareScheduler::new(), &sim_opts),
+        "backfill" => {
+            let m = mu.unwrap_or_else(|| class.optimal_mu());
+            simulate(
+                &g,
+                &mut moldable_core::EasyBackfillScheduler::new(m),
+                &sim_opts,
+            )
+        }
+        "adaptive" => simulate(&g, &mut moldable_core::AdaptiveScheduler::new(), &sim_opts),
+        "cpa" => {
+            let allocs = moldable_offline::cpa_allocations(&g, p);
+            let mut s = moldable_offline::cpa::FixedAllocScheduler::new(allocs);
+            simulate(&g, &mut s, &sim_opts)
+        }
+        other => return Err(err(format!("unknown scheduler `{other}` (see --help)"))),
+    }
+    .map_err(|e| err(format!("simulation failed: {e}")))?;
+    schedule
+        .validate(&g)
+        .map_err(|e| err(format!("produced invalid schedule: {e}")))?;
+
+    let b = g.bounds(p);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "scheduler: {name}\nP: {p}\ntasks: {}\nmakespan: {:.6}\nlower bound: {:.6}\n\
+         normalized: {:.4}\nutilization: {:.1}%\n",
+        g.n_tasks(),
+        schedule.makespan,
+        b.lower_bound(),
+        schedule.makespan / b.lower_bound(),
+        100.0 * schedule.utilization()
+    ));
+    if let Some(w) = opts.get("gantt") {
+        let width: usize = w.parse().map_err(|_| err("--gantt needs a column width"))?;
+        out.push('\n');
+        out.push_str(&gantt_ascii(&schedule, width.max(10), |i| {
+            char::from_digit(u32::try_from(i % 36).expect("bounded"), 36).expect("radix 36")
+        }));
+    }
+    if let Some(path) = opts.get("csv") {
+        fs::write(path, schedule.to_csv()).map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        out.push_str(&format!("wrote CSV to {path}\n"));
+    }
+    if let Some(path) = opts.get("trace") {
+        let json = schedule.to_chrome_trace(|i| format!("t{i}"));
+        fs::write(path, json).map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        out.push_str(&format!("wrote Chrome trace to {path}\n"));
+    }
+    if let Some(path) = opts.get("svg") {
+        let svg = schedule.to_svg(1000.0, |i| format!("t{i}"));
+        fs::write(path, svg).map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        out.push_str(&format!("wrote SVG Gantt to {path}\n"));
+    }
+    Ok(out)
+}
+
+fn cmd_fit(opts: &Opts) -> Result<String, CliError> {
+    opts.known(&["samples"])?;
+    let path = opts.req("samples")?;
+    let text = fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    let mut samples = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let (Some(p), Some(t), None) = (it.next(), it.next(), it.next()) else {
+            return Err(err(format!("{path}:{}: expected `<procs> <time>`", i + 1)));
+        };
+        let p: u32 = p
+            .parse()
+            .map_err(|_| err(format!("{path}:{}: bad procs", i + 1)))?;
+        let t: f64 = t
+            .parse()
+            .map_err(|_| err(format!("{path}:{}: bad time", i + 1)))?;
+        samples.push((p, t));
+    }
+    let mut out = String::new();
+    for class in ModelClass::bounded_classes() {
+        let fit = moldable_model::fit::fit_class(class, &samples)
+            .map_err(|e| err(format!("fit failed: {e}")))?;
+        out.push_str(&format!(
+            "{:>14}: rmse {:>12.6}  {}\n",
+            class.name(),
+            fit.rmse,
+            fit.model.to_spec()
+        ));
+    }
+    let best =
+        moldable_model::fit::fit_best(&samples).map_err(|e| err(format!("fit failed: {e}")))?;
+    out.push_str(&format!(
+        "best: {} ({}, rmse {:.6}) — schedule with mu = {:.4}\n",
+        best.model.to_spec(),
+        best.class.name(),
+        best.rmse,
+        best.class.optimal_mu()
+    ));
+    Ok(out)
+}
+
+/// Entry point: dispatch `args` (without the program name) and return
+/// the text to print.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] with a user-facing message on any misuse.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some(cmd) = args.first() else {
+        return Ok(USAGE.to_string());
+    };
+    if cmd == "--help" || cmd == "-h" || cmd == "help" {
+        return Ok(USAGE.to_string());
+    }
+    let opts = Opts::parse(&args[1..])?;
+    match cmd.as_str() {
+        "generate" => cmd_generate(&opts),
+        "info" => cmd_info(&opts),
+        "bounds" => cmd_bounds(&opts),
+        "schedule" => cmd_schedule(&opts),
+        "fit" => cmd_fit(&opts),
+        other => Err(err(format!("unknown command `{other}` (see --help)"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_args(args: &[&str]) -> Result<String, CliError> {
+        let v: Vec<String> = args.iter().map(ToString::to_string).collect();
+        run(&v)
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("moldable-cli-tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_and_empty_print_usage() {
+        assert!(run_args(&[]).unwrap().contains("USAGE"));
+        assert!(run_args(&["--help"]).unwrap().contains("SCHEDULERS"));
+    }
+
+    #[test]
+    fn generate_info_schedule_roundtrip() {
+        let file = tmp("chol.mtg");
+        let msg = run_args(&[
+            "generate", "--shape", "cholesky", "--size", "4", "--model", "amdahl", "-P", "16",
+            "--seed", "7", "--out", &file,
+        ])
+        .unwrap();
+        assert!(msg.contains("wrote"), "{msg}");
+
+        let info = run_args(&["info", "--graph", &file]).unwrap();
+        assert!(info.contains("tasks: 20"), "{info}");
+        assert!(info.contains("model class: amdahl"));
+        assert!(info.contains("P = 16"), "p hint picked up: {info}");
+
+        let out = run_args(&["schedule", "--graph", &file, "--scheduler", "online"]).unwrap();
+        assert!(out.contains("makespan:"), "{out}");
+        assert!(out.contains("normalized:"));
+    }
+
+    #[test]
+    fn generate_to_stdout() {
+        let text = run_args(&["generate", "--shape", "chain", "--size", "3", "-P", "4"]).unwrap();
+        assert!(text.starts_with("p 4\n"));
+        assert_eq!(text.matches("task ").count(), 3);
+        assert_eq!(text.matches("edge ").count(), 2);
+    }
+
+    #[test]
+    fn schedule_all_schedulers_and_outputs() {
+        let file = tmp("lu.mtg");
+        let _ = run_args(&[
+            "generate", "--shape", "lu", "--size", "3", "-P", "8", "--out", &file,
+        ])
+        .unwrap();
+        for s in [
+            "online",
+            "one-proc",
+            "max-proc",
+            "ect",
+            "equal-share",
+            "backfill",
+            "adaptive",
+            "cpa",
+        ] {
+            let out = run_args(&["schedule", "--graph", &file, "--scheduler", s]).unwrap();
+            assert!(out.contains("makespan:"), "{s}: {out}");
+        }
+        let csv = tmp("lu.csv");
+        let trace = tmp("lu.json");
+        let out = run_args(&[
+            "schedule", "--graph", &file, "--gantt", "40", "--csv", &csv, "--trace", &trace,
+        ])
+        .unwrap();
+        assert!(out.contains("wrote CSV"));
+        assert!(out.contains("wrote Chrome trace"));
+        assert!(fs::read_to_string(&csv).unwrap().starts_with("task,start"));
+        assert!(fs::read_to_string(&trace)
+            .unwrap()
+            .trim_start()
+            .starts_with('['));
+        assert!(out.contains('|'), "gantt rendered");
+    }
+
+    #[test]
+    fn fit_and_svg() {
+        let samples = tmp("samples.txt");
+        fs::write(
+            &samples,
+            "1 101.0\n2 51.2\n4 26.1\n8 13.9\n# comment\n16 7.5\n",
+        )
+        .unwrap();
+        let out = run_args(&["fit", "--samples", &samples]).unwrap();
+        assert!(out.contains("best:"), "{out}");
+        assert!(out.contains("amdahl("), "{out}");
+
+        let file = tmp("svg.mtg");
+        let _ = run_args(&[
+            "generate",
+            "--shape",
+            "wavefront",
+            "--size",
+            "3",
+            "-P",
+            "8",
+            "--out",
+            &file,
+        ])
+        .unwrap();
+        let svg = tmp("sched.svg");
+        let out = run_args(&["schedule", "--graph", &file, "--svg", &svg]).unwrap();
+        assert!(out.contains("wrote SVG"));
+        let content = fs::read_to_string(&svg).unwrap();
+        assert!(content.starts_with("<svg"));
+        assert!(content.contains("<title>"));
+
+        let e = run_args(&["fit", "--samples", "/nonexistent"]).unwrap_err();
+        assert!(e.to_string().contains("cannot read"));
+        fs::write(&samples, "1 abc\n").unwrap();
+        let e = run_args(&["fit", "--samples", &samples]).unwrap_err();
+        assert!(e.to_string().contains("bad time"));
+    }
+
+    #[test]
+    fn bounds_command() {
+        let file = tmp("fj.mtg");
+        let _ = run_args(&[
+            "generate",
+            "--shape",
+            "fork-join",
+            "--size",
+            "4",
+            "-P",
+            "8",
+            "--out",
+            &file,
+        ])
+        .unwrap();
+        let out = run_args(&["bounds", "--graph", &file, "-P", "8"]).unwrap();
+        assert!(out.contains("C_min"));
+        assert!(out.contains("critical_path = t"));
+    }
+
+    #[test]
+    fn online_options_mu_and_policy() {
+        let file = tmp("opts.mtg");
+        let _ = run_args(&[
+            "generate", "--shape", "layered", "--size", "4", "-P", "8", "--out", &file,
+        ])
+        .unwrap();
+        let out = run_args(&[
+            "schedule", "--graph", &file, "--mu", "0.3", "--policy", "lpt",
+        ])
+        .unwrap();
+        assert!(out.contains("makespan"));
+        let e = run_args(&[
+            "schedule",
+            "--graph",
+            &file,
+            "--scheduler",
+            "ect",
+            "--mu",
+            "0.3",
+        ])
+        .unwrap_err();
+        assert!(e
+            .to_string()
+            .contains("only applies to the online scheduler"));
+    }
+
+    #[test]
+    fn error_messages_name_the_problem() {
+        let e = run_args(&["frobnicate"]).unwrap_err();
+        assert!(e.to_string().contains("unknown command"));
+        let e = run_args(&["generate", "--shape", "hexagon", "--size", "3"]).unwrap_err();
+        assert!(e.to_string().contains("unknown shape"));
+        let e = run_args(&["schedule"]).unwrap_err();
+        assert!(e.to_string().contains("--graph"));
+        let e = run_args(&["info", "--graph", "/nonexistent.mtg"]).unwrap_err();
+        assert!(e.to_string().contains("cannot read"));
+        let e = run_args(&["generate", "--shape"]).unwrap_err();
+        assert!(e.to_string().contains("requires a value"));
+        let e = run_args(&["info", "--graph", "x", "--bogus", "1"]).unwrap_err();
+        assert!(e.to_string().contains("unknown option"));
+    }
+}

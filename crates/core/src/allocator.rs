@@ -1,0 +1,269 @@
+//! Algorithm 2: the two-step processor allocation.
+//!
+//! **Step 1 (local processor allocation).** Over `p ∈ [1, p_max]`,
+//! minimize the area ratio `α_p = a(p)/a_min` subject to the
+//! time-stretch constraint `β_p = t(p)/t_min ≤ δ(μ) = (1−2μ)/(μ(1−μ))`.
+//! On `[1, p_max]`, `α_p` is non-decreasing and `β_p` non-increasing
+//! (Lemma 1), so the constrained minimizer of `α` is simply the
+//! *smallest* feasible `p` — found here by binary search in O(log P).
+//!
+//! **Step 2 (cap).** Reduce the allocation to `⌈μP⌉` if it exceeds it
+//! (Eq. 7), so that medium-utilization intervals can always fit another
+//! task — the Lepère–Trystram–Woeginger technique.
+
+use moldable_model::{delta, SpeedupModel};
+
+/// Result of Algorithm 2 for one task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Allocation {
+    /// Step 1's allocation `p_j` (the constrained α-minimizer).
+    pub initial: u32,
+    /// Step 2's final allocation `p'_j = min(p_j, ⌈μP⌉)`.
+    pub capped: u32,
+}
+
+/// Relative tolerance for the β-constraint: `β ≤ δ` is checked as
+/// `t(p) ≤ δ·t_min·(1 + BETA_RTOL)` so that the always-feasible point
+/// `p = p_max` (where `β = 1 ≤ δ` exactly) survives float rounding.
+const BETA_RTOL: f64 = 1e-12;
+
+/// `⌈μP⌉` — the cap of Step 2.
+///
+/// # Panics
+///
+/// Panics if `mu` is outside `(0, 1)` or `p_total == 0`.
+#[must_use]
+pub fn mu_cap(p_total: u32, mu: f64) -> u32 {
+    assert!(p_total >= 1);
+    assert!(mu > 0.0 && mu < 1.0, "mu must lie in (0, 1)");
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let cap = (mu * f64::from(p_total)).ceil() as u32;
+    cap.max(1)
+}
+
+/// Algorithm 2: allocate processors for one task on a `P = p_total`
+/// platform with parameter `μ`.
+///
+/// For the paper's closed-form models this runs in O(log P); for
+/// arbitrary (table/closure) models it falls back to the O(p_max)
+/// linear scan of [`allocate_linear_reference`], which needs no
+/// monotonicity.
+///
+/// # Panics
+///
+/// Panics if `mu ∉ (0, (3−√5)/2]` (the constraint would be infeasible:
+/// `δ(μ) < 1 ≤ β`), or `p_total == 0`.
+#[must_use]
+pub fn allocate(model: &SpeedupModel, p_total: u32, mu: f64) -> Allocation {
+    assert!(
+        mu > 0.0 && mu <= moldable_model::MU_MAX + 1e-12,
+        "mu must lie in (0, (3-sqrt(5))/2], got {mu}"
+    );
+    assert!(p_total >= 1);
+    let initial = match model {
+        SpeedupModel::Table(_)
+        | SpeedupModel::Formula {
+            nonincreasing: false,
+            ..
+        } => {
+            return allocate_linear_reference(model, p_total, mu);
+        }
+        // A formula flagged non-increasing is treated like the closed
+        // forms below: binary search for the smallest feasible p. This
+        // is the α-minimizer provided the model is also area-monotone
+        // (Lemma 1's second condition) — the flag's contract.
+        _ => {
+            let p_max = model.p_max(p_total);
+            let threshold = delta(mu) * model.time(p_max) * (1.0 + BETA_RTOL);
+            // Binary search for the smallest p in [1, p_max] with
+            // t(p) <= threshold; feasibility is monotone because t is
+            // non-increasing on [1, p_max] (Lemma 1).
+            let (mut lo, mut hi) = (1u32, p_max);
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if model.time(mid) <= threshold {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            debug_assert!(model.time(lo) <= threshold, "p_max is always feasible");
+            lo
+        }
+    };
+    Allocation {
+        initial,
+        capped: initial.min(mu_cap(p_total, mu)),
+    }
+}
+
+/// Reference implementation of Step 1 by exhaustive scan: among all
+/// `p ∈ [1, p_max]` with `β_p ≤ δ(μ)`, pick the one of minimum area
+/// (ties broken toward smaller `p`). Correct for *any* model, monotone
+/// or not; used to cross-check [`allocate`] in tests and to drive
+/// arbitrary models.
+///
+/// # Panics
+///
+/// Same contract as [`allocate`].
+#[must_use]
+pub fn allocate_linear_reference(model: &SpeedupModel, p_total: u32, mu: f64) -> Allocation {
+    assert!(mu > 0.0 && mu <= moldable_model::MU_MAX + 1e-12);
+    assert!(p_total >= 1);
+    let p_max = model.p_max(p_total);
+    let threshold = delta(mu) * model.time(p_max) * (1.0 + BETA_RTOL);
+    let mut best: Option<(f64, u32)> = None;
+    for p in 1..=p_max {
+        if model.time(p) <= threshold {
+            let area = model.area(p);
+            if best.is_none_or(|(a, _)| area < a) {
+                best = Some((area, p));
+            }
+        }
+    }
+    let (_, initial) = best.expect("p = p_max always satisfies the constraint");
+    Allocation {
+        initial,
+        capped: initial.min(mu_cap(p_total, mu)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moldable_model::{ModelClass, MU_MAX};
+
+    #[test]
+    fn mu_cap_rounds_up() {
+        assert_eq!(mu_cap(10, 0.31), 4); // ceil(3.1)
+        assert_eq!(mu_cap(10, 0.30), 3);
+        assert_eq!(mu_cap(1, 0.2), 1); // never below 1
+        assert_eq!(mu_cap(100, MU_MAX), 39); // ceil(38.1966)
+    }
+
+    #[test]
+    fn roofline_takes_pbar_then_caps() {
+        // Roofline: t_min at pbar, and beta < delta already at smaller p?
+        // t(p) = w/p, t_min = w/pbar; beta_p = pbar/p. With mu = MU_MAX,
+        // delta = 1: only p = pbar is feasible.
+        let m = SpeedupModel::roofline(100.0, 50).unwrap();
+        let a = allocate(&m, 100, MU_MAX);
+        assert_eq!(a.initial, 50);
+        assert_eq!(a.capped, 39); // ceil(0.382*100) = 39
+                                  // Small task unaffected by the cap.
+        let m = SpeedupModel::roofline(100.0, 10).unwrap();
+        let a = allocate(&m, 100, MU_MAX);
+        assert_eq!(a.initial, 10);
+        assert_eq!(a.capped, 10);
+    }
+
+    #[test]
+    fn smaller_mu_relaxes_constraint() {
+        // Amdahl: beta_p = t(p)/t_min decreases with p. With a looser
+        // delta (smaller mu), a smaller initial allocation is feasible.
+        let m = SpeedupModel::amdahl(100.0, 1.0).unwrap();
+        let tight = allocate(&m, 64, MU_MAX); // delta = 1
+        let loose = allocate(&m, 64, 0.2); // delta = 3.75
+        assert_eq!(tight.initial, 64, "delta = 1 forces p_max");
+        assert!(loose.initial < tight.initial);
+    }
+
+    #[test]
+    fn initial_allocation_satisfies_constraint_and_is_minimal() {
+        let models = [
+            SpeedupModel::roofline(123.0, 77).unwrap(),
+            SpeedupModel::communication(345.0, 0.9).unwrap(),
+            SpeedupModel::amdahl(512.0, 3.0).unwrap(),
+            SpeedupModel::general(800.0, 60, 2.0, 0.4).unwrap(),
+        ];
+        for m in &models {
+            for mu in [0.15, 0.211, 0.271, 0.324, MU_MAX] {
+                let p_total = 128;
+                let a = allocate(m, p_total, mu);
+                let tmin = m.t_min(p_total);
+                let d = delta(mu);
+                assert!(
+                    m.time(a.initial) <= d * tmin * (1.0 + 1e-9),
+                    "constraint violated for {m:?} at mu={mu}"
+                );
+                if a.initial > 1 {
+                    assert!(
+                        m.time(a.initial - 1) > d * tmin,
+                        "not minimal for {m:?} at mu={mu}: p-1 also feasible"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binary_search_matches_linear_reference() {
+        for mu in [0.211, 0.271, 0.324, MU_MAX] {
+            for p_total in [1u32, 2, 3, 7, 32, 100] {
+                let models = [
+                    SpeedupModel::roofline(40.0, 12).unwrap(),
+                    SpeedupModel::communication(90.0, 1.3).unwrap(),
+                    SpeedupModel::amdahl(64.0, 2.0).unwrap(),
+                    SpeedupModel::general(150.0, 20, 1.0, 0.7).unwrap(),
+                ];
+                for m in &models {
+                    assert_eq!(
+                        allocate(m, p_total, mu),
+                        allocate_linear_reference(m, p_total, mu),
+                        "mismatch for {m:?}, P={p_total}, mu={mu}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arbitrary_model_uses_area_minimizing_scan() {
+        // Non-monotone area: feasible set {2, 3, 4}, areas 4, 9, 4.8.
+        // t: [10, 2, 3, 1.2], t_min = 1.2 at p=4. With mu=0.211,
+        // delta ≈ 3.47: threshold ≈ 4.17 → p in {2, 4} feasible
+        // (t=2, 1.2); p=3 (t=3) also feasible. Areas: 4, 9, 4.8 → p=2.
+        let m = SpeedupModel::table(vec![10.0, 2.0, 3.0, 1.2]).unwrap();
+        let a = allocate(&m, 8, 0.211);
+        assert_eq!(a.initial, 2);
+    }
+
+    #[test]
+    fn single_processor_platform() {
+        let m = SpeedupModel::amdahl(10.0, 1.0).unwrap();
+        let a = allocate(&m, 1, 0.3);
+        assert_eq!(
+            a,
+            Allocation {
+                initial: 1,
+                capped: 1
+            }
+        );
+    }
+
+    #[test]
+    fn optimal_mu_values_are_admissible_for_allocate() {
+        let m = SpeedupModel::general(100.0, 32, 1.0, 0.1).unwrap();
+        for class in ModelClass::bounded_classes() {
+            let _ = allocate(&m, 64, class.optimal_mu());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mu must lie in (0, (3-sqrt(5))/2]")]
+    fn rejects_mu_above_bound() {
+        let m = SpeedupModel::amdahl(1.0, 0.0).unwrap();
+        let _ = allocate(&m, 4, 0.5);
+    }
+
+    #[test]
+    fn cap_applies_only_above_threshold() {
+        // Communication task with p_hat far above the cap.
+        let m = SpeedupModel::communication(1e6, 0.01).unwrap(); // s = 10^4
+        let p_total = 100;
+        let a = allocate(&m, p_total, 0.324);
+        let cap = mu_cap(p_total, 0.324); // 33
+        assert!(a.initial > cap);
+        assert_eq!(a.capped, cap);
+    }
+}

@@ -1,0 +1,239 @@
+//! Algorithm 1: the online list-scheduling algorithm.
+
+use std::collections::HashMap;
+
+use moldable_graph::TaskId;
+use moldable_model::{ModelClass, SpeedupModel};
+use moldable_sim::Scheduler;
+
+use crate::{allocate, Allocation, QueuePolicy};
+
+/// The paper's online scheduler (Algorithm 1).
+///
+/// Maintains a waiting queue of available tasks. When a task becomes
+/// available it is allocated processors by Algorithm 2 (see
+/// [`crate::allocator`]) and enqueued; at every decision point (time 0
+/// and each task completion) the queue is scanned and every task whose
+/// allocation fits in the free processors is started immediately —
+/// classic list scheduling, which never idles `⌈μP⌉` processors while
+/// a task is waiting (the fact Lemma 4 rests on).
+///
+/// `μ` is chosen per model class (Theorems 1–4) by
+/// [`OnlineScheduler::for_class`], or set explicitly with
+/// [`OnlineScheduler::with_mu`] for sweeps.
+#[derive(Debug)]
+pub struct OnlineScheduler {
+    mu: f64,
+    policy: QueuePolicy,
+    p_total: u32,
+    queue: Vec<QueueItem>,
+    seq: u64,
+    /// Record of every allocation decision, for inspection by tests
+    /// and the lower-bound experiments.
+    decisions: HashMap<TaskId, Allocation>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct QueueItem {
+    task: TaskId,
+    alloc: u32,
+    key: (f64, u64),
+}
+
+impl OnlineScheduler {
+    /// Scheduler with the μ that is optimal for `class` (Theorems 1–4).
+    #[must_use]
+    pub fn for_class(class: ModelClass) -> Self {
+        Self::with_mu(class.optimal_mu())
+    }
+
+    /// Scheduler with an explicit `μ ∈ (0, (3−√5)/2]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mu` is outside the admissible range.
+    #[must_use]
+    pub fn with_mu(mu: f64) -> Self {
+        assert!(
+            mu > 0.0 && mu <= moldable_model::MU_MAX + 1e-12,
+            "mu must lie in (0, (3-sqrt(5))/2], got {mu}"
+        );
+        Self {
+            mu,
+            policy: QueuePolicy::Fifo,
+            p_total: 0,
+            queue: Vec::new(),
+            seq: 0,
+            decisions: HashMap::new(),
+        }
+    }
+
+    /// Replace the FIFO queue order by another [`QueuePolicy`]
+    /// (extension; the guarantee is unaffected).
+    #[must_use]
+    pub fn with_policy(mut self, policy: QueuePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The μ in use.
+    #[must_use]
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// The Algorithm 2 decision made for `task`, if it was released.
+    #[must_use]
+    pub fn decision(&self, task: TaskId) -> Option<Allocation> {
+        self.decisions.get(&task).copied()
+    }
+
+    /// Number of tasks currently waiting.
+    #[must_use]
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+impl Scheduler for OnlineScheduler {
+    fn init(&mut self, p_total: u32) {
+        self.p_total = p_total;
+    }
+
+    fn release(&mut self, task: TaskId, model: &SpeedupModel) {
+        debug_assert!(self.p_total >= 1, "init must run before release");
+        let allocation = allocate(model, self.p_total, self.mu);
+        self.decisions.insert(task, allocation);
+        let dur = model.time(allocation.capped);
+        let key = self.policy.key(dur, allocation.capped, self.seq);
+        self.seq += 1;
+        // Insert in key order so `select` is a single in-order scan.
+        let pos = self.queue.partition_point(|it| (it.key.0, it.key.1) <= key);
+        self.queue.insert(
+            pos,
+            QueueItem {
+                task,
+                alloc: allocation.capped,
+                key,
+            },
+        );
+    }
+
+    fn select(&mut self, _now: f64, free: u32) -> Vec<(TaskId, u32)> {
+        // List scheduling: scan *all* waiting tasks in queue order and
+        // start each one that fits (Algorithm 1, lines 7–11).
+        let mut free = free;
+        let mut started = Vec::new();
+        self.queue.retain(|item| {
+            if item.alloc <= free {
+                free -= item.alloc;
+                started.push((item.task, item.alloc));
+                false
+            } else {
+                true
+            }
+        });
+        started
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moldable_graph::{gen, TaskGraph};
+    use moldable_sim::{simulate, SimOptions};
+
+    #[test]
+    fn roofline_single_task_gets_capped() {
+        // Theorem 5's instance: one task, w = P, pbar = P.
+        let p = 100u32;
+        let mut g = TaskGraph::new();
+        let t = g.add_task(SpeedupModel::roofline(f64::from(p), p).unwrap());
+        let mut s = OnlineScheduler::for_class(ModelClass::Roofline);
+        let sched = simulate(&g, &mut s, &SimOptions::new(p)).unwrap();
+        let cap = crate::mu_cap(p, ModelClass::Roofline.optimal_mu());
+        assert_eq!(s.decision(t).unwrap().capped, cap);
+        assert_eq!(sched.placement(t).unwrap().procs, cap);
+        // Makespan = P / ceil(mu P) ≈ 1/mu ≈ 2.618 × T_opt (= 1).
+        assert!((sched.makespan - f64::from(p) / f64::from(cap)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn list_scheduling_fills_the_platform() {
+        // 8 independent 1-proc-wide tasks on P=8 all start at once.
+        let mut assign = |_: gen::TaskCtx<'_>| SpeedupModel::roofline(1.0, 1).unwrap();
+        let g = gen::independent(8, &mut assign);
+        let mut s = OnlineScheduler::with_mu(0.3);
+        let sched = simulate(&g, &mut s, &SimOptions::new(8)).unwrap();
+        assert_eq!(sched.makespan, 1.0);
+        assert!(sched.placements.iter().all(|p| p.start == 0.0));
+    }
+
+    #[test]
+    fn queue_is_drained_in_fifo_order() {
+        // Two wide tasks + one narrow on P = 3; each wide takes 2
+        // processors, so FIFO starts wide1 + narrow and wide2 waits —
+        // list scheduling skips past the blocked wide2 to reach narrow.
+        let mut g = TaskGraph::new();
+        let wide1 = g.add_task(SpeedupModel::roofline(10.0, 2).unwrap());
+        let wide2 = g.add_task(SpeedupModel::roofline(10.0, 2).unwrap());
+        let narrow = g.add_task(SpeedupModel::roofline(1.0, 1).unwrap());
+        let mut s = OnlineScheduler::with_mu(moldable_model::MU_MAX);
+        let sched = simulate(&g, &mut s, &SimOptions::new(3)).unwrap();
+        sched.validate(&g).unwrap();
+        assert_eq!(sched.placement(wide1).unwrap().start, 0.0);
+        assert_eq!(sched.placement(narrow).unwrap().start, 0.0);
+        assert!(sched.placement(wide2).unwrap().start > 0.0);
+    }
+
+    #[test]
+    fn decisions_are_recorded_per_task() {
+        let mut assign = |_: gen::TaskCtx<'_>| SpeedupModel::amdahl(64.0, 1.0).unwrap();
+        let g = gen::chain(3, &mut assign);
+        let mut s = OnlineScheduler::for_class(ModelClass::Amdahl);
+        let _ = simulate(&g, &mut s, &SimOptions::new(16)).unwrap();
+        for t in g.task_ids() {
+            let d = s.decision(t).expect("every task was released");
+            assert!(d.capped <= d.initial);
+            assert!(d.capped >= 1);
+        }
+    }
+
+    #[test]
+    fn policy_changes_start_order() {
+        // One long and one short independent task, P = 1 proc: the
+        // policy decides which runs first.
+        let mut g = TaskGraph::new();
+        let long = g.add_task(SpeedupModel::roofline(9.0, 1).unwrap());
+        let short = g.add_task(SpeedupModel::roofline(1.0, 1).unwrap());
+        let run = |policy| {
+            let mut s = OnlineScheduler::with_mu(0.3).with_policy(policy);
+            simulate(&g, &mut s, &SimOptions::new(1)).unwrap()
+        };
+        let lpt = run(QueuePolicy::LongestFirst);
+        assert_eq!(lpt.placement(long).unwrap().start, 0.0);
+        assert_eq!(lpt.placement(short).unwrap().start, 9.0);
+        let spt = run(QueuePolicy::ShortestFirst);
+        assert_eq!(spt.placement(short).unwrap().start, 0.0);
+        assert_eq!(spt.placement(long).unwrap().start, 1.0);
+    }
+
+    #[test]
+    fn roofline_allocation_is_non_clairvoyant_in_w() {
+        // Feldmann et al.'s setting (paper §4.3.1): for roofline tasks
+        // the algorithm works even when w is unknown, because the
+        // Algorithm 2 decision depends only on pbar (and P, mu) — two
+        // tasks differing solely in w get identical allocations.
+        let p_total = 50;
+        let mu = ModelClass::Roofline.optimal_mu();
+        let small = crate::allocate(&SpeedupModel::roofline(1.0, 12).unwrap(), p_total, mu);
+        let large = crate::allocate(&SpeedupModel::roofline(1e9, 12).unwrap(), p_total, mu);
+        assert_eq!(small, large, "roofline allocation must not depend on w");
+    }
+
+    #[test]
+    #[should_panic(expected = "mu must lie in")]
+    fn rejects_bad_mu() {
+        let _ = OnlineScheduler::with_mu(0.45);
+    }
+}

@@ -1,0 +1,168 @@
+//! Lower bounds on the optimal makespan (Section 3.2, Lemma 2).
+//!
+//! `T_opt ≥ max(A_min / P, C_min)` where `A_min` is the total minimum
+//! area (Definition 1) and `C_min` the minimum critical-path length
+//! (Definition 2). Every empirical competitive ratio in this repository
+//! is measured against this bound, which can only *overestimate* the
+//! true ratio — exactly how the paper's analysis frames it.
+
+use crate::{TaskGraph, TaskId};
+
+/// The Lemma 2 lower-bound data for a graph on a `P`-processor platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphBounds {
+    /// Platform size the bounds were computed for.
+    pub p_total: u32,
+    /// `A_min`: sum over tasks of `a_min = a(1)` (Definition 1).
+    pub a_min_total: f64,
+    /// `C_min`: longest path weighting each task by `t_min` (Definition 2).
+    pub c_min: f64,
+    /// One path achieving `C_min` (task ids from a source to a sink).
+    pub critical_path: Vec<TaskId>,
+}
+
+impl GraphBounds {
+    /// `max(A_min / P, C_min)` — Lemma 2's lower bound on `T_opt`.
+    #[must_use]
+    pub fn lower_bound(&self) -> f64 {
+        (self.a_min_total / f64::from(self.p_total)).max(self.c_min)
+    }
+
+    /// The area bound alone, `A_min / P`.
+    #[must_use]
+    pub fn area_bound(&self) -> f64 {
+        self.a_min_total / f64::from(self.p_total)
+    }
+}
+
+impl TaskGraph {
+    /// Compute the Lemma 2 bounds for this graph on `P` processors.
+    ///
+    /// O(n + m) after a topological sort: a single DP pass computes the
+    /// longest `t_min`-weighted path and the running `a_min` sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_total == 0`.
+    #[must_use]
+    pub fn bounds(&self, p_total: u32) -> GraphBounds {
+        assert!(p_total >= 1);
+        let n = self.n_tasks();
+        let mut a_min_total = 0.0;
+        // dist[t] = length of the longest t_min-weighted path ending at t.
+        let mut dist = vec![0.0f64; n];
+        // back-pointer for critical-path reconstruction
+        let mut back: Vec<Option<TaskId>> = vec![None; n];
+        let mut best_end: Option<TaskId> = None;
+        let mut best_len = f64::NEG_INFINITY;
+        for t in self.topo_order() {
+            let tmin = self.model(t).t_min(p_total);
+            a_min_total += self.model(t).a_min();
+            let mut longest_pred = 0.0;
+            let mut bp = None;
+            for &p in self.preds(t) {
+                if dist[p.index()] > longest_pred {
+                    longest_pred = dist[p.index()];
+                    bp = Some(p);
+                }
+            }
+            dist[t.index()] = longest_pred + tmin;
+            back[t.index()] = bp;
+            if dist[t.index()] > best_len {
+                best_len = dist[t.index()];
+                best_end = Some(t);
+            }
+        }
+        let mut critical_path = Vec::new();
+        let mut cur = best_end;
+        while let Some(t) = cur {
+            critical_path.push(t);
+            cur = back[t.index()];
+        }
+        critical_path.reverse();
+        GraphBounds {
+            p_total,
+            a_min_total,
+            c_min: if n == 0 { 0.0 } else { best_len },
+            critical_path,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moldable_model::SpeedupModel;
+
+    #[test]
+    fn single_task_bounds() {
+        let mut g = TaskGraph::new();
+        // Amdahl w=10, d=2: a_min = 12, t_min(4) = 10/4 + 2 = 4.5
+        let t = g.add_task(SpeedupModel::amdahl(10.0, 2.0).unwrap());
+        let b = g.bounds(4);
+        assert_eq!(b.a_min_total, 12.0);
+        assert_eq!(b.c_min, 4.5);
+        assert_eq!(b.critical_path, vec![t]);
+        // area bound = 3 < path bound
+        assert_eq!(b.lower_bound(), 4.5);
+    }
+
+    #[test]
+    fn chain_sums_t_min_independents_sum_area() {
+        let mut g = TaskGraph::new();
+        let ids: Vec<_> = (0..4)
+            .map(|_| g.add_task(SpeedupModel::roofline(8.0, 8).unwrap()))
+            .collect();
+        // independent: C_min = t_min = 1 (P=8), A_min = 32, area bound = 4.
+        let b = g.bounds(8);
+        assert_eq!(b.c_min, 1.0);
+        assert_eq!(b.area_bound(), 4.0);
+        assert_eq!(b.lower_bound(), 4.0);
+        // now chain them: C_min = 4, area bound unchanged.
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1]).unwrap();
+        }
+        let b = g.bounds(8);
+        assert_eq!(b.c_min, 4.0);
+        assert_eq!(b.critical_path, ids);
+        assert_eq!(b.lower_bound(), 4.0);
+    }
+
+    #[test]
+    fn critical_path_picks_heavier_branch() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(SpeedupModel::amdahl(0.0, 1.0).unwrap()); // t_min = 1
+        let light = g.add_task(SpeedupModel::amdahl(0.0, 1.0).unwrap());
+        let heavy = g.add_task(SpeedupModel::amdahl(0.0, 5.0).unwrap());
+        let d = g.add_task(SpeedupModel::amdahl(0.0, 1.0).unwrap());
+        g.add_edge(a, light).unwrap();
+        g.add_edge(a, heavy).unwrap();
+        g.add_edge(light, d).unwrap();
+        g.add_edge(heavy, d).unwrap();
+        let b = g.bounds(2);
+        assert_eq!(b.c_min, 7.0);
+        assert_eq!(b.critical_path, vec![a, heavy, d]);
+    }
+
+    #[test]
+    fn bounds_scale_with_platform() {
+        let mut g = TaskGraph::new();
+        g.add_task(SpeedupModel::amdahl(100.0, 1.0).unwrap());
+        let b1 = g.bounds(1);
+        let b16 = g.bounds(16);
+        assert!(b16.c_min < b1.c_min, "more processors shrink C_min");
+        assert_eq!(
+            b1.a_min_total, b16.a_min_total,
+            "A_min is platform-independent"
+        );
+        assert!(b16.area_bound() < b1.area_bound());
+    }
+
+    #[test]
+    fn empty_graph_bounds_are_zero() {
+        let g = TaskGraph::new();
+        let b = g.bounds(4);
+        assert_eq!(b.lower_bound(), 0.0);
+        assert!(b.critical_path.is_empty());
+    }
+}

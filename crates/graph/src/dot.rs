@@ -1,0 +1,58 @@
+//! Graphviz DOT export, used to regenerate the paper's Figure 1 and
+//! Figure 3 graph drawings.
+
+use std::fmt::Write as _;
+
+use crate::TaskGraph;
+
+impl TaskGraph {
+    /// Render the graph in Graphviz DOT format.
+    ///
+    /// `label` receives each task id's index and returns the node
+    /// label; pass `|i| format!("t{i}")` for plain ids.
+    #[must_use]
+    pub fn to_dot(&self, name: &str, mut label: impl FnMut(usize) -> String) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{name}\" {{");
+        let _ = writeln!(out, "  rankdir=LR;");
+        let _ = writeln!(out, "  node [shape=circle, fontsize=10];");
+        for t in self.task_ids() {
+            let _ = writeln!(out, "  n{} [label=\"{}\"];", t.0, label(t.index()));
+        }
+        for t in self.task_ids() {
+            for s in self.succs(t) {
+                let _ = writeln!(out, "  n{} -> n{};", t.0, s.0);
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moldable_model::SpeedupModel;
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(SpeedupModel::amdahl(1.0, 0.0).unwrap());
+        let b = g.add_task(SpeedupModel::amdahl(1.0, 0.0).unwrap());
+        g.add_edge(a, b).unwrap();
+        let dot = g.to_dot("test", |i| format!("T{i}"));
+        assert!(dot.starts_with("digraph \"test\""));
+        assert!(dot.contains("n0 [label=\"T0\"]"));
+        assert!(dot.contains("n1 [label=\"T1\"]"));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_of_empty_graph_is_valid() {
+        let g = TaskGraph::new();
+        let dot = g.to_dot("empty", |i| i.to_string());
+        assert!(dot.contains("digraph"));
+        assert!(!dot.contains("->"));
+    }
+}

@@ -1,0 +1,225 @@
+//! The `.mtg` (moldable task graph) text format.
+//!
+//! A minimal line-oriented format so workflows can be stored in files
+//! and fed to the CLI:
+//!
+//! ```text
+//! # tiled solve, exported 2026-07-04
+//! p 64                         # optional platform-size hint
+//! task 0 amdahl(w=10, d=1)     # ids must be dense, in order
+//! task 1 roofline(w=5, pbar=4)
+//! edge 0 1                     # 0 -> 1
+//! ```
+//!
+//! `#` starts a comment (whole-line or trailing); blank lines are
+//! ignored. Model specs use the [`moldable_model`] textual syntax.
+
+use std::fmt;
+
+use moldable_model::{ParseError, SpeedupModel};
+
+use crate::{GraphError, TaskGraph, TaskId};
+
+/// Why a workflow file failed to load. Every variant carries the
+/// 1-based line number.
+#[derive(Debug)]
+pub enum WorkflowError {
+    /// Line is not `p`, `task`, or `edge`.
+    UnknownDirective(usize, String),
+    /// `task` lines must declare ids `0, 1, 2, …` in order.
+    NonDenseTaskId(usize, String),
+    /// The model spec on a `task` line failed to parse.
+    BadModel(usize, ParseError),
+    /// An `edge` line is malformed or references unknown tasks.
+    BadEdge(usize, String),
+    /// The edge was rejected by the graph (cycle, duplicate…).
+    Graph(usize, GraphError),
+    /// The `p` directive is malformed.
+    BadPlatform(usize, String),
+}
+
+impl fmt::Display for WorkflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownDirective(l, s) => write!(f, "line {l}: unknown directive `{s}`"),
+            Self::NonDenseTaskId(l, s) => {
+                write!(
+                    f,
+                    "line {l}: task ids must be dense and in order, got `{s}`"
+                )
+            }
+            Self::BadModel(l, e) => write!(f, "line {l}: {e}"),
+            Self::BadEdge(l, s) => write!(f, "line {l}: bad edge `{s}`"),
+            Self::Graph(l, e) => write!(f, "line {l}: {e}"),
+            Self::BadPlatform(l, s) => write!(f, "line {l}: bad platform size `{s}`"),
+        }
+    }
+}
+
+impl std::error::Error for WorkflowError {}
+
+/// Parse the `.mtg` format. Returns the graph and the optional
+/// platform-size hint from a `p` directive.
+///
+/// # Errors
+///
+/// Returns the first [`WorkflowError`] encountered, with its line.
+pub fn parse_workflow(text: &str) -> Result<(TaskGraph, Option<u32>), WorkflowError> {
+    let mut graph = TaskGraph::new();
+    let mut p_hint = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (directive, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+        let rest = rest.trim();
+        match directive.to_ascii_lowercase().as_str() {
+            "p" => {
+                p_hint = Some(
+                    rest.parse::<u32>()
+                        .ok()
+                        .filter(|&p| p >= 1)
+                        .ok_or_else(|| WorkflowError::BadPlatform(lineno, rest.to_string()))?,
+                );
+            }
+            "task" => {
+                let (id_str, spec) = rest
+                    .split_once(char::is_whitespace)
+                    .ok_or_else(|| WorkflowError::NonDenseTaskId(lineno, rest.to_string()))?;
+                let id: u32 = id_str
+                    .parse()
+                    .map_err(|_| WorkflowError::NonDenseTaskId(lineno, id_str.to_string()))?;
+                if id as usize != graph.n_tasks() {
+                    return Err(WorkflowError::NonDenseTaskId(lineno, id_str.to_string()));
+                }
+                let model: SpeedupModel = spec
+                    .trim()
+                    .parse()
+                    .map_err(|e| WorkflowError::BadModel(lineno, e))?;
+                let _ = graph.add_task(model);
+            }
+            "edge" => {
+                let mut it = rest.split_whitespace();
+                let (Some(a), Some(b), None) = (it.next(), it.next(), it.next()) else {
+                    return Err(WorkflowError::BadEdge(lineno, rest.to_string()));
+                };
+                let a: u32 = a
+                    .parse()
+                    .map_err(|_| WorkflowError::BadEdge(lineno, rest.to_string()))?;
+                let b: u32 = b
+                    .parse()
+                    .map_err(|_| WorkflowError::BadEdge(lineno, rest.to_string()))?;
+                graph
+                    .add_edge(TaskId(a), TaskId(b))
+                    .map_err(|e| WorkflowError::Graph(lineno, e))?;
+            }
+            other => return Err(WorkflowError::UnknownDirective(lineno, other.to_string())),
+        }
+    }
+    Ok((graph, p_hint))
+}
+
+impl TaskGraph {
+    /// Render the graph in the `.mtg` format (re-parseable, except for
+    /// closure-based models which have no textual form).
+    #[must_use]
+    pub fn to_workflow(&self, p_hint: Option<u32>) -> String {
+        let mut out = String::new();
+        if let Some(p) = p_hint {
+            out.push_str(&format!("p {p}\n"));
+        }
+        for t in self.task_ids() {
+            out.push_str(&format!("task {} {}\n", t.0, self.model(t).to_spec()));
+        }
+        for t in self.task_ids() {
+            for s in self.succs(t) {
+                out.push_str(&format!("edge {} {}\n", t.0, s.0));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r"
+# a small workflow
+p 16
+task 0 amdahl(w=10, d=1)
+task 1 roofline(w=5, pbar=4)  # trailing comment
+task 2 comm(w=8, c=0.25)
+edge 0 1
+edge 0 2
+";
+
+    #[test]
+    fn parses_sample() {
+        let (g, p) = parse_workflow(SAMPLE).unwrap();
+        assert_eq!(p, Some(16));
+        assert_eq!(g.n_tasks(), 3);
+        assert_eq!(g.n_edges(), 2);
+        assert_eq!(g.succs(TaskId(0)), &[TaskId(1), TaskId(2)]);
+        assert_eq!(g.model(TaskId(0)).time(1), 11.0);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let (g, _) = parse_workflow(SAMPLE).unwrap();
+        let text = g.to_workflow(Some(16));
+        let (g2, p2) = parse_workflow(&text).unwrap();
+        assert_eq!(p2, Some(16));
+        assert_eq!(g2.n_tasks(), g.n_tasks());
+        assert_eq!(g2.n_edges(), g.n_edges());
+        for t in g.task_ids() {
+            for q in 1..=16 {
+                assert_eq!(g.model(t).time(q), g2.model(t).time(q));
+            }
+            assert_eq!(g.succs(t), g2.succs(t));
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_workflow("task 0 amdahl(w=1)\nfoo bar\n").unwrap_err();
+        assert!(
+            matches!(err, WorkflowError::UnknownDirective(2, _)),
+            "{err}"
+        );
+
+        let err = parse_workflow("task 1 amdahl(w=1)\n").unwrap_err();
+        assert!(matches!(err, WorkflowError::NonDenseTaskId(1, _)));
+
+        let err = parse_workflow("task 0 amdahl(w=)\n").unwrap_err();
+        assert!(matches!(err, WorkflowError::BadModel(1, _)));
+
+        let err = parse_workflow("task 0 amdahl(w=1)\nedge 0\n").unwrap_err();
+        assert!(matches!(err, WorkflowError::BadEdge(2, _)));
+
+        let err = parse_workflow("task 0 amdahl(w=1)\nedge 0 7\n").unwrap_err();
+        assert!(
+            matches!(err, WorkflowError::Graph(2, GraphError::UnknownTask(_))),
+            "{err}"
+        );
+
+        let err = parse_workflow("task 0 amdahl(w=1)\ntask 1 amdahl(w=1)\nedge 0 1\nedge 1 0\n")
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            WorkflowError::Graph(4, GraphError::WouldCycle(..))
+        ));
+
+        let err = parse_workflow("p zero\n").unwrap_err();
+        assert!(matches!(err, WorkflowError::BadPlatform(1, _)));
+    }
+
+    #[test]
+    fn empty_and_comment_only_files_are_empty_graphs() {
+        let (g, p) = parse_workflow("# nothing here\n\n").unwrap();
+        assert_eq!(g.n_tasks(), 0);
+        assert_eq!(p, None);
+    }
+}

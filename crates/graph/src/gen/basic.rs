@@ -1,0 +1,245 @@
+//! Elementary graph shapes: chains, independent sets, fork-join, trees.
+
+use crate::{TaskGraph, TaskId};
+use moldable_model::SpeedupModel;
+
+use super::TaskCtx;
+
+/// A linear chain of `n` tasks: `t0 → t1 → … → t(n−1)`.
+pub fn chain(n: usize, assign: &mut dyn FnMut(TaskCtx<'_>) -> SpeedupModel) -> TaskGraph {
+    let mut g = TaskGraph::with_capacity(n);
+    let mut prev: Option<TaskId> = None;
+    for index in 0..n {
+        let t = g.add_task(assign(TaskCtx {
+            index,
+            kind: "chain",
+            weight: 1.0,
+        }));
+        if let Some(p) = prev {
+            g.add_edge(p, t).expect("chain edges are acyclic");
+        }
+        prev = Some(t);
+    }
+    g
+}
+
+/// `n` independent tasks (no edges) — the online-independent-tasks
+/// special case from the related-work table.
+pub fn independent(n: usize, assign: &mut dyn FnMut(TaskCtx<'_>) -> SpeedupModel) -> TaskGraph {
+    let mut g = TaskGraph::with_capacity(n);
+    for index in 0..n {
+        g.add_task(assign(TaskCtx {
+            index,
+            kind: "independent",
+            weight: 1.0,
+        }));
+    }
+    g
+}
+
+/// `stages` fork-join blocks in series; each block is a source task
+/// fanning out to `width` parallel tasks that join into a sink.
+/// Total tasks: `stages * (width + 2)`.
+pub fn fork_join(
+    width: usize,
+    stages: usize,
+    assign: &mut dyn FnMut(TaskCtx<'_>) -> SpeedupModel,
+) -> TaskGraph {
+    assert!(width >= 1 && stages >= 1);
+    let mut g = TaskGraph::with_capacity(stages * (width + 2));
+    let mut index = 0;
+    let mut prev_join: Option<TaskId> = None;
+    for _ in 0..stages {
+        let fork = g.add_task(assign(TaskCtx {
+            index,
+            kind: "fork",
+            weight: 0.5,
+        }));
+        index += 1;
+        if let Some(j) = prev_join {
+            g.add_edge(j, fork).expect("stage edges are acyclic");
+        }
+        let mut mids = Vec::with_capacity(width);
+        for _ in 0..width {
+            let m = g.add_task(assign(TaskCtx {
+                index,
+                kind: "work",
+                weight: 1.0,
+            }));
+            index += 1;
+            g.add_edge(fork, m).expect("fork edges are acyclic");
+            mids.push(m);
+        }
+        let join = g.add_task(assign(TaskCtx {
+            index,
+            kind: "join",
+            weight: 0.5,
+        }));
+        index += 1;
+        for m in mids {
+            g.add_edge(m, join).expect("join edges are acyclic");
+        }
+        prev_join = Some(join);
+    }
+    g
+}
+
+/// A reduction (in-)tree: `arity^depth` leaves reduced level by level
+/// into a single root; every internal node depends on its `arity`
+/// children. `depth = 0` is a single task.
+pub fn in_tree(
+    depth: u32,
+    arity: usize,
+    assign: &mut dyn FnMut(TaskCtx<'_>) -> SpeedupModel,
+) -> TaskGraph {
+    assert!(arity >= 2, "a reduction tree needs arity >= 2");
+    let mut g = TaskGraph::new();
+    let mut index = 0;
+    // current level, from leaves upward
+    let mut level: Vec<TaskId> = (0..arity.pow(depth))
+        .map(|_| {
+            let t = g.add_task(assign(TaskCtx {
+                index,
+                kind: "leaf",
+                weight: 1.0,
+            }));
+            index += 1;
+            t
+        })
+        .collect();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len() / arity);
+        for group in level.chunks(arity) {
+            let parent = g.add_task(assign(TaskCtx {
+                index,
+                kind: "reduce",
+                weight: 1.0,
+            }));
+            index += 1;
+            for &child in group {
+                g.add_edge(child, parent).expect("tree edges are acyclic");
+            }
+            next.push(parent);
+        }
+        level = next;
+    }
+    g
+}
+
+/// A broadcast (out-)tree: one root expanding level by level into
+/// `arity^depth` leaves — the mirror image of [`in_tree`].
+pub fn out_tree(
+    depth: u32,
+    arity: usize,
+    assign: &mut dyn FnMut(TaskCtx<'_>) -> SpeedupModel,
+) -> TaskGraph {
+    assert!(arity >= 2, "a broadcast tree needs arity >= 2");
+    let mut g = TaskGraph::new();
+    let mut index = 0;
+    let root = g.add_task(assign(TaskCtx {
+        index,
+        kind: "root",
+        weight: 1.0,
+    }));
+    index += 1;
+    let mut level = vec![root];
+    for _ in 0..depth {
+        let mut next = Vec::with_capacity(level.len() * arity);
+        for &parent in &level {
+            for _ in 0..arity {
+                let child = g.add_task(assign(TaskCtx {
+                    index,
+                    kind: "expand",
+                    weight: 1.0,
+                }));
+                index += 1;
+                g.add_edge(parent, child).expect("tree edges are acyclic");
+                next.push(child);
+            }
+        }
+        level = next;
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_assign() -> impl FnMut(TaskCtx<'_>) -> SpeedupModel {
+        |_| SpeedupModel::amdahl(1.0, 0.0).unwrap()
+    }
+
+    #[test]
+    fn chain_shape() {
+        let g = chain(5, &mut unit_assign());
+        assert_eq!(g.n_tasks(), 5);
+        assert_eq!(g.n_edges(), 4);
+        assert_eq!(g.depth(), 5);
+        assert_eq!(g.sources().len(), 1);
+        assert_eq!(g.sinks().len(), 1);
+    }
+
+    #[test]
+    fn chain_of_zero_and_one() {
+        assert_eq!(chain(0, &mut unit_assign()).n_tasks(), 0);
+        let g = chain(1, &mut unit_assign());
+        assert_eq!(g.n_tasks(), 1);
+        assert_eq!(g.n_edges(), 0);
+    }
+
+    #[test]
+    fn independent_shape() {
+        let g = independent(7, &mut unit_assign());
+        assert_eq!(g.n_tasks(), 7);
+        assert_eq!(g.n_edges(), 0);
+        assert_eq!(g.depth(), 1);
+        assert_eq!(g.sources().len(), 7);
+    }
+
+    #[test]
+    fn fork_join_shape() {
+        let g = fork_join(4, 3, &mut unit_assign());
+        assert_eq!(g.n_tasks(), 3 * 6);
+        // per stage: 4 fork edges + 4 join edges; 2 inter-stage edges
+        assert_eq!(g.n_edges(), 3 * 8 + 2);
+        assert_eq!(g.depth(), 9); // fork, work, join per stage
+        assert_eq!(g.sources().len(), 1);
+        assert_eq!(g.sinks().len(), 1);
+    }
+
+    #[test]
+    fn in_tree_shape() {
+        let g = in_tree(3, 2, &mut unit_assign());
+        assert_eq!(g.n_tasks(), 8 + 4 + 2 + 1);
+        assert_eq!(g.depth(), 4);
+        assert_eq!(g.sources().len(), 8);
+        assert_eq!(g.sinks().len(), 1);
+    }
+
+    #[test]
+    fn out_tree_mirrors_in_tree() {
+        let g = out_tree(3, 2, &mut unit_assign());
+        assert_eq!(g.n_tasks(), 15);
+        assert_eq!(g.sources().len(), 1);
+        assert_eq!(g.sinks().len(), 8);
+        assert_eq!(g.depth(), 4);
+    }
+
+    #[test]
+    fn in_tree_depth_zero_is_single_task() {
+        let g = in_tree(0, 2, &mut unit_assign());
+        assert_eq!(g.n_tasks(), 1);
+    }
+
+    #[test]
+    fn assigner_receives_kinds() {
+        let mut kinds = Vec::new();
+        let mut assign = |ctx: TaskCtx<'_>| {
+            kinds.push(ctx.kind.to_string());
+            SpeedupModel::amdahl(1.0, 0.0).unwrap()
+        };
+        let _ = fork_join(2, 1, &mut assign);
+        assert_eq!(kinds, vec!["fork", "work", "work", "join"]);
+    }
+}

@@ -1,0 +1,275 @@
+//! Task graphs of classic dense linear-algebra and HPC kernels.
+//!
+//! Dependencies are derived with the standard *last-writer* dataflow
+//! rule: a task depends on the last writer of every block it reads or
+//! writes. Suggested weights follow the per-block flop counts
+//! (GEMM ≈ 2b³, TRSM/SYRK ≈ b³, POTRF/GETRF ≈ b³/3), which is what
+//! makes these graphs "realistic workflows" in the sense of the
+//! paper's conclusion.
+
+use std::collections::HashMap;
+
+use moldable_model::SpeedupModel;
+
+use crate::{TaskGraph, TaskId};
+
+use super::TaskCtx;
+
+/// Last-writer table for block (i, j) coordinates.
+struct Dataflow {
+    last_writer: HashMap<(u32, u32), TaskId>,
+}
+
+impl Dataflow {
+    fn new() -> Self {
+        Self {
+            last_writer: HashMap::new(),
+        }
+    }
+
+    /// Add `task`, which reads `reads` and writes `write`, to `g` with
+    /// the induced dependencies.
+    fn add(&mut self, g: &mut TaskGraph, task: TaskId, reads: &[(u32, u32)], write: (u32, u32)) {
+        let mut deps: Vec<TaskId> = Vec::with_capacity(reads.len() + 1);
+        for block in reads.iter().chain(std::iter::once(&write)) {
+            if let Some(&w) = self.last_writer.get(block) {
+                if w != task && !deps.contains(&w) {
+                    deps.push(w);
+                }
+            }
+        }
+        for d in deps {
+            // Duplicate edges can only arise through `deps` dedup above;
+            // last-writer edges always point forward in creation order.
+            g.add_edge(d, task).expect("dataflow edges are acyclic");
+        }
+        self.last_writer.insert(write, task);
+    }
+}
+
+/// Tiled Cholesky factorization (`potrf`/`trsm`/`syrk`/`gemm`) on an
+/// `nb × nb` grid of blocks — the canonical moldable-task workflow from
+/// numerical linear algebra. Tasks: `nb(nb+1)(nb+2)/6 + O(nb²)`.
+pub fn cholesky(nb: u32, assign: &mut dyn FnMut(TaskCtx<'_>) -> SpeedupModel) -> TaskGraph {
+    assert!(nb >= 1);
+    let mut g = TaskGraph::new();
+    let mut flow = Dataflow::new();
+    let mut index = 0;
+    let mut task = |g: &mut TaskGraph, kind, weight| {
+        let t = g.add_task(assign(TaskCtx {
+            index,
+            kind,
+            weight,
+        }));
+        index += 1;
+        t
+    };
+    for k in 0..nb {
+        let t = task(&mut g, "potrf", 1.0 / 3.0);
+        flow.add(&mut g, t, &[], (k, k));
+        for i in (k + 1)..nb {
+            let t = task(&mut g, "trsm", 1.0);
+            flow.add(&mut g, t, &[(k, k)], (i, k));
+        }
+        for i in (k + 1)..nb {
+            for j in (k + 1)..=i {
+                if i == j {
+                    let t = task(&mut g, "syrk", 1.0);
+                    flow.add(&mut g, t, &[(i, k)], (i, i));
+                } else {
+                    let t = task(&mut g, "gemm", 2.0);
+                    flow.add(&mut g, t, &[(i, k), (j, k)], (i, j));
+                }
+            }
+        }
+    }
+    g
+}
+
+/// Tiled LU factorization without pivoting (`getrf`/`trsm`/`gemm`) on an
+/// `nb × nb` grid of blocks.
+pub fn lu(nb: u32, assign: &mut dyn FnMut(TaskCtx<'_>) -> SpeedupModel) -> TaskGraph {
+    assert!(nb >= 1);
+    let mut g = TaskGraph::new();
+    let mut flow = Dataflow::new();
+    let mut index = 0;
+    let mut task = |g: &mut TaskGraph, kind, weight| {
+        let t = g.add_task(assign(TaskCtx {
+            index,
+            kind,
+            weight,
+        }));
+        index += 1;
+        t
+    };
+    for k in 0..nb {
+        let t = task(&mut g, "getrf", 1.0 / 3.0);
+        flow.add(&mut g, t, &[], (k, k));
+        for j in (k + 1)..nb {
+            let t = task(&mut g, "trsm", 1.0);
+            flow.add(&mut g, t, &[(k, k)], (k, j));
+        }
+        for i in (k + 1)..nb {
+            let t = task(&mut g, "trsm", 1.0);
+            flow.add(&mut g, t, &[(k, k)], (i, k));
+        }
+        for i in (k + 1)..nb {
+            for j in (k + 1)..nb {
+                let t = task(&mut g, "gemm", 2.0);
+                flow.add(&mut g, t, &[(i, k), (k, j)], (i, j));
+            }
+        }
+    }
+    g
+}
+
+/// The FFT butterfly task graph on `2^log_n` points: `log_n + 1` rows
+/// of `2^log_n` tasks; task `(s+1, i)` depends on `(s, i)` and
+/// `(s, i XOR 2^s)`.
+pub fn fft(log_n: u32, assign: &mut dyn FnMut(TaskCtx<'_>) -> SpeedupModel) -> TaskGraph {
+    let n = 1usize << log_n;
+    let mut g = TaskGraph::with_capacity(n * (log_n as usize + 1));
+    let mut index = 0;
+    let mut prev: Vec<TaskId> = (0..n)
+        .map(|_| {
+            let t = g.add_task(assign(TaskCtx {
+                index,
+                kind: "fft-input",
+                weight: 1.0,
+            }));
+            index += 1;
+            t
+        })
+        .collect();
+    for s in 0..log_n {
+        let stride = 1usize << s;
+        let mut cur = Vec::with_capacity(n);
+        for i in 0..n {
+            let t = g.add_task(assign(TaskCtx {
+                index,
+                kind: "butterfly",
+                weight: 1.0,
+            }));
+            index += 1;
+            g.add_edge(prev[i], t).expect("butterfly edges are acyclic");
+            g.add_edge(prev[i ^ stride], t)
+                .expect("butterfly edges are acyclic");
+            cur.push(t);
+        }
+        prev = cur;
+    }
+    g
+}
+
+/// A 2-D wavefront (stencil sweep): task `(i, j)` on an `rows × cols`
+/// grid depends on `(i−1, j)` and `(i, j−1)` — e.g. Smith-Waterman or
+/// Gauss-Seidel sweeps.
+pub fn wavefront(
+    rows: u32,
+    cols: u32,
+    assign: &mut dyn FnMut(TaskCtx<'_>) -> SpeedupModel,
+) -> TaskGraph {
+    assert!(rows >= 1 && cols >= 1);
+    let mut g = TaskGraph::with_capacity((rows * cols) as usize);
+    let mut ids = vec![Vec::with_capacity(cols as usize); rows as usize];
+    let mut index = 0;
+    for i in 0..rows as usize {
+        for j in 0..cols as usize {
+            let t = g.add_task(assign(TaskCtx {
+                index,
+                kind: "cell",
+                weight: 1.0,
+            }));
+            index += 1;
+            if i > 0 {
+                g.add_edge(ids[i - 1][j], t)
+                    .expect("grid edges are acyclic");
+            }
+            if j > 0 {
+                g.add_edge(ids[i][j - 1], t)
+                    .expect("grid edges are acyclic");
+            }
+            ids[i].push(t);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_assign() -> impl FnMut(TaskCtx<'_>) -> SpeedupModel {
+        |_| SpeedupModel::amdahl(1.0, 0.0).unwrap()
+    }
+
+    #[test]
+    fn cholesky_task_count() {
+        // nb=1: 1 potrf. nb=2: potrf, trsm, syrk, potrf = 4.
+        assert_eq!(cholesky(1, &mut unit_assign()).n_tasks(), 1);
+        assert_eq!(cholesky(2, &mut unit_assign()).n_tasks(), 4);
+        // nb=3: k=0: potrf + 2 trsm + (syrk, gemm, syrk) = 6;
+        //       k=1: potrf + trsm + syrk = 3; k=2: potrf. total 10.
+        assert_eq!(cholesky(3, &mut unit_assign()).n_tasks(), 10);
+    }
+
+    #[test]
+    fn cholesky_depth_grows_linearly() {
+        let g = cholesky(4, &mut unit_assign());
+        assert_eq!(g.topo_order().len(), g.n_tasks());
+        // critical path alternates potrf/trsm/syrk down the panel:
+        // depth = 3*nb - 2 for nb >= 2
+        assert_eq!(g.depth(), 10);
+    }
+
+    #[test]
+    fn lu_task_count() {
+        // nb=2: getrf + 1+1 trsm + 1 gemm + getrf = 5
+        assert_eq!(lu(2, &mut unit_assign()).n_tasks(), 5);
+        // nb=3: k=0: 1+2+2+4=9; k=1: 1+1+1+1=4; k=2: 1. total 14
+        assert_eq!(lu(3, &mut unit_assign()).n_tasks(), 14);
+    }
+
+    #[test]
+    fn lu_is_acyclic_and_single_source() {
+        let g = lu(5, &mut unit_assign());
+        assert_eq!(g.topo_order().len(), g.n_tasks());
+        assert_eq!(g.sources().len(), 1, "first getrf is the only source");
+    }
+
+    #[test]
+    fn fft_shape() {
+        let g = fft(3, &mut unit_assign());
+        assert_eq!(g.n_tasks(), 8 * 4);
+        assert_eq!(g.depth(), 4);
+        // every butterfly has exactly 2 predecessors
+        for t in g.task_ids().skip(8) {
+            assert_eq!(g.preds(t).len(), 2);
+        }
+        assert_eq!(g.sources().len(), 8);
+        assert_eq!(g.sinks().len(), 8);
+    }
+
+    #[test]
+    fn wavefront_shape() {
+        let g = wavefront(3, 4, &mut unit_assign());
+        assert_eq!(g.n_tasks(), 12);
+        assert_eq!(g.depth(), 3 + 4 - 1);
+        assert_eq!(g.sources().len(), 1);
+        assert_eq!(g.sinks().len(), 1);
+        // interior cells have two preds
+        let interior = g.task_ids().filter(|t| g.preds(*t).len() == 2).count();
+        assert_eq!(interior, 2 * 3); // (rows-1)*(cols-1)
+    }
+
+    #[test]
+    fn kernel_kinds_reported() {
+        let mut kinds: Vec<String> = Vec::new();
+        let mut assign = |ctx: TaskCtx<'_>| {
+            kinds.push(ctx.kind.to_string());
+            SpeedupModel::amdahl(ctx.weight, 0.0).unwrap()
+        };
+        let _ = cholesky(2, &mut assign);
+        assert_eq!(kinds, vec!["potrf", "trsm", "syrk", "potrf"]);
+    }
+}

@@ -1,0 +1,140 @@
+//! Workload generators.
+//!
+//! The paper's conclusion calls for evaluating the algorithm "using
+//! realistic workflows"; this module provides the task-graph shapes
+//! used by the repository's empirical benches: elementary shapes
+//! (chains, fork-join, trees), random DAGs, and the task graphs of
+//! classic HPC kernels (LU, Cholesky, FFT, 2-D wavefront).
+//!
+//! Every generator is parameterized by a *model assigner* — a closure
+//! receiving a [`TaskCtx`] (kind + suggested relative weight) and
+//! returning the task's [`SpeedupModel`]. Use
+//! [`weighted_sampler`] to build one from a random
+//! [`ParamDistribution`], or supply your own for deterministic tests.
+
+mod basic;
+mod kernels;
+mod random;
+
+pub use basic::{chain, fork_join, in_tree, independent, out_tree};
+pub use kernels::{cholesky, fft, lu, wavefront};
+pub use random::{layered_random, random_dag};
+
+use moldable_model::sample::ParamDistribution;
+use moldable_model::{ModelClass, SpeedupModel};
+use rand::Rng;
+
+/// Context handed to a model assigner for each generated task.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskCtx<'a> {
+    /// Sequential index of the task within this generator call.
+    pub index: usize,
+    /// Task kind, e.g. `"getrf"`, `"gemm"`, `"chain"`, `"butterfly"`.
+    pub kind: &'a str,
+    /// Suggested relative work (e.g. GEMM ≈ 6× POTRF per block).
+    pub weight: f64,
+}
+
+/// A model assigner backed by a random [`ParamDistribution`]: samples a
+/// model of `class` and scales its work terms by the task's suggested
+/// weight.
+pub fn weighted_sampler<R: Rng>(
+    class: ModelClass,
+    dist: ParamDistribution,
+    p_total: u32,
+    rng: &mut R,
+) -> impl FnMut(TaskCtx<'_>) -> SpeedupModel + '_ {
+    move |ctx| scale_work(dist.sample(class, p_total, rng), ctx.weight)
+}
+
+/// Multiply the work terms (`w` and `d`) of a model by `factor`,
+/// leaving the per-processor overhead `c` and the parallelism cap
+/// untouched. Tabulated/closure models are scaled pointwise.
+#[must_use]
+pub fn scale_work(model: SpeedupModel, factor: f64) -> SpeedupModel {
+    assert!(
+        factor.is_finite() && factor > 0.0,
+        "scale factor must be positive"
+    );
+    match model {
+        SpeedupModel::Roofline { w, pbar } => SpeedupModel::Roofline {
+            w: w * factor,
+            pbar,
+        },
+        SpeedupModel::Communication { w, c } => SpeedupModel::Communication { w: w * factor, c },
+        SpeedupModel::Amdahl { w, d } => SpeedupModel::Amdahl {
+            w: w * factor,
+            d: d * factor,
+        },
+        SpeedupModel::General { w, pbar, d, c } => SpeedupModel::General {
+            w: w * factor,
+            pbar,
+            d: d * factor,
+            c,
+        },
+        SpeedupModel::Table(ts) => SpeedupModel::Table(ts.iter().map(|t| t * factor).collect()),
+        SpeedupModel::Formula { f, nonincreasing } => SpeedupModel::Formula {
+            f: std::sync::Arc::new(move |p| f(p) * factor),
+            nonincreasing,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn scale_work_scales_time_proportionally() {
+        let m = SpeedupModel::amdahl(10.0, 2.0).unwrap();
+        let s = scale_work(m.clone(), 3.0);
+        for p in [1, 2, 7] {
+            assert!((s.time(p) - 3.0 * m.time(p)).abs() < 1e-12);
+        }
+        // Roofline & table variants too.
+        let m = SpeedupModel::table(vec![4.0, 2.0]).unwrap();
+        let s = scale_work(m, 0.5);
+        assert_eq!(s.time(1), 2.0);
+        assert_eq!(s.time(2), 1.0);
+    }
+
+    #[test]
+    fn scale_work_preserves_overhead() {
+        let m = SpeedupModel::general(10.0, 8, 1.0, 0.25).unwrap();
+        let SpeedupModel::General { c, pbar, .. } = scale_work(m, 2.0) else {
+            panic!()
+        };
+        assert_eq!(c, 0.25);
+        assert_eq!(pbar, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn scale_work_rejects_zero() {
+        let _ = scale_work(SpeedupModel::amdahl(1.0, 0.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn weighted_sampler_scales_by_ctx_weight() {
+        let dist = ParamDistribution {
+            w_min: 2.0,
+            w_max: 2.0,
+            d_frac: (0.0, 0.0),
+            c_frac: (0.0, 0.0),
+            pbar_range: (4, 4),
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut assign = weighted_sampler(ModelClass::Amdahl, dist, 8, &mut rng);
+        let m = assign(TaskCtx {
+            index: 0,
+            kind: "x",
+            weight: 5.0,
+        });
+        let SpeedupModel::Amdahl { w, .. } = m else {
+            panic!()
+        };
+        assert!((w - 10.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,165 @@
+//! Random DAG generators.
+
+use moldable_model::SpeedupModel;
+use rand::Rng;
+
+use crate::{TaskGraph, TaskId};
+
+use super::TaskCtx;
+
+/// A layered random DAG: `layers` layers of `width` tasks; each task in
+/// layer `l ≥ 1` gets an edge from each task of layer `l − 1`
+/// independently with probability `p_edge`, plus one guaranteed random
+/// predecessor so no task other than layer 0 is a source.
+///
+/// This is the classic synthetic-workflow shape (e.g. Tobita & Kasahara's
+/// STG benchmarks) and keeps the depth exactly `layers`.
+pub fn layered_random<R: Rng>(
+    layers: usize,
+    width: usize,
+    p_edge: f64,
+    rng: &mut R,
+    assign: &mut dyn FnMut(TaskCtx<'_>) -> SpeedupModel,
+) -> TaskGraph {
+    assert!(layers >= 1 && width >= 1);
+    assert!(
+        (0.0..=1.0).contains(&p_edge),
+        "p_edge must be a probability"
+    );
+    let mut g = TaskGraph::with_capacity(layers * width);
+    let mut index = 0;
+    let mut prev_layer: Vec<TaskId> = Vec::new();
+    for layer in 0..layers {
+        let mut cur = Vec::with_capacity(width);
+        for _ in 0..width {
+            let t = g.add_task(assign(TaskCtx {
+                index,
+                kind: "layered",
+                weight: 1.0,
+            }));
+            index += 1;
+            if layer > 0 {
+                let mut has_pred = false;
+                for &p in &prev_layer {
+                    if rng.gen_bool(p_edge) {
+                        g.add_edge(p, t).expect("layer edges are acyclic");
+                        has_pred = true;
+                    }
+                }
+                if !has_pred {
+                    let p = prev_layer[rng.gen_range(0..prev_layer.len())];
+                    g.add_edge(p, t).expect("layer edges are acyclic");
+                }
+            }
+            cur.push(t);
+        }
+        prev_layer = cur;
+    }
+    g
+}
+
+/// An Erdős–Rényi-style random DAG on `n` tasks: for every ordered pair
+/// `i < j`, the edge `i → j` is present independently with probability
+/// `p_edge`. O(n²) — intended for `n` up to a few thousand.
+pub fn random_dag<R: Rng>(
+    n: usize,
+    p_edge: f64,
+    rng: &mut R,
+    assign: &mut dyn FnMut(TaskCtx<'_>) -> SpeedupModel,
+) -> TaskGraph {
+    assert!(
+        (0.0..=1.0).contains(&p_edge),
+        "p_edge must be a probability"
+    );
+    let mut g = TaskGraph::with_capacity(n);
+    let ids: Vec<TaskId> = (0..n)
+        .map(|index| {
+            g.add_task(assign(TaskCtx {
+                index,
+                kind: "random",
+                weight: 1.0,
+            }))
+        })
+        .collect();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(p_edge) {
+                g.add_edge(ids[i], ids[j])
+                    .expect("forward edges are acyclic");
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn unit_assign() -> impl FnMut(TaskCtx<'_>) -> SpeedupModel {
+        |_| SpeedupModel::amdahl(1.0, 0.0).unwrap()
+    }
+
+    #[test]
+    fn layered_has_exact_depth_and_connectivity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = layered_random(6, 5, 0.3, &mut rng, &mut unit_assign());
+        assert_eq!(g.n_tasks(), 30);
+        assert_eq!(g.depth(), 6);
+        // every non-layer-0 task has at least one predecessor
+        let sources = g.sources();
+        assert_eq!(sources.len(), 5, "only layer 0 tasks are sources");
+    }
+
+    #[test]
+    fn layered_p_edge_one_is_complete_bipartite() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = layered_random(3, 4, 1.0, &mut rng, &mut unit_assign());
+        assert_eq!(g.n_edges(), 2 * 16);
+    }
+
+    #[test]
+    fn random_dag_is_acyclic_and_edge_count_plausible() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 40;
+        let g = random_dag(n, 0.2, &mut rng, &mut unit_assign());
+        assert_eq!(g.n_tasks(), n);
+        // topo_order succeeding for all tasks certifies acyclicity
+        assert_eq!(g.topo_order().len(), n);
+        let max_edges = n * (n - 1) / 2;
+        let expected = 0.2 * max_edges as f64;
+        let got = g.n_edges() as f64;
+        assert!(
+            (got - expected).abs() < 0.5 * expected + 20.0,
+            "edge count {got} far from expectation {expected}"
+        );
+    }
+
+    #[test]
+    fn random_dag_p_zero_is_independent() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = random_dag(10, 0.0, &mut rng, &mut unit_assign());
+        assert_eq!(g.n_edges(), 0);
+        assert_eq!(g.depth(), 1);
+    }
+
+    #[test]
+    fn random_dag_p_one_is_total_order() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = random_dag(8, 1.0, &mut rng, &mut unit_assign());
+        assert_eq!(g.n_edges(), 28);
+        assert_eq!(g.depth(), 8);
+    }
+
+    #[test]
+    fn generators_are_deterministic_given_seed() {
+        let mk = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = layered_random(4, 4, 0.5, &mut rng, &mut unit_assign());
+            (g.n_edges(), g.depth())
+        };
+        assert_eq!(mk(7), mk(7));
+    }
+}

@@ -1,0 +1,244 @@
+//! Structural statistics of task graphs.
+//!
+//! Used by the experiment harness to characterize workloads (the
+//! paper's competitive ratios are worst-case over all DAGs; the
+//! *shape* of a DAG — depth, width, work balance — is what decides how
+//! close a workload gets to the worst case in practice).
+
+use crate::{TaskGraph, TaskId};
+
+/// Structural summary of a graph on a `P`-processor platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of tasks.
+    pub n_tasks: usize,
+    /// Number of edges.
+    pub n_edges: usize,
+    /// Tasks on the longest path (`D` of Theorem 9).
+    pub depth: usize,
+    /// Maximum number of tasks in one ASAP level — an upper bound on
+    /// how much task parallelism list scheduling can ever exploit.
+    pub max_level_width: usize,
+    /// Mean tasks per level.
+    pub avg_level_width: f64,
+    /// Total minimal work `A_min` and the serial fraction
+    /// `C_min / (A_min / P)`: ≥ 1 means the critical path dominates.
+    pub a_min_total: f64,
+    /// `C_min` at the given platform size.
+    pub c_min: f64,
+    /// `C_min / (A_min/P)` — > 1 ⇒ path-bound, < 1 ⇒ area-bound.
+    pub path_dominance: f64,
+}
+
+impl TaskGraph {
+    /// ASAP level (longest path length in *hops* from any source) per
+    /// task; level 0 are the sources.
+    #[must_use]
+    pub fn levels(&self) -> Vec<u32> {
+        let mut level = vec![0u32; self.n_tasks()];
+        for t in self.topo_order() {
+            let l = self
+                .preds(t)
+                .iter()
+                .map(|p| level[p.index()] + 1)
+                .max()
+                .unwrap_or(0);
+            level[t.index()] = l;
+        }
+        level
+    }
+
+    /// Structural summary (see [`GraphStats`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_total == 0`.
+    #[must_use]
+    pub fn stats(&self, p_total: u32) -> GraphStats {
+        let n = self.n_tasks();
+        let levels = self.levels();
+        let n_levels = levels.iter().map(|&l| l + 1).max().unwrap_or(0) as usize;
+        let mut width = vec![0usize; n_levels];
+        for &l in &levels {
+            width[l as usize] += 1;
+        }
+        let b = self.bounds(p_total);
+        let area_bound = b.area_bound();
+        #[allow(clippy::cast_precision_loss)]
+        GraphStats {
+            n_tasks: n,
+            n_edges: self.n_edges(),
+            depth: self.depth(),
+            max_level_width: width.iter().copied().max().unwrap_or(0),
+            avg_level_width: if n_levels == 0 {
+                0.0
+            } else {
+                n as f64 / n_levels as f64
+            },
+            a_min_total: b.a_min_total,
+            c_min: b.c_min,
+            path_dominance: if area_bound == 0.0 {
+                0.0
+            } else {
+                b.c_min / area_bound
+            },
+        }
+    }
+
+    /// Transitive reduction: the unique minimal sub-DAG with the same
+    /// reachability. Returns the redundant edges `(from, to)` — those
+    /// for which another path `from ⇝ to` exists.
+    ///
+    /// O(n · (n + m)); intended for analysis and export, not hot paths.
+    #[must_use]
+    pub fn redundant_edges(&self) -> Vec<(TaskId, TaskId)> {
+        let n = self.n_tasks();
+        let topo = self.topo_order();
+        let pos: Vec<usize> = {
+            let mut pos = vec![0usize; n];
+            for (i, &t) in topo.iter().enumerate() {
+                pos[t.index()] = i;
+            }
+            pos
+        };
+        let mut redundant = Vec::new();
+        // For each task u, BFS over successors-of-successors: any direct
+        // edge (u, v) also reachable through another successor is
+        // redundant.
+        let mut mark = vec![false; n];
+        let mut marked: Vec<usize> = Vec::new();
+        for &u in &topo {
+            // Reachable set from u via paths of length >= 2:
+            // DFS from each direct successor, in topological order.
+            let mut direct: Vec<TaskId> = self.succs(u).to_vec();
+            direct.sort_by_key(|t| pos[t.index()]);
+            for &v in &direct {
+                if mark[v.index()] {
+                    redundant.push((u, v));
+                    continue;
+                }
+                // add everything reachable from v
+                let mut stack = vec![v];
+                while let Some(x) = stack.pop() {
+                    for &y in self.succs(x) {
+                        if !mark[y.index()] {
+                            mark[y.index()] = true;
+                            marked.push(y.index());
+                            stack.push(y);
+                        }
+                    }
+                }
+            }
+            for &i in &marked {
+                mark[i] = false;
+            }
+            marked.clear();
+        }
+        redundant
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moldable_model::SpeedupModel;
+
+    fn unit() -> SpeedupModel {
+        SpeedupModel::amdahl(1.0, 0.0).unwrap()
+    }
+
+    #[test]
+    fn levels_of_diamond() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(unit());
+        let b = g.add_task(unit());
+        let c = g.add_task(unit());
+        let d = g.add_task(unit());
+        g.add_edge(a, b).unwrap();
+        g.add_edge(a, c).unwrap();
+        g.add_edge(b, d).unwrap();
+        g.add_edge(c, d).unwrap();
+        assert_eq!(g.levels(), vec![0, 1, 1, 2]);
+        let s = g.stats(4);
+        assert_eq!(s.depth, 3);
+        assert_eq!(s.max_level_width, 2);
+        assert!((s.avg_level_width - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_chain_is_path_dominant() {
+        // Sequential fraction keeps t_min bounded away from w/P, so the
+        // chain's C_min strictly dominates A_min/P (a d=0 perfectly
+        // parallel chain has C_min == A_min/P exactly).
+        let mut g = TaskGraph::new();
+        let mut prev: Option<TaskId> = None;
+        for _ in 0..5 {
+            let t = g.add_task(SpeedupModel::amdahl(1.0, 1.0).unwrap());
+            if let Some(p) = prev {
+                g.add_edge(p, t).unwrap();
+            }
+            prev = Some(t);
+        }
+        let s = g.stats(8);
+        assert_eq!(s.max_level_width, 1);
+        assert!(s.path_dominance > 1.0, "chains are path-bound");
+    }
+
+    #[test]
+    fn stats_of_independents_is_area_dominant() {
+        let mut g = TaskGraph::new();
+        for _ in 0..32 {
+            g.add_task(unit());
+        }
+        let s = g.stats(4);
+        assert_eq!(s.max_level_width, 32);
+        assert!(s.path_dominance < 1.0, "independents are area-bound");
+    }
+
+    #[test]
+    fn transitive_edge_is_redundant() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(unit());
+        let b = g.add_task(unit());
+        let c = g.add_task(unit());
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, c).unwrap();
+        g.add_edge(a, c).unwrap(); // redundant: a -> b -> c
+        assert_eq!(g.redundant_edges(), vec![(a, c)]);
+    }
+
+    #[test]
+    fn diamond_has_no_redundant_edges() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(unit());
+        let b = g.add_task(unit());
+        let c = g.add_task(unit());
+        let d = g.add_task(unit());
+        g.add_edge(a, b).unwrap();
+        g.add_edge(a, c).unwrap();
+        g.add_edge(b, d).unwrap();
+        g.add_edge(c, d).unwrap();
+        assert!(g.redundant_edges().is_empty());
+    }
+
+    #[test]
+    fn longer_shortcut_also_detected() {
+        // a -> b -> c -> d plus shortcut a -> d.
+        let mut g = TaskGraph::new();
+        let ids: Vec<TaskId> = (0..4).map(|_| g.add_task(unit())).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1]).unwrap();
+        }
+        g.add_edge(ids[0], ids[3]).unwrap();
+        assert_eq!(g.redundant_edges(), vec![(ids[0], ids[3])]);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = TaskGraph::new();
+        let s = g.stats(4);
+        assert_eq!(s.n_tasks, 0);
+        assert_eq!(s.max_level_width, 0);
+        assert!(g.redundant_edges().is_empty());
+    }
+}

@@ -1,0 +1,378 @@
+//! The task-graph data structure.
+
+use std::fmt;
+
+use moldable_model::{ModelClass, SpeedupModel};
+
+/// Index of a task in a [`TaskGraph`]. Compact `u32` so large graphs
+/// (millions of tasks) stay cache-friendly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// The id as a `usize` index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Errors when constructing or mutating a [`TaskGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// Referenced a task id that does not exist.
+    UnknownTask(TaskId),
+    /// Tried to add a self-loop.
+    SelfLoop(TaskId),
+    /// Adding the edge would create a cycle.
+    WouldCycle(TaskId, TaskId),
+    /// The same edge already exists.
+    DuplicateEdge(TaskId, TaskId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownTask(t) => write!(f, "unknown task {t}"),
+            Self::SelfLoop(t) => write!(f, "self-loop on {t}"),
+            Self::WouldCycle(a, b) => write!(f, "edge {a} -> {b} would create a cycle"),
+            Self::DuplicateEdge(a, b) => write!(f, "edge {a} -> {b} already present"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A directed acyclic graph of moldable tasks.
+///
+/// Successor lists preserve insertion order; the simulator reveals
+/// newly available tasks in that order, which matters for adversarial
+/// instances (the paper's worst cases assume a specific queue order).
+#[derive(Debug, Clone, Default)]
+pub struct TaskGraph {
+    models: Vec<SpeedupModel>,
+    preds: Vec<Vec<TaskId>>,
+    succs: Vec<Vec<TaskId>>,
+    edge_set: std::collections::HashSet<(u32, u32)>,
+    n_edges: usize,
+    /// Scratch for cycle checks: `stamp[v] == generation` marks v
+    /// visited in the current DFS, so no per-edge allocation is needed
+    /// (large adversarial instances add millions of edges).
+    stamp: Vec<u32>,
+    generation: u32,
+}
+
+impl TaskGraph {
+    /// An empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty graph with room for `n` tasks.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            models: Vec::with_capacity(n),
+            preds: Vec::with_capacity(n),
+            succs: Vec::with_capacity(n),
+            edge_set: std::collections::HashSet::new(),
+            n_edges: 0,
+            stamp: Vec::with_capacity(n),
+            generation: 0,
+        }
+    }
+
+    /// Add a task with the given speedup model; returns its id.
+    pub fn add_task(&mut self, model: SpeedupModel) -> TaskId {
+        let id = TaskId(u32::try_from(self.models.len()).expect("more than u32::MAX tasks"));
+        self.models.push(model);
+        self.preds.push(Vec::new());
+        self.succs.push(Vec::new());
+        self.stamp.push(0);
+        id
+    }
+
+    /// Add the precedence edge `from → to` (i.e. `to` depends on `from`).
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown endpoints, self-loops, duplicate edges, and
+    /// edges that would create a cycle (checked with a reachability
+    /// walk from `to`; builders that add edges in topological order
+    /// never pay more than O(out-degree)).
+    pub fn add_edge(&mut self, from: TaskId, to: TaskId) -> Result<(), GraphError> {
+        self.check_id(from)?;
+        self.check_id(to)?;
+        if from == to {
+            return Err(GraphError::SelfLoop(from));
+        }
+        if self.edge_set.contains(&(from.0, to.0)) {
+            return Err(GraphError::DuplicateEdge(from, to));
+        }
+        // Cycle iff `from` is reachable from `to`.
+        if self.reaches(to, from) {
+            return Err(GraphError::WouldCycle(from, to));
+        }
+        self.succs[from.index()].push(to);
+        self.preds[to.index()].push(from);
+        self.edge_set.insert((from.0, to.0));
+        self.n_edges += 1;
+        Ok(())
+    }
+
+    fn check_id(&self, t: TaskId) -> Result<(), GraphError> {
+        if t.index() < self.models.len() {
+            Ok(())
+        } else {
+            Err(GraphError::UnknownTask(t))
+        }
+    }
+
+    /// DFS reachability: is `target` reachable from `start`?
+    /// Allocation-free: visited marks use a generation-stamped scratch
+    /// vector, and builders that only link *to* freshly created sink
+    /// nodes exit in O(1).
+    fn reaches(&mut self, start: TaskId, target: TaskId) -> bool {
+        if start == target {
+            return true;
+        }
+        if self.succs[start.index()].is_empty() {
+            return false;
+        }
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // Stamp wrap-around: reset all marks once every 2^32 calls.
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.generation = 1;
+        }
+        let generation = self.generation;
+        let mut stack = vec![start];
+        self.stamp[start.index()] = generation;
+        while let Some(u) = stack.pop() {
+            for &v in &self.succs[u.index()] {
+                if v == target {
+                    return true;
+                }
+                if self.stamp[v.index()] != generation {
+                    self.stamp[v.index()] = generation;
+                    stack.push(v);
+                }
+            }
+        }
+        false
+    }
+
+    /// Number of tasks.
+    #[must_use]
+    pub fn n_tasks(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Number of precedence edges.
+    #[must_use]
+    pub fn n_edges(&self) -> usize {
+        self.n_edges
+    }
+
+    /// The speedup model of task `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    #[must_use]
+    pub fn model(&self, t: TaskId) -> &SpeedupModel {
+        &self.models[t.index()]
+    }
+
+    /// All task ids, in insertion order.
+    pub fn task_ids(&self) -> impl Iterator<Item = TaskId> + '_ {
+        (0..self.models.len() as u32).map(TaskId)
+    }
+
+    /// Predecessors of `t`, in edge-insertion order.
+    #[must_use]
+    pub fn preds(&self, t: TaskId) -> &[TaskId] {
+        &self.preds[t.index()]
+    }
+
+    /// Successors of `t`, in edge-insertion order.
+    #[must_use]
+    pub fn succs(&self, t: TaskId) -> &[TaskId] {
+        &self.succs[t.index()]
+    }
+
+    /// Tasks with no predecessor (available at time 0), in id order.
+    #[must_use]
+    pub fn sources(&self) -> Vec<TaskId> {
+        self.task_ids()
+            .filter(|t| self.preds(*t).is_empty())
+            .collect()
+    }
+
+    /// Tasks with no successor.
+    #[must_use]
+    pub fn sinks(&self) -> Vec<TaskId> {
+        self.task_ids()
+            .filter(|t| self.succs(*t).is_empty())
+            .collect()
+    }
+
+    /// A topological order (Kahn's algorithm). The graph is acyclic by
+    /// construction, so this always succeeds and has length `n_tasks`.
+    #[must_use]
+    pub fn topo_order(&self) -> Vec<TaskId> {
+        let n = self.n_tasks();
+        let mut indeg: Vec<u32> = (0..n).map(|i| self.preds[i].len() as u32).collect();
+        let mut order = Vec::with_capacity(n);
+        let mut queue: std::collections::VecDeque<TaskId> =
+            self.task_ids().filter(|t| indeg[t.index()] == 0).collect();
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &v in &self.succs[u.index()] {
+                indeg[v.index()] -= 1;
+                if indeg[v.index()] == 0 {
+                    queue.push_back(v);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n, "graph is acyclic by construction");
+        order
+    }
+
+    /// Number of tasks on the longest path (`D` in Theorem 9); 0 for an
+    /// empty graph.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        let mut best = 0usize;
+        let mut len = vec![0usize; self.n_tasks()];
+        for t in self.topo_order() {
+            let l = 1 + self
+                .preds(t)
+                .iter()
+                .map(|p| len[p.index()])
+                .max()
+                .unwrap_or(0);
+            len[t.index()] = l;
+            best = best.max(l);
+        }
+        best
+    }
+
+    /// The most general [`ModelClass`] containing every task's model.
+    /// Schedulers use this to pick μ. Returns `None` for an empty graph.
+    #[must_use]
+    pub fn model_class(&self) -> Option<ModelClass> {
+        self.models
+            .iter()
+            .map(SpeedupModel::class)
+            .reduce(ModelClass::join)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> SpeedupModel {
+        SpeedupModel::amdahl(1.0, 0.0).unwrap()
+    }
+
+    #[test]
+    fn build_diamond() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(unit());
+        let b = g.add_task(unit());
+        let c = g.add_task(unit());
+        let d = g.add_task(unit());
+        g.add_edge(a, b).unwrap();
+        g.add_edge(a, c).unwrap();
+        g.add_edge(b, d).unwrap();
+        g.add_edge(c, d).unwrap();
+        assert_eq!(g.n_tasks(), 4);
+        assert_eq!(g.n_edges(), 4);
+        assert_eq!(g.sources(), vec![a]);
+        assert_eq!(g.sinks(), vec![d]);
+        assert_eq!(g.preds(d), &[b, c]);
+        assert_eq!(g.succs(a), &[b, c]);
+        assert_eq!(g.depth(), 3);
+    }
+
+    #[test]
+    fn rejects_cycles_and_bad_edges() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(unit());
+        let b = g.add_task(unit());
+        let c = g.add_task(unit());
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, c).unwrap();
+        assert_eq!(g.add_edge(c, a), Err(GraphError::WouldCycle(c, a)));
+        assert_eq!(g.add_edge(b, a), Err(GraphError::WouldCycle(b, a)));
+        assert_eq!(g.add_edge(a, a), Err(GraphError::SelfLoop(a)));
+        assert_eq!(g.add_edge(a, b), Err(GraphError::DuplicateEdge(a, b)));
+        assert_eq!(
+            g.add_edge(a, TaskId(99)),
+            Err(GraphError::UnknownTask(TaskId(99)))
+        );
+        // Forward edge along an existing path is allowed (transitive edge).
+        assert!(g.add_edge(a, c).is_ok());
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let mut g = TaskGraph::new();
+        let ids: Vec<TaskId> = (0..6).map(|_| g.add_task(unit())).collect();
+        g.add_edge(ids[5], ids[0]).unwrap();
+        g.add_edge(ids[0], ids[3]).unwrap();
+        g.add_edge(ids[3], ids[1]).unwrap();
+        g.add_edge(ids[5], ids[2]).unwrap();
+        let order = g.topo_order();
+        assert_eq!(order.len(), 6);
+        let pos: std::collections::HashMap<TaskId, usize> =
+            order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        for t in g.task_ids() {
+            for &s in g.succs(t) {
+                assert!(pos[&t] < pos[&s], "{t} must precede {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn depth_of_chain_and_independents() {
+        let mut g = TaskGraph::new();
+        let ids: Vec<TaskId> = (0..5).map(|_| g.add_task(unit())).collect();
+        assert_eq!(g.depth(), 1); // all independent
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1]).unwrap();
+        }
+        assert_eq!(g.depth(), 5);
+        assert_eq!(g.sources(), vec![ids[0]]);
+    }
+
+    #[test]
+    fn model_class_joins() {
+        let mut g = TaskGraph::new();
+        assert_eq!(g.model_class(), None);
+        g.add_task(SpeedupModel::roofline(1.0, 2).unwrap());
+        assert_eq!(g.model_class(), Some(ModelClass::Roofline));
+        g.add_task(SpeedupModel::amdahl(1.0, 1.0).unwrap());
+        assert_eq!(g.model_class(), Some(ModelClass::General));
+        g.add_task(SpeedupModel::table(vec![1.0]).unwrap());
+        assert_eq!(g.model_class(), Some(ModelClass::Arbitrary));
+    }
+
+    #[test]
+    fn empty_graph_is_sane() {
+        let g = TaskGraph::new();
+        assert_eq!(g.n_tasks(), 0);
+        assert_eq!(g.depth(), 0);
+        assert!(g.sources().is_empty());
+        assert!(g.topo_order().is_empty());
+    }
+}

@@ -1,0 +1,427 @@
+//! Event-driven simulation over two processor pools.
+//!
+//! A compact sibling of `moldable_sim`'s engine: the same online
+//! revelation model (tasks appear when their predecessors finish), but
+//! a start decision is `(task, pool, allocation)` and capacity is
+//! tracked per pool.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use moldable_graph::{Frontier, TaskId};
+use moldable_sim::{Placement, Schedule, ValidationError};
+
+use crate::{HeteroGraph, HeteroPlatform, HeteroScheduler, Pool};
+
+/// Why a hybrid simulation failed (scheduler bugs, as in the
+/// homogeneous engine).
+#[derive(Debug, Clone, PartialEq)]
+pub enum HeteroError {
+    /// Started a task that was not available.
+    NotAvailable(TaskId),
+    /// Zero-processor allocation.
+    ZeroProcs(TaskId),
+    /// Batch exceeded a pool's free processors.
+    Oversubscribed {
+        /// Offending task.
+        task: TaskId,
+        /// The pool that was oversubscribed.
+        pool: Pool,
+        /// Requested allocation.
+        want: u32,
+        /// Free processors in that pool.
+        free: u32,
+    },
+    /// Available work exists but nothing runs and nothing was started.
+    Stuck {
+        /// Time progress stopped.
+        time: f64,
+    },
+}
+
+impl fmt::Display for HeteroError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NotAvailable(t) => write!(f, "task {t} not available"),
+            Self::ZeroProcs(t) => write!(f, "task {t} started on zero processors"),
+            Self::Oversubscribed {
+                task,
+                pool,
+                want,
+                free,
+            } => {
+                write!(f, "{task} wants {want} {pool} procs, only {free} free")
+            }
+            Self::Stuck { time } => write!(f, "no progress at t={time}"),
+        }
+    }
+}
+
+impl std::error::Error for HeteroError {}
+
+/// The result of a hybrid run: one [`Schedule`] per pool plus the
+/// pool assignment, sharing a common clock.
+#[derive(Debug, Clone)]
+pub struct HeteroSchedule {
+    /// Placements on the CPU pool.
+    pub cpu: Schedule,
+    /// Placements on the GPU pool.
+    pub gpu: Schedule,
+    /// Pool chosen per task.
+    pub assignment: Vec<Pool>,
+    /// Overall completion time.
+    pub makespan: f64,
+}
+
+impl HeteroSchedule {
+    /// Validate: per-pool capacity, graph-wide precedence, completeness,
+    /// and model-consistent durations.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(
+        &self,
+        graph: &HeteroGraph,
+        platform: HeteroPlatform,
+    ) -> Result<(), ValidationError> {
+        let tol = 1e-9 * self.makespan.max(1.0);
+        self.cpu.check_capacity(tol)?;
+        self.gpu.check_capacity(tol)?;
+        // completeness + durations + precedence across pools
+        let n = graph.n_tasks();
+        let mut place: Vec<Option<&Placement>> = vec![None; n];
+        for (pool, sched) in [(Pool::Cpu, &self.cpu), (Pool::Gpu, &self.gpu)] {
+            for pl in &sched.placements {
+                if pl.task.index() >= n {
+                    return Err(ValidationError::ForeignTask(pl.task));
+                }
+                if place[pl.task.index()].is_some() {
+                    return Err(ValidationError::DuplicateTask(pl.task));
+                }
+                if pl.procs == 0 || pl.procs > platform.size(pool) {
+                    return Err(ValidationError::BadAllocation {
+                        task: pl.task,
+                        procs: pl.procs,
+                    });
+                }
+                let want = graph.model(pl.task, pool).time(pl.procs);
+                if (pl.duration() - want).abs() > 1e-9 * want.max(1.0) {
+                    return Err(ValidationError::WrongDuration {
+                        task: pl.task,
+                        got: pl.duration(),
+                        want,
+                    });
+                }
+                place[pl.task.index()] = Some(pl);
+            }
+        }
+        for t in graph.structure().task_ids() {
+            let Some(pl) = place[t.index()] else {
+                return Err(ValidationError::MissingTask(t));
+            };
+            for &p in graph.structure().preds(t) {
+                let pred = place[p.index()].expect("checked above");
+                if pl.start < pred.end - tol {
+                    return Err(ValidationError::PrecedenceViolated { task: t, pred: p });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+struct Ev {
+    time: f64,
+    seq: u64,
+    task: TaskId,
+    pool: Pool,
+    procs: u32,
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// Run `graph` on the hybrid `platform` under `scheduler`.
+///
+/// # Errors
+///
+/// Returns a [`HeteroError`] on scheduler misbehaviour.
+///
+/// # Panics
+///
+/// Panics if either pool is empty.
+pub fn simulate_hetero(
+    graph: &HeteroGraph,
+    platform: HeteroPlatform,
+    scheduler: &mut dyn HeteroScheduler,
+) -> Result<HeteroSchedule, HeteroError> {
+    assert!(
+        platform.cpus >= 1 && platform.gpus >= 1,
+        "both pools must be non-empty"
+    );
+    scheduler.init(platform);
+    let structure = graph.structure();
+    let mut frontier = Frontier::new(structure);
+    let n = graph.n_tasks();
+
+    let mut available = vec![false; n];
+    let mut started = vec![false; n];
+    let mut assignment = vec![Pool::Cpu; n];
+    let mut cpu_placements: Vec<Placement> = Vec::new();
+    let mut gpu_placements: Vec<Placement> = Vec::new();
+    let mut free_cpu = platform.cpus;
+    let mut free_gpu = platform.gpus;
+    let mut heap: BinaryHeap<Reverse<Ev>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut time = 0.0f64;
+
+    for t in frontier.initial(structure) {
+        available[t.index()] = true;
+        scheduler.release(
+            t,
+            &crate::HeteroTask {
+                cpu: graph.model(t, Pool::Cpu).clone(),
+                gpu: graph.model(t, Pool::Gpu).clone(),
+            },
+        );
+    }
+
+    macro_rules! decide {
+        () => {
+            loop {
+                let picks = scheduler.select(time, free_cpu, free_gpu);
+                if picks.is_empty() {
+                    break;
+                }
+                for (t, pool, p) in picks {
+                    if t.index() >= n || !available[t.index()] || started[t.index()] {
+                        return Err(HeteroError::NotAvailable(t));
+                    }
+                    if p == 0 {
+                        return Err(HeteroError::ZeroProcs(t));
+                    }
+                    let free = match pool {
+                        Pool::Cpu => &mut free_cpu,
+                        Pool::Gpu => &mut free_gpu,
+                    };
+                    if p > *free {
+                        return Err(HeteroError::Oversubscribed {
+                            task: t,
+                            pool,
+                            want: p,
+                            free: *free,
+                        });
+                    }
+                    *free -= p;
+                    started[t.index()] = true;
+                    assignment[t.index()] = pool;
+                    let dur = graph.model(t, pool).time(p);
+                    let pl = Placement {
+                        task: t,
+                        start: time,
+                        end: time + dur,
+                        procs: p,
+                        proc_ranges: Vec::new(),
+                        released: time,
+                    };
+                    match pool {
+                        Pool::Cpu => cpu_placements.push(pl),
+                        Pool::Gpu => gpu_placements.push(pl),
+                    }
+                    heap.push(Reverse(Ev {
+                        time: time + dur,
+                        seq,
+                        task: t,
+                        pool,
+                        procs: p,
+                    }));
+                    seq += 1;
+                }
+            }
+        };
+    }
+
+    decide!();
+    if heap.is_empty() && !frontier.all_done() && n > 0 {
+        return Err(HeteroError::Stuck { time: 0.0 });
+    }
+    while let Some(Reverse(ev)) = heap.pop() {
+        time = ev.time;
+        let mut batch = vec![(ev.task, ev.pool, ev.procs)];
+        while let Some(Reverse(peek)) = heap.peek() {
+            if peek.time == time {
+                let Reverse(e) = heap.pop().expect("peeked");
+                batch.push((e.task, e.pool, e.procs));
+            } else {
+                break;
+            }
+        }
+        for &(_, pool, procs) in &batch {
+            match pool {
+                Pool::Cpu => free_cpu += procs,
+                Pool::Gpu => free_gpu += procs,
+            }
+        }
+        for &(t, _, _) in &batch {
+            for s in frontier.complete(structure, t) {
+                available[s.index()] = true;
+                scheduler.release(
+                    s,
+                    &crate::HeteroTask {
+                        cpu: graph.model(s, Pool::Cpu).clone(),
+                        gpu: graph.model(s, Pool::Gpu).clone(),
+                    },
+                );
+            }
+        }
+        decide!();
+        if heap.is_empty() && !frontier.all_done() {
+            return Err(HeteroError::Stuck { time });
+        }
+    }
+
+    let mk = |placements: Vec<Placement>, p_total: u32| {
+        let makespan = placements.iter().map(|p| p.end).fold(0.0, f64::max);
+        Schedule {
+            p_total,
+            placements,
+            makespan,
+        }
+    };
+    let cpu = mk(cpu_placements, platform.cpus);
+    let gpu = mk(gpu_placements, platform.gpus);
+    let makespan = cpu.makespan.max(gpu.makespan);
+    Ok(HeteroSchedule {
+        cpu,
+        gpu,
+        assignment,
+        makespan,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HeteroTask, MuHetero};
+    use moldable_model::SpeedupModel;
+
+    fn platform() -> HeteroPlatform {
+        HeteroPlatform { cpus: 4, gpus: 2 }
+    }
+
+    fn cpu_friendly() -> HeteroTask {
+        HeteroTask {
+            cpu: SpeedupModel::amdahl(4.0, 0.1).unwrap(),
+            gpu: SpeedupModel::amdahl(40.0, 1.0).unwrap(),
+        }
+    }
+
+    fn gpu_friendly() -> HeteroTask {
+        HeteroTask {
+            cpu: SpeedupModel::amdahl(40.0, 1.0).unwrap(),
+            gpu: SpeedupModel::amdahl(4.0, 0.1).unwrap(),
+        }
+    }
+
+    #[test]
+    fn affinity_drives_pool_choice() {
+        let mut g = HeteroGraph::new();
+        let c = g.add_task(cpu_friendly());
+        let u = g.add_task(gpu_friendly());
+        let mut s = MuHetero::default_mu();
+        let hs = simulate_hetero(&g, platform(), &mut s).unwrap();
+        hs.validate(&g, platform()).unwrap();
+        assert_eq!(hs.assignment[c.index()], Pool::Cpu);
+        assert_eq!(hs.assignment[u.index()], Pool::Gpu);
+        // they run concurrently on disjoint pools
+        assert_eq!(hs.cpu.placements.len(), 1);
+        assert_eq!(hs.gpu.placements.len(), 1);
+        assert_eq!(hs.cpu.placements[0].start, 0.0);
+        assert_eq!(hs.gpu.placements[0].start, 0.0);
+    }
+
+    #[test]
+    fn precedence_crosses_pools() {
+        let mut g = HeteroGraph::new();
+        let a = g.add_task(cpu_friendly());
+        let b = g.add_task(gpu_friendly());
+        g.add_edge(a, b).unwrap();
+        let mut s = MuHetero::default_mu();
+        let hs = simulate_hetero(&g, platform(), &mut s).unwrap();
+        hs.validate(&g, platform()).unwrap();
+        let a_end = hs.cpu.placements[0].end;
+        let b_start = hs.gpu.placements[0].start;
+        assert!((a_end - b_start).abs() < 1e-12, "b starts when a finishes");
+    }
+
+    #[test]
+    fn oversubscription_is_caught() {
+        struct Bad;
+        impl crate::HeteroScheduler for Bad {
+            fn release(&mut self, _t: TaskId, _task: &HeteroTask) {}
+            fn select(&mut self, _now: f64, _fc: u32, _fg: u32) -> Vec<(TaskId, Pool, u32)> {
+                vec![(TaskId(0), Pool::Gpu, 99)]
+            }
+        }
+        let mut g = HeteroGraph::new();
+        g.add_task(cpu_friendly());
+        let err = simulate_hetero(&g, platform(), &mut Bad).unwrap_err();
+        assert!(matches!(
+            err,
+            HeteroError::Oversubscribed {
+                pool: Pool::Gpu,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn lazy_scheduler_is_stuck() {
+        struct Lazy;
+        impl crate::HeteroScheduler for Lazy {
+            fn release(&mut self, _t: TaskId, _task: &HeteroTask) {}
+            fn select(&mut self, _now: f64, _fc: u32, _fg: u32) -> Vec<(TaskId, Pool, u32)> {
+                Vec::new()
+            }
+        }
+        let mut g = HeteroGraph::new();
+        g.add_task(cpu_friendly());
+        g.add_task(cpu_friendly());
+        // A lazy scheduler starts nothing: the engine reports Stuck
+        // (the heap is empty and the frontier is not done).
+        let err = simulate_hetero(&g, platform(), &mut Lazy).unwrap_err();
+        assert!(matches!(err, HeteroError::Stuck { .. }));
+    }
+
+    #[test]
+    fn validate_catches_cross_pool_duplicates() {
+        let mut g = HeteroGraph::new();
+        let a = g.add_task(cpu_friendly());
+        let mut s = MuHetero::default_mu();
+        let mut hs = simulate_hetero(&g, platform(), &mut s).unwrap();
+        // forge a duplicate of task a on the other pool
+        let mut dup = hs.cpu.placements[0].clone();
+        dup.end = dup.start + g.model(a, Pool::Gpu).time(dup.procs);
+        hs.gpu.placements.push(dup);
+        let err = hs.validate(&g, platform()).unwrap_err();
+        assert_eq!(err, ValidationError::DuplicateTask(a));
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for the hybrid-platform extension.
+
+use moldable_hetero::{
+    hetero_lower_bound, simulate_hetero, HeteroEct, HeteroGraph, HeteroPlatform, HeteroTask,
+    MuHetero, Pool,
+};
+use moldable_model::sample::ParamDistribution;
+use moldable_model::ModelClass;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_hetero(seed: u64, n: usize, pf: HeteroPlatform) -> HeteroGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dist = ParamDistribution::default();
+    let mut g = HeteroGraph::new();
+    let mut ids = Vec::new();
+    for _ in 0..n {
+        let cpu = dist.sample(ModelClass::Amdahl, pf.cpus, &mut rng);
+        let gpu = dist.sample(ModelClass::Amdahl, pf.gpus, &mut rng);
+        ids.push(g.add_task(HeteroTask { cpu, gpu }));
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(0.2) {
+                g.add_edge(ids[i], ids[j]).unwrap();
+            }
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Both hybrid schedulers always produce feasible schedules that
+    /// respect the fractional lower bound, and every task lands on
+    /// exactly one pool.
+    #[test]
+    fn hybrid_schedules_are_feasible_and_bounded(
+        seed in any::<u64>(),
+        n in 1usize..25,
+        cpus in 2u32..16,
+        gpus in 1u32..8,
+    ) {
+        let pf = HeteroPlatform { cpus, gpus };
+        let g = random_hetero(seed, n, pf);
+        let lb = hetero_lower_bound(&g, pf);
+        for which in 0..2 {
+            let hs = if which == 0 {
+                simulate_hetero(&g, pf, &mut MuHetero::default_mu()).unwrap()
+            } else {
+                simulate_hetero(&g, pf, &mut HeteroEct::new()).unwrap()
+            };
+            hs.validate(&g, pf).unwrap();
+            prop_assert!(hs.makespan >= lb - 1e-9,
+                "scheduler {which}: {} < lb {lb}", hs.makespan);
+            prop_assert_eq!(hs.cpu.placements.len() + hs.gpu.placements.len(), n);
+            // assignment vector agrees with where placements live
+            for pl in &hs.cpu.placements {
+                prop_assert_eq!(hs.assignment[pl.task.index()], Pool::Cpu);
+            }
+            for pl in &hs.gpu.placements {
+                prop_assert_eq!(hs.assignment[pl.task.index()], Pool::Gpu);
+            }
+        }
+    }
+
+    /// The fractional bound never exceeds the all-on-one-pool bounds
+    /// (it optimizes over a superset of assignments).
+    #[test]
+    fn fractional_bound_below_single_pool_area(seed in any::<u64>(), n in 1usize..20) {
+        let pf = HeteroPlatform { cpus: 6, gpus: 3 };
+        let g = random_hetero(seed, n, pf);
+        let lb = hetero_lower_bound(&g, pf);
+        let area_cpu: f64 = g
+            .structure()
+            .task_ids()
+            .map(|t| g.model(t, Pool::Cpu).a_min())
+            .sum::<f64>()
+            / f64::from(pf.cpus);
+        let area_gpu: f64 = g
+            .structure()
+            .task_ids()
+            .map(|t| g.model(t, Pool::Gpu).a_min())
+            .sum::<f64>()
+            / f64::from(pf.gpus);
+        // The path component can exceed single-pool *area*, so compare
+        // only the area part: lb is max(path, frac-area); frac-area <=
+        // min(all-cpu, all-gpu). Reconstruct: lb <= max(path, min areas).
+        let path_only = {
+            // per-task best tmin path
+            let mut dist = vec![0.0f64; g.n_tasks()];
+            let mut c = 0.0f64;
+            for t in g.structure().topo_order() {
+                let best = g.model(t, Pool::Cpu).t_min(pf.cpus)
+                    .min(g.model(t, Pool::Gpu).t_min(pf.gpus));
+                let longest = g.structure().preds(t).iter()
+                    .map(|p| dist[p.index()]).fold(0.0, f64::max);
+                dist[t.index()] = longest + best;
+                c = c.max(dist[t.index()]);
+            }
+            c
+        };
+        prop_assert!(lb <= path_only.max(area_cpu.min(area_gpu)) + 1e-6);
+    }
+}

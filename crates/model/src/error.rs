@@ -1,0 +1,72 @@
+//! Error type for model construction.
+
+use std::fmt;
+
+/// Why a [`crate::SpeedupModel`] could not be constructed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A parameter that must be finite and non-negative was not.
+    NegativeOrNonFinite {
+        /// Parameter name (`"w"`, `"d"`, `"c"`).
+        param: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// The maximum degree of parallelism `p̃` must be at least 1.
+    ZeroParallelism,
+    /// The task must do *some* work: `w + d > 0` is required, otherwise
+    /// its execution time could be zero or negative.
+    NoWork,
+    /// A tabulated model needs at least one entry, and every entry must
+    /// be finite and strictly positive.
+    BadTable {
+        /// Index of the offending entry, or `usize::MAX` for an empty table.
+        index: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NegativeOrNonFinite { param, value } => {
+                write!(f, "parameter {param} must be finite and >= 0, got {value}")
+            }
+            Self::ZeroParallelism => write!(f, "maximum degree of parallelism must be >= 1"),
+            Self::NoWork => write!(f, "task must have positive total work (w + d > 0)"),
+            Self::BadTable { index } if *index == usize::MAX => {
+                write!(f, "tabulated model must have at least one entry")
+            }
+            Self::BadTable { index } => {
+                write!(
+                    f,
+                    "tabulated execution time at index {index} must be finite and > 0"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::NegativeOrNonFinite {
+            param: "w",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains('w'));
+        assert!(e.to_string().contains("-1"));
+        assert!(ModelError::ZeroParallelism
+            .to_string()
+            .contains("parallelism"));
+        assert!(ModelError::NoWork.to_string().contains("positive"));
+        assert!(ModelError::BadTable { index: usize::MAX }
+            .to_string()
+            .contains("at least one"));
+        assert!(ModelError::BadTable { index: 3 }.to_string().contains('3'));
+    }
+}

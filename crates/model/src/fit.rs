@@ -1,0 +1,403 @@
+//! Fitting speedup models to measured execution times.
+//!
+//! A downstream user rarely knows `w`, `d`, `c` — they have profiling
+//! samples `(p, t(p))` from running a kernel on a few processor
+//! counts. This module fits each of the paper's model families to such
+//! samples by least squares and picks the family with the smallest
+//! residual, so measured kernels can be scheduled with the right μ.
+//!
+//! All three closed-form families are *linear in their parameters*
+//! against the basis `(1/p, 1, p − 1)`:
+//!
+//! ```text
+//! t(p) = w · (1/p) + d · 1 + c · (p − 1)
+//! ```
+//!
+//! so ordinary least squares on that basis fits the general model, and
+//! constrained variants (dropping columns) fit the special cases. The
+//! roofline cap `p̃` is chosen by scanning the sample's breakpoints.
+
+use crate::{ModelClass, ModelError, SpeedupModel};
+
+/// A fitted model with its goodness of fit.
+#[derive(Debug, Clone)]
+pub struct Fit {
+    /// The fitted model.
+    pub model: SpeedupModel,
+    /// Root-mean-square residual over the samples.
+    pub rmse: f64,
+    /// The family that was fitted.
+    pub class: ModelClass,
+}
+
+/// Why fitting failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FitError {
+    /// Fewer than two distinct processor counts.
+    NotEnoughSamples,
+    /// A sample has `p == 0` or a non-finite / non-positive time.
+    BadSample {
+        /// Index of the offending sample.
+        index: usize,
+    },
+    /// The best-fit parameters were rejected by the model validator
+    /// (e.g. the data implies negative work).
+    Degenerate(ModelError),
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NotEnoughSamples => write!(f, "need samples at >= 2 processor counts"),
+            Self::BadSample { index } => write!(f, "sample {index} is invalid"),
+            Self::Degenerate(e) => write!(f, "degenerate fit: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+fn validate(samples: &[(u32, f64)]) -> Result<(), FitError> {
+    for (index, &(p, t)) in samples.iter().enumerate() {
+        if p == 0 || !t.is_finite() || t <= 0.0 {
+            return Err(FitError::BadSample { index });
+        }
+    }
+    let mut ps: Vec<u32> = samples.iter().map(|&(p, _)| p).collect();
+    ps.sort_unstable();
+    ps.dedup();
+    if ps.len() < 2 {
+        return Err(FitError::NotEnoughSamples);
+    }
+    Ok(())
+}
+
+/// Solve the normal equations for least squares with the given basis
+/// columns (small fixed dimension; Gaussian elimination with partial
+/// pivoting).
+fn least_squares(rows: &[Vec<f64>], y: &[f64]) -> Option<Vec<f64>> {
+    let k = rows.first()?.len();
+    // A^T A and A^T y
+    let mut ata = vec![vec![0.0f64; k]; k];
+    let mut aty = vec![0.0f64; k];
+    for (row, &yi) in rows.iter().zip(y) {
+        for i in 0..k {
+            aty[i] += row[i] * yi;
+            for j in 0..k {
+                ata[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    // Gaussian elimination.
+    for col in 0..k {
+        let (pivot, maxv) = (col..k)
+            .map(|r| (r, ata[r][col].abs()))
+            .max_by(|a, b| a.1.total_cmp(&b.1))?;
+        if maxv < 1e-12 {
+            return None; // singular: basis collinear on these samples
+        }
+        ata.swap(col, pivot);
+        aty.swap(col, pivot);
+        let d = ata[col][col];
+        #[allow(clippy::needless_range_loop)]
+        for j in col..k {
+            ata[col][j] /= d;
+        }
+        aty[col] /= d;
+        for r in 0..k {
+            if r != col {
+                let f = ata[r][col];
+                if f != 0.0 {
+                    #[allow(clippy::needless_range_loop)]
+                    for j in col..k {
+                        ata[r][j] -= f * ata[col][j];
+                    }
+                    aty[r] -= f * aty[col];
+                }
+            }
+        }
+    }
+    Some(aty)
+}
+
+fn rmse(model: &SpeedupModel, samples: &[(u32, f64)]) -> f64 {
+    let ss: f64 = samples
+        .iter()
+        .map(|&(p, t)| {
+            let e = model.time(p) - t;
+            e * e
+        })
+        .sum();
+    #[allow(clippy::cast_precision_loss)]
+    (ss / samples.len() as f64).sqrt()
+}
+
+/// Fit one family to the samples. Negative fitted parameters are
+/// clamped to zero and the model re-validated (real measurements often
+/// put the optimum slightly outside the feasible cone).
+///
+/// For [`ModelClass::Roofline`] the cap `p̃` is chosen by scanning the
+/// distinct sample processor counts. [`ModelClass::Arbitrary`] builds
+/// a monotone table through the samples.
+///
+/// # Errors
+///
+/// See [`FitError`].
+pub fn fit_class(class: ModelClass, samples: &[(u32, f64)]) -> Result<Fit, FitError> {
+    validate(samples)?;
+    let build = |m: Result<SpeedupModel, ModelError>| -> Result<Fit, FitError> {
+        let model = m.map_err(FitError::Degenerate)?;
+        Ok(Fit {
+            rmse: rmse(&model, samples),
+            model,
+            class,
+        })
+    };
+    match class {
+        ModelClass::Amdahl => {
+            let rows: Vec<Vec<f64>> = samples
+                .iter()
+                .map(|&(p, _)| vec![1.0 / f64::from(p), 1.0])
+                .collect();
+            let y: Vec<f64> = samples.iter().map(|&(_, t)| t).collect();
+            let beta = least_squares(&rows, &y).ok_or(FitError::NotEnoughSamples)?;
+            build(SpeedupModel::amdahl(beta[0].max(0.0), beta[1].max(0.0)))
+        }
+        ModelClass::Communication => {
+            let rows: Vec<Vec<f64>> = samples
+                .iter()
+                .map(|&(p, _)| vec![1.0 / f64::from(p), f64::from(p) - 1.0])
+                .collect();
+            let y: Vec<f64> = samples.iter().map(|&(_, t)| t).collect();
+            let beta = least_squares(&rows, &y).ok_or(FitError::NotEnoughSamples)?;
+            build(SpeedupModel::communication(
+                beta[0].max(1e-300),
+                beta[1].max(0.0),
+            ))
+        }
+        ModelClass::General => {
+            let rows: Vec<Vec<f64>> = samples
+                .iter()
+                .map(|&(p, _)| vec![1.0 / f64::from(p), 1.0, f64::from(p) - 1.0])
+                .collect();
+            let y: Vec<f64> = samples.iter().map(|&(_, t)| t).collect();
+            match least_squares(&rows, &y) {
+                Some(beta) => build(SpeedupModel::general(
+                    beta[0].max(1e-300),
+                    u32::MAX,
+                    beta[1].max(0.0),
+                    beta[2].max(0.0),
+                )),
+                // 3-column basis can be singular on 2 distinct p's:
+                // fall back to the Amdahl fit, which is a general model.
+                None => {
+                    let f = fit_class(ModelClass::Amdahl, samples)?;
+                    let SpeedupModel::Amdahl { w, d } = f.model else {
+                        unreachable!()
+                    };
+                    build(SpeedupModel::general(w.max(1e-300), u32::MAX, d, 0.0))
+                }
+            }
+        }
+        ModelClass::Roofline => {
+            // For each candidate cap (a distinct sample p), fit w by
+            // least squares on t = w / min(p, cap); pick the best cap.
+            let mut caps: Vec<u32> = samples.iter().map(|&(p, _)| p).collect();
+            caps.sort_unstable();
+            caps.dedup();
+            let mut best: Option<Fit> = None;
+            for &cap in &caps {
+                // minimize sum (w * x_i - t_i)^2 with x_i = 1/min(p,cap)
+                let mut xx = 0.0;
+                let mut xy = 0.0;
+                for &(p, t) in samples {
+                    let x = 1.0 / f64::from(p.min(cap));
+                    xx += x * x;
+                    xy += x * t;
+                }
+                let w = (xy / xx).max(1e-300);
+                let fit = build(SpeedupModel::roofline(w, cap))?;
+                if best.as_ref().is_none_or(|b| fit.rmse < b.rmse) {
+                    best = Some(fit);
+                }
+            }
+            Ok(best.expect("at least one cap candidate"))
+        }
+        ModelClass::Arbitrary => {
+            // Monotone tabulated model through the samples: sort by p,
+            // fill gaps by carrying the previous value, and enforce
+            // non-increasing times.
+            let mut by_p: Vec<(u32, f64)> = samples.to_vec();
+            by_p.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+            let p_max = by_p.last().expect("non-empty").0;
+            let mut table = Vec::with_capacity(p_max as usize);
+            let mut cur = by_p[0].1;
+            let mut idx = 0;
+            for p in 1..=p_max {
+                while idx < by_p.len() && by_p[idx].0 == p {
+                    cur = cur.min(by_p[idx].1);
+                    idx += 1;
+                }
+                cur = cur.min(table.last().copied().unwrap_or(f64::INFINITY));
+                table.push(cur);
+            }
+            build(SpeedupModel::table(table))
+        }
+    }
+}
+
+/// Fit every closed-form family and return the best (smallest RMSE,
+/// ties broken toward the simpler family in the order roofline,
+/// communication, Amdahl, general).
+///
+/// # Errors
+///
+/// See [`FitError`].
+pub fn fit_best(samples: &[(u32, f64)]) -> Result<Fit, FitError> {
+    validate(samples)?;
+    let mut best: Option<Fit> = None;
+    for class in ModelClass::bounded_classes() {
+        let fit = fit_class(class, samples)?;
+        if best
+            .as_ref()
+            .is_none_or(|b| fit.rmse < b.rmse * (1.0 - 1e-9))
+        {
+            best = Some(fit);
+        }
+    }
+    Ok(best.expect("four candidates"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(model: &SpeedupModel, ps: &[u32]) -> Vec<(u32, f64)> {
+        ps.iter().map(|&p| (p, model.time(p))).collect()
+    }
+
+    #[test]
+    fn recovers_exact_amdahl() {
+        let truth = SpeedupModel::amdahl(37.0, 2.5).unwrap();
+        let fit = fit_class(ModelClass::Amdahl, &sample(&truth, &[1, 2, 4, 8, 16])).unwrap();
+        assert!(fit.rmse < 1e-9, "rmse = {}", fit.rmse);
+        let SpeedupModel::Amdahl { w, d } = fit.model else {
+            panic!()
+        };
+        assert!((w - 37.0).abs() < 1e-6 && (d - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn recovers_exact_communication() {
+        let truth = SpeedupModel::communication(120.0, 0.7).unwrap();
+        let fit = fit_class(
+            ModelClass::Communication,
+            &sample(&truth, &[1, 2, 4, 8, 16]),
+        )
+        .unwrap();
+        assert!(fit.rmse < 1e-9);
+    }
+
+    #[test]
+    fn recovers_exact_general() {
+        let truth = SpeedupModel::general(200.0, u32::MAX, 3.0, 0.4).unwrap();
+        let fit = fit_class(
+            ModelClass::General,
+            &sample(&truth, &[1, 2, 3, 4, 8, 16, 32]),
+        )
+        .unwrap();
+        assert!(fit.rmse < 1e-8, "rmse = {}", fit.rmse);
+    }
+
+    #[test]
+    fn recovers_roofline_cap() {
+        let truth = SpeedupModel::roofline(64.0, 8).unwrap();
+        let fit = fit_class(ModelClass::Roofline, &sample(&truth, &[1, 2, 4, 8, 16, 32])).unwrap();
+        assert!(fit.rmse < 1e-9);
+        let SpeedupModel::Roofline { w, pbar } = fit.model else {
+            panic!()
+        };
+        assert_eq!(pbar, 8);
+        assert!((w - 64.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn best_fit_selects_the_generating_family() {
+        for truth in [
+            SpeedupModel::roofline(64.0, 8).unwrap(),
+            SpeedupModel::communication(120.0, 0.7).unwrap(),
+            SpeedupModel::amdahl(37.0, 2.5).unwrap(),
+        ] {
+            let fit = fit_best(&sample(&truth, &[1, 2, 3, 4, 6, 8, 12, 16, 24, 32])).unwrap();
+            assert!(fit.rmse < 1e-6, "{truth:?} -> rmse {}", fit.rmse);
+            // the winner must predict the truth everywhere
+            for p in 1..=32 {
+                assert!(
+                    (fit.model.time(p) - truth.time(p)).abs() < 1e-5,
+                    "{truth:?} vs {:?} at p={p}",
+                    fit.model
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn noisy_samples_still_fit_reasonably() {
+        let truth = SpeedupModel::amdahl(100.0, 5.0).unwrap();
+        // deterministic multiplicative "noise"
+        let noisy: Vec<(u32, f64)> = [1u32, 2, 4, 8, 16, 32]
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let eps = 1.0 + 0.02 * if i % 2 == 0 { 1.0 } else { -1.0 };
+                (p, truth.time(p) * eps)
+            })
+            .collect();
+        let fit = fit_best(&noisy).unwrap();
+        for p in [1u32, 4, 16] {
+            let rel = (fit.model.time(p) - truth.time(p)).abs() / truth.time(p);
+            assert!(rel < 0.1, "p={p}: rel err {rel}");
+        }
+    }
+
+    #[test]
+    fn arbitrary_fit_is_monotone_table() {
+        // Non-monotone raw measurements become a monotone model.
+        let samples = vec![(1, 10.0), (2, 6.0), (3, 7.5), (4, 4.0)];
+        let fit = fit_class(ModelClass::Arbitrary, &samples).unwrap();
+        let SpeedupModel::Table(ts) = &fit.model else {
+            panic!()
+        };
+        assert_eq!(ts.len(), 4);
+        for w in ts.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+        assert_eq!(fit.model.time(2), 6.0);
+        assert_eq!(fit.model.time(3), 6.0); // monotone floor
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(matches!(
+            fit_best(&[(4, 1.0), (4, 1.1)]),
+            Err(FitError::NotEnoughSamples)
+        ));
+        assert!(matches!(
+            fit_best(&[(0, 1.0), (2, 1.0)]),
+            Err(FitError::BadSample { index: 0 })
+        ));
+        assert!(matches!(
+            fit_best(&[(1, -1.0), (2, 1.0)]),
+            Err(FitError::BadSample { index: 0 })
+        ));
+    }
+
+    #[test]
+    fn two_point_general_falls_back_gracefully() {
+        // Only two distinct p's: the 3-parameter basis is singular, the
+        // general fit must still return something sensible.
+        let truth = SpeedupModel::amdahl(10.0, 1.0).unwrap();
+        let fit = fit_class(ModelClass::General, &sample(&truth, &[1, 4])).unwrap();
+        assert!(fit.rmse < 1e-9);
+    }
+}

@@ -1,0 +1,269 @@
+//! Derived per-task allocation limits (Section 3.2 of the paper):
+//! `p_max` (Eq. 5), `t_min`, `a_min`, and the monotonic property
+//! (Lemma 1).
+
+use crate::SpeedupModel;
+
+/// For models with a communication term `c > 0`, the continuous
+/// minimizer of `w/p + c(p−1)` is `s = √(w/c)`; the paper's `p̂`
+/// (Eq. 5) is whichever of `⌊s⌋`, `⌈s⌉` gives the smaller time.
+fn p_hat(model: &SpeedupModel, w: f64, c: f64) -> u32 {
+    debug_assert!(c > 0.0);
+    let s = (w / c).sqrt();
+    // Guard the degenerate s < 1 case (more overhead than work).
+    let lo = (s.floor() as u32).max(1);
+    let hi = (s.ceil() as u32).max(1);
+    if model.time(lo) <= model.time(hi) {
+        lo
+    } else {
+        hi
+    }
+}
+
+impl SpeedupModel {
+    /// The largest *useful* allocation on a `P`-processor platform
+    /// (Eq. 5): `p_max = min(P, p̃, p̂)`. Allocating more processors
+    /// than `p_max` cannot decrease the execution time and only
+    /// increases the area, so no reasonable algorithm exceeds it.
+    ///
+    /// For closed-form models this is O(1). For [`SpeedupModel::Table`]
+    /// it scans the table, and for a [`SpeedupModel::Formula`] that is
+    /// not flagged non-increasing it scans all `P` allocations (O(P)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_total == 0`.
+    #[must_use]
+    pub fn p_max(&self, p_total: u32) -> u32 {
+        assert!(p_total >= 1, "the platform has at least one processor");
+        match self {
+            Self::Roofline { pbar, .. } => p_total.min(*pbar),
+            Self::Communication { w, c } => {
+                if *c == 0.0 {
+                    p_total
+                } else {
+                    p_total.min(p_hat(self, *w, *c))
+                }
+            }
+            Self::Amdahl { .. } => p_total,
+            Self::General { w, pbar, c, .. } => {
+                let cap = p_total.min(*pbar);
+                if *c == 0.0 {
+                    cap
+                } else {
+                    cap.min(p_hat(self, *w, *c))
+                }
+            }
+            Self::Table(ts) => {
+                let cap = p_total.min(ts.len() as u32);
+                smallest_argmin_time(self, cap)
+            }
+            Self::Formula { nonincreasing, .. } => {
+                if *nonincreasing {
+                    p_total
+                } else {
+                    smallest_argmin_time(self, p_total)
+                }
+            }
+        }
+    }
+
+    /// Minimum execution time on a `P`-processor platform:
+    /// `t_min = t(p_max)`.
+    #[must_use]
+    pub fn t_min(&self, p_total: u32) -> f64 {
+        self.time(self.p_max(p_total))
+    }
+
+    /// Minimum area of the task: `a_min = a(1)` (Definition 1).
+    ///
+    /// This is exact for the paper's closed-form models (Lemma 1: the
+    /// area is non-decreasing on `[1, p_max]`) and for any model
+    /// without superlinear speedup. For arbitrary models that *do*
+    /// speed up superlinearly, use [`SpeedupModel::a_min_exact`].
+    #[must_use]
+    pub fn a_min(&self) -> f64 {
+        self.area(1)
+    }
+
+    /// Exact minimum area over all allocations in `[1, P]`. O(P) for
+    /// arbitrary models; falls back to `a(1)` for closed-form models.
+    #[must_use]
+    pub fn a_min_exact(&self, p_total: u32) -> f64 {
+        match self {
+            Self::Table(_) | Self::Formula { .. } => (1..=p_total)
+                .map(|p| self.area(p))
+                .fold(f64::INFINITY, f64::min),
+            _ => self.a_min(),
+        }
+    }
+
+    /// Does the task satisfy the monotonic property of Lepère et al.
+    /// on `[1, p_max(P)]` — time non-increasing *and* area
+    /// non-decreasing? Lemma 1 proves this always holds for Eq. (1)
+    /// models; exposed mainly for tests and for vetting arbitrary
+    /// models. O(p_max).
+    #[must_use]
+    pub fn is_monotonic(&self, p_total: u32) -> bool {
+        let pm = self.p_max(p_total);
+        let mut prev_t = self.time(1);
+        let mut prev_a = self.area(1);
+        for p in 2..=pm {
+            let t = self.time(p);
+            let a = self.area(p);
+            // Tolerate tiny float noise in the comparisons.
+            let eps_t = 1e-12 * prev_t.abs().max(1.0);
+            let eps_a = 1e-12 * prev_a.abs().max(1.0);
+            if t > prev_t + eps_t || a < prev_a - eps_a {
+                return false;
+            }
+            prev_t = t;
+            prev_a = a;
+        }
+        true
+    }
+}
+
+/// Smallest `p ∈ [1, cap]` minimizing `t(p)` (ties broken low).
+fn smallest_argmin_time(model: &SpeedupModel, cap: u32) -> u32 {
+    let mut best_p = 1;
+    let mut best_t = model.time(1);
+    for p in 2..=cap {
+        let t = model.time(p);
+        if t < best_t {
+            best_t = t;
+            best_p = p;
+        }
+    }
+    best_p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roofline_p_max_is_min_of_platform_and_pbar() {
+        let m = SpeedupModel::roofline(10.0, 8).unwrap();
+        assert_eq!(m.p_max(4), 4);
+        assert_eq!(m.p_max(8), 8);
+        assert_eq!(m.p_max(100), 8);
+        assert_eq!(m.t_min(100), 10.0 / 8.0);
+        assert_eq!(m.a_min(), 10.0);
+    }
+
+    #[test]
+    fn communication_p_max_near_sqrt() {
+        // w = 16, c = 1 → s = 4, and t(4) = 7 is the exact minimum.
+        let m = SpeedupModel::communication(16.0, 1.0).unwrap();
+        assert_eq!(m.p_max(100), 4);
+        assert_eq!(m.t_min(100), 7.0);
+        // Platform smaller than s: capped at P.
+        assert_eq!(m.p_max(3), 3);
+    }
+
+    #[test]
+    fn communication_p_max_rounding() {
+        // w = 10, c = 1 → s = √10 ≈ 3.16; t(3) = 10/3 + 2 ≈ 5.33,
+        // t(4) = 2.5 + 3 = 5.5, so floor wins.
+        let m = SpeedupModel::communication(10.0, 1.0).unwrap();
+        assert_eq!(m.p_max(100), 3);
+        // w = 14, c = 1 → s ≈ 3.74; t(3) ≈ 6.67, t(4) = 6.5: ceil wins.
+        let m = SpeedupModel::communication(14.0, 1.0).unwrap();
+        assert_eq!(m.p_max(100), 4);
+    }
+
+    #[test]
+    fn communication_degenerate_small_work() {
+        // w < c: s < 1, a single processor is best.
+        let m = SpeedupModel::communication(0.5, 2.0).unwrap();
+        assert_eq!(m.p_max(100), 1);
+        assert_eq!(m.t_min(100), 0.5);
+    }
+
+    #[test]
+    fn communication_zero_c_behaves_like_unbounded_roofline() {
+        let m = SpeedupModel::communication(16.0, 0.0).unwrap();
+        assert_eq!(m.p_max(64), 64);
+        assert_eq!(m.t_min(64), 0.25);
+    }
+
+    #[test]
+    fn amdahl_p_max_is_platform() {
+        let m = SpeedupModel::amdahl(100.0, 1.0).unwrap();
+        assert_eq!(m.p_max(32), 32);
+        assert_eq!(m.t_min(32), 100.0 / 32.0 + 1.0);
+        assert_eq!(m.a_min(), 101.0);
+    }
+
+    #[test]
+    fn general_p_max_combines_caps() {
+        // s = √(100/1) = 10; pbar = 6 dominates.
+        let m = SpeedupModel::general(100.0, 6, 1.0, 1.0).unwrap();
+        assert_eq!(m.p_max(64), 6);
+        // pbar large: p̂ = 10 dominates.
+        let m = SpeedupModel::general(100.0, 64, 1.0, 1.0).unwrap();
+        assert_eq!(m.p_max(64), 10);
+        // platform dominates.
+        assert_eq!(m.p_max(4), 4);
+        // c = 0: only pbar and P cap.
+        let m = SpeedupModel::general(100.0, 16, 1.0, 0.0).unwrap();
+        assert_eq!(m.p_max(64), 16);
+    }
+
+    #[test]
+    fn table_p_max_scans() {
+        let m = SpeedupModel::table(vec![4.0, 3.0, 3.5, 2.0, 2.5]).unwrap();
+        assert_eq!(m.p_max(100), 4);
+        assert_eq!(m.t_min(100), 2.0);
+        assert_eq!(m.p_max(3), 2); // capped scan
+    }
+
+    #[test]
+    fn table_p_max_tie_breaks_low() {
+        let m = SpeedupModel::table(vec![2.0, 1.0, 1.0]).unwrap();
+        assert_eq!(m.p_max(100), 2);
+    }
+
+    #[test]
+    fn formula_nonincreasing_short_circuits() {
+        let m = SpeedupModel::formula(|p| 1.0 / (f64::from(p).log2() + 1.0), true);
+        assert_eq!(m.p_max(1_000_000), 1_000_000);
+    }
+
+    #[test]
+    fn formula_scan_finds_interior_minimum() {
+        let m = SpeedupModel::formula(|p| (f64::from(p) - 7.0).powi(2) + 1.0, false);
+        assert_eq!(m.p_max(100), 7);
+    }
+
+    #[test]
+    fn a_min_exact_catches_superlinear_tables() {
+        // Superlinear: t(2) < t(1)/2, so a(2) < a(1).
+        let m = SpeedupModel::table(vec![4.0, 1.0]).unwrap();
+        assert_eq!(m.a_min(), 4.0);
+        assert_eq!(m.a_min_exact(8), 2.0);
+        // Closed-form models fall back to a(1).
+        let m = SpeedupModel::amdahl(3.0, 1.0).unwrap();
+        assert_eq!(m.a_min_exact(8), m.a_min());
+    }
+
+    #[test]
+    fn lemma1_monotonicity_holds_for_closed_forms() {
+        let models = [
+            SpeedupModel::roofline(37.0, 13).unwrap(),
+            SpeedupModel::communication(220.0, 0.7).unwrap(),
+            SpeedupModel::amdahl(55.0, 3.0).unwrap(),
+            SpeedupModel::general(120.0, 24, 2.0, 0.3).unwrap(),
+        ];
+        for m in &models {
+            assert!(m.is_monotonic(256), "{m:?} must be monotonic on [1, p_max]");
+        }
+    }
+
+    #[test]
+    fn non_monotonic_table_detected() {
+        let m = SpeedupModel::table(vec![4.0, 1.0, 2.0, 0.5]).unwrap();
+        assert!(!m.is_monotonic(4));
+    }
+}

@@ -1,0 +1,261 @@
+//! Textual syntax for speedup models, used by the workflow file format
+//! and the CLI:
+//!
+//! ```text
+//! roofline(w=10, pbar=8)
+//! comm(w=10, c=0.5)            # or communication(...)
+//! amdahl(w=10, d=1)
+//! general(w=10, pbar=8, d=1, c=0.5)
+//! table(4, 2, 1.5)             # t(1), t(2), t(3); extends rightward
+//! ```
+//!
+//! Whitespace is insignificant; named parameters may appear in any
+//! order; omitted optional parameters default to zero overhead
+//! (`d = 0`, `c = 0`) or unbounded parallelism (`pbar = u32::MAX`).
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::{ModelError, SpeedupModel};
+
+/// Why a model string failed to parse.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// Input doesn't look like `name(args)`.
+    Syntax(String),
+    /// Unknown model family name.
+    UnknownFamily(String),
+    /// A `key=value` argument with an unknown key for this family.
+    UnknownParam(String),
+    /// A value failed to parse as a number.
+    BadNumber(String),
+    /// A required parameter is missing.
+    Missing(&'static str),
+    /// The parameters were parsed but rejected by the model validator.
+    Invalid(ModelError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Syntax(s) => write!(f, "expected `family(args)`, got `{s}`"),
+            Self::UnknownFamily(s) => write!(f, "unknown model family `{s}`"),
+            Self::UnknownParam(s) => write!(f, "unknown parameter `{s}`"),
+            Self::BadNumber(s) => write!(f, "not a number: `{s}`"),
+            Self::Missing(p) => write!(f, "missing required parameter `{p}`"),
+            Self::Invalid(e) => write!(f, "invalid model: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<ModelError> for ParseError {
+    fn from(e: ModelError) -> Self {
+        Self::Invalid(e)
+    }
+}
+
+fn parse_f64(s: &str) -> Result<f64, ParseError> {
+    s.trim()
+        .parse::<f64>()
+        .map_err(|_| ParseError::BadNumber(s.trim().to_string()))
+}
+
+fn parse_u32(s: &str) -> Result<u32, ParseError> {
+    s.trim()
+        .parse::<u32>()
+        .map_err(|_| ParseError::BadNumber(s.trim().to_string()))
+}
+
+/// Collect `key=value` pairs (any order).
+fn named_args(body: &str) -> Result<Vec<(String, String)>, ParseError> {
+    let mut out = Vec::new();
+    for part in body.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let Some((k, v)) = part.split_once('=') else {
+            return Err(ParseError::Syntax(part.to_string()));
+        };
+        out.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+    }
+    Ok(out)
+}
+
+impl FromStr for SpeedupModel {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let Some(open) = s.find('(') else {
+            return Err(ParseError::Syntax(s.to_string()));
+        };
+        if !s.ends_with(')') {
+            return Err(ParseError::Syntax(s.to_string()));
+        }
+        let family = s[..open].trim().to_ascii_lowercase();
+        let body = &s[open + 1..s.len() - 1];
+
+        if family == "table" {
+            let times = body
+                .split(',')
+                .filter(|p| !p.trim().is_empty())
+                .map(parse_f64)
+                .collect::<Result<Vec<_>, _>>()?;
+            return Ok(SpeedupModel::table(times)?);
+        }
+
+        let mut w: Option<f64> = None;
+        let mut d: Option<f64> = None;
+        let mut c: Option<f64> = None;
+        let mut pbar: Option<u32> = None;
+        for (k, v) in named_args(body)? {
+            match k.as_str() {
+                "w" => w = Some(parse_f64(&v)?),
+                "d" => d = Some(parse_f64(&v)?),
+                "c" => c = Some(parse_f64(&v)?),
+                "pbar" | "p" => pbar = Some(parse_u32(&v)?),
+                other => return Err(ParseError::UnknownParam(other.to_string())),
+            }
+        }
+        let need_w = || w.ok_or(ParseError::Missing("w"));
+        match family.as_str() {
+            "roofline" => Ok(SpeedupModel::roofline(
+                need_w()?,
+                pbar.ok_or(ParseError::Missing("pbar"))?,
+            )?),
+            "comm" | "communication" => {
+                Ok(SpeedupModel::communication(need_w()?, c.unwrap_or(0.0))?)
+            }
+            "amdahl" => Ok(SpeedupModel::amdahl(need_w()?, d.unwrap_or(0.0))?),
+            "general" => Ok(SpeedupModel::general(
+                need_w()?,
+                pbar.unwrap_or(u32::MAX),
+                d.unwrap_or(0.0),
+                c.unwrap_or(0.0),
+            )?),
+            other => Err(ParseError::UnknownFamily(other.to_string())),
+        }
+    }
+}
+
+impl SpeedupModel {
+    /// Render the model in the syntax accepted by [`FromStr`].
+    /// [`SpeedupModel::Formula`] has no textual form and renders as a
+    /// placeholder that will not re-parse.
+    #[must_use]
+    pub fn to_spec(&self) -> String {
+        match self {
+            Self::Roofline { w, pbar } => format!("roofline(w={w}, pbar={pbar})"),
+            Self::Communication { w, c } => format!("comm(w={w}, c={c})"),
+            Self::Amdahl { w, d } => format!("amdahl(w={w}, d={d})"),
+            Self::General { w, pbar, d, c } => {
+                format!("general(w={w}, pbar={pbar}, d={d}, c={c})")
+            }
+            Self::Table(ts) => {
+                let items: Vec<String> = ts.iter().map(ToString::to_string).collect();
+                format!("table({})", items.join(", "))
+            }
+            Self::Formula { .. } => "<formula>".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_families() {
+        let m: SpeedupModel = "roofline(w=10, pbar=8)".parse().unwrap();
+        assert_eq!(m.time(16), 10.0 / 8.0);
+        let m: SpeedupModel = "comm(w=12, c=0.5)".parse().unwrap();
+        assert_eq!(m.time(2), 6.5);
+        let m: SpeedupModel = "communication(w=12,c=0.5)".parse().unwrap();
+        assert_eq!(m.time(2), 6.5);
+        let m: SpeedupModel = "amdahl(w=9, d=1)".parse().unwrap();
+        assert_eq!(m.time(3), 4.0);
+        let m: SpeedupModel = "general(w=8, pbar=4, d=1, c=0.25)".parse().unwrap();
+        assert_eq!(m.time(2), 4.0 + 1.0 + 0.25);
+        let m: SpeedupModel = "table(4, 2, 1.5)".parse().unwrap();
+        assert_eq!(m.time(2), 2.0);
+    }
+
+    #[test]
+    fn parameter_order_and_whitespace_are_free() {
+        let a: SpeedupModel = "general(c=0.1, w=5, d=2, pbar=3)".parse().unwrap();
+        let b: SpeedupModel = "  general( w = 5 , pbar=3, d =2, c= 0.1 )  "
+            .parse()
+            .unwrap();
+        for p in 1..=8 {
+            assert_eq!(a.time(p), b.time(p));
+        }
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let m: SpeedupModel = "amdahl(w=6)".parse().unwrap();
+        assert_eq!(m.time(6), 1.0); // d defaults to 0
+        let m: SpeedupModel = "general(w=6)".parse().unwrap();
+        assert_eq!(m.time(6), 1.0); // unbounded pbar, zero overheads
+    }
+
+    #[test]
+    fn spec_roundtrip() {
+        for s in [
+            "roofline(w=10, pbar=8)",
+            "comm(w=12, c=0.5)",
+            "amdahl(w=9, d=1)",
+            "general(w=8, pbar=4, d=1, c=0.25)",
+            "table(4, 2, 1.5)",
+        ] {
+            let m: SpeedupModel = s.parse().unwrap();
+            let again: SpeedupModel = m.to_spec().parse().unwrap();
+            for p in 1..=10 {
+                assert_eq!(m.time(p), again.time(p), "roundtrip of {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        assert!(matches!(
+            "nope(w=1)".parse::<SpeedupModel>(),
+            Err(ParseError::UnknownFamily(_))
+        ));
+        assert!(matches!(
+            "amdahl(w=1, z=2)".parse::<SpeedupModel>(),
+            Err(ParseError::UnknownParam(_))
+        ));
+        assert!(matches!(
+            "amdahl(d=1)".parse::<SpeedupModel>(),
+            Err(ParseError::Missing("w"))
+        ));
+        assert!(matches!(
+            "amdahl(w=abc)".parse::<SpeedupModel>(),
+            Err(ParseError::BadNumber(_))
+        ));
+        assert!(matches!(
+            "amdahl w=1".parse::<SpeedupModel>(),
+            Err(ParseError::Syntax(_))
+        ));
+        assert!(matches!(
+            "amdahl(w=-1)".parse::<SpeedupModel>(),
+            Err(ParseError::Invalid(_))
+        ));
+        assert!(matches!(
+            "table()".parse::<SpeedupModel>(),
+            Err(ParseError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn display_messages() {
+        let e = "nope(w=1)".parse::<SpeedupModel>().unwrap_err();
+        assert!(e.to_string().contains("unknown model family"));
+        let e = "amdahl(d=1)".parse::<SpeedupModel>().unwrap_err();
+        assert!(e.to_string().contains("missing required"));
+    }
+}

@@ -1,0 +1,208 @@
+//! Random generation of task parameters for synthetic workloads.
+//!
+//! The paper's evaluation is analytic, but its conclusion calls for
+//! experiments "using realistic workflows". This module provides the
+//! parameter distributions used by the repository's empirical benches:
+//! log-uniform work (task sizes in real workflows span orders of
+//! magnitude), uniform sequential/communication *fractions* relative to
+//! the work, and a parallelism cap drawn from a bounded range.
+
+use rand::Rng;
+
+use crate::{ModelClass, SpeedupModel};
+
+/// Distribution of the parameters of randomly generated tasks.
+#[derive(Debug, Clone)]
+pub struct ParamDistribution {
+    /// Work `w` is drawn log-uniformly from `[w_min, w_max]`.
+    pub w_min: f64,
+    /// Upper end of the work range (inclusive).
+    pub w_max: f64,
+    /// Sequential fraction: `d = w · U[d_frac.0, d_frac.1]`.
+    pub d_frac: (f64, f64),
+    /// Communication overhead: `c = w · U[c_frac.0, c_frac.1] / P`,
+    /// scaled by the platform size so that `p̂ = √(w/c)` lands in a
+    /// platform-relevant range.
+    pub c_frac: (f64, f64),
+    /// Maximum degree of parallelism `p̃` drawn uniformly from
+    /// `[pbar_min, pbar_max]` (clamped to `[1, P]` at sample time).
+    pub pbar_range: (u32, u32),
+}
+
+impl Default for ParamDistribution {
+    /// Work spanning three decades, up to 10% sequential fraction,
+    /// mild communication overhead, parallelism cap anywhere in the
+    /// platform.
+    fn default() -> Self {
+        Self {
+            w_min: 1.0,
+            w_max: 1000.0,
+            d_frac: (0.0, 0.1),
+            c_frac: (0.0, 0.05),
+            pbar_range: (1, u32::MAX),
+        }
+    }
+}
+
+impl ParamDistribution {
+    /// Draw one work value (log-uniform on `[w_min, w_max]`).
+    fn sample_w<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        assert!(
+            self.w_min > 0.0 && self.w_max >= self.w_min,
+            "work range must satisfy 0 < w_min <= w_max"
+        );
+        if self.w_min == self.w_max {
+            return self.w_min;
+        }
+        let (lo, hi) = (self.w_min.ln(), self.w_max.ln());
+        (rng.gen_range(lo..=hi)).exp()
+    }
+
+    fn sample_frac<R: Rng + ?Sized>(range: (f64, f64), rng: &mut R) -> f64 {
+        assert!(0.0 <= range.0 && range.0 <= range.1, "bad fraction range");
+        if range.0 == range.1 {
+            range.0
+        } else {
+            rng.gen_range(range.0..=range.1)
+        }
+    }
+
+    /// Sample one task of the given class for a `P`-processor platform.
+    ///
+    /// For [`ModelClass::Arbitrary`] this produces a random *monotonic*
+    /// tabulated model (time non-increasing, area non-decreasing) so
+    /// that the sampled workload still admits the lower bounds of
+    /// Lemma 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_total == 0` or the distribution ranges are invalid.
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        class: ModelClass,
+        p_total: u32,
+        rng: &mut R,
+    ) -> SpeedupModel {
+        assert!(p_total >= 1);
+        let w = self.sample_w(rng);
+        let d = w * Self::sample_frac(self.d_frac, rng);
+        let c = w * Self::sample_frac(self.c_frac, rng) / f64::from(p_total);
+        let pbar_lo = self.pbar_range.0.clamp(1, p_total);
+        let pbar_hi = self.pbar_range.1.clamp(pbar_lo, p_total);
+        let pbar = rng.gen_range(pbar_lo..=pbar_hi);
+        match class {
+            ModelClass::Roofline => SpeedupModel::roofline(w, pbar),
+            // The paper's communication model requires c > 0 to be a
+            // distinct family; nudge zero draws up.
+            ModelClass::Communication => {
+                SpeedupModel::communication(w, c.max(1e-9 * w / f64::from(p_total)))
+            }
+            ModelClass::Amdahl => SpeedupModel::amdahl(w, d),
+            ModelClass::General => SpeedupModel::general(w, pbar, d, c),
+            ModelClass::Arbitrary => Ok(random_monotonic_table(w, p_total.min(64), rng)),
+        }
+        .expect("sampled parameters are valid by construction")
+    }
+}
+
+/// A random monotonic tabulated model: `t(1) = w`, each further
+/// processor multiplies the time by a factor in `[1/p · (p−1), 1]`
+/// rescaled so the area never decreases.
+fn random_monotonic_table<R: Rng + ?Sized>(w: f64, len: u32, rng: &mut R) -> SpeedupModel {
+    let mut times = Vec::with_capacity(len as usize);
+    let mut t = w;
+    times.push(t);
+    for p in 2..=len {
+        // Area non-decreasing requires t(p) >= t(p−1) · (p−1)/p;
+        // time non-increasing requires t(p) <= t(p−1).
+        let lo = t * f64::from(p - 1) / f64::from(p);
+        t = rng.gen_range(lo..=t);
+        times.push(t);
+    }
+    SpeedupModel::table(times).expect("monotonic table entries are positive")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampled_models_match_requested_class() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let dist = ParamDistribution::default();
+        for class in [
+            ModelClass::Roofline,
+            ModelClass::Communication,
+            ModelClass::Amdahl,
+            ModelClass::General,
+            ModelClass::Arbitrary,
+        ] {
+            let m = dist.sample(class, 64, &mut rng);
+            assert_eq!(m.class(), class, "sample of {class} has wrong class");
+        }
+    }
+
+    #[test]
+    fn sampled_work_within_range() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let dist = ParamDistribution {
+            w_min: 2.0,
+            w_max: 50.0,
+            ..Default::default()
+        };
+        for _ in 0..200 {
+            let m = dist.sample(ModelClass::Amdahl, 16, &mut rng);
+            let SpeedupModel::Amdahl { w, .. } = m else {
+                panic!()
+            };
+            assert!((2.0..=50.0).contains(&w), "w={w} outside range");
+        }
+    }
+
+    #[test]
+    fn sampled_arbitrary_tables_are_monotonic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dist = ParamDistribution::default();
+        for _ in 0..50 {
+            let m = dist.sample(ModelClass::Arbitrary, 48, &mut rng);
+            assert!(
+                m.is_monotonic(48),
+                "sampled arbitrary model must be monotonic"
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_closed_forms_are_monotonic() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let dist = ParamDistribution::default();
+        for class in ModelClass::bounded_classes() {
+            for _ in 0..50 {
+                let m = dist.sample(class, 128, &mut rng);
+                assert!(m.is_monotonic(128), "{m:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_point_ranges_are_allowed() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let dist = ParamDistribution {
+            w_min: 5.0,
+            w_max: 5.0,
+            d_frac: (0.2, 0.2),
+            c_frac: (0.0, 0.0),
+            pbar_range: (4, 4),
+        };
+        let m = dist.sample(ModelClass::General, 16, &mut rng);
+        let SpeedupModel::General { w, pbar, d, c } = m else {
+            panic!()
+        };
+        assert_eq!(w, 5.0);
+        assert_eq!(pbar, 4);
+        assert!((d - 1.0).abs() < 1e-12);
+        assert!(c >= 0.0);
+    }
+}

@@ -1,0 +1,352 @@
+//! The execution-time function `t(p)` of a moldable task.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::{ModelClass, ModelError};
+
+/// Closure type for arbitrary (formula-based) speedup models.
+pub type TimeFn = dyn Fn(u32) -> f64 + Send + Sync;
+
+/// The execution-time function of a moldable task, i.e. its *speedup
+/// model*: how long the task runs on `p` processors.
+///
+/// The first four variants are the paper's Eq. (1)–(4); the last two
+/// implement the *arbitrary* model of Section 5 (any function of `p`).
+///
+/// All variants are immutable and cheap to clone ([`Arc`] inside the
+/// arbitrary ones), so a task graph can store one per task.
+#[derive(Clone)]
+pub enum SpeedupModel {
+    /// Roofline (Eq. 2): `t(p) = w / min(p, p̃)` — linear speedup up to
+    /// the maximum degree of parallelism `p̃`.
+    Roofline {
+        /// Total parallelizable work `w > 0`.
+        w: f64,
+        /// Maximum degree of parallelism `p̃ ≥ 1`.
+        pbar: u32,
+    },
+    /// Communication (Eq. 3): `t(p) = w/p + c (p − 1)`.
+    Communication {
+        /// Total parallelizable work `w > 0`.
+        w: f64,
+        /// Per-processor communication overhead `c ≥ 0`.
+        c: f64,
+    },
+    /// Amdahl (Eq. 4): `t(p) = w/p + d`.
+    Amdahl {
+        /// Parallelizable work `w ≥ 0`.
+        w: f64,
+        /// Inherently sequential work `d ≥ 0` (with `w + d > 0`).
+        d: f64,
+    },
+    /// General (Eq. 1): `t(p) = w / min(p, p̃) + d + c (p − 1)`.
+    General {
+        /// Total parallelizable work `w ≥ 0`.
+        w: f64,
+        /// Maximum degree of parallelism `p̃ ≥ 1`.
+        pbar: u32,
+        /// Inherently sequential work `d ≥ 0`.
+        d: f64,
+        /// Per-processor communication overhead `c ≥ 0`.
+        c: f64,
+    },
+    /// Arbitrary model given by a table: entry `i` is `t(i + 1)`.
+    /// Allocations beyond the table length behave like the last entry
+    /// (extra processors bring no further change).
+    Table(Arc<[f64]>),
+    /// Arbitrary model given by a closure `p ↦ t(p)`.
+    Formula {
+        /// The execution-time function; must return finite positive
+        /// values for every `p ≥ 1` the platform can offer.
+        f: Arc<TimeFn>,
+        /// Caller-supplied promise that `t` is non-increasing in `p`.
+        /// When `true`, [`SpeedupModel::p_max`] is `P` in O(1) instead
+        /// of an O(P) scan.
+        nonincreasing: bool,
+    },
+}
+
+fn check_nonneg(param: &'static str, value: f64) -> Result<(), ModelError> {
+    if value.is_finite() && value >= 0.0 {
+        Ok(())
+    } else {
+        Err(ModelError::NegativeOrNonFinite { param, value })
+    }
+}
+
+impl SpeedupModel {
+    /// Validated constructor for the roofline model `t(p) = w / min(p, p̃)`.
+    ///
+    /// # Errors
+    ///
+    /// `w` must be finite and strictly positive, `pbar ≥ 1`.
+    pub fn roofline(w: f64, pbar: u32) -> Result<Self, ModelError> {
+        check_nonneg("w", w)?;
+        if w == 0.0 {
+            return Err(ModelError::NoWork);
+        }
+        if pbar == 0 {
+            return Err(ModelError::ZeroParallelism);
+        }
+        Ok(Self::Roofline { w, pbar })
+    }
+
+    /// Validated constructor for the communication model
+    /// `t(p) = w/p + c (p − 1)`.
+    ///
+    /// # Errors
+    ///
+    /// `w` must be finite and strictly positive, `c` finite and `≥ 0`.
+    pub fn communication(w: f64, c: f64) -> Result<Self, ModelError> {
+        check_nonneg("w", w)?;
+        check_nonneg("c", c)?;
+        if w == 0.0 {
+            return Err(ModelError::NoWork);
+        }
+        Ok(Self::Communication { w, c })
+    }
+
+    /// Validated constructor for the Amdahl model `t(p) = w/p + d`.
+    ///
+    /// # Errors
+    ///
+    /// `w` and `d` must be finite and `≥ 0` with `w + d > 0`.
+    pub fn amdahl(w: f64, d: f64) -> Result<Self, ModelError> {
+        check_nonneg("w", w)?;
+        check_nonneg("d", d)?;
+        if w + d == 0.0 {
+            return Err(ModelError::NoWork);
+        }
+        Ok(Self::Amdahl { w, d })
+    }
+
+    /// Validated constructor for the general model (Eq. 1).
+    ///
+    /// # Errors
+    ///
+    /// `w`, `d`, `c` must be finite and `≥ 0` with `w + d > 0`; `pbar ≥ 1`.
+    pub fn general(w: f64, pbar: u32, d: f64, c: f64) -> Result<Self, ModelError> {
+        check_nonneg("w", w)?;
+        check_nonneg("d", d)?;
+        check_nonneg("c", c)?;
+        if w + d == 0.0 {
+            return Err(ModelError::NoWork);
+        }
+        if pbar == 0 {
+            return Err(ModelError::ZeroParallelism);
+        }
+        Ok(Self::General { w, pbar, d, c })
+    }
+
+    /// Validated constructor for a tabulated arbitrary model; `times[i]`
+    /// is the execution time on `i + 1` processors.
+    ///
+    /// # Errors
+    ///
+    /// The table must be non-empty and all entries finite and `> 0`.
+    pub fn table(times: Vec<f64>) -> Result<Self, ModelError> {
+        if times.is_empty() {
+            return Err(ModelError::BadTable { index: usize::MAX });
+        }
+        for (index, &t) in times.iter().enumerate() {
+            if !t.is_finite() || t <= 0.0 {
+                return Err(ModelError::BadTable { index });
+            }
+        }
+        Ok(Self::Table(times.into()))
+    }
+
+    /// Arbitrary model from a closure. Set `nonincreasing` only if
+    /// `t(p)` truly never increases with `p`; it short-circuits
+    /// [`SpeedupModel::p_max`] to `P`.
+    #[must_use]
+    pub fn formula(f: impl Fn(u32) -> f64 + Send + Sync + 'static, nonincreasing: bool) -> Self {
+        Self::Formula {
+            f: Arc::new(f),
+            nonincreasing,
+        }
+    }
+
+    /// Execution time on `p ≥ 1` processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0` (a started task always holds at least one
+    /// processor).
+    #[must_use]
+    pub fn time(&self, p: u32) -> f64 {
+        assert!(p >= 1, "a task runs on at least one processor");
+        let pf = f64::from(p);
+        match self {
+            Self::Roofline { w, pbar } => w / f64::from(p.min(*pbar)),
+            Self::Communication { w, c } => w / pf + c * (pf - 1.0),
+            Self::Amdahl { w, d } => w / pf + d,
+            Self::General { w, pbar, d, c } => w / f64::from(p.min(*pbar)) + d + c * (pf - 1.0),
+            Self::Table(ts) => {
+                let idx = (p as usize - 1).min(ts.len() - 1);
+                ts[idx]
+            }
+            Self::Formula { f, .. } => f(p),
+        }
+    }
+
+    /// Area on `p` processors: `a(p) = p · t(p)`, the processor-time
+    /// product consumed by the task.
+    #[must_use]
+    pub fn area(&self, p: u32) -> f64 {
+        f64::from(p) * self.time(p)
+    }
+
+    /// Speedup relative to one processor: `t(1) / t(p)`.
+    #[must_use]
+    pub fn speedup(&self, p: u32) -> f64 {
+        self.time(1) / self.time(p)
+    }
+
+    /// Parallel efficiency: `speedup(p) / p ∈ (0, 1]` for monotonic tasks.
+    #[must_use]
+    pub fn efficiency(&self, p: u32) -> f64 {
+        self.speedup(p) / f64::from(p)
+    }
+
+    /// Which of the paper's model families this function belongs to.
+    #[must_use]
+    pub fn class(&self) -> ModelClass {
+        match self {
+            Self::Roofline { .. } => ModelClass::Roofline,
+            Self::Communication { .. } => ModelClass::Communication,
+            Self::Amdahl { .. } => ModelClass::Amdahl,
+            Self::General { .. } => ModelClass::General,
+            Self::Table(_) | Self::Formula { .. } => ModelClass::Arbitrary,
+        }
+    }
+}
+
+impl fmt::Debug for SpeedupModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Roofline { w, pbar } => {
+                write!(f, "Roofline {{ w: {w}, pbar: {pbar} }}")
+            }
+            Self::Communication { w, c } => {
+                write!(f, "Communication {{ w: {w}, c: {c} }}")
+            }
+            Self::Amdahl { w, d } => write!(f, "Amdahl {{ w: {w}, d: {d} }}"),
+            Self::General { w, pbar, d, c } => {
+                write!(f, "General {{ w: {w}, pbar: {pbar}, d: {d}, c: {c} }}")
+            }
+            Self::Table(ts) => write!(f, "Table({} entries)", ts.len()),
+            Self::Formula { nonincreasing, .. } => {
+                write!(f, "Formula {{ nonincreasing: {nonincreasing} }}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roofline_time_flat_beyond_pbar() {
+        let m = SpeedupModel::roofline(12.0, 4).unwrap();
+        assert_eq!(m.time(1), 12.0);
+        assert_eq!(m.time(2), 6.0);
+        assert_eq!(m.time(4), 3.0);
+        assert_eq!(m.time(8), 3.0); // capped at pbar
+        assert_eq!(m.class(), ModelClass::Roofline);
+    }
+
+    #[test]
+    fn communication_time_convex() {
+        let m = SpeedupModel::communication(16.0, 1.0).unwrap();
+        assert_eq!(m.time(1), 16.0);
+        assert_eq!(m.time(4), 7.0); // 4 + 3
+        assert_eq!(m.time(16), 16.0); // 1 + 15
+                                      // Minimum near sqrt(w/c) = 4.
+        assert!(m.time(4) < m.time(3));
+        assert!(m.time(4) < m.time(5));
+    }
+
+    #[test]
+    fn amdahl_time_decreasing_with_floor_d() {
+        let m = SpeedupModel::amdahl(100.0, 2.0).unwrap();
+        assert_eq!(m.time(1), 102.0);
+        assert_eq!(m.time(100), 3.0);
+        assert!(m.time(1_000_000) > 2.0);
+    }
+
+    #[test]
+    fn general_combines_all_terms() {
+        let m = SpeedupModel::general(24.0, 6, 1.0, 0.5).unwrap();
+        // p=2: 12 + 1 + 0.5 = 13.5
+        assert!((m.time(2) - 13.5).abs() < 1e-12);
+        // p=8 > pbar=6: 4 + 1 + 3.5 = 8.5
+        assert!((m.time(8) - 8.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_extends_last_entry() {
+        let m = SpeedupModel::table(vec![4.0, 2.0, 1.5]).unwrap();
+        assert_eq!(m.time(1), 4.0);
+        assert_eq!(m.time(3), 1.5);
+        assert_eq!(m.time(100), 1.5);
+        assert_eq!(m.class(), ModelClass::Arbitrary);
+    }
+
+    #[test]
+    fn formula_evaluates_closure() {
+        // Theorem 9's model: t(p) = 1 / (lg p + 1).
+        let m = SpeedupModel::formula(|p| 1.0 / (f64::from(p).log2() + 1.0), true);
+        assert_eq!(m.time(1), 1.0);
+        assert_eq!(m.time(2), 0.5);
+        assert!((m.time(8) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn area_speedup_efficiency() {
+        let m = SpeedupModel::amdahl(10.0, 0.0).unwrap();
+        assert_eq!(m.area(5), 10.0); // perfectly parallel: constant area
+        assert_eq!(m.speedup(5), 5.0);
+        assert_eq!(m.efficiency(5), 1.0);
+        let m = SpeedupModel::amdahl(10.0, 10.0).unwrap();
+        assert!(m.efficiency(4) < 1.0);
+    }
+
+    #[test]
+    fn constructors_validate() {
+        assert!(SpeedupModel::roofline(-1.0, 4).is_err());
+        assert!(SpeedupModel::roofline(0.0, 4).is_err());
+        assert!(SpeedupModel::roofline(1.0, 0).is_err());
+        assert!(SpeedupModel::communication(f64::NAN, 1.0).is_err());
+        assert!(SpeedupModel::communication(1.0, -0.5).is_err());
+        assert!(SpeedupModel::amdahl(0.0, 0.0).is_err());
+        assert!(SpeedupModel::amdahl(0.0, 1.0).is_ok()); // purely sequential is fine
+        assert!(SpeedupModel::general(1.0, 0, 0.0, 0.0).is_err());
+        assert!(SpeedupModel::table(vec![]).is_err());
+        assert!(SpeedupModel::table(vec![1.0, 0.0]).is_err());
+        assert!(SpeedupModel::table(vec![1.0, f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn time_rejects_zero_processors() {
+        let _ = SpeedupModel::amdahl(1.0, 0.0).unwrap().time(0);
+    }
+
+    #[test]
+    fn debug_formatting_covers_all_variants() {
+        let variants: Vec<SpeedupModel> = vec![
+            SpeedupModel::roofline(1.0, 2).unwrap(),
+            SpeedupModel::communication(1.0, 0.1).unwrap(),
+            SpeedupModel::amdahl(1.0, 0.1).unwrap(),
+            SpeedupModel::general(1.0, 2, 0.1, 0.1).unwrap(),
+            SpeedupModel::table(vec![1.0]).unwrap(),
+            SpeedupModel::formula(|_| 1.0, true),
+        ];
+        for v in &variants {
+            assert!(!format!("{v:?}").is_empty());
+        }
+    }
+}

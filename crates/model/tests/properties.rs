@@ -1,0 +1,163 @@
+//! Property-based tests for the speedup-model primitives.
+//!
+//! These encode the paper's structural lemmas as machine-checked
+//! invariants over randomly drawn task parameters:
+//!
+//! * Lemma 1 — monotonicity of `t` and `a` on `[1, p_max]`;
+//! * Eq. (6) — no superlinear speedup: `t(p)/t(q) ≤ q/p` for `p < q ≤ p_max`;
+//! * Eq. (5) — `p_max` is a global argmin of `t` over `[1, P]`.
+
+use moldable_model::SpeedupModel;
+use proptest::prelude::*;
+
+/// Strategy: platform sizes worth testing (small enough to scan).
+fn platforms() -> impl Strategy<Value = u32> {
+    1u32..=256
+}
+
+fn work() -> impl Strategy<Value = f64> {
+    // log-uniform-ish positive work
+    (0.01f64..1e4).prop_map(|w| w)
+}
+
+prop_compose! {
+    fn roofline_model()(w in work(), pbar in 1u32..=300) -> SpeedupModel {
+        SpeedupModel::roofline(w, pbar).unwrap()
+    }
+}
+
+prop_compose! {
+    fn communication_model()(w in work(), c in 0.0f64..10.0) -> SpeedupModel {
+        SpeedupModel::communication(w, c).unwrap()
+    }
+}
+
+prop_compose! {
+    fn amdahl_model()(w in work(), d in 0.0f64..100.0) -> SpeedupModel {
+        SpeedupModel::amdahl(w, d).unwrap()
+    }
+}
+
+prop_compose! {
+    fn general_model()(w in work(), pbar in 1u32..=300, d in 0.0f64..100.0, c in 0.0f64..10.0)
+        -> SpeedupModel
+    {
+        SpeedupModel::general(w, pbar, d, c).unwrap()
+    }
+}
+
+fn any_closed_form() -> impl Strategy<Value = SpeedupModel> {
+    prop_oneof![
+        roofline_model(),
+        communication_model(),
+        amdahl_model(),
+        general_model()
+    ]
+}
+
+/// Relative tolerance for floating-point monotonicity comparisons.
+const RTOL: f64 = 1e-9;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Lemma 1: time non-increasing and area non-decreasing on [1, p_max].
+    #[test]
+    fn lemma1_monotonicity(m in any_closed_form(), p_total in platforms()) {
+        let pm = m.p_max(p_total);
+        prop_assert!(pm >= 1 && pm <= p_total);
+        let mut prev_t = m.time(1);
+        let mut prev_a = m.area(1);
+        for p in 2..=pm {
+            let t = m.time(p);
+            let a = m.area(p);
+            prop_assert!(t <= prev_t * (1.0 + RTOL),
+                "time increased within [1, p_max]: t({})={} > t({})={} for {:?}",
+                p, t, p - 1, prev_t, m);
+            prop_assert!(a >= prev_a * (1.0 - RTOL),
+                "area decreased within [1, p_max]: a({})={} < a({})={} for {:?}",
+                p, a, p - 1, prev_a, m);
+            prev_t = t;
+            prev_a = a;
+        }
+    }
+
+    /// Eq. (6): no superlinear speedup — t(p)/t(q) <= q/p for p < q <= p_max.
+    #[test]
+    fn eq6_no_superlinear_speedup(m in any_closed_form(), p_total in 1u32..=64) {
+        let pm = m.p_max(p_total);
+        for p in 1..=pm {
+            for q in (p + 1)..=pm {
+                let lhs = m.time(p) / m.time(q);
+                let rhs = f64::from(q) / f64::from(p);
+                prop_assert!(lhs <= rhs * (1.0 + RTOL),
+                    "superlinear speedup: t({p})/t({q}) = {lhs} > {rhs} for {m:?}");
+            }
+        }
+    }
+
+    /// Eq. (5): t(p_max) is minimal over [1, P], and allocating beyond
+    /// p_max never helps.
+    #[test]
+    fn p_max_is_global_argmin(m in any_closed_form(), p_total in platforms()) {
+        let pm = m.p_max(p_total);
+        let tmin = m.t_min(p_total);
+        for p in 1..=p_total {
+            prop_assert!(m.time(p) >= tmin * (1.0 - RTOL),
+                "t({p}) = {} beats t_min = {tmin} (p_max={pm}) for {m:?}", m.time(p));
+        }
+    }
+
+    /// a_min really is the smallest area over [1, p_max].
+    #[test]
+    fn a_min_is_minimum_over_useful_range(m in any_closed_form(), p_total in platforms()) {
+        let pm = m.p_max(p_total);
+        let amin = m.a_min();
+        for p in 1..=pm {
+            prop_assert!(m.area(p) >= amin * (1.0 - RTOL));
+        }
+    }
+
+    /// Speedup is between 1/overhead and p; efficiency at p=1 is exactly 1.
+    #[test]
+    fn speedup_bounded_by_p(m in any_closed_form(), p_total in 1u32..=64) {
+        let pm = m.p_max(p_total);
+        prop_assert!((m.efficiency(1) - 1.0).abs() < 1e-12);
+        for p in 1..=pm {
+            prop_assert!(m.speedup(p) <= f64::from(p) * (1.0 + RTOL));
+            prop_assert!(m.speedup(p) >= 1.0 - RTOL);
+        }
+    }
+
+    /// The time function is always finite and positive on [1, P].
+    #[test]
+    fn time_is_finite_positive(m in any_closed_form(), p_total in platforms()) {
+        for p in 1..=p_total {
+            let t = m.time(p);
+            prop_assert!(t.is_finite() && t > 0.0, "t({p}) = {t} for {m:?}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Random monotonic tables sampled by the workload generator pass
+    /// the same structural checks as the closed forms.
+    #[test]
+    fn sampled_tables_satisfy_lemma1(seed in any::<u64>()) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dist = moldable_model::sample::ParamDistribution::default();
+        let m = dist.sample(moldable_model::ModelClass::Arbitrary, 32, &mut rng);
+        prop_assert!(m.is_monotonic(32));
+        // Eq. (6) then follows from area monotonicity.
+        let pm = m.p_max(32);
+        for p in 1..=pm {
+            for q in (p + 1)..=pm {
+                prop_assert!(m.time(p) / m.time(q)
+                    <= f64::from(q) / f64::from(p) * (1.0 + 1e-9));
+            }
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! Exact optimal makespan by branch-and-bound over semi-active
+//! schedules.
+//!
+//! For makespan minimization without release dates there is always an
+//! optimal *semi-active* schedule: left-shift every task until it is
+//! blocked by a predecessor's completion or by processor availability —
+//! both of which are completion events. It therefore suffices to
+//! branch, at time 0 and at every completion event, over which ready
+//! tasks to start and with how many processors.
+//!
+//! The search is pruned with `max(critical-path tail, remaining
+//! area / P)` lower bounds and a node budget, so it is exact-or-honest:
+//! it either returns the optimum or reports that the budget was
+//! exhausted. Intended for instances of up to ~8 tasks / small `P` —
+//! the regime where the test suite uses it as ground truth for the
+//! paper's "optimal offline scheduler".
+
+use moldable_graph::{TaskGraph, TaskId};
+
+/// Search limits for [`optimal_makespan`].
+#[derive(Debug, Clone, Copy)]
+pub struct BruteForceLimits {
+    /// Refuse instances with more tasks than this (default 10).
+    pub max_tasks: usize,
+    /// Abort after this many search nodes (default 20 million).
+    pub max_nodes: u64,
+}
+
+impl Default for BruteForceLimits {
+    fn default() -> Self {
+        Self {
+            max_tasks: 10,
+            max_nodes: 20_000_000,
+        }
+    }
+}
+
+struct Search<'a> {
+    graph: &'a TaskGraph,
+    p_total: u32,
+    /// Per-task largest useful allocation.
+    p_max: Vec<u32>,
+    /// Per-task minimum execution time (at `p_max`).
+    t_min: Vec<f64>,
+    /// Per-task `t_min`-weighted longest path starting at (including) it.
+    tail: Vec<f64>,
+    /// Per-task minimum area.
+    a_min: Vec<f64>,
+    best: f64,
+    nodes: u64,
+    max_nodes: u64,
+    exhausted: bool,
+}
+
+#[derive(Clone)]
+struct State {
+    /// Running tasks: `(end time, task, procs)`.
+    running: Vec<(f64, u32, u32)>,
+    /// Remaining predecessor count per not-yet-ready task.
+    remaining_preds: Vec<u32>,
+    /// Ready (released, unstarted) tasks. Order is irrelevant to the
+    /// search space; `assign` explores all subsets.
+    ready: Vec<u32>,
+    time: f64,
+    free: u32,
+    /// Sum of `a_min` over unstarted tasks.
+    remaining_area: f64,
+    /// Tasks not yet completed.
+    n_left: usize,
+}
+
+impl Search<'_> {
+    fn node(&mut self, state: &mut State) {
+        if self.exhausted {
+            return;
+        }
+        self.nodes += 1;
+        if self.nodes > self.max_nodes {
+            self.exhausted = true;
+            return;
+        }
+        if state.n_left == 0 {
+            debug_assert!(state.running.is_empty());
+            if state.time < self.best {
+                self.best = state.time;
+            }
+            return;
+        }
+        // Prune: remaining unstarted area through P processors, and
+        // the critical-path tail of every unfinished task.
+        let mut lb = state.time + state.remaining_area / f64::from(self.p_total);
+        for &t in &state.ready {
+            let v = state.time + self.tail[t as usize];
+            if v > lb {
+                lb = v;
+            }
+        }
+        for &(end, t, _) in &state.running {
+            let v = end + self.tail[t as usize] - self.t_min[t as usize];
+            if v > lb {
+                lb = v;
+            }
+        }
+        if lb >= self.best - 1e-12 {
+            return;
+        }
+        self.assign(state, 0);
+    }
+
+    /// Decide, for each ready task index `idx..`, whether to start it
+    /// now (with every allocation `1..=min(p_max, free)`) or defer it.
+    fn assign(&mut self, state: &mut State, idx: usize) {
+        if self.exhausted {
+            return;
+        }
+        if idx >= state.ready.len() {
+            if state.running.is_empty() {
+                // Everything deferred with an idle platform: such a
+                // schedule is dominated (not semi-active).
+                return;
+            }
+            self.advance(state);
+            return;
+        }
+        let task = state.ready[idx];
+
+        // Option 1: defer `task` past this event — it simply stays in
+        // the ready list (indices `< idx` hold already-deferred tasks).
+        self.assign(state, idx + 1);
+
+        // Option 2: start `task` now on p processors.
+        let cap = self.p_max[task as usize].min(state.free);
+        for p in 1..=cap {
+            let dur = self.graph.model(TaskId(task)).time(p);
+            state.ready.swap_remove(idx);
+            state.running.push((state.time + dur, task, p));
+            state.free -= p;
+            state.remaining_area -= self.a_min[task as usize];
+
+            self.assign(state, idx);
+
+            state.remaining_area += self.a_min[task as usize];
+            state.free += p;
+            state.running.pop();
+            state.ready.push(task);
+            let last = state.ready.len() - 1;
+            state.ready.swap(idx, last);
+        }
+    }
+
+    /// Advance to the earliest completion event and recurse.
+    fn advance(&mut self, state: &State) {
+        let t_next = state
+            .running
+            .iter()
+            .map(|&(e, _, _)| e)
+            .fold(f64::INFINITY, f64::min);
+        let mut next = state.clone();
+        next.time = t_next;
+        let mut finished: Vec<u32> = Vec::new();
+        next.running.retain(|&(e, t, p)| {
+            if e <= t_next {
+                finished.push(t);
+                next.free += p;
+                false
+            } else {
+                true
+            }
+        });
+        for &t in &finished {
+            next.n_left -= 1;
+            for &s in self.graph.succs(TaskId(t)) {
+                let r = &mut next.remaining_preds[s.index()];
+                *r -= 1;
+                if *r == 0 {
+                    next.ready.push(s.0);
+                }
+            }
+        }
+        self.node(&mut next);
+    }
+}
+
+/// Exact optimal makespan of `graph` on `p_total` processors, or
+/// `None` if the instance exceeds `limits.max_tasks` or the node
+/// budget ran out before the search finished.
+///
+/// # Panics
+///
+/// Panics if `p_total == 0`.
+#[must_use]
+pub fn optimal_makespan(graph: &TaskGraph, p_total: u32, limits: BruteForceLimits) -> Option<f64> {
+    assert!(p_total >= 1);
+    let n = graph.n_tasks();
+    if n == 0 {
+        return Some(0.0);
+    }
+    if n > limits.max_tasks {
+        return None;
+    }
+
+    let p_max: Vec<u32> = graph
+        .task_ids()
+        .map(|t| graph.model(t).p_max(p_total))
+        .collect();
+    let t_min: Vec<f64> = graph
+        .task_ids()
+        .map(|t| graph.model(t).t_min(p_total))
+        .collect();
+    let a_min: Vec<f64> = graph.task_ids().map(|t| graph.model(t).a_min()).collect();
+    // Tail lengths over the reversed topological order.
+    let mut tail = vec![0.0f64; n];
+    for &t in graph.topo_order().iter().rev() {
+        let succ_max = graph
+            .succs(t)
+            .iter()
+            .map(|s| tail[s.index()])
+            .fold(0.0, f64::max);
+        tail[t.index()] = t_min[t.index()] + succ_max;
+    }
+
+    let mut search = Search {
+        graph,
+        p_total,
+        p_max,
+        t_min,
+        tail,
+        a_min,
+        best: f64::INFINITY,
+        nodes: 0,
+        max_nodes: limits.max_nodes,
+        exhausted: false,
+    };
+    let remaining_preds: Vec<u32> = graph
+        .task_ids()
+        .map(|t| graph.preds(t).len() as u32)
+        .collect();
+    let ready: Vec<u32> = graph.sources().iter().map(|t| t.0).collect();
+    let mut state = State {
+        running: Vec::new(),
+        remaining_preds,
+        ready,
+        time: 0.0,
+        free: p_total,
+        remaining_area: search.a_min.iter().sum(),
+        n_left: n,
+    };
+    search.node(&mut state);
+    if search.exhausted {
+        None
+    } else {
+        debug_assert!(search.best.is_finite());
+        Some(search.best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moldable_model::SpeedupModel;
+
+    fn amdahl(w: f64, d: f64) -> SpeedupModel {
+        SpeedupModel::amdahl(w, d).unwrap()
+    }
+
+    #[test]
+    fn single_task_optimum_is_t_min() {
+        let mut g = TaskGraph::new();
+        g.add_task(amdahl(12.0, 1.0));
+        let opt = optimal_makespan(&g, 4, BruteForceLimits::default()).unwrap();
+        assert!((opt - (12.0 / 4.0 + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chain_optimum_is_sum_of_t_min() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(amdahl(8.0, 0.5));
+        let b = g.add_task(amdahl(4.0, 0.25));
+        g.add_edge(a, b).unwrap();
+        let opt = optimal_makespan(&g, 4, BruteForceLimits::default()).unwrap();
+        let expect = (8.0 / 4.0 + 0.5) + (4.0 / 4.0 + 0.25);
+        assert!((opt - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_independent_sequential_tasks_share_wisely() {
+        // Two identical Amdahl tasks, P = 2. Either run both on 1 proc
+        // in parallel (makespan w + d) or serially on 2 procs
+        // (makespan 2(w/2 + d) = w + 2d): parallel wins for d > 0.
+        let mut g = TaskGraph::new();
+        g.add_task(amdahl(6.0, 1.0));
+        g.add_task(amdahl(6.0, 1.0));
+        let opt = optimal_makespan(&g, 2, BruteForceLimits::default()).unwrap();
+        assert!((opt - 7.0).abs() < 1e-12, "opt = {opt}");
+    }
+
+    #[test]
+    fn optimum_may_delay_a_ready_task() {
+        // Fork: s -> {x, y}; x is huge and parallel, y tiny and serial.
+        // Optimal starts x on all P and y after — i.e. the search must
+        // consider deferring a ready task. Compare against the naive
+        // "start everything at once" schedule.
+        let mut g = TaskGraph::new();
+        let x = g.add_task(amdahl(16.0, 0.0));
+        let y = g.add_task(SpeedupModel::roofline(1.0, 1).unwrap());
+        let _ = (x, y);
+        let opt = optimal_makespan(&g, 4, BruteForceLimits::default()).unwrap();
+        // all-four-then-one: 16/4 = 4 then 1 => 5? Or x on 3 + y on 1:
+        // max(16/3, 1) = 5.33. Or x on 4 and y after: 5. Or y first then
+        // x on 4: 1 + 4 = 5. Or x on 4 || nothing... best is
+        // x on 4 procs [0,4), y on 1 proc [4,5) => 5? But also
+        // y at [0,1) on 1 proc and x on 3 procs [0, 16/3) = 5.33; or
+        // x on 4 [0,4) with y [4,5): 5.0.
+        assert!((opt - 5.0).abs() < 1e-12, "opt = {opt}");
+    }
+
+    #[test]
+    fn respects_lemma2_lower_bound_and_online_upper_bound() {
+        use moldable_core::OnlineScheduler;
+        use moldable_model::ModelClass;
+        use moldable_sim::{simulate, SimOptions};
+        let mut g = TaskGraph::new();
+        let a = g.add_task(amdahl(5.0, 0.5));
+        let b = g.add_task(amdahl(3.0, 1.0));
+        let c = g.add_task(amdahl(8.0, 0.2));
+        let d = g.add_task(amdahl(2.0, 0.1));
+        g.add_edge(a, c).unwrap();
+        g.add_edge(b, c).unwrap();
+        g.add_edge(b, d).unwrap();
+        let p = 4;
+        let opt = optimal_makespan(&g, p, BruteForceLimits::default()).unwrap();
+        assert!(opt >= g.bounds(p).lower_bound() - 1e-9, "Lemma 2 violated!");
+        let mut s = OnlineScheduler::for_class(ModelClass::Amdahl);
+        let sched = simulate(&g, &mut s, &SimOptions::new(p)).unwrap();
+        assert!(sched.makespan >= opt - 1e-9, "online beat the optimum?!");
+        assert!(
+            sched.makespan <= 4.74 * opt + 1e-9,
+            "Theorem 3 vs true optimum"
+        );
+    }
+
+    #[test]
+    fn too_many_tasks_returns_none() {
+        let mut g = TaskGraph::new();
+        for _ in 0..11 {
+            g.add_task(amdahl(1.0, 0.0));
+        }
+        assert_eq!(optimal_makespan(&g, 2, BruteForceLimits::default()), None);
+    }
+
+    #[test]
+    fn node_budget_exhaustion_returns_none() {
+        let mut g = TaskGraph::new();
+        for _ in 0..8 {
+            g.add_task(amdahl(3.0, 0.3));
+        }
+        let lim = BruteForceLimits {
+            max_tasks: 10,
+            max_nodes: 50,
+        };
+        assert_eq!(optimal_makespan(&g, 8, lim), None);
+    }
+
+    #[test]
+    fn empty_graph_is_zero() {
+        let g = TaskGraph::new();
+        assert_eq!(
+            optimal_makespan(&g, 4, BruteForceLimits::default()),
+            Some(0.0)
+        );
+    }
+}

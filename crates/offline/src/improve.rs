@@ -1,0 +1,207 @@
+//! Local-search improvement of offline allocations.
+//!
+//! Between the exact optimum (tiny instances only) and one-shot
+//! heuristics like CPA sits classic local search: evaluate an
+//! allocation vector by list-scheduling it, then hill-climb over
+//! single-task ±1 processor moves. Cheap, model-agnostic, and a
+//! stronger offline yardstick for the online algorithm on mid-size
+//! graphs — it also quantifies how much headroom CPA leaves.
+
+use moldable_graph::TaskGraph;
+use moldable_sim::{simulate, Schedule, SimOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cpa::FixedAllocScheduler;
+
+/// Configuration for [`improve_allocations`].
+#[derive(Debug, Clone, Copy)]
+pub struct ImproveOptions {
+    /// Candidate moves to try (each is one list-scheduling evaluation).
+    pub iterations: u32,
+    /// RNG seed (the search is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for ImproveOptions {
+    fn default() -> Self {
+        Self {
+            iterations: 500,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Makespan of `allocs` under FIFO list scheduling.
+fn evaluate(graph: &TaskGraph, p_total: u32, allocs: &[u32]) -> f64 {
+    let mut sched = FixedAllocScheduler::new(allocs.to_vec());
+    simulate(graph, &mut sched, &SimOptions::new(p_total))
+        .expect("fixed allocations always schedule")
+        .makespan
+}
+
+/// Hill-climb from `init`: repeatedly perturb one task's allocation by
+/// ±1 (clamped to `[1, p_max]`) and keep the move if the list-scheduled
+/// makespan does not increase. Returns the improved allocation vector
+/// and its schedule.
+///
+/// # Panics
+///
+/// Panics if `init.len() != graph.n_tasks()` or `p_total == 0`.
+#[must_use]
+pub fn improve_allocations(
+    graph: &TaskGraph,
+    p_total: u32,
+    init: &[u32],
+    opts: ImproveOptions,
+) -> (Vec<u32>, Schedule) {
+    assert!(p_total >= 1);
+    assert_eq!(
+        init.len(),
+        graph.n_tasks(),
+        "allocation vector size mismatch"
+    );
+    let n = graph.n_tasks();
+    let p_max: Vec<u32> = graph
+        .task_ids()
+        .map(|t| graph.model(t).p_max(p_total))
+        .collect();
+    let mut best: Vec<u32> = init
+        .iter()
+        .zip(&p_max)
+        .map(|(&a, &m)| a.clamp(1, m))
+        .collect();
+    if n == 0 {
+        let s = simulate(
+            graph,
+            &mut FixedAllocScheduler::new(Vec::new()),
+            &SimOptions::new(p_total),
+        )
+        .expect("empty");
+        return (best, s);
+    }
+    let mut best_makespan = evaluate(graph, p_total, &best);
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    for _ in 0..opts.iterations {
+        let i = rng.gen_range(0..n);
+        let up = rng.gen_bool(0.5);
+        let cur = best[i];
+        let cand = if up {
+            (cur + 1).min(p_max[i])
+        } else {
+            cur.saturating_sub(1).max(1)
+        };
+        if cand == cur {
+            continue;
+        }
+        best[i] = cand;
+        let m = evaluate(graph, p_total, &best);
+        if m <= best_makespan {
+            best_makespan = m;
+        } else {
+            best[i] = cur; // revert
+        }
+    }
+    let mut sched = FixedAllocScheduler::new(best.clone());
+    let s = simulate(graph, &mut sched, &SimOptions::new(p_total)).expect("valid allocation");
+    debug_assert!((s.makespan - best_makespan).abs() < 1e-9 * best_makespan.max(1.0));
+    (best, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moldable_graph::{gen, TaskId};
+    use moldable_model::SpeedupModel;
+
+    #[test]
+    fn never_worse_than_the_initial_allocation() {
+        let mut assign =
+            |ctx: gen::TaskCtx<'_>| SpeedupModel::amdahl(20.0 * ctx.weight, 0.5).unwrap();
+        let g = gen::cholesky(4, &mut assign);
+        let p_total = 16;
+        let init = crate::cpa_allocations(&g, p_total);
+        let init_makespan = evaluate(&g, p_total, &init);
+        let (_, s) = improve_allocations(&g, p_total, &init, ImproveOptions::default());
+        s.validate(&g).unwrap();
+        assert!(s.makespan <= init_makespan + 1e-9);
+    }
+
+    #[test]
+    fn improves_a_bad_start_on_a_chain() {
+        // All-ones on a parallelizable chain is maximally bad; local
+        // search must widen the tasks substantially.
+        let mut assign = |_: gen::TaskCtx<'_>| SpeedupModel::amdahl(32.0, 0.1).unwrap();
+        let g = gen::chain(6, &mut assign);
+        let p_total = 8;
+        let init = vec![1u32; 6];
+        let bad = evaluate(&g, p_total, &init);
+        let (allocs, s) = improve_allocations(
+            &g,
+            p_total,
+            &init,
+            ImproveOptions {
+                iterations: 800,
+                seed: 1,
+            },
+        );
+        assert!(s.makespan < 0.5 * bad, "{} vs {bad}", s.makespan);
+        assert!(allocs.iter().any(|&p| p > 2), "{allocs:?}");
+        // and still above the Lemma 2 floor
+        assert!(s.makespan >= g.bounds(p_total).lower_bound() - 1e-9);
+    }
+
+    #[test]
+    fn clamps_out_of_range_initial_values() {
+        let mut g = TaskGraph::new();
+        let _ = g.add_task(SpeedupModel::roofline(8.0, 2).unwrap());
+        let (allocs, s) = improve_allocations(
+            &g,
+            4,
+            &[99],
+            ImproveOptions {
+                iterations: 5,
+                seed: 2,
+            },
+        );
+        assert!(allocs[0] <= 2, "clamped to p_max: {allocs:?}");
+        s.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut assign = |_: gen::TaskCtx<'_>| SpeedupModel::amdahl(10.0, 0.3).unwrap();
+        let g = gen::wavefront(4, 4, &mut assign);
+        let run = || {
+            improve_allocations(
+                &g,
+                8,
+                &vec![1; g.n_tasks()],
+                ImproveOptions {
+                    iterations: 200,
+                    seed: 7,
+                },
+            )
+            .0
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = TaskGraph::new();
+        let (allocs, s) = improve_allocations(&g, 4, &[], ImproveOptions::default());
+        assert!(allocs.is_empty());
+        assert_eq!(s.makespan, 0.0);
+    }
+
+    use moldable_graph::TaskGraph;
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn rejects_wrong_length() {
+        let mut g = TaskGraph::new();
+        let _: TaskId = g.add_task(SpeedupModel::amdahl(1.0, 0.0).unwrap());
+        let _ = improve_allocations(&g, 4, &[1, 2], ImproveOptions::default());
+    }
+}

@@ -1,0 +1,33 @@
+//! Offline comparators for the online algorithm.
+//!
+//! The paper measures its online algorithm against an *optimal offline
+//! scheduler* that knows the whole graph in advance (Section 3.1).
+//! This crate provides three concrete stand-ins for that adversary,
+//! ordered by fidelity:
+//!
+//! * [`brute`] — **exact** branch-and-bound optimum for tiny instances
+//!   (≲ 8 tasks). Enumerates active schedules and allocations with a
+//!   critical-path/area pruning bound. This is the ground truth the
+//!   test suite uses to certify that the Lemma 2 lower bound really is
+//!   a lower bound and that measured competitive ratios are genuine.
+//! * [`cpa`] — a CPA-style offline allocation (Radulescu & van
+//!   Gemund's Critical-Path-and-Area balancing, the practical cousin of
+//!   the Lepère–Trystram–Woeginger offline algorithm the paper cites):
+//!   repeatedly widen the task on the critical path while
+//!   `C(alloc) > A(alloc)/P`, then list-schedule. A strong practical
+//!   offline baseline for the empirical benches.
+//! * [`turek`] — Turek, Wolf & Yu's dual-approximation scheme for
+//!   *independent* moldable tasks (the offline 2-approximation in the
+//!   paper's related-work Table 2): binary-search a target makespan τ,
+//!   allocate each task the fewest processors meeting τ, and
+//!   shelf-schedule.
+
+pub mod brute;
+pub mod cpa;
+pub mod improve;
+pub mod turek;
+
+pub use brute::{optimal_makespan, BruteForceLimits};
+pub use cpa::cpa_allocations;
+pub use improve::{improve_allocations, ImproveOptions};
+pub use turek::turek_schedule;

@@ -1,0 +1,151 @@
+//! Concrete processor-id bookkeeping.
+//!
+//! The scheduling theory only needs processor *counts*, but drawing a
+//! Gantt chart (Figures 2 and 4 of the paper) needs concrete processor
+//! ids. [`ProcPool`] is a tiny interval allocator over `0..P`: tasks
+//! receive the lowest free ids as a set of disjoint ranges, and ranges
+//! are coalesced on free.
+
+/// Interval allocator over processor ids `0..p_total`.
+#[derive(Debug, Clone)]
+pub struct ProcPool {
+    /// Disjoint, sorted, coalesced free ranges `[lo, hi]` (inclusive).
+    free: Vec<(u32, u32)>,
+    p_total: u32,
+}
+
+impl ProcPool {
+    /// A pool with all of `0..p_total` free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_total == 0`.
+    #[must_use]
+    pub fn new(p_total: u32) -> Self {
+        assert!(p_total >= 1);
+        Self {
+            free: vec![(0, p_total - 1)],
+            p_total,
+        }
+    }
+
+    /// Number of free processors.
+    #[must_use]
+    pub fn n_free(&self) -> u32 {
+        self.free.iter().map(|(lo, hi)| hi - lo + 1).sum()
+    }
+
+    /// Allocate `n` processors, lowest ids first. Returns the acquired
+    /// ranges, or `None` (pool unchanged) if fewer than `n` are free.
+    pub fn alloc(&mut self, n: u32) -> Option<Vec<(u32, u32)>> {
+        if n == 0 || self.n_free() < n {
+            return None;
+        }
+        let mut got = Vec::new();
+        let mut need = n;
+        let i = 0;
+        while need > 0 {
+            let (lo, hi) = self.free[i];
+            let len = hi - lo + 1;
+            if len <= need {
+                got.push((lo, hi));
+                need -= len;
+                self.free.remove(i);
+            } else {
+                got.push((lo, lo + need - 1));
+                self.free[i].0 = lo + need;
+                need = 0;
+            }
+        }
+        Some(got)
+    }
+
+    /// Return previously allocated ranges to the pool, coalescing
+    /// adjacent free ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if a returned range overlaps a free one
+    /// or exceeds the pool bounds.
+    pub fn release(&mut self, ranges: &[(u32, u32)]) {
+        for &(lo, hi) in ranges {
+            debug_assert!(lo <= hi && hi < self.p_total, "range out of bounds");
+            let pos = self.free.partition_point(|&(l, _)| l < lo);
+            debug_assert!(
+                (pos == 0 || self.free[pos - 1].1 < lo)
+                    && (pos == self.free.len() || hi < self.free[pos].0),
+                "double free of processors [{lo}, {hi}]"
+            );
+            self.free.insert(pos, (lo, hi));
+            // coalesce with right neighbour
+            if pos + 1 < self.free.len() && self.free[pos].1 + 1 == self.free[pos + 1].0 {
+                self.free[pos].1 = self.free[pos + 1].1;
+                self.free.remove(pos + 1);
+            }
+            // coalesce with left neighbour
+            if pos > 0 && self.free[pos - 1].1 + 1 == self.free[pos].0 {
+                self.free[pos - 1].1 = self.free[pos].1;
+                self.free.remove(pos);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_lowest_first() {
+        let mut p = ProcPool::new(8);
+        assert_eq!(p.alloc(3), Some(vec![(0, 2)]));
+        assert_eq!(p.alloc(2), Some(vec![(3, 4)]));
+        assert_eq!(p.n_free(), 3);
+    }
+
+    #[test]
+    fn alloc_spans_fragments() {
+        let mut p = ProcPool::new(8);
+        let a = p.alloc(2).unwrap(); // 0-1
+        let b = p.alloc(2).unwrap(); // 2-3
+        let _c = p.alloc(2).unwrap(); // 4-5
+        p.release(&a); // free: 0-1, 6-7
+        p.release(&b); // coalesce: 0-3, 6-7
+        assert_eq!(p.n_free(), 6);
+        let d = p.alloc(5).unwrap();
+        assert_eq!(d, vec![(0, 3), (6, 6)]);
+        assert_eq!(p.n_free(), 1);
+    }
+
+    #[test]
+    fn alloc_fails_leaves_pool_intact() {
+        let mut p = ProcPool::new(4);
+        let _ = p.alloc(3).unwrap();
+        assert_eq!(p.alloc(2), None);
+        assert_eq!(p.n_free(), 1);
+        assert_eq!(p.alloc(0), None);
+    }
+
+    #[test]
+    fn release_coalesces_both_sides() {
+        let mut p = ProcPool::new(10);
+        let a = p.alloc(3).unwrap(); // 0-2
+        let b = p.alloc(3).unwrap(); // 3-5
+        let c = p.alloc(3).unwrap(); // 6-8
+        p.release(&a);
+        p.release(&c); // free: 0-2, 6-9
+        p.release(&b); // all coalesced: 0-9
+        assert_eq!(p.n_free(), 10);
+        assert_eq!(p.alloc(10), Some(vec![(0, 9)]));
+    }
+
+    #[test]
+    fn exhaustive_alloc_release_cycle() {
+        let mut p = ProcPool::new(5);
+        let all = p.alloc(5).unwrap();
+        assert_eq!(p.n_free(), 0);
+        assert_eq!(p.alloc(1), None);
+        p.release(&all);
+        assert_eq!(p.n_free(), 5);
+    }
+}

@@ -1,0 +1,155 @@
+//! Utilization-interval profile — the `I₁ / I₂ / I₃` classification of
+//! Section 4.2.
+//!
+//! The paper's analysis splits the schedule into intervals of constant
+//! processor utilization and classifies them by utilization level
+//! relative to `μP`:
+//!
+//! * `I₁`: `p(I) ∈ (0, ⌈μP⌉)`           (low utilization)
+//! * `I₂`: `p(I) ∈ [⌈μP⌉, ⌈(1−μ)P⌉)`    (medium)
+//! * `I₃`: `p(I) ∈ [⌈(1−μ)P⌉, P]`       (high)
+//!
+//! Lemma 3 bounds `μT₂ + (1−μ)T₃` by `α·A_min/P`; Lemma 4 bounds
+//! `T₁/β + μT₂` by `C_min`. [`interval_profile`] measures `T₁, T₂, T₃`
+//! on an actual schedule so the lemmas can be checked *empirically* in
+//! tests and benches.
+
+use crate::Schedule;
+
+/// Measured durations of the three utilization categories.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntervalProfile {
+    /// Total duration with `0 < p(I) < ⌈μP⌉`.
+    pub t1: f64,
+    /// Total duration with `⌈μP⌉ ≤ p(I) < ⌈(1−μ)P⌉`.
+    pub t2: f64,
+    /// Total duration with `p(I) ≥ ⌈(1−μ)P⌉`.
+    pub t3: f64,
+    /// Total duration with `p(I) = 0` strictly inside the schedule
+    /// (possible only if the scheduler idles, which list scheduling
+    /// never does while work is available).
+    pub idle: f64,
+}
+
+impl IntervalProfile {
+    /// `t1 + t2 + t3 + idle` — must equal the makespan.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.t1 + self.t2 + self.t3 + self.idle
+    }
+}
+
+/// Measure `T₁, T₂, T₃` of a schedule for a given `μ` (Section 4.2).
+///
+/// # Panics
+///
+/// Panics if `mu` is outside `(0, 1)`.
+#[must_use]
+pub fn interval_profile(schedule: &Schedule, mu: f64) -> IntervalProfile {
+    assert!(mu > 0.0 && mu < 1.0);
+    let p_total = schedule.p_total;
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let lo = (mu * f64::from(p_total)).ceil() as u64; // ⌈μP⌉
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let hi = ((1.0 - mu) * f64::from(p_total)).ceil() as u64; // ⌈(1−μ)P⌉
+
+    // Build the step function of utilization over time.
+    let mut events: Vec<(f64, i64)> = Vec::with_capacity(schedule.placements.len() * 2);
+    for pl in &schedule.placements {
+        events.push((pl.start, i64::from(pl.procs)));
+        events.push((pl.end, -i64::from(pl.procs)));
+    }
+    events.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+    let mut profile = IntervalProfile {
+        t1: 0.0,
+        t2: 0.0,
+        t3: 0.0,
+        idle: 0.0,
+    };
+    let mut used: i64 = 0;
+    let mut prev_t = 0.0f64;
+    let mut i = 0;
+    while i < events.len() {
+        let t = events[i].0;
+        let dt = t - prev_t;
+        if dt > 0.0 {
+            let u = u64::try_from(used.max(0)).expect("non-negative utilization");
+            if u == 0 {
+                profile.idle += dt;
+            } else if u < lo {
+                profile.t1 += dt;
+            } else if u < hi {
+                profile.t2 += dt;
+            } else {
+                profile.t3 += dt;
+            }
+        }
+        while i < events.len() && events[i].0 == t {
+            used += events[i].1;
+            i += 1;
+        }
+        prev_t = t;
+    }
+    profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScheduleBuilder;
+    use moldable_graph::TaskId;
+
+    #[test]
+    fn profile_partitions_makespan() {
+        // P = 10, μ = 0.3: ⌈μP⌉ = 3, ⌈(1−μ)P⌉ = 7.
+        let mut sb = ScheduleBuilder::new(10);
+        sb.place(TaskId(0), 0.0, 1.0, 2); // T1 region
+        sb.place(TaskId(1), 1.0, 1.0, 5); // T2 region
+        sb.place(TaskId(2), 2.0, 1.0, 9); // T3 region
+        let s = sb.build();
+        let p = interval_profile(&s, 0.3);
+        assert_eq!(p.t1, 1.0);
+        assert_eq!(p.t2, 1.0);
+        assert_eq!(p.t3, 1.0);
+        assert_eq!(p.idle, 0.0);
+        assert!((p.total() - s.makespan).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_utilization_classified_by_ceil() {
+        // P = 10, μ = 0.25: ⌈μP⌉ = 3 — exactly 3 busy procs is T2.
+        let mut sb = ScheduleBuilder::new(10);
+        sb.place(TaskId(0), 0.0, 1.0, 3);
+        let p = interval_profile(&sb.build(), 0.25);
+        assert_eq!(p.t2, 1.0);
+        assert_eq!(p.t1, 0.0);
+        // exactly ⌈(1−μ)P⌉ = 8 busy procs is T3.
+        let mut sb = ScheduleBuilder::new(10);
+        sb.place(TaskId(0), 0.0, 1.0, 8);
+        let p = interval_profile(&sb.build(), 0.25);
+        assert_eq!(p.t3, 1.0);
+    }
+
+    #[test]
+    fn idle_gap_measured() {
+        let mut sb = ScheduleBuilder::new(4);
+        sb.place(TaskId(0), 0.0, 1.0, 4);
+        sb.place(TaskId(1), 2.0, 1.0, 4);
+        let p = interval_profile(&sb.build(), 0.3);
+        assert_eq!(p.idle, 1.0);
+        assert_eq!(p.t3, 2.0);
+    }
+
+    #[test]
+    fn overlapping_tasks_sum_utilization() {
+        // Two 2-proc tasks overlapping on [0.5, 1.0): utilization 4 of 8.
+        let mut sb = ScheduleBuilder::new(8);
+        sb.place(TaskId(0), 0.0, 1.0, 2);
+        sb.place(TaskId(1), 0.5, 1.0, 2);
+        let p = interval_profile(&sb.build(), 0.4); // lo=4, hi=5
+                                                    // [0,0.5): 2 busy → T1; [0.5,1): 4 busy → T2; [1,1.5): 2 busy → T1
+        assert!((p.t1 - 1.0).abs() < 1e-12);
+        assert!((p.t2 - 0.5).abs() < 1e-12);
+    }
+}

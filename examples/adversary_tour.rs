@@ -1,0 +1,83 @@
+//! A guided tour of the paper's lower-bound constructions: build each
+//! adversarial instance, watch the algorithm walk into the trap, and
+//! compare against the proof's near-optimal schedule.
+//!
+//! ```text
+//! cargo run --release --example adversary_tour
+//! ```
+
+use moldable::adversary::{amdahl, arbitrary, communication, general, roofline};
+use moldable::core::baselines::EqualShareScheduler;
+use moldable::sim::{simulate_instance, SimOptions};
+
+fn main() {
+    println!("=== Theorem 5 (roofline): one task, w = P, pbar = P ===");
+    let inst = roofline::instance(10_000);
+    let (t, r) = inst.run_online();
+    println!("P = 10000: algorithm caps the task at ceil(mu P) -> makespan {t:.4}, T_opt = 1");
+    println!(
+        "ratio {r:.4}, asymptote 1/mu = {:.4}\n",
+        roofline::asymptotic_bound()
+    );
+
+    println!("=== Theorem 6 (communication): layered graph, P = 501 ===");
+    let inst = communication::instance(501);
+    let pr = communication::params(501);
+    println!(
+        "X = {}, Y = {}, w_B = {:.3}, delta = {:.3}",
+        pr.x, pr.y, pr.w_b, pr.delta
+    );
+    let (t, r) = inst.run_online();
+    println!(
+        "algorithm serializes the {} layers: makespan {t:.1} vs T_opt <= {:.1}",
+        pr.y, inst.t_opt_upper
+    );
+    println!(
+        "ratio {r:.4}, asymptote {:.4}\n",
+        communication::asymptotic_bound()
+    );
+
+    println!("=== Theorem 7 (Amdahl): P = K^2, K = 60 ===");
+    let inst = amdahl::instance(60);
+    let (t, r) = inst.run_online();
+    println!("makespan {t:.1} vs T_opt <= {:.1}", inst.t_opt_upper);
+    println!(
+        "ratio {r:.4}, asymptote {:.4}\n",
+        amdahl::asymptotic_bound()
+    );
+
+    println!("=== Theorem 8 (general): same instance, general-model mu ===");
+    let inst = general::instance(60);
+    let (t, r) = inst.run_online();
+    println!("makespan {t:.1} vs T_opt <= {:.1}", inst.t_opt_upper);
+    println!(
+        "ratio {r:.4}, asymptote {:.4}\n",
+        general::asymptotic_bound()
+    );
+
+    println!("=== Theorem 9 (arbitrary): adaptive chains, l = 3 (K = 8) ===");
+    let pr = arbitrary::params(3);
+    let mut adv = arbitrary::AdaptiveChains::new(3);
+    let mut eq = EqualShareScheduler::new();
+    let s = simulate_instance(&mut adv, &mut eq, &SimOptions::new(pr.p_total)).unwrap();
+    println!(
+        "{} anonymous chains on P = {}: the adversary retires the fastest",
+        pr.n_chains, pr.p_total
+    );
+    println!(
+        "chains into short groups; T_opt = 1 but equal-share needs {:.4}.",
+        s.makespan
+    );
+    print!("decision points t_i:");
+    for (i, m) in adv.t_marks().iter().enumerate().skip(1) {
+        if let Some(t) = m {
+            print!("  t{i} = {t:.3}");
+        }
+    }
+    println!();
+    println!(
+        "Lemma 10 floor = {:.4}; ln-form bound = {:.4}",
+        moldable::analysis::lemma10_makespan(pr.k, 3),
+        moldable::analysis::deterministic_lower_bound(pr.k, 3)
+    );
+}

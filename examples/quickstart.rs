@@ -1,0 +1,47 @@
+//! Quickstart: schedule a small moldable task graph online and compare
+//! the makespan against the Lemma 2 lower bound.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use moldable::core::OnlineScheduler;
+use moldable::graph::TaskGraph;
+use moldable::model::{ModelClass, SpeedupModel};
+use moldable::sim::{simulate, SimOptions};
+
+fn main() {
+    let p_total = 16;
+
+    // A small pipeline-with-fan-out: prepare -> {4x solve} -> reduce.
+    let mut g = TaskGraph::new();
+    let prepare = g.add_task(SpeedupModel::amdahl(24.0, 2.0).unwrap());
+    let solves: Vec<_> = (0..4)
+        .map(|_| g.add_task(SpeedupModel::amdahl(60.0, 1.0).unwrap()))
+        .collect();
+    let reduce = g.add_task(SpeedupModel::amdahl(12.0, 3.0).unwrap());
+    for &s in &solves {
+        g.add_edge(prepare, s).unwrap();
+        g.add_edge(s, reduce).unwrap();
+    }
+
+    // The paper's algorithm, tuned for Amdahl tasks (Theorem 3).
+    let mut sched = OnlineScheduler::for_class(ModelClass::Amdahl);
+    let schedule = simulate(&g, &mut sched, &SimOptions::new(p_total)).unwrap();
+    schedule.validate(&g).expect("schedule is feasible");
+
+    println!("schedule on P = {p_total}:");
+    for pl in &schedule.placements {
+        println!(
+            "  task {:>2}: [{:>7.3}, {:>7.3}) on {:>2} procs",
+            pl.task.0, pl.start, pl.end, pl.procs
+        );
+    }
+
+    let lb = g.bounds(p_total).lower_bound();
+    println!("\nmakespan          = {:.3}", schedule.makespan);
+    println!("lower bound       = {lb:.3}  (max(A_min/P, C_min), Lemma 2)");
+    println!("normalized ratio  = {:.3}", schedule.makespan / lb);
+    println!("guarantee (Thm 3) = 4.74");
+    assert!(schedule.makespan <= 4.74 * lb);
+}

@@ -1,0 +1,39 @@
+//! # moldable — Online Scheduling of Moldable Task Graphs
+//!
+//! Facade crate re-exporting the whole workspace: a from-scratch Rust
+//! reproduction of Benoit, Perotin, Robert & Sun, *Online Scheduling of
+//! Moldable Task Graphs under Common Speedup Models* (ICPP '22).
+//!
+//! Most users want:
+//!
+//! * [`model`] — speedup models `t(p)` and per-task allocation math;
+//! * [`graph`] — task graphs, generators, and makespan lower bounds;
+//! * [`sim`] — the `P`-processor discrete-event simulator;
+//! * [`core`] — the paper's online algorithm (Algorithms 1 + 2) and
+//!   baseline schedulers;
+//! * [`adversary`] — the paper's lower-bound instances (Theorems 5–9);
+//! * [`analysis`] — competitive-ratio calculus (Table 1 constants);
+//! * [`offline`] — offline comparators: exact branch-and-bound optimum
+//!   for tiny instances, CPA allocation, Turek dual approximation;
+//! * [`resilience`] — failure-prone execution with re-execution until
+//!   success (the paper's Section 2 carry-over scenario).
+//!
+//! See `examples/quickstart.rs` for the 20-line happy path.
+
+pub use moldable_adversary as adversary;
+pub use moldable_analysis as analysis;
+pub use moldable_core as core;
+pub use moldable_graph as graph;
+pub use moldable_hetero as hetero;
+pub use moldable_model as model;
+pub use moldable_offline as offline;
+pub use moldable_resilience as resilience;
+pub use moldable_sim as sim;
+
+/// Convenience prelude: the types almost every user touches.
+pub mod prelude {
+    pub use moldable_core::{OnlineScheduler, QueuePolicy};
+    pub use moldable_graph::{TaskGraph, TaskId};
+    pub use moldable_model::{ModelClass, SpeedupModel};
+    pub use moldable_sim::{simulate, Schedule, Scheduler};
+}

@@ -1,0 +1,111 @@
+//! End-to-end integration tests through the `moldable` facade:
+//! the paper's headline numbers, regenerated from scratch.
+
+use moldable::adversary::{amdahl, arbitrary, communication, general, roofline};
+use moldable::analysis;
+use moldable::core::baselines::EqualShareScheduler;
+use moldable::core::OnlineScheduler;
+use moldable::model::ModelClass;
+use moldable::sim::{simulate, simulate_instance, SimOptions};
+
+#[test]
+fn table1_reproduces_within_printed_precision() {
+    for row in analysis::table1() {
+        assert!(
+            (row.upper.ratio - row.paper.0).abs() < 0.01,
+            "{} UB: {} vs paper {}",
+            row.class,
+            row.upper.ratio,
+            row.paper.0
+        );
+        assert!(
+            (row.lower - row.paper.1).abs() < 0.01,
+            "{} LB: {} vs paper {}",
+            row.class,
+            row.lower,
+            row.paper.1
+        );
+    }
+}
+
+#[test]
+fn theorem5_roofline_ratio() {
+    let r = roofline::measured_ratio(100_000);
+    assert!((r - 2.618).abs() < 1e-3, "ratio = {r}");
+}
+
+#[test]
+fn theorem6_communication_ratio_close_to_asymptote() {
+    let (_, r) = communication::instance(801).run_online();
+    let asym = communication::asymptotic_bound();
+    assert!(r > 3.5 && r <= asym, "ratio = {r}, asymptote = {asym}");
+}
+
+#[test]
+fn theorem7_and_8_ratios_grow_past_four_and_a_half() {
+    let (_, r7) = amdahl::instance(100).run_online();
+    assert!(r7 > 4.5, "Thm 7 at K=100: {r7}");
+    let (_, r8) = general::instance(100).run_online();
+    assert!(r8 > 5.0, "Thm 8 at K=100: {r8}");
+    assert!(r8 <= general::upper_bound() + 1e-9);
+}
+
+#[test]
+fn figure4_decision_points() {
+    let mut adv = arbitrary::AdaptiveChains::new(2);
+    let mut eq = EqualShareScheduler::new();
+    let s = simulate_instance(&mut adv, &mut eq, &SimOptions::new(32)).unwrap();
+    let t = adv.t_marks();
+    assert!((t[1].unwrap() - 0.5).abs() < 1e-9);
+    assert!((t[2].unwrap() - 5.0 / 6.0).abs() < 1e-9);
+    assert!((t[3].unwrap() - 1.064_711).abs() < 1e-4);
+    assert!((s.makespan - 1.231_378).abs() < 1e-4);
+}
+
+#[test]
+fn figure4a_offline_optimum_is_one() {
+    let (g, s) = arbitrary::offline_schedule(2);
+    s.validate(&g).unwrap();
+    assert!((s.makespan - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn online_beats_its_guarantee_on_every_builtin_workload() {
+    use moldable::graph::gen;
+    use moldable::model::sample::ParamDistribution;
+    use rand::{rngs::StdRng, SeedableRng};
+    let p_total = 48;
+    for class in ModelClass::bounded_classes() {
+        let guarantee = class.proven_upper_bound().unwrap();
+        for seed in 0..3u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let dist = ParamDistribution::default();
+            let mut assign = gen::weighted_sampler(class, dist, p_total, &mut rng);
+            let g = gen::lu(5, &mut assign);
+            let mut sched = OnlineScheduler::for_class(class);
+            let s = simulate(&g, &mut sched, &SimOptions::new(p_total)).unwrap();
+            s.validate(&g).unwrap();
+            let lb = g.bounds(p_total).lower_bound();
+            assert!(
+                s.makespan <= guarantee * lb,
+                "{class} seed {seed}: {} > {guarantee} x {lb}",
+                s.makespan
+            );
+        }
+    }
+}
+
+#[test]
+fn prelude_exposes_the_happy_path() {
+    use moldable::prelude::*;
+    let mut g = TaskGraph::new();
+    let a = g.add_task(SpeedupModel::amdahl(4.0, 1.0).unwrap());
+    let b = g.add_task(SpeedupModel::roofline(8.0, 4).unwrap());
+    g.add_edge(a, b).unwrap();
+    assert_eq!(g.model_class(), Some(ModelClass::General));
+    let mut s: OnlineScheduler =
+        OnlineScheduler::for_class(ModelClass::General).with_policy(QueuePolicy::Fifo);
+    let schedule: Schedule = simulate(&g, &mut s, &SimOptions::new(8)).unwrap();
+    assert!(schedule.makespan > 0.0);
+    let _: TaskId = a;
+}

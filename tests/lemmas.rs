@@ -1,0 +1,130 @@
+//! Empirical verification of the analysis lemmas on *measured*
+//! schedules — the cross-crate glue test: allocation envelopes
+//! (`analysis`), schedule profiles (`sim`), and the algorithm (`core`)
+//! must all agree with the proof machinery.
+//!
+//! For every run of the online algorithm with parameter μ and envelope
+//! constants `(α, β)` of the task class:
+//!
+//! * Lemma 3: `μ·T₂ + (1−μ)·T₃ ≤ α · A_min / P`
+//! * Lemma 4: `T₁/β + μ·T₂ ≤ C_min`
+//! * Lemma 5: `T ≤ (μα + 1 − 2μ)/(μ(1−μ)) · max(A_min/P, C_min)`
+
+use moldable::analysis;
+use moldable::core::OnlineScheduler;
+use moldable::graph::gen;
+use moldable::model::sample::ParamDistribution;
+use moldable::model::{delta, ModelClass};
+use moldable::sim::{interval_profile, simulate, SimOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The `(α, β)` pair Lemmas 6–9 guarantee for a class at its μ*.
+fn envelope(class: ModelClass) -> (f64, f64) {
+    let mu = class.optimal_mu();
+    match class {
+        ModelClass::Roofline => (1.0, 1.0),
+        ModelClass::Communication => {
+            let x = analysis::communication::x_star(mu).unwrap();
+            (
+                analysis::communication::alpha(x),
+                analysis::communication::beta(x),
+            )
+        }
+        ModelClass::Amdahl => {
+            let x = analysis::amdahl::x_star(mu).unwrap();
+            (analysis::amdahl::alpha(x), analysis::amdahl::beta(x))
+        }
+        ModelClass::General => {
+            let x = analysis::general::x_star(mu).unwrap();
+            (analysis::general::alpha(x), analysis::general::beta(x))
+        }
+        ModelClass::Arbitrary => unreachable!("no envelope for arbitrary"),
+    }
+}
+
+#[test]
+fn lemmas_3_4_5_hold_on_measured_schedules() {
+    let p_total = 64;
+    for class in ModelClass::bounded_classes() {
+        let mu = class.optimal_mu();
+        let (alpha, beta) = envelope(class);
+        // beta must satisfy the Step 1 constraint.
+        assert!(beta <= delta(mu) * (1.0 + 1e-9), "{class}");
+        for seed in 0..4u64 {
+            let mut rng = StdRng::seed_from_u64(seed * 53 + 1);
+            let dist = ParamDistribution::default();
+            let mut assign = gen::weighted_sampler(class, dist, p_total, &mut rng);
+            let mut srng = StdRng::seed_from_u64(seed);
+            let g = gen::layered_random(6, 10, 0.3, &mut srng, &mut assign);
+
+            let mut sched = OnlineScheduler::for_class(class);
+            let s = simulate(&g, &mut sched, &SimOptions::new(p_total)).unwrap();
+            s.validate(&g).unwrap();
+            let b = g.bounds(p_total);
+            let prof = interval_profile(&s, mu);
+
+            // The schedule never idles while work remains: list
+            // scheduling is non-idling, so T1+T2+T3 covers everything.
+            assert!(prof.idle < 1e-9, "{class} seed {seed}: idle {}", prof.idle);
+
+            // Lemma 3.
+            let lhs3 = mu * prof.t2 + (1.0 - mu) * prof.t3;
+            let rhs3 = alpha * b.area_bound();
+            assert!(
+                lhs3 <= rhs3 * (1.0 + 1e-9),
+                "{class} seed {seed}: Lemma 3 violated: {lhs3} > {rhs3}"
+            );
+
+            // Lemma 4.
+            let lhs4 = prof.t1 / beta + mu * prof.t2;
+            assert!(
+                lhs4 <= b.c_min * (1.0 + 1e-9),
+                "{class} seed {seed}: Lemma 4 violated: {lhs4} > {}",
+                b.c_min
+            );
+
+            // Lemma 5 (the theorem itself).
+            let ratio = analysis::lemma5_ratio(mu, alpha);
+            assert!(
+                s.makespan <= ratio * b.lower_bound() * (1.0 + 1e-9),
+                "{class} seed {seed}: Lemma 5 violated"
+            );
+        }
+    }
+}
+
+#[test]
+fn profile_partitions_the_makespan() {
+    let p_total = 32;
+    let mut rng = StdRng::seed_from_u64(9);
+    let dist = ParamDistribution::default();
+    let mut assign = gen::weighted_sampler(ModelClass::General, dist, p_total, &mut rng);
+    let g = gen::fft(4, &mut assign);
+    let mut sched = OnlineScheduler::for_class(ModelClass::General);
+    let s = simulate(&g, &mut sched, &SimOptions::new(p_total)).unwrap();
+    let prof = interval_profile(&s, sched.mu());
+    assert!((prof.total() - s.makespan).abs() < 1e-9 * s.makespan);
+}
+
+#[test]
+fn allocator_respects_envelope_beta_for_every_sampled_task() {
+    // The allocation Algorithm 2 picks never stretches time beyond
+    // delta(mu) — the constraint the envelopes are built around.
+    let p_total = 128;
+    for class in ModelClass::bounded_classes() {
+        let mu = class.optimal_mu();
+        let d = delta(mu);
+        let mut rng = StdRng::seed_from_u64(31);
+        let dist = ParamDistribution::default();
+        for _ in 0..200 {
+            let m = dist.sample(class, p_total, &mut rng);
+            let a = moldable::core::allocate(&m, p_total, mu);
+            let stretch = m.time(a.initial) / m.t_min(p_total);
+            assert!(
+                stretch <= d * (1.0 + 1e-9),
+                "{class}: beta = {stretch} > delta = {d} for {m:?}"
+            );
+        }
+    }
+}
