@@ -201,24 +201,24 @@ impl AdaptiveChains {
         sizes
     }
 
-    fn fresh_task(&mut self, chain: u32) -> (TaskId, SpeedupModel) {
+    fn fresh_task(&mut self, chain: u32) -> TaskId {
         let id = TaskId(self.next_task);
         self.next_task += 1;
         debug_assert_eq!(self.owner.len(), id.index());
         self.owner.push(chain);
-        (id, self.model.clone())
+        id
     }
 }
 
 impl Instance for AdaptiveChains {
-    fn initial(&mut self) -> Vec<(TaskId, SpeedupModel)> {
+    fn initial(&mut self) -> Vec<TaskId> {
         #[allow(clippy::cast_possible_truncation)]
         (0..self.pr.n_chains as u32)
             .map(|c| self.fresh_task(c))
             .collect()
     }
 
-    fn on_complete(&mut self, task: TaskId, time: f64) -> Vec<(TaskId, SpeedupModel)> {
+    fn on_complete(&mut self, task: TaskId, time: f64) -> Vec<TaskId> {
         let chain = self.owner[task.index()];
         let done = self.completed[chain as usize] + 1;
         self.completed[chain as usize] = done;
@@ -242,6 +242,15 @@ impl Instance for AdaptiveChains {
 
     fn is_done(&self) -> bool {
         self.alive == 0
+    }
+
+    fn model(&self, _task: TaskId) -> &SpeedupModel {
+        // Every task of the Theorem 9 instance is identical.
+        &self.model
+    }
+
+    fn size_hint(&self) -> usize {
+        usize::try_from(self.pr.n_tasks).unwrap_or(usize::MAX)
     }
 }
 

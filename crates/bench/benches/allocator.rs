@@ -1,9 +1,10 @@
-//! Criterion benches for Algorithm 2: allocation cost per model family
-//! and platform size (the per-task online overhead of the scheduler).
+//! Benches for Algorithm 2: allocation cost per model family and
+//! platform size (the per-task online overhead of the scheduler).
+//!
+//! Runs on the in-tree `moldable_bench::timing` harness (plain
+//! `Instant` timing) so the target builds with no network access.
 
-#![allow(missing_docs)] // criterion_group! expands undocumented items
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moldable_bench::timing::bench;
 use moldable_core::{allocate, allocate_linear_reference};
 use moldable_model::{ModelClass, SpeedupModel};
 use std::hint::black_box;
@@ -27,34 +28,30 @@ fn models_for(p_total: u32) -> Vec<(&'static str, SpeedupModel)> {
     ]
 }
 
-fn bench_allocate(c: &mut Criterion) {
-    let mut g = c.benchmark_group("allocate");
+fn bench_allocate() {
     for p_total in [64u32, 1024, 65_536] {
         for (name, model) in models_for(p_total) {
             let mu = ModelClass::General.optimal_mu();
-            g.bench_with_input(
-                BenchmarkId::new(name, p_total),
-                &(model, p_total),
-                |b, (m, p)| b.iter(|| allocate(black_box(m), black_box(*p), mu)),
-            );
+            bench("allocate", &format!("{name}/{p_total}"), || {
+                allocate(black_box(&model), black_box(p_total), mu)
+            });
         }
     }
-    g.finish();
 }
 
-fn bench_allocate_linear_vs_binary(c: &mut Criterion) {
-    let mut g = c.benchmark_group("allocate_linear_vs_binary");
+fn bench_allocate_linear_vs_binary() {
     let p_total = 4096;
     let m = SpeedupModel::amdahl(f64::from(p_total) * 4.0, 1.0).unwrap();
     let mu = ModelClass::Amdahl.optimal_mu();
-    g.bench_function("binary_search", |b| {
-        b.iter(|| allocate(black_box(&m), p_total, mu));
+    bench("allocate_linear_vs_binary", "binary_search", || {
+        allocate(black_box(&m), p_total, mu)
     });
-    g.bench_function("linear_reference", |b| {
-        b.iter(|| allocate_linear_reference(black_box(&m), p_total, mu));
+    bench("allocate_linear_vs_binary", "linear_reference", || {
+        allocate_linear_reference(black_box(&m), p_total, mu)
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_allocate, bench_allocate_linear_vs_binary);
-criterion_main!(benches);
+fn main() {
+    bench_allocate();
+    bench_allocate_linear_vs_binary();
+}

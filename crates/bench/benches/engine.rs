@@ -1,10 +1,11 @@
-//! Criterion benches for the simulation substrate: end-to-end
-//! scheduling throughput (graph generation excluded) and the lower
-//! bound computation.
+//! Benches for the simulation substrate: end-to-end scheduling
+//! throughput (graph generation excluded) and the lower bound
+//! computation.
+//!
+//! Runs on the in-tree `moldable_bench::timing` harness (plain
+//! `Instant` timing) so the target builds with no network access.
 
-#![allow(missing_docs)] // criterion_group! expands undocumented items
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use moldable_bench::timing::{bench, bench_throughput};
 use moldable_bench::Workload;
 use moldable_core::OnlineScheduler;
 use moldable_graph::gen;
@@ -14,8 +15,7 @@ use std::hint::black_box;
 
 const P_TOTAL: u32 = 64;
 
-fn bench_simulate_workloads(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulate_online");
+fn bench_simulate_workloads() {
     for w in [
         Workload::Cholesky,
         Workload::Layered,
@@ -23,45 +23,38 @@ fn bench_simulate_workloads(c: &mut Criterion) {
         Workload::Wavefront,
     ] {
         let graph = w.build(ModelClass::General, P_TOTAL, 42);
-        g.throughput(Throughput::Elements(graph.n_tasks() as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(w.name()), &graph, |b, graph| {
-            b.iter(|| {
-                let mut s = OnlineScheduler::for_class(ModelClass::General);
-                simulate(black_box(graph), &mut s, &SimOptions::new(P_TOTAL)).unwrap()
-            });
+        bench_throughput("simulate_online", w.name(), graph.n_tasks() as u64, || {
+            let mut s = OnlineScheduler::for_class(ModelClass::General);
+            simulate(black_box(&graph), &mut s, &SimOptions::new(P_TOTAL)).unwrap()
         });
     }
-    g.finish();
 }
 
-fn bench_large_chain(c: &mut Criterion) {
+fn bench_large_chain() {
     // Engine scalability: a 50k-task chain is the worst case for the
     // event loop (one event per task, no batching).
     let mut assign = |_: gen::TaskCtx<'_>| SpeedupModel::amdahl(10.0, 0.1).unwrap();
     let graph = gen::chain(50_000, &mut assign);
-    let mut g = c.benchmark_group("engine_scalability");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(graph.n_tasks() as u64));
-    g.bench_function("chain_50k", |b| {
-        b.iter(|| {
+    bench_throughput(
+        "engine_scalability",
+        "chain_50k",
+        graph.n_tasks() as u64,
+        || {
             let mut s = OnlineScheduler::for_class(ModelClass::Amdahl);
             simulate(black_box(&graph), &mut s, &SimOptions::new(P_TOTAL)).unwrap()
-        });
-    });
-    g.finish();
+        },
+    );
 }
 
-fn bench_graph_bounds(c: &mut Criterion) {
+fn bench_graph_bounds() {
     let graph = Workload::Cholesky.build(ModelClass::General, P_TOTAL, 7);
-    c.bench_function("graph_bounds_cholesky8", |b| {
-        b.iter(|| black_box(&graph).bounds(P_TOTAL));
+    bench("graph_bounds", "cholesky8", || {
+        black_box(&graph).bounds(P_TOTAL)
     });
 }
 
-criterion_group!(
-    benches,
-    bench_simulate_workloads,
-    bench_large_chain,
-    bench_graph_bounds
-);
-criterion_main!(benches);
+fn main() {
+    bench_simulate_workloads();
+    bench_large_chain();
+    bench_graph_bounds();
+}

@@ -1,61 +1,51 @@
-//! Criterion benches tied to the paper's experiments: one per
-//! table/figure, measuring the cost of regenerating each artifact at a
+//! Benches tied to the paper's experiments: one per table/figure,
+//! measuring the cost of regenerating each artifact at a
 //! bench-friendly size (the full-size regeneration lives in the
 //! `table1`/`fig*`/`lower_bounds`/`thm9_scaling` binaries).
+//!
+//! Runs on the in-tree `moldable_bench::timing` harness (plain
+//! `Instant` timing) so the target builds with no network access.
 
-#![allow(missing_docs)] // criterion_group! expands undocumented items
-
-use criterion::{criterion_group, criterion_main, Criterion};
 use moldable_adversary::arbitrary::{offline_schedule, AdaptiveChains};
 use moldable_adversary::{amdahl, communication, general, roofline};
+use moldable_bench::timing::bench;
 use moldable_core::baselines::EqualShareScheduler;
 use moldable_sim::{simulate_instance, SimOptions};
 use std::hint::black_box;
 
-fn bench_table1(c: &mut Criterion) {
+fn bench_table1() {
     // Numerical side of Table 1: minimize the four ratio curves.
-    c.bench_function("table1_numeric", |b| {
-        b.iter(|| black_box(moldable_analysis::table1()));
+    bench("table1", "numeric", || black_box(moldable_analysis::table1()));
+}
+
+fn bench_lower_bound_instances() {
+    bench("lower_bound_run", "thm5_roofline_P4096", || {
+        roofline::instance(4096).run_online()
+    });
+    bench("lower_bound_run", "thm6_comm_P101", || {
+        communication::instance(101).run_online()
+    });
+    bench("lower_bound_run", "thm7_amdahl_K20", || {
+        amdahl::instance(20).run_online()
+    });
+    bench("lower_bound_run", "thm8_general_K20", || {
+        general::instance(20).run_online()
     });
 }
 
-fn bench_lower_bound_instances(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lower_bound_run");
-    g.sample_size(10);
-    g.bench_function("thm5_roofline_P4096", |b| {
-        b.iter(|| roofline::instance(4096).run_online());
+fn bench_fig4() {
+    bench("fig4", "offline_schedule_l2", || {
+        offline_schedule(black_box(2))
     });
-    g.bench_function("thm6_comm_P101", |b| {
-        b.iter(|| communication::instance(101).run_online());
+    bench("fig4", "equal_share_adaptive_l3", || {
+        let mut adv = AdaptiveChains::new(3);
+        let mut eq = EqualShareScheduler::new();
+        simulate_instance(&mut adv, &mut eq, &SimOptions::new(1024)).unwrap()
     });
-    g.bench_function("thm7_amdahl_K20", |b| {
-        b.iter(|| amdahl::instance(20).run_online());
-    });
-    g.bench_function("thm8_general_K20", |b| {
-        b.iter(|| general::instance(20).run_online());
-    });
-    g.finish();
 }
 
-fn bench_fig4(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig4");
-    g.bench_function("offline_schedule_l2", |b| {
-        b.iter(|| offline_schedule(black_box(2)));
-    });
-    g.bench_function("equal_share_adaptive_l3", |b| {
-        b.iter(|| {
-            let mut adv = AdaptiveChains::new(3);
-            let mut eq = EqualShareScheduler::new();
-            simulate_instance(&mut adv, &mut eq, &SimOptions::new(1024)).unwrap()
-        });
-    });
-    g.finish();
+fn main() {
+    bench_table1();
+    bench_lower_bound_instances();
+    bench_fig4();
 }
-
-criterion_group!(
-    benches,
-    bench_table1,
-    bench_lower_bound_instances,
-    bench_fig4
-);
-criterion_main!(benches);

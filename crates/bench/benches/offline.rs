@@ -1,9 +1,9 @@
-//! Criterion benches for the offline comparators and the backfilling
-//! extension.
+//! Benches for the offline comparators and the backfilling extension.
+//!
+//! Runs on the in-tree `moldable_bench::timing` harness (plain
+//! `Instant` timing) so the target builds with no network access.
 
-#![allow(missing_docs)] // criterion_group! expands undocumented items
-
-use criterion::{criterion_group, criterion_main, Criterion};
+use moldable_bench::timing::bench;
 use moldable_bench::Workload;
 use moldable_core::{EasyBackfillScheduler, OnlineScheduler};
 use moldable_graph::TaskGraph;
@@ -12,7 +12,7 @@ use moldable_offline::{cpa, optimal_makespan, turek_schedule, BruteForceLimits};
 use moldable_sim::{simulate, SimOptions};
 use std::hint::black_box;
 
-fn bench_brute_force(c: &mut Criterion) {
+fn bench_brute_force() {
     // 6 tasks with a couple of edges on P = 4: the sweet spot the
     // optimality tests live in.
     let mut g = TaskGraph::new();
@@ -22,51 +22,40 @@ fn bench_brute_force(c: &mut Criterion) {
     g.add_edge(ids[0], ids[2]).unwrap();
     g.add_edge(ids[1], ids[3]).unwrap();
     g.add_edge(ids[2], ids[4]).unwrap();
-    let mut grp = c.benchmark_group("brute_force");
-    grp.sample_size(10);
-    grp.bench_function("optimal_6tasks_P4", |b| {
-        b.iter(|| optimal_makespan(black_box(&g), 4, BruteForceLimits::default()));
+    bench("brute_force", "optimal_6tasks_P4", || {
+        optimal_makespan(black_box(&g), 4, BruteForceLimits::default())
     });
-    grp.finish();
 }
 
-fn bench_cpa(c: &mut Criterion) {
+fn bench_cpa() {
     let g = Workload::Cholesky.build(ModelClass::Amdahl, 64, 3);
-    c.bench_function("cpa_allocations_cholesky8_P64", |b| {
-        b.iter(|| cpa::cpa_allocations(black_box(&g), 64));
+    bench("cpa", "allocations_cholesky8_P64", || {
+        cpa::cpa_allocations(black_box(&g), 64)
     });
 }
 
-fn bench_turek(c: &mut Criterion) {
+fn bench_turek() {
     let g = Workload::Independent.build(ModelClass::Amdahl, 32, 5);
-    c.bench_function("turek_dual_128tasks_P32", |b| {
-        b.iter(|| turek_schedule(black_box(&g), 32));
+    bench("turek", "dual_128tasks_P32", || {
+        turek_schedule(black_box(&g), 32)
     });
 }
 
-fn bench_backfill_vs_online(c: &mut Criterion) {
+fn bench_backfill_vs_online() {
     let g = Workload::Layered.build(ModelClass::General, 64, 9);
-    let mut grp = c.benchmark_group("scheduler_overhead");
-    grp.bench_function("online", |b| {
-        b.iter(|| {
-            let mut s = OnlineScheduler::for_class(ModelClass::General);
-            simulate(black_box(&g), &mut s, &SimOptions::new(64)).unwrap()
-        });
+    bench("scheduler_overhead", "online", || {
+        let mut s = OnlineScheduler::for_class(ModelClass::General);
+        simulate(black_box(&g), &mut s, &SimOptions::new(64)).unwrap()
     });
-    grp.bench_function("easy_backfill", |b| {
-        b.iter(|| {
-            let mut s = EasyBackfillScheduler::new(ModelClass::General.optimal_mu());
-            simulate(black_box(&g), &mut s, &SimOptions::new(64)).unwrap()
-        });
+    bench("scheduler_overhead", "easy_backfill", || {
+        let mut s = EasyBackfillScheduler::new(ModelClass::General.optimal_mu());
+        simulate(black_box(&g), &mut s, &SimOptions::new(64)).unwrap()
     });
-    grp.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_brute_force,
-    bench_cpa,
-    bench_turek,
-    bench_backfill_vs_online
-);
-criterion_main!(benches);
+fn main() {
+    bench_brute_force();
+    bench_cpa();
+    bench_turek();
+    bench_backfill_vs_online();
+}

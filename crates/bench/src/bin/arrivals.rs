@@ -14,8 +14,8 @@ use moldable_core::{EasyBackfillScheduler, OnlineScheduler};
 use moldable_model::sample::ParamDistribution;
 use moldable_model::{ModelClass, SpeedupModel};
 use moldable_sim::{simulate_instance, Scheduler, SimOptions, TimedArrivals};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use moldable_model::rng::StdRng;
+use moldable_model::rng::Rng;
 
 const P_TOTAL: u32 = 32;
 const N_TASKS: usize = 300;

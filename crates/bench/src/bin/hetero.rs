@@ -13,8 +13,8 @@ use moldable_hetero::{
     HeteroScheduler, HeteroTask, MuHetero,
 };
 use moldable_model::SpeedupModel;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use moldable_model::rng::StdRng;
+use moldable_model::rng::Rng;
 
 /// Random layered DAG with per-task pool affinity: a fraction of tasks
 /// is `accel`-times faster on the GPU, the rest on the CPU.

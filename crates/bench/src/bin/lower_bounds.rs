@@ -7,26 +7,29 @@
 //! ```
 
 use moldable_adversary::{amdahl, communication, general, roofline, LowerBoundInstance};
-use moldable_bench::{write_result, Table};
+use moldable_bench::{par_map, write_result, Table};
 
 fn sweep(
     name: &str,
     sizes: &[u32],
     size_label: &str,
-    build: impl Fn(u32) -> LowerBoundInstance,
+    build: impl Fn(u32) -> LowerBoundInstance + Sync,
     asymptote: f64,
     upper: f64,
     table: &mut Table,
 ) {
     println!("{name}: asymptote {asymptote:.4}, Theorem UB {upper:.4}");
-    for &s in sizes {
+    // Build + simulate every size in parallel; print and accumulate in
+    // input order afterwards, so the output stays byte-identical to the
+    // sequential sweep.
+    let rows = par_map(sizes.to_vec(), |s| {
         let inst = build(s);
         let (makespan, ratio) = inst.run_online();
+        (s, inst.graph.n_tasks(), makespan, inst.t_opt_upper, ratio)
+    });
+    for (s, n_tasks, makespan, t_opt_upper, ratio) in rows {
         println!(
-            "  {size_label} = {s:>6}: tasks = {:>8}, T = {:>12.2}, T_opt <= {:>10.2}, ratio = {ratio:.4}",
-            inst.graph.n_tasks(),
-            makespan,
-            inst.t_opt_upper
+            "  {size_label} = {s:>6}: tasks = {n_tasks:>8}, T = {makespan:>12.2}, T_opt <= {t_opt_upper:>10.2}, ratio = {ratio:.4}",
         );
         assert!(
             ratio <= upper + 1e-9,

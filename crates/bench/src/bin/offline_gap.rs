@@ -19,8 +19,8 @@ use moldable_model::sample::ParamDistribution;
 use moldable_model::ModelClass;
 use moldable_offline::{cpa, optimal_makespan, turek_schedule, BruteForceLimits};
 use moldable_sim::{simulate, SimOptions};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use moldable_model::rng::StdRng;
+use moldable_model::rng::Rng;
 
 fn online_makespan(g: &TaskGraph, class: ModelClass, p: u32) -> f64 {
     let mut s = OnlineScheduler::for_class(class);

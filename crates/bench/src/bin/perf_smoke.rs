@@ -1,0 +1,185 @@
+//! Engine throughput smoke test: how many tasks per second does the
+//! simulation hot path sustain? Writes `results/BENCH_engine.json` so
+//! successive PRs have a performance trajectory to compare against.
+//!
+//! ```text
+//! cargo run --release -p moldable-bench --bin perf_smoke
+//! ```
+//!
+//! Workloads:
+//! * `layered_1m` — a 1 000 × 1 000 layered random DAG (10^6 mixed
+//!   general-model tasks) under the online scheduler on P = 256;
+//! * `thm6_communication_p1601` — the Theorem 6 adversarial instance at
+//!   P = 1601 (~868 k near-identical tasks, the allocation-memoization
+//!   stress case);
+//! * `thm9_adaptive_l4` — the Theorem 9 adaptive chain adversary at
+//!   ℓ = 4 (P = 524 288, instance revealed task by task);
+//! * `wide_50k_{indexed,reference}_queue` — 50 000 independent tasks
+//!   on P = 64, a deep-ready-queue stress run once under the default
+//!   indexed queue and once under the reference sorted-`Vec` scan to
+//!   expose the asymptotic gap (identical makespans, different clocks).
+
+use std::time::Instant;
+
+use moldable_adversary::{arbitrary, communication};
+use moldable_bench::write_result;
+use moldable_core::baselines::EqualShareScheduler;
+use moldable_core::OnlineScheduler;
+use moldable_graph::gen;
+use moldable_model::rng::StdRng;
+use moldable_model::sample::ParamDistribution;
+use moldable_model::ModelClass;
+use moldable_sim::{simulate, simulate_instance, SimOptions};
+
+struct Measurement {
+    name: &'static str,
+    n_tasks: usize,
+    build_secs: f64,
+    sim_secs: f64,
+    makespan: f64,
+}
+
+impl Measurement {
+    #[allow(clippy::cast_precision_loss)]
+    fn tasks_per_sec(&self) -> f64 {
+        self.n_tasks as f64 / self.sim_secs
+    }
+}
+
+fn layered_1m() -> Measurement {
+    let p_total = 256;
+    let t0 = Instant::now();
+    let dist = ParamDistribution::default();
+    let mut mrng = StdRng::seed_from_u64(0x5EED);
+    let mut assign = gen::weighted_sampler(ModelClass::General, dist, p_total, &mut mrng);
+    let mut srng = StdRng::seed_from_u64(1);
+    let g = gen::layered_random(1_000, 1_000, 0.002, &mut srng, &mut assign);
+    let build_secs = t0.elapsed().as_secs_f64();
+
+    let mut sched = OnlineScheduler::for_class(ModelClass::General);
+    let t1 = Instant::now();
+    let s = simulate(&g, &mut sched, &SimOptions::new(p_total)).expect("simulates");
+    let sim_secs = t1.elapsed().as_secs_f64();
+    assert_eq!(s.placements.len(), g.n_tasks());
+    Measurement {
+        name: "layered_1m",
+        n_tasks: g.n_tasks(),
+        build_secs,
+        sim_secs,
+        makespan: s.makespan,
+    }
+}
+
+fn thm6_communication() -> Measurement {
+    let t0 = Instant::now();
+    let inst = communication::instance(1601);
+    let build_secs = t0.elapsed().as_secs_f64();
+    let n_tasks = inst.graph.n_tasks();
+
+    let mut sched = OnlineScheduler::with_mu(inst.mu);
+    let t1 = Instant::now();
+    let s = simulate(&inst.graph, &mut sched, &SimOptions::new(inst.p_total)).expect("simulates");
+    let sim_secs = t1.elapsed().as_secs_f64();
+    Measurement {
+        name: "thm6_communication_p1601",
+        n_tasks,
+        build_secs,
+        sim_secs,
+        makespan: s.makespan,
+    }
+}
+
+fn thm9_adaptive() -> Measurement {
+    let t0 = Instant::now();
+    let mut adv = arbitrary::AdaptiveChains::new(4);
+    let pr = adv.params();
+    let build_secs = t0.elapsed().as_secs_f64();
+
+    let mut sched = EqualShareScheduler::new();
+    let t1 = Instant::now();
+    let s = simulate_instance(&mut adv, &mut sched, &SimOptions::new(pr.p_total))
+        .expect("simulates");
+    let sim_secs = t1.elapsed().as_secs_f64();
+    Measurement {
+        name: "thm9_adaptive_l4",
+        n_tasks: s.placements.len(),
+        build_secs,
+        sim_secs,
+        makespan: s.makespan,
+    }
+}
+
+/// 50 000 independent tasks on P = 64: the ready queue holds tens of
+/// thousands of waiting tasks, the regime where the indexed queue's
+/// O(log n) operations separate from the reference scan's O(n).
+fn wide_50k(reference: bool) -> Measurement {
+    let p_total = 64;
+    let t0 = Instant::now();
+    let dist = ParamDistribution::default();
+    let mut mrng = StdRng::seed_from_u64(0x91DE);
+    let mut assign = gen::weighted_sampler(ModelClass::General, dist, p_total, &mut mrng);
+    let g = gen::independent(50_000, &mut assign);
+    let build_secs = t0.elapsed().as_secs_f64();
+
+    let mut sched = OnlineScheduler::for_class(ModelClass::General);
+    if reference {
+        sched = sched.with_reference_queue();
+    }
+    let t1 = Instant::now();
+    let s = simulate(&g, &mut sched, &SimOptions::new(p_total)).expect("simulates");
+    let sim_secs = t1.elapsed().as_secs_f64();
+    assert_eq!(s.placements.len(), g.n_tasks());
+    Measurement {
+        name: if reference {
+            "wide_50k_reference_queue"
+        } else {
+            "wide_50k_indexed_queue"
+        },
+        n_tasks: g.n_tasks(),
+        build_secs,
+        sim_secs,
+        makespan: s.makespan,
+    }
+}
+
+fn main() {
+    println!("Engine throughput smoke test\n");
+    let runs = [
+        layered_1m(),
+        thm6_communication(),
+        thm9_adaptive(),
+        wide_50k(false),
+        wide_50k(true),
+    ];
+    // Same instance, same decisions: only the queue implementation (and
+    // therefore the wall clock) may differ between the last two runs.
+    assert_eq!(runs[3].makespan, runs[4].makespan, "queues must agree");
+
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    for (i, m) in runs.iter().enumerate() {
+        println!(
+            "  {:<26} {:>9} tasks  build {:>8.3}s  sim {:>8.3}s  {:>12.0} tasks/s",
+            m.name,
+            m.n_tasks,
+            m.build_secs,
+            m.sim_secs,
+            m.tasks_per_sec()
+        );
+        json.push_str(&format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"n_tasks\": {}, ",
+                "\"build_secs\": {:.6}, \"sim_secs\": {:.6}, ",
+                "\"tasks_per_sec\": {:.1}, \"makespan\": {:.6}}}{}\n"
+            ),
+            m.name,
+            m.n_tasks,
+            m.build_secs,
+            m.sim_secs,
+            m.tasks_per_sec(),
+            m.makespan,
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    write_result("BENCH_engine.json", &json);
+}

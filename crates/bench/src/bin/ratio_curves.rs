@@ -8,28 +8,39 @@
 //! ```
 
 use moldable_analysis::{amdahl, communication, general, roofline, upper_bound};
-use moldable_bench::{write_result, Table};
+use moldable_bench::{par_map, write_result, Table};
 use moldable_model::{ModelClass, MU_MAX};
 
 fn main() {
     let mut t = Table::new(&["mu", "roofline", "communication", "amdahl", "general"]);
     let steps = 200;
-    for i in 1..=steps {
+    // The μ grid points are independent evaluations; fan out, then emit
+    // the rows in grid order so the CSV is identical to a serial run.
+    let rows = par_map((1..=steps).collect(), |i| {
         #[allow(clippy::cast_precision_loss)]
         let mu = MU_MAX * f64::from(i) / f64::from(steps);
-        let fmt = |v: f64| {
-            if v.is_finite() {
-                format!("{v:.6}")
-            } else {
-                String::from("inf")
-            }
-        };
+        (
+            mu,
+            roofline::ratio_at(mu),
+            communication::ratio_at(mu),
+            amdahl::ratio_at(mu),
+            general::ratio_at(mu),
+        )
+    });
+    let fmt = |v: f64| {
+        if v.is_finite() {
+            format!("{v:.6}")
+        } else {
+            String::from("inf")
+        }
+    };
+    for (mu, r, c, a, g) in rows {
         t.row(vec![
             format!("{mu:.6}"),
-            fmt(roofline::ratio_at(mu)),
-            fmt(communication::ratio_at(mu)),
-            fmt(amdahl::ratio_at(mu)),
-            fmt(general::ratio_at(mu)),
+            fmt(r),
+            fmt(c),
+            fmt(a),
+            fmt(g),
         ]);
     }
     write_result("ratio_curves.csv", &t.to_csv());

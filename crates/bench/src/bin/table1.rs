@@ -11,22 +11,22 @@
 //! cargo run --release -p moldable-bench --bin table1
 //! ```
 
-use moldable_adversary::{amdahl, communication, general, roofline};
-use moldable_bench::{write_result, Table};
+use moldable_adversary::{amdahl, communication, general, roofline, LowerBoundInstance};
+use moldable_bench::{par_map, write_result, Table};
 
 fn main() {
     let rows = moldable_analysis::table1();
 
-    // Measured lower-bound ratios on the adversarial instances.
-    let measured = [
-        ("roofline", roofline::instance(100_000).run_online().1),
-        (
-            "communication",
-            communication::instance(1001).run_online().1,
-        ),
-        ("amdahl", amdahl::instance(80).run_online().1),
-        ("general", general::instance(80).run_online().1),
+    // Measured lower-bound ratios on the adversarial instances; the
+    // four builds+runs are independent, so fan them out.
+    type Build = (&'static str, fn() -> LowerBoundInstance);
+    let cases: Vec<Build> = vec![
+        ("roofline", || roofline::instance(100_000)),
+        ("communication", || communication::instance(1001)),
+        ("amdahl", || amdahl::instance(80)),
+        ("general", || general::instance(80)),
     ];
+    let measured = par_map(cases, |(name, build)| (name, build().run_online().1));
 
     let mut t = Table::new(&[
         "model",

@@ -10,7 +10,7 @@
 
 use moldable_adversary::arbitrary::{params, AdaptiveChains};
 use moldable_analysis::{deterministic_lower_bound, lemma10_makespan};
-use moldable_bench::{write_result, Table};
+use moldable_bench::{par_map, write_result, Table};
 use moldable_core::baselines::EqualShareScheduler;
 use moldable_core::OnlineScheduler;
 use moldable_model::ModelClass;
@@ -45,13 +45,18 @@ fn main() {
         "equal-share",
         "online(mu)",
     ]);
-    for l in 1..=4u32 {
-        let pr = params(l);
+    // Each depth (and each scheduler within it) is an independent
+    // adversary run; fan out and report in input order.
+    let runs = par_map((1..=4u32).collect(), |l| {
         let eq = run(l, Box::new(EqualShareScheduler::new()));
         let on = run(
             l,
             Box::new(OnlineScheduler::for_class(ModelClass::Arbitrary)),
         );
+        (l, eq, on)
+    });
+    for (l, eq, on) in runs {
+        let pr = params(l);
         let lnb = deterministic_lower_bound(pr.k, l);
         let exact = lemma10_makespan(pr.k, l);
         assert!(

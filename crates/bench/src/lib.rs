@@ -2,6 +2,11 @@
 //! plain-text table rendering, and the scheduler/workload registries
 //! used by the `empirical` and `ablation` sweeps.
 
+pub mod par;
+pub mod timing;
+
+pub use par::par_map;
+
 use std::fs;
 use std::path::PathBuf;
 
@@ -11,8 +16,8 @@ use moldable_graph::{gen, TaskGraph};
 use moldable_model::sample::ParamDistribution;
 use moldable_model::ModelClass;
 use moldable_sim::Scheduler;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use moldable_model::rng::StdRng;
+
 
 /// Where experiment outputs land: `<workspace>/results`.
 ///

@@ -1,0 +1,119 @@
+//! Scoped-thread fan-out for the sweep binaries.
+//!
+//! [`par_map`] runs one closure per input item across all available
+//! cores and returns the results **in input order**, so every sweep
+//! that prints or writes its rows sequentially after the fan-out keeps
+//! byte-identical output regardless of thread scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Map `f` over `items` in parallel (scoped threads, work-stealing via
+/// a shared atomic cursor) and collect the results in input order.
+///
+/// Threads are capped at `available_parallelism` and at `items.len()`;
+/// with zero or one item (or a single core) this degrades to a plain
+/// sequential map. A panic inside `f` propagates to the caller once all
+/// workers have stopped.
+///
+/// # Panics
+///
+/// Panics if `f` panicked on any item.
+pub fn par_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // One mutex per slot: workers claim disjoint indices through the
+    // cursor, so locks are never contended — they only make the slot
+    // transfer Sync without unsafe code.
+    let input: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let output: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = input[i]
+                        .lock()
+                        .expect("input slot poisoned")
+                        .take()
+                        .expect("each slot is claimed exactly once");
+                    let value = f(item);
+                    *output[i].lock().expect("output slot poisoned") = Some(value);
+                })
+            })
+            .collect();
+        // Join manually so a worker panic resurfaces with its original
+        // payload (scope's automatic join would replace it).
+        let mut first_panic = None;
+        for h in handles {
+            if let Err(payload) = h.join() {
+                first_panic.get_or_insert(payload);
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+    });
+
+    output
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("output slot poisoned")
+                .expect("every slot was filled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let out = par_map((0..1000u64).collect(), |i| i * i);
+        assert_eq!(out.len(), 1000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i as u64) * (i as u64));
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_single_inputs() {
+        assert_eq!(par_map(Vec::<u32>::new(), |x| x), Vec::<u32>::new());
+        assert_eq!(par_map(vec![7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn moves_non_clone_items() {
+        struct NoClone(String);
+        let items = vec![NoClone("a".into()), NoClone("b".into())];
+        let out = par_map(items, |x| x.0);
+        assert_eq!(out, vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        let _ = par_map(vec![1u32, 2, 3], |x| {
+            assert!(x != 2, "boom");
+            x
+        });
+    }
+}

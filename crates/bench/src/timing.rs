@@ -1,0 +1,89 @@
+//! Minimal wall-clock bench harness (replaces the Criterion dependency
+//! so the bench targets build fully offline).
+//!
+//! Each measurement warms the closure up once, then doubles the
+//! iteration count until the timed batch exceeds a fixed floor, and
+//! reports mean time per iteration. Not statistics-grade, but stable
+//! enough to spot order-of-magnitude regressions — and dependency-free.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Smallest timed batch considered trustworthy.
+const MIN_BATCH: Duration = Duration::from_millis(200);
+
+/// Mean seconds per call of `f`, measured over an adaptively sized
+/// batch (at least `MIN_BATCH` = 200 ms of total work after one warm-up
+/// call).
+pub fn time_fn<T>(mut f: impl FnMut() -> T) -> f64 {
+    black_box(f()); // warm-up
+    let mut iters = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let dt = start.elapsed();
+        if dt >= MIN_BATCH || iters >= 1 << 24 {
+            #[allow(clippy::cast_precision_loss)]
+            return dt.as_secs_f64() / iters as f64;
+        }
+        // Aim straight for the floor instead of blind doubling.
+        let scale = (MIN_BATCH.as_secs_f64() / dt.as_secs_f64().max(1e-9)).ceil();
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let grown = (iters as f64 * scale.clamp(2.0, 100.0)) as u64;
+        iters = grown.max(iters * 2);
+    }
+}
+
+/// Render seconds-per-iteration with a human-scale unit.
+#[must_use]
+pub fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Measure `f` and print one `group/name  time` line.
+pub fn bench<T>(group: &str, name: &str, f: impl FnMut() -> T) {
+    let secs = time_fn(f);
+    println!("{group}/{name:<28} {:>12}", format_time(secs));
+}
+
+/// Measure `f` and print time per iteration plus throughput for
+/// `elements` items processed per call.
+pub fn bench_throughput<T>(group: &str, name: &str, elements: u64, f: impl FnMut() -> T) {
+    let secs = time_fn(f);
+    #[allow(clippy::cast_precision_loss)]
+    let rate = elements as f64 / secs;
+    println!(
+        "{group}/{name:<28} {:>12}   {:>14.0} elem/s",
+        format_time(secs),
+        rate
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_fn_returns_positive_time() {
+        let secs = time_fn(|| (0..1000u64).sum::<u64>());
+        assert!(secs > 0.0 && secs < 1.0);
+    }
+
+    #[test]
+    fn format_time_picks_sane_units() {
+        assert_eq!(format_time(2.0), "2.000 s");
+        assert_eq!(format_time(2e-3), "2.000 ms");
+        assert_eq!(format_time(2e-6), "2.000 µs");
+        assert_eq!(format_time(2e-9), "2.0 ns");
+    }
+}

@@ -21,8 +21,8 @@ use moldable_core::{baselines, OnlineScheduler, QueuePolicy};
 use moldable_graph::{gen, parse_workflow, TaskGraph};
 use moldable_model::ModelClass;
 use moldable_sim::{gantt_ascii, simulate, SimOptions};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use moldable_model::rng::StdRng;
+
 
 /// CLI failure, printed to stderr with exit code 2.
 #[derive(Debug)]

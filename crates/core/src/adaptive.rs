@@ -106,7 +106,7 @@ mod tests {
     use moldable_graph::{gen, TaskGraph};
     use moldable_model::sample::ParamDistribution;
     use moldable_sim::{simulate, SimOptions};
-    use rand::{rngs::StdRng, SeedableRng};
+    use moldable_model::rng::StdRng;
 
     #[test]
     fn single_class_graph_matches_for_class_exactly() {

@@ -265,7 +265,7 @@ mod tests {
     fn valid_on_random_workflows_and_competitive_in_practice() {
         use moldable_graph::gen;
         use moldable_model::sample::ParamDistribution;
-        use rand::{rngs::StdRng, SeedableRng};
+        use moldable_model::rng::StdRng;
         let p_total = 32;
         for class in ModelClass::bounded_classes() {
             let mu = class.optimal_mu();

@@ -37,6 +37,9 @@
 pub mod allocator;
 pub mod baselines;
 
+pub mod memo;
+pub mod ready_queue;
+
 mod adaptive;
 mod backfill;
 mod online;
@@ -45,5 +48,7 @@ mod policy;
 pub use adaptive::AdaptiveScheduler;
 pub use allocator::{allocate, allocate_linear_reference, mu_cap, Allocation};
 pub use backfill::EasyBackfillScheduler;
+pub use memo::AllocCache;
 pub use online::OnlineScheduler;
 pub use policy::QueuePolicy;
+pub use ready_queue::{IndexedQueue, LinearQueue, ReadyItem, ReadyQueue, SPILL_THRESHOLD};

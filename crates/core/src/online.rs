@@ -6,17 +6,28 @@ use moldable_graph::TaskId;
 use moldable_model::{ModelClass, SpeedupModel};
 use moldable_sim::Scheduler;
 
+use crate::memo::AllocCache;
+use crate::ready_queue::{IndexedQueue, LinearQueue, ReadyItem, ReadyQueue};
 use crate::{allocate, Allocation, QueuePolicy};
 
 /// The paper's online scheduler (Algorithm 1).
 ///
 /// Maintains a waiting queue of available tasks. When a task becomes
 /// available it is allocated processors by Algorithm 2 (see
-/// [`crate::allocator`]) and enqueued; at every decision point (time 0
-/// and each task completion) the queue is scanned and every task whose
-/// allocation fits in the free processors is started immediately —
+/// [`crate::allocator`], memoized per distinct model through
+/// [`AllocCache`]) and enqueued; at every decision point (time 0 and
+/// each task completion) every waiting task whose allocation fits in
+/// the free processors is started immediately, in policy-key order —
 /// classic list scheduling, which never idles `⌈μP⌉` processors while
 /// a task is waiting (the fact Lemma 4 rests on).
+///
+/// The queue is an [`IndexedQueue`] (a treap tracking the minimum
+/// allocation per subtree): releasing a task costs O(log n) and a
+/// decision point that starts `k` tasks costs O((k+1) log n), instead
+/// of O(n) for both with the original sorted `Vec`. The original
+/// behaviour is kept as [`LinearQueue`] behind
+/// [`OnlineScheduler::with_reference_queue`]; differential tests prove
+/// the two produce identical schedules.
 ///
 /// `μ` is chosen per model class (Theorems 1–4) by
 /// [`OnlineScheduler::for_class`], or set explicitly with
@@ -26,18 +37,44 @@ pub struct OnlineScheduler {
     mu: f64,
     policy: QueuePolicy,
     p_total: u32,
-    queue: Vec<QueueItem>,
+    queue: QueueKind,
     seq: u64,
-    /// Record of every allocation decision, for inspection by tests
-    /// and the lower-bound experiments.
-    decisions: HashMap<TaskId, Allocation>,
+    /// Memoized Algorithm 2, built at `init` once `P` is known.
+    cache: Option<AllocCache>,
+    /// Per-task record of every allocation decision — opt-in via
+    /// [`OnlineScheduler::record_decisions`] so the default hot path
+    /// does no per-task bookkeeping.
+    decisions: Option<HashMap<TaskId, Allocation>>,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct QueueItem {
-    task: TaskId,
-    alloc: u32,
-    key: (f64, u64),
+/// The two queue implementations behind one static dispatch point.
+#[derive(Debug)]
+enum QueueKind {
+    Indexed(IndexedQueue),
+    Linear(LinearQueue),
+}
+
+impl QueueKind {
+    fn push(&mut self, item: ReadyItem) {
+        match self {
+            Self::Indexed(q) => q.push(item),
+            Self::Linear(q) => q.push(item),
+        }
+    }
+
+    fn pop_first_fit(&mut self, free: u32) -> Option<ReadyItem> {
+        match self {
+            Self::Indexed(q) => q.pop_first_fit(free),
+            Self::Linear(q) => q.pop_first_fit(free),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Self::Indexed(q) => q.len(),
+            Self::Linear(q) => q.len(),
+        }
+    }
 }
 
 impl OnlineScheduler {
@@ -62,9 +99,10 @@ impl OnlineScheduler {
             mu,
             policy: QueuePolicy::Fifo,
             p_total: 0,
-            queue: Vec::new(),
+            queue: QueueKind::Indexed(IndexedQueue::new()),
             seq: 0,
-            decisions: HashMap::new(),
+            cache: None,
+            decisions: None,
         }
     }
 
@@ -76,16 +114,41 @@ impl OnlineScheduler {
         self
     }
 
+    /// Use the linear-scan reference queue instead of the indexed one.
+    ///
+    /// Observable behaviour is identical (the differential tests in
+    /// `tests/queue_equivalence.rs` check exactly this); the reference
+    /// queue exists as the executable specification and for
+    /// before/after performance comparisons.
+    #[must_use]
+    pub fn with_reference_queue(mut self) -> Self {
+        self.queue = QueueKind::Linear(LinearQueue::new());
+        self
+    }
+
+    /// Record every Algorithm 2 decision for later inspection through
+    /// [`OnlineScheduler::decision`]. Off by default: recording costs a
+    /// hash-map insert per released task.
+    #[must_use]
+    pub fn record_decisions(mut self, record: bool) -> Self {
+        self.decisions = record.then(HashMap::new);
+        self
+    }
+
     /// The μ in use.
     #[must_use]
     pub fn mu(&self) -> f64 {
         self.mu
     }
 
-    /// The Algorithm 2 decision made for `task`, if it was released.
+    /// The Algorithm 2 decision made for `task`.
+    ///
+    /// Returns `None` unless recording was enabled with
+    /// [`OnlineScheduler::record_decisions`] *and* the task was
+    /// released.
     #[must_use]
     pub fn decision(&self, task: TaskId) -> Option<Allocation> {
-        self.decisions.get(&task).copied()
+        self.decisions.as_ref()?.get(&task).copied()
     }
 
     /// Number of tasks currently waiting.
@@ -98,41 +161,39 @@ impl OnlineScheduler {
 impl Scheduler for OnlineScheduler {
     fn init(&mut self, p_total: u32) {
         self.p_total = p_total;
+        self.cache = Some(AllocCache::new(p_total, self.mu));
     }
 
     fn release(&mut self, task: TaskId, model: &SpeedupModel) {
         debug_assert!(self.p_total >= 1, "init must run before release");
-        let allocation = allocate(model, self.p_total, self.mu);
-        self.decisions.insert(task, allocation);
+        let allocation = match self.cache.as_mut() {
+            Some(cache) => cache.allocate(model),
+            None => allocate(model, self.p_total, self.mu),
+        };
+        if let Some(d) = self.decisions.as_mut() {
+            d.insert(task, allocation);
+        }
         let dur = model.time(allocation.capped);
         let key = self.policy.key(dur, allocation.capped, self.seq);
         self.seq += 1;
-        // Insert in key order so `select` is a single in-order scan.
-        let pos = self.queue.partition_point(|it| (it.key.0, it.key.1) <= key);
-        self.queue.insert(
-            pos,
-            QueueItem {
-                task,
-                alloc: allocation.capped,
-                key,
-            },
-        );
+        self.queue.push(ReadyItem {
+            task,
+            alloc: allocation.capped,
+            key,
+        });
     }
 
     fn select(&mut self, _now: f64, free: u32) -> Vec<(TaskId, u32)> {
-        // List scheduling: scan *all* waiting tasks in queue order and
-        // start each one that fits (Algorithm 1, lines 7–11).
+        // List scheduling: start *every* waiting task that fits, in
+        // queue order (Algorithm 1, lines 7–11). Popping first fits
+        // until none remains is the same scan — free only shrinks, so
+        // a skipped task stays infeasible for this decision point.
         let mut free = free;
         let mut started = Vec::new();
-        self.queue.retain(|item| {
-            if item.alloc <= free {
-                free -= item.alloc;
-                started.push((item.task, item.alloc));
-                false
-            } else {
-                true
-            }
-        });
+        while let Some(item) = self.queue.pop_first_fit(free) {
+            free -= item.alloc;
+            started.push((item.task, item.alloc));
+        }
         started
     }
 }
@@ -149,7 +210,7 @@ mod tests {
         let p = 100u32;
         let mut g = TaskGraph::new();
         let t = g.add_task(SpeedupModel::roofline(f64::from(p), p).unwrap());
-        let mut s = OnlineScheduler::for_class(ModelClass::Roofline);
+        let mut s = OnlineScheduler::for_class(ModelClass::Roofline).record_decisions(true);
         let sched = simulate(&g, &mut s, &SimOptions::new(p)).unwrap();
         let cap = crate::mu_cap(p, ModelClass::Roofline.optimal_mu());
         assert_eq!(s.decision(t).unwrap().capped, cap);
@@ -187,16 +248,42 @@ mod tests {
     }
 
     #[test]
-    fn decisions_are_recorded_per_task() {
+    fn decisions_are_recorded_per_task_when_enabled() {
         let mut assign = |_: gen::TaskCtx<'_>| SpeedupModel::amdahl(64.0, 1.0).unwrap();
         let g = gen::chain(3, &mut assign);
-        let mut s = OnlineScheduler::for_class(ModelClass::Amdahl);
+        let mut s = OnlineScheduler::for_class(ModelClass::Amdahl).record_decisions(true);
         let _ = simulate(&g, &mut s, &SimOptions::new(16)).unwrap();
         for t in g.task_ids() {
             let d = s.decision(t).expect("every task was released");
             assert!(d.capped <= d.initial);
             assert!(d.capped >= 1);
         }
+    }
+
+    #[test]
+    fn decisions_are_not_recorded_by_default() {
+        let mut assign = |_: gen::TaskCtx<'_>| SpeedupModel::amdahl(64.0, 1.0).unwrap();
+        let g = gen::chain(3, &mut assign);
+        let mut s = OnlineScheduler::for_class(ModelClass::Amdahl);
+        let _ = simulate(&g, &mut s, &SimOptions::new(16)).unwrap();
+        for t in g.task_ids() {
+            assert_eq!(s.decision(t), None);
+        }
+    }
+
+    #[test]
+    fn reference_queue_produces_the_same_schedule() {
+        let mut rng = moldable_model::rng::StdRng::seed_from_u64(7);
+        let dist = moldable_model::sample::ParamDistribution::default();
+        let mut assign = gen::weighted_sampler(ModelClass::General, dist, 24, &mut rng);
+        let mut srng = moldable_model::rng::StdRng::seed_from_u64(8);
+        let g = gen::layered_random(5, 8, 0.4, &mut srng, &mut assign);
+        let mut fast = OnlineScheduler::with_mu(0.3);
+        let a = simulate(&g, &mut fast, &SimOptions::new(24)).unwrap();
+        let mut slow = OnlineScheduler::with_mu(0.3).with_reference_queue();
+        let b = simulate(&g, &mut slow, &SimOptions::new(24)).unwrap();
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.placements, b.placements);
     }
 
     #[test]

@@ -1,0 +1,210 @@
+//! Differential tests: the indexed ready queue and the memoized
+//! allocator must be *observationally identical* to their reference
+//! implementations.
+//!
+//! These are the safety net for the O(n log n) hot path — fast,
+//! deterministic, and always on (unlike the `slow-tests` property
+//! suites). Each case runs the same instance through
+//! `OnlineScheduler` (indexed treap + `AllocCache`) and through
+//! `OnlineScheduler::with_reference_queue()` (sorted-`Vec` scan), and
+//! demands bit-identical schedules: same start times, same processor
+//! counts, same makespan.
+
+use moldable_core::{allocate, AllocCache, OnlineScheduler, QueuePolicy};
+use moldable_graph::{gen, TaskGraph};
+use moldable_model::rng::{Rng, StdRng};
+use moldable_model::sample::ParamDistribution;
+use moldable_model::{ModelClass, SpeedupModel, MU_MAX};
+use moldable_sim::{simulate, SimOptions, Schedule};
+
+const POLICIES: [QueuePolicy; 5] = [
+    QueuePolicy::Fifo,
+    QueuePolicy::ShortestFirst,
+    QueuePolicy::LongestFirst,
+    QueuePolicy::SmallestAllocFirst,
+    QueuePolicy::LargestAllocFirst,
+];
+
+fn assert_same_schedule(a: &Schedule, b: &Schedule, ctx: &str) {
+    assert_eq!(a.makespan, b.makespan, "{ctx}: makespans differ");
+    assert_eq!(
+        a.placements, b.placements,
+        "{ctx}: placements differ (start order or widths)"
+    );
+}
+
+/// Run one graph through both queues under one policy and compare.
+fn differential(g: &TaskGraph, p_total: u32, mu: f64, policy: QueuePolicy, ctx: &str) {
+    let mut fast = OnlineScheduler::with_mu(mu).with_policy(policy);
+    let a = simulate(g, &mut fast, &SimOptions::new(p_total)).unwrap();
+    a.validate(g).unwrap();
+    let mut slow = OnlineScheduler::with_mu(mu)
+        .with_policy(policy)
+        .with_reference_queue();
+    let b = simulate(g, &mut slow, &SimOptions::new(p_total)).unwrap();
+    assert_same_schedule(&a, &b, ctx);
+}
+
+#[test]
+fn indexed_queue_matches_reference_on_random_dags() {
+    let dist = ParamDistribution::default();
+    for case in 0..24u64 {
+        let mut crng = StdRng::seed_from_u64(0xD1FF ^ case);
+        let class = [
+            ModelClass::Roofline,
+            ModelClass::Communication,
+            ModelClass::Amdahl,
+            ModelClass::General,
+            ModelClass::Arbitrary,
+        ][crng.gen_range(0usize..5)];
+        let p_total = crng.gen_range(2u32..96);
+        let layers = crng.gen_range(2usize..8);
+        let width = crng.gen_range(1usize..12);
+        let density = crng.gen_range(0.1f64..0.9);
+        let mu = crng.gen_range(0.05f64..MU_MAX);
+
+        let mut mrng = StdRng::seed_from_u64(case * 71 + 3);
+        let mut assign = gen::weighted_sampler(class, dist.clone(), p_total, &mut mrng);
+        let mut srng = StdRng::seed_from_u64(case * 31 + 1);
+        let g = gen::layered_random(layers, width, density, &mut srng, &mut assign);
+
+        for policy in POLICIES {
+            differential(&g, p_total, mu, policy, &format!("case {case} {policy:?}"));
+        }
+    }
+}
+
+#[test]
+fn indexed_queue_matches_reference_on_structured_graphs() {
+    let p_total = 32;
+    type Assign<'a> = &'a mut dyn FnMut(gen::TaskCtx<'_>) -> SpeedupModel;
+    let build = |class: ModelClass, seed: u64, make: &dyn Fn(Assign<'_>) -> TaskGraph| {
+        let mut mrng = StdRng::seed_from_u64(seed);
+        let mut assign =
+            gen::weighted_sampler(class, ParamDistribution::default(), p_total, &mut mrng);
+        make(&mut assign)
+    };
+    let graphs: [(&str, TaskGraph); 4] = [
+        (
+            "fork_join",
+            build(ModelClass::General, 0x57A7, &|a| gen::fork_join(12, 4, a)),
+        ),
+        ("fft", build(ModelClass::Amdahl, 0x57A8, &|a| gen::fft(4, a))),
+        (
+            "lu",
+            build(ModelClass::Communication, 0x57A9, &|a| gen::lu(6, a)),
+        ),
+        (
+            "independent",
+            build(ModelClass::Roofline, 0x57AA, &|a| gen::independent(64, a)),
+        ),
+    ];
+    for (name, g) in graphs {
+        for policy in POLICIES {
+            differential(&g, p_total, MU_MAX, policy, &format!("{name} {policy:?}"));
+        }
+    }
+}
+
+#[test]
+fn equal_duration_completion_batches_break_ties_identically() {
+    // Many identical tasks completing at the same instant stress the
+    // decision-point batching: every policy primary is tied, so the
+    // release-sequence tiebreak alone determines the start order.
+    let mut g = TaskGraph::new();
+    let mut roots = Vec::new();
+    for _ in 0..16 {
+        roots.push(g.add_task(SpeedupModel::roofline(4.0, 2).unwrap()));
+    }
+    // A second wave fanning in/out of the first: each child depends on
+    // two parents, all durations equal.
+    for i in 0..24 {
+        let c = g.add_task(SpeedupModel::roofline(4.0, 2).unwrap());
+        g.add_edge(roots[i % 16], c).unwrap();
+        g.add_edge(roots[(i + 5) % 16], c).unwrap();
+    }
+    for p_total in [3u32, 8, 13, 64] {
+        for policy in POLICIES {
+            differential(&g, p_total, 0.3, policy, &format!("P={p_total} {policy:?}"));
+        }
+    }
+}
+
+#[test]
+fn tiny_platforms_and_serial_queues_match() {
+    // P = 1 forces everything through the queue one task at a time —
+    // maximal queue residency, worst case for ordering bugs.
+    let dist = ParamDistribution::default();
+    let mut mrng = StdRng::seed_from_u64(0x0001);
+    let mut assign = gen::weighted_sampler(ModelClass::Arbitrary, dist, 4, &mut mrng);
+    let mut srng = StdRng::seed_from_u64(2);
+    let g = gen::layered_random(6, 6, 0.3, &mut srng, &mut assign);
+    for policy in POLICIES {
+        differential(&g, 1, 0.2, policy, &format!("P=1 {policy:?}"));
+        differential(&g, 2, 0.2, policy, &format!("P=2 {policy:?}"));
+    }
+}
+
+#[test]
+fn deep_queues_cross_the_spill_threshold_and_match() {
+    // 3000 independent tasks on a small platform hold far more than
+    // SPILL_THRESHOLD waiting tasks at once, so the indexed queue's
+    // inline buffer spills into the treap tier and (as the queue
+    // drains) unspills back — all of it observationally identical to
+    // the reference scan.
+    const { assert!(moldable_core::SPILL_THRESHOLD < 3000) };
+    let dist = ParamDistribution::default();
+    let p_total = 24;
+    let mut mrng = StdRng::seed_from_u64(0xDEE9);
+    let mut assign = gen::weighted_sampler(ModelClass::General, dist, p_total, &mut mrng);
+    let g = gen::independent(3000, &mut assign);
+    for policy in POLICIES {
+        differential(&g, p_total, MU_MAX, policy, &format!("deep {policy:?}"));
+    }
+}
+
+#[test]
+fn memoized_allocator_matches_direct_allocate() {
+    let dist = ParamDistribution::default();
+    for case in 0..8u64 {
+        let mut crng = StdRng::seed_from_u64(0xA110C ^ case);
+        let p_total = crng.gen_range(1u32..128);
+        let mu = crng.gen_range(0.05f64..MU_MAX);
+        let mut cache = AllocCache::new(p_total, mu);
+        for class in [
+            ModelClass::Roofline,
+            ModelClass::Communication,
+            ModelClass::Amdahl,
+            ModelClass::General,
+            ModelClass::Arbitrary,
+        ] {
+            let mut mrng = StdRng::seed_from_u64(case * 131 + 7);
+            for _ in 0..40 {
+                let m = dist.sample(class, p_total, &mut mrng);
+                let direct = allocate(&m, p_total, mu);
+                assert_eq!(cache.allocate(&m), direct, "cold, {class}, case {case}");
+                assert_eq!(cache.allocate(&m), direct, "hot, {class}, case {case}");
+            }
+        }
+    }
+}
+
+#[test]
+fn scheduler_with_cache_matches_uncached_decisions() {
+    // End to end: the scheduler's cached release path must record the
+    // exact decisions `allocate` would make task by task.
+    let dist = ParamDistribution::default();
+    let p_total = 48;
+    let mu = ModelClass::General.optimal_mu();
+    let mut mrng = StdRng::seed_from_u64(0xCAFE);
+    let mut assign = gen::weighted_sampler(ModelClass::General, dist, p_total, &mut mrng);
+    let mut srng = StdRng::seed_from_u64(0xBEEF);
+    let g = gen::layered_random(6, 10, 0.4, &mut srng, &mut assign);
+    let mut s = OnlineScheduler::with_mu(mu).record_decisions(true);
+    let sched = simulate(&g, &mut s, &SimOptions::new(p_total)).unwrap();
+    sched.validate(&g).unwrap();
+    for t in g.task_ids() {
+        let d = s.decision(t).expect("recorded");
+        assert_eq!(d, allocate(g.model(t), p_total, mu), "task {t:?}");
+    }
+}

@@ -20,9 +20,14 @@ pub use basic::{chain, fork_join, in_tree, independent, out_tree};
 pub use kernels::{cholesky, fft, lu, wavefront};
 pub use random::{layered_random, random_dag};
 
+/// Re-export of the in-tree PRNG module, so workload-generation code
+/// can `use moldable_graph::gen::rng::{Rng, StdRng}` without a direct
+/// `moldable-model` dependency.
+pub use moldable_model::rng;
+
+use moldable_model::rng::Rng;
 use moldable_model::sample::ParamDistribution;
 use moldable_model::{ModelClass, SpeedupModel};
-use rand::Rng;
 
 /// Context handed to a model assigner for each generated task.
 #[derive(Debug, Clone, Copy)]
@@ -83,8 +88,8 @@ pub fn scale_work(model: SpeedupModel, factor: f64) -> SpeedupModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use moldable_model::rng::StdRng;
+    
 
     #[test]
     fn scale_work_scales_time_proportionally() {

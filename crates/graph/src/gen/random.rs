@@ -1,7 +1,7 @@
 //! Random DAG generators.
 
 use moldable_model::SpeedupModel;
-use rand::Rng;
+use moldable_model::rng::Rng;
 
 use crate::{TaskGraph, TaskId};
 
@@ -95,8 +95,8 @@ pub fn random_dag<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use moldable_model::rng::StdRng;
+    
 
     fn unit_assign() -> impl FnMut(TaskCtx<'_>) -> SpeedupModel {
         |_| SpeedupModel::amdahl(1.0, 0.0).unwrap()

@@ -40,6 +40,7 @@ mod parse;
 mod speedup;
 
 pub mod fit;
+pub mod rng;
 pub mod sample;
 
 pub use class::ModelClass;

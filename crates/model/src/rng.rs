@@ -1,0 +1,297 @@
+//! Small, dependency-free pseudo-random number generators.
+//!
+//! The experiment harness only needs reproducible streams of uniform
+//! draws — not cryptographic strength — so instead of pulling the
+//! `rand` crate (which would break fully offline builds) this module
+//! provides the two classic generators used throughout the repository:
+//!
+//! * [`SplitMix64`] — Steele, Lea & Flood's 64-bit mixer; one `u64` of
+//!   state, passes BigCrush, and is the standard way to *seed* larger
+//!   generators from a single integer.
+//! * [`Xoshiro256StarStar`] — Blackman & Vigna's general-purpose
+//!   generator (256 bits of state, period `2^256 − 1`); the repo's
+//!   default, aliased as [`StdRng`].
+//!
+//! The [`Rng`] trait mirrors the subset of the `rand` API the code
+//! base uses (`gen_range`, `gen_bool`, `next_u64`), so porting between
+//! the two is a one-line import change. Streams are stable across
+//! platforms and releases: experiment outputs are reproducible from
+//! their seeds alone.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Uniform random source. Everything is derived from [`Rng::next_u64`].
+pub trait Rng {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        // Take the top 53 bits; 2^-53 scales them into [0, 1).
+        #[allow(clippy::cast_precision_loss)]
+        let mantissa = (self.next_u64() >> 11) as f64;
+        mantissa * (1.0 / 9_007_199_254_740_992.0)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.next_f64() < p
+    }
+
+    /// Uniform draw from `range` (half-open or inclusive; integer or
+    /// float).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        S: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A range [`Rng::gen_range`] can draw from.
+pub trait SampleRange<T> {
+    /// One uniform draw.
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Unbiased integer in `[0, n)` by 128-bit multiply (Lemire's method,
+/// with the rejection step so small moduli stay exact).
+fn bounded_u64<R: Rng + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = u128::from(x) * u128::from(n);
+        #[allow(clippy::cast_possible_truncation)]
+        let lo = m as u64;
+        if lo >= n.wrapping_neg() % n {
+            #[allow(clippy::cast_possible_truncation)]
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + bounded_u64(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + bounded_u64(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(u32, u64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let v = self.start + rng.next_f64() * (self.end - self.start);
+        // Float rounding can land exactly on `end`; nudge back inside.
+        if v >= self.end {
+            self.start.max(f64::from_bits(self.end.to_bits() - 1))
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        lo + rng.next_f64() * (hi - lo)
+    }
+}
+
+/// SplitMix64: one step of the sequence starting at `state`.
+/// Exposed so other generators (and tests) can share the constant-time
+/// mixer without instantiating the struct.
+#[must_use]
+pub fn splitmix64_next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The SplitMix64 generator (Steele, Lea & Flood 2014).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Generator starting from `seed`.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self { state: seed }
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        splitmix64_next(&mut self.state)
+    }
+}
+
+/// Xoshiro256\*\* (Blackman & Vigna 2018): the repository's default
+/// general-purpose generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    /// Generator whose 256-bit state is expanded from `seed` by
+    /// SplitMix64, as the xoshiro authors recommend.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64_next(&mut sm),
+            splitmix64_next(&mut sm),
+            splitmix64_next(&mut sm),
+            splitmix64_next(&mut sm),
+        ];
+        Self { s }
+    }
+}
+
+impl Rng for Xoshiro256StarStar {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// The repository-wide default generator (drop-in for `rand`'s
+/// `StdRng` in the pre-fork code).
+pub type StdRng = Xoshiro256StarStar;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix64_matches_reference_vector() {
+        // Reference values for seed 1234567 from the public-domain C
+        // implementation (Vigna's splitmix64.c).
+        let mut rng = SplitMix64::seed_from_u64(1_234_567);
+        assert_eq!(rng.next_u64(), 6_457_827_717_110_365_317);
+        assert_eq!(rng.next_u64(), 3_203_168_211_198_807_973);
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_and_seed_sensitive() {
+        let mut a = Xoshiro256StarStar::seed_from_u64(42);
+        let mut b = Xoshiro256StarStar::seed_from_u64(42);
+        let mut c = Xoshiro256StarStar::seed_from_u64(43);
+        let (va, vb, vc) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn f64_draws_live_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let a = rng.gen_range(3u32..17);
+            assert!((3..17).contains(&a));
+            let b = rng.gen_range(5usize..=5);
+            assert_eq!(b, 5);
+            let c = rng.gen_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&c));
+            let d = rng.gen_range(1.5..=2.5);
+            assert!((1.5..=2.5).contains(&d));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[rng.gen_range(0usize..8)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((23_000..27_000).contains(&hits), "{hits}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn gen_bool_rejects_bad_probability() {
+        let _ = StdRng::seed_from_u64(0).gen_bool(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn gen_range_rejects_empty() {
+        let _: u32 = StdRng::seed_from_u64(0).gen_range(5u32..5);
+    }
+
+    #[test]
+    fn mut_ref_is_an_rng_too() {
+        fn draw<R: Rng>(mut r: R) -> u64 {
+            r.next_u64()
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let direct = StdRng::seed_from_u64(1).next_u64();
+        assert_eq!(draw(&mut rng), direct);
+    }
+}

@@ -7,7 +7,7 @@
 //! magnitude), uniform sequential/communication *fractions* relative to
 //! the work, and a parallelism cap drawn from a bounded range.
 
-use rand::Rng;
+use crate::rng::Rng;
 
 use crate::{ModelClass, SpeedupModel};
 
@@ -125,8 +125,8 @@ fn random_monotonic_table<R: Rng + ?Sized>(w: f64, len: u32, rng: &mut R) -> Spe
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::StdRng;
+    
 
     #[test]
     fn sampled_models_match_requested_class() {

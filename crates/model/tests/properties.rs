@@ -6,157 +6,184 @@
 //! * Lemma 1 — monotonicity of `t` and `a` on `[1, p_max]`;
 //! * Eq. (6) — no superlinear speedup: `t(p)/t(q) ≤ q/p` for `p < q ≤ p_max`;
 //! * Eq. (5) — `p_max` is a global argmin of `t` over `[1, P]`.
+//!
+//! The whole file is gated behind the non-default `slow-tests` feature
+//! (`cargo test --features slow-tests`): each test sweeps hundreds of
+//! randomly drawn instances, which is too slow for the tier-1 suite.
 
+#![cfg(feature = "slow-tests")]
+
+use moldable_model::rng::{Rng, StdRng};
 use moldable_model::SpeedupModel;
-use proptest::prelude::*;
-
-/// Strategy: platform sizes worth testing (small enough to scan).
-fn platforms() -> impl Strategy<Value = u32> {
-    1u32..=256
-}
-
-fn work() -> impl Strategy<Value = f64> {
-    // log-uniform-ish positive work
-    (0.01f64..1e4).prop_map(|w| w)
-}
-
-prop_compose! {
-    fn roofline_model()(w in work(), pbar in 1u32..=300) -> SpeedupModel {
-        SpeedupModel::roofline(w, pbar).unwrap()
-    }
-}
-
-prop_compose! {
-    fn communication_model()(w in work(), c in 0.0f64..10.0) -> SpeedupModel {
-        SpeedupModel::communication(w, c).unwrap()
-    }
-}
-
-prop_compose! {
-    fn amdahl_model()(w in work(), d in 0.0f64..100.0) -> SpeedupModel {
-        SpeedupModel::amdahl(w, d).unwrap()
-    }
-}
-
-prop_compose! {
-    fn general_model()(w in work(), pbar in 1u32..=300, d in 0.0f64..100.0, c in 0.0f64..10.0)
-        -> SpeedupModel
-    {
-        SpeedupModel::general(w, pbar, d, c).unwrap()
-    }
-}
-
-fn any_closed_form() -> impl Strategy<Value = SpeedupModel> {
-    prop_oneof![
-        roofline_model(),
-        communication_model(),
-        amdahl_model(),
-        general_model()
-    ]
-}
 
 /// Relative tolerance for floating-point monotonicity comparisons.
 const RTOL: f64 = 1e-9;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+/// Platform sizes worth testing (small enough to scan).
+fn platform<R: Rng + ?Sized>(rng: &mut R) -> u32 {
+    rng.gen_range(1u32..=256)
+}
 
-    /// Lemma 1: time non-increasing and area non-decreasing on [1, p_max].
-    #[test]
-    fn lemma1_monotonicity(m in any_closed_form(), p_total in platforms()) {
+/// Log-uniform-ish positive work.
+fn work<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    rng.gen_range(0.01f64..1e4)
+}
+
+/// One random closed-form model: roofline, communication, Amdahl, or
+/// general, with the same parameter ranges the proptest strategies used.
+fn any_closed_form<R: Rng + ?Sized>(rng: &mut R) -> SpeedupModel {
+    match rng.gen_range(0u32..4) {
+        0 => SpeedupModel::roofline(work(rng), rng.gen_range(1u32..=300)).unwrap(),
+        1 => SpeedupModel::communication(work(rng), rng.gen_range(0.0f64..10.0)).unwrap(),
+        2 => SpeedupModel::amdahl(work(rng), rng.gen_range(0.0f64..100.0)).unwrap(),
+        _ => SpeedupModel::general(
+            work(rng),
+            rng.gen_range(1u32..=300),
+            rng.gen_range(0.0f64..100.0),
+            rng.gen_range(0.0f64..10.0),
+        )
+        .unwrap(),
+    }
+}
+
+/// Lemma 1: time non-increasing and area non-decreasing on [1, p_max].
+#[test]
+fn lemma1_monotonicity() {
+    for case in 0u64..512 {
+        let mut rng = StdRng::seed_from_u64(0x11E1 ^ case);
+        let m = any_closed_form(&mut rng);
+        let p_total = platform(&mut rng);
         let pm = m.p_max(p_total);
-        prop_assert!(pm >= 1 && pm <= p_total);
+        assert!(pm >= 1 && pm <= p_total);
         let mut prev_t = m.time(1);
         let mut prev_a = m.area(1);
         for p in 2..=pm {
             let t = m.time(p);
             let a = m.area(p);
-            prop_assert!(t <= prev_t * (1.0 + RTOL),
+            assert!(
+                t <= prev_t * (1.0 + RTOL),
                 "time increased within [1, p_max]: t({})={} > t({})={} for {:?}",
-                p, t, p - 1, prev_t, m);
-            prop_assert!(a >= prev_a * (1.0 - RTOL),
+                p,
+                t,
+                p - 1,
+                prev_t,
+                m
+            );
+            assert!(
+                a >= prev_a * (1.0 - RTOL),
                 "area decreased within [1, p_max]: a({})={} < a({})={} for {:?}",
-                p, a, p - 1, prev_a, m);
+                p,
+                a,
+                p - 1,
+                prev_a,
+                m
+            );
             prev_t = t;
             prev_a = a;
         }
     }
+}
 
-    /// Eq. (6): no superlinear speedup — t(p)/t(q) <= q/p for p < q <= p_max.
-    #[test]
-    fn eq6_no_superlinear_speedup(m in any_closed_form(), p_total in 1u32..=64) {
+/// Eq. (6): no superlinear speedup — t(p)/t(q) <= q/p for p < q <= p_max.
+#[test]
+fn eq6_no_superlinear_speedup() {
+    for case in 0u64..512 {
+        let mut rng = StdRng::seed_from_u64(0xE6 ^ case);
+        let m = any_closed_form(&mut rng);
+        let p_total = rng.gen_range(1u32..=64);
         let pm = m.p_max(p_total);
         for p in 1..=pm {
             for q in (p + 1)..=pm {
                 let lhs = m.time(p) / m.time(q);
                 let rhs = f64::from(q) / f64::from(p);
-                prop_assert!(lhs <= rhs * (1.0 + RTOL),
-                    "superlinear speedup: t({p})/t({q}) = {lhs} > {rhs} for {m:?}");
+                assert!(
+                    lhs <= rhs * (1.0 + RTOL),
+                    "superlinear speedup: t({p})/t({q}) = {lhs} > {rhs} for {m:?}"
+                );
             }
-        }
-    }
-
-    /// Eq. (5): t(p_max) is minimal over [1, P], and allocating beyond
-    /// p_max never helps.
-    #[test]
-    fn p_max_is_global_argmin(m in any_closed_form(), p_total in platforms()) {
-        let pm = m.p_max(p_total);
-        let tmin = m.t_min(p_total);
-        for p in 1..=p_total {
-            prop_assert!(m.time(p) >= tmin * (1.0 - RTOL),
-                "t({p}) = {} beats t_min = {tmin} (p_max={pm}) for {m:?}", m.time(p));
-        }
-    }
-
-    /// a_min really is the smallest area over [1, p_max].
-    #[test]
-    fn a_min_is_minimum_over_useful_range(m in any_closed_form(), p_total in platforms()) {
-        let pm = m.p_max(p_total);
-        let amin = m.a_min();
-        for p in 1..=pm {
-            prop_assert!(m.area(p) >= amin * (1.0 - RTOL));
-        }
-    }
-
-    /// Speedup is between 1/overhead and p; efficiency at p=1 is exactly 1.
-    #[test]
-    fn speedup_bounded_by_p(m in any_closed_form(), p_total in 1u32..=64) {
-        let pm = m.p_max(p_total);
-        prop_assert!((m.efficiency(1) - 1.0).abs() < 1e-12);
-        for p in 1..=pm {
-            prop_assert!(m.speedup(p) <= f64::from(p) * (1.0 + RTOL));
-            prop_assert!(m.speedup(p) >= 1.0 - RTOL);
-        }
-    }
-
-    /// The time function is always finite and positive on [1, P].
-    #[test]
-    fn time_is_finite_positive(m in any_closed_form(), p_total in platforms()) {
-        for p in 1..=p_total {
-            let t = m.time(p);
-            prop_assert!(t.is_finite() && t > 0.0, "t({p}) = {t} for {m:?}");
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Eq. (5): t(p_max) is minimal over [1, P], and allocating beyond
+/// p_max never helps.
+#[test]
+fn p_max_is_global_argmin() {
+    for case in 0u64..512 {
+        let mut rng = StdRng::seed_from_u64(0xE5 ^ case);
+        let m = any_closed_form(&mut rng);
+        let p_total = platform(&mut rng);
+        let pm = m.p_max(p_total);
+        let tmin = m.t_min(p_total);
+        for p in 1..=p_total {
+            assert!(
+                m.time(p) >= tmin * (1.0 - RTOL),
+                "t({p}) = {} beats t_min = {tmin} (p_max={pm}) for {m:?}",
+                m.time(p)
+            );
+        }
+    }
+}
 
-    /// Random monotonic tables sampled by the workload generator pass
-    /// the same structural checks as the closed forms.
-    #[test]
-    fn sampled_tables_satisfy_lemma1(seed in any::<u64>()) {
-        use rand::{rngs::StdRng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(seed);
+/// a_min really is the smallest area over [1, p_max].
+#[test]
+fn a_min_is_minimum_over_useful_range() {
+    for case in 0u64..512 {
+        let mut rng = StdRng::seed_from_u64(0xA313 ^ case);
+        let m = any_closed_form(&mut rng);
+        let p_total = platform(&mut rng);
+        let pm = m.p_max(p_total);
+        let amin = m.a_min();
+        for p in 1..=pm {
+            assert!(m.area(p) >= amin * (1.0 - RTOL));
+        }
+    }
+}
+
+/// Speedup is between 1/overhead and p; efficiency at p=1 is exactly 1.
+#[test]
+fn speedup_bounded_by_p() {
+    for case in 0u64..512 {
+        let mut rng = StdRng::seed_from_u64(0x59EED ^ case);
+        let m = any_closed_form(&mut rng);
+        let p_total = rng.gen_range(1u32..=64);
+        let pm = m.p_max(p_total);
+        assert!((m.efficiency(1) - 1.0).abs() < 1e-12);
+        for p in 1..=pm {
+            assert!(m.speedup(p) <= f64::from(p) * (1.0 + RTOL));
+            assert!(m.speedup(p) >= 1.0 - RTOL);
+        }
+    }
+}
+
+/// The time function is always finite and positive on [1, P].
+#[test]
+fn time_is_finite_positive() {
+    for case in 0u64..512 {
+        let mut rng = StdRng::seed_from_u64(0xF191 ^ case);
+        let m = any_closed_form(&mut rng);
+        let p_total = platform(&mut rng);
+        for p in 1..=p_total {
+            let t = m.time(p);
+            assert!(t.is_finite() && t > 0.0, "t({p}) = {t} for {m:?}");
+        }
+    }
+}
+
+/// Random monotonic tables sampled by the workload generator pass the
+/// same structural checks as the closed forms.
+#[test]
+fn sampled_tables_satisfy_lemma1() {
+    for case in 0u64..128 {
+        let mut rng = StdRng::seed_from_u64(0x7AB1E ^ case);
         let dist = moldable_model::sample::ParamDistribution::default();
         let m = dist.sample(moldable_model::ModelClass::Arbitrary, 32, &mut rng);
-        prop_assert!(m.is_monotonic(32));
+        assert!(m.is_monotonic(32));
         // Eq. (6) then follows from area monotonicity.
         let pm = m.p_max(32);
         for p in 1..=pm {
             for q in (p + 1)..=pm {
-                prop_assert!(m.time(p) / m.time(q)
-                    <= f64::from(q) / f64::from(p) * (1.0 + 1e-9));
+                assert!(m.time(p) / m.time(q) <= f64::from(q) / f64::from(p) * (1.0 + 1e-9));
             }
         }
     }

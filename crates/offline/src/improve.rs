@@ -9,8 +9,8 @@
 
 use moldable_graph::TaskGraph;
 use moldable_sim::{simulate, Schedule, SimOptions};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use moldable_model::rng::StdRng;
+use moldable_model::rng::Rng;
 
 use crate::cpa::FixedAllocScheduler;
 

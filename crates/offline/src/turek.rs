@@ -166,8 +166,8 @@ mod tests {
     use super::*;
     use moldable_model::sample::ParamDistribution;
     use moldable_model::ModelClass;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use moldable_model::rng::StdRng;
+    
 
     fn independent(n: usize, class: ModelClass, p_total: u32, seed: u64) -> TaskGraph {
         let mut rng = StdRng::seed_from_u64(seed);

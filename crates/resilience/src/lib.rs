@@ -40,8 +40,8 @@
 use moldable_graph::{TaskGraph, TaskId};
 use moldable_model::SpeedupModel;
 use moldable_sim::Instance;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use moldable_model::rng::StdRng;
+use moldable_model::rng::Rng;
 
 /// How attempt failures are drawn.
 ///
@@ -153,13 +153,13 @@ impl<'a> FaultyInstance<'a> {
         self
     }
 
-    fn attempt_for(&mut self, task: TaskId) -> (TaskId, SpeedupModel) {
+    fn attempt_for(&mut self, task: TaskId) -> TaskId {
         let id = TaskId(self.next_id);
         self.next_id += 1;
         debug_assert_eq!(self.origin.len(), id.index());
         self.origin.push(task);
         self.attempts[task.index()] += 1;
-        (id, self.graph.model(task).clone())
+        id
     }
 
     /// Total attempts released so far (≥ `n_tasks` on completion).
@@ -209,7 +209,7 @@ impl<'a> FaultyInstance<'a> {
 }
 
 impl Instance for FaultyInstance<'_> {
-    fn initial(&mut self) -> Vec<(TaskId, SpeedupModel)> {
+    fn initial(&mut self) -> Vec<TaskId> {
         self.graph
             .sources()
             .into_iter()
@@ -217,7 +217,7 @@ impl Instance for FaultyInstance<'_> {
             .collect()
     }
 
-    fn on_complete(&mut self, attempt: TaskId, _time: f64) -> Vec<(TaskId, SpeedupModel)> {
+    fn on_complete(&mut self, attempt: TaskId, _time: f64) -> Vec<TaskId> {
         let task = self.origin[attempt.index()];
         debug_assert!(
             !self.succeeded[task.index()],
@@ -252,6 +252,16 @@ impl Instance for FaultyInstance<'_> {
 
     fn is_done(&self) -> bool {
         self.n_succeeded == self.graph.n_tasks()
+    }
+
+    fn model(&self, attempt: TaskId) -> &SpeedupModel {
+        // Every attempt runs the original task's model.
+        self.graph.model(self.origin[attempt.index()])
+    }
+
+    fn size_hint(&self) -> usize {
+        // At least one attempt per task; retries grow past the hint.
+        self.graph.n_tasks()
     }
 }
 

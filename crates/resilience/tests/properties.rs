@@ -1,14 +1,17 @@
 //! Property tests for the failure scenario.
+//!
+//! Gated behind the non-default `slow-tests` feature: each test sweeps
+//! many random instances, which is too slow for the tier-1 suite.
+
+#![cfg(feature = "slow-tests")]
 
 use moldable_core::{baselines, OnlineScheduler};
 use moldable_graph::{gen, TaskGraph};
+use moldable_model::rng::{Rng, StdRng};
 use moldable_model::sample::ParamDistribution;
 use moldable_model::ModelClass;
 use moldable_resilience::{FailureModel, FaultyInstance};
 use moldable_sim::{simulate_instance, Instance, Scheduler, SimOptions};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn random_graph(seed: u64, p_total: u32) -> TaskGraph {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -18,19 +21,17 @@ fn random_graph(seed: u64, p_total: u32) -> TaskGraph {
     gen::random_dag(15, 0.25, &mut srng, &mut assign)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Any scheduler completes the faulty instance, attempt accounting
-    /// closes out, precedence holds on the realized graph (successors
-    /// only start after a successful attempt), and the paper's
-    /// carry-over ratio holds for the online algorithm.
-    #[test]
-    fn faulty_runs_are_consistent(
-        seed in any::<u64>(),
-        q_pct in 0u32..70,
-        which in 0usize..3,
-    ) {
+/// Any scheduler completes the faulty instance, attempt accounting
+/// closes out, precedence holds on the realized graph (successors only
+/// start after a successful attempt), and the paper's carry-over ratio
+/// holds for the online algorithm.
+#[test]
+fn faulty_runs_are_consistent() {
+    for case in 0u64..64 {
+        let mut crng = StdRng::seed_from_u64(0xFA17 ^ case);
+        let seed = crng.next_u64();
+        let q_pct = crng.gen_range(0u32..70);
+        let which = crng.gen_range(0usize..3);
         let q = f64::from(q_pct) / 100.0;
         let p_total = 16;
         let g = random_graph(seed, p_total);
@@ -40,14 +41,13 @@ proptest! {
             1 => Box::new(baselines::one_proc()),
             _ => Box::new(baselines::EqualShareScheduler::new()),
         };
-        let s = simulate_instance(&mut inst, sched.as_mut(), &SimOptions::new(p_total))
-            .unwrap();
+        let s = simulate_instance(&mut inst, sched.as_mut(), &SimOptions::new(p_total)).unwrap();
         s.check_capacity(1e-9).unwrap();
-        prop_assert!(inst.is_done());
+        assert!(inst.is_done());
         // attempts add up
         let total: u32 = g.task_ids().map(|t| inst.attempts_of(t)).sum();
-        prop_assert_eq!(u64::from(total), inst.total_attempts());
-        prop_assert_eq!(s.placements.len() as u64, inst.total_attempts());
+        assert_eq!(u64::from(total), inst.total_attempts());
+        assert_eq!(s.placements.len() as u64, inst.total_attempts());
         // realized precedence: a successor's FIRST attempt starts no
         // earlier than the predecessor's LAST attempt ends.
         let mut first_start = vec![f64::INFINITY; inst.total_attempts() as usize];
@@ -61,7 +61,7 @@ proptest! {
         }
         for t in g.task_ids() {
             for &p in g.preds(t) {
-                prop_assert!(
+                assert!(
                     first_task_start[t.index()] >= last_end[p.index()] - 1e-9,
                     "task {t} started before predecessor {p} succeeded"
                 );
@@ -70,19 +70,23 @@ proptest! {
         // carry-over ratio for the online algorithm
         if which == 0 {
             let lb = inst.realized_lower_bound(p_total);
-            prop_assert!(s.makespan <= 4.74 * lb * (1.0 + 1e-9));
+            assert!(s.makespan <= 4.74 * lb * (1.0 + 1e-9));
         }
     }
+}
 
-    /// PerCoreTime with lambda = 0 behaves exactly like q = 0.
-    #[test]
-    fn zero_rate_is_failure_free(seed in any::<u64>()) {
+/// PerCoreTime with lambda = 0 behaves exactly like q = 0.
+#[test]
+fn zero_rate_is_failure_free() {
+    for case in 0u64..64 {
+        let mut crng = StdRng::seed_from_u64(0x2A7E ^ case);
+        let seed = crng.next_u64();
         let p_total = 8;
         let g = random_graph(seed, p_total);
         let mut inst = FaultyInstance::with_model(&g, FailureModel::PerCoreTime(0.0), 1);
         let mut sched = OnlineScheduler::for_class(ModelClass::Amdahl);
         let s = simulate_instance(&mut inst, &mut sched, &SimOptions::new(p_total)).unwrap();
-        prop_assert_eq!(s.placements.len(), g.n_tasks());
-        prop_assert!(g.task_ids().all(|t| inst.attempts_of(t) == 1));
+        assert_eq!(s.placements.len(), g.n_tasks());
+        assert!(g.task_ids().all(|t| inst.attempts_of(t) == 1));
     }
 }

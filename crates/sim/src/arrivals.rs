@@ -61,12 +61,12 @@ impl TimedArrivals {
 }
 
 impl Instance for TimedArrivals {
-    fn initial(&mut self) -> Vec<(TaskId, SpeedupModel)> {
+    fn initial(&mut self) -> Vec<TaskId> {
         // Tasks with release date 0 come through `arrivals` at t = 0.
         Vec::new()
     }
 
-    fn on_complete(&mut self, _task: TaskId, _time: f64) -> Vec<(TaskId, SpeedupModel)> {
+    fn on_complete(&mut self, _task: TaskId, _time: f64) -> Vec<TaskId> {
         self.completed += 1;
         Vec::new()
     }
@@ -75,18 +75,23 @@ impl Instance for TimedArrivals {
         self.completed == self.releases.len()
     }
 
+    fn model(&self, task: TaskId) -> &SpeedupModel {
+        &self.releases[task.index()].1
+    }
+
+    fn size_hint(&self) -> usize {
+        self.releases.len()
+    }
+
     fn next_arrival(&self) -> Option<f64> {
         self.releases.get(self.next).map(|(r, _)| *r)
     }
 
-    fn arrivals(&mut self, time: f64) -> Vec<(TaskId, SpeedupModel)> {
+    fn arrivals(&mut self, time: f64) -> Vec<TaskId> {
         let mut out = Vec::new();
-        while let Some((r, m)) = self.releases.get(self.next) {
+        while let Some((r, _)) = self.releases.get(self.next) {
             if *r <= time {
-                out.push((
-                    TaskId(u32::try_from(self.next).expect("fits u32")),
-                    m.clone(),
-                ));
+                out.push(TaskId(u32::try_from(self.next).expect("fits u32")));
                 self.next += 1;
             } else {
                 break;
@@ -161,8 +166,7 @@ mod tests {
         assert_eq!(inst.release_date(0), 1.0);
         assert_eq!(inst.next_arrival(), Some(1.0));
         let got = inst.arrivals(2.0);
-        assert_eq!(got.len(), 1);
-        assert_eq!(got[0].0, TaskId(0));
+        assert_eq!(got, vec![TaskId(0)]);
     }
 
     #[test]

@@ -37,17 +37,35 @@ pub trait Scheduler {
 /// [`TaskGraph`] (see [`GraphInstance`]); adaptive adversaries (the
 /// paper's Section 5) implement this directly and may decide the
 /// remaining structure *after* observing completions.
+///
+/// Release methods return bare [`TaskId`]s; the engine looks up the
+/// speedup function through [`Instance::model`] whenever it needs one.
+/// This keeps model *ownership* with the instance — the engine never
+/// clones a `SpeedupModel` per task, which used to dominate release
+/// cost on large instances (a clone bumps an `Arc` for table/formula
+/// models and copies parameter structs for closed-form ones, per task).
 pub trait Instance {
     /// Tasks available at time 0, in release order.
-    fn initial(&mut self) -> Vec<(TaskId, SpeedupModel)>;
+    fn initial(&mut self) -> Vec<TaskId>;
 
     /// `task` completed at simulated time `time`; return the tasks that
     /// become available as a result, in release order. Adaptive
     /// adversaries may use `time` to record their decision points.
-    fn on_complete(&mut self, task: TaskId, time: f64) -> Vec<(TaskId, SpeedupModel)>;
+    fn on_complete(&mut self, task: TaskId, time: f64) -> Vec<TaskId>;
 
     /// Have all tasks of the instance completed?
     fn is_done(&self) -> bool;
+
+    /// The speedup model of a task this instance has released. Must be
+    /// stable from the task's release to its completion.
+    fn model(&self, task: TaskId) -> &SpeedupModel;
+
+    /// Expected number of tasks this instance will release (0 when
+    /// unknown). The engine pre-sizes its per-task state from this, so
+    /// a good hint avoids re-allocation on million-task instances.
+    fn size_hint(&self) -> usize {
+        0
+    }
 
     /// Next time at which tasks arrive *independently of completions*
     /// (release dates, the online-independent-tasks model of Ye et
@@ -60,7 +78,7 @@ pub trait Instance {
     /// Tasks arriving at exactly `time` (the engine calls this when the
     /// clock reaches the time previously returned by
     /// [`Instance::next_arrival`]).
-    fn arrivals(&mut self, time: f64) -> Vec<(TaskId, SpeedupModel)> {
+    fn arrivals(&mut self, time: f64) -> Vec<TaskId> {
         let _ = time;
         Vec::new()
     }
@@ -84,24 +102,24 @@ impl<'a> GraphInstance<'a> {
 }
 
 impl Instance for GraphInstance<'_> {
-    fn initial(&mut self) -> Vec<(TaskId, SpeedupModel)> {
-        self.frontier
-            .initial(self.graph)
-            .into_iter()
-            .map(|t| (t, self.graph.model(t).clone()))
-            .collect()
+    fn initial(&mut self) -> Vec<TaskId> {
+        self.frontier.initial(self.graph)
     }
 
-    fn on_complete(&mut self, task: TaskId, _time: f64) -> Vec<(TaskId, SpeedupModel)> {
-        self.frontier
-            .complete(self.graph, task)
-            .into_iter()
-            .map(|t| (t, self.graph.model(t).clone()))
-            .collect()
+    fn on_complete(&mut self, task: TaskId, _time: f64) -> Vec<TaskId> {
+        self.frontier.complete(self.graph, task)
     }
 
     fn is_done(&self) -> bool {
         self.frontier.all_done()
+    }
+
+    fn model(&self, task: TaskId) -> &SpeedupModel {
+        self.graph.model(task)
+    }
+
+    fn size_hint(&self) -> usize {
+        self.graph.n_tasks()
     }
 }
 
@@ -251,34 +269,34 @@ pub fn simulate_instance(
     let p_total = opts.p_total;
     scheduler.init(p_total);
 
-    let mut models: Vec<Option<SpeedupModel>> = Vec::new();
-    let mut status: Vec<Option<Status>> = Vec::new();
-    let mut released_at: Vec<f64> = Vec::new();
-    let ensure = |models: &mut Vec<Option<SpeedupModel>>,
-                  status: &mut Vec<Option<Status>>,
-                  released_at: &mut Vec<f64>,
-                  t: TaskId| {
-        let need = t.index() + 1;
-        if models.len() < need {
-            models.resize(need, None);
-            status.resize(need, None);
-            released_at.resize(need, 0.0);
-        }
-    };
+    // Pre-size per-task state from the instance's hint; `ensure` only
+    // grows (within reserved capacity for well-hinted instances).
+    let hint = instance.size_hint();
+    let mut status: Vec<Option<Status>> = Vec::with_capacity(hint);
+    let mut released_at: Vec<f64> = Vec::with_capacity(hint);
+    let ensure =
+        |status: &mut Vec<Option<Status>>, released_at: &mut Vec<f64>, t: TaskId| {
+            let need = t.index() + 1;
+            if status.len() < need {
+                status.resize(need, None);
+                released_at.resize(need, 0.0);
+            }
+        };
 
     let mut free = p_total;
     let mut pool = opts.record_proc_ids.then(|| ProcPool::new(p_total));
-    let mut placements: Vec<Placement> = Vec::new();
-    let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+    let mut placements: Vec<Placement> = Vec::with_capacity(hint);
+    // At most one outstanding completion per busy processor.
+    let mut heap: BinaryHeap<Reverse<Event>> =
+        BinaryHeap::with_capacity(p_total as usize);
     let mut seq: u64 = 0;
     let mut time = 0.0f64;
     let mut completed = 0usize;
 
     // Release the initial frontier.
-    for (t, m) in instance.initial() {
-        ensure(&mut models, &mut status, &mut released_at, t);
-        scheduler.release(t, &m);
-        models[t.index()] = Some(m);
+    for t in instance.initial() {
+        ensure(&mut status, &mut released_at, t);
+        scheduler.release(t, instance.model(t));
         status[t.index()] = Some(Status::Available);
         released_at[t.index()] = 0.0;
     }
@@ -305,8 +323,7 @@ pub fn simulate_instance(
                             free,
                         });
                     }
-                    let model = models[t.index()].as_ref().expect("released task has model");
-                    let dur = model.time(p);
+                    let dur = instance.model(t).time(p);
                     let proc_ranges = match &mut pool {
                         Some(pool) => pool.alloc(p).expect("pool tracks free count"),
                         None => Vec::new(),
@@ -340,10 +357,9 @@ pub fn simulate_instance(
                 if a > time {
                     break;
                 }
-                for (t, m) in instance.arrivals(a) {
-                    ensure(&mut models, &mut status, &mut released_at, t);
-                    scheduler.release(t, &m);
-                    models[t.index()] = Some(m);
+                for t in instance.arrivals(a) {
+                    ensure(&mut status, &mut released_at, t);
+                    scheduler.release(t, instance.model(t));
                     status[t.index()] = Some(Status::Available);
                     released_at[t.index()] = a;
                 }
@@ -353,6 +369,8 @@ pub fn simulate_instance(
     drain_arrivals!();
     decide!();
 
+    // Completion batch, reused across decision points.
+    let mut batch: Vec<usize> = Vec::new();
     loop {
         // Next event: a completion or a timed arrival, whichever first
         // (completions processed before arrivals at equal times).
@@ -367,7 +385,7 @@ pub fn simulate_instance(
         time = t_next;
         // Gather all completions at exactly this time (in seq order —
         // BinaryHeap pops them in (time, seq) order).
-        let mut batch = Vec::new();
+        batch.clear();
         while let Some(Reverse(peek)) = heap.peek() {
             if peek.time == time {
                 let Reverse(ev) = heap.pop().expect("peeked");
@@ -389,10 +407,9 @@ pub fn simulate_instance(
         // 2) reveal the consequences, in completion order
         for &idx in &batch {
             let task = placements[idx].task;
-            for (t, m) in instance.on_complete(task, time) {
-                ensure(&mut models, &mut status, &mut released_at, t);
-                scheduler.release(t, &m);
-                models[t.index()] = Some(m);
+            for t in instance.on_complete(task, time) {
+                ensure(&mut status, &mut released_at, t);
+                scheduler.release(t, instance.model(t));
                 status[t.index()] = Some(Status::Available);
                 released_at[t.index()] = time;
             }

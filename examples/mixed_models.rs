@@ -11,8 +11,7 @@ use moldable::core::OnlineScheduler;
 use moldable::graph::{gen, TaskGraph};
 use moldable::model::{ModelClass, SpeedupModel};
 use moldable::sim::{interval_profile, simulate, SimOptions};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use moldable::model::rng::{Rng, StdRng};
 
 fn main() {
     let p_total = 64;

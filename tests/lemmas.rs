@@ -16,8 +16,7 @@ use moldable::graph::gen;
 use moldable::model::sample::ParamDistribution;
 use moldable::model::{delta, ModelClass};
 use moldable::sim::{interval_profile, simulate, SimOptions};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use moldable::model::rng::StdRng;
 
 /// The `(α, β)` pair Lemmas 6–9 guarantee for a class at its μ*.
 fn envelope(class: ModelClass) -> (f64, f64) {

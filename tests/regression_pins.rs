@@ -1,0 +1,59 @@
+//! Regression pins for the simulation hot path.
+//!
+//! `end_to_end.rs` checks the *analysis* numbers against the paper;
+//! this suite pins the *measured* numbers — the ones produced by the
+//! scheduler + engine pipeline that the indexed ready queue, the
+//! allocation cache, and the engine buffer reuse all sit on. Any
+//! behavioural drift in that pipeline moves these constants.
+//!
+//! The pinned values are the `measured` column of
+//! `results/lower_bounds.csv` and the Figure 4 marks; tolerances are
+//! 1e-2 (the printed precision of Table 1) or tighter.
+
+use moldable::adversary::{amdahl, arbitrary, communication, general, roofline};
+use moldable::core::baselines::EqualShareScheduler;
+use moldable::sim::{simulate_instance, SimOptions};
+
+/// Run one lower-bound instance and compare the measured ratio to its
+/// pinned value.
+fn pin(inst: &moldable::adversary::LowerBoundInstance, expect: f64, ctx: &str) {
+    let (_, ratio) = inst.run_online();
+    assert!(
+        (ratio - expect).abs() < 1e-2,
+        "{ctx}: measured ratio {ratio} drifted from pinned {expect}"
+    );
+}
+
+#[test]
+fn measured_table1_column_is_pinned() {
+    // The `measured LB` column of results/table1.csv, to the printed
+    // 1e-2: roofline at P = 1e5, communication at P = 1001, Amdahl and
+    // general at K = 80.
+    pin(&roofline::instance(100_000), 2.6180, "roofline P=1e5");
+    pin(&communication::instance(1001), 3.5083, "communication P=1001");
+    pin(&amdahl::instance(80), 4.5567, "amdahl K=80");
+    pin(&general::instance(80), 5.0765, "general K=80");
+}
+
+#[test]
+fn lower_bound_sweep_tail_is_pinned() {
+    // The largest sweep sizes of results/lower_bounds.csv — exactly
+    // the rows the perf work must keep byte-identical.
+    pin(&communication::instance(1601), 3.50958, "communication P=1601");
+    pin(&amdahl::instance(120), 4.60754, "amdahl K=120");
+    pin(&general::instance(120), 5.12686, "general K=120");
+}
+
+#[test]
+fn figure4_marks_are_pinned() {
+    // Decision-point times and final makespan of the Fig. 4 adaptive
+    // run (ℓ = 2) under equal-share.
+    let mut adv = arbitrary::AdaptiveChains::new(2);
+    let mut eq = EqualShareScheduler::new();
+    let s = simulate_instance(&mut adv, &mut eq, &SimOptions::new(32)).unwrap();
+    let t = adv.t_marks();
+    assert!((t[1].unwrap() - 0.5).abs() < 1e-2);
+    assert!((t[2].unwrap() - 0.8333).abs() < 1e-2);
+    assert!((t[3].unwrap() - 1.0647).abs() < 1e-2);
+    assert!((s.makespan - 1.2314).abs() < 1e-2);
+}
