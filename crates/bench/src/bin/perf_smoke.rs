@@ -17,7 +17,13 @@
 //! * `wide_50k_{indexed,reference}_queue` — 50 000 independent tasks
 //!   on P = 64, a deep-ready-queue stress run once under the default
 //!   indexed queue and once under the reference sorted-`Vec` scan to
-//!   expose the asymptotic gap (identical makespans, different clocks).
+//!   expose the asymptotic gap (identical makespans, different clocks);
+//! * `serve_{direct,service,tcp}_500` — the same 500 scheduling
+//!   requests (cholesky size 6, P = 64, 16 seeds) executed three ways:
+//!   bare generate+simulate, through the service layer
+//!   (`WorkerContext::handle`, adds validation/bounds/JSON), and over a
+//!   real daemon socket — identical makespans, so the deltas are pure
+//!   layer overhead.
 
 use std::time::Instant;
 
@@ -142,6 +148,141 @@ fn wide_50k(reference: bool) -> Measurement {
     }
 }
 
+/// Shared request template for the three serve-path measurements.
+const SERVE_REQUESTS: usize = 500;
+const SERVE_SEEDS: u64 = 16;
+const SERVE_P: u32 = 64;
+
+fn serve_submit(seed: u64) -> moldable_serve::proto::SubmitRequest {
+    moldable_serve::proto::SubmitRequest {
+        graph: moldable_serve::proto::GraphSpec::Named {
+            shape: "cholesky".into(),
+            size: 6,
+        },
+        p: Some(SERVE_P),
+        model: "amdahl".into(),
+        seed,
+        scheduler: "online".into(),
+        mu: None,
+        policy: None,
+        include_allocations: false,
+    }
+}
+
+/// Baseline: the same requests executed as bare generate+simulate calls
+/// with a warm cross-request [`moldable_core::AllocCache`], no service
+/// layer at all.
+fn serve_direct() -> Measurement {
+    let t0 = Instant::now();
+    let mu = ModelClass::Amdahl.optimal_mu();
+    let mut n_tasks = 0;
+    let mut makespan = 0.0;
+    let mut cache: Option<moldable_core::AllocCache> = None;
+    for i in 0..SERVE_REQUESTS {
+        let seed = 42 + (i as u64 % SERVE_SEEDS);
+        let g = gen::by_name("cholesky", 6, ModelClass::Amdahl, SERVE_P, seed).expect("shape");
+        let mut sched = OnlineScheduler::with_mu(mu);
+        if let Some(c) = cache.take() {
+            sched = sched.with_alloc_cache(c);
+        }
+        let s = simulate(&g, &mut sched, &SimOptions::new(SERVE_P)).expect("simulates");
+        cache = sched.take_alloc_cache();
+        n_tasks += g.n_tasks();
+        makespan = s.makespan;
+    }
+    Measurement {
+        name: "serve_direct_500",
+        n_tasks,
+        build_secs: 0.0,
+        sim_secs: t0.elapsed().as_secs_f64(),
+        makespan,
+    }
+}
+
+/// The service layer in-process: adds request interpretation, schedule
+/// validation, Lemma 2 bounds, and JSON reply assembly.
+fn serve_service() -> Measurement {
+    let mut ctx = moldable_serve::WorkerContext::new();
+    let t0 = Instant::now();
+    let mut n_tasks = 0;
+    let mut makespan = 0.0;
+    for i in 0..SERVE_REQUESTS {
+        let reply = ctx.handle(&serve_submit(42 + (i as u64 % SERVE_SEEDS)));
+        assert_eq!(
+            reply.get("status").and_then(moldable_serve::json::Json::as_str),
+            Some("ok")
+        );
+        n_tasks += reply
+            .get("n_tasks")
+            .and_then(moldable_serve::json::Json::as_u64)
+            .expect("n_tasks") as usize;
+        makespan = reply
+            .get("makespan")
+            .and_then(moldable_serve::json::Json::as_f64)
+            .expect("makespan");
+    }
+    Measurement {
+        name: "serve_service_500",
+        n_tasks,
+        build_secs: 0.0,
+        sim_secs: t0.elapsed().as_secs_f64(),
+        makespan,
+    }
+}
+
+/// The full daemon round-trip: loopback TCP, frame codec, bounded
+/// queue, worker pool — one closed-loop client.
+fn serve_tcp() -> Measurement {
+    use moldable_serve::server::{Server, ServerConfig};
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let mut client =
+        moldable_serve::Client::connect(&server.local_addr().to_string()).expect("connect");
+    // Warm the worker's caches so steady-state latency is measured.
+    let _ = client
+        .call(&moldable_serve::proto::Request::Submit(Box::new(
+            serve_submit(42),
+        )))
+        .expect("warmup");
+
+    let t0 = Instant::now();
+    let mut n_tasks = 0;
+    let mut makespan = 0.0;
+    for i in 0..SERVE_REQUESTS {
+        let req = moldable_serve::proto::Request::Submit(Box::new(serve_submit(
+            42 + (i as u64 % SERVE_SEEDS),
+        )));
+        let reply = client.call(&req).expect("call");
+        assert_eq!(
+            reply.get("status").and_then(moldable_serve::json::Json::as_str),
+            Some("ok")
+        );
+        n_tasks += reply
+            .get("n_tasks")
+            .and_then(moldable_serve::json::Json::as_u64)
+            .expect("n_tasks") as usize;
+        makespan = reply
+            .get("makespan")
+            .and_then(moldable_serve::json::Json::as_f64)
+            .expect("makespan");
+    }
+    let sim_secs = t0.elapsed().as_secs_f64();
+    drop(client);
+    server.trigger_drain();
+    server.join();
+    Measurement {
+        name: "serve_tcp_500",
+        n_tasks,
+        build_secs: 0.0,
+        sim_secs,
+        makespan,
+    }
+}
+
 fn main() {
     println!("Engine throughput smoke test\n");
     let runs = [
@@ -150,10 +291,17 @@ fn main() {
         thm9_adaptive(),
         wide_50k(false),
         wide_50k(true),
+        serve_direct(),
+        serve_service(),
+        serve_tcp(),
     ];
     // Same instance, same decisions: only the queue implementation (and
     // therefore the wall clock) may differ between the last two runs.
     assert_eq!(runs[3].makespan, runs[4].makespan, "queues must agree");
+    // The three serve paths execute identical request streams: the wire
+    // and service layers must not change a single scheduling decision.
+    assert_eq!(runs[5].makespan, runs[6].makespan, "service layer must agree");
+    assert_eq!(runs[6].makespan, runs[7].makespan, "daemon must agree");
 
     let mut json = String::from("{\n  \"benchmarks\": [\n");
     for (i, m) in runs.iter().enumerate() {

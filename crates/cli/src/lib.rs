@@ -1,12 +1,14 @@
 //! Command-line front end for the `moldable` workspace.
 //!
-//! Four subcommands, all operating on the `.mtg` workflow format:
+//! Subcommands operating on the `.mtg` workflow format:
 //!
 //! ```text
 //! moldable generate --shape cholesky --size 6 --model amdahl -P 32 --out w.mtg
 //! moldable info     --graph w.mtg -P 32
 //! moldable schedule --graph w.mtg -P 32 --scheduler online --gantt 100
 //! moldable bounds   --graph w.mtg -P 32
+//! moldable serve    --port 7464 --workers 4
+//! moldable loadgen  --addr 127.0.0.1:7464 --clients 4 --requests 1000
 //! ```
 //!
 //! The library entry point [`run`] takes the argument vector and
@@ -21,7 +23,6 @@ use moldable_core::{baselines, OnlineScheduler, QueuePolicy};
 use moldable_graph::{gen, parse_workflow, TaskGraph};
 use moldable_model::ModelClass;
 use moldable_sim::{gantt_ascii, simulate, SimOptions};
-use moldable_model::rng::StdRng;
 
 
 /// CLI failure, printed to stderr with exit code 2.
@@ -52,6 +53,11 @@ USAGE:
                     [--policy NAME] [--gantt WIDTH] [--csv FILE] [--trace FILE]
                     [--svg FILE]
   moldable fit      --samples FILE   # lines: <procs> <time>
+  moldable serve    [--addr HOST:PORT | --port N] [--workers N] [--queue-cap N]
+                    [--max-frame BYTES] [--timeout SECS] [--port-file FILE]
+  moldable loadgen  [--addr HOST:PORT] [--clients N] [--requests N] [--rate RPS]
+                    [--shape SHAPE] [--size N] [--model CLASS] [-P N]
+                    [--seed N] [--seeds N] [--out FILE]
 
 SHAPES:      chain, independent, fork-join, in-tree, out-tree, layered,
              random, lu, cholesky, fft, wavefront
@@ -60,6 +66,11 @@ SCHEDULERS:  online (paper's Algorithm 1+2, default), one-proc, max-proc,
              ect, equal-share, backfill (EASY), adaptive (mu discovered
              online), cpa (offline)
 POLICIES:    fifo (default), lpt, spt, narrow-first, wide-first
+
+`serve` runs the scheduling daemon until SIGINT/SIGTERM or a `shutdown`
+request, then drains gracefully. `loadgen` drives closed-loop traffic
+(or open-loop with --rate) against a running daemon and prints
+throughput/latency percentiles; --out writes the JSON report.
 ";
 
 /// Parsed `--key value` options plus positional arguments.
@@ -150,30 +161,10 @@ fn cmd_generate(opts: &Opts) -> Result<String, CliError> {
     let seed = opts.parse_num::<u64>("seed")?.unwrap_or(42);
     let class = model_class(opts)?;
 
-    let mut rng = StdRng::seed_from_u64(seed);
-    let dist = moldable_model::sample::ParamDistribution::default();
-    let mut assign = gen::weighted_sampler(class, dist, p_total, &mut rng);
-    let size_us = size as usize;
-    let graph = match shape.as_str() {
-        "chain" => gen::chain(size_us, &mut assign),
-        "independent" => gen::independent(size_us, &mut assign),
-        "fork-join" => gen::fork_join(size_us, 3, &mut assign),
-        "in-tree" => gen::in_tree(size, 2, &mut assign),
-        "out-tree" => gen::out_tree(size, 2, &mut assign),
-        "layered" => {
-            let mut srng = StdRng::seed_from_u64(seed ^ 0xFEED);
-            gen::layered_random(size_us, size_us, 0.3, &mut srng, &mut assign)
-        }
-        "random" => {
-            let mut srng = StdRng::seed_from_u64(seed ^ 0xFEED);
-            gen::random_dag(size_us, 0.15, &mut srng, &mut assign)
-        }
-        "lu" => gen::lu(size, &mut assign),
-        "cholesky" => gen::cholesky(size, &mut assign),
-        "fft" => gen::fft(size, &mut assign),
-        "wavefront" => gen::wavefront(size, size, &mut assign),
-        other => return Err(err(format!("unknown shape `{other}` (see --help)"))),
-    };
+    // One shared constructor with the daemon: `moldable serve` and
+    // `moldable generate` accept exactly the same shapes and seeds.
+    let graph = gen::by_name(&shape, size, class, p_total, seed)
+        .map_err(|e| err(format!("{e} (see --help)")))?;
     let text = graph.to_workflow(Some(p_total));
     if let Some(out) = opts.get("out") {
         fs::write(out, &text).map_err(|e| err(format!("cannot write {out}: {e}")))?;
@@ -396,6 +387,125 @@ fn cmd_fit(opts: &Opts) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Start the scheduling daemon and block until it drains (SIGINT,
+/// SIGTERM, or a `shutdown` request). Prints the listening address
+/// *before* blocking so scripts can synchronize on it.
+fn cmd_serve(opts: &Opts) -> Result<String, CliError> {
+    use moldable_serve::server::{Server, ServerConfig};
+
+    opts.known(&[
+        "addr",
+        "port",
+        "workers",
+        "queue-cap",
+        "max-frame",
+        "timeout",
+        "port-file",
+    ])?;
+    if opts.get("addr").is_some() && opts.get("port").is_some() {
+        return Err(err("give either --addr or --port, not both"));
+    }
+    let mut config = ServerConfig::default();
+    if let Some(addr) = opts.get("addr") {
+        config.addr = addr.to_string();
+    } else if let Some(port) = opts.parse_num::<u16>("port")? {
+        config.addr = format!("127.0.0.1:{port}");
+    }
+    if let Some(w) = opts.parse_num::<usize>("workers")? {
+        if w == 0 {
+            return Err(err("--workers must be at least 1"));
+        }
+        config.workers = w;
+    }
+    if let Some(q) = opts.parse_num::<usize>("queue-cap")? {
+        config.queue_cap = q;
+    }
+    if let Some(m) = opts.parse_num::<u32>("max-frame")? {
+        config.max_frame = m;
+    }
+    if let Some(t) = opts.parse_num::<f64>("timeout")? {
+        if t <= 0.0 || t.is_nan() {
+            return Err(err("--timeout must be positive seconds"));
+        }
+        config.request_timeout = std::time::Duration::from_secs_f64(t);
+    }
+
+    moldable_serve::install_drain_signals();
+    let workers = config.workers;
+    let server = Server::start(config).map_err(|e| err(format!("cannot bind: {e}")))?;
+    let addr = server.local_addr();
+    if let Some(path) = opts.get("port-file") {
+        fs::write(path, format!("{}\n", addr.port()))
+            .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+    }
+    println!("listening on {addr} ({workers} workers); Ctrl-C to drain");
+    server.run_until_drained();
+    Ok("drained; all queued requests answered\n".to_string())
+}
+
+/// Drive load against a running daemon and report the outcome.
+fn cmd_loadgen(opts: &Opts) -> Result<String, CliError> {
+    use moldable_serve::{loadgen, LoadConfig, LoadMode};
+
+    opts.known(&[
+        "addr", "clients", "requests", "rate", "shape", "size", "model", "P", "seed", "seeds",
+        "out",
+    ])?;
+    let mut config = LoadConfig::default();
+    if let Some(addr) = opts.get("addr") {
+        config.addr = addr.to_string();
+    }
+    if let Some(c) = opts.parse_num::<usize>("clients")? {
+        if c == 0 {
+            return Err(err("--clients must be at least 1"));
+        }
+        config.clients = c;
+    }
+    if let Some(r) = opts.parse_num::<usize>("requests")? {
+        if r == 0 {
+            return Err(err("--requests must be at least 1"));
+        }
+        config.requests = r;
+    }
+    if let Some(rate) = opts.parse_num::<f64>("rate")? {
+        if rate <= 0.0 || rate.is_nan() {
+            return Err(err("--rate must be positive requests/second"));
+        }
+        config.mode = LoadMode::Open(rate);
+    }
+    if let Some(shape) = opts.get("shape") {
+        config.shape = shape.to_string();
+    }
+    if let Some(size) = opts.parse_num::<u32>("size")? {
+        config.size = size;
+    }
+    if let Some(model) = opts.get("model") {
+        config.model = model.to_string();
+    }
+    if let Some(p) = opts.parse_num::<u32>("P")? {
+        config.p = p;
+    }
+    if let Some(seed) = opts.parse_num::<u64>("seed")? {
+        config.seed_base = seed;
+    }
+    if let Some(seeds) = opts.parse_num::<u64>("seeds")? {
+        if seeds == 0 {
+            return Err(err("--seeds must be at least 1"));
+        }
+        config.distinct_seeds = seeds;
+    }
+
+    let report = loadgen::run(&config)
+        .map_err(|e| err(format!("load run failed against {}: {e}", config.addr)))?;
+    let mut out = report.summary();
+    if let Some(path) = opts.get("out") {
+        fs::write(path, report.to_json(&config).encode())
+            .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        out.push_str(&format!("wrote report to {path}\n"));
+    }
+    Ok(out)
+}
+
 /// Entry point: dispatch `args` (without the program name) and return
 /// the text to print.
 ///
@@ -416,6 +526,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "bounds" => cmd_bounds(&opts),
         "schedule" => cmd_schedule(&opts),
         "fit" => cmd_fit(&opts),
+        "serve" => cmd_serve(&opts),
+        "loadgen" => cmd_loadgen(&opts),
         other => Err(err(format!("unknown command `{other}` (see --help)"))),
     }
 }
@@ -439,6 +551,94 @@ mod tests {
     fn help_and_empty_print_usage() {
         assert!(run_args(&[]).unwrap().contains("USAGE"));
         assert!(run_args(&["--help"]).unwrap().contains("SCHEDULERS"));
+    }
+
+    #[test]
+    fn usage_enumerates_every_subcommand() {
+        let usage = run_args(&["--help"]).unwrap();
+        for cmd in [
+            "generate", "info", "bounds", "schedule", "fit", "serve", "loadgen",
+        ] {
+            assert!(
+                usage.contains(&format!("moldable {cmd}")),
+                "usage is missing `{cmd}`"
+            );
+        }
+    }
+
+    #[test]
+    fn loadgen_drives_a_live_daemon() {
+        use moldable_serve::server::{Server, ServerConfig};
+        let server = Server::start(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let out_file = tmp("bench_serve_cli.json");
+        let out = run_args(&[
+            "loadgen", "--addr", &addr, "--clients", "2", "--requests", "20", "--shape", "lu",
+            "--size", "3", "--seeds", "4", "--out", &out_file,
+        ])
+        .unwrap();
+        assert!(out.contains("ok 20"), "{out}");
+        assert!(out.contains("deterministic: true"), "{out}");
+        assert!(out.contains("wrote report"), "{out}");
+        let report = fs::read_to_string(&out_file).unwrap();
+        assert!(report.contains("\"throughput_rps\""), "{report}");
+        server.trigger_drain();
+        server.join();
+    }
+
+    #[test]
+    fn loadgen_fails_cleanly_without_a_daemon() {
+        // Port 1 is never listening for us.
+        let e = run_args(&["loadgen", "--addr", "127.0.0.1:1", "--requests", "1"]).unwrap_err();
+        assert!(e.to_string().contains("load run failed"), "{e}");
+    }
+
+    #[test]
+    fn serve_command_runs_until_shutdown_request() {
+        use moldable_serve::proto::Request;
+        use moldable_serve::Client;
+
+        let port_file = tmp("serve_port.txt");
+        let _ = fs::remove_file(&port_file);
+        let pf = port_file.clone();
+        let daemon = std::thread::spawn(move || {
+            run_args(&["serve", "--port", "0", "--workers", "2", "--port-file", &pf])
+        });
+        // Wait for the port file, then connect and stop the daemon.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        let port = loop {
+            if let Ok(text) = fs::read_to_string(&port_file) {
+                if let Ok(p) = text.trim().parse::<u16>() {
+                    break p;
+                }
+            }
+            assert!(std::time::Instant::now() < deadline, "port file never appeared");
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        };
+        let mut client = Client::connect(&format!("127.0.0.1:{port}")).unwrap();
+        let pong = client.call(&Request::Ping).unwrap();
+        assert_eq!(pong.get("pong").unwrap().as_bool(), Some(true));
+        let bye = client.call(&Request::Shutdown).unwrap();
+        assert_eq!(bye.get("draining").unwrap().as_bool(), Some(true));
+        drop(client);
+        let out = daemon.join().unwrap().unwrap();
+        assert!(out.contains("drained"), "{out}");
+    }
+
+    #[test]
+    fn serve_rejects_conflicting_and_bad_options() {
+        let e = run_args(&["serve", "--addr", "x", "--port", "1"]).unwrap_err();
+        assert!(e.to_string().contains("not both"));
+        let e = run_args(&["serve", "--workers", "0"]).unwrap_err();
+        assert!(e.to_string().contains("--workers"));
+        let e = run_args(&["loadgen", "--clients", "0"]).unwrap_err();
+        assert!(e.to_string().contains("--clients"));
+        let e = run_args(&["loadgen", "--rate", "-3"]).unwrap_err();
+        assert!(e.to_string().contains("--rate"));
     }
 
     #[test]

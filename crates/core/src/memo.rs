@@ -98,6 +98,25 @@ impl AllocCache {
         }
     }
 
+    /// Platform size this cache was built for.
+    #[must_use]
+    pub fn p_total(&self) -> u32 {
+        self.p_total
+    }
+
+    /// The μ this cache was built for.
+    #[must_use]
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Whether this cache's decisions are valid for the given
+    /// `(P, μ)` pair (exact match; μ compared by bit pattern).
+    #[must_use]
+    pub fn matches(&self, p_total: u32, mu: f64) -> bool {
+        self.p_total == p_total && self.mu.to_bits() == mu.to_bits()
+    }
+
     /// Algorithm 2 through the cache: identical to
     /// `allocate(model, p_total, mu)`, but repeat models cost one hash
     /// lookup.

@@ -156,12 +156,40 @@ impl OnlineScheduler {
     pub fn queue_len(&self) -> usize {
         self.queue.len()
     }
+
+    /// Seed the scheduler with a previously-populated [`AllocCache`].
+    ///
+    /// Long-running services (`moldable-serve`) handle many requests
+    /// with the same `(P, μ)` pair; carrying the cache across
+    /// schedulers makes repeat models a hash lookup from the first
+    /// release of the next request. The cache is kept only if it
+    /// [`AllocCache::matches`] the `(P, μ)` seen at `init` — a
+    /// mismatched cache is silently replaced by a fresh one, so a
+    /// stale hand-off can never corrupt allocations.
+    #[must_use]
+    pub fn with_alloc_cache(mut self, cache: AllocCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Take back the memoized Algorithm 2 cache (for reuse by the next
+    /// scheduler with the same `(P, μ)`). Leaves this scheduler
+    /// cache-less; it would rebuild one at the next `init`.
+    pub fn take_alloc_cache(&mut self) -> Option<AllocCache> {
+        self.cache.take()
+    }
 }
 
 impl Scheduler for OnlineScheduler {
     fn init(&mut self, p_total: u32) {
         self.p_total = p_total;
-        self.cache = Some(AllocCache::new(p_total, self.mu));
+        let keep = self
+            .cache
+            .as_ref()
+            .is_some_and(|c| c.matches(p_total, self.mu));
+        if !keep {
+            self.cache = Some(AllocCache::new(p_total, self.mu));
+        }
     }
 
     fn release(&mut self, task: TaskId, model: &SpeedupModel) {
@@ -322,5 +350,38 @@ mod tests {
     #[should_panic(expected = "mu must lie in")]
     fn rejects_bad_mu() {
         let _ = OnlineScheduler::with_mu(0.45);
+    }
+
+    #[test]
+    fn alloc_cache_survives_across_schedulers() {
+        let mut assign = |_: gen::TaskCtx<'_>| SpeedupModel::amdahl(64.0, 1.0).unwrap();
+        let g = gen::chain(5, &mut assign);
+        let mut first = OnlineScheduler::with_mu(0.3);
+        let a = simulate(&g, &mut first, &SimOptions::new(16)).unwrap();
+        let cache = first.take_alloc_cache().expect("init built a cache");
+        assert_eq!(cache.len(), 1, "one distinct model interned");
+        assert!(cache.matches(16, 0.3));
+
+        // Second scheduler, seeded with the warm cache: identical
+        // schedule, no new interning.
+        let mut second = OnlineScheduler::with_mu(0.3).with_alloc_cache(cache);
+        let b = simulate(&g, &mut second, &SimOptions::new(16)).unwrap();
+        assert_eq!(a.placements, b.placements);
+        assert_eq!(second.take_alloc_cache().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn mismatched_cache_is_replaced_at_init() {
+        let mut assign = |_: gen::TaskCtx<'_>| SpeedupModel::amdahl(64.0, 1.0).unwrap();
+        let g = gen::chain(3, &mut assign);
+        // Cache built for P = 8 handed to a P = 16 run: results must
+        // match a cold scheduler exactly.
+        let stale = crate::AllocCache::new(8, 0.3);
+        let mut seeded = OnlineScheduler::with_mu(0.3).with_alloc_cache(stale);
+        let a = simulate(&g, &mut seeded, &SimOptions::new(16)).unwrap();
+        let mut cold = OnlineScheduler::with_mu(0.3);
+        let b = simulate(&g, &mut cold, &SimOptions::new(16)).unwrap();
+        assert_eq!(a.placements, b.placements);
+        assert!(seeded.take_alloc_cache().unwrap().matches(16, 0.3));
     }
 }

@@ -40,6 +40,64 @@ pub struct TaskCtx<'a> {
     pub weight: f64,
 }
 
+/// Shape names accepted by [`by_name`], in help-text order.
+pub const SHAPE_NAMES: [&str; 11] = [
+    "chain",
+    "independent",
+    "fork-join",
+    "in-tree",
+    "out-tree",
+    "layered",
+    "random",
+    "lu",
+    "cholesky",
+    "fft",
+    "wavefront",
+];
+
+/// Build a workload by shape name — the one request→instance
+/// constructor shared by the CLI `generate` command and the
+/// `moldable-serve` daemon, so both accept the exact same shapes with
+/// the exact same deterministic seeding.
+///
+/// Models are sampled from the default [`ParamDistribution`] of
+/// `class`, scaled by each task's suggested weight; `seed` makes the
+/// result reproducible (same arguments → byte-identical graph).
+///
+/// # Errors
+///
+/// Returns a message naming the shape if it is not one of
+/// [`SHAPE_NAMES`].
+pub fn by_name(
+    shape: &str,
+    size: u32,
+    class: ModelClass,
+    p_total: u32,
+    seed: u64,
+) -> Result<crate::TaskGraph, String> {
+    let mut rng = rng::StdRng::seed_from_u64(seed);
+    let dist = ParamDistribution::default();
+    let mut assign = weighted_sampler(class, dist, p_total, &mut rng);
+    let size_us = size as usize;
+    // Structure RNG seeded independently of the model RNG so adding
+    // model parameters never perturbs the generated topology.
+    let mut srng = rng::StdRng::seed_from_u64(seed ^ 0xFEED);
+    Ok(match shape {
+        "chain" => chain(size_us, &mut assign),
+        "independent" => independent(size_us, &mut assign),
+        "fork-join" => fork_join(size_us, 3, &mut assign),
+        "in-tree" => in_tree(size, 2, &mut assign),
+        "out-tree" => out_tree(size, 2, &mut assign),
+        "layered" => layered_random(size_us, size_us, 0.3, &mut srng, &mut assign),
+        "random" => random_dag(size_us, 0.15, &mut srng, &mut assign),
+        "lu" => lu(size, &mut assign),
+        "cholesky" => cholesky(size, &mut assign),
+        "fft" => fft(size, &mut assign),
+        "wavefront" => wavefront(size, size, &mut assign),
+        other => return Err(format!("unknown shape `{other}`")),
+    })
+}
+
 /// A model assigner backed by a random [`ParamDistribution`]: samples a
 /// model of `class` and scales its work terms by the task's suggested
 /// weight.
@@ -119,6 +177,18 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn scale_work_rejects_zero() {
         let _ = scale_work(SpeedupModel::amdahl(1.0, 0.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn by_name_builds_every_listed_shape_deterministically() {
+        for shape in SHAPE_NAMES {
+            let a = by_name(shape, 4, ModelClass::Amdahl, 16, 7).unwrap();
+            let b = by_name(shape, 4, ModelClass::Amdahl, 16, 7).unwrap();
+            assert!(a.n_tasks() > 0, "{shape}");
+            assert_eq!(a.to_workflow(None), b.to_workflow(None), "{shape}");
+        }
+        let e = by_name("hexagon", 4, ModelClass::Amdahl, 16, 7).unwrap_err();
+        assert!(e.contains("hexagon"));
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! online scheduling on heterogeneous platforms (but without moldable
 //! tasks); its conclusion calls for "extending to other online
 //! scheduling settings". This crate combines the two: every task is
-//! moldable *within* a pool (a [`SpeedupModel`] per pool) and the
+//! moldable *within* a pool (a [`SpeedupModel`](moldable_model::SpeedupModel)
+//! per pool) and the
 //! online scheduler must pick, at launch, both a pool and an
 //! allocation — non-preemptively, with the same online revelation
 //! model as the homogeneous case.

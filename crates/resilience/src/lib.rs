@@ -307,6 +307,39 @@ mod tests {
     }
 
     #[test]
+    fn q_zero_never_reattempts_whatever_the_seed() {
+        // `gen_bool(0.0)` must be a hard false, not "false with high
+        // probability": across many seeds no task may ever retry.
+        let g = chain(5);
+        for seed in 0..50 {
+            let mut inst = FaultyInstance::new(&g, 0.0, seed);
+            let mut sched = OnlineScheduler::for_class(ModelClass::Amdahl);
+            let _ = simulate_instance(&mut inst, &mut sched, &SimOptions::new(4)).unwrap();
+            assert_eq!(inst.total_attempts(), 5, "seed {seed} retried at q = 0");
+            assert!(g.task_ids().all(|t| inst.attempts_of(t) == 1));
+        }
+    }
+
+    #[test]
+    fn q_near_one_still_terminates() {
+        // At q = 0.99 each task needs ~100 attempts in expectation;
+        // the run must still finish (geometric tail, never infinite).
+        let g = chain(2);
+        let mut inst = FaultyInstance::new(&g, 0.99, 17);
+        let mut sched = OnlineScheduler::for_class(ModelClass::Amdahl);
+        let s = simulate_instance(&mut inst, &mut sched, &SimOptions::new(4)).unwrap();
+        assert!(inst.is_done());
+        assert!(
+            inst.total_attempts() >= 2,
+            "both tasks eventually succeeded"
+        );
+        s.check_capacity(1e-9).unwrap();
+        // The realized lower bound scales with the attempts actually
+        // made, so competitiveness holds even in this extreme regime.
+        assert!(s.makespan <= 4.74 * inst.realized_lower_bound(4) * (1.0 + 1e-9));
+    }
+
+    #[test]
     fn mean_attempts_approaches_geometric_expectation() {
         // E[attempts] = 1/(1−q).
         let q = 0.3;

@@ -1,0 +1,63 @@
+//! `moldable-serve` — scheduling as a service.
+//!
+//! The paper's algorithm is an *online* scheduler: tasks are revealed
+//! over time and decisions are irrevocable. That is exactly the shape
+//! of a long-running service, so this crate wraps the workspace's
+//! Algorithm 1+2 implementation and simulator in a standard-library
+//! TCP daemon:
+//!
+//! * [`proto`] — the length-prefixed JSON wire protocol;
+//! * [`json`] — hand-rolled JSON encode/parse (no external deps);
+//! * [`service`] — the request→schedule executor with per-worker
+//!   [`AllocCache`](moldable_core::AllocCache) reuse;
+//! * [`server`] — the daemon: acceptor, bounded queue with explicit
+//!   `overloaded` backpressure, worker pool, per-request timeouts,
+//!   `stats` with latency percentiles, graceful drain on `shutdown`
+//!   requests or SIGINT/SIGTERM;
+//! * [`stats`] — counters and the log-scale latency histogram;
+//! * [`loadgen`] — an open/closed-loop load generator producing
+//!   `results/BENCH_serve.json`.
+//!
+//! # Example
+//!
+//! ```
+//! use moldable_serve::loadgen::Client;
+//! use moldable_serve::proto::{GraphSpec, Request, SubmitRequest};
+//! use moldable_serve::server::{Server, ServerConfig};
+//!
+//! let server = Server::start(ServerConfig {
+//!     addr: "127.0.0.1:0".into(), // ephemeral port
+//!     ..ServerConfig::default()
+//! })
+//! .unwrap();
+//!
+//! let mut client = Client::connect(&server.local_addr().to_string()).unwrap();
+//! let reply = client
+//!     .call(&Request::Submit(Box::new(SubmitRequest {
+//!         graph: GraphSpec::Named { shape: "cholesky".into(), size: 4 },
+//!         p: Some(16),
+//!         model: "amdahl".into(),
+//!         seed: 7,
+//!         scheduler: "online".into(),
+//!         mu: None,
+//!         policy: None,
+//!         include_allocations: false,
+//!     })))
+//!     .unwrap();
+//! assert_eq!(reply.get("status").unwrap().as_str(), Some("ok"));
+//! assert!(reply.get("makespan").unwrap().as_f64().unwrap() > 0.0);
+//!
+//! server.trigger_drain();
+//! server.join();
+//! ```
+
+pub mod json;
+pub mod loadgen;
+pub mod proto;
+pub mod server;
+pub mod service;
+pub mod stats;
+
+pub use loadgen::{Client, LoadConfig, LoadMode, LoadReport};
+pub use server::{install_drain_signals, Server, ServerConfig};
+pub use service::{ServiceLimits, WorkerContext};

@@ -1,0 +1,440 @@
+//! Load-generator harness: drive open- or closed-loop traffic against
+//! a running daemon and report throughput and latency percentiles.
+//!
+//! *Closed loop*: each client keeps exactly one request in flight,
+//! sending the next the moment a reply lands — measures the service's
+//! sustainable throughput. *Open loop*: requests are paced at a fixed
+//! aggregate rate regardless of reply latency — measures behaviour at
+//! a target arrival rate, including backpressure (`overloaded`
+//! replies) once the queue cap binds.
+//!
+//! Each request reuses a small set of seeds, so the harness doubles as
+//! a determinism check: every reply for a given seed must report the
+//! same makespan.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::json::{obj, Json};
+use crate::proto::{self, GraphSpec, Request, SubmitRequest};
+
+/// A blocking protocol client: one framed request, one framed reply.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    max_frame: u32,
+}
+
+impl Client {
+    /// Connect to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect(addr: &str) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Self {
+            stream,
+            max_frame: 64 * 1024 * 1024,
+        })
+    }
+
+    /// Send one request and wait for its reply.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket errors, a closed connection, or an unparsable
+    /// reply.
+    pub fn call(&mut self, req: &Request) -> io::Result<Json> {
+        proto::write_frame(&mut self.stream, &req.encode())?;
+        let payload = proto::read_frame(&mut self.stream, self.max_frame)
+            .map_err(|e| io::Error::other(e.to_string()))?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))?;
+        let text = std::str::from_utf8(&payload)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "reply not UTF-8"))?;
+        crate::json::parse(text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+/// Arrival discipline of the generated load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadMode {
+    /// One request in flight per client, back to back.
+    Closed,
+    /// Paced arrivals at this aggregate rate (requests/second).
+    Open(f64),
+}
+
+/// Load-generator parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Daemon address, e.g. `127.0.0.1:7464`.
+    pub addr: String,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Total requests across all clients.
+    pub requests: usize,
+    /// Arrival discipline.
+    pub mode: LoadMode,
+    /// Workload template: generator shape.
+    pub shape: String,
+    /// Workload template: shape size.
+    pub size: u32,
+    /// Workload template: model class.
+    pub model: String,
+    /// Workload template: platform size.
+    pub p: u32,
+    /// Base seed; request `i` uses `seed_base + (i mod distinct_seeds)`.
+    pub seed_base: u64,
+    /// Number of distinct seeds cycled through (determinism probe).
+    pub distinct_seeds: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7464".to_string(),
+            clients: 4,
+            requests: 1000,
+            mode: LoadMode::Closed,
+            shape: "cholesky".to_string(),
+            size: 6,
+            model: "amdahl".to_string(),
+            p: 64,
+            seed_base: 42,
+            distinct_seeds: 16,
+        }
+    }
+}
+
+/// Aggregated outcome of a load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests sent.
+    pub sent: usize,
+    /// `ok` replies.
+    pub ok: usize,
+    /// `overloaded` (backpressure) replies.
+    pub overloaded: usize,
+    /// `error` replies.
+    pub errors: usize,
+    /// Transport failures (connection dropped mid-request).
+    pub transport_failures: usize,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+    /// Per-request latencies (sorted ascending), milliseconds.
+    pub latencies_ms: Vec<f64>,
+    /// Whether every seed produced one single makespan.
+    pub deterministic: bool,
+    /// Distinct seeds observed with at least one `ok` reply.
+    pub seeds_observed: usize,
+}
+
+impl LoadReport {
+    /// Completed-requests-per-second over the wall clock.
+    #[must_use]
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let t = self.ok as f64 / secs;
+        t
+    }
+
+    /// Exact latency quantile (`0 < q ≤ 1`) in ms; 0 when empty.
+    #[must_use]
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        if self.latencies_ms.is_empty() {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let idx = ((q * self.latencies_ms.len() as f64).ceil() as usize)
+            .clamp(1, self.latencies_ms.len())
+            - 1;
+        self.latencies_ms[idx]
+    }
+
+    /// Mean latency in ms (0 when empty).
+    #[must_use]
+    pub fn mean_ms(&self) -> f64 {
+        if self.latencies_ms.is_empty() {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let mean = self.latencies_ms.iter().sum::<f64>() / self.latencies_ms.len() as f64;
+        mean
+    }
+
+    /// Render the `BENCH_serve.json` document.
+    #[must_use]
+    pub fn to_json(&self, config: &LoadConfig) -> Json {
+        #[allow(clippy::cast_precision_loss)]
+        obj(vec![
+            (
+                "config",
+                obj(vec![
+                    ("clients", Json::Num(config.clients as f64)),
+                    ("requests", Json::Num(config.requests as f64)),
+                    (
+                        "mode",
+                        Json::Str(match config.mode {
+                            LoadMode::Closed => "closed".to_string(),
+                            LoadMode::Open(r) => format!("open@{r}rps"),
+                        }),
+                    ),
+                    ("shape", Json::Str(config.shape.clone())),
+                    ("size", Json::Num(f64::from(config.size))),
+                    ("model", Json::Str(config.model.clone())),
+                    ("p", Json::Num(f64::from(config.p))),
+                ]),
+            ),
+            ("sent", Json::Num(self.sent as f64)),
+            ("ok", Json::Num(self.ok as f64)),
+            ("overloaded", Json::Num(self.overloaded as f64)),
+            ("errors", Json::Num(self.errors as f64)),
+            ("transport_failures", Json::Num(self.transport_failures as f64)),
+            ("wall_secs", Json::Num(self.wall.as_secs_f64())),
+            ("throughput_rps", Json::Num(self.throughput_rps())),
+            (
+                "latency_ms",
+                obj(vec![
+                    ("mean", Json::Num(self.mean_ms())),
+                    ("p50", Json::Num(self.quantile_ms(0.50))),
+                    ("p95", Json::Num(self.quantile_ms(0.95))),
+                    ("p99", Json::Num(self.quantile_ms(0.99))),
+                    ("max", Json::Num(self.quantile_ms(1.0))),
+                ]),
+            ),
+            (
+                "determinism",
+                obj(vec![
+                    ("seeds_observed", Json::Num(self.seeds_observed as f64)),
+                    ("consistent", Json::Bool(self.deterministic)),
+                ]),
+            ),
+        ])
+    }
+
+    /// One-paragraph human summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "sent {} | ok {} | overloaded {} | errors {} | transport {} | \
+             {:.1} req/s | latency ms p50 {:.2} p95 {:.2} p99 {:.2} max {:.2} | \
+             deterministic: {}\n",
+            self.sent,
+            self.ok,
+            self.overloaded,
+            self.errors,
+            self.transport_failures,
+            self.throughput_rps(),
+            self.quantile_ms(0.50),
+            self.quantile_ms(0.95),
+            self.quantile_ms(0.99),
+            self.quantile_ms(1.0),
+            self.deterministic
+        )
+    }
+}
+
+struct ClientTally {
+    ok: usize,
+    overloaded: usize,
+    errors: usize,
+    transport_failures: usize,
+    sent: usize,
+    latencies_ms: Vec<f64>,
+    /// seed → makespans seen
+    makespans: HashMap<u64, Vec<f64>>,
+}
+
+/// Run the load described by `config` against a live daemon.
+///
+/// # Errors
+///
+/// Fails if no client can connect at all; individual request failures
+/// are tallied, not fatal.
+///
+/// # Panics
+///
+/// Panics if `config.clients == 0` or `config.requests == 0`.
+pub fn run(config: &LoadConfig) -> io::Result<LoadReport> {
+    assert!(config.clients >= 1, "need at least one client");
+    assert!(config.requests >= 1, "need at least one request");
+    // Fail fast if the daemon is unreachable.
+    drop(Client::connect(&config.addr)?);
+
+    let tallies: Mutex<Vec<ClientTally>> = Mutex::new(Vec::new());
+    let start = Instant::now();
+    thread::scope(|scope| {
+        for c in 0..config.clients {
+            let tallies = &tallies;
+            scope.spawn(move || {
+                let tally = client_loop(config, c, start);
+                tallies.lock().expect("tally lock").push(tally);
+            });
+        }
+    });
+    let wall = start.elapsed();
+
+    let mut report = LoadReport {
+        sent: 0,
+        ok: 0,
+        overloaded: 0,
+        errors: 0,
+        transport_failures: 0,
+        wall,
+        latencies_ms: Vec::new(),
+        deterministic: true,
+        seeds_observed: 0,
+    };
+    let mut makespans: HashMap<u64, Vec<f64>> = HashMap::new();
+    for t in tallies.into_inner().expect("tally lock") {
+        report.sent += t.sent;
+        report.ok += t.ok;
+        report.overloaded += t.overloaded;
+        report.errors += t.errors;
+        report.transport_failures += t.transport_failures;
+        report.latencies_ms.extend(t.latencies_ms);
+        for (seed, ms) in t.makespans {
+            makespans.entry(seed).or_default().extend(ms);
+        }
+    }
+    report.latencies_ms.sort_by(f64::total_cmp);
+    report.seeds_observed = makespans.len();
+    report.deterministic = makespans
+        .values()
+        .all(|ms| ms.windows(2).all(|w| w[0].to_bits() == w[1].to_bits()));
+    Ok(report)
+}
+
+fn client_loop(config: &LoadConfig, client_idx: usize, start: Instant) -> ClientTally {
+    let mut tally = ClientTally {
+        ok: 0,
+        overloaded: 0,
+        errors: 0,
+        transport_failures: 0,
+        sent: 0,
+        latencies_ms: Vec::new(),
+        makespans: HashMap::new(),
+    };
+    let Ok(mut client) = Client::connect(&config.addr) else {
+        // Connect failure after the initial probe: count every request
+        // this client owned as a transport failure.
+        tally.transport_failures = requests_of(config, client_idx);
+        return tally;
+    };
+    let n = requests_of(config, client_idx);
+    for i in 0..n {
+        let global_idx = i * config.clients + client_idx;
+        if let LoadMode::Open(rate) = config.mode {
+            // Paced arrivals: request k (globally) is due at k/rate.
+            #[allow(clippy::cast_precision_loss)]
+            let due = start + Duration::from_secs_f64(global_idx as f64 / rate.max(1e-9));
+            if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                thread::sleep(wait);
+            }
+        }
+        let seed = config.seed_base + (global_idx as u64 % config.distinct_seeds.max(1));
+        let req = Request::Submit(Box::new(SubmitRequest {
+            graph: GraphSpec::Named {
+                shape: config.shape.clone(),
+                size: config.size,
+            },
+            p: Some(config.p),
+            model: config.model.clone(),
+            seed,
+            scheduler: "online".to_string(),
+            mu: None,
+            policy: None,
+            include_allocations: false,
+        }));
+        let t0 = Instant::now();
+        tally.sent += 1;
+        match client.call(&req) {
+            Ok(reply) => {
+                tally
+                    .latencies_ms
+                    .push(t0.elapsed().as_secs_f64() * 1000.0);
+                match reply.get("status").and_then(Json::as_str) {
+                    Some("ok") => {
+                        tally.ok += 1;
+                        if let Some(m) = reply.get("makespan").and_then(Json::as_f64) {
+                            tally.makespans.entry(seed).or_default().push(m);
+                        }
+                    }
+                    Some("overloaded") => tally.overloaded += 1,
+                    _ => tally.errors += 1,
+                }
+            }
+            Err(_) => {
+                tally.transport_failures += 1;
+                // Try to reconnect once; give up on this client if not.
+                match Client::connect(&config.addr) {
+                    Ok(c) => client = c,
+                    Err(_) => {
+                        tally.transport_failures += n - i - 1;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    tally
+}
+
+/// How many of the `requests` belong to client `idx` (round-robin).
+fn requests_of(config: &LoadConfig, idx: usize) -> usize {
+    let base = config.requests / config.clients;
+    let extra = usize::from(idx < config.requests % config.clients);
+    base + extra
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_split_covers_all_clients() {
+        let mut config = LoadConfig {
+            clients: 4,
+            requests: 10,
+            ..LoadConfig::default()
+        };
+        let total: usize = (0..4).map(|i| requests_of(&config, i)).sum();
+        assert_eq!(total, 10);
+        config.requests = 3;
+        assert_eq!(requests_of(&config, 0), 1);
+        assert_eq!(requests_of(&config, 3), 0);
+    }
+
+    #[test]
+    fn quantiles_are_exact_on_sorted_data() {
+        let r = LoadReport {
+            sent: 4,
+            ok: 4,
+            overloaded: 0,
+            errors: 0,
+            transport_failures: 0,
+            wall: Duration::from_secs(2),
+            latencies_ms: vec![1.0, 2.0, 3.0, 4.0],
+            deterministic: true,
+            seeds_observed: 1,
+        };
+        assert_eq!(r.quantile_ms(0.5), 2.0);
+        assert_eq!(r.quantile_ms(1.0), 4.0);
+        assert_eq!(r.mean_ms(), 2.5);
+        assert_eq!(r.throughput_rps(), 2.0);
+        let j = r.to_json(&LoadConfig::default());
+        assert_eq!(j.get("ok").unwrap().as_u64(), Some(4));
+        assert!(j.get("latency_ms").unwrap().get("p99").is_some());
+        assert!(r.summary().contains("deterministic: true"));
+    }
+}

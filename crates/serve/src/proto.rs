@@ -1,0 +1,498 @@
+//! The wire protocol: length-prefixed JSON frames.
+//!
+//! Every message — request or reply — is one frame:
+//!
+//! ```text
+//! +----------------------+----------------------+
+//! | u32 big-endian length| <length> bytes JSON  |
+//! +----------------------+----------------------+
+//! ```
+//!
+//! Requests (`"type"` selects the verb):
+//!
+//! ```json
+//! {"type": "submit", "graph": {"shape": "cholesky", "size": 8},
+//!  "p": 32, "model": "amdahl", "seed": 7, "scheduler": "online",
+//!  "include_allocations": false}
+//! {"type": "submit", "graph": {"mtg": "p 8\ntask 0 amdahl(w=4)\n"}}
+//! {"type": "stats"}
+//! {"type": "ping"}
+//! {"type": "shutdown"}
+//! ```
+//!
+//! Replies always carry a `"status"` of `"ok"`, `"error"`, or
+//! `"overloaded"` (the backpressure reply — the request was *not*
+//! queued and may be retried later).
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use crate::json::{self, obj, Json};
+
+/// Hard ceiling on any frame length, whatever the configured limit —
+/// a length prefix beyond this is treated as a framing error and the
+/// connection is dropped rather than resynchronized.
+pub const ABSOLUTE_MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+/// Errors arising while reading a frame.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying socket failed.
+    Io(io::Error),
+    /// The peer announced a frame larger than the configured limit.
+    /// The payload was consumed, so the connection stays usable.
+    TooLarge {
+        /// Announced payload size.
+        announced: u32,
+        /// The limit it exceeded.
+        limit: u32,
+    },
+    /// The length prefix exceeds [`ABSOLUTE_MAX_FRAME`]; the stream is
+    /// assumed desynchronized and must be closed.
+    Corrupt(u32),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::TooLarge { announced, limit } => {
+                write!(f, "frame of {announced} bytes exceeds limit {limit}")
+            }
+            Self::Corrupt(n) => write!(f, "implausible frame length {n}; closing"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Read one frame. `Ok(None)` signals clean EOF (peer closed between
+/// frames).
+///
+/// On [`FrameError::TooLarge`] the oversized payload is drained so the
+/// caller can reply with a structured error and keep the connection.
+///
+/// # Errors
+///
+/// [`FrameError`] on socket failure, oversized, or corrupt frames.
+pub fn read_frame(r: &mut impl Read, max_len: u32) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut len_buf = [0u8; 4];
+    match read_exact_or_eof(r, &mut len_buf) {
+        Ok(false) => return Ok(None),
+        Ok(true) => {}
+        Err(e) => return Err(FrameError::Io(e)),
+    }
+    read_frame_body(r, u32::from_be_bytes(len_buf), max_len)
+}
+
+/// Read the remainder of a frame whose length prefix's *first byte*
+/// was already consumed (servers sniff one byte with a short timeout
+/// to stay responsive to drain requests, then commit to the frame).
+///
+/// # Errors
+///
+/// Same contract as [`read_frame`].
+pub fn read_frame_rest(
+    r: &mut impl Read,
+    first: u8,
+    max_len: u32,
+) -> Result<Vec<u8>, FrameError> {
+    let mut rest = [0u8; 3];
+    r.read_exact(&mut rest).map_err(FrameError::Io)?;
+    let len = u32::from_be_bytes([first, rest[0], rest[1], rest[2]]);
+    read_frame_body(r, len, max_len).map(|opt| opt.expect("body never reports EOF"))
+}
+
+fn read_frame_body(
+    r: &mut impl Read,
+    len: u32,
+    max_len: u32,
+) -> Result<Option<Vec<u8>>, FrameError> {
+    if len > ABSOLUTE_MAX_FRAME {
+        return Err(FrameError::Corrupt(len));
+    }
+    if len > max_len {
+        // Drain and discard so the stream stays framed.
+        let mut remaining = len as u64;
+        let mut sink = [0u8; 8192];
+        while remaining > 0 {
+            let take = sink.len().min(usize::try_from(remaining).unwrap_or(usize::MAX));
+            r.read_exact(&mut sink[..take]).map_err(FrameError::Io)?;
+            remaining -= take as u64;
+        }
+        return Err(FrameError::TooLarge {
+            announced: len,
+            limit: max_len,
+        });
+    }
+    let mut buf = vec![0u8; len as usize];
+    r.read_exact(&mut buf).map_err(FrameError::Io)?;
+    Ok(Some(buf))
+}
+
+/// Write one frame.
+///
+/// # Errors
+///
+/// Propagates socket errors.
+///
+/// # Panics
+///
+/// Panics if `payload` exceeds [`ABSOLUTE_MAX_FRAME`] bytes.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len()).expect("frame fits u32");
+    assert!(len <= ABSOLUTE_MAX_FRAME, "refusing to write a corrupt-sized frame");
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// `read_exact`, except a clean EOF before the first byte returns
+/// `Ok(false)` instead of an error.
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(false);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof mid-frame",
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// How the graph of a submit request is specified.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphSpec {
+    /// Inline `.mtg` workflow text.
+    Inline(String),
+    /// A named generator from `moldable_graph::gen`.
+    Named {
+        /// Shape name (see [`moldable_graph::gen::by_name`]).
+        shape: String,
+        /// Shape size parameter.
+        size: u32,
+    },
+}
+
+/// A parsed scheduling request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitRequest {
+    /// The task graph to schedule.
+    pub graph: GraphSpec,
+    /// Platform size (falls back to the `.mtg` `p` hint when absent).
+    pub p: Option<u32>,
+    /// Model class for generated graphs (default `amdahl`).
+    pub model: String,
+    /// Generator seed (default 42).
+    pub seed: u64,
+    /// Scheduler name (default `online`).
+    pub scheduler: String,
+    /// Explicit μ for the online scheduler.
+    pub mu: Option<f64>,
+    /// Queue policy name for the online scheduler.
+    pub policy: Option<String>,
+    /// Return per-task placements in the reply.
+    pub include_allocations: bool,
+}
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Schedule a task graph.
+    Submit(Box<SubmitRequest>),
+    /// Report server counters and latency percentiles.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Begin a graceful drain: stop accepting, finish queued work, exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Parse a request frame.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the first problem.
+    pub fn parse(payload: &[u8]) -> Result<Self, String> {
+        let text = std::str::from_utf8(payload).map_err(|_| "payload is not UTF-8".to_string())?;
+        let v = json::parse(text).map_err(|e| e.to_string())?;
+        let ty = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or("missing string field `type`")?;
+        match ty {
+            "ping" => Ok(Self::Ping),
+            "stats" => Ok(Self::Stats),
+            "shutdown" => Ok(Self::Shutdown),
+            "submit" => Ok(Self::Submit(Box::new(Self::parse_submit(&v)?))),
+            other => Err(format!("unknown request type `{other}`")),
+        }
+    }
+
+    fn parse_submit(v: &Json) -> Result<SubmitRequest, String> {
+        let g = v.get("graph").ok_or("submit requires a `graph` object")?;
+        let graph = if let Some(mtg) = g.get("mtg").and_then(Json::as_str) {
+            GraphSpec::Inline(mtg.to_string())
+        } else if let Some(shape) = g.get("shape").and_then(Json::as_str) {
+            let size = g
+                .get("size")
+                .and_then(Json::as_u64)
+                .ok_or("graph.size must be a non-negative integer")?;
+            let size = u32::try_from(size).map_err(|_| "graph.size out of range".to_string())?;
+            GraphSpec::Named {
+                shape: shape.to_string(),
+                size,
+            }
+        } else {
+            return Err("graph needs either `mtg` (inline text) or `shape`+`size`".to_string());
+        };
+        let num_field = |key: &str| -> Result<Option<u64>, String> {
+            match v.get(key) {
+                None | Some(Json::Null) => Ok(None),
+                Some(x) => x
+                    .as_u64()
+                    .map(Some)
+                    .ok_or(format!("`{key}` must be a non-negative integer")),
+            }
+        };
+        let p = match num_field("p")? {
+            Some(p) => Some(u32::try_from(p).map_err(|_| "`p` out of range".to_string())?),
+            None => None,
+        };
+        let mu = match v.get("mu") {
+            None | Some(Json::Null) => None,
+            Some(x) => Some(x.as_f64().ok_or("`mu` must be a number")?),
+        };
+        let str_field = |key: &str, default: &str| -> Result<String, String> {
+            match v.get(key) {
+                None | Some(Json::Null) => Ok(default.to_string()),
+                Some(x) => x
+                    .as_str()
+                    .map(ToString::to_string)
+                    .ok_or(format!("`{key}` must be a string")),
+            }
+        };
+        Ok(SubmitRequest {
+            graph,
+            p,
+            model: str_field("model", "amdahl")?,
+            seed: num_field("seed")?.unwrap_or(42),
+            scheduler: str_field("scheduler", "online")?,
+            mu,
+            policy: match v.get("policy") {
+                None | Some(Json::Null) => None,
+                Some(x) => Some(
+                    x.as_str()
+                        .map(ToString::to_string)
+                        .ok_or("`policy` must be a string")?,
+                ),
+            },
+            include_allocations: v
+                .get("include_allocations")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+        })
+    }
+
+    /// Encode this request as a JSON payload (used by clients).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let v = match self {
+            Self::Ping => obj(vec![("type", Json::Str("ping".into()))]),
+            Self::Stats => obj(vec![("type", Json::Str("stats".into()))]),
+            Self::Shutdown => obj(vec![("type", Json::Str("shutdown".into()))]),
+            Self::Submit(s) => {
+                let graph = match &s.graph {
+                    GraphSpec::Inline(mtg) => obj(vec![("mtg", Json::Str(mtg.clone()))]),
+                    GraphSpec::Named { shape, size } => obj(vec![
+                        ("shape", Json::Str(shape.clone())),
+                        ("size", Json::Num(f64::from(*size))),
+                    ]),
+                };
+                let mut members = vec![
+                    ("type", Json::Str("submit".into())),
+                    ("graph", graph),
+                    ("model", Json::Str(s.model.clone())),
+                    #[allow(clippy::cast_precision_loss)]
+                    ("seed", Json::Num(s.seed as f64)),
+                    ("scheduler", Json::Str(s.scheduler.clone())),
+                ];
+                if let Some(p) = s.p {
+                    members.push(("p", Json::Num(f64::from(p))));
+                }
+                if let Some(mu) = s.mu {
+                    members.push(("mu", Json::Num(mu)));
+                }
+                if let Some(pol) = &s.policy {
+                    members.push(("policy", Json::Str(pol.clone())));
+                }
+                if s.include_allocations {
+                    members.push(("include_allocations", Json::Bool(true)));
+                }
+                obj(members)
+            }
+        };
+        v.encode().into_bytes()
+    }
+}
+
+/// Build the structured `{"status": "error"}` reply payload.
+#[must_use]
+pub fn error_reply(msg: &str) -> Vec<u8> {
+    obj(vec![
+        ("status", Json::Str("error".into())),
+        ("error", Json::Str(msg.to_string())),
+    ])
+    .encode()
+    .into_bytes()
+}
+
+/// Build the backpressure `{"status": "overloaded"}` reply payload.
+#[must_use]
+pub fn overloaded_reply() -> Vec<u8> {
+    obj(vec![("status", Json::Str("overloaded".into()))])
+        .encode()
+        .into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn read_frame_rest_resumes_after_a_sniffed_byte() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload").unwrap();
+        let mut r = Cursor::new(&buf[1..]); // first length byte consumed
+        assert_eq!(read_frame_rest(&mut r, buf[0], 1024).unwrap(), b"payload");
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"{\"a\":1}").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r, 1024).unwrap().unwrap(), b"{\"a\":1}");
+        assert_eq!(read_frame(&mut r, 1024).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r, 1024).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_frame_is_drained_and_reported() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[0u8; 100]).unwrap();
+        write_frame(&mut buf, b"next").unwrap();
+        let mut r = Cursor::new(buf);
+        match read_frame(&mut r, 10) {
+            Err(FrameError::TooLarge { announced, limit }) => {
+                assert_eq!((announced, limit), (100, 10));
+            }
+            other => panic!("{other:?}"),
+        }
+        // The stream stays framed: the next frame reads fine.
+        assert_eq!(read_frame(&mut r, 10).unwrap().unwrap(), b"next");
+    }
+
+    #[test]
+    fn corrupt_length_prefix_is_fatal() {
+        let mut buf = (ABSOLUTE_MAX_FRAME + 1).to_be_bytes().to_vec();
+        buf.extend_from_slice(b"junk");
+        let mut r = Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut r, 1024),
+            Err(FrameError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_frame_is_an_io_error() {
+        let mut buf = 10u32.to_be_bytes().to_vec();
+        buf.extend_from_slice(b"only5");
+        let mut r = Cursor::new(buf);
+        assert!(matches!(read_frame(&mut r, 1024), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn submit_requests_roundtrip() {
+        let req = Request::Submit(Box::new(SubmitRequest {
+            graph: GraphSpec::Named {
+                shape: "cholesky".into(),
+                size: 8,
+            },
+            p: Some(32),
+            model: "general".into(),
+            seed: 7,
+            scheduler: "online".into(),
+            mu: Some(0.3),
+            policy: Some("lpt".into()),
+            include_allocations: true,
+        }));
+        let parsed = Request::parse(&req.encode()).unwrap();
+        assert_eq!(parsed, req);
+
+        let inline = Request::Submit(Box::new(SubmitRequest {
+            graph: GraphSpec::Inline("p 4\ntask 0 amdahl(w=2)\n".into()),
+            p: None,
+            model: "amdahl".into(),
+            seed: 42,
+            scheduler: "online".into(),
+            mu: None,
+            policy: None,
+            include_allocations: false,
+        }));
+        assert_eq!(Request::parse(&inline.encode()).unwrap(), inline);
+        for req in [Request::Ping, Request::Stats, Request::Shutdown] {
+            assert_eq!(Request::parse(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_name_the_problem() {
+        let cases: &[(&[u8], &str)] = &[
+            (b"\xff\xfe", "UTF-8"),
+            (b"{", "json error"),
+            (b"[]", "type"),
+            (b"{\"type\":\"frobnicate\"}", "unknown request type"),
+            (b"{\"type\":\"submit\"}", "graph"),
+            (b"{\"type\":\"submit\",\"graph\":{}}", "mtg"),
+            (
+                b"{\"type\":\"submit\",\"graph\":{\"shape\":\"lu\"}}",
+                "size",
+            ),
+            (
+                b"{\"type\":\"submit\",\"graph\":{\"shape\":\"lu\",\"size\":3},\"p\":-1}",
+                "`p`",
+            ),
+            (
+                b"{\"type\":\"submit\",\"graph\":{\"shape\":\"lu\",\"size\":3},\"mu\":\"x\"}",
+                "`mu`",
+            ),
+        ];
+        for (payload, needle) in cases {
+            let e = Request::parse(payload).unwrap_err();
+            assert!(e.contains(needle), "{payload:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn canned_replies_are_valid_json() {
+        let e = crate::json::parse(std::str::from_utf8(&error_reply("boom\"")).unwrap()).unwrap();
+        assert_eq!(e.get("status").unwrap().as_str(), Some("error"));
+        assert_eq!(e.get("error").unwrap().as_str(), Some("boom\""));
+        let o = crate::json::parse(std::str::from_utf8(&overloaded_reply()).unwrap()).unwrap();
+        assert_eq!(o.get("status").unwrap().as_str(), Some("overloaded"));
+    }
+}

@@ -1,0 +1,456 @@
+//! The `moldable-serve` daemon: a multi-threaded TCP server built on
+//! the standard library alone.
+//!
+//! Threading model (see DESIGN.md §"Service layer"):
+//!
+//! * one **acceptor** thread owns the listener;
+//! * one lightweight **connection** thread per client parses frames
+//!   and writes replies (`ping`/`stats`/`shutdown` are answered
+//!   inline so observability survives overload);
+//! * a fixed **worker pool** executes submit requests popped from a
+//!   *bounded* queue; each worker keeps its own warm
+//!   [`AllocCache`](moldable_core::AllocCache)s via
+//!   [`WorkerContext`].
+//!
+//! Backpressure is explicit: when the queue is full the connection
+//! thread replies `{"status": "overloaded"}` immediately — the server
+//! never buffers without bound. A `shutdown` request (or SIGINT via
+//! [`install_drain_signals`]) starts a graceful drain: the acceptor
+//! stops accepting, queued work is finished and answered, then every
+//! thread exits.
+
+use std::collections::VecDeque;
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::json::{obj, Json};
+use crate::proto::{self, FrameError, Request, SubmitRequest};
+use crate::service::{ServiceLimits, WorkerContext};
+use crate::stats::ServerStats;
+
+/// How long a connection thread sleeps between idle polls; bounds the
+/// latency of noticing a drain request.
+const IDLE_TICK: Duration = Duration::from_millis(50);
+
+/// Once a frame has started arriving, how long the rest may take.
+const FRAME_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Compute worker threads.
+    pub workers: usize,
+    /// Bounded request-queue capacity; beyond it submits get
+    /// `overloaded` replies.
+    pub queue_cap: usize,
+    /// Maximum accepted frame size in bytes.
+    pub max_frame: u32,
+    /// Per-request timeout: a submit unanswered after this long gets a
+    /// structured `error` reply.
+    pub request_timeout: Duration,
+    /// Guard rails on request contents.
+    pub limits: ServiceLimits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7464".to_string(),
+            workers: thread::available_parallelism().map_or(4, |n| n.get().min(8)),
+            queue_cap: 256,
+            max_frame: 1 << 20,
+            request_timeout: Duration::from_secs(30),
+            limits: ServiceLimits::default(),
+        }
+    }
+}
+
+/// One queued submit request awaiting a worker.
+struct Job {
+    req: SubmitRequest,
+    reply: mpsc::Sender<Json>,
+    enqueued: Instant,
+}
+
+/// State shared by every server thread.
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    queue_ready: Condvar,
+    draining: AtomicBool,
+    stats: ServerStats,
+    config: ServerConfig,
+    conns: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    fn start_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.queue_ready.notify_all();
+    }
+
+    /// Try to enqueue; `Err` means the queue was full (backpressure).
+    fn enqueue(&self, job: Job) -> Result<(), ()> {
+        let mut q = self.queue.lock().expect("queue lock");
+        if q.len() >= self.config.queue_cap {
+            return Err(());
+        }
+        q.push_back(job);
+        self.stats
+            .queue_depth
+            .store(q.len() as u64, Ordering::Relaxed);
+        drop(q);
+        self.queue_ready.notify_one();
+        Ok(())
+    }
+
+    /// Pop the next job; `None` once draining and empty.
+    fn dequeue(&self) -> Option<Job> {
+        let mut q = self.queue.lock().expect("queue lock");
+        loop {
+            if let Some(job) = q.pop_front() {
+                self.stats
+                    .queue_depth
+                    .store(q.len() as u64, Ordering::Relaxed);
+                return Some(job);
+            }
+            if self.draining() {
+                return None;
+            }
+            let (guard, _) = self
+                .queue_ready
+                .wait_timeout(q, Duration::from_millis(100))
+                .expect("queue lock");
+            q = guard;
+        }
+    }
+}
+
+/// A running daemon. Dropping without [`Server::join`] leaks threads;
+/// call [`Server::trigger_drain`] + [`Server::join`] (or use
+/// [`Server::run_until_drained`]).
+pub struct Server {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<thread::JoinHandle<()>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start accepting. Returns once the listener is live —
+    /// [`Server::local_addr`] is immediately connectable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(config: ServerConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            queue_ready: Condvar::new(),
+            draining: AtomicBool::new(false),
+            stats: ServerStats::new(),
+            config,
+            conns: Mutex::new(Vec::new()),
+        });
+
+        let worker_handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("serve-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn acceptor")
+        };
+
+        Ok(Self {
+            local_addr,
+            shared,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Live counters (shared with every thread).
+    #[must_use]
+    pub fn stats(&self) -> &ServerStats {
+        &self.shared.stats
+    }
+
+    /// Whether a drain has been requested (by [`Server::trigger_drain`]
+    /// or a `shutdown` request).
+    #[must_use]
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining()
+    }
+
+    /// Begin a graceful drain: stop accepting, finish queued work.
+    pub fn trigger_drain(&self) {
+        self.shared.start_drain();
+    }
+
+    /// Wait for every thread to exit (drain must have been triggered,
+    /// or this blocks until a `shutdown` request arrives).
+    pub fn join(mut self) {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        let conns = std::mem::take(&mut *self.shared.conns.lock().expect("conn list"));
+        for c in conns {
+            let _ = c.join();
+        }
+    }
+
+    /// Convenience for the CLI: block until a drain is requested (via
+    /// `shutdown` request or [`install_drain_signals`]'s SIGINT/SIGTERM
+    /// flag), then drain and join.
+    pub fn run_until_drained(self) {
+        while !self.is_draining() && !drain_requested() {
+            thread::sleep(IDLE_TICK);
+        }
+        self.trigger_drain();
+        self.join();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        if shared.draining() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                ServerStats::bump(&shared.stats.connections);
+                let shared2 = Arc::clone(shared);
+                let handle = thread::Builder::new()
+                    .name("serve-conn".to_string())
+                    .spawn(move || {
+                        let _ = connection_loop(stream, &shared2);
+                    })
+                    .expect("spawn connection thread");
+                shared.conns.lock().expect("conn list").push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(IDLE_TICK);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => thread::sleep(IDLE_TICK),
+        }
+    }
+}
+
+/// Wait for the first byte of a frame with short timeouts so the
+/// thread stays responsive to drain; returns `None` on EOF or when
+/// draining while idle.
+fn sniff_first_byte(stream: &mut TcpStream, shared: &Shared) -> io::Result<Option<u8>> {
+    let mut first = [0u8; 1];
+    loop {
+        match stream.read(&mut first) {
+            Ok(0) => return Ok(None),
+            Ok(_) => return Ok(Some(first[0])),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.draining() {
+                    return Ok(None);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(IDLE_TICK))?;
+    let max_frame = shared.config.max_frame;
+    loop {
+        let Some(first) = sniff_first_byte(&mut stream, shared)? else {
+            return Ok(()); // clean EOF or idle at drain
+        };
+        // A frame is arriving: commit to it with a generous timeout.
+        stream.set_read_timeout(Some(FRAME_TIMEOUT))?;
+        let payload = match proto::read_frame_rest(&mut stream, first, max_frame) {
+            Ok(p) => p,
+            Err(FrameError::TooLarge { announced, limit }) => {
+                ServerStats::bump(&shared.stats.errors);
+                proto::write_frame(
+                    &mut stream,
+                    &proto::error_reply(&format!(
+                        "frame of {announced} bytes exceeds limit {limit}"
+                    )),
+                )?;
+                stream.set_read_timeout(Some(IDLE_TICK))?;
+                continue;
+            }
+            Err(FrameError::Corrupt(n)) => {
+                ServerStats::bump(&shared.stats.errors);
+                let _ = proto::write_frame(
+                    &mut stream,
+                    &proto::error_reply(&format!("implausible frame length {n}; closing")),
+                );
+                return Ok(());
+            }
+            Err(FrameError::Io(e)) => return Err(e),
+        };
+        stream.set_read_timeout(Some(IDLE_TICK))?;
+
+        let reply: Vec<u8> = match Request::parse(&payload) {
+            Err(msg) => {
+                ServerStats::bump(&shared.stats.errors);
+                proto::error_reply(&msg)
+            }
+            Ok(Request::Ping) => obj(vec![
+                ("status", Json::Str("ok".into())),
+                ("pong", Json::Bool(true)),
+            ])
+            .encode()
+            .into_bytes(),
+            Ok(Request::Stats) => obj(vec![
+                ("status", Json::Str("ok".into())),
+                ("draining", Json::Bool(shared.draining())),
+                ("stats", shared.stats.to_json()),
+            ])
+            .encode()
+            .into_bytes(),
+            Ok(Request::Shutdown) => {
+                shared.start_drain();
+                obj(vec![
+                    ("status", Json::Str("ok".into())),
+                    ("draining", Json::Bool(true)),
+                ])
+                .encode()
+                .into_bytes()
+            }
+            Ok(Request::Submit(req)) => handle_submit(*req, shared),
+        };
+        proto::write_frame(&mut stream, &reply)?;
+    }
+}
+
+/// Enqueue a submit and wait for its reply (or reject/timeout).
+fn handle_submit(req: SubmitRequest, shared: &Shared) -> Vec<u8> {
+    if shared.draining() {
+        ServerStats::bump(&shared.stats.errors);
+        return proto::error_reply("server is draining");
+    }
+    let (tx, rx) = mpsc::channel();
+    let job = Job {
+        req,
+        reply: tx,
+        enqueued: Instant::now(),
+    };
+    if shared.enqueue(job).is_err() {
+        ServerStats::bump(&shared.stats.rejected_overload);
+        return proto::overloaded_reply();
+    }
+    ServerStats::bump(&shared.stats.accepted);
+    match rx.recv_timeout(shared.config.request_timeout) {
+        Ok(json) => json.encode().into_bytes(),
+        Err(_) => {
+            ServerStats::bump(&shared.stats.timeouts);
+            proto::error_reply("request timed out")
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut ctx = WorkerContext::with_limits(shared.config.limits);
+    while let Some(job) = shared.dequeue() {
+        let reply = ctx.handle(&job.req);
+        let ok = reply.get("status").and_then(Json::as_str) == Some("ok");
+        ServerStats::bump(if ok {
+            &shared.stats.completed
+        } else {
+            &shared.stats.errors
+        });
+        shared.stats.latency.record(job.enqueued.elapsed());
+        // A gone receiver (client timed out or hung up) is fine.
+        let _ = job.reply.send(reply);
+    }
+}
+
+#[cfg(unix)]
+mod drain_signal {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub(super) static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_sig: i32) {
+        // async-signal-safe: a single atomic store.
+        TRIGGERED.store(true, Ordering::SeqCst);
+    }
+
+    pub(super) fn install() {
+        // `signal(2)` from libc, which every Rust binary on unix links
+        // already — no new dependency. SIG_ERR is ignored: failing to
+        // install a handler only loses Ctrl-C niceness.
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        let h = on_signal as extern "C" fn(i32) as usize;
+        // SAFETY: installing an async-signal-safe handler (it performs
+        // one atomic store) for signals we own as a daemon binary.
+        unsafe {
+            signal(SIGINT, h);
+            signal(SIGTERM, h);
+        }
+    }
+}
+
+/// Install SIGINT/SIGTERM handlers that flag a graceful drain (no-op
+/// off unix). Pair with [`Server::run_until_drained`].
+pub fn install_drain_signals() {
+    #[cfg(unix)]
+    drain_signal::install();
+}
+
+/// Whether a drain signal has fired since [`install_drain_signals`].
+#[must_use]
+pub fn drain_requested() -> bool {
+    #[cfg(unix)]
+    {
+        drain_signal::TRIGGERED.load(Ordering::SeqCst)
+    }
+    #[cfg(not(unix))]
+    {
+        false
+    }
+}

@@ -1,0 +1,428 @@
+//! Request execution: turn one [`SubmitRequest`] into a reply.
+//!
+//! This is the reusable request→instance constructor: the daemon's
+//! worker pool, the `perf_smoke` bench, and tests all call
+//! [`WorkerContext::handle`] directly, so the service path can be
+//! measured and exercised without a socket in sight.
+
+use std::collections::HashMap;
+
+use moldable_core::{baselines, AllocCache, OnlineScheduler, QueuePolicy};
+use moldable_graph::{gen, parse_workflow, TaskGraph};
+use moldable_model::ModelClass;
+use moldable_sim::{simulate, Schedule, SimOptions};
+
+use crate::json::{obj, Json};
+use crate::proto::{GraphSpec, SubmitRequest};
+
+/// Guard rails applied to every submit request.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceLimits {
+    /// Reject graphs with more tasks than this (after construction for
+    /// inline specs, enforced for generated shapes too).
+    pub max_tasks: usize,
+    /// Largest accepted `size` parameter for named generators (some
+    /// shapes are cubic in `size`; the task cap is what really binds).
+    pub max_shape_size: u32,
+    /// Largest accepted platform size.
+    pub max_p: u32,
+}
+
+impl Default for ServiceLimits {
+    fn default() -> Self {
+        Self {
+            max_tasks: 1_000_000,
+            max_shape_size: 100_000,
+            max_p: 1 << 20,
+        }
+    }
+}
+
+/// Per-worker state reused across requests: one [`AllocCache`] per
+/// distinct `(P, μ)` pair seen by this worker, so repeated traffic
+/// against the same platform skips the Algorithm 2 binary search for
+/// every model it has seen before.
+#[derive(Debug, Default)]
+pub struct WorkerContext {
+    caches: HashMap<(u32, u64), AllocCache>,
+    limits: ServiceLimits,
+}
+
+impl WorkerContext {
+    /// Fresh context with default limits.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fresh context with explicit limits.
+    #[must_use]
+    pub fn with_limits(limits: ServiceLimits) -> Self {
+        Self {
+            caches: HashMap::new(),
+            limits,
+        }
+    }
+
+    /// Distinct `(P, μ)` caches currently held.
+    #[must_use]
+    pub fn cache_count(&self) -> usize {
+        self.caches.len()
+    }
+
+    /// Total distinct models interned across all held caches.
+    #[must_use]
+    pub fn interned_models(&self) -> usize {
+        self.caches.values().map(AllocCache::len).sum()
+    }
+
+    /// Execute one submit request, returning the reply body.
+    /// Infallible at this layer: every failure becomes a structured
+    /// `{"status": "error"}` object.
+    #[must_use]
+    pub fn handle(&mut self, req: &SubmitRequest) -> Json {
+        match self.try_handle(req) {
+            Ok(v) => v,
+            Err(msg) => obj(vec![
+                ("status", Json::Str("error".into())),
+                ("error", Json::Str(msg)),
+            ]),
+        }
+    }
+
+    fn try_handle(&mut self, req: &SubmitRequest) -> Result<Json, String> {
+        let (graph, p) = self.build_graph(req)?;
+        let class = parse_model_class(&req.model)?;
+        let class = match &req.graph {
+            // Inline workflows carry their own models; their class (if
+            // homogeneous) beats the request's default.
+            GraphSpec::Inline(_) => graph.model_class().unwrap_or(class),
+            GraphSpec::Named { .. } => class,
+        };
+        let schedule = self.run_scheduler(req, &graph, p, class)?;
+        schedule
+            .validate(&graph)
+            .map_err(|e| format!("produced invalid schedule: {e}"))?;
+
+        let b = graph.bounds(p);
+        let lb = b.lower_bound();
+        #[allow(clippy::cast_precision_loss)]
+        let mut members = vec![
+            ("status", Json::Str("ok".into())),
+            ("n_tasks", Json::Num(graph.n_tasks() as f64)),
+            ("p", Json::Num(f64::from(p))),
+            ("makespan", Json::Num(schedule.makespan)),
+            ("lower_bound", Json::Num(lb)),
+            (
+                "normalized",
+                Json::Num(if lb > 0.0 { schedule.makespan / lb } else { 1.0 }),
+            ),
+            ("utilization", Json::Num(schedule.utilization())),
+        ];
+        if req.include_allocations {
+            members.push(("allocations", allocations_json(&schedule)));
+        }
+        Ok(obj(members))
+    }
+
+    fn build_graph(&self, req: &SubmitRequest) -> Result<(TaskGraph, u32), String> {
+        let limits = self.limits;
+        // Validate `p` before any generator runs (the samplers assert
+        // on `p = 0`; the service must reply, not panic).
+        if let Some(p) = req.p {
+            if p < 1 || p > limits.max_p {
+                return Err(format!("`p` = {p} outside [1, {}]", limits.max_p));
+            }
+        }
+        let (graph, hint) = match &req.graph {
+            GraphSpec::Inline(mtg) => parse_workflow(mtg).map_err(|e| format!("bad mtg: {e}"))?,
+            GraphSpec::Named { shape, size } => {
+                if *size > limits.max_shape_size {
+                    return Err(format!(
+                        "size {size} exceeds the limit {}",
+                        limits.max_shape_size
+                    ));
+                }
+                let class = parse_model_class(&req.model)?;
+                let p = req.p.ok_or("generated graphs require `p`")?;
+                let g = gen::by_name(shape, *size, class, p, req.seed)?;
+                (g, Some(p))
+            }
+        };
+        if graph.n_tasks() > limits.max_tasks {
+            return Err(format!(
+                "graph has {} tasks, more than the limit {}",
+                graph.n_tasks(),
+                limits.max_tasks
+            ));
+        }
+        let p = match req.p.or(hint) {
+            Some(p) if p >= 1 && p <= limits.max_p => p,
+            Some(p) => return Err(format!("`p` = {p} outside [1, {}]", limits.max_p)),
+            None => return Err("no `p` given and the workflow has no `p` hint".to_string()),
+        };
+        Ok((graph, p))
+    }
+
+    fn run_scheduler(
+        &mut self,
+        req: &SubmitRequest,
+        graph: &TaskGraph,
+        p: u32,
+        class: ModelClass,
+    ) -> Result<Schedule, String> {
+        let opts = if req.include_allocations {
+            SimOptions::new(p).with_proc_ids()
+        } else {
+            SimOptions::new(p)
+        };
+        let sim_err = |e: moldable_sim::SimError| format!("simulation failed: {e}");
+        match req.scheduler.as_str() {
+            "online" => {
+                let mu = req.mu.unwrap_or_else(|| class.optimal_mu());
+                if !(mu > 0.0 && mu <= moldable_model::MU_MAX + 1e-12) {
+                    return Err(format!(
+                        "mu must lie in (0, {:.6}], got {mu}",
+                        moldable_model::MU_MAX
+                    ));
+                }
+                let mut s = OnlineScheduler::with_mu(mu);
+                if let Some(name) = &req.policy {
+                    let policy = QueuePolicy::all()
+                        .into_iter()
+                        .find(|p| p.name() == name)
+                        .ok_or_else(|| format!("unknown policy `{name}`"))?;
+                    s = s.with_policy(policy);
+                }
+                // Reuse this worker's warm cache for the (P, μ) pair.
+                if let Some(cache) = self.caches.remove(&(p, mu.to_bits())) {
+                    s = s.with_alloc_cache(cache);
+                }
+                let result = simulate(graph, &mut s, &opts);
+                if let Some(cache) = s.take_alloc_cache() {
+                    self.caches.insert((p, mu.to_bits()), cache);
+                }
+                result.map_err(sim_err)
+            }
+            "one-proc" => simulate(graph, &mut baselines::one_proc(), &opts).map_err(sim_err),
+            "max-proc" => simulate(graph, &mut baselines::max_proc(), &opts).map_err(sim_err),
+            "ect" => simulate(graph, &mut baselines::EctScheduler::new(), &opts).map_err(sim_err),
+            "equal-share" => {
+                simulate(graph, &mut baselines::EqualShareScheduler::new(), &opts).map_err(sim_err)
+            }
+            "backfill" => {
+                let mu = req.mu.unwrap_or_else(|| class.optimal_mu());
+                simulate(
+                    graph,
+                    &mut moldable_core::EasyBackfillScheduler::new(mu),
+                    &opts,
+                )
+                .map_err(sim_err)
+            }
+            "adaptive" => {
+                simulate(graph, &mut moldable_core::AdaptiveScheduler::new(), &opts).map_err(sim_err)
+            }
+            "cpa" => {
+                let allocs = moldable_offline::cpa_allocations(graph, p);
+                let mut s = moldable_offline::cpa::FixedAllocScheduler::new(allocs);
+                simulate(graph, &mut s, &opts).map_err(sim_err)
+            }
+            other => Err(format!("unknown scheduler `{other}`")),
+        }
+    }
+}
+
+/// Parse a model-class name (the same names the CLI accepts).
+fn parse_model_class(name: &str) -> Result<ModelClass, String> {
+    Ok(match name {
+        "roofline" => ModelClass::Roofline,
+        "communication" | "comm" => ModelClass::Communication,
+        "amdahl" => ModelClass::Amdahl,
+        "general" => ModelClass::General,
+        other => return Err(format!("unknown model class `{other}`")),
+    })
+}
+
+fn allocations_json(schedule: &Schedule) -> Json {
+    Json::Arr(
+        schedule
+            .placements
+            .iter()
+            .map(|pl| {
+                #[allow(clippy::cast_precision_loss)]
+                obj(vec![
+                    ("task", Json::Num(pl.task.index() as f64)),
+                    ("procs", Json::Num(f64::from(pl.procs))),
+                    ("start", Json::Num(pl.start)),
+                    ("end", Json::Num(pl.end)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{GraphSpec, SubmitRequest};
+
+    fn named(shape: &str, size: u32, p: u32, seed: u64) -> SubmitRequest {
+        SubmitRequest {
+            graph: GraphSpec::Named {
+                shape: shape.into(),
+                size,
+            },
+            p: Some(p),
+            model: "amdahl".into(),
+            seed,
+            scheduler: "online".into(),
+            mu: None,
+            policy: None,
+            include_allocations: false,
+        }
+    }
+
+    #[test]
+    fn submit_produces_consistent_summary() {
+        let mut ctx = WorkerContext::new();
+        let r = ctx.handle(&named("cholesky", 6, 32, 7));
+        assert_eq!(r.get("status").unwrap().as_str(), Some("ok"));
+        let makespan = r.get("makespan").unwrap().as_f64().unwrap();
+        let lb = r.get("lower_bound").unwrap().as_f64().unwrap();
+        let normalized = r.get("normalized").unwrap().as_f64().unwrap();
+        assert!(makespan >= lb);
+        assert!((normalized - makespan / lb).abs() < 1e-9);
+        // Theorem 3 bound for Amdahl: 4.74 x the lower bound.
+        assert!(normalized <= 4.74 + 1e-9);
+    }
+
+    #[test]
+    fn same_seed_same_answer_and_cache_reuse() {
+        let mut ctx = WorkerContext::new();
+        let a = ctx.handle(&named("layered", 8, 64, 123));
+        let interned_after_first = ctx.interned_models();
+        let b = ctx.handle(&named("layered", 8, 64, 123));
+        assert_eq!(a, b, "per-seed determinism");
+        assert_eq!(ctx.cache_count(), 1, "one (P, mu) pair");
+        assert_eq!(
+            ctx.interned_models(),
+            interned_after_first,
+            "second identical request interned nothing new"
+        );
+        // A different platform size forms a second cache.
+        let _ = ctx.handle(&named("layered", 8, 32, 123));
+        assert_eq!(ctx.cache_count(), 2);
+    }
+
+    #[test]
+    fn inline_mtg_uses_hint_and_allocations_are_reported() {
+        let mut ctx = WorkerContext::new();
+        let req = SubmitRequest {
+            graph: GraphSpec::Inline(
+                "p 8\ntask 0 amdahl(w=4, d=1)\ntask 1 amdahl(w=2, d=0.5)\nedge 0 1\n".into(),
+            ),
+            p: None,
+            model: "amdahl".into(),
+            seed: 0,
+            scheduler: "online".into(),
+            mu: None,
+            policy: None,
+            include_allocations: true,
+        };
+        let r = ctx.handle(&req);
+        assert_eq!(r.get("status").unwrap().as_str(), Some("ok"), "{r:?}");
+        assert_eq!(r.get("p").unwrap().as_u64(), Some(8), "p hint picked up");
+        let allocs = r.get("allocations").unwrap().as_arr().unwrap();
+        assert_eq!(allocs.len(), 2);
+        assert!(allocs[0].get("procs").unwrap().as_u64().unwrap() >= 1);
+    }
+
+    #[test]
+    fn every_scheduler_name_runs() {
+        let mut ctx = WorkerContext::new();
+        for sched in [
+            "online",
+            "one-proc",
+            "max-proc",
+            "ect",
+            "equal-share",
+            "backfill",
+            "adaptive",
+            "cpa",
+        ] {
+            let mut req = named("lu", 3, 16, 1);
+            req.scheduler = sched.into();
+            let r = ctx.handle(&req);
+            assert_eq!(r.get("status").unwrap().as_str(), Some("ok"), "{sched}");
+        }
+    }
+
+    #[test]
+    fn errors_are_structured_not_panics() {
+        let mut ctx = WorkerContext::with_limits(ServiceLimits {
+            max_tasks: 10,
+            max_shape_size: 4,
+            max_p: 64,
+        });
+        let cases = [
+            (named("hexagon", 3, 8, 1), "unknown shape"),
+            (named("chain", 99, 8, 1), "exceeds the limit"),
+            (named("cholesky", 4, 8, 1), "more than the limit"),
+            (named("chain", 3, 0, 1), "outside"),
+            (named("chain", 3, 1 << 10, 1), "outside"),
+            (
+                {
+                    let mut r = named("chain", 3, 8, 1);
+                    r.scheduler = "bogus".into();
+                    r
+                },
+                "unknown scheduler",
+            ),
+            (
+                {
+                    let mut r = named("chain", 3, 8, 1);
+                    r.mu = Some(0.7);
+                    r
+                },
+                "mu must lie",
+            ),
+            (
+                {
+                    let mut r = named("chain", 3, 8, 1);
+                    r.policy = Some("bogus".into());
+                    r
+                },
+                "unknown policy",
+            ),
+            (
+                {
+                    let mut r = named("chain", 3, 8, 1);
+                    r.model = "bogus".into();
+                    r
+                },
+                "unknown model class",
+            ),
+            (
+                SubmitRequest {
+                    graph: GraphSpec::Inline("task 0 nonsense(w=1)\n".into()),
+                    ..named("chain", 3, 8, 1)
+                },
+                "bad mtg",
+            ),
+            (
+                SubmitRequest {
+                    graph: GraphSpec::Inline("task 0 amdahl(w=1)\n".into()),
+                    p: None,
+                    ..named("chain", 3, 8, 1)
+                },
+                "no `p` given",
+            ),
+        ];
+        for (req, needle) in cases {
+            let r = ctx.handle(&req);
+            assert_eq!(r.get("status").unwrap().as_str(), Some("error"), "{req:?}");
+            let msg = r.get("error").unwrap().as_str().unwrap();
+            assert!(msg.contains(needle), "`{msg}` missing `{needle}`");
+        }
+    }
+}

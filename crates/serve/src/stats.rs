@@ -1,0 +1,259 @@
+//! Server observability: lock-free counters and a log-scale latency
+//! histogram answering the `stats` request.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::json::{obj, Json};
+
+/// Number of histogram buckets. Bucket `i` covers latencies in
+/// `[2^(i/2), 2^((i+1)/2))` microseconds — half-powers of two give
+/// ≤ ~41% relative quantile error over `1 µs … ~9 h`, plenty for
+/// p50/p95/p99 reporting.
+const BUCKETS: usize = 64;
+
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+fn bucket_of(micros: u64) -> usize {
+    if micros == 0 {
+        return 0;
+    }
+    // 2 * log2(micros), clamped.
+    let idx = (2.0 * (micros as f64).log2()).floor().max(0.0) as usize;
+    idx.min(BUCKETS - 1)
+}
+
+/// Upper edge (in µs) of bucket `i`, used as the quantile estimate.
+fn bucket_upper(i: usize) -> f64 {
+    #[allow(clippy::cast_precision_loss)]
+    2f64.powf((i as f64 + 1.0) / 2.0)
+}
+
+/// A concurrently-updatable latency histogram (microsecond domain).
+#[derive(Debug)]
+pub struct LatencyHisto {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+impl Default for LatencyHisto {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHisto {
+    /// A fresh, empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+            max_micros: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&self, d: Duration) {
+        let micros = u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+        self.buckets[bucket_of(micros)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Estimate the `q`-quantile (`0 < q ≤ 1`) in milliseconds.
+    /// Returns 0 for an empty histogram.
+    #[must_use]
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Clamp the top estimate to the observed maximum.
+                #[allow(clippy::cast_precision_loss)]
+                let max_ms = self.max_micros.load(Ordering::Relaxed) as f64 / 1000.0;
+                return (bucket_upper(i) / 1000.0).min(max_ms);
+            }
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let max_ms = self.max_micros.load(Ordering::Relaxed) as f64 / 1000.0;
+        max_ms
+    }
+
+    /// Mean latency in milliseconds (0 when empty).
+    #[must_use]
+    pub fn mean_ms(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let mean = self.sum_micros.load(Ordering::Relaxed) as f64 / n as f64 / 1000.0;
+        mean
+    }
+
+    /// Maximum observed latency in milliseconds.
+    #[must_use]
+    pub fn max_ms(&self) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        let max = self.max_micros.load(Ordering::Relaxed) as f64 / 1000.0;
+        max
+    }
+
+    /// Render as a JSON object for the `stats` reply.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        #[allow(clippy::cast_precision_loss)]
+        obj(vec![
+            ("count", Json::Num(self.count() as f64)),
+            ("mean_ms", Json::Num(self.mean_ms())),
+            ("p50_ms", Json::Num(self.quantile_ms(0.50))),
+            ("p95_ms", Json::Num(self.quantile_ms(0.95))),
+            ("p99_ms", Json::Num(self.quantile_ms(0.99))),
+            ("max_ms", Json::Num(self.max_ms())),
+        ])
+    }
+}
+
+/// Counters shared by every server thread.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted over the server's lifetime.
+    pub connections: AtomicU64,
+    /// Submit requests accepted into the queue.
+    pub accepted: AtomicU64,
+    /// Submit requests completed successfully.
+    pub completed: AtomicU64,
+    /// Submit requests rejected with `overloaded` (queue full).
+    pub rejected_overload: AtomicU64,
+    /// Requests answered with a structured error.
+    pub errors: AtomicU64,
+    /// Requests that hit the per-request timeout.
+    pub timeouts: AtomicU64,
+    /// Current queue depth (approximate under concurrency).
+    pub queue_depth: AtomicU64,
+    /// End-to-end latency of completed submits (enqueue → reply built).
+    pub latency: LatencyHisto,
+}
+
+impl ServerStats {
+    /// Fresh zeroed stats.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bump a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Render the `stats` reply body.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let n = |c: &AtomicU64| {
+            #[allow(clippy::cast_precision_loss)]
+            Json::Num(c.load(Ordering::Relaxed) as f64)
+        };
+        obj(vec![
+            ("connections", n(&self.connections)),
+            ("accepted", n(&self.accepted)),
+            ("completed", n(&self.completed)),
+            ("rejected_overload", n(&self.rejected_overload)),
+            ("errors", n(&self.errors)),
+            ("timeouts", n(&self.timeouts)),
+            ("queue_depth", n(&self.queue_depth)),
+            ("latency", self.latency.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LatencyHisto::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_ms(0.5), 0.0);
+        assert_eq!(h.mean_ms(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_true_values() {
+        let h = LatencyHisto::new();
+        // 1..=1000 ms, uniform.
+        for ms in 1..=1000u64 {
+            h.record(Duration::from_millis(ms));
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile_ms(0.50);
+        let p99 = h.quantile_ms(0.99);
+        // Log buckets give ≤ 41% relative error on the upper side.
+        assert!((400.0..=750.0).contains(&p50), "p50 = {p50}");
+        assert!((900.0..=1000.0).contains(&p99), "p99 = {p99}");
+        assert!(p50 <= h.quantile_ms(0.95), "quantiles are monotone");
+        assert!(h.quantile_ms(0.95) <= p99 + 1e-9);
+        assert!((h.mean_ms() - 500.5).abs() < 1.0);
+        assert!((h.max_ms() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_clamps_the_top_bucket_estimate() {
+        let h = LatencyHisto::new();
+        h.record(Duration::from_micros(3));
+        // One observation: every quantile is that observation, and the
+        // bucket-edge estimate must not exceed the recorded max.
+        assert!(h.quantile_ms(0.99) <= 0.003 + 1e-12);
+    }
+
+    #[test]
+    fn tiny_and_huge_latencies_stay_in_range() {
+        let h = LatencyHisto::new();
+        h.record(Duration::ZERO);
+        h.record(Duration::from_secs(36_000));
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile_ms(1.0) <= 36_000_000.0);
+    }
+
+    #[test]
+    fn stats_json_has_all_fields() {
+        let s = ServerStats::new();
+        ServerStats::bump(&s.accepted);
+        s.latency.record(Duration::from_millis(5));
+        let j = s.to_json();
+        for key in [
+            "connections",
+            "accepted",
+            "completed",
+            "rejected_overload",
+            "errors",
+            "timeouts",
+            "queue_depth",
+            "latency",
+        ] {
+            assert!(j.get(key).is_some(), "{key}");
+        }
+        assert_eq!(j.get("accepted").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            j.get("latency").unwrap().get("count").unwrap().as_u64(),
+            Some(1)
+        );
+    }
+}

@@ -1,0 +1,308 @@
+//! End-to-end daemon tests: real sockets, real threads, ephemeral
+//! ports. Each test starts its own server on `127.0.0.1:0` so they can
+//! run concurrently.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use moldable_serve::json;
+use moldable_serve::loadgen::{self, Client, LoadConfig, LoadMode};
+use moldable_serve::proto::{self, GraphSpec, Request, SubmitRequest};
+use moldable_serve::server::{Server, ServerConfig};
+
+fn ephemeral(config: ServerConfig) -> Server {
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        ..config
+    })
+    .expect("bind ephemeral port")
+}
+
+fn submit(shape: &str, size: u32, p: u32, seed: u64) -> Request {
+    Request::Submit(Box::new(SubmitRequest {
+        graph: GraphSpec::Named {
+            shape: shape.into(),
+            size,
+        },
+        p: Some(p),
+        model: "amdahl".into(),
+        seed,
+        scheduler: "online".into(),
+        mu: None,
+        policy: None,
+        include_allocations: false,
+    }))
+}
+
+#[test]
+fn submit_stats_shutdown_end_to_end() {
+    let server = ephemeral(ServerConfig::default());
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    let pong = client.call(&Request::Ping).unwrap();
+    assert_eq!(pong.get("status").unwrap().as_str(), Some("ok"));
+    assert_eq!(pong.get("pong").unwrap().as_bool(), Some(true));
+
+    let reply = client.call(&submit("cholesky", 5, 32, 7)).unwrap();
+    assert_eq!(reply.get("status").unwrap().as_str(), Some("ok"), "{reply:?}");
+    let makespan = reply.get("makespan").unwrap().as_f64().unwrap();
+    let lb = reply.get("lower_bound").unwrap().as_f64().unwrap();
+    assert!(makespan >= lb && lb > 0.0);
+
+    let stats = client.call(&Request::Stats).unwrap();
+    assert_eq!(stats.get("status").unwrap().as_str(), Some("ok"));
+    assert_eq!(stats.get("draining").unwrap().as_bool(), Some(false));
+    let s = stats.get("stats").unwrap();
+    assert!(s.get("completed").unwrap().as_u64().unwrap() >= 1);
+    assert!(s.get("connections").unwrap().as_u64().unwrap() >= 1);
+    assert!(
+        s.get("latency").unwrap().get("count").unwrap().as_u64().unwrap() >= 1,
+        "latency histogram recorded the submit"
+    );
+
+    let bye = client.call(&Request::Shutdown).unwrap();
+    assert_eq!(bye.get("status").unwrap().as_str(), Some("ok"));
+    assert_eq!(bye.get("draining").unwrap().as_bool(), Some(true));
+    assert!(server.is_draining());
+    drop(client);
+    server.join(); // must terminate — a hang here fails via test timeout
+}
+
+#[test]
+fn zero_capacity_queue_always_replies_overloaded() {
+    let server = ephemeral(ServerConfig {
+        queue_cap: 0,
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    for _ in 0..3 {
+        let reply = client.call(&submit("chain", 4, 8, 1)).unwrap();
+        assert_eq!(reply.get("status").unwrap().as_str(), Some("overloaded"));
+    }
+    let stats = client.call(&Request::Stats).unwrap();
+    let rejected = stats
+        .get("stats")
+        .unwrap()
+        .get("rejected_overload")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    assert_eq!(rejected, 3, "every submit was rejected with backpressure");
+    server.trigger_drain();
+    drop(client);
+    server.join();
+}
+
+#[test]
+fn malformed_payload_gets_error_and_connection_survives() {
+    let server = ephemeral(ServerConfig::default());
+    let addr = server.local_addr().to_string();
+    let mut stream = TcpStream::connect(&addr).unwrap();
+
+    proto::write_frame(&mut stream, b"this is not json").unwrap();
+    let reply = proto::read_frame(&mut stream, 1 << 20).unwrap().unwrap();
+    let v = json::parse(std::str::from_utf8(&reply).unwrap()).unwrap();
+    assert_eq!(v.get("status").unwrap().as_str(), Some("error"));
+
+    // The connection is still usable afterwards.
+    proto::write_frame(&mut stream, b"{\"type\":\"ping\"}").unwrap();
+    let reply = proto::read_frame(&mut stream, 1 << 20).unwrap().unwrap();
+    let v = json::parse(std::str::from_utf8(&reply).unwrap()).unwrap();
+    assert_eq!(v.get("pong").unwrap().as_bool(), Some(true));
+
+    server.trigger_drain();
+    drop(stream);
+    server.join();
+}
+
+#[test]
+fn oversized_frame_gets_error_and_connection_survives() {
+    let server = ephemeral(ServerConfig {
+        max_frame: 128,
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr().to_string();
+    let mut stream = TcpStream::connect(&addr).unwrap();
+
+    let big = vec![b' '; 4096];
+    proto::write_frame(&mut stream, &big).unwrap();
+    let reply = proto::read_frame(&mut stream, 1 << 20).unwrap().unwrap();
+    let v = json::parse(std::str::from_utf8(&reply).unwrap()).unwrap();
+    assert_eq!(v.get("status").unwrap().as_str(), Some("error"));
+    assert!(
+        v.get("error").unwrap().as_str().unwrap().contains("exceeds limit"),
+        "{v:?}"
+    );
+
+    proto::write_frame(&mut stream, b"{\"type\":\"ping\"}").unwrap();
+    let reply = proto::read_frame(&mut stream, 1 << 20).unwrap().unwrap();
+    let v = json::parse(std::str::from_utf8(&reply).unwrap()).unwrap();
+    assert_eq!(v.get("pong").unwrap().as_bool(), Some(true));
+
+    server.trigger_drain();
+    drop(stream);
+    server.join();
+}
+
+#[test]
+fn corrupt_length_prefix_closes_the_connection() {
+    let server = ephemeral(ServerConfig::default());
+    let addr = server.local_addr().to_string();
+    let mut stream = TcpStream::connect(&addr).unwrap();
+
+    // Announce a frame bigger than the absolute ceiling.
+    let bogus = (proto::ABSOLUTE_MAX_FRAME + 1).to_be_bytes();
+    stream.write_all(&bogus).unwrap();
+    stream.flush().unwrap();
+
+    // The server sends a final error frame, then closes.
+    let reply = proto::read_frame(&mut stream, 1 << 20).unwrap().unwrap();
+    let v = json::parse(std::str::from_utf8(&reply).unwrap()).unwrap();
+    assert_eq!(v.get("status").unwrap().as_str(), Some("error"));
+
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut rest = Vec::new();
+    let n = stream.read_to_end(&mut rest).unwrap();
+    assert_eq!(n, 0, "connection closed after the corrupt frame");
+
+    server.trigger_drain();
+    drop(stream);
+    server.join();
+}
+
+#[test]
+fn same_seed_same_makespan_across_connections() {
+    let server = ephemeral(ServerConfig::default());
+    let addr = server.local_addr().to_string();
+    let mut makespans = Vec::new();
+    for _ in 0..3 {
+        let mut client = Client::connect(&addr).unwrap();
+        let reply = client.call(&submit("layered", 8, 64, 99)).unwrap();
+        assert_eq!(reply.get("status").unwrap().as_str(), Some("ok"));
+        makespans.push(reply.get("makespan").unwrap().as_f64().unwrap());
+    }
+    assert!(
+        makespans.windows(2).all(|w| w[0].to_bits() == w[1].to_bits()),
+        "per-seed determinism across connections: {makespans:?}"
+    );
+    server.trigger_drain();
+    server.join();
+}
+
+#[test]
+fn loadgen_closed_loop_sustains_concurrent_clients() {
+    let server = ephemeral(ServerConfig::default());
+    let config = LoadConfig {
+        addr: server.local_addr().to_string(),
+        clients: 4,
+        requests: 120,
+        mode: LoadMode::Closed,
+        shape: "cholesky".into(),
+        size: 4,
+        distinct_seeds: 8,
+        ..LoadConfig::default()
+    };
+    let report = loadgen::run(&config).unwrap();
+    assert_eq!(report.sent, 120);
+    assert_eq!(report.ok, 120, "no drops under closed-loop load");
+    assert_eq!(report.transport_failures, 0);
+    assert_eq!(report.overloaded, 0);
+    assert!(report.deterministic, "per-seed makespans bit-equal");
+    assert_eq!(report.seeds_observed, 8);
+    assert!(report.throughput_rps() > 0.0);
+    let j = report.to_json(&config);
+    assert_eq!(j.get("ok").unwrap().as_u64(), Some(120));
+    server.trigger_drain();
+    server.join();
+}
+
+#[test]
+fn open_loop_overload_triggers_backpressure_not_drops() {
+    // One worker, a one-slot queue, and requests arriving much faster
+    // than a worker can drain them: the excess must surface as
+    // `overloaded` replies, never dropped connections.
+    let server = ephemeral(ServerConfig {
+        workers: 1,
+        queue_cap: 1,
+        ..ServerConfig::default()
+    });
+    let config = LoadConfig {
+        addr: server.local_addr().to_string(),
+        clients: 4,
+        requests: 80,
+        mode: LoadMode::Open(10_000.0),
+        shape: "cholesky".into(),
+        size: 8,
+        p: 128,
+        distinct_seeds: 4,
+        ..LoadConfig::default()
+    };
+    let report = loadgen::run(&config).unwrap();
+    assert_eq!(report.sent, 80);
+    assert_eq!(report.transport_failures, 0, "backpressure, not drops");
+    assert_eq!(report.errors, 0);
+    assert_eq!(report.ok + report.overloaded, 80);
+    assert!(report.deterministic);
+    server.trigger_drain();
+    server.join();
+}
+
+#[test]
+fn drain_refuses_new_submits_but_finishes_queued_work() {
+    let server = ephemeral(ServerConfig::default());
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    let ok = client.call(&submit("chain", 4, 8, 1)).unwrap();
+    assert_eq!(ok.get("status").unwrap().as_str(), Some("ok"));
+
+    server.trigger_drain();
+    let refused = client.call(&submit("chain", 4, 8, 1)).unwrap();
+    assert_eq!(refused.get("status").unwrap().as_str(), Some("error"));
+    assert!(refused
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("draining"));
+    drop(client);
+    server.join();
+}
+
+/// Satellite check: the Chrome trace JSON emitted by
+/// `Schedule::to_chrome_trace` must be valid JSON — verified here with
+/// this crate's own strict parser (round-trip across two hand-rolled
+/// JSON implementations).
+#[test]
+fn chrome_trace_output_parses_with_serve_json() {
+    use moldable_core::OnlineScheduler;
+    use moldable_graph::gen;
+    use moldable_model::ModelClass;
+    use moldable_sim::{simulate, SimOptions};
+
+    let g = gen::by_name("lu", 4, ModelClass::Amdahl, 16, 3).unwrap();
+    let mut s = OnlineScheduler::for_class(ModelClass::Amdahl);
+    let schedule = simulate(&g, &mut s, &SimOptions::new(16).with_proc_ids()).unwrap();
+    let trace = schedule.to_chrome_trace(|i| format!("task \"{i}\"\n"));
+
+    let v = json::parse(&trace).expect("trace is valid JSON");
+    let events = v.as_arr().expect("trace is a JSON array");
+    assert!(!events.is_empty());
+    let total_lanes: u64 = schedule.placements.iter().map(|p| u64::from(p.procs)).sum();
+    assert_eq!(events.len() as u64, total_lanes, "one event per lane");
+    for ev in events {
+        assert_eq!(ev.get("ph").unwrap().as_str(), Some("X"));
+        assert!(ev.get("ts").unwrap().as_f64().unwrap() >= 0.0);
+        assert!(ev.get("dur").unwrap().as_f64().unwrap() >= 0.0);
+        assert!(ev.get("args").unwrap().get("procs").unwrap().as_u64().unwrap() >= 1);
+        // The escaped label survived parsing.
+        assert!(ev.get("name").unwrap().as_str().unwrap().starts_with("task \\\"")
+            || ev.get("name").unwrap().as_str().unwrap().starts_with("task \""));
+    }
+    // Round-trip: re-encoding still parses.
+    assert!(json::parse(&v.encode()).is_ok());
+}

@@ -16,7 +16,9 @@
 //! * [`offline`] — offline comparators: exact branch-and-bound optimum
 //!   for tiny instances, CPA allocation, Turek dual approximation;
 //! * [`resilience`] — failure-prone execution with re-execution until
-//!   success (the paper's Section 2 carry-over scenario).
+//!   success (the paper's Section 2 carry-over scenario);
+//! * [`serve`] — scheduling as a service: a TCP daemon serving online
+//!   scheduling requests, plus the load-generator harness.
 //!
 //! See `examples/quickstart.rs` for the 20-line happy path.
 
@@ -28,6 +30,7 @@ pub use moldable_hetero as hetero;
 pub use moldable_model as model;
 pub use moldable_offline as offline;
 pub use moldable_resilience as resilience;
+pub use moldable_serve as serve;
 pub use moldable_sim as sim;
 
 /// Convenience prelude: the types almost every user touches.
