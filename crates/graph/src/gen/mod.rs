@@ -55,6 +55,54 @@ pub const SHAPE_NAMES: [&str; 11] = [
     "wavefront",
 ];
 
+/// Exact task count a [`by_name`] call would produce, computed from
+/// `(shape, size)` alone — *without* building anything. Saturates at
+/// `u128::MAX` for the exponential shapes instead of overflowing.
+///
+/// Callers enforcing a task budget (the `moldable-serve` daemon, batch
+/// drivers) should check this *before* calling [`by_name`]: `in-tree`,
+/// `out-tree`, and `fft` are exponential in `size` and `lu`/`cholesky`
+/// cubic, so a small `size` can describe a graph far too large to
+/// construct.
+///
+/// # Errors
+///
+/// Returns a message naming the shape if it is not one of
+/// [`SHAPE_NAMES`].
+pub fn estimated_tasks(shape: &str, size: u32) -> Result<u128, String> {
+    let s = u128::from(size);
+    // 2^e, saturating: the tree/fft shapes take `size` as an exponent.
+    let pow2 = |e: u32| -> u128 {
+        if e >= 127 {
+            u128::MAX
+        } else {
+            1u128 << e
+        }
+    };
+    Ok(match shape {
+        "chain" | "independent" | "random" => s,
+        // `stages * (width + 2)` with `size` as the width and the
+        // fixed 3 stages [`by_name`] passes.
+        "fork-join" => 3 * (s + 2),
+        // 2^depth leaves + (2^depth − 1) internal nodes.
+        "in-tree" | "out-tree" => pow2(size.saturating_add(1)).saturating_sub(1),
+        "layered" | "wavefront" => s * s,
+        // Per step k with m = nb−1−k: getrf + 2m trsm + m² gemm.
+        "lu" => {
+            let m = s.saturating_sub(1);
+            s + s * m + s * m * (2 * s).saturating_sub(1) / 6
+        }
+        // Per step k with m = nb−1−k: potrf + m trsm + m(m+1)/2 syrk/gemm.
+        "cholesky" => {
+            let m = s.saturating_sub(1);
+            s + s * m / 2 + m * s * (s + 1) / 6
+        }
+        // `log_n + 1` rows of `2^log_n` butterflies.
+        "fft" => (s + 1).saturating_mul(pow2(size)),
+        other => return Err(format!("unknown shape `{other}`")),
+    })
+}
+
 /// Build a workload by shape name — the one request→instance
 /// constructor shared by the CLI `generate` command and the
 /// `moldable-serve` daemon, so both accept the exact same shapes with
@@ -67,7 +115,11 @@ pub const SHAPE_NAMES: [&str; 11] = [
 /// # Errors
 ///
 /// Returns a message naming the shape if it is not one of
-/// [`SHAPE_NAMES`].
+/// [`SHAPE_NAMES`], if `size` is 0 (several shapes require at least
+/// one task), or if the task count would exceed the `u32` task-id
+/// space — the exponential shapes (`fft`, `in-tree`, `out-tree`) hit
+/// shift/allocation overflow panics long before construction could
+/// finish, so such sizes are rejected up front.
 pub fn by_name(
     shape: &str,
     size: u32,
@@ -75,6 +127,15 @@ pub fn by_name(
     p_total: u32,
     seed: u64,
 ) -> Result<crate::TaskGraph, String> {
+    let est = estimated_tasks(shape, size)?;
+    if size == 0 {
+        return Err(format!("shape `{shape}` needs size >= 1"));
+    }
+    if est > u128::from(u32::MAX) {
+        return Err(format!(
+            "`{shape}` of size {size} would have {est} tasks, exceeding the 2^32-1 task-id space"
+        ));
+    }
     let mut rng = rng::StdRng::seed_from_u64(seed);
     let dist = ParamDistribution::default();
     let mut assign = weighted_sampler(class, dist, p_total, &mut rng);
@@ -189,6 +250,35 @@ mod tests {
         }
         let e = by_name("hexagon", 4, ModelClass::Amdahl, 16, 7).unwrap_err();
         assert!(e.contains("hexagon"));
+    }
+
+    #[test]
+    fn estimated_tasks_is_exact_for_every_shape() {
+        for shape in SHAPE_NAMES {
+            for size in [1u32, 2, 3, 5, 8] {
+                let est = estimated_tasks(shape, size).unwrap();
+                let g = by_name(shape, size, ModelClass::Amdahl, 16, 7).unwrap();
+                assert_eq!(est, g.n_tasks() as u128, "{shape} size {size}");
+            }
+        }
+        assert!(estimated_tasks("hexagon", 4).is_err());
+    }
+
+    #[test]
+    fn by_name_rejects_overflowing_and_zero_sizes() {
+        // fft of size 64 used to panic with a shift overflow; now a
+        // structured error long before any construction starts.
+        for (shape, size) in [("fft", 64u32), ("fft", 31), ("in-tree", 40), ("out-tree", 200)] {
+            let e = by_name(shape, size, ModelClass::Amdahl, 16, 7).unwrap_err();
+            assert!(e.contains("task-id space"), "{shape} {size}: {e}");
+        }
+        // Saturation instead of overflow for absurd exponents.
+        assert_eq!(estimated_tasks("fft", u32::MAX).unwrap(), u128::MAX);
+        assert_eq!(estimated_tasks("in-tree", u32::MAX).unwrap(), u128::MAX - 1);
+        for shape in SHAPE_NAMES {
+            let e = by_name(shape, 0, ModelClass::Amdahl, 16, 7).unwrap_err();
+            assert!(e.contains("size >= 1"), "{shape}: {e}");
+        }
     }
 
     #[test]

@@ -259,7 +259,19 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                         let _ = connection_loop(stream, &shared2);
                     })
                     .expect("spawn connection thread");
-                shared.conns.lock().expect("conn list").push(handle);
+                let mut conns = shared.conns.lock().expect("conn list");
+                // Reap finished connection threads so a long-lived
+                // daemon's handle list doesn't grow without bound as
+                // clients come and go.
+                let mut i = 0;
+                while i < conns.len() {
+                    if conns[i].is_finished() {
+                        let _ = conns.swap_remove(i).join();
+                    } else {
+                        i += 1;
+                    }
+                }
+                conns.push(handle);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 thread::sleep(IDLE_TICK);
@@ -389,10 +401,37 @@ fn handle_submit(req: SubmitRequest, shared: &Shared) -> Vec<u8> {
     }
 }
 
+/// Run one request handler with panic containment: a panicking handler
+/// becomes a structured `error` reply instead of killing the calling
+/// worker thread. Without this, each panic would permanently shrink
+/// the pool until every submit times out — silent total loss of
+/// service. Returns the reply and whether the handler panicked.
+fn catch_panic_reply(f: impl FnOnce() -> Json + std::panic::UnwindSafe) -> (Json, bool) {
+    match std::panic::catch_unwind(f) {
+        Ok(reply) => (reply, false),
+        Err(_) => (
+            obj(vec![
+                ("status", Json::Str("error".into())),
+                (
+                    "error",
+                    Json::Str("internal error: request handler panicked".into()),
+                ),
+            ]),
+            true,
+        ),
+    }
+}
+
 fn worker_loop(shared: &Shared) {
     let mut ctx = WorkerContext::with_limits(shared.config.limits);
     while let Some(job) = shared.dequeue() {
-        let reply = ctx.handle(&job.req);
+        let (reply, panicked) =
+            catch_panic_reply(std::panic::AssertUnwindSafe(|| ctx.handle(&job.req)));
+        if panicked {
+            // The context's caches may have been mid-update when the
+            // handler unwound; start this worker over with fresh state.
+            ctx = WorkerContext::with_limits(shared.config.limits);
+        }
         let ok = reply.get("status").and_then(Json::as_str) == Some("ok");
         ServerStats::bump(if ok {
             &shared.stats.completed
@@ -452,5 +491,36 @@ pub fn drain_requested() -> bool {
     #[cfg(not(unix))]
     {
         false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panicking_handler_becomes_structured_error() {
+        // Silence the default hook's backtrace spam for this test.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let (reply, panicked) = catch_panic_reply(|| panic!("boom"));
+        std::panic::set_hook(prev);
+        assert!(panicked);
+        assert_eq!(reply.get("status").unwrap().as_str(), Some("error"));
+        assert!(reply
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("panicked"));
+    }
+
+    #[test]
+    fn normal_handler_passes_through() {
+        let (reply, panicked) = catch_panic_reply(|| {
+            obj(vec![("status", Json::Str("ok".into()))])
+        });
+        assert!(!panicked);
+        assert_eq!(reply.get("status").unwrap().as_str(), Some("ok"));
     }
 }

@@ -143,6 +143,17 @@ impl WorkerContext {
                         limits.max_shape_size
                     ));
                 }
+                // `max_shape_size` alone cannot protect the daemon:
+                // fft/in-tree/out-tree are exponential in `size` and
+                // lu/cholesky cubic, so the task count must be bounded
+                // *before* construction, not discovered after an OOM.
+                let est = gen::estimated_tasks(shape, *size)?;
+                if est > limits.max_tasks as u128 {
+                    return Err(format!(
+                        "`{shape}` of size {size} would have {est} tasks, more than the limit {}",
+                        limits.max_tasks
+                    ));
+                }
                 let class = parse_model_class(&req.model)?;
                 let p = req.p.ok_or("generated graphs require `p`")?;
                 let g = gen::by_name(shape, *size, class, p, req.seed)?;
@@ -355,6 +366,24 @@ mod tests {
             let r = ctx.handle(&req);
             assert_eq!(r.get("status").unwrap().as_str(), Some("ok"), "{sched}");
         }
+    }
+
+    #[test]
+    fn oversized_generated_shapes_are_rejected_within_documented_limits() {
+        // Both requests are well-formed and inside the default
+        // `max_shape_size`; before the pre-construction estimate they
+        // panicked (fft: shift overflow) or OOMed (cholesky: ~2e13
+        // tasks). They must come back as structured errors instantly.
+        let mut ctx = WorkerContext::new();
+        for (shape, size) in [("fft", 64), ("fft", 20), ("cholesky", 50_000), ("in-tree", 64)] {
+            let r = ctx.handle(&named(shape, size, 32, 1));
+            assert_eq!(r.get("status").unwrap().as_str(), Some("error"), "{shape} {size}");
+            let msg = r.get("error").unwrap().as_str().unwrap();
+            assert!(msg.contains("more than the limit"), "{shape} {size}: {msg}");
+        }
+        // A modest fft still works.
+        let r = ctx.handle(&named("fft", 8, 32, 1));
+        assert_eq!(r.get("status").unwrap().as_str(), Some("ok"), "{r:?}");
     }
 
     #[test]

@@ -8,8 +8,9 @@ use crate::json::{obj, Json};
 
 /// Number of histogram buckets. Bucket `i` covers latencies in
 /// `[2^(i/2), 2^((i+1)/2))` microseconds — half-powers of two give
-/// ≤ ~41% relative quantile error over `1 µs … ~9 h`, plenty for
-/// p50/p95/p99 reporting.
+/// ≤ ~41% relative quantile error over `1 µs … 2^32 µs ≈ 1.2 h`,
+/// plenty for p50/p95/p99 reporting. Longer latencies land in the top
+/// bucket, whose estimate clamps to the observed maximum.
 const BUCKETS: usize = 64;
 
 #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
