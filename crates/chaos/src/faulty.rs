@@ -1,0 +1,167 @@
+//! A wire-fault client: a thin wrapper around [`TcpStream`] that
+//! speaks the daemon's length-prefixed protocol *wrong* in precisely
+//! controlled ways.
+//!
+//! Every fault runs on its own fresh connection so one poisoned
+//! stream can never mask another fault's effect. The client records
+//! what the daemon did ([`WireOutcome`]) but deliberately does **not**
+//! judge it — the runner's five invariants are checked globally after
+//! the whole schedule, which keeps verdicts independent of benign
+//! timing races (e.g. whether an error reply outruns our reset).
+
+use std::io::Write;
+use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
+
+use moldable_model::rng::{Rng, SplitMix64};
+use moldable_serve::proto::{self, Request};
+
+use crate::plan::WireFault;
+
+/// How long to wait for the daemon's reaction to a fault before
+/// declaring the connection quiet. Short: faults that elicit no reply
+/// (resets) pay this in full.
+const REACTION_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// What the daemon did in response to one wire fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireOutcome {
+    /// A well-framed reply arrived; the carried `status` field, if
+    /// any.
+    Replied(Option<String>),
+    /// The daemon closed the connection without a (complete) reply.
+    Closed,
+    /// Nothing arrived within the reaction window.
+    Silent,
+}
+
+/// Issues wire faults against a daemon address.
+#[derive(Debug, Clone)]
+pub struct FaultyClient {
+    addr: String,
+}
+
+impl FaultyClient {
+    /// A faulty client for the daemon at `addr`.
+    #[must_use]
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self { addr: addr.into() }
+    }
+
+    /// Apply one fault on a fresh connection, using `template` as the
+    /// request whose encoding gets mangled (where the fault needs a
+    /// payload at all).
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the daemon cannot be *connected to* — that is the
+    /// liveness invariant's job to report, not a fault outcome.
+    pub fn apply(&self, fault: &WireFault, template: &Request) -> std::io::Result<WireOutcome> {
+        let mut stream = TcpStream::connect(&self.addr)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(REACTION_TIMEOUT)).ok();
+        let payload = template.encode();
+
+        match fault {
+            WireFault::SplitSlowWrites { chunk, pause_ms } => {
+                let frame = framed(&payload);
+                for piece in frame.chunks((*chunk).max(1)) {
+                    if stream.write_all(piece).is_err() {
+                        return Ok(read_reaction(&mut stream));
+                    }
+                    std::thread::sleep(Duration::from_millis(*pause_ms));
+                }
+                Ok(read_reaction(&mut stream))
+            }
+            WireFault::CorruptPayload { flips, seed } => {
+                let mut bytes = payload;
+                let mut rng = SplitMix64::seed_from_u64(*seed);
+                for _ in 0..*flips {
+                    let at = usize::try_from(rng.gen_range(0u64..bytes.len() as u64))
+                        .expect("index fits usize");
+                    // XOR with a non-zero mask so the byte really
+                    // changes.
+                    let mask = u8::try_from(rng.gen_range(1u64..=255)).expect("mask fits u8");
+                    bytes[at] ^= mask;
+                }
+                if proto::write_frame(&mut stream, &bytes).is_err() {
+                    return Ok(read_reaction(&mut stream));
+                }
+                Ok(read_reaction(&mut stream))
+            }
+            WireFault::TruncateAndClose { keep_pct } => {
+                let frame = framed(&payload);
+                let keep = frame.len() * usize::from(*keep_pct) / 100;
+                let _ = stream.write_all(&frame[..keep]);
+                // Reset mid-request: close the write half so the
+                // daemon sees EOF while expecting the rest.
+                stream.shutdown(Shutdown::Write).ok();
+                Ok(read_reaction(&mut stream))
+            }
+            WireFault::OversizedFrame => {
+                let announce = (proto::ABSOLUTE_MAX_FRAME + 1).to_be_bytes();
+                let _ = stream.write_all(&announce);
+                let _ = stream.flush();
+                Ok(read_reaction(&mut stream))
+            }
+            WireFault::ZeroLengthFrame => {
+                let _ = stream.write_all(&0u32.to_be_bytes());
+                let _ = stream.flush();
+                Ok(read_reaction(&mut stream))
+            }
+            WireFault::CorruptLengthPrefix { xor } => {
+                let true_len = u32::try_from(payload.len()).expect("payload fits u32");
+                // Keep the lie within the daemon's frame limit so this
+                // exercises misframing, not the size ceiling (that is
+                // `OversizedFrame`'s job). The mask is never 0, so the
+                // announced length is always wrong.
+                let announce = (true_len ^ *xor).min(proto::ABSOLUTE_MAX_FRAME);
+                let _ = stream.write_all(&announce.to_be_bytes());
+                let _ = stream.write_all(&payload);
+                stream.shutdown(Shutdown::Write).ok();
+                Ok(read_reaction(&mut stream))
+            }
+        }
+    }
+}
+
+/// The full frame bytes (length prefix + payload) for `payload`.
+fn framed(payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(
+        &u32::try_from(payload.len())
+            .expect("payload fits u32")
+            .to_be_bytes(),
+    );
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Read the daemon's reaction: one framed reply, a close, or silence.
+fn read_reaction(stream: &mut TcpStream) -> WireOutcome {
+    match proto::read_frame(stream, proto::ABSOLUTE_MAX_FRAME) {
+        Ok(Some(bytes)) => {
+            let status = std::str::from_utf8(&bytes)
+                .ok()
+                .and_then(|text| moldable_serve::json::parse(text).ok())
+                .and_then(|v| {
+                    v.get("status")
+                        .and_then(moldable_serve::json::Json::as_str)
+                        .map(ToString::to_string)
+                });
+            WireOutcome::Replied(status)
+        }
+        Ok(None) => WireOutcome::Closed,
+        Err(e) => match e {
+            proto::FrameError::Io(io) if is_timeout(&io) => WireOutcome::Silent,
+            _ => WireOutcome::Closed,
+        },
+    }
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}

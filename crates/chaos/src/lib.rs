@@ -1,0 +1,37 @@
+//! `moldable-chaos` — seeded, fully deterministic fault injection for
+//! the [`moldable-serve`](moldable_serve) daemon.
+//!
+//! PR 2's review found crash paths by *ad-hoc* poking; this crate
+//! replaces poking with a systematic adversarial layer. A
+//! [`FaultPlan`] derives every fault from the in-tree
+//! PRNG, so the same seed always yields the bit-identical fault
+//! schedule. Each [`Scenario`] combines
+//!
+//! * **wire-level faults** ([`faulty::FaultyClient`]) against a live
+//!   daemon's socket: split/slow-loris writes, payload byte
+//!   corruption, truncated frames with mid-request resets, oversized
+//!   frames, zero-length frames, corrupt length prefixes; and
+//! * **in-process faults** armed through
+//!   [`FaultHooks`](moldable_serve::FaultHooks): worker panic
+//!   injection, timeout clock skew, queue-saturation bursts,
+//!   drain-during-load.
+//!
+//! After the faults, the [`runner`] asserts five invariants:
+//!
+//! 1. **liveness** — the daemon still answers `ping`;
+//! 2. **accounting** — `ok + errors + drops == submitted`
+//!    ([`Accounting::balanced`](moldable_serve::Accounting::balanced));
+//! 3. **stable pool** — no worker thread died (panic containment);
+//! 4. **clean drain** — graceful drain completes within a deadline;
+//! 5. **determinism** — per-seed makespans stay bit-equal to a
+//!    fault-free baseline computed without the daemon.
+//!
+//! The CLI front end is `moldable chaos --seed S --scenarios N`.
+
+pub mod faulty;
+pub mod plan;
+pub mod runner;
+
+pub use faulty::{FaultyClient, WireOutcome};
+pub use plan::{FaultPlan, ProcessFault, Scenario, WireFault};
+pub use runner::{ChaosConfig, ChaosReport, InvariantSet, ScenarioVerdict};

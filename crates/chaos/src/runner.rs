@@ -1,0 +1,594 @@
+//! The chaos runner: executes seeded scenarios against in-process
+//! daemons and checks five invariants after each.
+//!
+//! Every scenario gets its *own* [`Server`] on an ephemeral port, so a
+//! scenario that wedges its daemon cannot contaminate the next one,
+//! and the final drain invariant is exercised once per scenario rather
+//! than once per run. Verdicts are deterministic by construction: the
+//! invariants state properties that must hold for *every* interleaving
+//! of the faults (liveness, a balanced ledger at quiescence, a stable
+//! pool, a finite drain, bit-equal makespans), never timing-dependent
+//! counts.
+
+use std::sync::mpsc;
+use std::sync::Once;
+use std::thread;
+use std::time::Duration;
+
+use moldable_serve::json::{obj, Json};
+use moldable_serve::loadgen::Client;
+use moldable_serve::proto::{GraphSpec, Request, SubmitRequest};
+use moldable_serve::server::{Server, ServerConfig};
+use moldable_serve::{Accounting, ServiceLimits, WorkerContext};
+
+use crate::faulty::FaultyClient;
+use crate::plan::{FaultPlan, ProcessFault, Scenario};
+
+/// How long a graceful drain may take before the runner declares the
+/// daemon wedged. Generous: scenarios finish in well under a second.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Chaos-run parameters.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Master seed; same seed ⇒ same fault schedule and verdicts.
+    pub seed: u64,
+    /// Number of scenarios to derive and execute.
+    pub scenarios: usize,
+    /// Worker threads per scenario daemon.
+    pub workers: usize,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            scenarios: 20,
+            workers: 4,
+        }
+    }
+}
+
+/// The five invariants checked after each scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvariantSet {
+    /// The daemon still answers `ping` after the fault schedule.
+    pub alive: bool,
+    /// `ok + errors + drops == submitted` in the stats ledger.
+    pub accounted: bool,
+    /// No worker thread died (the pool never shrank).
+    pub pool_stable: bool,
+    /// Graceful drain completed within the deadline.
+    pub drained: bool,
+    /// Clean submits' makespans are bit-equal to a fault-free run.
+    pub makespans_equal: bool,
+}
+
+impl InvariantSet {
+    /// All five invariants hold.
+    #[must_use]
+    pub fn all_hold(&self) -> bool {
+        self.alive && self.accounted && self.pool_stable && self.drained && self.makespans_equal
+    }
+
+    /// `(name, held)` pairs, in reporting order.
+    #[must_use]
+    pub fn entries(&self) -> [(&'static str, bool); 5] {
+        [
+            ("alive", self.alive),
+            ("accounted", self.accounted),
+            ("pool_stable", self.pool_stable),
+            ("drained", self.drained),
+            ("makespans_equal", self.makespans_equal),
+        ]
+    }
+}
+
+/// Outcome of one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioVerdict {
+    /// Scenario position in the plan.
+    pub index: usize,
+    /// The scenario's derived seed.
+    pub seed: u64,
+    /// Stable descriptions of the executed fault schedule.
+    pub faults: Vec<String>,
+    /// The five invariant results.
+    pub invariants: InvariantSet,
+    /// Human-readable notes on any violated invariant (empty when all
+    /// green).
+    pub detail: String,
+}
+
+/// Outcome of a whole chaos run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosReport {
+    /// The master seed the run was derived from.
+    pub seed: u64,
+    /// Per-scenario verdicts, in plan order.
+    pub verdicts: Vec<ScenarioVerdict>,
+}
+
+impl ChaosReport {
+    /// Every scenario passed all five invariants.
+    #[must_use]
+    pub fn all_green(&self) -> bool {
+        self.verdicts.iter().all(|v| v.invariants.all_hold())
+    }
+
+    /// Scenarios with at least one violated invariant.
+    #[must_use]
+    pub fn failures(&self) -> usize {
+        self.verdicts.iter().filter(|v| !v.invariants.all_hold()).count()
+    }
+
+    /// The scenario-log document (written by `moldable chaos --out`).
+    ///
+    /// Deliberately contains no wall-clock fields: two runs with the
+    /// same seed must produce byte-identical documents. Seeds are
+    /// encoded as strings — they use all 64 bits, which `f64` cannot
+    /// carry exactly.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        #[allow(clippy::cast_precision_loss)]
+        obj(vec![
+            ("seed", Json::Str(self.seed.to_string())),
+            ("scenarios", Json::Num(self.verdicts.len() as f64)),
+            ("failures", Json::Num(self.failures() as f64)),
+            ("all_green", Json::Bool(self.all_green())),
+            (
+                "verdicts",
+                Json::Arr(
+                    self.verdicts
+                        .iter()
+                        .map(|v| {
+                            obj(vec![
+                                ("index", Json::Num(v.index as f64)),
+                                ("seed", Json::Str(v.seed.to_string())),
+                                (
+                                    "faults",
+                                    Json::Arr(
+                                        v.faults.iter().cloned().map(Json::Str).collect(),
+                                    ),
+                                ),
+                                (
+                                    "invariants",
+                                    obj(v
+                                        .invariants
+                                        .entries()
+                                        .into_iter()
+                                        .map(|(name, held)| (name, Json::Bool(held)))
+                                        .collect()),
+                                ),
+                                ("detail", Json::Str(v.detail.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// One-paragraph human summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "chaos: seed {} | {} scenarios | {} failed | verdict: {}\n",
+            self.seed,
+            self.verdicts.len(),
+            self.failures(),
+            if self.all_green() { "ALL GREEN" } else { "INVARIANT VIOLATED" }
+        );
+        for v in &self.verdicts {
+            if !v.invariants.all_hold() {
+                let broken: Vec<&str> = v
+                    .invariants
+                    .entries()
+                    .into_iter()
+                    .filter_map(|(name, held)| (!held).then_some(name))
+                    .collect();
+                out.push_str(&format!(
+                    "  scenario {} (seed {}): broke {} — {}\n",
+                    v.index,
+                    v.seed,
+                    broken.join(", "),
+                    v.detail.trim_end()
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Execute the full chaos run described by `config`.
+#[must_use]
+pub fn run(config: &ChaosConfig) -> ChaosReport {
+    silence_injected_panics();
+    let plan = FaultPlan::new(config.seed, config.scenarios);
+    let verdicts = plan
+        .scenarios
+        .iter()
+        .map(|s| run_scenario(s, config.workers))
+        .collect();
+    ChaosReport {
+        seed: config.seed,
+        verdicts,
+    }
+}
+
+/// Execute one scenario against a fresh in-process daemon.
+///
+/// # Panics
+///
+/// Panics only if the scenario daemon cannot bind an ephemeral port —
+/// an environment problem, not a fault outcome.
+#[must_use]
+pub fn run_scenario(scenario: &Scenario, workers: usize) -> ScenarioVerdict {
+    silence_injected_panics();
+    let mut detail = String::new();
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: workers.max(1),
+        queue_cap: scenario.queue_cap,
+        request_timeout: Duration::from_secs(10),
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral chaos daemon");
+    let addr = server.local_addr().to_string();
+    let pool = server.live_workers();
+
+    // Fault-free baseline makespans, computed without the daemon.
+    let baseline: Vec<Option<f64>> = scenario
+        .clean_seeds
+        .iter()
+        .map(|&seed| {
+            WorkerContext::with_limits(ServiceLimits::default())
+                .handle(&submit_of(scenario, seed))
+                .get("makespan")
+                .and_then(Json::as_f64)
+        })
+        .collect();
+
+    // Phase 1: wire faults, each on its own fresh connection.
+    let faulty = FaultyClient::new(addr.clone());
+    for (i, fault) in scenario.wire_faults.iter().enumerate() {
+        let template = Request::Submit(Box::new(submit_of(scenario, scenario.seed ^ i as u64)));
+        if let Err(e) = faulty.apply(fault, &template) {
+            detail.push_str(&format!("wire fault {} could not connect: {e}\n", fault.describe()));
+        }
+    }
+
+    // Phase 2: in-process faults.
+    apply_process_faults(scenario, &server, &addr, &mut detail);
+
+    // Phase 3: clean submits — per-seed makespans must be bit-equal to
+    // the fault-free baseline.
+    let makespans_equal = check_clean_submits(scenario, &addr, &baseline, &mut detail);
+
+    // Phase 4: the remaining global invariants.
+    let alive = match Client::connect(&addr).and_then(|mut c| c.call(&Request::Ping)) {
+        Ok(reply) => reply.get("pong").and_then(Json::as_bool) == Some(true),
+        Err(e) => {
+            detail.push_str(&format!("liveness ping failed: {e}\n"));
+            false
+        }
+    };
+    let accounted = match Client::connect(&addr).and_then(|mut c| c.call(&Request::Stats)) {
+        Ok(reply) => match Accounting::from_stats_json(&reply) {
+            Some(ledger) => {
+                let ok = ledger.balanced();
+                if !ok {
+                    detail.push_str(&format!("ledger does not balance: {ledger:?}\n"));
+                }
+                ok
+            }
+            None => {
+                detail.push_str("stats reply carried no ledger\n");
+                false
+            }
+        },
+        Err(e) => {
+            detail.push_str(&format!("stats fetch failed: {e}\n"));
+            false
+        }
+    };
+    let pool_stable = server.live_workers() == pool;
+    if !pool_stable {
+        detail.push_str(&format!(
+            "worker pool shrank: {} -> {}\n",
+            pool,
+            server.live_workers()
+        ));
+    }
+
+    // Phase 5: graceful drain, optionally while a client still
+    // submits.
+    let load = scenario.drain_under_load.then(|| {
+        let addr = addr.clone();
+        let req = submit_of(scenario, scenario.seed);
+        thread::spawn(move || {
+            let Ok(mut client) = Client::connect(&addr) else {
+                return;
+            };
+            for _ in 0..50 {
+                // Replies during drain are refusals; transport errors
+                // mean the daemon already went away. Both are fine.
+                if client.call(&Request::Submit(Box::new(req.clone()))).is_err() {
+                    break;
+                }
+            }
+        })
+    });
+    server.trigger_drain();
+    let drained = join_with_deadline(server, DRAIN_DEADLINE);
+    if !drained {
+        detail.push_str("drain did not complete within the deadline\n");
+    }
+    if let Some(handle) = load {
+        let _ = handle.join();
+    }
+
+    ScenarioVerdict {
+        index: scenario.index,
+        seed: scenario.seed,
+        faults: scenario.fault_descriptions(),
+        invariants: InvariantSet {
+            alive,
+            accounted,
+            pool_stable,
+            drained,
+            makespans_equal,
+        },
+        detail,
+    }
+}
+
+/// The scenario's submit request for a given seed.
+///
+/// The wire encodes seeds as JSON numbers, exact only up to 2^53 —
+/// mask down so the daemon accepts the request and both sides agree on
+/// the value (the scenario's own 64-bit seed is also used for
+/// sacrificial submits).
+fn submit_of(scenario: &Scenario, seed: u64) -> SubmitRequest {
+    let seed = seed & ((1 << 53) - 1);
+    SubmitRequest {
+        graph: GraphSpec::Named {
+            shape: scenario.shape.to_string(),
+            size: scenario.size,
+        },
+        p: Some(scenario.p),
+        model: scenario.model.to_string(),
+        seed,
+        scheduler: "online".to_string(),
+        mu: None,
+        policy: None,
+        include_allocations: false,
+    }
+}
+
+fn apply_process_faults(scenario: &Scenario, server: &Server, addr: &str, detail: &mut String) {
+    for fault in &scenario.process_faults {
+        match fault {
+            ProcessFault::WorkerPanics { count } => {
+                server.fault_hooks().arm_panics(*count);
+                // Burn the budget with sacrificial submits. Bounded:
+                // a submit can bounce off a saturated queue without
+                // reaching a worker, so allow a few extra attempts —
+                // but never loop on a budget that cannot drain.
+                let mut attempts = count * 4 + 8;
+                if let Ok(mut client) = Client::connect(addr) {
+                    while server.fault_hooks().pending_panics() > 0 && attempts > 0 {
+                        attempts -= 1;
+                        let _ = client
+                            .call(&Request::Submit(Box::new(submit_of(scenario, scenario.seed))));
+                    }
+                }
+                if server.fault_hooks().pending_panics() != 0 {
+                    // Deterministic signal: panic injection is wired to
+                    // every worker execution, so a budget that survives
+                    // this many served submits means containment or
+                    // dispatch is genuinely broken.
+                    detail.push_str("panic budget not fully consumed\n");
+                }
+            }
+            ProcessFault::TimeoutSkew => {
+                // Skew past the 10 s scenario timeout: the connection
+                // layer gives up immediately while the worker still
+                // finishes the job. Whether the reply is the timeout
+                // error or (if the worker wins the zero-width race) the
+                // result is timing-dependent — the accounting invariant
+                // must hold either way, so no note is recorded here.
+                server.fault_hooks().set_timeout_skew(Duration::from_secs(3600));
+                if let Ok(mut client) = Client::connect(addr) {
+                    let _ = client
+                        .call(&Request::Submit(Box::new(submit_of(scenario, scenario.seed))));
+                }
+                server.fault_hooks().set_timeout_skew(Duration::ZERO);
+            }
+            ProcessFault::QueueSaturation { burst } => {
+                // Concurrent submits against the scenario's tiny
+                // queue: the excess must surface as `overloaded`
+                // replies, never lost requests.
+                thread::scope(|scope| {
+                    for _ in 0..*burst {
+                        scope.spawn(|| {
+                            let Ok(mut client) = Client::connect(addr) else {
+                                return;
+                            };
+                            let _ = client.call(&Request::Submit(Box::new(submit_of(
+                                scenario,
+                                scenario.seed,
+                            ))));
+                        });
+                    }
+                });
+            }
+        }
+    }
+}
+
+fn check_clean_submits(
+    scenario: &Scenario,
+    addr: &str,
+    baseline: &[Option<f64>],
+    detail: &mut String,
+) -> bool {
+    let Ok(mut client) = Client::connect(addr) else {
+        detail.push_str("clean-submit client could not connect\n");
+        return false;
+    };
+    let mut equal = true;
+    'seeds: for (&seed, expected) in scenario.clean_seeds.iter().zip(baseline) {
+        // Earlier faults may have left the (deliberately tiny) queue
+        // momentarily full; `overloaded` is backpressure, not a
+        // verdict, so retry through it with a bounded budget.
+        for _ in 0..100 {
+            match client.call(&Request::Submit(Box::new(submit_of(scenario, seed)))) {
+                Ok(reply) => {
+                    if reply.get("status").and_then(Json::as_str) == Some("overloaded") {
+                        thread::sleep(Duration::from_millis(20));
+                        continue;
+                    }
+                    let got = reply.get("makespan").and_then(Json::as_f64);
+                    let matches = match (got, expected) {
+                        (Some(g), Some(e)) => g.to_bits() == e.to_bits(),
+                        _ => false,
+                    };
+                    if !matches {
+                        equal = false;
+                        detail.push_str(&format!(
+                            "seed {seed}: makespan {got:?} != fault-free {expected:?} (reply: {})\n",
+                            reply.encode()
+                        ));
+                    }
+                    continue 'seeds;
+                }
+                Err(e) => {
+                    equal = false;
+                    detail.push_str(&format!("clean submit for seed {seed} failed: {e}\n"));
+                    continue 'seeds;
+                }
+            }
+        }
+        equal = false;
+        detail.push_str(&format!("seed {seed}: still overloaded after 100 attempts\n"));
+    }
+    equal
+}
+
+/// Join the daemon with a watchdog: `true` if it drained in time.
+///
+/// On timeout the joining thread is leaked — the run is already
+/// failing, and a wedged daemon cannot be joined safely anyway.
+fn join_with_deadline(server: Server, deadline: Duration) -> bool {
+    let (tx, rx) = mpsc::channel();
+    thread::spawn(move || {
+        server.join();
+        let _ = tx.send(());
+    });
+    rx.recv_timeout(deadline).is_ok()
+}
+
+/// Install (once) a panic hook that swallows the runner's *injected*
+/// worker panics so chaos runs do not spray backtraces, while leaving
+/// every genuine panic visible.
+fn silence_injected_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let message = info
+                .payload()
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| info.payload().downcast_ref::<String>().map(String::as_str))
+                .unwrap_or("");
+            if !message.contains("chaos: injected") {
+                previous(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_small_run_is_all_green_and_bit_reproducible() {
+        let config = ChaosConfig {
+            seed: 42,
+            scenarios: 3,
+            workers: 2,
+        };
+        let first = run(&config);
+        assert!(first.all_green(), "{}", first.summary());
+        assert_eq!(first.verdicts.len(), 3);
+
+        let second = run(&config);
+        assert_eq!(first, second, "same seed, same verdicts");
+        assert_eq!(
+            first.to_json().encode(),
+            second.to_json().encode(),
+            "scenario log is byte-identical across runs"
+        );
+    }
+
+    #[test]
+    fn report_json_carries_schedule_and_invariants() {
+        let report = run(&ChaosConfig {
+            seed: 7,
+            scenarios: 1,
+            workers: 2,
+        });
+        let j = report.to_json();
+        assert_eq!(j.get("seed").unwrap().as_str(), Some("7"));
+        assert_eq!(j.get("all_green").unwrap().as_bool(), Some(report.all_green()));
+        let verdicts = j.get("verdicts").unwrap().as_arr().unwrap();
+        assert_eq!(verdicts.len(), 1);
+        let v = &verdicts[0];
+        assert!(!v.get("faults").unwrap().as_arr().unwrap().is_empty());
+        let inv = v.get("invariants").unwrap();
+        for name in ["alive", "accounted", "pool_stable", "drained", "makespans_equal"] {
+            assert!(inv.get(name).unwrap().as_bool().is_some(), "{name} present");
+        }
+    }
+
+    #[test]
+    fn a_failed_invariant_is_reported_not_hidden() {
+        let verdict = ScenarioVerdict {
+            index: 0,
+            seed: 1,
+            faults: vec!["wire:zero-length-frame".into()],
+            invariants: InvariantSet {
+                alive: true,
+                accounted: false,
+                pool_stable: true,
+                drained: true,
+                makespans_equal: true,
+            },
+            detail: "ledger does not balance\n".into(),
+        };
+        let report = ChaosReport {
+            seed: 1,
+            verdicts: vec![verdict],
+        };
+        assert!(!report.all_green());
+        assert_eq!(report.failures(), 1);
+        assert!(report.summary().contains("broke accounted"));
+        assert_eq!(
+            report.to_json().get("all_green").unwrap().as_bool(),
+            Some(false)
+        );
+    }
+
+    /// The full default-size run (20 scenarios) — the CI chaos job's
+    /// in-crate twin. Gated: it takes a few wall-clock seconds.
+    #[test]
+    #[cfg_attr(not(feature = "slow-tests"), ignore = "enable with --features slow-tests")]
+    fn default_twenty_scenario_run_is_all_green() {
+        let report = run(&ChaosConfig::default());
+        assert_eq!(report.verdicts.len(), 20);
+        assert!(report.all_green(), "{}", report.summary());
+    }
+}

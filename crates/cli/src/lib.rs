@@ -58,6 +58,7 @@ USAGE:
   moldable loadgen  [--addr HOST:PORT] [--clients N] [--requests N] [--rate RPS]
                     [--shape SHAPE] [--size N] [--model CLASS] [-P N]
                     [--seed N] [--seeds N] [--out FILE]
+  moldable chaos    [--seed N] [--scenarios N] [--workers N] [--out FILE]
 
 SHAPES:      chain, independent, fork-join, in-tree, out-tree, layered,
              random, lu, cholesky, fft, wavefront
@@ -71,6 +72,10 @@ POLICIES:    fifo (default), lpt, spt, narrow-first, wide-first
 request, then drains gracefully. `loadgen` drives closed-loop traffic
 (or open-loop with --rate) against a running daemon and prints
 throughput/latency percentiles; --out writes the JSON report.
+`chaos` derives a seeded fault schedule, runs each scenario against its
+own in-process daemon, and checks five invariants (alive, accounted,
+pool stable, drained, makespans bit-equal); the same seed reproduces
+the same schedule and verdicts. Exits non-zero if any invariant broke.
 ";
 
 /// Parsed `--key value` options plus positional arguments.
@@ -506,6 +511,41 @@ fn cmd_loadgen(opts: &Opts) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn cmd_chaos(opts: &Opts) -> Result<String, CliError> {
+    use moldable_chaos::{runner, ChaosConfig};
+
+    opts.known(&["seed", "scenarios", "workers", "out"])?;
+    let mut config = ChaosConfig::default();
+    if let Some(seed) = opts.parse_num::<u64>("seed")? {
+        config.seed = seed;
+    }
+    if let Some(n) = opts.parse_num::<usize>("scenarios")? {
+        if n == 0 {
+            return Err(err("--scenarios must be at least 1"));
+        }
+        config.scenarios = n;
+    }
+    if let Some(w) = opts.parse_num::<usize>("workers")? {
+        if w == 0 {
+            return Err(err("--workers must be at least 1"));
+        }
+        config.workers = w;
+    }
+
+    let report = runner::run(&config);
+    let mut out = report.summary();
+    if let Some(path) = opts.get("out") {
+        fs::write(path, report.to_json().encode())
+            .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        out.push_str(&format!("wrote scenario log to {path}\n"));
+    }
+    if report.all_green() {
+        Ok(out)
+    } else {
+        Err(CliError(out))
+    }
+}
+
 /// Entry point: dispatch `args` (without the program name) and return
 /// the text to print.
 ///
@@ -528,6 +568,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "fit" => cmd_fit(&opts),
         "serve" => cmd_serve(&opts),
         "loadgen" => cmd_loadgen(&opts),
+        "chaos" => cmd_chaos(&opts),
         other => Err(err(format!("unknown command `{other}` (see --help)"))),
     }
 }
@@ -557,7 +598,7 @@ mod tests {
     fn usage_enumerates_every_subcommand() {
         let usage = run_args(&["--help"]).unwrap();
         for cmd in [
-            "generate", "info", "bounds", "schedule", "fit", "serve", "loadgen",
+            "generate", "info", "bounds", "schedule", "fit", "serve", "loadgen", "chaos",
         ] {
             assert!(
                 usage.contains(&format!("moldable {cmd}")),
@@ -588,6 +629,46 @@ mod tests {
         assert!(report.contains("\"throughput_rps\""), "{report}");
         server.trigger_drain();
         server.join();
+    }
+
+    #[test]
+    fn generate_rejects_oversized_fft_with_a_structured_error() {
+        // Regression: `fft --size 64` used to die on a shift-overflow
+        // panic deep in the generator; the size guard must turn it
+        // into a clean CLI error instead.
+        let e = run_args(&["generate", "--shape", "fft", "--size", "64"]).unwrap_err();
+        assert!(e.to_string().contains("task-id space"), "{e}");
+    }
+
+    #[test]
+    fn chaos_command_is_reproducible_per_seed() {
+        let first_file = tmp("chaos_first.json");
+        let second_file = tmp("chaos_second.json");
+        let first = run_args(&[
+            "chaos", "--seed", "9", "--scenarios", "2", "--workers", "2", "--out", &first_file,
+        ])
+        .unwrap();
+        assert!(first.contains("ALL GREEN"), "{first}");
+        assert!(first.contains("wrote scenario log"), "{first}");
+        let second = run_args(&[
+            "chaos", "--seed", "9", "--scenarios", "2", "--workers", "2", "--out", &second_file,
+        ])
+        .unwrap();
+        assert!(second.contains("ALL GREEN"), "{second}");
+        let a = fs::read_to_string(&first_file).unwrap();
+        let b = fs::read_to_string(&second_file).unwrap();
+        assert_eq!(a, b, "same seed must write byte-identical scenario logs");
+        assert!(a.contains("\"seed\":\"9\""), "{a}");
+    }
+
+    #[test]
+    fn chaos_rejects_bad_options() {
+        let e = run_args(&["chaos", "--scenarios", "0"]).unwrap_err();
+        assert!(e.to_string().contains("--scenarios"));
+        let e = run_args(&["chaos", "--workers", "0"]).unwrap_err();
+        assert!(e.to_string().contains("--workers"));
+        let e = run_args(&["chaos", "--bogus", "1"]).unwrap_err();
+        assert!(e.to_string().contains("unknown option"));
     }
 
     #[test]

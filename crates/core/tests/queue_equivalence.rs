@@ -164,6 +164,64 @@ fn deep_queues_cross_the_spill_threshold_and_match() {
 }
 
 #[test]
+fn indexed_queue_matches_reference_on_adversary_instances() {
+    // The paper's own lower-bound constructions are the nastiest
+    // instances we know how to build: they are engineered to force the
+    // algorithm into pathological allocation patterns, so any ordering
+    // divergence between the queues shows up here first. Run each
+    // instance at its proof μ and at a second, off-proof μ.
+    use moldable_adversary as adversary;
+
+    let instances: Vec<(&str, moldable_adversary::LowerBoundInstance)> = vec![
+        ("roofline P=17", adversary::roofline::instance(17)),
+        ("roofline P=64", adversary::roofline::instance(64)),
+        ("communication P=12", adversary::communication::instance(12)),
+        ("communication P=47", adversary::communication::instance(47)),
+        ("amdahl K=5", adversary::amdahl::instance(5)),
+        ("general K=6", adversary::general::instance(6)),
+    ];
+    for (name, inst) in &instances {
+        for policy in POLICIES {
+            differential(
+                &inst.graph,
+                inst.p_total,
+                inst.mu,
+                policy,
+                &format!("{name} proof-mu {policy:?}"),
+            );
+            differential(
+                &inst.graph,
+                inst.p_total,
+                (inst.mu * 0.5).max(0.05),
+                policy,
+                &format!("{name} off-mu {policy:?}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn indexed_queue_matches_reference_on_fig3_chain_graphs() {
+    // Theorem 9's chain forest (Figure 3): thousands of equal-duration
+    // chain tasks whose releases arrive in large simultaneous batches —
+    // a worst case for tie-breaking inside the ready queue.
+    use moldable_adversary::arbitrary;
+
+    for l in [1u32, 2] {
+        let pr = arbitrary::params(l);
+        let (g, chains) = arbitrary::fig3_graph(l);
+        assert_eq!(g.n_tasks() as u64, pr.n_tasks, "l={l}: task count");
+        assert_eq!(chains.len() as u64, pr.n_chains, "l={l}: chain count");
+        for policy in POLICIES {
+            differential(&g, pr.p_total, MU_MAX, policy, &format!("fig3 l={l} {policy:?}"));
+            // Starved platform: far fewer processors than the
+            // construction assumes, so the queue stays deep.
+            differential(&g, 3, 0.15, policy, &format!("fig3-starved l={l} {policy:?}"));
+        }
+    }
+}
+
+#[test]
 fn memoized_allocator_matches_direct_allocate() {
     let dist = ParamDistribution::default();
     for case in 0..8u64 {

@@ -59,5 +59,6 @@ pub mod service;
 pub mod stats;
 
 pub use loadgen::{Client, LoadConfig, LoadMode, LoadReport};
-pub use server::{install_drain_signals, Server, ServerConfig};
+pub use server::{install_drain_signals, FaultHooks, Server, ServerConfig};
 pub use service::{ServiceLimits, WorkerContext};
+pub use stats::{Accounting, ServerStats};

@@ -21,6 +21,7 @@ use std::time::{Duration, Instant};
 
 use crate::json::{obj, Json};
 use crate::proto::{self, GraphSpec, Request, SubmitRequest};
+use crate::stats::Accounting;
 
 /// A blocking protocol client: one framed request, one framed reply.
 #[derive(Debug)]
@@ -133,6 +134,9 @@ pub struct LoadReport {
     pub deterministic: bool,
     /// Distinct seeds observed with at least one `ok` reply.
     pub seeds_observed: usize,
+    /// The server's request-accounting ledger, snapshotted after the
+    /// run (`None` if the post-run `stats` request failed).
+    pub accounting: Option<Accounting>,
 }
 
 impl LoadReport {
@@ -219,16 +223,37 @@ impl LoadReport {
                     ("consistent", Json::Bool(self.deterministic)),
                 ]),
             ),
+            (
+                "accounting",
+                match self.accounting {
+                    Some(a) => obj(vec![
+                        ("submitted", Json::Num(a.submitted as f64)),
+                        ("ok", Json::Num(a.ok as f64)),
+                        ("errors", Json::Num(a.errors as f64)),
+                        ("drops", Json::Num(a.drops as f64)),
+                        ("balanced", Json::Bool(a.balanced())),
+                    ]),
+                    None => Json::Null,
+                },
+            ),
         ])
     }
 
     /// One-paragraph human summary.
     #[must_use]
     pub fn summary(&self) -> String {
+        let accounting = match self.accounting {
+            Some(a) if a.balanced() => "balanced".to_string(),
+            Some(a) => format!(
+                "UNBALANCED ({} + {} + {} != {})",
+                a.ok, a.errors, a.drops, a.submitted
+            ),
+            None => "unavailable".to_string(),
+        };
         format!(
             "sent {} | ok {} | overloaded {} | errors {} | transport {} | \
              {:.1} req/s | latency ms p50 {:.2} p95 {:.2} p99 {:.2} max {:.2} | \
-             deterministic: {}\n",
+             deterministic: {} | accounting: {accounting}\n",
             self.sent,
             self.ok,
             self.overloaded,
@@ -294,6 +319,7 @@ pub fn run(config: &LoadConfig) -> io::Result<LoadReport> {
         latencies_ms: Vec::new(),
         deterministic: true,
         seeds_observed: 0,
+        accounting: None,
     };
     let mut makespans: HashMap<u64, Vec<f64>> = HashMap::new();
     for t in tallies.into_inner().expect("tally lock") {
@@ -312,6 +338,13 @@ pub fn run(config: &LoadConfig) -> io::Result<LoadReport> {
     report.deterministic = makespans
         .values()
         .all(|ms| ms.windows(2).all(|w| w[0].to_bits() == w[1].to_bits()));
+    // Snapshot the server's request-accounting ledger; the run is
+    // quiescent now, so the ledger must balance.
+    report.accounting = Client::connect(&config.addr)
+        .and_then(|mut c| c.call(&Request::Stats))
+        .ok()
+        .as_ref()
+        .and_then(Accounting::from_stats_json);
     Ok(report)
 }
 
@@ -427,6 +460,12 @@ mod tests {
             latencies_ms: vec![1.0, 2.0, 3.0, 4.0],
             deterministic: true,
             seeds_observed: 1,
+            accounting: Some(Accounting {
+                submitted: 4,
+                ok: 4,
+                errors: 0,
+                drops: 0,
+            }),
         };
         assert_eq!(r.quantile_ms(0.5), 2.0);
         assert_eq!(r.quantile_ms(1.0), 4.0);
@@ -435,6 +474,36 @@ mod tests {
         let j = r.to_json(&LoadConfig::default());
         assert_eq!(j.get("ok").unwrap().as_u64(), Some(4));
         assert!(j.get("latency_ms").unwrap().get("p99").is_some());
+        assert_eq!(
+            j.get("accounting").unwrap().get("balanced").unwrap(),
+            &Json::Bool(true)
+        );
         assert!(r.summary().contains("deterministic: true"));
+        assert!(r.summary().contains("accounting: balanced"));
+    }
+
+    #[test]
+    fn summary_flags_an_unbalanced_or_missing_ledger() {
+        let mut r = LoadReport {
+            sent: 1,
+            ok: 1,
+            overloaded: 0,
+            errors: 0,
+            transport_failures: 0,
+            wall: Duration::from_secs(1),
+            latencies_ms: vec![1.0],
+            deterministic: true,
+            seeds_observed: 1,
+            accounting: None,
+        };
+        assert!(r.summary().contains("accounting: unavailable"));
+        assert_eq!(r.to_json(&LoadConfig::default()).get("accounting"), Some(&Json::Null));
+        r.accounting = Some(Accounting {
+            submitted: 5,
+            ok: 3,
+            errors: 1,
+            drops: 0,
+        });
+        assert!(r.summary().contains("UNBALANCED"));
     }
 }

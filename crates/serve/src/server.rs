@@ -22,7 +22,7 @@
 use std::collections::VecDeque;
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
@@ -72,6 +72,57 @@ impl Default for ServerConfig {
     }
 }
 
+/// Deterministic in-process fault-injection points, for the chaos
+/// harness (`crates/chaos`). All-zero (the default) injects nothing;
+/// production servers never arm these. The knobs are plain atomics so
+/// a chaos scenario can arm them on a *live* server without taking any
+/// lock the request path uses.
+#[derive(Debug, Default)]
+pub struct FaultHooks {
+    /// How many upcoming submit executions must panic inside the
+    /// worker (exercising the `catch_unwind` containment path). Each
+    /// injected panic consumes one unit.
+    panic_budget: AtomicU64,
+    /// Milliseconds subtracted from the configured per-request timeout
+    /// — simulated clock skew. Skew past the timeout makes every
+    /// submit time out at the connection layer while the worker still
+    /// finishes the job, the worst-case accounting race.
+    timeout_skew_ms: AtomicU64,
+}
+
+impl FaultHooks {
+    /// Arm `n` additional worker-panic injections.
+    pub fn arm_panics(&self, n: u64) {
+        self.panic_budget.fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// Panic injections still pending.
+    #[must_use]
+    pub fn pending_panics(&self) -> u64 {
+        self.panic_budget.load(Ordering::SeqCst)
+    }
+
+    /// Set the clock skew subtracted from the request timeout.
+    pub fn set_timeout_skew(&self, skew: Duration) {
+        let ms = u64::try_from(skew.as_millis()).unwrap_or(u64::MAX);
+        self.timeout_skew_ms.store(ms, Ordering::SeqCst);
+    }
+
+    /// Consume one panic injection if any is armed.
+    fn take_panic(&self) -> bool {
+        self.panic_budget
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+            .is_ok()
+    }
+
+    /// The effective request timeout after skew.
+    fn skewed(&self, timeout: Duration) -> Duration {
+        timeout.saturating_sub(Duration::from_millis(
+            self.timeout_skew_ms.load(Ordering::SeqCst),
+        ))
+    }
+}
+
 /// One queued submit request awaiting a worker.
 struct Job {
     req: SubmitRequest,
@@ -86,6 +137,7 @@ struct Shared {
     draining: AtomicBool,
     stats: ServerStats,
     config: ServerConfig,
+    hooks: FaultHooks,
     conns: Mutex<Vec<thread::JoinHandle<()>>>,
 }
 
@@ -164,6 +216,7 @@ impl Server {
             draining: AtomicBool::new(false),
             stats: ServerStats::new(),
             config,
+            hooks: FaultHooks::default(),
             conns: Mutex::new(Vec::new()),
         });
 
@@ -203,6 +256,23 @@ impl Server {
     #[must_use]
     pub fn stats(&self) -> &ServerStats {
         &self.shared.stats
+    }
+
+    /// The fault-injection knobs (all disarmed by default). Chaos
+    /// scenarios arm them on a live server; normal operation never
+    /// touches this.
+    #[must_use]
+    pub fn fault_hooks(&self) -> &FaultHooks {
+        &self.shared.hooks
+    }
+
+    /// Worker threads still running. The pool is fixed-size, so this
+    /// equals the configured worker count for the server's whole life
+    /// (panics are contained, never thread deaths) until a drain
+    /// completes — the chaos harness asserts exactly that.
+    #[must_use]
+    pub fn live_workers(&self) -> usize {
+        self.workers.iter().filter(|w| !w.is_finished()).count()
     }
 
     /// Whether a drain has been requested (by [`Server::trigger_drain`]
@@ -376,9 +446,16 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()
 }
 
 /// Enqueue a submit and wait for its reply (or reject/timeout).
+///
+/// Accounting contract: `stats.submitted` is bumped on entry, and
+/// exactly one of `submit_ok` / `submit_errors` / `rejected_overload`
+/// before returning — so at quiescence the ledger in
+/// [`crate::stats::Accounting`] balances.
 fn handle_submit(req: SubmitRequest, shared: &Shared) -> Vec<u8> {
+    ServerStats::bump(&shared.stats.submitted);
     if shared.draining() {
         ServerStats::bump(&shared.stats.errors);
+        ServerStats::bump(&shared.stats.submit_errors);
         return proto::error_reply("server is draining");
     }
     let (tx, rx) = mpsc::channel();
@@ -392,10 +469,20 @@ fn handle_submit(req: SubmitRequest, shared: &Shared) -> Vec<u8> {
         return proto::overloaded_reply();
     }
     ServerStats::bump(&shared.stats.accepted);
-    match rx.recv_timeout(shared.config.request_timeout) {
-        Ok(json) => json.encode().into_bytes(),
+    let timeout = shared.hooks.skewed(shared.config.request_timeout);
+    match rx.recv_timeout(timeout) {
+        Ok(json) => {
+            let ok = json.get("status").and_then(Json::as_str) == Some("ok");
+            ServerStats::bump(if ok {
+                &shared.stats.submit_ok
+            } else {
+                &shared.stats.submit_errors
+            });
+            json.encode().into_bytes()
+        }
         Err(_) => {
             ServerStats::bump(&shared.stats.timeouts);
+            ServerStats::bump(&shared.stats.submit_errors);
             proto::error_reply("request timed out")
         }
     }
@@ -425,8 +512,11 @@ fn catch_panic_reply(f: impl FnOnce() -> Json + std::panic::UnwindSafe) -> (Json
 fn worker_loop(shared: &Shared) {
     let mut ctx = WorkerContext::with_limits(shared.config.limits);
     while let Some(job) = shared.dequeue() {
-        let (reply, panicked) =
-            catch_panic_reply(std::panic::AssertUnwindSafe(|| ctx.handle(&job.req)));
+        let inject_panic = shared.hooks.take_panic();
+        let (reply, panicked) = catch_panic_reply(std::panic::AssertUnwindSafe(|| {
+            assert!(!inject_panic, "chaos: injected worker panic");
+            ctx.handle(&job.req)
+        }));
         if panicked {
             // The context's caches may have been mid-update when the
             // handler unwound; start this worker over with fresh state.

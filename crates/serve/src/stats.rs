@@ -131,11 +131,61 @@ impl LatencyHisto {
     }
 }
 
+/// The request-accounting ledger: every well-formed submit request the
+/// server receives must be answered exactly one way, so at quiescence
+/// (no submit in flight) `ok + errors + drops == submitted`.
+///
+/// This is THE consistency check shared by the loadgen harness and the
+/// chaos runner — both read it via [`Accounting::from_stats_json`]
+/// instead of re-deriving the invariant from ad-hoc counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Accounting {
+    /// Well-formed submit requests received (bumped on arrival).
+    pub submitted: u64,
+    /// Submits answered `{"status": "ok"}`.
+    pub ok: u64,
+    /// Submits answered with a structured error (worker failures,
+    /// panics, timeouts, drain refusals).
+    pub errors: u64,
+    /// Submits dropped with `{"status": "overloaded"}` (backpressure).
+    pub drops: u64,
+}
+
+impl Accounting {
+    /// Whether every submitted request is accounted for. Only
+    /// meaningful at quiescence: a snapshot taken while a submit is in
+    /// flight may see `submitted` ahead of the outcome counters.
+    #[must_use]
+    pub fn balanced(&self) -> bool {
+        self.ok + self.errors + self.drops == self.submitted
+    }
+
+    /// Read the ledger out of a `stats` reply body (the object under
+    /// the `"stats"` key, or the raw [`ServerStats::to_json`] value).
+    #[must_use]
+    pub fn from_stats_json(v: &Json) -> Option<Self> {
+        let body = v.get("stats").unwrap_or(v);
+        let n = |key: &str| body.get(key).and_then(Json::as_u64);
+        Some(Self {
+            submitted: n("submitted")?,
+            ok: n("submit_ok")?,
+            errors: n("submit_errors")?,
+            drops: n("rejected_overload")?,
+        })
+    }
+}
+
 /// Counters shared by every server thread.
 #[derive(Debug, Default)]
 pub struct ServerStats {
     /// Connections accepted over the server's lifetime.
     pub connections: AtomicU64,
+    /// Well-formed submit requests received (before any queueing).
+    pub submitted: AtomicU64,
+    /// Submits whose reply to the client was `ok`.
+    pub submit_ok: AtomicU64,
+    /// Submits whose reply to the client was a structured error.
+    pub submit_errors: AtomicU64,
     /// Submit requests accepted into the queue.
     pub accepted: AtomicU64,
     /// Submit requests completed successfully.
@@ -164,6 +214,17 @@ impl ServerStats {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Snapshot the request-accounting ledger.
+    #[must_use]
+    pub fn accounting(&self) -> Accounting {
+        Accounting {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            ok: self.submit_ok.load(Ordering::Relaxed),
+            errors: self.submit_errors.load(Ordering::Relaxed),
+            drops: self.rejected_overload.load(Ordering::Relaxed),
+        }
+    }
+
     /// Render the `stats` reply body.
     #[must_use]
     pub fn to_json(&self) -> Json {
@@ -173,6 +234,9 @@ impl ServerStats {
         };
         obj(vec![
             ("connections", n(&self.connections)),
+            ("submitted", n(&self.submitted)),
+            ("submit_ok", n(&self.submit_ok)),
+            ("submit_errors", n(&self.submit_errors)),
             ("accepted", n(&self.accepted)),
             ("completed", n(&self.completed)),
             ("rejected_overload", n(&self.rejected_overload)),
@@ -241,6 +305,9 @@ mod tests {
         let j = s.to_json();
         for key in [
             "connections",
+            "submitted",
+            "submit_ok",
+            "submit_errors",
             "accepted",
             "completed",
             "rejected_overload",
@@ -256,5 +323,47 @@ mod tests {
             j.get("latency").unwrap().get("count").unwrap().as_u64(),
             Some(1)
         );
+    }
+
+    #[test]
+    fn accounting_balances_iff_outcomes_cover_submissions() {
+        let s = ServerStats::new();
+        for _ in 0..5 {
+            ServerStats::bump(&s.submitted);
+        }
+        ServerStats::bump(&s.submit_ok);
+        ServerStats::bump(&s.submit_ok);
+        ServerStats::bump(&s.submit_errors);
+        ServerStats::bump(&s.rejected_overload);
+        assert!(!s.accounting().balanced(), "one submit still unanswered");
+        ServerStats::bump(&s.submit_ok);
+        let a = s.accounting();
+        assert!(a.balanced(), "{a:?}");
+        assert_eq!(
+            a,
+            Accounting {
+                submitted: 5,
+                ok: 3,
+                errors: 1,
+                drops: 1
+            }
+        );
+    }
+
+    #[test]
+    fn accounting_roundtrips_through_the_stats_reply() {
+        let s = ServerStats::new();
+        ServerStats::bump(&s.submitted);
+        ServerStats::bump(&s.submit_errors);
+        let direct = s.accounting();
+        // Raw stats body and the full `stats` reply envelope both parse.
+        let body = s.to_json();
+        assert_eq!(Accounting::from_stats_json(&body), Some(direct));
+        let reply = obj(vec![
+            ("status", Json::Str("ok".into())),
+            ("stats", body),
+        ]);
+        assert_eq!(Accounting::from_stats_json(&reply), Some(direct));
+        assert_eq!(Accounting::from_stats_json(&Json::Null), None);
     }
 }

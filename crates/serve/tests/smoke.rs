@@ -10,6 +10,7 @@ use moldable_serve::json;
 use moldable_serve::loadgen::{self, Client, LoadConfig, LoadMode};
 use moldable_serve::proto::{self, GraphSpec, Request, SubmitRequest};
 use moldable_serve::server::{Server, ServerConfig};
+use moldable_serve::Accounting;
 
 fn ephemeral(config: ServerConfig) -> Server {
     Server::start(ServerConfig {
@@ -270,6 +271,101 @@ fn drain_refuses_new_submits_but_finishes_queued_work() {
         .unwrap()
         .contains("draining"));
     drop(client);
+    server.join();
+}
+
+fn accounting_of(client: &mut Client) -> Accounting {
+    let stats = client.call(&Request::Stats).unwrap();
+    Accounting::from_stats_json(&stats).expect("stats reply carries the ledger")
+}
+
+#[test]
+fn injected_worker_panics_become_error_replies_and_pool_survives() {
+    let server = ephemeral(ServerConfig::default());
+    let pool = server.live_workers();
+    assert!(pool >= 1);
+    assert_eq!(server.fault_hooks().pending_panics(), 0);
+
+    server.fault_hooks().arm_panics(2);
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+    for _ in 0..2 {
+        let reply = client.call(&submit("cholesky", 4, 16, 5)).unwrap();
+        assert_eq!(reply.get("status").unwrap().as_str(), Some("error"), "{reply:?}");
+        assert!(reply.get("error").unwrap().as_str().unwrap().contains("panicked"));
+    }
+    assert_eq!(server.fault_hooks().pending_panics(), 0, "budget consumed");
+
+    // Service recovered: the next submit succeeds and the worker pool
+    // did not shrink (catch_unwind containment held).
+    let reply = client.call(&submit("cholesky", 4, 16, 5)).unwrap();
+    assert_eq!(reply.get("status").unwrap().as_str(), Some("ok"), "{reply:?}");
+    assert_eq!(server.live_workers(), pool, "no worker thread died");
+
+    let ledger = accounting_of(&mut client);
+    assert_eq!(ledger.submitted, 3);
+    assert_eq!(ledger.ok, 1);
+    assert_eq!(ledger.errors, 2);
+    assert_eq!(ledger.drops, 0);
+    assert!(ledger.balanced(), "{ledger:?}");
+
+    server.trigger_drain();
+    drop(client);
+    server.join();
+}
+
+#[test]
+fn timeout_skew_forces_timeouts_and_the_ledger_still_balances() {
+    let server = ephemeral(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    // Skew past the configured timeout: the effective deadline is zero,
+    // so the connection layer gives up while the worker still finishes
+    // the job in the background — the worst-case accounting race.
+    server.fault_hooks().set_timeout_skew(Duration::from_secs(3600));
+    let reply = client.call(&submit("cholesky", 6, 32, 9)).unwrap();
+    assert_eq!(reply.get("status").unwrap().as_str(), Some("error"), "{reply:?}");
+    assert!(reply.get("error").unwrap().as_str().unwrap().contains("timed out"));
+
+    // Clearing the skew restores service.
+    server.fault_hooks().set_timeout_skew(Duration::ZERO);
+    let reply = client.call(&submit("cholesky", 6, 32, 9)).unwrap();
+    assert_eq!(reply.get("status").unwrap().as_str(), Some("ok"), "{reply:?}");
+
+    let ledger = accounting_of(&mut client);
+    assert_eq!(ledger.submitted, 2);
+    assert_eq!(ledger.ok, 1);
+    assert_eq!(ledger.errors, 1, "the timed-out request is an error, not lost");
+    assert!(ledger.balanced(), "{ledger:?}");
+
+    server.trigger_drain();
+    drop(client);
+    server.join();
+}
+
+#[test]
+fn loadgen_report_carries_a_balanced_ledger() {
+    let server = ephemeral(ServerConfig::default());
+    let config = LoadConfig {
+        addr: server.local_addr().to_string(),
+        clients: 2,
+        requests: 20,
+        mode: LoadMode::Closed,
+        shape: "chain".into(),
+        size: 4,
+        distinct_seeds: 4,
+        ..LoadConfig::default()
+    };
+    let report = loadgen::run(&config).unwrap();
+    let ledger = report.accounting.expect("post-run stats snapshot");
+    assert_eq!(ledger.submitted, 20);
+    assert!(ledger.balanced(), "{ledger:?}");
+    assert!(report.summary().contains("accounting: balanced"));
+    server.trigger_drain();
     server.join();
 }
 

@@ -18,12 +18,15 @@
 //! * [`resilience`] — failure-prone execution with re-execution until
 //!   success (the paper's Section 2 carry-over scenario);
 //! * [`serve`] — scheduling as a service: a TCP daemon serving online
-//!   scheduling requests, plus the load-generator harness.
+//!   scheduling requests, plus the load-generator harness;
+//! * [`chaos`] — seeded deterministic fault injection against the
+//!   daemon, with five post-scenario invariants.
 //!
 //! See `examples/quickstart.rs` for the 20-line happy path.
 
 pub use moldable_adversary as adversary;
 pub use moldable_analysis as analysis;
+pub use moldable_chaos as chaos;
 pub use moldable_core as core;
 pub use moldable_graph as graph;
 pub use moldable_hetero as hetero;
