@@ -16,7 +16,7 @@
 //! finishes at time 1 by giving each group-`i` chain `2^{i−1}`
 //! processors.
 
-use moldable_graph::{TaskGraph, TaskId};
+use moldable_graph::{GraphBuilder, TaskGraph, TaskId};
 use moldable_model::SpeedupModel;
 use moldable_sim::{Instance, Schedule, ScheduleBuilder};
 
@@ -79,7 +79,7 @@ pub fn fig3_graph(l: u32) -> (TaskGraph, Vec<(u32, Vec<TaskId>)>) {
     let pr = params(l);
     let model = chain_task_model();
     #[allow(clippy::cast_possible_truncation)]
-    let mut graph = TaskGraph::with_capacity(pr.n_tasks as usize);
+    let mut graph = GraphBuilder::with_capacity(pr.n_tasks as usize);
     let mut chains = Vec::new();
     for group in 1..=pr.k {
         for _ in 0..(1u64 << (pr.k - group)) {
@@ -88,7 +88,7 @@ pub fn fig3_graph(l: u32) -> (TaskGraph, Vec<(u32, Vec<TaskId>)>) {
             for _ in 0..group {
                 let t = graph.add_task(model.clone());
                 if let Some(p) = prev {
-                    graph.add_edge(p, t).expect("chains are acyclic");
+                    graph.add_edge_topo(p, t);
                 }
                 prev = Some(t);
                 tasks.push(t);
@@ -96,7 +96,7 @@ pub fn fig3_graph(l: u32) -> (TaskGraph, Vec<(u32, Vec<TaskId>)>) {
             chains.push((group, tasks));
         }
     }
-    (graph, chains)
+    (graph.freeze(), chains)
 }
 
 /// The offline schedule of Figure 4(a): group-`i` chains run on

@@ -44,7 +44,7 @@ impl GenericInstance {
         model_c: SpeedupModel,
     ) -> Self {
         assert!(x >= 1 && y >= 1, "need at least one layer and one B task");
-        let mut graph = TaskGraph::with_capacity((x + 1) * y + 1);
+        let mut graph = moldable_graph::GraphBuilder::with_capacity((x + 1) * y + 1);
         let mut a_tasks = Vec::with_capacity(y);
         let mut b_tasks = Vec::with_capacity(y);
 
@@ -72,7 +72,7 @@ impl GenericInstance {
             .expect("final edge is acyclic");
 
         Self {
-            graph,
+            graph: graph.freeze(),
             a_tasks,
             b_tasks,
             c_task,

@@ -5,7 +5,6 @@
 //! the optimal schedule uses all `P` processors for makespan 1. As
 //! `P → ∞` the ratio tends to `1/μ = (3+√5)/2 ≈ 2.618`.
 
-use moldable_graph::TaskGraph;
 use moldable_model::{ModelClass, SpeedupModel};
 use moldable_sim::ScheduleBuilder;
 
@@ -20,7 +19,7 @@ use crate::LowerBoundInstance;
 pub fn instance(p_total: u32) -> LowerBoundInstance {
     assert!(p_total >= 1);
     let mu = ModelClass::Roofline.optimal_mu();
-    let mut graph = TaskGraph::new();
+    let mut graph = moldable_graph::GraphBuilder::new();
     let t = graph.add_task(
         SpeedupModel::roofline(f64::from(p_total), p_total).expect("valid roofline task"),
     );
@@ -29,7 +28,7 @@ pub fn instance(p_total: u32) -> LowerBoundInstance {
     sb.place(t, 0.0, 1.0, p_total);
     let proof = sb.build();
     LowerBoundInstance {
-        graph,
+        graph: graph.freeze(),
         p_total,
         mu,
         t_opt_upper: 1.0,

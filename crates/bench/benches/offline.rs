@@ -6,7 +6,7 @@
 use moldable_bench::timing::bench;
 use moldable_bench::Workload;
 use moldable_core::{EasyBackfillScheduler, OnlineScheduler};
-use moldable_graph::TaskGraph;
+use moldable_graph::GraphBuilder;
 use moldable_model::{ModelClass, SpeedupModel};
 use moldable_offline::{cpa, optimal_makespan, turek_schedule, BruteForceLimits};
 use moldable_sim::{simulate, SimOptions};
@@ -15,13 +15,14 @@ use std::hint::black_box;
 fn bench_brute_force() {
     // 6 tasks with a couple of edges on P = 4: the sweet spot the
     // optimality tests live in.
-    let mut g = TaskGraph::new();
+    let mut g = GraphBuilder::new();
     let ids: Vec<_> = (0..6)
         .map(|i| g.add_task(SpeedupModel::amdahl(4.0 + f64::from(i), 0.5).unwrap()))
         .collect();
     g.add_edge(ids[0], ids[2]).unwrap();
     g.add_edge(ids[1], ids[3]).unwrap();
     g.add_edge(ids[2], ids[4]).unwrap();
+    let g = g.freeze();
     bench("brute_force", "optimal_6tasks_P4", || {
         optimal_makespan(black_box(&g), 4, BruteForceLimits::default())
     });

@@ -14,7 +14,7 @@
 
 use moldable_bench::{write_result, Table, Workload};
 use moldable_core::OnlineScheduler;
-use moldable_graph::TaskGraph;
+use moldable_graph::{GraphBuilder, TaskGraph};
 use moldable_model::sample::ParamDistribution;
 use moldable_model::ModelClass;
 use moldable_offline::{cpa, optimal_makespan, turek_schedule, BruteForceLimits};
@@ -47,7 +47,7 @@ fn tiny_vs_exact() -> Table {
                 c_frac: (0.0, 0.2),
                 pbar_range: (1, 6),
             };
-            let mut g = TaskGraph::new();
+            let mut g = GraphBuilder::new();
             let ids: Vec<_> = (0..n)
                 .map(|_| g.add_task(dist.sample(class, p, &mut rng)))
                 .collect();
@@ -58,6 +58,7 @@ fn tiny_vs_exact() -> Table {
                     }
                 }
             }
+            let g = g.freeze();
             let Some(opt) = optimal_makespan(&g, p, BruteForceLimits::default()) else {
                 continue;
             };

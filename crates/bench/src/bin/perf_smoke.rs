@@ -48,7 +48,13 @@ struct Measurement {
 impl Measurement {
     #[allow(clippy::cast_precision_loss)]
     fn tasks_per_sec(&self) -> f64 {
-        self.n_tasks as f64 / self.sim_secs
+        // Build-only rows have no simulation phase; report 0 rather
+        // than dividing by zero.
+        if self.sim_secs == 0.0 {
+            0.0
+        } else {
+            self.n_tasks as f64 / self.sim_secs
+        }
     }
 }
 
@@ -148,6 +154,47 @@ fn wide_50k(reference: bool) -> Measurement {
     }
 }
 
+/// Frozen-CSR construction: rebuild the largest generator instance CI
+/// builds in full (wavefront 1000 — 10^6 tasks, ~2×10^6 edges) from
+/// its own frozen edge list, once through the generators' trusted
+/// `add_edge_topo` fast path and once through the checked `add_edge`
+/// API (cycle check + duplicate hashing), the pre-refactor cost model.
+/// Task insertion, model clones, and `freeze` are identical work on
+/// both sides, so the delta is purely the per-edge validation cost the
+/// generators no longer pay. Build-only rows: `sim_secs` is 0 by
+/// construction.
+fn graph_build(checked: bool) -> Measurement {
+    let g = gen::by_name("wavefront", 1_000, ModelClass::Amdahl, 64, 11).expect("shape");
+    let t0 = Instant::now();
+    let mut b = moldable_graph::GraphBuilder::with_capacity(g.n_tasks());
+    for t in g.task_ids() {
+        b.add_task(g.model(t).clone());
+    }
+    for t in g.task_ids() {
+        for &s in g.succs(t) {
+            if checked {
+                b.add_edge(t, s).expect("frozen edges are acyclic");
+            } else {
+                b.add_edge_topo(t, s);
+            }
+        }
+    }
+    let rebuilt = b.freeze();
+    let build_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(rebuilt.n_edges(), g.n_edges(), "rebuild dropped edges");
+    Measurement {
+        name: if checked {
+            "graph_build_checked_wavefront_1000"
+        } else {
+            "graph_build_topo_wavefront_1000"
+        },
+        n_tasks: g.n_tasks(),
+        build_secs,
+        sim_secs: 0.0,
+        makespan: 0.0,
+    }
+}
+
 /// Shared request template for the three serve-path measurements.
 const SERVE_REQUESTS: usize = 500;
 const SERVE_SEEDS: u64 = 16;
@@ -200,9 +247,15 @@ fn serve_direct() -> Measurement {
 }
 
 /// The service layer in-process: adds request interpretation, schedule
-/// validation, Lemma 2 bounds, and JSON reply assembly.
-fn serve_service() -> Measurement {
-    let mut ctx = moldable_serve::WorkerContext::new();
+/// validation, Lemma 2 bounds, and JSON reply assembly. Run once with
+/// the worker's frozen-graph LRU (the default) and once with caching
+/// disabled (`graph_cache_cap = 0`), so the cache's contribution to
+/// service throughput is its own row.
+fn serve_service(cached: bool) -> Measurement {
+    let mut ctx = moldable_serve::WorkerContext::with_limits(moldable_serve::ServiceLimits {
+        graph_cache_cap: if cached { 64 } else { 0 },
+        ..moldable_serve::ServiceLimits::default()
+    });
     let t0 = Instant::now();
     let mut n_tasks = 0;
     let mut makespan = 0.0;
@@ -221,8 +274,19 @@ fn serve_service() -> Measurement {
             .and_then(moldable_serve::json::Json::as_f64)
             .expect("makespan");
     }
+    // With the 16-seed request stream, a warm cache serves 484 of the
+    // 500 graphs without construction.
+    if cached {
+        assert!(ctx.graph_cache_hits() > 0, "cache never hit");
+    } else {
+        assert_eq!(ctx.graph_cache_hits(), 0, "disabled cache hit");
+    }
     Measurement {
-        name: "serve_service_500",
+        name: if cached {
+            "serve_service_cached_500"
+        } else {
+            "serve_service_uncached_500"
+        },
         n_tasks,
         build_secs: 0.0,
         sim_secs: t0.elapsed().as_secs_f64(),
@@ -291,17 +355,36 @@ fn main() {
         thm9_adaptive(),
         wide_50k(false),
         wide_50k(true),
+        graph_build(false),
+        graph_build(true),
         serve_direct(),
-        serve_service(),
+        serve_service(true),
+        serve_service(false),
         serve_tcp(),
     ];
+    let by_name = |name: &str| {
+        runs.iter()
+            .find(|m| m.name == name)
+            .unwrap_or_else(|| panic!("no run named {name}"))
+    };
     // Same instance, same decisions: only the queue implementation (and
-    // therefore the wall clock) may differ between the last two runs.
-    assert_eq!(runs[3].makespan, runs[4].makespan, "queues must agree");
-    // The three serve paths execute identical request streams: the wire
-    // and service layers must not change a single scheduling decision.
-    assert_eq!(runs[5].makespan, runs[6].makespan, "service layer must agree");
-    assert_eq!(runs[6].makespan, runs[7].makespan, "daemon must agree");
+    // therefore the wall clock) may differ between these two runs.
+    assert_eq!(
+        by_name("wide_50k_indexed_queue").makespan,
+        by_name("wide_50k_reference_queue").makespan,
+        "queues must agree"
+    );
+    // The serve paths execute identical request streams: the wire and
+    // service layers — and the frozen-graph cache — must not change a
+    // single scheduling decision.
+    let serve_makespan = by_name("serve_direct_500").makespan;
+    for name in [
+        "serve_service_cached_500",
+        "serve_service_uncached_500",
+        "serve_tcp_500",
+    ] {
+        assert_eq!(by_name(name).makespan, serve_makespan, "{name} must agree");
+    }
 
     let mut json = String::from("{\n  \"benchmarks\": [\n");
     for (i, m) in runs.iter().enumerate() {

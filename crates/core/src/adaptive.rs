@@ -103,7 +103,7 @@ impl Scheduler for AdaptiveScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use moldable_graph::{gen, TaskGraph};
+    use moldable_graph::{gen, GraphBuilder};
     use moldable_model::sample::ParamDistribution;
     use moldable_sim::{simulate, SimOptions};
     use moldable_model::rng::StdRng;
@@ -130,10 +130,11 @@ mod tests {
     fn mu_adapts_when_a_new_class_appears() {
         // Chain: roofline task first, Amdahl second — after the second
         // release the class joins to General and μ drops.
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         let a = g.add_task(SpeedupModel::roofline(8.0, 4).unwrap());
         let b = g.add_task(SpeedupModel::amdahl(8.0, 1.0).unwrap());
         g.add_edge(a, b).unwrap();
+        let g = g.freeze();
         let mut s = AdaptiveScheduler::new();
         let sched = simulate(&g, &mut s, &SimOptions::new(16)).unwrap();
         sched.validate(&g).unwrap();
@@ -149,7 +150,7 @@ mod tests {
         let p_total = 24;
         let mut rng = StdRng::seed_from_u64(11);
         let dist = ParamDistribution::default();
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         let mut prev = None;
         for i in 0..20 {
             let class = ModelClass::bounded_classes()[i % 4];
@@ -161,6 +162,7 @@ mod tests {
             }
             prev = Some(t);
         }
+        let g = g.freeze();
         let mut s = AdaptiveScheduler::new();
         let sched = simulate(&g, &mut s, &SimOptions::new(p_total)).unwrap();
         sched.validate(&g).unwrap();

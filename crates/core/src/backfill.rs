@@ -154,7 +154,7 @@ impl Scheduler for EasyBackfillScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use moldable_graph::TaskGraph;
+    use moldable_graph::GraphBuilder;
     use moldable_model::{ModelClass, MU_MAX};
     use moldable_sim::{simulate, SimOptions};
 
@@ -169,8 +169,8 @@ mod tests {
     // 10 and extra = 1 (4 processors available once the first long task
     // ends, 3 of them reserved).
 
-    fn blocked_head_graph() -> (TaskGraph, [TaskId; 3]) {
-        let mut g = TaskGraph::new();
+    fn blocked_head_graph() -> (GraphBuilder, [TaskId; 3]) {
+        let mut g = GraphBuilder::new();
         let l1 = g.add_task(rigid(20.0, 2)); // t(2) = 10
         let l2 = g.add_task(rigid(20.0, 2)); // t(2) = 10
         let wide = g.add_task(rigid(3.0, 3)); // t(3) = 1, needs 3 > 2 free
@@ -183,6 +183,7 @@ mod tests {
     fn backfills_short_task_into_the_gap() {
         let (mut g, [l1, l2, wide]) = blocked_head_graph();
         let short = g.add_task(rigid(2.0, 1)); // t(1) = 2 <= shadow 10
+        let g = g.freeze();
         let mut s = EasyBackfillScheduler::new(MU_MAX);
         let sched = simulate(&g, &mut s, &SimOptions::new(6)).unwrap();
         sched.validate(&g).unwrap();
@@ -202,6 +203,7 @@ mod tests {
         // 2 procs for 60s: ends after the shadow (10) and is wider than
         // extra (1) — starting it would push the head to t = 60.
         let blocker = g.add_task(rigid(120.0, 2));
+        let g = g.freeze();
         let mut s = EasyBackfillScheduler::new(MU_MAX);
         let sched = simulate(&g, &mut s, &SimOptions::new(6)).unwrap();
         sched.validate(&g).unwrap();
@@ -223,6 +225,7 @@ mod tests {
         // 1 proc for 50s: ends long after the shadow, but its width (1)
         // fits inside `extra` (1), so it cannot delay the head.
         let narrow = g.add_task(rigid(50.0, 1));
+        let g = g.freeze();
         let mut s = EasyBackfillScheduler::new(MU_MAX);
         let sched = simulate(&g, &mut s, &SimOptions::new(6)).unwrap();
         sched.validate(&g).unwrap();
@@ -241,12 +244,13 @@ mod tests {
         // 60s tasks are each individually within `extra`, but together
         // they would hold 2 processors at t = 10 and push the head to
         // t = 50. EASY must admit at most one.
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         let _l1 = g.add_task(rigid(20.0, 2)); // t(2) = 10
         let _l2 = g.add_task(rigid(100.0, 2)); // t(2) = 50
         let wide = g.add_task(rigid(3.0, 3));
         let n1 = g.add_task(rigid(60.0, 1)); // t(1) = 60
         let n2 = g.add_task(rigid(60.0, 1));
+        let g = g.freeze();
         let mut s = EasyBackfillScheduler::new(MU_MAX);
         let sched = simulate(&g, &mut s, &SimOptions::new(6)).unwrap();
         sched.validate(&g).unwrap();

@@ -222,7 +222,7 @@ impl Scheduler for EqualShareScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use moldable_graph::{gen, TaskGraph};
+    use moldable_graph::{gen, GraphBuilder, TaskGraph};
     use moldable_sim::{simulate, SimOptions};
 
     fn amdahl_chain(n: usize, w: f64, d: f64) -> TaskGraph {
@@ -258,8 +258,9 @@ mod tests {
     #[test]
     fn lpa_only_allocates_initial_not_capped() {
         // Amdahl task where Step 1 exceeds the cap.
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         g.add_task(SpeedupModel::amdahl(1000.0, 0.1).unwrap());
+        let g = g.freeze();
         let p_total = 64;
         let mu = 0.271;
         let s = simulate(&g, &mut lpa_only(mu), &SimOptions::new(p_total)).unwrap();
@@ -293,9 +294,10 @@ mod tests {
     #[test]
     fn ect_respects_p_max() {
         // Roofline task with small pbar leaves room for the next task.
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         g.add_task(SpeedupModel::roofline(4.0, 2).unwrap());
         g.add_task(SpeedupModel::roofline(4.0, 2).unwrap());
+        let g = g.freeze();
         let s = simulate(&g, &mut EctScheduler::new(), &SimOptions::new(8)).unwrap();
         assert!(s.placements.iter().all(|p| p.procs == 2));
         assert_eq!(s.makespan, 2.0); // both run in parallel

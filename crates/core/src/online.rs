@@ -211,33 +211,38 @@ impl Scheduler for OnlineScheduler {
         });
     }
 
-    fn select(&mut self, _now: f64, free: u32) -> Vec<(TaskId, u32)> {
+    fn select(&mut self, now: f64, free: u32) -> Vec<(TaskId, u32)> {
+        let mut started = Vec::new();
+        self.select_into(now, free, &mut started);
+        started
+    }
+
+    fn select_into(&mut self, _now: f64, free: u32, out: &mut Vec<(TaskId, u32)>) {
         // List scheduling: start *every* waiting task that fits, in
         // queue order (Algorithm 1, lines 7–11). Popping first fits
         // until none remains is the same scan — free only shrinks, so
         // a skipped task stays infeasible for this decision point.
         let mut free = free;
-        let mut started = Vec::new();
         while let Some(item) = self.queue.pop_first_fit(free) {
             free -= item.alloc;
-            started.push((item.task, item.alloc));
+            out.push((item.task, item.alloc));
         }
-        started
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use moldable_graph::{gen, TaskGraph};
+    use moldable_graph::{gen, GraphBuilder};
     use moldable_sim::{simulate, SimOptions};
 
     #[test]
     fn roofline_single_task_gets_capped() {
         // Theorem 5's instance: one task, w = P, pbar = P.
         let p = 100u32;
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         let t = g.add_task(SpeedupModel::roofline(f64::from(p), p).unwrap());
+        let g = g.freeze();
         let mut s = OnlineScheduler::for_class(ModelClass::Roofline).record_decisions(true);
         let sched = simulate(&g, &mut s, &SimOptions::new(p)).unwrap();
         let cap = crate::mu_cap(p, ModelClass::Roofline.optimal_mu());
@@ -263,10 +268,11 @@ mod tests {
         // Two wide tasks + one narrow on P = 3; each wide takes 2
         // processors, so FIFO starts wide1 + narrow and wide2 waits —
         // list scheduling skips past the blocked wide2 to reach narrow.
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         let wide1 = g.add_task(SpeedupModel::roofline(10.0, 2).unwrap());
         let wide2 = g.add_task(SpeedupModel::roofline(10.0, 2).unwrap());
         let narrow = g.add_task(SpeedupModel::roofline(1.0, 1).unwrap());
+        let g = g.freeze();
         let mut s = OnlineScheduler::with_mu(moldable_model::MU_MAX);
         let sched = simulate(&g, &mut s, &SimOptions::new(3)).unwrap();
         sched.validate(&g).unwrap();
@@ -318,9 +324,10 @@ mod tests {
     fn policy_changes_start_order() {
         // One long and one short independent task, P = 1 proc: the
         // policy decides which runs first.
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         let long = g.add_task(SpeedupModel::roofline(9.0, 1).unwrap());
         let short = g.add_task(SpeedupModel::roofline(1.0, 1).unwrap());
+        let g = g.freeze();
         let run = |policy| {
             let mut s = OnlineScheduler::with_mu(0.3).with_policy(policy);
             simulate(&g, &mut s, &SimOptions::new(1)).unwrap()

@@ -13,7 +13,7 @@
 #![cfg(feature = "slow-tests")]
 
 use moldable_core::OnlineScheduler;
-use moldable_graph::{gen, TaskGraph};
+use moldable_graph::{gen, GraphBuilder, TaskGraph};
 use moldable_model::rng::{Rng, StdRng};
 use moldable_model::sample::ParamDistribution;
 use moldable_model::ModelClass;
@@ -176,7 +176,7 @@ fn mixed_models_use_general_guarantee() {
         let p_total = 24;
         let mut rng = StdRng::seed_from_u64(seed);
         let dist = ParamDistribution::default();
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         let mut prev: Option<moldable_graph::TaskId> = None;
         for i in 0..16 {
             let class = ModelClass::bounded_classes()[i % 4];
@@ -188,6 +188,7 @@ fn mixed_models_use_general_guarantee() {
             }
             prev = Some(t);
         }
+        let g = g.freeze();
         let class = g.model_class().unwrap();
         assert_eq!(class, ModelClass::General);
         let mut sched = OnlineScheduler::for_class(class);

@@ -11,7 +11,7 @@
 //! counts, same makespan.
 
 use moldable_core::{allocate, AllocCache, OnlineScheduler, QueuePolicy};
-use moldable_graph::{gen, TaskGraph};
+use moldable_graph::{gen, GraphBuilder, TaskGraph};
 use moldable_model::rng::{Rng, StdRng};
 use moldable_model::sample::ParamDistribution;
 use moldable_model::{ModelClass, SpeedupModel, MU_MAX};
@@ -111,7 +111,7 @@ fn equal_duration_completion_batches_break_ties_identically() {
     // Many identical tasks completing at the same instant stress the
     // decision-point batching: every policy primary is tied, so the
     // release-sequence tiebreak alone determines the start order.
-    let mut g = TaskGraph::new();
+    let mut g = GraphBuilder::new();
     let mut roots = Vec::new();
     for _ in 0..16 {
         roots.push(g.add_task(SpeedupModel::roofline(4.0, 2).unwrap()));
@@ -123,6 +123,7 @@ fn equal_duration_completion_batches_break_ties_identically() {
         g.add_edge(roots[i % 16], c).unwrap();
         g.add_edge(roots[(i + 5) % 16], c).unwrap();
     }
+    let g = g.freeze();
     for p_total in [3u32, 8, 13, 64] {
         for policy in POLICIES {
             differential(&g, p_total, 0.3, policy, &format!("P={p_total} {policy:?}"));

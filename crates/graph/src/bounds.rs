@@ -92,14 +92,15 @@ impl TaskGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::GraphBuilder;
     use moldable_model::SpeedupModel;
 
     #[test]
     fn single_task_bounds() {
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         // Amdahl w=10, d=2: a_min = 12, t_min(4) = 10/4 + 2 = 4.5
         let t = g.add_task(SpeedupModel::amdahl(10.0, 2.0).unwrap());
-        let b = g.bounds(4);
+        let b = g.freeze().bounds(4);
         assert_eq!(b.a_min_total, 12.0);
         assert_eq!(b.c_min, 4.5);
         assert_eq!(b.critical_path, vec![t]);
@@ -109,12 +110,12 @@ mod tests {
 
     #[test]
     fn chain_sums_t_min_independents_sum_area() {
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         let ids: Vec<_> = (0..4)
             .map(|_| g.add_task(SpeedupModel::roofline(8.0, 8).unwrap()))
             .collect();
         // independent: C_min = t_min = 1 (P=8), A_min = 32, area bound = 4.
-        let b = g.bounds(8);
+        let b = g.clone().freeze().bounds(8);
         assert_eq!(b.c_min, 1.0);
         assert_eq!(b.area_bound(), 4.0);
         assert_eq!(b.lower_bound(), 4.0);
@@ -122,7 +123,7 @@ mod tests {
         for w in ids.windows(2) {
             g.add_edge(w[0], w[1]).unwrap();
         }
-        let b = g.bounds(8);
+        let b = g.freeze().bounds(8);
         assert_eq!(b.c_min, 4.0);
         assert_eq!(b.critical_path, ids);
         assert_eq!(b.lower_bound(), 4.0);
@@ -130,7 +131,7 @@ mod tests {
 
     #[test]
     fn critical_path_picks_heavier_branch() {
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         let a = g.add_task(SpeedupModel::amdahl(0.0, 1.0).unwrap()); // t_min = 1
         let light = g.add_task(SpeedupModel::amdahl(0.0, 1.0).unwrap());
         let heavy = g.add_task(SpeedupModel::amdahl(0.0, 5.0).unwrap());
@@ -139,15 +140,16 @@ mod tests {
         g.add_edge(a, heavy).unwrap();
         g.add_edge(light, d).unwrap();
         g.add_edge(heavy, d).unwrap();
-        let b = g.bounds(2);
+        let b = g.freeze().bounds(2);
         assert_eq!(b.c_min, 7.0);
         assert_eq!(b.critical_path, vec![a, heavy, d]);
     }
 
     #[test]
     fn bounds_scale_with_platform() {
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         g.add_task(SpeedupModel::amdahl(100.0, 1.0).unwrap());
+        let g = g.freeze();
         let b1 = g.bounds(1);
         let b16 = g.bounds(16);
         assert!(b16.c_min < b1.c_min, "more processors shrink C_min");
@@ -160,7 +162,7 @@ mod tests {
 
     #[test]
     fn empty_graph_bounds_are_zero() {
-        let g = TaskGraph::new();
+        let g = TaskGraph::empty();
         let b = g.bounds(4);
         assert_eq!(b.lower_bound(), 0.0);
         assert!(b.critical_path.is_empty());

@@ -36,11 +36,11 @@ mod tests {
 
     #[test]
     fn dot_contains_nodes_and_edges() {
-        let mut g = TaskGraph::new();
+        let mut g = crate::GraphBuilder::new();
         let a = g.add_task(SpeedupModel::amdahl(1.0, 0.0).unwrap());
         let b = g.add_task(SpeedupModel::amdahl(1.0, 0.0).unwrap());
         g.add_edge(a, b).unwrap();
-        let dot = g.to_dot("test", |i| format!("T{i}"));
+        let dot = g.freeze().to_dot("test", |i| format!("T{i}"));
         assert!(dot.starts_with("digraph \"test\""));
         assert!(dot.contains("n0 [label=\"T0\"]"));
         assert!(dot.contains("n1 [label=\"T1\"]"));
@@ -50,7 +50,7 @@ mod tests {
 
     #[test]
     fn dot_of_empty_graph_is_valid() {
-        let g = TaskGraph::new();
+        let g = TaskGraph::empty();
         let dot = g.to_dot("empty", |i| i.to_string());
         assert!(dot.contains("digraph"));
         assert!(!dot.contains("->"));

@@ -18,7 +18,7 @@ use std::fmt;
 
 use moldable_model::{ParseError, SpeedupModel};
 
-use crate::{GraphError, TaskGraph, TaskId};
+use crate::{GraphBuilder, GraphError, TaskGraph, TaskId};
 
 /// Why a workflow file failed to load. Every variant carries the
 /// 1-based line number.
@@ -65,7 +65,9 @@ impl std::error::Error for WorkflowError {}
 ///
 /// Returns the first [`WorkflowError`] encountered, with its line.
 pub fn parse_workflow(text: &str) -> Result<(TaskGraph, Option<u32>), WorkflowError> {
-    let mut graph = TaskGraph::new();
+    // File input is untrusted: go through the checked builder API so
+    // cycles, duplicates, and unknown ids are rejected with line info.
+    let mut graph = GraphBuilder::new();
     let mut p_hint = None;
     for (idx, raw) in text.lines().enumerate() {
         let lineno = idx + 1;
@@ -118,7 +120,7 @@ pub fn parse_workflow(text: &str) -> Result<(TaskGraph, Option<u32>), WorkflowEr
             other => return Err(WorkflowError::UnknownDirective(lineno, other.to_string())),
         }
     }
-    Ok((graph, p_hint))
+    Ok((graph.freeze(), p_hint))
 }
 
 impl TaskGraph {

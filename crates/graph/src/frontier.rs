@@ -33,20 +33,40 @@ impl Frontier {
     }
 
     /// The initially available tasks (the graph's sources), in id order
-    /// — the paper's "at time 0" release.
+    /// — the paper's "at time 0" release. Served from the frozen
+    /// graph's precomputed source list; no scan.
     #[must_use]
     pub fn initial(&self, graph: &TaskGraph) -> Vec<TaskId> {
-        graph.sources()
+        graph.sources().to_vec()
     }
 
     /// Record the completion of `task` and return the tasks that become
     /// available *because of it*, in the graph's successor order.
+    ///
+    /// Allocates a fresh `Vec` per call; the engine's steady-state path
+    /// is [`Frontier::complete_into`].
     ///
     /// # Panics
     ///
     /// Panics if `task` was already completed or still has unfinished
     /// predecessors (a scheduler bug the simulator must not mask).
     pub fn complete(&mut self, graph: &TaskGraph, task: TaskId) -> Vec<TaskId> {
+        let mut newly = Vec::new();
+        self.complete_into(graph, task, &mut newly);
+        newly
+    }
+
+    /// [`Frontier::complete`], but appending the newly available tasks
+    /// to a caller-owned buffer instead of allocating. The buffer is
+    /// *not* cleared — the engine batches several same-instant
+    /// completions into one buffer and clears it between decision
+    /// points, which keeps the hot loop allocation-free at steady
+    /// state.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Frontier::complete`].
+    pub fn complete_into(&mut self, graph: &TaskGraph, task: TaskId, newly: &mut Vec<TaskId>) {
         assert!(!self.completed[task.index()], "{task} completed twice");
         assert_eq!(
             self.remaining_preds[task.index()],
@@ -55,7 +75,6 @@ impl Frontier {
         );
         self.completed[task.index()] = true;
         self.n_completed += 1;
-        let mut newly = Vec::new();
         for &s in graph.succs(task) {
             let r = &mut self.remaining_preds[s.index()];
             debug_assert!(*r > 0);
@@ -64,7 +83,6 @@ impl Frontier {
                 newly.push(s);
             }
         }
-        newly
     }
 
     /// Has every task completed?
@@ -89,6 +107,7 @@ impl Frontier {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::GraphBuilder;
     use moldable_model::SpeedupModel;
 
     fn unit() -> SpeedupModel {
@@ -97,7 +116,7 @@ mod tests {
 
     #[test]
     fn diamond_revelation_order() {
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         let a = g.add_task(unit());
         let b = g.add_task(unit());
         let c = g.add_task(unit());
@@ -106,6 +125,7 @@ mod tests {
         g.add_edge(a, c).unwrap();
         g.add_edge(b, d).unwrap();
         g.add_edge(c, d).unwrap();
+        let g = g.freeze();
 
         let mut f = Frontier::new(&g);
         assert_eq!(f.initial(&g), vec![a]);
@@ -125,7 +145,7 @@ mod tests {
     fn successor_order_is_preserved() {
         // The adversarial instances rely on B-tasks being revealed
         // before the next A-task: revelation must follow edge order.
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         let a = g.add_task(unit());
         let b1 = g.add_task(unit());
         let b2 = g.add_task(unit());
@@ -133,15 +153,33 @@ mod tests {
         g.add_edge(a, b1).unwrap();
         g.add_edge(a, b2).unwrap();
         g.add_edge(a, a2).unwrap();
+        let g = g.freeze();
         let mut f = Frontier::new(&g);
         assert_eq!(f.complete(&g, a), vec![b1, b2, a2]);
     }
 
     #[test]
+    fn complete_into_appends_without_clearing() {
+        let mut g = GraphBuilder::new();
+        let a = g.add_task(unit());
+        let b = g.add_task(unit());
+        let c = g.add_task(unit());
+        g.add_edge(a, c).unwrap();
+        let g = g.freeze();
+        let mut f = Frontier::new(&g);
+        let mut buf = Vec::new();
+        f.complete_into(&g, b, &mut buf);
+        f.complete_into(&g, a, &mut buf);
+        // Batched same-instant completions accumulate; nothing cleared.
+        assert_eq!(buf, vec![c]);
+    }
+
+    #[test]
     #[should_panic(expected = "completed twice")]
     fn double_completion_panics() {
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         let a = g.add_task(unit());
+        let g = g.freeze();
         let mut f = Frontier::new(&g);
         let _ = f.complete(&g, a);
         let _ = f.complete(&g, a);
@@ -150,10 +188,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "before its predecessors")]
     fn premature_completion_panics() {
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         let a = g.add_task(unit());
         let b = g.add_task(unit());
         g.add_edge(a, b).unwrap();
+        let g = g.freeze();
         let mut f = Frontier::new(&g);
         let _ = f.complete(&g, b);
     }

@@ -1,13 +1,13 @@
 //! Elementary graph shapes: chains, independent sets, fork-join, trees.
 
-use crate::{TaskGraph, TaskId};
+use crate::{GraphBuilder, TaskGraph, TaskId};
 use moldable_model::SpeedupModel;
 
 use super::TaskCtx;
 
 /// A linear chain of `n` tasks: `t0 → t1 → … → t(n−1)`.
 pub fn chain(n: usize, assign: &mut dyn FnMut(TaskCtx<'_>) -> SpeedupModel) -> TaskGraph {
-    let mut g = TaskGraph::with_capacity(n);
+    let mut g = GraphBuilder::with_capacity(n);
     let mut prev: Option<TaskId> = None;
     for index in 0..n {
         let t = g.add_task(assign(TaskCtx {
@@ -16,17 +16,17 @@ pub fn chain(n: usize, assign: &mut dyn FnMut(TaskCtx<'_>) -> SpeedupModel) -> T
             weight: 1.0,
         }));
         if let Some(p) = prev {
-            g.add_edge(p, t).expect("chain edges are acyclic");
+            g.add_edge_topo(p, t);
         }
         prev = Some(t);
     }
-    g
+    g.freeze()
 }
 
 /// `n` independent tasks (no edges) — the online-independent-tasks
 /// special case from the related-work table.
 pub fn independent(n: usize, assign: &mut dyn FnMut(TaskCtx<'_>) -> SpeedupModel) -> TaskGraph {
-    let mut g = TaskGraph::with_capacity(n);
+    let mut g = GraphBuilder::with_capacity(n);
     for index in 0..n {
         g.add_task(assign(TaskCtx {
             index,
@@ -34,7 +34,7 @@ pub fn independent(n: usize, assign: &mut dyn FnMut(TaskCtx<'_>) -> SpeedupModel
             weight: 1.0,
         }));
     }
-    g
+    g.freeze()
 }
 
 /// `stages` fork-join blocks in series; each block is a source task
@@ -46,7 +46,7 @@ pub fn fork_join(
     assign: &mut dyn FnMut(TaskCtx<'_>) -> SpeedupModel,
 ) -> TaskGraph {
     assert!(width >= 1 && stages >= 1);
-    let mut g = TaskGraph::with_capacity(stages * (width + 2));
+    let mut g = GraphBuilder::with_capacity(stages * (width + 2));
     let mut index = 0;
     let mut prev_join: Option<TaskId> = None;
     for _ in 0..stages {
@@ -57,7 +57,7 @@ pub fn fork_join(
         }));
         index += 1;
         if let Some(j) = prev_join {
-            g.add_edge(j, fork).expect("stage edges are acyclic");
+            g.add_edge_topo(j, fork);
         }
         let mut mids = Vec::with_capacity(width);
         for _ in 0..width {
@@ -67,7 +67,7 @@ pub fn fork_join(
                 weight: 1.0,
             }));
             index += 1;
-            g.add_edge(fork, m).expect("fork edges are acyclic");
+            g.add_edge_topo(fork, m);
             mids.push(m);
         }
         let join = g.add_task(assign(TaskCtx {
@@ -77,11 +77,11 @@ pub fn fork_join(
         }));
         index += 1;
         for m in mids {
-            g.add_edge(m, join).expect("join edges are acyclic");
+            g.add_edge_topo(m, join);
         }
         prev_join = Some(join);
     }
-    g
+    g.freeze()
 }
 
 /// A reduction (in-)tree: `arity^depth` leaves reduced level by level
@@ -93,7 +93,7 @@ pub fn in_tree(
     assign: &mut dyn FnMut(TaskCtx<'_>) -> SpeedupModel,
 ) -> TaskGraph {
     assert!(arity >= 2, "a reduction tree needs arity >= 2");
-    let mut g = TaskGraph::new();
+    let mut g = GraphBuilder::new();
     let mut index = 0;
     // current level, from leaves upward
     let mut level: Vec<TaskId> = (0..arity.pow(depth))
@@ -117,13 +117,13 @@ pub fn in_tree(
             }));
             index += 1;
             for &child in group {
-                g.add_edge(child, parent).expect("tree edges are acyclic");
+                g.add_edge_topo(child, parent);
             }
             next.push(parent);
         }
         level = next;
     }
-    g
+    g.freeze()
 }
 
 /// A broadcast (out-)tree: one root expanding level by level into
@@ -134,7 +134,7 @@ pub fn out_tree(
     assign: &mut dyn FnMut(TaskCtx<'_>) -> SpeedupModel,
 ) -> TaskGraph {
     assert!(arity >= 2, "a broadcast tree needs arity >= 2");
-    let mut g = TaskGraph::new();
+    let mut g = GraphBuilder::new();
     let mut index = 0;
     let root = g.add_task(assign(TaskCtx {
         index,
@@ -153,13 +153,13 @@ pub fn out_tree(
                     weight: 1.0,
                 }));
                 index += 1;
-                g.add_edge(parent, child).expect("tree edges are acyclic");
+                g.add_edge_topo(parent, child);
                 next.push(child);
             }
         }
         level = next;
     }
-    g
+    g.freeze()
 }
 
 #[cfg(test)]

@@ -11,7 +11,7 @@ use std::collections::HashMap;
 
 use moldable_model::SpeedupModel;
 
-use crate::{TaskGraph, TaskId};
+use crate::{GraphBuilder, TaskGraph, TaskId};
 
 use super::TaskCtx;
 
@@ -29,7 +29,7 @@ impl Dataflow {
 
     /// Add `task`, which reads `reads` and writes `write`, to `g` with
     /// the induced dependencies.
-    fn add(&mut self, g: &mut TaskGraph, task: TaskId, reads: &[(u32, u32)], write: (u32, u32)) {
+    fn add(&mut self, g: &mut GraphBuilder, task: TaskId, reads: &[(u32, u32)], write: (u32, u32)) {
         let mut deps: Vec<TaskId> = Vec::with_capacity(reads.len() + 1);
         for block in reads.iter().chain(std::iter::once(&write)) {
             if let Some(&w) = self.last_writer.get(block) {
@@ -39,9 +39,10 @@ impl Dataflow {
             }
         }
         for d in deps {
-            // Duplicate edges can only arise through `deps` dedup above;
-            // last-writer edges always point forward in creation order.
-            g.add_edge(d, task).expect("dataflow edges are acyclic");
+            // `deps` dedup above rules out duplicates; last-writer
+            // edges always point forward in creation order, so the
+            // trusted fast path applies.
+            g.add_edge_topo(d, task);
         }
         self.last_writer.insert(write, task);
     }
@@ -52,10 +53,10 @@ impl Dataflow {
 /// numerical linear algebra. Tasks: `nb(nb+1)(nb+2)/6 + O(nb²)`.
 pub fn cholesky(nb: u32, assign: &mut dyn FnMut(TaskCtx<'_>) -> SpeedupModel) -> TaskGraph {
     assert!(nb >= 1);
-    let mut g = TaskGraph::new();
+    let mut g = GraphBuilder::new();
     let mut flow = Dataflow::new();
     let mut index = 0;
-    let mut task = |g: &mut TaskGraph, kind, weight| {
+    let mut task = |g: &mut GraphBuilder, kind, weight| {
         let t = g.add_task(assign(TaskCtx {
             index,
             kind,
@@ -83,17 +84,17 @@ pub fn cholesky(nb: u32, assign: &mut dyn FnMut(TaskCtx<'_>) -> SpeedupModel) ->
             }
         }
     }
-    g
+    g.freeze()
 }
 
 /// Tiled LU factorization without pivoting (`getrf`/`trsm`/`gemm`) on an
 /// `nb × nb` grid of blocks.
 pub fn lu(nb: u32, assign: &mut dyn FnMut(TaskCtx<'_>) -> SpeedupModel) -> TaskGraph {
     assert!(nb >= 1);
-    let mut g = TaskGraph::new();
+    let mut g = GraphBuilder::new();
     let mut flow = Dataflow::new();
     let mut index = 0;
-    let mut task = |g: &mut TaskGraph, kind, weight| {
+    let mut task = |g: &mut GraphBuilder, kind, weight| {
         let t = g.add_task(assign(TaskCtx {
             index,
             kind,
@@ -120,7 +121,7 @@ pub fn lu(nb: u32, assign: &mut dyn FnMut(TaskCtx<'_>) -> SpeedupModel) -> TaskG
             }
         }
     }
-    g
+    g.freeze()
 }
 
 /// The FFT butterfly task graph on `2^log_n` points: `log_n + 1` rows
@@ -128,7 +129,7 @@ pub fn lu(nb: u32, assign: &mut dyn FnMut(TaskCtx<'_>) -> SpeedupModel) -> TaskG
 /// `(s, i XOR 2^s)`.
 pub fn fft(log_n: u32, assign: &mut dyn FnMut(TaskCtx<'_>) -> SpeedupModel) -> TaskGraph {
     let n = 1usize << log_n;
-    let mut g = TaskGraph::with_capacity(n * (log_n as usize + 1));
+    let mut g = GraphBuilder::with_capacity(n * (log_n as usize + 1));
     let mut index = 0;
     let mut prev: Vec<TaskId> = (0..n)
         .map(|_| {
@@ -151,14 +152,13 @@ pub fn fft(log_n: u32, assign: &mut dyn FnMut(TaskCtx<'_>) -> SpeedupModel) -> T
                 weight: 1.0,
             }));
             index += 1;
-            g.add_edge(prev[i], t).expect("butterfly edges are acyclic");
-            g.add_edge(prev[i ^ stride], t)
-                .expect("butterfly edges are acyclic");
+            g.add_edge_topo(prev[i], t);
+            g.add_edge_topo(prev[i ^ stride], t);
             cur.push(t);
         }
         prev = cur;
     }
-    g
+    g.freeze()
 }
 
 /// A 2-D wavefront (stencil sweep): task `(i, j)` on an `rows × cols`
@@ -170,7 +170,7 @@ pub fn wavefront(
     assign: &mut dyn FnMut(TaskCtx<'_>) -> SpeedupModel,
 ) -> TaskGraph {
     assert!(rows >= 1 && cols >= 1);
-    let mut g = TaskGraph::with_capacity((rows * cols) as usize);
+    let mut g = GraphBuilder::with_capacity((rows * cols) as usize);
     let mut ids = vec![Vec::with_capacity(cols as usize); rows as usize];
     let mut index = 0;
     for i in 0..rows as usize {
@@ -182,17 +182,15 @@ pub fn wavefront(
             }));
             index += 1;
             if i > 0 {
-                g.add_edge(ids[i - 1][j], t)
-                    .expect("grid edges are acyclic");
+                g.add_edge_topo(ids[i - 1][j], t);
             }
             if j > 0 {
-                g.add_edge(ids[i][j - 1], t)
-                    .expect("grid edges are acyclic");
+                g.add_edge_topo(ids[i][j - 1], t);
             }
             ids[i].push(t);
         }
     }
-    g
+    g.freeze()
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 use moldable_model::SpeedupModel;
 use moldable_model::rng::Rng;
 
-use crate::{TaskGraph, TaskId};
+use crate::{GraphBuilder, TaskGraph, TaskId};
 
 use super::TaskCtx;
 
@@ -26,7 +26,7 @@ pub fn layered_random<R: Rng>(
         (0.0..=1.0).contains(&p_edge),
         "p_edge must be a probability"
     );
-    let mut g = TaskGraph::with_capacity(layers * width);
+    let mut g = GraphBuilder::with_capacity(layers * width);
     let mut index = 0;
     let mut prev_layer: Vec<TaskId> = Vec::new();
     for layer in 0..layers {
@@ -42,20 +42,20 @@ pub fn layered_random<R: Rng>(
                 let mut has_pred = false;
                 for &p in &prev_layer {
                     if rng.gen_bool(p_edge) {
-                        g.add_edge(p, t).expect("layer edges are acyclic");
+                        g.add_edge_topo(p, t);
                         has_pred = true;
                     }
                 }
                 if !has_pred {
                     let p = prev_layer[rng.gen_range(0..prev_layer.len())];
-                    g.add_edge(p, t).expect("layer edges are acyclic");
+                    g.add_edge_topo(p, t);
                 }
             }
             cur.push(t);
         }
         prev_layer = cur;
     }
-    g
+    g.freeze()
 }
 
 /// An Erdős–Rényi-style random DAG on `n` tasks: for every ordered pair
@@ -71,7 +71,7 @@ pub fn random_dag<R: Rng>(
         (0.0..=1.0).contains(&p_edge),
         "p_edge must be a probability"
     );
-    let mut g = TaskGraph::with_capacity(n);
+    let mut g = GraphBuilder::with_capacity(n);
     let ids: Vec<TaskId> = (0..n)
         .map(|index| {
             g.add_task(assign(TaskCtx {
@@ -84,12 +84,11 @@ pub fn random_dag<R: Rng>(
     for i in 0..n {
         for j in (i + 1)..n {
             if rng.gen_bool(p_edge) {
-                g.add_edge(ids[i], ids[j])
-                    .expect("forward edges are acyclic");
+                g.add_edge_topo(ids[i], ids[j]);
             }
         }
     }
-    g
+    g.freeze()
 }
 
 #[cfg(test)]

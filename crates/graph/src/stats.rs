@@ -149,7 +149,7 @@ mod tests {
 
     #[test]
     fn levels_of_diamond() {
-        let mut g = TaskGraph::new();
+        let mut g = crate::GraphBuilder::new();
         let a = g.add_task(unit());
         let b = g.add_task(unit());
         let c = g.add_task(unit());
@@ -158,6 +158,7 @@ mod tests {
         g.add_edge(a, c).unwrap();
         g.add_edge(b, d).unwrap();
         g.add_edge(c, d).unwrap();
+        let g = g.freeze();
         assert_eq!(g.levels(), vec![0, 1, 1, 2]);
         let s = g.stats(4);
         assert_eq!(s.depth, 3);
@@ -170,7 +171,7 @@ mod tests {
         // Sequential fraction keeps t_min bounded away from w/P, so the
         // chain's C_min strictly dominates A_min/P (a d=0 perfectly
         // parallel chain has C_min == A_min/P exactly).
-        let mut g = TaskGraph::new();
+        let mut g = crate::GraphBuilder::new();
         let mut prev: Option<TaskId> = None;
         for _ in 0..5 {
             let t = g.add_task(SpeedupModel::amdahl(1.0, 1.0).unwrap());
@@ -179,37 +180,37 @@ mod tests {
             }
             prev = Some(t);
         }
-        let s = g.stats(8);
+        let s = g.freeze().stats(8);
         assert_eq!(s.max_level_width, 1);
         assert!(s.path_dominance > 1.0, "chains are path-bound");
     }
 
     #[test]
     fn stats_of_independents_is_area_dominant() {
-        let mut g = TaskGraph::new();
+        let mut g = crate::GraphBuilder::new();
         for _ in 0..32 {
             g.add_task(unit());
         }
-        let s = g.stats(4);
+        let s = g.freeze().stats(4);
         assert_eq!(s.max_level_width, 32);
         assert!(s.path_dominance < 1.0, "independents are area-bound");
     }
 
     #[test]
     fn transitive_edge_is_redundant() {
-        let mut g = TaskGraph::new();
+        let mut g = crate::GraphBuilder::new();
         let a = g.add_task(unit());
         let b = g.add_task(unit());
         let c = g.add_task(unit());
         g.add_edge(a, b).unwrap();
         g.add_edge(b, c).unwrap();
         g.add_edge(a, c).unwrap(); // redundant: a -> b -> c
-        assert_eq!(g.redundant_edges(), vec![(a, c)]);
+        assert_eq!(g.freeze().redundant_edges(), vec![(a, c)]);
     }
 
     #[test]
     fn diamond_has_no_redundant_edges() {
-        let mut g = TaskGraph::new();
+        let mut g = crate::GraphBuilder::new();
         let a = g.add_task(unit());
         let b = g.add_task(unit());
         let c = g.add_task(unit());
@@ -218,24 +219,24 @@ mod tests {
         g.add_edge(a, c).unwrap();
         g.add_edge(b, d).unwrap();
         g.add_edge(c, d).unwrap();
-        assert!(g.redundant_edges().is_empty());
+        assert!(g.freeze().redundant_edges().is_empty());
     }
 
     #[test]
     fn longer_shortcut_also_detected() {
         // a -> b -> c -> d plus shortcut a -> d.
-        let mut g = TaskGraph::new();
+        let mut g = crate::GraphBuilder::new();
         let ids: Vec<TaskId> = (0..4).map(|_| g.add_task(unit())).collect();
         for w in ids.windows(2) {
             g.add_edge(w[0], w[1]).unwrap();
         }
         g.add_edge(ids[0], ids[3]).unwrap();
-        assert_eq!(g.redundant_edges(), vec![(ids[0], ids[3])]);
+        assert_eq!(g.freeze().redundant_edges(), vec![(ids[0], ids[3])]);
     }
 
     #[test]
     fn empty_graph_stats() {
-        let g = TaskGraph::new();
+        let g = TaskGraph::empty();
         let s = g.stats(4);
         assert_eq!(s.n_tasks, 0);
         assert_eq!(s.max_level_width, 0);

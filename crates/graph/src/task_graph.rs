@@ -1,4 +1,12 @@
-//! The task-graph data structure.
+//! The frozen task-graph data structure.
+//!
+//! A [`TaskGraph`] is immutable: it is produced by
+//! [`crate::GraphBuilder::freeze`] and stores its adjacency in CSR
+//! (compressed sparse row) form — one flat `succ` array and one flat
+//! `pred` array, each indexed by a per-task offset table. Neighbour
+//! lookups are two loads into contiguous memory instead of a
+//! pointer-chase through `Vec<Vec<TaskId>>`, and the whole structure
+//! is three allocations per direction regardless of task count.
 
 use std::fmt;
 
@@ -23,7 +31,7 @@ impl fmt::Display for TaskId {
     }
 }
 
-/// Errors when constructing or mutating a [`TaskGraph`].
+/// Errors when constructing a graph through [`crate::GraphBuilder`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GraphError {
     /// Referenced a task id that does not exist.
@@ -49,124 +57,67 @@ impl fmt::Display for GraphError {
 
 impl std::error::Error for GraphError {}
 
-/// A directed acyclic graph of moldable tasks.
+/// An immutable directed acyclic graph of moldable tasks, in CSR form.
 ///
-/// Successor lists preserve insertion order; the simulator reveals
+/// Built with [`crate::GraphBuilder`] and frozen once construction is
+/// complete; there is no mutation API. Layout (per direction):
+///
+/// ```text
+/// succ_off: [0 .. n]  per-task offsets, n+1 entries (u32)
+/// succ:     [ successors of t0 | successors of t1 | ... ]  flat (u32)
+/// ```
+///
+/// `succs(t)` is the slice `succ[succ_off[t] .. succ_off[t+1]]`; the
+/// `pred` arrays mirror this for predecessors. Neighbour slices
+/// preserve the builder's edge-insertion order; the simulator reveals
 /// newly available tasks in that order, which matters for adversarial
 /// instances (the paper's worst cases assume a specific queue order).
+/// Sources and the joined model class are precomputed at freeze time
+/// and served in O(1).
 #[derive(Debug, Clone, Default)]
 pub struct TaskGraph {
     models: Vec<SpeedupModel>,
-    preds: Vec<Vec<TaskId>>,
-    succs: Vec<Vec<TaskId>>,
-    edge_set: std::collections::HashSet<(u32, u32)>,
-    n_edges: usize,
-    /// Scratch for cycle checks: `stamp[v] == generation` marks v
-    /// visited in the current DFS, so no per-edge allocation is needed
-    /// (large adversarial instances add millions of edges).
-    stamp: Vec<u32>,
-    generation: u32,
+    succ_off: Vec<u32>,
+    succ: Vec<TaskId>,
+    pred_off: Vec<u32>,
+    pred: Vec<TaskId>,
+    /// Tasks with no predecessor, in id order, computed at freeze time.
+    sources: Vec<TaskId>,
+    /// Join of every task's model class, computed at freeze time.
+    model_class: Option<ModelClass>,
 }
 
 impl TaskGraph {
-    /// An empty graph.
-    #[must_use]
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// An empty graph with room for `n` tasks.
-    #[must_use]
-    pub fn with_capacity(n: usize) -> Self {
+    /// Assemble from already-validated CSR arrays; only
+    /// [`crate::GraphBuilder::freeze`] calls this.
+    pub(crate) fn from_csr(
+        models: Vec<SpeedupModel>,
+        succ_off: Vec<u32>,
+        succ: Vec<TaskId>,
+        pred_off: Vec<u32>,
+        pred: Vec<TaskId>,
+        sources: Vec<TaskId>,
+        model_class: Option<ModelClass>,
+    ) -> Self {
+        debug_assert_eq!(succ_off.len(), models.len() + 1);
+        debug_assert_eq!(pred_off.len(), models.len() + 1);
+        debug_assert_eq!(succ.len(), pred.len());
         Self {
-            models: Vec::with_capacity(n),
-            preds: Vec::with_capacity(n),
-            succs: Vec::with_capacity(n),
-            edge_set: std::collections::HashSet::new(),
-            n_edges: 0,
-            stamp: Vec::with_capacity(n),
-            generation: 0,
+            models,
+            succ_off,
+            succ,
+            pred_off,
+            pred,
+            sources,
+            model_class,
         }
     }
 
-    /// Add a task with the given speedup model; returns its id.
-    pub fn add_task(&mut self, model: SpeedupModel) -> TaskId {
-        let id = TaskId(u32::try_from(self.models.len()).expect("more than u32::MAX tasks"));
-        self.models.push(model);
-        self.preds.push(Vec::new());
-        self.succs.push(Vec::new());
-        self.stamp.push(0);
-        id
-    }
-
-    /// Add the precedence edge `from → to` (i.e. `to` depends on `from`).
-    ///
-    /// # Errors
-    ///
-    /// Rejects unknown endpoints, self-loops, duplicate edges, and
-    /// edges that would create a cycle (checked with a reachability
-    /// walk from `to`; builders that add edges in topological order
-    /// never pay more than O(out-degree)).
-    pub fn add_edge(&mut self, from: TaskId, to: TaskId) -> Result<(), GraphError> {
-        self.check_id(from)?;
-        self.check_id(to)?;
-        if from == to {
-            return Err(GraphError::SelfLoop(from));
-        }
-        if self.edge_set.contains(&(from.0, to.0)) {
-            return Err(GraphError::DuplicateEdge(from, to));
-        }
-        // Cycle iff `from` is reachable from `to`.
-        if self.reaches(to, from) {
-            return Err(GraphError::WouldCycle(from, to));
-        }
-        self.succs[from.index()].push(to);
-        self.preds[to.index()].push(from);
-        self.edge_set.insert((from.0, to.0));
-        self.n_edges += 1;
-        Ok(())
-    }
-
-    fn check_id(&self, t: TaskId) -> Result<(), GraphError> {
-        if t.index() < self.models.len() {
-            Ok(())
-        } else {
-            Err(GraphError::UnknownTask(t))
-        }
-    }
-
-    /// DFS reachability: is `target` reachable from `start`?
-    /// Allocation-free: visited marks use a generation-stamped scratch
-    /// vector, and builders that only link *to* freshly created sink
-    /// nodes exit in O(1).
-    fn reaches(&mut self, start: TaskId, target: TaskId) -> bool {
-        if start == target {
-            return true;
-        }
-        if self.succs[start.index()].is_empty() {
-            return false;
-        }
-        self.generation = self.generation.wrapping_add(1);
-        if self.generation == 0 {
-            // Stamp wrap-around: reset all marks once every 2^32 calls.
-            self.stamp.iter_mut().for_each(|s| *s = 0);
-            self.generation = 1;
-        }
-        let generation = self.generation;
-        let mut stack = vec![start];
-        self.stamp[start.index()] = generation;
-        while let Some(u) = stack.pop() {
-            for &v in &self.succs[u.index()] {
-                if v == target {
-                    return true;
-                }
-                if self.stamp[v.index()] != generation {
-                    self.stamp[v.index()] = generation;
-                    stack.push(v);
-                }
-            }
-        }
-        false
+    /// An empty graph (no tasks, no edges). Equivalent to freezing an
+    /// empty [`crate::GraphBuilder`].
+    #[must_use]
+    pub fn empty() -> Self {
+        crate::GraphBuilder::new().freeze()
     }
 
     /// Number of tasks.
@@ -178,7 +129,7 @@ impl TaskGraph {
     /// Number of precedence edges.
     #[must_use]
     pub fn n_edges(&self) -> usize {
-        self.n_edges
+        self.succ.len()
     }
 
     /// The speedup model of task `t`.
@@ -199,21 +150,24 @@ impl TaskGraph {
     /// Predecessors of `t`, in edge-insertion order.
     #[must_use]
     pub fn preds(&self, t: TaskId) -> &[TaskId] {
-        &self.preds[t.index()]
+        let lo = self.pred_off[t.index()] as usize;
+        let hi = self.pred_off[t.index() + 1] as usize;
+        &self.pred[lo..hi]
     }
 
     /// Successors of `t`, in edge-insertion order.
     #[must_use]
     pub fn succs(&self, t: TaskId) -> &[TaskId] {
-        &self.succs[t.index()]
+        let lo = self.succ_off[t.index()] as usize;
+        let hi = self.succ_off[t.index() + 1] as usize;
+        &self.succ[lo..hi]
     }
 
     /// Tasks with no predecessor (available at time 0), in id order.
+    /// Precomputed at freeze time — no scan.
     #[must_use]
-    pub fn sources(&self) -> Vec<TaskId> {
-        self.task_ids()
-            .filter(|t| self.preds(*t).is_empty())
-            .collect()
+    pub fn sources(&self) -> &[TaskId] {
+        &self.sources
     }
 
     /// Tasks with no successor.
@@ -226,16 +180,19 @@ impl TaskGraph {
 
     /// A topological order (Kahn's algorithm). The graph is acyclic by
     /// construction, so this always succeeds and has length `n_tasks`.
+    /// Ids are *not* guaranteed to be in topological order themselves:
+    /// the checked builder accepts edges against creation order.
     #[must_use]
     pub fn topo_order(&self) -> Vec<TaskId> {
         let n = self.n_tasks();
-        let mut indeg: Vec<u32> = (0..n).map(|i| self.preds[i].len() as u32).collect();
+        let mut indeg: Vec<u32> = (0..n)
+            .map(|i| self.pred_off[i + 1] - self.pred_off[i])
+            .collect();
         let mut order = Vec::with_capacity(n);
-        let mut queue: std::collections::VecDeque<TaskId> =
-            self.task_ids().filter(|t| indeg[t.index()] == 0).collect();
+        let mut queue: std::collections::VecDeque<TaskId> = self.sources.iter().copied().collect();
         while let Some(u) = queue.pop_front() {
             order.push(u);
-            for &v in &self.succs[u.index()] {
+            for &v in self.succs(u) {
                 indeg[v.index()] -= 1;
                 if indeg[v.index()] == 0 {
                     queue.push_back(v);
@@ -266,19 +223,18 @@ impl TaskGraph {
     }
 
     /// The most general [`ModelClass`] containing every task's model.
-    /// Schedulers use this to pick μ. Returns `None` for an empty graph.
+    /// Schedulers use this to pick μ. Returns `None` for an empty
+    /// graph. Precomputed at freeze time.
     #[must_use]
     pub fn model_class(&self) -> Option<ModelClass> {
-        self.models
-            .iter()
-            .map(SpeedupModel::class)
-            .reduce(ModelClass::join)
+        self.model_class
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::GraphBuilder;
 
     fn unit() -> SpeedupModel {
         SpeedupModel::amdahl(1.0, 0.0).unwrap()
@@ -286,7 +242,7 @@ mod tests {
 
     #[test]
     fn build_diamond() {
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         let a = g.add_task(unit());
         let b = g.add_task(unit());
         let c = g.add_task(unit());
@@ -295,9 +251,10 @@ mod tests {
         g.add_edge(a, c).unwrap();
         g.add_edge(b, d).unwrap();
         g.add_edge(c, d).unwrap();
+        let g = g.freeze();
         assert_eq!(g.n_tasks(), 4);
         assert_eq!(g.n_edges(), 4);
-        assert_eq!(g.sources(), vec![a]);
+        assert_eq!(g.sources(), &[a]);
         assert_eq!(g.sinks(), vec![d]);
         assert_eq!(g.preds(d), &[b, c]);
         assert_eq!(g.succs(a), &[b, c]);
@@ -305,33 +262,17 @@ mod tests {
     }
 
     #[test]
-    fn rejects_cycles_and_bad_edges() {
-        let mut g = TaskGraph::new();
-        let a = g.add_task(unit());
-        let b = g.add_task(unit());
-        let c = g.add_task(unit());
-        g.add_edge(a, b).unwrap();
-        g.add_edge(b, c).unwrap();
-        assert_eq!(g.add_edge(c, a), Err(GraphError::WouldCycle(c, a)));
-        assert_eq!(g.add_edge(b, a), Err(GraphError::WouldCycle(b, a)));
-        assert_eq!(g.add_edge(a, a), Err(GraphError::SelfLoop(a)));
-        assert_eq!(g.add_edge(a, b), Err(GraphError::DuplicateEdge(a, b)));
-        assert_eq!(
-            g.add_edge(a, TaskId(99)),
-            Err(GraphError::UnknownTask(TaskId(99)))
-        );
-        // Forward edge along an existing path is allowed (transitive edge).
-        assert!(g.add_edge(a, c).is_ok());
-    }
-
-    #[test]
     fn topo_order_respects_edges() {
-        let mut g = TaskGraph::new();
+        // Deliberately against creation order: the checked builder
+        // accepts any acyclic edge, so the frozen graph cannot assume
+        // ids are topologically sorted.
+        let mut g = GraphBuilder::new();
         let ids: Vec<TaskId> = (0..6).map(|_| g.add_task(unit())).collect();
         g.add_edge(ids[5], ids[0]).unwrap();
         g.add_edge(ids[0], ids[3]).unwrap();
         g.add_edge(ids[3], ids[1]).unwrap();
         g.add_edge(ids[5], ids[2]).unwrap();
+        let g = g.freeze();
         let order = g.topo_order();
         assert_eq!(order.len(), 6);
         let pos: std::collections::HashMap<TaskId, usize> =
@@ -345,34 +286,62 @@ mod tests {
 
     #[test]
     fn depth_of_chain_and_independents() {
-        let mut g = TaskGraph::new();
-        let ids: Vec<TaskId> = (0..5).map(|_| g.add_task(unit())).collect();
-        assert_eq!(g.depth(), 1); // all independent
+        let mut b = GraphBuilder::new();
+        let ids: Vec<TaskId> = (0..5).map(|_| b.add_task(unit())).collect();
+        assert_eq!(b.clone().freeze().depth(), 1); // all independent
         for w in ids.windows(2) {
-            g.add_edge(w[0], w[1]).unwrap();
+            b.add_edge(w[0], w[1]).unwrap();
         }
+        let g = b.freeze();
         assert_eq!(g.depth(), 5);
-        assert_eq!(g.sources(), vec![ids[0]]);
+        assert_eq!(g.sources(), &[ids[0]]);
     }
 
     #[test]
     fn model_class_joins() {
-        let mut g = TaskGraph::new();
-        assert_eq!(g.model_class(), None);
-        g.add_task(SpeedupModel::roofline(1.0, 2).unwrap());
-        assert_eq!(g.model_class(), Some(ModelClass::Roofline));
-        g.add_task(SpeedupModel::amdahl(1.0, 1.0).unwrap());
-        assert_eq!(g.model_class(), Some(ModelClass::General));
-        g.add_task(SpeedupModel::table(vec![1.0]).unwrap());
-        assert_eq!(g.model_class(), Some(ModelClass::Arbitrary));
+        let mut b = GraphBuilder::new();
+        assert_eq!(b.clone().freeze().model_class(), None);
+        b.add_task(SpeedupModel::roofline(1.0, 2).unwrap());
+        assert_eq!(b.clone().freeze().model_class(), Some(ModelClass::Roofline));
+        b.add_task(SpeedupModel::amdahl(1.0, 1.0).unwrap());
+        assert_eq!(b.clone().freeze().model_class(), Some(ModelClass::General));
+        b.add_task(SpeedupModel::table(vec![1.0]).unwrap());
+        assert_eq!(b.freeze().model_class(), Some(ModelClass::Arbitrary));
     }
 
     #[test]
     fn empty_graph_is_sane() {
-        let g = TaskGraph::new();
+        let g = TaskGraph::empty();
         assert_eq!(g.n_tasks(), 0);
+        assert_eq!(g.n_edges(), 0);
         assert_eq!(g.depth(), 0);
         assert!(g.sources().is_empty());
         assert!(g.topo_order().is_empty());
+        let d = TaskGraph::default();
+        assert_eq!(d.n_tasks(), 0);
+    }
+
+    #[test]
+    fn csr_slices_match_builder_adjacency_on_a_random_graph() {
+        use moldable_model::rng::{Rng, StdRng};
+        let mut rng = StdRng::seed_from_u64(0xC5A);
+        let mut b = GraphBuilder::new();
+        let ids: Vec<TaskId> = (0..60).map(|_| b.add_task(unit())).collect();
+        for i in 0..60usize {
+            for j in (i + 1)..60 {
+                if rng.gen_range(0.0f64..1.0) < 0.1 {
+                    b.add_edge(ids[i], ids[j]).unwrap();
+                }
+            }
+        }
+        let f = b.clone().freeze();
+        assert_eq!(f.n_edges(), b.n_edges());
+        assert_eq!(f.sources(), b.sources());
+        assert_eq!(f.model_class(), b.model_class());
+        assert_eq!(f.depth(), b.depth());
+        for t in b.task_ids() {
+            assert_eq!(f.preds(t), b.preds(t), "{t} preds");
+            assert_eq!(f.succs(t), b.succs(t), "{t} succs");
+        }
     }
 }

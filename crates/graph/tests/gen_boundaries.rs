@@ -116,3 +116,75 @@ fn accepted_boundary_shapes_still_construct_near_the_edge() {
         );
     }
 }
+
+/// The largest size per shape that CI builds in full (seconds, not
+/// minutes): big enough that offset arithmetic, prefix sums, and the
+/// `u32` CSR layout are exercised well past toy sizes.
+const FREEZE_SANITY_SIZES: &[(&str, u32)] = &[
+    ("chain", 5_000),
+    ("independent", 5_000),
+    ("fork-join", 1_000),
+    ("in-tree", 13),
+    ("out-tree", 13),
+    ("layered", 64),
+    ("wavefront", 64),
+    ("random", 2_000),
+    ("fft", 10),
+    ("lu", 40),
+    ("cholesky", 40),
+];
+
+#[test]
+fn frozen_generator_graphs_match_a_checked_rebuild() {
+    // The generators all construct through the trusted
+    // `add_edge_topo` fast path (no cycle check, no duplicate
+    // detection in release builds). This pins the fast path to the
+    // checked builder: rebuild every frozen graph edge-by-edge through
+    // the *checked* API and demand the same invariant summary —
+    // identical edge count (so no edge was dropped or doubled),
+    // identical depth (so no edge was redirected), identical joined
+    // model class, and identical source list.
+    for &(shape, size) in FREEZE_SANITY_SIZES {
+        let g = gen::by_name(shape, size, ModelClass::Amdahl, 64, 11).unwrap();
+        let mut checked = moldable_graph::GraphBuilder::with_capacity(g.n_tasks());
+        for t in g.task_ids() {
+            checked.add_task(g.model(t).clone());
+        }
+        for t in g.task_ids() {
+            for &s in g.succs(t) {
+                checked
+                    .add_edge(t, s)
+                    .unwrap_or_else(|e| panic!("{shape}/{size}: frozen edge {t}->{s} rejected: {e}"));
+            }
+        }
+        assert_eq!(checked.n_edges(), g.n_edges(), "{shape}/{size}: edge count");
+        assert_eq!(checked.depth(), g.depth(), "{shape}/{size}: depth");
+        assert_eq!(
+            checked.model_class(),
+            g.model_class(),
+            "{shape}/{size}: model class"
+        );
+        assert_eq!(
+            checked.sources(),
+            g.sources(),
+            "{shape}/{size}: source list"
+        );
+    }
+}
+
+#[test]
+fn precomputed_sources_match_the_legacy_scan_on_every_shape() {
+    // `Frontier::initial` is now served from the source list computed
+    // once at freeze; the legacy behaviour was an O(n) empty-preds
+    // scan per run. Equivalence on every generator shape (plus the
+    // degenerate empty graph) keeps the precomputation honest.
+    for &(shape, size) in FREEZE_SANITY_SIZES {
+        let g = gen::by_name(shape, size, ModelClass::Roofline, 32, 5).unwrap();
+        let scanned: Vec<_> = g.task_ids().filter(|&t| g.preds(t).is_empty()).collect();
+        assert_eq!(g.sources(), scanned, "{shape}/{size}");
+        let f = moldable_graph::Frontier::new(&g);
+        assert_eq!(f.initial(&g), scanned, "{shape}/{size}: Frontier::initial");
+    }
+    let empty = moldable_graph::TaskGraph::empty();
+    assert!(empty.sources().is_empty());
+}

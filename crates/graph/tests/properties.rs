@@ -101,7 +101,7 @@ fn transitive_reduction_preserves_levels() {
         let g = random_graph(seed, n, 0.35);
         let redundant: std::collections::HashSet<_> = g.redundant_edges().into_iter().collect();
         // rebuild without redundant edges
-        let mut h = TaskGraph::new();
+        let mut h = GraphBuilder::new();
         for t in g.task_ids() {
             let _ = h.add_task(g.model(t).clone());
         }
@@ -112,6 +112,7 @@ fn transitive_reduction_preserves_levels() {
                 }
             }
         }
+        let h = h.freeze();
         assert_eq!(g.levels(), h.levels(), "reduction changed reachability");
         // and the reduced graph has no redundant edges left
         assert!(h.redundant_edges().is_empty());

@@ -178,7 +178,9 @@ pub fn simulate_hetero(
         "both pools must be non-empty"
     );
     scheduler.init(platform);
-    let structure = graph.structure();
+    // Freeze a CSR snapshot for the frontier; O(V + E) once per run.
+    let structure = graph.structure().clone().freeze();
+    let structure = &structure;
     let mut frontier = Frontier::new(structure);
     let n = graph.n_tasks();
 

@@ -4,7 +4,7 @@
 //! [`moldable_graph::TaskGraph`]; this module adds the second speedup
 //! model per task.
 
-use moldable_graph::{GraphError, TaskGraph, TaskId};
+use moldable_graph::{GraphBuilder, GraphError, TaskId};
 use moldable_model::SpeedupModel;
 
 /// A platform with two pools of identical processors.
@@ -76,11 +76,13 @@ impl HeteroTask {
 
 /// A DAG of hybrid moldable tasks.
 ///
-/// Internally the CPU models live in a [`TaskGraph`] (which also owns
-/// the structure) and the GPU models in a parallel vector.
+/// Internally the CPU models live in a [`GraphBuilder`] (which also
+/// owns the structure) and the GPU models in a parallel vector. The
+/// hetero engine freezes a CSR snapshot per run; this type stays
+/// mutable so platforms can be assembled incrementally.
 #[derive(Debug, Clone, Default)]
 pub struct HeteroGraph {
-    structure: TaskGraph,
+    structure: GraphBuilder,
     gpu_models: Vec<SpeedupModel>,
 }
 
@@ -102,7 +104,7 @@ impl HeteroGraph {
     ///
     /// # Errors
     ///
-    /// Same contract as [`TaskGraph::add_edge`].
+    /// Same contract as [`GraphBuilder::add_edge`].
     pub fn add_edge(&mut self, from: TaskId, to: TaskId) -> Result<(), GraphError> {
         self.structure.add_edge(from, to)
     }
@@ -128,7 +130,7 @@ impl HeteroGraph {
 
     /// The underlying structure (edges, topological order, sources).
     #[must_use]
-    pub fn structure(&self) -> &TaskGraph {
+    pub fn structure(&self) -> &GraphBuilder {
         &self.structure
     }
 }

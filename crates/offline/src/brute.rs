@@ -256,6 +256,7 @@ pub fn optimal_makespan(graph: &TaskGraph, p_total: u32, limits: BruteForceLimit
 
 #[cfg(test)]
 mod tests {
+    use moldable_graph::GraphBuilder;
     use super::*;
     use moldable_model::SpeedupModel;
 
@@ -265,18 +266,20 @@ mod tests {
 
     #[test]
     fn single_task_optimum_is_t_min() {
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         g.add_task(amdahl(12.0, 1.0));
+        let g = g.freeze();
         let opt = optimal_makespan(&g, 4, BruteForceLimits::default()).unwrap();
         assert!((opt - (12.0 / 4.0 + 1.0)).abs() < 1e-12);
     }
 
     #[test]
     fn chain_optimum_is_sum_of_t_min() {
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         let a = g.add_task(amdahl(8.0, 0.5));
         let b = g.add_task(amdahl(4.0, 0.25));
         g.add_edge(a, b).unwrap();
+        let g = g.freeze();
         let opt = optimal_makespan(&g, 4, BruteForceLimits::default()).unwrap();
         let expect = (8.0 / 4.0 + 0.5) + (4.0 / 4.0 + 0.25);
         assert!((opt - expect).abs() < 1e-12);
@@ -287,9 +290,10 @@ mod tests {
         // Two identical Amdahl tasks, P = 2. Either run both on 1 proc
         // in parallel (makespan w + d) or serially on 2 procs
         // (makespan 2(w/2 + d) = w + 2d): parallel wins for d > 0.
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         g.add_task(amdahl(6.0, 1.0));
         g.add_task(amdahl(6.0, 1.0));
+        let g = g.freeze();
         let opt = optimal_makespan(&g, 2, BruteForceLimits::default()).unwrap();
         assert!((opt - 7.0).abs() < 1e-12, "opt = {opt}");
     }
@@ -300,9 +304,10 @@ mod tests {
         // Optimal starts x on all P and y after — i.e. the search must
         // consider deferring a ready task. Compare against the naive
         // "start everything at once" schedule.
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         let x = g.add_task(amdahl(16.0, 0.0));
         let y = g.add_task(SpeedupModel::roofline(1.0, 1).unwrap());
+        let g = g.freeze();
         let _ = (x, y);
         let opt = optimal_makespan(&g, 4, BruteForceLimits::default()).unwrap();
         // all-four-then-one: 16/4 = 4 then 1 => 5? Or x on 3 + y on 1:
@@ -319,7 +324,7 @@ mod tests {
         use moldable_core::OnlineScheduler;
         use moldable_model::ModelClass;
         use moldable_sim::{simulate, SimOptions};
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         let a = g.add_task(amdahl(5.0, 0.5));
         let b = g.add_task(amdahl(3.0, 1.0));
         let c = g.add_task(amdahl(8.0, 0.2));
@@ -327,6 +332,7 @@ mod tests {
         g.add_edge(a, c).unwrap();
         g.add_edge(b, c).unwrap();
         g.add_edge(b, d).unwrap();
+        let g = g.freeze();
         let p = 4;
         let opt = optimal_makespan(&g, p, BruteForceLimits::default()).unwrap();
         assert!(opt >= g.bounds(p).lower_bound() - 1e-9, "Lemma 2 violated!");
@@ -341,19 +347,21 @@ mod tests {
 
     #[test]
     fn too_many_tasks_returns_none() {
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         for _ in 0..11 {
             g.add_task(amdahl(1.0, 0.0));
         }
+        let g = g.freeze();
         assert_eq!(optimal_makespan(&g, 2, BruteForceLimits::default()), None);
     }
 
     #[test]
     fn node_budget_exhaustion_returns_none() {
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         for _ in 0..8 {
             g.add_task(amdahl(3.0, 0.3));
         }
+        let g = g.freeze();
         let lim = BruteForceLimits {
             max_tasks: 10,
             max_nodes: 50,
@@ -363,7 +371,7 @@ mod tests {
 
     #[test]
     fn empty_graph_is_zero() {
-        let g = TaskGraph::new();
+        let g = TaskGraph::empty();
         assert_eq!(
             optimal_makespan(&g, 4, BruteForceLimits::default()),
             Some(0.0)

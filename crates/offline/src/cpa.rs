@@ -148,6 +148,7 @@ pub fn cpa_schedule(graph: &TaskGraph, p_total: u32) -> Result<Schedule, SimErro
 
 #[cfg(test)]
 mod tests {
+    use moldable_graph::GraphBuilder;
     use super::*;
     use moldable_model::SpeedupModel;
 
@@ -155,7 +156,7 @@ mod tests {
     fn chain_gets_widened_to_the_max() {
         // A pure chain: area bound is tiny, critical path dominates, so
         // CPA widens every task to p_max.
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         let mut prev: Option<TaskId> = None;
         for _ in 0..4 {
             let t = g.add_task(SpeedupModel::roofline(8.0, 4).unwrap());
@@ -164,6 +165,7 @@ mod tests {
             }
             prev = Some(t);
         }
+        let g = g.freeze();
         let alloc = cpa_allocations(&g, 8);
         assert_eq!(alloc, vec![4, 4, 4, 4]);
         let s = cpa_schedule(&g, 8).unwrap();
@@ -175,10 +177,11 @@ mod tests {
     fn independent_tasks_stay_narrow() {
         // Plenty of independent Amdahl tasks: the area bound dominates,
         // so CPA stops early and keeps tasks near 1 processor.
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         for _ in 0..16 {
             g.add_task(SpeedupModel::amdahl(4.0, 1.0).unwrap());
         }
+        let g = g.freeze();
         let alloc = cpa_allocations(&g, 4);
         assert!(alloc.iter().all(|&p| p <= 2), "allocs = {alloc:?}");
         let s = cpa_schedule(&g, 4).unwrap();
@@ -188,12 +191,13 @@ mod tests {
     #[test]
     fn balances_c_and_a() {
         // After CPA, either C <= A/P or the path is saturated.
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         let a = g.add_task(SpeedupModel::amdahl(20.0, 0.5).unwrap());
         let b = g.add_task(SpeedupModel::amdahl(12.0, 0.1).unwrap());
         let c = g.add_task(SpeedupModel::amdahl(6.0, 0.2).unwrap());
         g.add_edge(a, b).unwrap();
         g.add_edge(a, c).unwrap();
+        let g = g.freeze();
         let p_total = 8;
         let alloc = cpa_allocations(&g, p_total);
         let area: f64 = g
@@ -214,7 +218,7 @@ mod tests {
 
     #[test]
     fn cpa_beats_one_proc_on_chains_and_respects_bounds() {
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         let mut prev: Option<TaskId> = None;
         for i in 0..6 {
             let t = g.add_task(SpeedupModel::amdahl(10.0 + f64::from(i), 0.5).unwrap());
@@ -223,6 +227,7 @@ mod tests {
             }
             prev = Some(t);
         }
+        let g = g.freeze();
         let p_total = 8;
         let s = cpa_schedule(&g, p_total).unwrap();
         s.validate(&g).unwrap();
@@ -234,7 +239,7 @@ mod tests {
 
     #[test]
     fn empty_graph() {
-        let g = TaskGraph::new();
+        let g = TaskGraph::empty();
         assert!(cpa_allocations(&g, 4).is_empty());
         assert_eq!(cpa_schedule(&g, 4).unwrap().makespan, 0.0);
     }

@@ -110,6 +110,7 @@ pub fn improve_allocations(
 
 #[cfg(test)]
 mod tests {
+    use moldable_graph::GraphBuilder;
     use super::*;
     use moldable_graph::{gen, TaskId};
     use moldable_model::SpeedupModel;
@@ -153,8 +154,9 @@ mod tests {
 
     #[test]
     fn clamps_out_of_range_initial_values() {
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         let _ = g.add_task(SpeedupModel::roofline(8.0, 2).unwrap());
+        let g = g.freeze();
         let (allocs, s) = improve_allocations(
             &g,
             4,
@@ -189,7 +191,7 @@ mod tests {
 
     #[test]
     fn empty_graph() {
-        let g = TaskGraph::new();
+        let g = TaskGraph::empty();
         let (allocs, s) = improve_allocations(&g, 4, &[], ImproveOptions::default());
         assert!(allocs.is_empty());
         assert_eq!(s.makespan, 0.0);
@@ -200,8 +202,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "size mismatch")]
     fn rejects_wrong_length() {
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         let _: TaskId = g.add_task(SpeedupModel::amdahl(1.0, 0.0).unwrap());
+        let g = g.freeze();
         let _ = improve_allocations(&g, 4, &[1, 2], ImproveOptions::default());
     }
 }

@@ -163,6 +163,7 @@ impl moldable_sim::Scheduler for WidestFirst {
 
 #[cfg(test)]
 mod tests {
+    use moldable_graph::GraphBuilder;
     use super::*;
     use moldable_model::sample::ParamDistribution;
     use moldable_model::ModelClass;
@@ -172,11 +173,11 @@ mod tests {
     fn independent(n: usize, class: ModelClass, p_total: u32, seed: u64) -> TaskGraph {
         let mut rng = StdRng::seed_from_u64(seed);
         let dist = ParamDistribution::default();
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         for _ in 0..n {
             g.add_task(dist.sample(class, p_total, &mut rng));
         }
-        g
+        g.freeze()
     }
 
     #[test]
@@ -227,8 +228,9 @@ mod tests {
 
     #[test]
     fn single_task_gets_its_t_min() {
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         g.add_task(moldable_model::SpeedupModel::amdahl(10.0, 1.0).unwrap());
+        let g = g.freeze();
         let r = turek_schedule(&g, 4);
         assert!((r.schedule.makespan - (10.0 / 4.0 + 1.0)).abs() < 1e-6);
     }
@@ -236,16 +238,17 @@ mod tests {
     #[test]
     #[should_panic(expected = "independent tasks only")]
     fn rejects_graphs_with_edges() {
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         let a = g.add_task(moldable_model::SpeedupModel::amdahl(1.0, 0.0).unwrap());
         let b = g.add_task(moldable_model::SpeedupModel::amdahl(1.0, 0.0).unwrap());
         g.add_edge(a, b).unwrap();
+        let g = g.freeze();
         let _ = turek_schedule(&g, 4);
     }
 
     #[test]
     fn empty_set() {
-        let g = TaskGraph::new();
+        let g = TaskGraph::empty();
         let r = turek_schedule(&g, 4);
         assert_eq!(r.tau, 0.0);
         assert_eq!(r.schedule.makespan, 0.0);

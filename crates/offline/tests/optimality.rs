@@ -15,7 +15,7 @@
 #![cfg(feature = "slow-tests")]
 
 use moldable_core::OnlineScheduler;
-use moldable_graph::TaskGraph;
+use moldable_graph::{GraphBuilder, TaskGraph};
 use moldable_model::rng::{Rng, StdRng};
 use moldable_model::sample::ParamDistribution;
 use moldable_model::ModelClass;
@@ -42,7 +42,7 @@ fn tiny_instance(class: ModelClass, seed: u64) -> (TaskGraph, u32) {
         c_frac: (0.0, 0.2),
         pbar_range: (1, 6),
     };
-    let mut g = TaskGraph::new();
+    let mut g = GraphBuilder::new();
     let ids: Vec<_> = (0..n)
         .map(|_| g.add_task(dist.sample(class, p_total, &mut rng)))
         .collect();
@@ -53,6 +53,7 @@ fn tiny_instance(class: ModelClass, seed: u64) -> (TaskGraph, u32) {
             }
         }
     }
+    let g = g.freeze();
     (g, p_total)
 }
 

@@ -212,6 +212,7 @@ impl Instance for FaultyInstance<'_> {
     fn initial(&mut self) -> Vec<TaskId> {
         self.graph
             .sources()
+            .to_vec()
             .into_iter()
             .map(|t| self.attempt_for(t))
             .collect()
@@ -267,6 +268,7 @@ impl Instance for FaultyInstance<'_> {
 
 #[cfg(test)]
 mod tests {
+    use moldable_graph::GraphBuilder;
     use super::*;
     use moldable_core::OnlineScheduler;
     use moldable_graph::gen;
@@ -398,11 +400,11 @@ mod tests {
         // lambda. The huge tasks must retry much more often.
         let lambda = 0.02;
         let mk = |w: f64, n: usize| {
-            let mut g = TaskGraph::new();
+            let mut g = GraphBuilder::new();
             for _ in 0..n {
                 g.add_task(SpeedupModel::amdahl(w, 0.0).unwrap());
             }
-            g
+            g.freeze()
         };
         let small = mk(1.0, 400);
         let big = mk(100.0, 400);

@@ -137,6 +137,11 @@ pub struct LoadReport {
     /// The server's request-accounting ledger, snapshotted after the
     /// run (`None` if the post-run `stats` request failed).
     pub accounting: Option<Accounting>,
+    /// Worker graph-cache hits over the run, from the same post-run
+    /// stats snapshot (`None` if the snapshot failed).
+    pub graph_cache_hits: Option<u64>,
+    /// Worker graph-cache misses over the run.
+    pub graph_cache_misses: Option<u64>,
 }
 
 impl LoadReport {
@@ -224,6 +229,16 @@ impl LoadReport {
                 ]),
             ),
             (
+                "graph_cache",
+                match (self.graph_cache_hits, self.graph_cache_misses) {
+                    (Some(h), Some(m)) => obj(vec![
+                        ("hits", Json::Num(h as f64)),
+                        ("misses", Json::Num(m as f64)),
+                    ]),
+                    _ => Json::Null,
+                },
+            ),
+            (
                 "accounting",
                 match self.accounting {
                     Some(a) => obj(vec![
@@ -250,10 +265,14 @@ impl LoadReport {
             ),
             None => "unavailable".to_string(),
         };
+        let cache = match (self.graph_cache_hits, self.graph_cache_misses) {
+            (Some(h), Some(m)) => format!("{h} hits / {m} misses"),
+            _ => "unavailable".to_string(),
+        };
         format!(
             "sent {} | ok {} | overloaded {} | errors {} | transport {} | \
              {:.1} req/s | latency ms p50 {:.2} p95 {:.2} p99 {:.2} max {:.2} | \
-             deterministic: {} | accounting: {accounting}\n",
+             deterministic: {} | accounting: {accounting} | graph cache: {cache}\n",
             self.sent,
             self.ok,
             self.overloaded,
@@ -320,6 +339,8 @@ pub fn run(config: &LoadConfig) -> io::Result<LoadReport> {
         deterministic: true,
         seeds_observed: 0,
         accounting: None,
+        graph_cache_hits: None,
+        graph_cache_misses: None,
     };
     let mut makespans: HashMap<u64, Vec<f64>> = HashMap::new();
     for t in tallies.into_inner().expect("tally lock") {
@@ -340,11 +361,17 @@ pub fn run(config: &LoadConfig) -> io::Result<LoadReport> {
         .all(|ms| ms.windows(2).all(|w| w[0].to_bits() == w[1].to_bits()));
     // Snapshot the server's request-accounting ledger; the run is
     // quiescent now, so the ledger must balance.
-    report.accounting = Client::connect(&config.addr)
+    let stats_reply = Client::connect(&config.addr)
         .and_then(|mut c| c.call(&Request::Stats))
-        .ok()
-        .as_ref()
-        .and_then(Accounting::from_stats_json);
+        .ok();
+    report.accounting = stats_reply.as_ref().and_then(Accounting::from_stats_json);
+    let cache_counter = |key: &str| {
+        let reply = stats_reply.as_ref()?;
+        let body = reply.get("stats").unwrap_or(reply);
+        body.get(key).and_then(Json::as_u64)
+    };
+    report.graph_cache_hits = cache_counter("graph_cache_hits");
+    report.graph_cache_misses = cache_counter("graph_cache_misses");
     Ok(report)
 }
 
@@ -460,6 +487,8 @@ mod tests {
             latencies_ms: vec![1.0, 2.0, 3.0, 4.0],
             deterministic: true,
             seeds_observed: 1,
+            graph_cache_hits: Some(3),
+            graph_cache_misses: Some(1),
             accounting: Some(Accounting {
                 submitted: 4,
                 ok: 4,
@@ -480,6 +509,10 @@ mod tests {
         );
         assert!(r.summary().contains("deterministic: true"));
         assert!(r.summary().contains("accounting: balanced"));
+        assert!(r.summary().contains("graph cache: 3 hits / 1 misses"));
+        let cache = j.get("graph_cache").unwrap();
+        assert_eq!(cache.get("hits").unwrap().as_u64(), Some(3));
+        assert_eq!(cache.get("misses").unwrap().as_u64(), Some(1));
     }
 
     #[test]
@@ -495,8 +528,11 @@ mod tests {
             deterministic: true,
             seeds_observed: 1,
             accounting: None,
+            graph_cache_hits: None,
+            graph_cache_misses: None,
         };
         assert!(r.summary().contains("accounting: unavailable"));
+        assert!(r.summary().contains("graph cache: unavailable"));
         assert_eq!(r.to_json(&LoadConfig::default()).get("accounting"), Some(&Json::Null));
         r.accounting = Some(Accounting {
             submitted: 5,

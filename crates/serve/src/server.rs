@@ -511,16 +511,30 @@ fn catch_panic_reply(f: impl FnOnce() -> Json + std::panic::UnwindSafe) -> (Json
 
 fn worker_loop(shared: &Shared) {
     let mut ctx = WorkerContext::with_limits(shared.config.limits);
+    // Graph-cache counters are per-context; publish deltas into the
+    // shared stats so the totals survive a post-panic context reset.
+    let (mut seen_hits, mut seen_misses) = (0u64, 0u64);
     while let Some(job) = shared.dequeue() {
         let inject_panic = shared.hooks.take_panic();
         let (reply, panicked) = catch_panic_reply(std::panic::AssertUnwindSafe(|| {
             assert!(!inject_panic, "chaos: injected worker panic");
             ctx.handle(&job.req)
         }));
+        shared
+            .stats
+            .graph_cache_hits
+            .fetch_add(ctx.graph_cache_hits() - seen_hits, Ordering::Relaxed);
+        shared
+            .stats
+            .graph_cache_misses
+            .fetch_add(ctx.graph_cache_misses() - seen_misses, Ordering::Relaxed);
+        seen_hits = ctx.graph_cache_hits();
+        seen_misses = ctx.graph_cache_misses();
         if panicked {
             // The context's caches may have been mid-update when the
             // handler unwound; start this worker over with fresh state.
             ctx = WorkerContext::with_limits(shared.config.limits);
+            (seen_hits, seen_misses) = (0, 0);
         }
         let ok = reply.get("status").and_then(Json::as_str) == Some("ok");
         ServerStats::bump(if ok {

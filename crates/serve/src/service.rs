@@ -6,6 +6,7 @@
 //! measured and exercised without a socket in sight.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use moldable_core::{baselines, AllocCache, OnlineScheduler, QueuePolicy};
 use moldable_graph::{gen, parse_workflow, TaskGraph};
@@ -26,6 +27,10 @@ pub struct ServiceLimits {
     pub max_shape_size: u32,
     /// Largest accepted platform size.
     pub max_p: u32,
+    /// Capacity of the per-worker frozen-graph LRU cache for named
+    /// generator requests (`0` disables caching — useful for
+    /// before/after measurements).
+    pub graph_cache_cap: usize,
 }
 
 impl Default for ServiceLimits {
@@ -34,7 +39,74 @@ impl Default for ServiceLimits {
             max_tasks: 1_000_000,
             max_shape_size: 100_000,
             max_p: 1 << 20,
+            graph_cache_cap: 64,
         }
+    }
+}
+
+/// Identity of a generated graph: two named requests with equal keys
+/// construct bit-identical frozen [`TaskGraph`]s (generators are
+/// seed-deterministic), so the graph itself can be shared.
+///
+/// Inline `.mtg` workflows are *not* cached: hashing the full text to
+/// detect a repeat costs about as much as re-parsing it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct GraphKey {
+    shape: String,
+    size: u32,
+    seed: u64,
+    class: ModelClass,
+    p: u32,
+}
+
+/// A tiny move-to-front LRU of frozen graphs. Capacity is small (tens
+/// of entries) and entries are fat (`Arc<TaskGraph>`), so a `Vec` scan
+/// beats a linked-hash-map both in code size and constant factor.
+#[derive(Debug, Default)]
+struct GraphCache {
+    entries: Vec<(GraphKey, Arc<TaskGraph>)>,
+    cap: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl GraphCache {
+    fn new(cap: usize) -> Self {
+        Self {
+            entries: Vec::new(),
+            cap,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Look up `key`, counting a hit (and moving the entry to the
+    /// front) or a miss. Disabled caches (`cap == 0`) always miss.
+    fn get(&mut self, key: &GraphKey) -> Option<Arc<TaskGraph>> {
+        if self.cap == 0 {
+            self.misses += 1;
+            return None;
+        }
+        if let Some(i) = self.entries.iter().position(|(k, _)| k == key) {
+            self.hits += 1;
+            let entry = self.entries.remove(i);
+            let graph = Arc::clone(&entry.1);
+            self.entries.insert(0, entry);
+            Some(graph)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Insert a freshly built graph at the front, evicting the
+    /// least-recently-used entry when full. No-op when disabled.
+    fn put(&mut self, key: GraphKey, graph: &Arc<TaskGraph>) {
+        if self.cap == 0 {
+            return;
+        }
+        self.entries.insert(0, (key, Arc::clone(graph)));
+        self.entries.truncate(self.cap);
     }
 }
 
@@ -42,10 +114,17 @@ impl Default for ServiceLimits {
 /// distinct `(P, μ)` pair seen by this worker, so repeated traffic
 /// against the same platform skips the Algorithm 2 binary search for
 /// every model it has seen before.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct WorkerContext {
     caches: HashMap<(u32, u64), AllocCache>,
+    graphs: GraphCache,
     limits: ServiceLimits,
+}
+
+impl Default for WorkerContext {
+    fn default() -> Self {
+        Self::with_limits(ServiceLimits::default())
+    }
 }
 
 impl WorkerContext {
@@ -60,6 +139,7 @@ impl WorkerContext {
     pub fn with_limits(limits: ServiceLimits) -> Self {
         Self {
             caches: HashMap::new(),
+            graphs: GraphCache::new(limits.graph_cache_cap),
             limits,
         }
     }
@@ -74,6 +154,24 @@ impl WorkerContext {
     #[must_use]
     pub fn interned_models(&self) -> usize {
         self.caches.values().map(AllocCache::len).sum()
+    }
+
+    /// Named-generator requests served from the frozen-graph cache.
+    #[must_use]
+    pub fn graph_cache_hits(&self) -> u64 {
+        self.graphs.hits
+    }
+
+    /// Named-generator requests that had to construct their graph.
+    #[must_use]
+    pub fn graph_cache_misses(&self) -> u64 {
+        self.graphs.misses
+    }
+
+    /// Frozen graphs currently retained by the cache.
+    #[must_use]
+    pub fn graph_cache_len(&self) -> usize {
+        self.graphs.entries.len()
     }
 
     /// Execute one submit request, returning the reply body.
@@ -125,7 +223,7 @@ impl WorkerContext {
         Ok(obj(members))
     }
 
-    fn build_graph(&self, req: &SubmitRequest) -> Result<(TaskGraph, u32), String> {
+    fn build_graph(&mut self, req: &SubmitRequest) -> Result<(Arc<TaskGraph>, u32), String> {
         let limits = self.limits;
         // Validate `p` before any generator runs (the samplers assert
         // on `p = 0`; the service must reply, not panic).
@@ -135,7 +233,10 @@ impl WorkerContext {
             }
         }
         let (graph, hint) = match &req.graph {
-            GraphSpec::Inline(mtg) => parse_workflow(mtg).map_err(|e| format!("bad mtg: {e}"))?,
+            GraphSpec::Inline(mtg) => {
+                let (g, hint) = parse_workflow(mtg).map_err(|e| format!("bad mtg: {e}"))?;
+                (Arc::new(g), hint)
+            }
             GraphSpec::Named { shape, size } => {
                 if *size > limits.max_shape_size {
                     return Err(format!(
@@ -156,7 +257,21 @@ impl WorkerContext {
                 }
                 let class = parse_model_class(&req.model)?;
                 let p = req.p.ok_or("generated graphs require `p`")?;
-                let g = gen::by_name(shape, *size, class, p, req.seed)?;
+                let key = GraphKey {
+                    shape: shape.clone(),
+                    size: *size,
+                    seed: req.seed,
+                    class,
+                    p,
+                };
+                let g = match self.graphs.get(&key) {
+                    Some(g) => g,
+                    None => {
+                        let g = Arc::new(gen::by_name(shape, *size, class, p, req.seed)?);
+                        self.graphs.put(key, &g);
+                        g
+                    }
+                };
                 (g, Some(p))
             }
         };
@@ -326,6 +441,53 @@ mod tests {
     }
 
     #[test]
+    fn graph_cache_hits_on_identical_named_submits_and_misses_on_new_seed() {
+        let mut ctx = WorkerContext::new();
+        let a = ctx.handle(&named("layered", 8, 64, 123));
+        assert_eq!((ctx.graph_cache_hits(), ctx.graph_cache_misses()), (0, 1));
+        let b = ctx.handle(&named("layered", 8, 64, 123));
+        assert_eq!(a, b, "cached graph gives the identical reply");
+        assert_eq!((ctx.graph_cache_hits(), ctx.graph_cache_misses()), (1, 1));
+        // A different seed is a different graph: miss.
+        let _ = ctx.handle(&named("layered", 8, 64, 124));
+        assert_eq!((ctx.graph_cache_hits(), ctx.graph_cache_misses()), (1, 2));
+        assert_eq!(ctx.graph_cache_len(), 2);
+        // Every key component participates in identity.
+        let _ = ctx.handle(&named("layered", 9, 64, 123)); // size
+        let _ = ctx.handle(&named("layered", 8, 32, 123)); // p
+        let _ = ctx.handle(&named("fft", 8, 64, 123)); // shape
+        let mut req = named("layered", 8, 64, 123);
+        req.model = "roofline".into(); // class
+        let _ = ctx.handle(&req);
+        assert_eq!((ctx.graph_cache_hits(), ctx.graph_cache_misses()), (1, 6));
+    }
+
+    #[test]
+    fn graph_cache_evicts_lru_and_cap_zero_disables() {
+        let mut ctx = WorkerContext::with_limits(ServiceLimits {
+            graph_cache_cap: 2,
+            ..ServiceLimits::default()
+        });
+        let _ = ctx.handle(&named("chain", 4, 8, 1)); // miss: [1]
+        let _ = ctx.handle(&named("chain", 4, 8, 2)); // miss: [2, 1]
+        let _ = ctx.handle(&named("chain", 4, 8, 1)); // hit:  [1, 2]
+        let _ = ctx.handle(&named("chain", 4, 8, 3)); // miss: [3, 1] — evicts 2
+        let _ = ctx.handle(&named("chain", 4, 8, 2)); // miss again
+        assert_eq!((ctx.graph_cache_hits(), ctx.graph_cache_misses()), (1, 4));
+        assert_eq!(ctx.graph_cache_len(), 2);
+
+        let mut off = WorkerContext::with_limits(ServiceLimits {
+            graph_cache_cap: 0,
+            ..ServiceLimits::default()
+        });
+        let a = off.handle(&named("chain", 4, 8, 1));
+        let b = off.handle(&named("chain", 4, 8, 1));
+        assert_eq!(a, b);
+        assert_eq!((off.graph_cache_hits(), off.graph_cache_misses()), (0, 2));
+        assert_eq!(off.graph_cache_len(), 0);
+    }
+
+    #[test]
     fn inline_mtg_uses_hint_and_allocations_are_reported() {
         let mut ctx = WorkerContext::new();
         let req = SubmitRequest {
@@ -392,6 +554,7 @@ mod tests {
             max_tasks: 10,
             max_shape_size: 4,
             max_p: 64,
+            ..ServiceLimits::default()
         });
         let cases = [
             (named("hexagon", 3, 8, 1), "unknown shape"),

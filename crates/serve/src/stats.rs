@@ -198,6 +198,11 @@ pub struct ServerStats {
     pub timeouts: AtomicU64,
     /// Current queue depth (approximate under concurrency).
     pub queue_depth: AtomicU64,
+    /// Named-generator submits whose frozen graph came from a worker's
+    /// graph cache (no construction).
+    pub graph_cache_hits: AtomicU64,
+    /// Named-generator submits that had to construct their graph.
+    pub graph_cache_misses: AtomicU64,
     /// End-to-end latency of completed submits (enqueue → reply built).
     pub latency: LatencyHisto,
 }
@@ -243,6 +248,8 @@ impl ServerStats {
             ("errors", n(&self.errors)),
             ("timeouts", n(&self.timeouts)),
             ("queue_depth", n(&self.queue_depth)),
+            ("graph_cache_hits", n(&self.graph_cache_hits)),
+            ("graph_cache_misses", n(&self.graph_cache_misses)),
             ("latency", self.latency.to_json()),
         ])
     }
@@ -314,6 +321,8 @@ mod tests {
             "errors",
             "timeouts",
             "queue_depth",
+            "graph_cache_hits",
+            "graph_cache_misses",
             "latency",
         ] {
             assert!(j.get(key).is_some(), "{key}");

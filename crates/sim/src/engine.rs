@@ -31,6 +31,17 @@ pub trait Scheduler {
     /// idle processors; the total allocation of the returned batch must
     /// not exceed it. Return an empty batch to wait for the next event.
     fn select(&mut self, now: f64, free: u32) -> Vec<(TaskId, u32)>;
+
+    /// [`Scheduler::select`], but appending the batch to a caller-owned
+    /// buffer. The engine clears and reuses one buffer across all
+    /// decision points, so schedulers overriding this run
+    /// allocation-free at steady state; the default delegates to
+    /// [`Scheduler::select`] so existing schedulers keep working
+    /// unchanged. The buffer arrives empty; implementations must only
+    /// append.
+    fn select_into(&mut self, now: f64, free: u32, out: &mut Vec<(TaskId, u32)>) {
+        out.extend(self.select(now, free));
+    }
 }
 
 /// A source of tasks for the engine. The static case is a
@@ -52,6 +63,17 @@ pub trait Instance {
     /// become available as a result, in release order. Adaptive
     /// adversaries may use `time` to record their decision points.
     fn on_complete(&mut self, task: TaskId, time: f64) -> Vec<TaskId>;
+
+    /// [`Instance::on_complete`], but appending the newly available
+    /// tasks to a caller-owned buffer. The engine clears and reuses one
+    /// scratch buffer across all completions, so instances overriding
+    /// this (like [`GraphInstance`]) make the completion path
+    /// allocation-free; the default delegates to
+    /// [`Instance::on_complete`]. The buffer arrives empty;
+    /// implementations must only append.
+    fn on_complete_into(&mut self, task: TaskId, time: f64, out: &mut Vec<TaskId>) {
+        out.extend(self.on_complete(task, time));
+    }
 
     /// Have all tasks of the instance completed?
     fn is_done(&self) -> bool;
@@ -108,6 +130,10 @@ impl Instance for GraphInstance<'_> {
 
     fn on_complete(&mut self, task: TaskId, _time: f64) -> Vec<TaskId> {
         self.frontier.complete(self.graph, task)
+    }
+
+    fn on_complete_into(&mut self, task: TaskId, _time: f64, out: &mut Vec<TaskId>) {
+        self.frontier.complete_into(self.graph, task, out);
     }
 
     fn is_done(&self) -> bool {
@@ -301,15 +327,21 @@ pub fn simulate_instance(
         released_at[t.index()] = 0.0;
     }
 
+    // Scratch buffers reused across every decision point and
+    // completion: the steady-state loop allocates nothing.
+    let mut picks: Vec<(TaskId, u32)> = Vec::new();
+    let mut newly: Vec<TaskId> = Vec::new();
+
     // Decision loop: ask the scheduler until it passes.
     macro_rules! decide {
         () => {
             loop {
-                let picks = scheduler.select(time, free);
+                picks.clear();
+                scheduler.select_into(time, free, &mut picks);
                 if picks.is_empty() {
                     break;
                 }
-                for (t, p) in picks {
+                for (t, p) in picks.drain(..) {
                     if t.index() >= status.len() || status[t.index()] != Some(Status::Available) {
                         return Err(SimError::NotAvailable(t));
                     }
@@ -407,7 +439,9 @@ pub fn simulate_instance(
         // 2) reveal the consequences, in completion order
         for &idx in &batch {
             let task = placements[idx].task;
-            for t in instance.on_complete(task, time) {
+            newly.clear();
+            instance.on_complete_into(task, time, &mut newly);
+            for &t in &newly {
                 ensure(&mut status, &mut released_at, t);
                 scheduler.release(t, instance.model(t));
                 status[t.index()] = Some(Status::Available);
@@ -453,6 +487,7 @@ pub fn simulate_instance(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use moldable_graph::GraphBuilder;
 
     fn unit(w: f64) -> SpeedupModel {
         SpeedupModel::amdahl(w, 0.0).unwrap()
@@ -495,12 +530,13 @@ mod tests {
 
     #[test]
     fn chain_runs_serially() {
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         let a = g.add_task(unit(2.0));
         let b = g.add_task(unit(3.0));
         let c = g.add_task(unit(1.0));
         g.add_edge(a, b).unwrap();
         g.add_edge(b, c).unwrap();
+        let g = g.freeze();
         let s = simulate(&g, &mut Fifo::new(1), &SimOptions::new(4)).unwrap();
         assert_eq!(s.makespan, 6.0);
         assert_eq!(s.placements.len(), 3);
@@ -510,10 +546,11 @@ mod tests {
 
     #[test]
     fn independents_run_in_parallel_up_to_capacity() {
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         for _ in 0..6 {
             g.add_task(unit(1.0));
         }
+        let g = g.freeze();
         // P = 4, one proc each: 4 run at t=0, 2 at t=1.
         let s = simulate(&g, &mut Fifo::new(1), &SimOptions::new(4)).unwrap();
         assert_eq!(s.makespan, 2.0);
@@ -523,12 +560,13 @@ mod tests {
 
     #[test]
     fn simultaneous_completions_release_together() {
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         let a = g.add_task(unit(1.0));
         let b = g.add_task(unit(1.0));
         let c = g.add_task(unit(1.0));
         g.add_edge(a, c).unwrap();
         g.add_edge(b, c).unwrap();
+        let g = g.freeze();
         let s = simulate(&g, &mut Fifo::new(2), &SimOptions::new(4)).unwrap();
         // a and b run in parallel on 2 procs each over [0, 0.5);
         // c starts exactly when both complete.
@@ -546,8 +584,9 @@ mod tests {
                 vec![(TaskId(0), 99)]
             }
         }
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         g.add_task(unit(1.0));
+        let g = g.freeze();
         let err = simulate(&g, &mut Bad, &SimOptions::new(4)).unwrap_err();
         assert!(matches!(
             err,
@@ -568,10 +607,11 @@ mod tests {
                 vec![(TaskId(1), 1)] // task 1 not yet revealed
             }
         }
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         let a = g.add_task(unit(1.0));
         let b = g.add_task(unit(1.0));
         g.add_edge(a, b).unwrap();
+        let g = g.freeze();
         let err = simulate(&g, &mut Eager, &SimOptions::new(4)).unwrap_err();
         assert_eq!(err, SimError::NotAvailable(TaskId(1)));
     }
@@ -585,8 +625,9 @@ mod tests {
                 vec![(TaskId(0), 0)]
             }
         }
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         g.add_task(unit(1.0));
+        let g = g.freeze();
         let err = simulate(&g, &mut Zero, &SimOptions::new(4)).unwrap_err();
         assert_eq!(err, SimError::ZeroProcs(TaskId(0)));
     }
@@ -600,17 +641,19 @@ mod tests {
                 Vec::new()
             }
         }
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         g.add_task(unit(1.0));
+        let g = g.freeze();
         let err = simulate(&g, &mut Lazy, &SimOptions::new(4)).unwrap_err();
         assert!(matches!(err, SimError::Stuck { .. }));
     }
 
     #[test]
     fn proc_ids_recorded_when_requested() {
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         g.add_task(unit(1.0));
         g.add_task(unit(1.0));
+        let g = g.freeze();
         let opts = SimOptions::new(4).with_proc_ids();
         let s = simulate(&g, &mut Fifo::new(2), &opts).unwrap();
         assert_eq!(s.placements[0].proc_ranges, vec![(0, 1)]);
@@ -619,10 +662,11 @@ mod tests {
 
     #[test]
     fn release_times_are_recorded() {
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         let a = g.add_task(unit(2.0));
         let b = g.add_task(unit(3.0));
         g.add_edge(a, b).unwrap();
+        let g = g.freeze();
         let s = simulate(&g, &mut Fifo::new(1), &SimOptions::new(2)).unwrap();
         assert_eq!(s.placement(a).unwrap().released, 0.0);
         // b was revealed when a completed at t = 2 and started right away.
@@ -633,8 +677,9 @@ mod tests {
 
     #[test]
     fn moldable_allocation_changes_duration() {
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         g.add_task(unit(8.0));
+        let g = g.freeze();
         let s = simulate(&g, &mut Fifo::new(4), &SimOptions::new(4)).unwrap();
         assert_eq!(s.makespan, 2.0); // 8 / 4
         let s = simulate(&g, &mut Fifo::new(2), &SimOptions::new(4)).unwrap();
@@ -643,7 +688,7 @@ mod tests {
 
     #[test]
     fn empty_graph_simulates_to_empty_schedule() {
-        let g = TaskGraph::new();
+        let g = TaskGraph::empty();
         let s = simulate(&g, &mut Fifo::new(1), &SimOptions::new(2)).unwrap();
         assert_eq!(s.makespan, 0.0);
         assert!(s.placements.is_empty());
@@ -651,10 +696,11 @@ mod tests {
 
     #[test]
     fn utilization_of_saturated_schedule_is_one() {
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         for _ in 0..4 {
             g.add_task(unit(3.0));
         }
+        let g = g.freeze();
         let s = simulate(&g, &mut Fifo::new(1), &SimOptions::new(4)).unwrap();
         assert!((s.utilization() - 1.0).abs() < 1e-12);
     }

@@ -20,7 +20,7 @@
 //! # Example
 //!
 //! ```
-//! use moldable_graph::{TaskGraph, TaskId};
+//! use moldable_graph::{GraphBuilder, TaskId};
 //! use moldable_model::SpeedupModel;
 //! use moldable_sim::{simulate, Scheduler, SimOptions};
 //!
@@ -37,10 +37,11 @@
 //!     }
 //! }
 //!
-//! let mut g = TaskGraph::new();
+//! let mut g = GraphBuilder::new();
 //! let a = g.add_task(SpeedupModel::amdahl(2.0, 0.0).unwrap());
 //! let b = g.add_task(SpeedupModel::amdahl(3.0, 0.0).unwrap());
 //! g.add_edge(a, b).unwrap();
+//! let g = g.freeze();
 //!
 //! let schedule = simulate(&g, &mut OneProc::default(), &SimOptions::new(4)).unwrap();
 //! assert_eq!(schedule.makespan, 5.0);

@@ -198,15 +198,17 @@ impl Schedule {
 
 #[cfg(test)]
 mod tests {
+    use moldable_graph::GraphBuilder;
     use super::*;
     use crate::ScheduleBuilder;
     use moldable_model::SpeedupModel;
 
     fn two_task_graph() -> (TaskGraph, TaskId, TaskId) {
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         let a = g.add_task(SpeedupModel::amdahl(4.0, 0.0).unwrap());
         let b = g.add_task(SpeedupModel::amdahl(2.0, 0.0).unwrap());
         g.add_edge(a, b).unwrap();
+        let g = g.freeze();
         (g, a, b)
     }
 
@@ -269,9 +271,10 @@ mod tests {
 
     #[test]
     fn capacity_violation_detected() {
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         let a = g.add_task(SpeedupModel::amdahl(3.0, 0.0).unwrap());
         let b = g.add_task(SpeedupModel::amdahl(3.0, 0.0).unwrap());
+        let g = g.freeze();
         let mut sb = ScheduleBuilder::new(4);
         sb.place(a, 0.0, 1.0, 3);
         sb.place(b, 0.5, 1.0, 3); // overlap: 6 > 4
@@ -284,9 +287,10 @@ mod tests {
 
     #[test]
     fn back_to_back_full_platform_is_fine() {
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         let a = g.add_task(SpeedupModel::amdahl(4.0, 0.0).unwrap());
         let b = g.add_task(SpeedupModel::amdahl(4.0, 0.0).unwrap());
+        let g = g.freeze();
         let mut sb = ScheduleBuilder::new(4);
         sb.place(a, 0.0, 1.0, 4);
         sb.place(b, 1.0, 1.0, 4); // starts exactly when a ends
@@ -295,8 +299,9 @@ mod tests {
 
     #[test]
     fn bad_allocation_detected() {
-        let mut g = TaskGraph::new();
+        let mut g = GraphBuilder::new();
         let a = g.add_task(SpeedupModel::amdahl(4.0, 0.0).unwrap());
+        let g = g.freeze();
         let mut sb = ScheduleBuilder::new(4);
         sb.place(a, 0.0, 0.5, 8);
         let err = sb.build().validate_structure(&g).unwrap_err();

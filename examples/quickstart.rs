@@ -6,7 +6,7 @@
 //! ```
 
 use moldable::core::OnlineScheduler;
-use moldable::graph::TaskGraph;
+use moldable::graph::GraphBuilder;
 use moldable::model::{ModelClass, SpeedupModel};
 use moldable::sim::{simulate, SimOptions};
 
@@ -14,7 +14,7 @@ fn main() {
     let p_total = 16;
 
     // A small pipeline-with-fan-out: prepare -> {4x solve} -> reduce.
-    let mut g = TaskGraph::new();
+    let mut g = GraphBuilder::new();
     let prepare = g.add_task(SpeedupModel::amdahl(24.0, 2.0).unwrap());
     let solves: Vec<_> = (0..4)
         .map(|_| g.add_task(SpeedupModel::amdahl(60.0, 1.0).unwrap()))
@@ -24,6 +24,7 @@ fn main() {
         g.add_edge(prepare, s).unwrap();
         g.add_edge(s, reduce).unwrap();
     }
+    let g = g.freeze();
 
     // The paper's algorithm, tuned for Amdahl tasks (Theorem 3).
     let mut sched = OnlineScheduler::for_class(ModelClass::Amdahl);

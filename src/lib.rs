@@ -39,7 +39,7 @@ pub use moldable_sim as sim;
 /// Convenience prelude: the types almost every user touches.
 pub mod prelude {
     pub use moldable_core::{OnlineScheduler, QueuePolicy};
-    pub use moldable_graph::{TaskGraph, TaskId};
+    pub use moldable_graph::{GraphBuilder, TaskGraph, TaskId};
     pub use moldable_model::{ModelClass, SpeedupModel};
     pub use moldable_sim::{simulate, Schedule, Scheduler};
 }

@@ -98,10 +98,11 @@ fn online_beats_its_guarantee_on_every_builtin_workload() {
 #[test]
 fn prelude_exposes_the_happy_path() {
     use moldable::prelude::*;
-    let mut g = TaskGraph::new();
+    let mut g = GraphBuilder::new();
     let a = g.add_task(SpeedupModel::amdahl(4.0, 1.0).unwrap());
     let b = g.add_task(SpeedupModel::roofline(8.0, 4).unwrap());
     g.add_edge(a, b).unwrap();
+    let g: TaskGraph = g.freeze();
     assert_eq!(g.model_class(), Some(ModelClass::General));
     let mut s: OnlineScheduler =
         OnlineScheduler::for_class(ModelClass::General).with_policy(QueuePolicy::Fifo);
