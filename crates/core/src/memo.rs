@@ -73,6 +73,10 @@ pub struct AllocCache {
     /// Clones of every closure seen, pinning their addresses for the
     /// cache's lifetime (see module docs).
     pinned: Vec<SpeedupModel>,
+    /// Lifetime lookup count (for hit-rate introspection).
+    probes: u64,
+    /// Lookups answered from the map.
+    hits: u64,
 }
 
 impl AllocCache {
@@ -95,6 +99,8 @@ impl AllocCache {
             mu,
             map: HashMap::new(),
             pinned: Vec::new(),
+            probes: 0,
+            hits: 0,
         }
     }
 
@@ -121,8 +127,10 @@ impl AllocCache {
     /// `allocate(model, p_total, mu)`, but repeat models cost one hash
     /// lookup.
     pub fn allocate(&mut self, model: &SpeedupModel) -> Allocation {
+        self.probes += 1;
         let key = ModelKey::of(model);
         if let Some(&hit) = self.map.get(&key) {
+            self.hits += 1;
             return hit;
         }
         if matches!(model, SpeedupModel::Formula { .. }) {
@@ -137,6 +145,21 @@ impl AllocCache {
     #[must_use]
     pub fn len(&self) -> usize {
         self.map.len()
+    }
+
+    /// Lifetime number of [`AllocCache::allocate`] calls.
+    #[must_use]
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Lifetime number of probes answered from the map. A hit rate of
+    /// `hits / probes` near zero means every task carries a distinct
+    /// model and the cache is pure overhead — the batched scheduler
+    /// uses exactly this signal to switch to direct Algorithm 2 calls.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
     }
 
     /// Whether the cache is empty.

@@ -2,9 +2,9 @@
 
 use std::collections::HashMap;
 
-use moldable_graph::TaskId;
+use moldable_graph::{TaskGraph, TaskId};
 use moldable_model::{ModelClass, SpeedupModel};
-use moldable_sim::Scheduler;
+use moldable_sim::{BatchScheduler, BatchStart, Scheduler};
 
 use crate::memo::AllocCache;
 use crate::ready_queue::{IndexedQueue, LinearQueue, ReadyItem, ReadyQueue};
@@ -45,6 +45,13 @@ pub struct OnlineScheduler {
     /// [`OnlineScheduler::record_decisions`] so the default hot path
     /// does no per-task bookkeeping.
     decisions: Option<HashMap<TaskId, Allocation>>,
+    /// Adaptive cache bypass for the batched release path: set once the
+    /// observed [`AllocCache`] hit rate proves the workload's models
+    /// are (almost) all distinct, after which Algorithm 2 runs directly
+    /// — same decisions ([`allocate`] is pure), no interning overhead.
+    bypass_cache: bool,
+    /// Reused drain buffer for [`BatchScheduler::select_batch`].
+    scratch: Vec<ReadyItem>,
 }
 
 /// The two queue implementations behind one static dispatch point.
@@ -103,6 +110,8 @@ impl OnlineScheduler {
             seq: 0,
             cache: None,
             decisions: None,
+            bypass_cache: false,
+            scratch: Vec::new(),
         }
     }
 
@@ -178,11 +187,11 @@ impl OnlineScheduler {
     pub fn take_alloc_cache(&mut self) -> Option<AllocCache> {
         self.cache.take()
     }
-}
 
-impl Scheduler for OnlineScheduler {
-    fn init(&mut self, p_total: u32) {
+    /// Shared `init` of the per-task and batched driver traits.
+    fn init_impl(&mut self, p_total: u32) {
         self.p_total = p_total;
+        self.bypass_cache = false;
         let keep = self
             .cache
             .as_ref()
@@ -190,6 +199,45 @@ impl Scheduler for OnlineScheduler {
         if !keep {
             self.cache = Some(AllocCache::new(p_total, self.mu));
         }
+    }
+
+    /// Algorithm 2 for the batched release path: through the cache
+    /// until the observed hit rate proves the workload has (almost) no
+    /// repeat models, directly afterwards. [`allocate`] is a pure
+    /// function of `(model, P, μ)`, so the switch can never change a
+    /// decision — it only stops paying a hash insert per distinct
+    /// model (on a million-task instance with per-task sampled work,
+    /// that insert is the single largest release cost).
+    fn allocate_batched(&mut self, model: &SpeedupModel) -> Allocation {
+        if self.bypass_cache {
+            return allocate(model, self.p_total, self.mu);
+        }
+        match self.cache.as_mut() {
+            Some(cache) => {
+                let allocation = cache.allocate(model);
+                // Deterministic bypass rule: enough evidence, and
+                // fewer than 1 in 16 probes answered from the map.
+                if cache.probes() >= BYPASS_MIN_PROBES && cache.hits() * 16 < cache.probes() {
+                    self.bypass_cache = true;
+                }
+                allocation
+            }
+            None => allocate(model, self.p_total, self.mu),
+        }
+    }
+}
+
+/// Probes an [`AllocCache`] must answer before the batched release
+/// path may conclude the cache is useless and bypass it. Large enough
+/// that every adversarial witness in the test corpus (thousands of
+/// tasks over a handful of models) warms the cache normally, small
+/// enough that a million-task sampled workload stops paying interning
+/// after the first few thousand releases.
+const BYPASS_MIN_PROBES: u64 = 4096;
+
+impl Scheduler for OnlineScheduler {
+    fn init(&mut self, p_total: u32) {
+        self.init_impl(p_total);
     }
 
     fn release(&mut self, task: TaskId, model: &SpeedupModel) {
@@ -208,6 +256,10 @@ impl Scheduler for OnlineScheduler {
             task,
             alloc: allocation.capped,
             key,
+            dur,
+            // The per-task driver tracks release times itself (the
+            // `release` hook has no clock); see `ReadyItem::released`.
+            released: 0.0,
         });
     }
 
@@ -227,6 +279,84 @@ impl Scheduler for OnlineScheduler {
             free -= item.alloc;
             out.push((item.task, item.alloc));
         }
+    }
+}
+
+/// The same Algorithm 1, driven by the data-oriented batched engine
+/// ([`moldable_sim::simulate_batched`]). Release order, queue keys,
+/// and start decisions are identical to the per-task [`Scheduler`]
+/// path — the differential suite in
+/// `moldable-sim/tests/batched_engine_equivalence.rs` pins this —
+/// but the batch form exposes two savings the per-task hooks cannot:
+///
+/// * **Weight-run grouping.** Tasks revealed by one event frequently
+///   share a speedup model (chain bundles, adversarial phases, any
+///   graph built from a few weight classes). Within a batch,
+///   consecutive tasks whose models are
+///   [`SpeedupModel::bitwise_eq`] reuse the previous Algorithm 2
+///   decision without touching the cache at all.
+/// * **Adaptive cache bypass.** When per-task sampled weights make
+///   every model distinct, the cache's hash-and-insert per release is
+///   pure overhead; the observed hit rate switches the path to direct
+///   [`allocate`] calls (see `allocate_batched` below).
+impl BatchScheduler for OnlineScheduler {
+    fn init(&mut self, p_total: u32) {
+        self.init_impl(p_total);
+    }
+
+    fn release_batch(&mut self, graph: &TaskGraph, now: f64, tasks: &[TaskId]) {
+        debug_assert!(self.p_total >= 1, "init must run before release");
+        // Last distinct model seen in this batch and its decision.
+        let mut run: Option<(&SpeedupModel, Allocation)> = None;
+        for &task in tasks {
+            let model = graph.model(task);
+            let allocation = match run {
+                Some((prev, allocation)) if prev.bitwise_eq(model) => allocation,
+                _ => {
+                    let allocation = self.allocate_batched(model);
+                    run = Some((model, allocation));
+                    allocation
+                }
+            };
+            if let Some(d) = self.decisions.as_mut() {
+                d.insert(task, allocation);
+            }
+            let dur = model.time(allocation.capped);
+            let key = self.policy.key(dur, allocation.capped, self.seq);
+            self.seq += 1;
+            self.queue.push(ReadyItem {
+                task,
+                alloc: allocation.capped,
+                key,
+                dur,
+                released: now,
+            });
+        }
+    }
+
+    fn select_batch(&mut self, _now: f64, free: u32, out: &mut Vec<BatchStart>) {
+        // Same list-scheduling scan as `select_into`, emitting the
+        // duration and release time carried through the queue. The
+        // indexed queue drains a whole decision point in one
+        // compacting pass (`pop_fits_into`); the reference queue keeps
+        // the specification's pop-per-item loop.
+        let mut free = free;
+        self.scratch.clear();
+        match &mut self.queue {
+            QueueKind::Indexed(q) => q.pop_fits_into(&mut free, &mut self.scratch),
+            QueueKind::Linear(q) => {
+                while let Some(item) = q.pop_first_fit(free) {
+                    free -= item.alloc;
+                    self.scratch.push(item);
+                }
+            }
+        }
+        out.extend(self.scratch.iter().map(|item| BatchStart {
+            task: item.task,
+            procs: item.alloc,
+            dur: item.dur,
+            released: item.released,
+        }));
     }
 }
 

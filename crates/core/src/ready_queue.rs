@@ -41,7 +41,8 @@
 use moldable_graph::TaskId;
 use moldable_model::rng::splitmix64_next;
 
-/// One waiting task: identity, capped allocation, and policy sort key.
+/// One waiting task: identity, capped allocation, policy sort key, and
+/// the execution-time data the batched engine needs at start time.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReadyItem {
     /// The waiting task.
@@ -51,6 +52,16 @@ pub struct ReadyItem {
     /// Policy sort key (primary, release-sequence tiebreak) — unique
     /// per item because the sequence number is.
     pub key: (f64, u64),
+    /// Execution time on `alloc` processors, `t_j(p'_j)` — computed
+    /// once at release (the policy key needs it anyway) and carried
+    /// through the queue so starting the task re-reads no model.
+    pub dur: f64,
+    /// Simulated time at which the task was released. The batched
+    /// engine reads this into the placement record; the general engine
+    /// keeps its own released-at column (its `release` hook predates
+    /// the field), so items pushed through [`crate::OnlineScheduler`]'s
+    /// per-task `release` carry `0.0` here.
+    pub released: f64,
 }
 
 fn key_lt(a: (f64, u64), b: (f64, u64)) -> bool {
@@ -89,9 +100,7 @@ impl LinearQueue {
 
 impl ReadyQueue for LinearQueue {
     fn push(&mut self, item: ReadyItem) {
-        let pos = self
-            .items
-            .partition_point(|it| !key_lt(item.key, it.key));
+        let pos = self.items.partition_point(|it| !key_lt(item.key, it.key));
         self.items.insert(pos, item);
     }
 
@@ -132,6 +141,19 @@ pub struct IndexedQueue {
     small: Vec<ReadyItem>,
     /// Cached minimum `alloc` over `small` (`u32::MAX` when empty).
     small_min: u32,
+    /// Blocked-prefix memo for [`IndexedQueue::pop_fits_into`]: the
+    /// first `blocked_len` inline items are all known to need more
+    /// than `blocked_free` processors (established by the previous
+    /// drain), and `blocked_min` is their minimum allocation. A drain
+    /// at `free ≤ blocked_free` can start scanning at `blocked_len` —
+    /// in steady state (FIFO appends) each item is examined O(1) times
+    /// across its whole queue residence instead of once per decision
+    /// point. `blocked_len == 0` means no memo.
+    blocked_len: usize,
+    /// See [`IndexedQueue::blocked_len`].
+    blocked_free: u32,
+    /// See [`IndexedQueue::blocked_len`].
+    blocked_min: u32,
     /// Migration point (constructor-tunable for tests).
     spill_at: usize,
     nodes: Vec<Node>,
@@ -162,6 +184,9 @@ impl IndexedQueue {
         Self {
             small: Vec::new(),
             small_min: u32::MAX,
+            blocked_len: 0,
+            blocked_free: 0,
+            blocked_min: u32::MAX,
             spill_at: spill_at.max(1),
             nodes: Vec::new(),
             spare: Vec::new(),
@@ -322,6 +347,7 @@ impl IndexedQueue {
             self.tree_insert(it);
         }
         self.small_min = u32::MAX;
+        self.blocked_len = 0;
     }
 
     /// Move the whole treap back into the inline buffer (drain down).
@@ -344,6 +370,7 @@ impl IndexedQueue {
             cur = self.node(i).right;
         }
         self.small_min = min;
+        self.blocked_len = 0;
         self.root = NIL;
         self.nodes.clear();
         self.spare.clear();
@@ -358,15 +385,82 @@ impl IndexedQueue {
             .min()
             .unwrap_or(u32::MAX);
     }
+
+    /// Drain *every* item a full list-scheduling decision point would
+    /// start: repeatedly the first item in key order with
+    /// `alloc ≤ free`, with `free` shrinking as items are taken.
+    /// Exactly equivalent to looping [`ReadyQueue::pop_first_fit`] —
+    /// skipped items stay infeasible because `free` only decreases —
+    /// but the inline tier does it in **one** compacting left-to-right
+    /// pass instead of re-scanning the blocked prefix once per pop,
+    /// O(n) per decision point instead of O(n·k).
+    pub fn pop_fits_into(&mut self, free: &mut u32, out: &mut Vec<ReadyItem>) {
+        loop {
+            if self.inline_mode() {
+                if self.small_min > *free {
+                    return;
+                }
+                // The previous drain certified that its survivors all
+                // need more than `blocked_free` processors; with no
+                // more free now, only items pushed since can fit.
+                let (start, mut min) = if self.blocked_len > 0 && *free <= self.blocked_free {
+                    debug_assert!(self.blocked_len <= self.small.len());
+                    (self.blocked_len.min(self.small.len()), self.blocked_min)
+                } else {
+                    (0, u32::MAX)
+                };
+                let mut w = start;
+                for r in start..self.small.len() {
+                    let it = self.small[r];
+                    if it.alloc <= *free {
+                        *free -= it.alloc;
+                        out.push(it);
+                        self.len -= 1;
+                    } else {
+                        min = min.min(it.alloc);
+                        // While nothing has been removed (w == r) the
+                        // prefix is already in place — no write-back.
+                        if w != r {
+                            self.small[w] = it;
+                        }
+                        w += 1;
+                    }
+                }
+                self.small.truncate(w);
+                self.small_min = min;
+                // Every survivor was (re-)certified blocked at a free
+                // count ≥ the final one — `free` only decreased.
+                self.blocked_len = w;
+                self.blocked_free = *free;
+                self.blocked_min = min;
+                return;
+            }
+            // Treap tier: O(log n) guided descents; a pop may trigger
+            // the unspill transition, after which the loop finishes in
+            // the inline branch above.
+            match self.pop_first_fit(*free) {
+                Some(it) => {
+                    *free -= it.alloc;
+                    out.push(it);
+                }
+                None => return,
+            }
+        }
+    }
 }
 
 impl ReadyQueue for IndexedQueue {
     fn push(&mut self, item: ReadyItem) {
         if self.inline_mode() {
             if self.small.len() < self.spill_at {
-                let pos = self
-                    .small
-                    .partition_point(|it| !key_lt(item.key, it.key));
+                let pos = self.small.partition_point(|it| !key_lt(item.key, it.key));
+                if pos < self.blocked_len {
+                    // Insert lands inside the certified prefix (non-FIFO
+                    // policy key): the memo no longer covers a prefix of
+                    // known-blocked items, so drop it. FIFO keys append
+                    // at the end and never take this branch.
+                    self.blocked_len = 0;
+                }
                 self.small.insert(pos, item);
                 self.small_min = self.small_min.min(item.alloc);
                 self.len += 1;
@@ -385,6 +479,9 @@ impl ReadyQueue for IndexedQueue {
             }
             let pos = self.small.iter().position(|it| it.alloc <= free)?;
             let item = self.small.remove(pos);
+            // Single pops shift indices under the memo; drop it rather
+            // than track the shift (this path is not the batched drain).
+            self.blocked_len = 0;
             self.len -= 1;
             if item.alloc == self.small_min {
                 self.refresh_small_min();
@@ -423,6 +520,8 @@ mod tests {
             task: TaskId(u32::try_from(seq).unwrap()),
             alloc,
             key: (primary, seq),
+            dur: primary.abs(),
+            released: 0.0,
         }
     }
 
@@ -573,6 +672,50 @@ mod tests {
             }
         }
         assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn batch_drain_matches_repeated_pops() {
+        // Drive one queue with pop_fits_into and a twin with the
+        // pop_first_fit loop it claims to equal, across random
+        // push/drain interleavings and spill transitions.
+        let mut rng = StdRng::seed_from_u64(0xBA7C);
+        for spill_at in [4usize, 1024] {
+            let mut a = IndexedQueue::with_spill_threshold(spill_at);
+            let mut b = IndexedQueue::with_spill_threshold(spill_at);
+            let mut seq = 0u64;
+            let mut drained: Vec<ReadyItem> = Vec::new();
+            for _ in 0..3_000 {
+                if rng.gen_bool(0.7) || a.is_empty() {
+                    // Mixed keys: FIFO-style appends exercise the
+                    // blocked-prefix memo, mid-queue inserts its
+                    // invalidation.
+                    let primary = if rng.gen_bool(0.5) {
+                        0.0
+                    } else {
+                        rng.gen_range(-10.0..10.0)
+                    };
+                    let it = item(seq, rng.gen_range(1u32..12), primary);
+                    seq += 1;
+                    a.push(it);
+                    b.push(it);
+                } else {
+                    let budget = rng.gen_range(0u32..30);
+                    let mut free = budget;
+                    drained.clear();
+                    a.pop_fits_into(&mut free, &mut drained);
+                    let mut free_b = budget;
+                    for got in &drained {
+                        let want = b.pop_first_fit(free_b).expect("twin pops too");
+                        assert_eq!(*got, want);
+                        free_b -= want.alloc;
+                    }
+                    assert_eq!(b.pop_first_fit(free_b), None, "twin had more fits");
+                    assert_eq!(free, free_b);
+                    assert_eq!(a.len(), b.len());
+                }
+            }
+        }
     }
 
     #[test]

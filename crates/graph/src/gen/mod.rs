@@ -18,7 +18,7 @@ mod random;
 
 pub use basic::{chain, fork_join, in_tree, independent, out_tree};
 pub use kernels::{cholesky, fft, lu, wavefront};
-pub use random::{layered_random, random_dag};
+pub use random::{layered_random, layered_random_sparse, random_dag};
 
 /// Re-export of the in-tree PRNG module, so workload-generation code
 /// can `use moldable_graph::gen::rng::{Rng, StdRng}` without a direct
@@ -208,7 +208,6 @@ pub fn scale_work(model: SpeedupModel, factor: f64) -> SpeedupModel {
 mod tests {
     use super::*;
     use moldable_model::rng::StdRng;
-    
 
     #[test]
     fn scale_work_scales_time_proportionally() {
@@ -268,7 +267,12 @@ mod tests {
     fn by_name_rejects_overflowing_and_zero_sizes() {
         // fft of size 64 used to panic with a shift overflow; now a
         // structured error long before any construction starts.
-        for (shape, size) in [("fft", 64u32), ("fft", 31), ("in-tree", 40), ("out-tree", 200)] {
+        for (shape, size) in [
+            ("fft", 64u32),
+            ("fft", 31),
+            ("in-tree", 40),
+            ("out-tree", 200),
+        ] {
             let e = by_name(shape, size, ModelClass::Amdahl, 16, 7).unwrap_err();
             assert!(e.contains("task-id space"), "{shape} {size}: {e}");
         }

@@ -1,7 +1,7 @@
 //! Random DAG generators.
 
-use moldable_model::SpeedupModel;
 use moldable_model::rng::Rng;
+use moldable_model::SpeedupModel;
 
 use crate::{GraphBuilder, TaskGraph, TaskId};
 
@@ -58,6 +58,90 @@ pub fn layered_random<R: Rng>(
     g.freeze()
 }
 
+/// [`layered_random`], but sampling each task's predecessor set by
+/// geometric skips instead of one Bernoulli draw per candidate edge:
+/// with hit probability `p_edge`, the gap to the next hit is geometric,
+/// so drawing `skip = ⌊ln U / ln(1 − p_edge)⌋` jumps straight to it.
+/// Work becomes O(tasks + edges) instead of O(layers · width²) — on a
+/// 1000 × 1000 instance at `p_edge = 0.002` that is ~3 × 10⁶ RNG draws
+/// instead of 10⁹.
+///
+/// The marginal distribution is identical to [`layered_random`]
+/// (each candidate edge present independently with `p_edge`, plus the
+/// same guaranteed-predecessor fallback), but the two generators
+/// consume the RNG stream differently, so a given seed produces
+/// *different* graphs. The dense generator therefore keeps its exact
+/// behaviour (seeded experiments stay reproducible); use this one
+/// where the instance only needs the right shape statistics — e.g.
+/// million-task benchmarks, where building dense costs more than
+/// simulating.
+pub fn layered_random_sparse<R: Rng>(
+    layers: usize,
+    width: usize,
+    p_edge: f64,
+    rng: &mut R,
+    assign: &mut dyn FnMut(TaskCtx<'_>) -> SpeedupModel,
+) -> TaskGraph {
+    assert!(layers >= 1 && width >= 1);
+    assert!(
+        (0.0..=1.0).contains(&p_edge),
+        "p_edge must be a probability"
+    );
+    let mut g = GraphBuilder::with_capacity(layers * width);
+    let mut index = 0;
+    let mut prev_layer: Vec<TaskId> = Vec::new();
+    // ln(1 − p) < 0 for p ∈ (0, 1); p = 0 and p = 1 short-circuit.
+    let ln_q = (1.0 - p_edge).ln();
+    for layer in 0..layers {
+        let mut cur = Vec::with_capacity(width);
+        for _ in 0..width {
+            let t = g.add_task(assign(TaskCtx {
+                index,
+                kind: "layered",
+                weight: 1.0,
+            }));
+            index += 1;
+            if layer > 0 {
+                let mut has_pred = false;
+                if p_edge >= 1.0 {
+                    for &p in &prev_layer {
+                        g.add_edge_topo(p, t);
+                    }
+                    has_pred = true;
+                } else if p_edge > 0.0 {
+                    let mut i = 0usize;
+                    loop {
+                        // u ∈ (0, 1]: never ln(0), and skip ≥ 0.
+                        let u = 1.0 - rng.next_f64();
+                        let skip = (u.ln() / ln_q).floor();
+                        #[allow(clippy::cast_precision_loss)]
+                        if skip >= (prev_layer.len() - i) as f64 {
+                            break;
+                        }
+                        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                        {
+                            i += skip as usize;
+                        }
+                        g.add_edge_topo(prev_layer[i], t);
+                        has_pred = true;
+                        i += 1;
+                        if i >= prev_layer.len() {
+                            break;
+                        }
+                    }
+                }
+                if !has_pred {
+                    let p = prev_layer[rng.gen_range(0..prev_layer.len())];
+                    g.add_edge_topo(p, t);
+                }
+            }
+            cur.push(t);
+        }
+        prev_layer = cur;
+    }
+    g.freeze()
+}
+
 /// An Erdős–Rényi-style random DAG on `n` tasks: for every ordered pair
 /// `i < j`, the edge `i → j` is present independently with probability
 /// `p_edge`. O(n²) — intended for `n` up to a few thousand.
@@ -95,7 +179,6 @@ pub fn random_dag<R: Rng>(
 mod tests {
     use super::*;
     use moldable_model::rng::StdRng;
-    
 
     fn unit_assign() -> impl FnMut(TaskCtx<'_>) -> SpeedupModel {
         |_| SpeedupModel::amdahl(1.0, 0.0).unwrap()
@@ -150,6 +233,44 @@ mod tests {
         let g = random_dag(8, 1.0, &mut rng, &mut unit_assign());
         assert_eq!(g.n_edges(), 28);
         assert_eq!(g.depth(), 8);
+    }
+
+    #[test]
+    fn sparse_layered_has_exact_depth_and_connectivity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = layered_random_sparse(6, 5, 0.3, &mut rng, &mut unit_assign());
+        assert_eq!(g.n_tasks(), 30);
+        assert_eq!(g.depth(), 6);
+        assert_eq!(g.sources().len(), 5, "only layer 0 tasks are sources");
+    }
+
+    #[test]
+    fn sparse_layered_p_edge_extremes_match_dense() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = layered_random_sparse(3, 4, 1.0, &mut rng, &mut unit_assign());
+        assert_eq!(g.n_edges(), 2 * 16);
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = layered_random_sparse(4, 3, 0.0, &mut rng, &mut unit_assign());
+        // Only the guaranteed fallback predecessor per non-source task.
+        assert_eq!(g.n_edges(), 3 * 3);
+    }
+
+    #[test]
+    fn sparse_layered_edge_count_tracks_p_edge() {
+        // E[extra edges] ≈ layers·width²·p (plus fallbacks); a loose
+        // band catches a broken skip distribution without flaking.
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = layered_random_sparse(20, 50, 0.1, &mut rng, &mut unit_assign());
+        let expected = 19.0 * 50.0 * 50.0 * 0.1;
+        #[allow(clippy::cast_precision_loss)]
+        let got = g.n_edges() as f64;
+        assert!(
+            (got - expected).abs() < 0.25 * expected,
+            "edge count {got} far from expectation {expected}"
+        );
+        for t in g.task_ids().skip(50) {
+            assert!(!g.preds(t).is_empty(), "{t} lost its fallback pred");
+        }
     }
 
     #[test]

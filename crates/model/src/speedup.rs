@@ -210,6 +210,70 @@ impl SpeedupModel {
         self.speedup(p) / f64::from(p)
     }
 
+    /// Exact (bit-level) identity of two models, the equivalence under
+    /// which memoized Algorithm 2 decisions are shareable.
+    ///
+    /// Mirrors the interning key of the allocation cache in
+    /// `moldable-core`: closed-form models compare the *bit patterns*
+    /// of their parameters (so `0.0 ≠ -0.0` and NaN payloads matter,
+    /// exactly like a hash key built from `f64::to_bits`), tables
+    /// compare entry-by-entry bit patterns (with an `Arc` pointer
+    /// fast path), and closures compare by `Arc` identity plus the
+    /// `nonincreasing` flag — extensional equality of arbitrary
+    /// closures is undecidable, so two separately-built but
+    /// pointwise-equal formulas are *not* bitwise-equal. Two models
+    /// that are bitwise-equal always produce identical allocation
+    /// decisions for any `(P, μ)`.
+    #[must_use]
+    pub fn bitwise_eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Self::Roofline { w, pbar }, Self::Roofline { w: w2, pbar: p2 }) => {
+                w.to_bits() == w2.to_bits() && pbar == p2
+            }
+            (Self::Communication { w, c }, Self::Communication { w: w2, c: c2 }) => {
+                w.to_bits() == w2.to_bits() && c.to_bits() == c2.to_bits()
+            }
+            (Self::Amdahl { w, d }, Self::Amdahl { w: w2, d: d2 }) => {
+                w.to_bits() == w2.to_bits() && d.to_bits() == d2.to_bits()
+            }
+            (
+                Self::General { w, pbar, d, c },
+                Self::General {
+                    w: w2,
+                    pbar: p2,
+                    d: d2,
+                    c: c2,
+                },
+            ) => {
+                w.to_bits() == w2.to_bits()
+                    && pbar == p2
+                    && d.to_bits() == d2.to_bits()
+                    && c.to_bits() == c2.to_bits()
+            }
+            (Self::Table(a), Self::Table(b)) => {
+                Arc::ptr_eq(a, b)
+                    || (a.len() == b.len()
+                        && a.iter()
+                            .zip(b.iter())
+                            .all(|(x, y)| x.to_bits() == y.to_bits()))
+            }
+            (
+                Self::Formula { f, nonincreasing },
+                Self::Formula {
+                    f: f2,
+                    nonincreasing: n2,
+                },
+            ) => {
+                // Compare data addresses only (a dyn `Arc::ptr_eq`
+                // would also compare vtable pointers, which are not
+                // stable across codegen units).
+                std::ptr::eq(Arc::as_ptr(f).cast::<()>(), Arc::as_ptr(f2).cast::<()>())
+                    && nonincreasing == n2
+            }
+            _ => false,
+        }
+    }
+
     /// Which of the paper's model families this function belongs to.
     #[must_use]
     pub fn class(&self) -> ModelClass {

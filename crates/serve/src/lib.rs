@@ -60,5 +60,5 @@ pub mod stats;
 
 pub use loadgen::{Client, LoadConfig, LoadMode, LoadReport};
 pub use server::{install_drain_signals, FaultHooks, Server, ServerConfig};
-pub use service::{ServiceLimits, WorkerContext};
+pub use service::{EngineChoice, ServiceLimits, WorkerContext};
 pub use stats::{Accounting, ServerStats};

@@ -11,7 +11,7 @@ use std::sync::Arc;
 use moldable_core::{baselines, AllocCache, OnlineScheduler, QueuePolicy};
 use moldable_graph::{gen, parse_workflow, TaskGraph};
 use moldable_model::ModelClass;
-use moldable_sim::{simulate, Schedule, SimOptions};
+use moldable_sim::{simulate, simulate_batched, Schedule, SimOptions};
 
 use crate::json::{obj, Json};
 use crate::proto::{GraphSpec, SubmitRequest};
@@ -110,6 +110,33 @@ impl GraphCache {
     }
 }
 
+/// Which simulation engine executes `online` requests. The baseline
+/// schedulers only implement the event-at-a-time [`simulate`] trait,
+/// so the choice applies to the `online` scheduler alone; both engines
+/// are differentially pinned to produce bit-identical schedules
+/// (`crates/sim/tests/batched_engine_equivalence.rs`), so the switch
+/// changes throughput, never answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineChoice {
+    /// The original event-at-a-time engine ([`simulate`]).
+    Legacy,
+    /// The data-oriented batched engine ([`simulate_batched`]).
+    Batched,
+}
+
+impl EngineChoice {
+    /// Read the engine from `MOLDABLE_SERVE_ENGINE`: `batched` selects
+    /// the batched engine, anything else (including unset) the legacy
+    /// one — a deliberate fail-safe default for unrecognized values.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var("MOLDABLE_SERVE_ENGINE") {
+            Ok(v) if v.eq_ignore_ascii_case("batched") => Self::Batched,
+            _ => Self::Legacy,
+        }
+    }
+}
+
 /// Per-worker state reused across requests: one [`AllocCache`] per
 /// distinct `(P, μ)` pair seen by this worker, so repeated traffic
 /// against the same platform skips the Algorithm 2 binary search for
@@ -119,6 +146,7 @@ pub struct WorkerContext {
     caches: HashMap<(u32, u64), AllocCache>,
     graphs: GraphCache,
     limits: ServiceLimits,
+    engine: EngineChoice,
 }
 
 impl Default for WorkerContext {
@@ -134,14 +162,30 @@ impl WorkerContext {
         Self::default()
     }
 
-    /// Fresh context with explicit limits.
+    /// Fresh context with explicit limits. The engine comes from the
+    /// environment ([`EngineChoice::from_env`]) so a deployment can
+    /// flip every worker with one variable and no config change.
     #[must_use]
     pub fn with_limits(limits: ServiceLimits) -> Self {
         Self {
             caches: HashMap::new(),
             graphs: GraphCache::new(limits.graph_cache_cap),
             limits,
+            engine: EngineChoice::from_env(),
         }
+    }
+
+    /// Override the engine choice (tests and explicit deployments).
+    #[must_use]
+    pub fn with_engine(mut self, engine: EngineChoice) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The engine executing this context's `online` requests.
+    #[must_use]
+    pub fn engine(&self) -> EngineChoice {
+        self.engine
     }
 
     /// Distinct `(P, μ)` caches currently held.
@@ -213,7 +257,11 @@ impl WorkerContext {
             ("lower_bound", Json::Num(lb)),
             (
                 "normalized",
-                Json::Num(if lb > 0.0 { schedule.makespan / lb } else { 1.0 }),
+                Json::Num(if lb > 0.0 {
+                    schedule.makespan / lb
+                } else {
+                    1.0
+                }),
             ),
             ("utilization", Json::Num(schedule.utilization())),
         ];
@@ -324,7 +372,10 @@ impl WorkerContext {
                 if let Some(cache) = self.caches.remove(&(p, mu.to_bits())) {
                     s = s.with_alloc_cache(cache);
                 }
-                let result = simulate(graph, &mut s, &opts);
+                let result = match self.engine {
+                    EngineChoice::Legacy => simulate(graph, &mut s, &opts),
+                    EngineChoice::Batched => simulate_batched(graph, &mut s, &opts),
+                };
                 if let Some(cache) = s.take_alloc_cache() {
                     self.caches.insert((p, mu.to_bits()), cache);
                 }
@@ -345,9 +396,8 @@ impl WorkerContext {
                 )
                 .map_err(sim_err)
             }
-            "adaptive" => {
-                simulate(graph, &mut moldable_core::AdaptiveScheduler::new(), &opts).map_err(sim_err)
-            }
+            "adaptive" => simulate(graph, &mut moldable_core::AdaptiveScheduler::new(), &opts)
+                .map_err(sim_err),
             "cpa" => {
                 let allocs = moldable_offline::cpa_allocations(graph, p);
                 let mut s = moldable_offline::cpa::FixedAllocScheduler::new(allocs);
@@ -420,6 +470,25 @@ mod tests {
         assert!((normalized - makespan / lb).abs() < 1e-9);
         // Theorem 3 bound for Amdahl: 4.74 x the lower bound.
         assert!(normalized <= 4.74 + 1e-9);
+    }
+
+    #[test]
+    fn batched_engine_serves_identical_replies() {
+        // The engine switch must be invisible in every reply field —
+        // including per-task allocations, which expose start order and
+        // processor ids, the two things batching could plausibly
+        // perturb.
+        for mut req in [named("cholesky", 6, 32, 7), named("layered", 8, 24, 9)] {
+            req.include_allocations = true;
+            let mut legacy = WorkerContext::new().with_engine(EngineChoice::Legacy);
+            let mut batched = WorkerContext::new().with_engine(EngineChoice::Batched);
+            assert_eq!(legacy.engine(), EngineChoice::Legacy);
+            assert_eq!(batched.engine(), EngineChoice::Batched);
+            let a = legacy.handle(&req);
+            let b = batched.handle(&req);
+            assert_eq!(a.get("status").unwrap().as_str(), Some("ok"));
+            assert_eq!(a, b, "engines must serve bit-identical replies");
+        }
     }
 
     #[test]
@@ -537,9 +606,18 @@ mod tests {
         // panicked (fft: shift overflow) or OOMed (cholesky: ~2e13
         // tasks). They must come back as structured errors instantly.
         let mut ctx = WorkerContext::new();
-        for (shape, size) in [("fft", 64), ("fft", 20), ("cholesky", 50_000), ("in-tree", 64)] {
+        for (shape, size) in [
+            ("fft", 64),
+            ("fft", 20),
+            ("cholesky", 50_000),
+            ("in-tree", 64),
+        ] {
             let r = ctx.handle(&named(shape, size, 32, 1));
-            assert_eq!(r.get("status").unwrap().as_str(), Some("error"), "{shape} {size}");
+            assert_eq!(
+                r.get("status").unwrap().as_str(),
+                Some("error"),
+                "{shape} {size}"
+            );
             let msg = r.get("error").unwrap().as_str().unwrap();
             assert!(msg.contains("more than the limit"), "{shape} {size}: {msg}");
         }

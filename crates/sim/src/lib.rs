@@ -49,6 +49,7 @@
 //! ```
 
 mod arrivals;
+mod batched;
 mod engine;
 mod gantt;
 mod procmap;
@@ -59,6 +60,7 @@ mod trace;
 mod validate;
 
 pub use arrivals::TimedArrivals;
+pub use batched::{simulate_batched, BatchScheduler, BatchStart};
 pub use engine::{
     simulate, simulate_instance, GraphInstance, Instance, Scheduler, SimError, SimOptions,
 };
