@@ -14,9 +14,12 @@
 //! * **in-process faults** armed through
 //!   [`FaultHooks`](moldable_serve::FaultHooks): worker panic
 //!   injection, timeout clock skew, queue-saturation bursts,
-//!   drain-during-load.
+//!   drain-during-load; and
+//! * **session faults** against the streaming layer: connections
+//!   dropped mid-stream with DAGs still in flight, corrupted
+//!   `submit_dag` frames, and drains with sessions still open.
 //!
-//! After the faults, the [`runner`] asserts five invariants:
+//! After the faults, the [`runner`] asserts six invariants:
 //!
 //! 1. **liveness** — the daemon still answers `ping`;
 //! 2. **accounting** — `ok + errors + drops == submitted`
@@ -24,7 +27,9 @@
 //! 3. **stable pool** — no worker thread died (panic containment);
 //! 4. **clean drain** — graceful drain completes within a deadline;
 //! 5. **determinism** — per-seed makespans stay bit-equal to a
-//!    fault-free baseline computed without the daemon.
+//!    fault-free baseline computed without the daemon;
+//! 6. **session accounting** — after abandoned sessions are reaped and
+//!    drained, every tenant's session ledger balances.
 //!
 //! The CLI front end is `moldable chaos --seed S --scenarios N`.
 
@@ -33,5 +38,5 @@ pub mod plan;
 pub mod runner;
 
 pub use faulty::{FaultyClient, WireOutcome};
-pub use plan::{FaultPlan, ProcessFault, Scenario, WireFault};
+pub use plan::{FaultPlan, ProcessFault, Scenario, SessionFault, WireFault};
 pub use runner::{ChaosConfig, ChaosReport, InvariantSet, ScenarioVerdict};

@@ -106,6 +106,45 @@ impl ProcessFault {
     }
 }
 
+/// A fault applied to the streaming session layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionFault {
+    /// Open a session, stream `dags` DAGs with rising release dates,
+    /// and drop the connection without `close_session`. Sessions are
+    /// server-global by label, so the runner reaps the abandoned
+    /// session from a fresh connection — the ledger must still
+    /// balance.
+    KillMidStream {
+        /// DAGs streamed before the connection is dropped.
+        dags: u32,
+    },
+    /// Flip `flips` payload bytes in an otherwise well-framed
+    /// `submit_dag` request (positions derived from `seed`).
+    CorruptSubmitDag {
+        /// Number of byte flips.
+        flips: u32,
+        /// Seed for the flip positions and masks.
+        seed: u64,
+    },
+    /// Leave a session open (frontier pre-bumped so it cannot pin the
+    /// shared clock) across the scenario's final drain.
+    DrainWithOpenSession,
+}
+
+impl SessionFault {
+    /// Stable one-line description, used in the scenario log.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match self {
+            Self::KillMidStream { dags } => format!("session:kill-mid-stream dags={dags}"),
+            Self::CorruptSubmitDag { flips, seed } => {
+                format!("session:corrupt-submit-dag flips={flips} seed={seed}")
+            }
+            Self::DrainWithOpenSession => "session:drain-with-open".to_string(),
+        }
+    }
+}
+
 /// Workload shapes the planner draws from, with their size ranges kept
 /// small enough that a scenario completes in well under a second.
 const SHAPES: &[(&str, u32, u32)] = &[
@@ -141,6 +180,8 @@ pub struct Scenario {
     pub wire_faults: Vec<WireFault>,
     /// In-process faults, applied in order after the wire faults.
     pub process_faults: Vec<ProcessFault>,
+    /// Streaming-session faults, applied after the in-process faults.
+    pub session_faults: Vec<SessionFault>,
     /// Seeds of the clean submits checked bit-for-bit against the
     /// fault-free baseline.
     pub clean_seeds: Vec<u64>,
@@ -189,6 +230,22 @@ impl Scenario {
         let clean_seeds = (0..3).map(|_| rng.next_u64() >> 11).collect();
         let drain_under_load = rng.gen_bool(0.3);
 
+        let mut session_faults = Vec::new();
+        if rng.gen_bool(0.6) {
+            session_faults.push(SessionFault::KillMidStream {
+                dags: rng.gen_range(1u32..=3),
+            });
+        }
+        if rng.gen_bool(0.5) {
+            session_faults.push(SessionFault::CorruptSubmitDag {
+                flips: rng.gen_range(1u32..=8),
+                seed: rng.next_u64(),
+            });
+        }
+        if rng.gen_bool(0.4) {
+            session_faults.push(SessionFault::DrainWithOpenSession);
+        }
+
         Self {
             index,
             seed,
@@ -199,17 +256,20 @@ impl Scenario {
             queue_cap,
             wire_faults,
             process_faults,
+            session_faults,
             clean_seeds,
             drain_under_load,
         }
     }
 
     /// Stable descriptions of every fault in schedule order (wire
-    /// first, then in-process, then the drain mode).
+    /// first, then in-process, then session faults, then the drain
+    /// mode).
     #[must_use]
     pub fn fault_descriptions(&self) -> Vec<String> {
         let mut out: Vec<String> = self.wire_faults.iter().map(WireFault::describe).collect();
         out.extend(self.process_faults.iter().map(ProcessFault::describe));
+        out.extend(self.session_faults.iter().map(SessionFault::describe));
         if self.drain_under_load {
             out.push("proc:drain-during-load".to_string());
         }
@@ -291,6 +351,7 @@ mod tests {
         let plan = FaultPlan::new(42, 60);
         let mut wire_kinds = std::collections::HashSet::new();
         let mut proc_kinds = std::collections::HashSet::new();
+        let mut session_kinds = std::collections::HashSet::new();
         let mut shapes = std::collections::BTreeSet::new();
         let mut models = std::collections::BTreeSet::new();
         let mut drains = 0;
@@ -304,9 +365,13 @@ mod tests {
             for p in &s.process_faults {
                 proc_kinds.insert(std::mem::discriminant(p));
             }
+            for f in &s.session_faults {
+                session_kinds.insert(std::mem::discriminant(f));
+            }
         }
         assert_eq!(wire_kinds.len(), 6, "all wire-fault variants drawn");
         assert_eq!(proc_kinds.len(), 3, "all process-fault variants drawn");
+        assert_eq!(session_kinds.len(), 3, "all session-fault variants drawn");
         assert!(shapes.len() >= 3, "shape variety: {shapes:?}");
         assert!(models.len() >= 3, "model variety: {models:?}");
         assert!(drains > 0, "some scenario drains under load");
@@ -338,6 +403,17 @@ mod tests {
                     WireFault::OversizedFrame | WireFault::ZeroLengthFrame => {}
                 }
             }
+            for f in &s.session_faults {
+                match f {
+                    SessionFault::KillMidStream { dags } => {
+                        assert!((1..=3).contains(dags));
+                    }
+                    SessionFault::CorruptSubmitDag { flips, .. } => {
+                        assert!((1..=8).contains(flips));
+                    }
+                    SessionFault::DrainWithOpenSession => {}
+                }
+            }
         }
     }
 
@@ -346,6 +422,8 @@ mod tests {
         let s = Scenario::derive(0, 99);
         let d = s.fault_descriptions();
         assert_eq!(d, Scenario::derive(0, 99).fault_descriptions());
-        assert!(d.iter().all(|l| l.starts_with("wire:") || l.starts_with("proc:")));
+        assert!(d.iter().all(|l| {
+            l.starts_with("wire:") || l.starts_with("proc:") || l.starts_with("session:")
+        }));
     }
 }

@@ -1,5 +1,5 @@
 //! The chaos runner: executes seeded scenarios against in-process
-//! daemons and checks five invariants after each.
+//! daemons and checks six invariants after each.
 //!
 //! Every scenario gets its *own* [`Server`] on an ephemeral port, so a
 //! scenario that wedges its daemon cannot contaminate the next one,
@@ -17,12 +17,15 @@ use std::time::Duration;
 
 use moldable_serve::json::{obj, Json};
 use moldable_serve::loadgen::Client;
-use moldable_serve::proto::{GraphSpec, Request, SubmitRequest};
+use moldable_serve::proto::{
+    CloseSessionRequest, GraphSpec, OpenSessionRequest, PollRequest, Request, SubmitDagRequest,
+    SubmitRequest,
+};
 use moldable_serve::server::{Server, ServerConfig};
 use moldable_serve::{Accounting, ServiceLimits, WorkerContext};
 
 use crate::faulty::FaultyClient;
-use crate::plan::{FaultPlan, ProcessFault, Scenario};
+use crate::plan::{FaultPlan, ProcessFault, Scenario, SessionFault, WireFault};
 
 /// How long a graceful drain may take before the runner declares the
 /// daemon wedged. Generous: scenarios finish in well under a second.
@@ -49,7 +52,7 @@ impl Default for ChaosConfig {
     }
 }
 
-/// The five invariants checked after each scenario.
+/// The six invariants checked after each scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InvariantSet {
     /// The daemon still answers `ping` after the fault schedule.
@@ -62,24 +65,33 @@ pub struct InvariantSet {
     pub drained: bool,
     /// Clean submits' makespans are bit-equal to a fault-free run.
     pub makespans_equal: bool,
+    /// After abandoned sessions are reaped and drained, every tenant's
+    /// session ledger balances.
+    pub sessions_accounted: bool,
 }
 
 impl InvariantSet {
-    /// All five invariants hold.
+    /// All six invariants hold.
     #[must_use]
     pub fn all_hold(&self) -> bool {
-        self.alive && self.accounted && self.pool_stable && self.drained && self.makespans_equal
+        self.alive
+            && self.accounted
+            && self.pool_stable
+            && self.drained
+            && self.makespans_equal
+            && self.sessions_accounted
     }
 
     /// `(name, held)` pairs, in reporting order.
     #[must_use]
-    pub fn entries(&self) -> [(&'static str, bool); 5] {
+    pub fn entries(&self) -> [(&'static str, bool); 6] {
         [
             ("alive", self.alive),
             ("accounted", self.accounted),
             ("pool_stable", self.pool_stable),
             ("drained", self.drained),
             ("makespans_equal", self.makespans_equal),
+            ("sessions_accounted", self.sessions_accounted),
         ]
     }
 }
@@ -93,7 +105,7 @@ pub struct ScenarioVerdict {
     pub seed: u64,
     /// Stable descriptions of the executed fault schedule.
     pub faults: Vec<String>,
-    /// The five invariant results.
+    /// The six invariant results.
     pub invariants: InvariantSet,
     /// Human-readable notes on any violated invariant (empty when all
     /// green).
@@ -110,7 +122,7 @@ pub struct ChaosReport {
 }
 
 impl ChaosReport {
-    /// Every scenario passed all five invariants.
+    /// Every scenario passed all six invariants.
     #[must_use]
     pub fn all_green(&self) -> bool {
         self.verdicts.iter().all(|v| v.invariants.all_hold())
@@ -261,11 +273,16 @@ pub fn run_scenario(scenario: &Scenario, workers: usize) -> ScenarioVerdict {
     // Phase 2: in-process faults.
     apply_process_faults(scenario, &server, &addr, &mut detail);
 
-    // Phase 3: clean submits — per-seed makespans must be bit-equal to
+    // Phase 3: streaming-session faults, then forced quiescence — the
+    // sixth invariant is that every tenant's session ledger balances
+    // once the abandoned sessions are reaped and drained.
+    let sessions_accounted = run_session_phase(scenario, &addr, &mut detail);
+
+    // Phase 4: clean submits — per-seed makespans must be bit-equal to
     // the fault-free baseline.
     let makespans_equal = check_clean_submits(scenario, &addr, &baseline, &mut detail);
 
-    // Phase 4: the remaining global invariants.
+    // Phase 5: the remaining global invariants.
     let alive = match Client::connect(&addr).and_then(|mut c| c.call(&Request::Ping)) {
         Ok(reply) => reply.get("pong").and_then(Json::as_bool) == Some(true),
         Err(e) => {
@@ -301,8 +318,9 @@ pub fn run_scenario(scenario: &Scenario, workers: usize) -> ScenarioVerdict {
         ));
     }
 
-    // Phase 5: graceful drain, optionally while a client still
-    // submits.
+    // Phase 6: graceful drain, optionally while a client still
+    // submits (and, with `DrainWithOpenSession`, while a streaming
+    // session is still open — the drain must close it).
     let load = scenario.drain_under_load.then(|| {
         let addr = addr.clone();
         let req = submit_of(scenario, scenario.seed);
@@ -338,6 +356,7 @@ pub fn run_scenario(scenario: &Scenario, workers: usize) -> ScenarioVerdict {
             pool_stable,
             drained,
             makespans_equal,
+            sessions_accounted,
         },
         detail,
     }
@@ -423,6 +442,165 @@ fn apply_process_faults(scenario: &Scenario, server: &Server, addr: &str, detail
                     }
                 });
             }
+        }
+    }
+}
+
+/// The scenario's `submit_dag` request for the session phase.
+fn submit_dag_of(scenario: &Scenario, session: &str, at: f64) -> SubmitDagRequest {
+    SubmitDagRequest {
+        session: session.to_string(),
+        at,
+        graph: GraphSpec::Named {
+            shape: scenario.shape.to_string(),
+            size: scenario.size,
+        },
+        model: scenario.model.to_string(),
+        seed: scenario.seed & ((1 << 53) - 1),
+    }
+}
+
+/// Apply the scenario's session faults, then force the streaming layer
+/// to quiescence and check that every tenant's ledger balances.
+///
+/// The invariant is interleaving-independent: whatever order events
+/// land in, once every abandoned session is closed and polled dry,
+/// `submitted == ok + errors + drops` must hold per tenant.
+fn run_session_phase(scenario: &Scenario, addr: &str, detail: &mut String) -> bool {
+    let mut abandoned: Vec<String> = Vec::new();
+    for (i, fault) in scenario.session_faults.iter().enumerate() {
+        match fault {
+            SessionFault::KillMidStream { dags } => {
+                // Stream DAGs, then drop the connection without
+                // `close_session`. The session (server-global by
+                // label) stays open and its frontier keeps gating the
+                // shared clock until the reap below.
+                let label = format!("chaos-kill-{}-{i}", scenario.index);
+                let Ok(mut client) = Client::connect(addr) else {
+                    detail.push_str("kill-mid-stream client could not connect\n");
+                    continue;
+                };
+                let opened = client
+                    .call(&Request::OpenSession(OpenSessionRequest {
+                        tenant: "chaos".to_string(),
+                        session: label.clone(),
+                    }))
+                    .map(|r| r.get("status").and_then(Json::as_str) == Some("ok"))
+                    .unwrap_or(false);
+                if !opened {
+                    detail.push_str(&format!("kill-mid-stream could not open `{label}`\n"));
+                    continue;
+                }
+                for d in 0..*dags {
+                    let _ = client.call(&Request::SubmitDag(Box::new(submit_dag_of(
+                        scenario,
+                        &label,
+                        f64::from(d),
+                    ))));
+                }
+                abandoned.push(label);
+                // `client` drops here: connection gone, session open.
+            }
+            SessionFault::CorruptSubmitDag { flips, seed } => {
+                // A corrupted frame must get an error reply (or a
+                // clean close), never wedge the daemon or unbalance a
+                // ledger.
+                let template = Request::SubmitDag(Box::new(submit_dag_of(
+                    scenario,
+                    "chaos-ghost",
+                    0.0,
+                )));
+                let faulty = FaultyClient::new(addr.to_string());
+                let fault = WireFault::CorruptPayload {
+                    flips: *flips,
+                    seed: *seed,
+                };
+                if let Err(e) = faulty.apply(&fault, &template) {
+                    detail.push_str(&format!(
+                        "session fault {} could not connect: {e}\n",
+                        fault.describe()
+                    ));
+                }
+            }
+            SessionFault::DrainWithOpenSession => {
+                // Open a session that stays open into the final drain.
+                // Pre-bump its frontier far ahead so it cannot pin the
+                // shared clock and starve the other sessions' DAGs.
+                let label = format!("chaos-open-{}", scenario.index);
+                if let Ok(mut client) = Client::connect(addr) {
+                    let _ = client.call(&Request::OpenSession(OpenSessionRequest {
+                        tenant: "chaos-open".to_string(),
+                        session: label.clone(),
+                    }));
+                    let _ = client.call(&Request::Poll(PollRequest {
+                        session: label,
+                        until: Some(1e6),
+                        max_events: 1,
+                    }));
+                }
+            }
+        }
+    }
+
+    // Forced quiescence: reap the abandoned sessions from a fresh
+    // connection, drain their events, then read the ledgers.
+    let Ok(mut client) = Client::connect(addr) else {
+        detail.push_str("session-reap client could not connect\n");
+        return false;
+    };
+    for label in &abandoned {
+        let _ = client.call(&Request::CloseSession(CloseSessionRequest {
+            session: label.clone(),
+        }));
+    }
+    for label in &abandoned {
+        let mut closed = false;
+        for _ in 0..1000 {
+            match client.call(&Request::Poll(PollRequest {
+                session: label.clone(),
+                until: None,
+                max_events: 1024,
+            })) {
+                Ok(r) if r.get("closed").and_then(Json::as_bool) == Some(true) => {
+                    closed = true;
+                    break;
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    detail.push_str(&format!("drain poll of `{label}` failed: {e}\n"));
+                    break;
+                }
+            }
+        }
+        if !closed {
+            detail.push_str(&format!("session `{label}` never drained\n"));
+            return false;
+        }
+    }
+    match client.call(&Request::Stats) {
+        Ok(reply) => {
+            let Some(Json::Obj(ledgers)) = reply
+                .get("sessions")
+                .and_then(|s| s.get("ledgers"))
+            else {
+                detail.push_str("stats reply carried no session ledgers\n");
+                return false;
+            };
+            let mut balanced = true;
+            for (tenant, ledger) in ledgers {
+                if ledger.get("balanced").and_then(Json::as_bool) != Some(true) {
+                    balanced = false;
+                    detail.push_str(&format!(
+                        "session ledger for `{tenant}` does not balance: {}\n",
+                        ledger.encode()
+                    ));
+                }
+            }
+            balanced
+        }
+        Err(e) => {
+            detail.push_str(&format!("session stats fetch failed: {e}\n"));
+            false
         }
     }
 }
@@ -549,7 +727,14 @@ mod tests {
         let v = &verdicts[0];
         assert!(!v.get("faults").unwrap().as_arr().unwrap().is_empty());
         let inv = v.get("invariants").unwrap();
-        for name in ["alive", "accounted", "pool_stable", "drained", "makespans_equal"] {
+        for name in [
+            "alive",
+            "accounted",
+            "pool_stable",
+            "drained",
+            "makespans_equal",
+            "sessions_accounted",
+        ] {
             assert!(inv.get(name).unwrap().as_bool().is_some(), "{name} present");
         }
     }
@@ -566,6 +751,7 @@ mod tests {
                 pool_stable: true,
                 drained: true,
                 makespans_equal: true,
+                sessions_accounted: true,
             },
             detail: "ledger does not balance\n".into(),
         };

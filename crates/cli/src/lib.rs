@@ -58,6 +58,10 @@ USAGE:
   moldable loadgen  [--addr HOST:PORT] [--clients N] [--requests N] [--rate RPS]
                     [--shape SHAPE] [--size N] [--model CLASS] [-P N]
                     [--seed N] [--seeds N] [--out FILE]
+  moldable session-loadgen [--addr HOST:PORT] [--tenants N] [--sessions N]
+                    [--dags N] [--shape SHAPE] [--size N] [--model CLASS]
+                    [--seed N] [--gap SECS] [--max-events N] [--probe-dags N]
+                    [--threads N] [--out FILE] [--events-out FILE]
   moldable chaos    [--seed N] [--scenarios N] [--workers N] [--out FILE]
 
 SHAPES:      chain, independent, fork-join, in-tree, out-tree, layered,
@@ -69,12 +73,22 @@ SCHEDULERS:  online (paper's Algorithm 1+2, default), one-proc, max-proc,
 POLICIES:    fifo (default), lpt, spt, narrow-first, wide-first
 
 `serve` runs the scheduling daemon until SIGINT/SIGTERM or a `shutdown`
-request, then drains gracefully. `loadgen` drives closed-loop traffic
+request, then drains gracefully; --session-p/--session-mu size the
+shared streaming platform and --session-max-sessions/--session-max-dags/
+--session-max-tasks/--session-idle-ms set per-tenant quotas and the
+idle reaper. `loadgen` drives closed-loop traffic
 (or open-loop with --rate) against a running daemon and prints
 throughput/latency percentiles; --out writes the JSON report.
+`session-loadgen` streams a deterministic multi-tenant DAG workload
+through the session verbs (open_session/submit_dag/poll/close_session):
+--tenants × --sessions sessions each receive --dags DAGs, --probe-dags
+adds a quota-probing tenant, --out writes BENCH_sessions.json, and
+--events-out writes the merged event log (same workload ⇒ identical
+bytes).
 `chaos` derives a seeded fault schedule, runs each scenario against its
-own in-process daemon, and checks five invariants (alive, accounted,
-pool stable, drained, makespans bit-equal); the same seed reproduces
+own in-process daemon, and checks six invariants (alive, accounted,
+pool stable, drained, makespans bit-equal, session ledgers balanced
+after abandoned streams are reaped); the same seed reproduces
 the same schedule and verdicts. Exits non-zero if any invariant broke.
 ";
 
@@ -406,6 +420,12 @@ fn cmd_serve(opts: &Opts) -> Result<String, CliError> {
         "max-frame",
         "timeout",
         "port-file",
+        "session-p",
+        "session-mu",
+        "session-max-sessions",
+        "session-max-dags",
+        "session-max-tasks",
+        "session-idle-ms",
     ])?;
     if opts.get("addr").is_some() && opts.get("port").is_some() {
         return Err(err("give either --addr or --port, not both"));
@@ -433,6 +453,30 @@ fn cmd_serve(opts: &Opts) -> Result<String, CliError> {
             return Err(err("--timeout must be positive seconds"));
         }
         config.request_timeout = std::time::Duration::from_secs_f64(t);
+    }
+    if let Some(p) = opts.parse_num::<u32>("session-p")? {
+        if p == 0 {
+            return Err(err("--session-p must be at least 1"));
+        }
+        config.tenant.p_total = p;
+    }
+    if let Some(mu) = opts.parse_num::<f64>("session-mu")? {
+        if !(mu > 0.0 && mu < 1.0) {
+            return Err(err("--session-mu must lie strictly between 0 and 1"));
+        }
+        config.tenant.mu = mu;
+    }
+    if let Some(n) = opts.parse_num::<u32>("session-max-sessions")? {
+        config.tenant.quotas.max_sessions = n;
+    }
+    if let Some(n) = opts.parse_num::<u32>("session-max-dags")? {
+        config.tenant.quotas.max_dags_in_flight = n;
+    }
+    if let Some(n) = opts.parse_num::<u64>("session-max-tasks")? {
+        config.tenant.quotas.max_tasks_in_flight = n;
+    }
+    if let Some(ms) = opts.parse_num::<u64>("session-idle-ms")? {
+        config.tenant.idle_timeout_ms = Some(ms);
     }
 
     moldable_serve::install_drain_signals();
@@ -511,6 +555,88 @@ fn cmd_loadgen(opts: &Opts) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Stream a deterministic multi-tenant session workload against a
+/// running daemon and report per-tenant latencies and ledgers.
+fn cmd_session_loadgen(opts: &Opts) -> Result<String, CliError> {
+    use moldable_serve::{loadgen, SessionLoadConfig};
+
+    opts.known(&[
+        "addr",
+        "tenants",
+        "sessions",
+        "dags",
+        "shape",
+        "size",
+        "model",
+        "seed",
+        "gap",
+        "max-events",
+        "probe-dags",
+        "threads",
+        "out",
+        "events-out",
+    ])?;
+    let mut config = SessionLoadConfig::default();
+    if let Some(addr) = opts.get("addr") {
+        config.addr = addr.to_string();
+    }
+    for (key, slot) in [
+        ("tenants", &mut config.tenants),
+        ("sessions", &mut config.sessions_per_tenant),
+        ("dags", &mut config.dags_per_session),
+        ("threads", &mut config.threads),
+    ] {
+        if let Some(n) = opts.parse_num::<usize>(key)? {
+            if n == 0 {
+                return Err(err(format!("--{key} must be at least 1")));
+            }
+            *slot = n;
+        }
+    }
+    if let Some(shape) = opts.get("shape") {
+        config.shape = shape.to_string();
+    }
+    if let Some(size) = opts.parse_num::<u32>("size")? {
+        config.size = size;
+    }
+    if let Some(model) = opts.get("model") {
+        config.model = model.to_string();
+    }
+    if let Some(seed) = opts.parse_num::<u64>("seed")? {
+        config.seed_base = seed;
+    }
+    if let Some(gap) = opts.parse_num::<f64>("gap")? {
+        if gap < 0.0 || gap.is_nan() {
+            return Err(err("--gap must be non-negative virtual seconds"));
+        }
+        config.arrival_gap = gap;
+    }
+    if let Some(n) = opts.parse_num::<u64>("max-events")? {
+        if n == 0 {
+            return Err(err("--max-events must be at least 1"));
+        }
+        config.max_events = n;
+    }
+    if let Some(n) = opts.parse_num::<usize>("probe-dags")? {
+        config.probe_dags = n;
+    }
+
+    let report = loadgen::run_sessions(&config)
+        .map_err(|e| err(format!("session run failed against {}: {e}", config.addr)))?;
+    let mut out = report.summary();
+    if let Some(path) = opts.get("out") {
+        fs::write(path, report.to_json(&config).encode())
+            .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        out.push_str(&format!("wrote report to {path}\n"));
+    }
+    if let Some(path) = opts.get("events-out") {
+        fs::write(path, &report.event_log)
+            .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        out.push_str(&format!("wrote event log to {path}\n"));
+    }
+    Ok(out)
+}
+
 fn cmd_chaos(opts: &Opts) -> Result<String, CliError> {
     use moldable_chaos::{runner, ChaosConfig};
 
@@ -568,6 +694,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "fit" => cmd_fit(&opts),
         "serve" => cmd_serve(&opts),
         "loadgen" => cmd_loadgen(&opts),
+        "session-loadgen" => cmd_session_loadgen(&opts),
         "chaos" => cmd_chaos(&opts),
         other => Err(err(format!("unknown command `{other}` (see --help)"))),
     }
@@ -598,7 +725,15 @@ mod tests {
     fn usage_enumerates_every_subcommand() {
         let usage = run_args(&["--help"]).unwrap();
         for cmd in [
-            "generate", "info", "bounds", "schedule", "fit", "serve", "loadgen", "chaos",
+            "generate",
+            "info",
+            "bounds",
+            "schedule",
+            "fit",
+            "serve",
+            "loadgen",
+            "session-loadgen",
+            "chaos",
         ] {
             assert!(
                 usage.contains(&format!("moldable {cmd}")),
@@ -629,6 +764,81 @@ mod tests {
         assert!(report.contains("\"throughput_rps\""), "{report}");
         server.trigger_drain();
         server.join();
+    }
+
+    #[test]
+    fn session_loadgen_streams_probes_quotas_and_writes_the_event_log() {
+        use moldable_model::ModelClass;
+        use moldable_serve::server::{Server, ServerConfig};
+        use moldable_tenant::TenantConfig;
+
+        let out_file = tmp("bench_sessions_cli.json");
+        let first_log = tmp("sessions_first.log");
+        let second_log = tmp("sessions_second.log");
+        // A fresh daemon per run: determinism is a property of the
+        // workload on a fresh platform, not of a reused clock.
+        let run_once = |log: &str| {
+            // A tight DAG quota so --probe-dags deterministically
+            // bounces.
+            let mut tenant = TenantConfig::new(32, ModelClass::Amdahl.optimal_mu());
+            tenant.quotas.max_dags_in_flight = 2;
+            let server = Server::start(ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                tenant,
+                ..ServerConfig::default()
+            })
+            .unwrap();
+            let addr = server.local_addr().to_string();
+            let out = run_args(&[
+                "session-loadgen",
+                "--addr", &addr,
+                "--tenants", "2",
+                "--sessions", "2",
+                "--dags", "2",
+                "--size", "3",
+                "--probe-dags", "4",
+                "--threads", "2",
+                "--out", &out_file,
+                "--events-out", log,
+            ])
+            .unwrap();
+            server.trigger_drain();
+            server.join();
+            out
+        };
+        let out = run_once(&first_log);
+        assert!(out.contains("sessions 4"), "{out}");
+        // 2 probe DAGs bounce (4 submitted, quota 2) and all 4
+        // round-1 DAGs bounce (round-0 DAGs are still in flight while
+        // the clock is pinned at 0): 6 total, deterministically.
+        assert!(out.contains("quota-rejected 6"), "quotas bounced: {out}");
+        assert!(out.contains("ledgers balanced: true"), "{out}");
+        assert!(out.contains("wrote report"), "{out}");
+        assert!(out.contains("wrote event log"), "{out}");
+        let report = fs::read_to_string(&out_file).unwrap();
+        assert!(report.contains("\"ledgers_balanced\":true"), "{report}");
+        assert!(report.contains("\"per_tenant\""), "{report}");
+
+        // Same workload on a fresh daemon: identical event-log bytes.
+        run_once(&second_log);
+        let a = fs::read_to_string(&first_log).unwrap();
+        let b = fs::read_to_string(&second_log).unwrap();
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "session event logs must replay byte-identically");
+    }
+
+    #[test]
+    fn session_loadgen_and_serve_reject_bad_session_options() {
+        let e = run_args(&["session-loadgen", "--tenants", "0"]).unwrap_err();
+        assert!(e.to_string().contains("--tenants"));
+        let e = run_args(&["session-loadgen", "--gap", "-1"]).unwrap_err();
+        assert!(e.to_string().contains("--gap"));
+        let e = run_args(&["session-loadgen", "--max-events", "0"]).unwrap_err();
+        assert!(e.to_string().contains("--max-events"));
+        let e = run_args(&["serve", "--session-p", "0"]).unwrap_err();
+        assert!(e.to_string().contains("--session-p"));
+        let e = run_args(&["serve", "--session-mu", "1.5"]).unwrap_err();
+        assert!(e.to_string().contains("--session-mu"));
     }
 
     #[test]

@@ -1,0 +1,41 @@
+//! The curated workflow-trace corpus under `results/traces/` must
+//! import cleanly, with the topology each file documents.
+
+use moldable_graph::trace::{parse_trace, TraceFormat, TraceLimits};
+use moldable_model::ModelClass;
+
+fn corpus_path(file: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results/traces")
+        .join(file)
+}
+
+fn import(file: &str) -> (usize, usize, usize) {
+    let text = std::fs::read_to_string(corpus_path(file)).unwrap();
+    let fmt = TraceFormat::sniff(&text);
+    let t = parse_trace(&text, fmt, &TraceLimits::default()).unwrap();
+    let g = t
+        .into_graph(ModelClass::Amdahl, 16, 0xC0FFEE)
+        .unwrap_or_else(|e| panic!("{file}: {e}"));
+    (g.n_tasks(), g.sources().len(), g.sinks().len())
+}
+
+#[test]
+fn corpus_imports_with_documented_shapes() {
+    assert_eq!(import("montage-toy.dot"), (13, 4, 1));
+    assert_eq!(import("epigenomics-toy.json"), (12, 1, 1));
+    assert_eq!(import("ligo-toy.json"), (11, 2, 1));
+    assert_eq!(import("cycles-chain.dot"), (9, 1, 1));
+}
+
+#[test]
+fn corpus_import_is_seed_deterministic() {
+    let text = std::fs::read_to_string(corpus_path("montage-toy.dot")).unwrap();
+    let t = parse_trace(&text, TraceFormat::Dot, &TraceLimits::default()).unwrap();
+    let a = t.into_graph(ModelClass::Roofline, 8, 7).unwrap();
+    let b = t.into_graph(ModelClass::Roofline, 8, 7).unwrap();
+    for i in 0..a.n_tasks() {
+        let id = moldable_graph::TaskId(u32::try_from(i).unwrap());
+        assert!(a.model(id).bitwise_eq(b.model(id)));
+    }
+}

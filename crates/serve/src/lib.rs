@@ -15,8 +15,13 @@
 //!   `stats` with latency percentiles, graceful drain on `shutdown`
 //!   requests or SIGINT/SIGTERM;
 //! * [`stats`] — counters and the log-scale latency histogram;
-//! * [`loadgen`] — an open/closed-loop load generator producing
-//!   `results/BENCH_serve.json`.
+//! * [`sessions`] — the streaming multi-tenant layer: clients open
+//!   sessions, stream DAGs with release dates onto one shared
+//!   simulated platform ([`moldable_tenant`]), and poll incremental
+//!   completions — with per-tenant quotas and DRR fairness;
+//! * [`loadgen`] — open/closed-loop one-shot load plus a
+//!   deterministic session workload driver producing
+//!   `results/BENCH_serve.json` / `BENCH_sessions.json`.
 //!
 //! # Example
 //!
@@ -56,9 +61,17 @@ pub mod loadgen;
 pub mod proto;
 pub mod server;
 pub mod service;
+pub mod sessions;
 pub mod stats;
 
-pub use loadgen::{Client, LoadConfig, LoadMode, LoadReport};
+pub use loadgen::{
+    run_sessions, Client, LoadConfig, LoadMode, LoadReport, SessionLoadConfig, SessionLoadReport,
+};
+pub use proto::{
+    CloseSessionRequest, GraphSpec, OpenSessionRequest, PollRequest, Request, SubmitDagRequest,
+    SubmitRequest,
+};
 pub use server::{install_drain_signals, FaultHooks, Server, ServerConfig};
 pub use service::{EngineChoice, ServiceLimits, WorkerContext};
+pub use sessions::SessionHub;
 pub use stats::{Accounting, ServerStats};

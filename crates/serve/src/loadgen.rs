@@ -457,6 +457,522 @@ fn requests_of(config: &LoadConfig, idx: usize) -> usize {
     base + extra
 }
 
+/// Session-workload parameters (the streaming layer's loadgen).
+///
+/// The driver is deterministic by construction: every admission-order-
+/// sensitive step (opens, DAG submissions, the quota probe, closes)
+/// runs single-threaded in a fixed order, because the shared world
+/// assigns arrival tie-breaks by admission sequence — two equal-date
+/// DAGs submitted from racing threads would make the event log depend
+/// on wall-clock interleaving. Polling *is* concurrent: draining
+/// events only reads the deterministic log, so it cannot perturb it.
+#[derive(Debug, Clone)]
+pub struct SessionLoadConfig {
+    /// Daemon address.
+    pub addr: String,
+    /// Distinct tenants (`t0`, `t1`, …).
+    pub tenants: usize,
+    /// Sessions opened per tenant (`t0-s0`, `t0-s1`, …).
+    pub sessions_per_tenant: usize,
+    /// DAGs streamed into each session.
+    pub dags_per_session: usize,
+    /// Generator shape of every DAG.
+    pub shape: String,
+    /// Shape size.
+    pub size: u32,
+    /// Model class.
+    pub model: String,
+    /// Seed of DAG `(round, session)` is `seed_base + round *
+    /// n_sessions + session_index`.
+    pub seed_base: u64,
+    /// Virtual-time gap between successive rounds of submissions.
+    pub arrival_gap: f64,
+    /// Poll batch size while draining events.
+    pub max_events: u64,
+    /// Quota probe: submit this many extra DAGs under tenant `probe`
+    /// while the world clock is pinned, counting structured
+    /// `quota_exceeded` rejections (0 disables the probe).
+    pub probe_dags: usize,
+    /// Concurrent poll-drain connections.
+    pub threads: usize,
+}
+
+impl Default for SessionLoadConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7464".to_string(),
+            tenants: 4,
+            sessions_per_tenant: 25,
+            dags_per_session: 4,
+            shape: "chain".to_string(),
+            size: 3,
+            model: "amdahl".to_string(),
+            seed_base: 42,
+            arrival_gap: 1.0,
+            max_events: 4096,
+            probe_dags: 0,
+            threads: 8,
+        }
+    }
+}
+
+/// One tenant's client-side submit latencies (sorted ascending, ms).
+#[derive(Debug, Clone)]
+pub struct TenantLatencies {
+    /// Tenant name.
+    pub tenant: String,
+    /// Sorted `submit_dag` round-trip latencies in milliseconds.
+    pub latencies_ms: Vec<f64>,
+}
+
+/// One tenant's server-side accounting ledger, read from the `stats`
+/// reply's session block.
+#[derive(Debug, Clone)]
+pub struct TenantLedger {
+    /// Tenant name.
+    pub tenant: String,
+    /// `submit_dag` attempts.
+    pub submitted: u64,
+    /// DAGs run to completion.
+    pub ok: u64,
+    /// Structural rejections.
+    pub errors: u64,
+    /// Quota rejections.
+    pub drops: u64,
+    /// `submitted == ok + errors + drops` (the server computes this at
+    /// snapshot time; only meaningful at quiescence).
+    pub balanced: bool,
+}
+
+/// Outcome of a session-workload run.
+#[derive(Debug, Clone)]
+pub struct SessionLoadReport {
+    /// Sessions opened (excluding the probe session).
+    pub sessions_opened: usize,
+    /// `submit_dag` requests sent (including probe submissions).
+    pub dags_submitted: usize,
+    /// Submissions admitted.
+    pub dags_ok: usize,
+    /// Structured `quota_exceeded` rejections.
+    pub quota_rejected: usize,
+    /// Error replies (structural or transport).
+    pub errors: usize,
+    /// Completion events drained across all sessions.
+    pub events: usize,
+    /// Wall-clock duration of the whole run.
+    pub wall: Duration,
+    /// Per-tenant submit latencies.
+    pub per_tenant: Vec<TenantLatencies>,
+    /// Per-tenant server-side ledgers (empty if the stats snapshot
+    /// failed).
+    pub ledgers: Vec<TenantLedger>,
+    /// Every ledger balanced at the post-run snapshot.
+    pub ledgers_balanced: bool,
+    /// The merged deterministic event log, one event per line, ordered
+    /// by global sequence. Same workload ⇒ byte-identical.
+    pub event_log: String,
+}
+
+impl SessionLoadReport {
+    /// Render the `BENCH_sessions.json` document. The event log is
+    /// *not* embedded (it can be large); write it separately for
+    /// byte-comparison runs.
+    #[must_use]
+    pub fn to_json(&self, config: &SessionLoadConfig) -> Json {
+        let tenant_json = |t: &TenantLatencies| {
+            obj(vec![
+                ("tenant", Json::Str(t.tenant.clone())),
+                #[allow(clippy::cast_precision_loss)]
+                ("submits", Json::Num(t.latencies_ms.len() as f64)),
+                (
+                    "latency_ms",
+                    obj(vec![
+                        ("p50", Json::Num(sorted_quantile(&t.latencies_ms, 0.50))),
+                        ("p95", Json::Num(sorted_quantile(&t.latencies_ms, 0.95))),
+                        ("p99", Json::Num(sorted_quantile(&t.latencies_ms, 0.99))),
+                        ("max", Json::Num(sorted_quantile(&t.latencies_ms, 1.0))),
+                    ]),
+                ),
+            ])
+        };
+        let ledger_json = |l: &TenantLedger| {
+            #[allow(clippy::cast_precision_loss)]
+            obj(vec![
+                ("tenant", Json::Str(l.tenant.clone())),
+                ("submitted", Json::Num(l.submitted as f64)),
+                ("ok", Json::Num(l.ok as f64)),
+                ("errors", Json::Num(l.errors as f64)),
+                ("drops", Json::Num(l.drops as f64)),
+                ("balanced", Json::Bool(l.balanced)),
+            ])
+        };
+        #[allow(clippy::cast_precision_loss)]
+        obj(vec![
+            (
+                "config",
+                obj(vec![
+                    ("tenants", Json::Num(config.tenants as f64)),
+                    (
+                        "sessions_per_tenant",
+                        Json::Num(config.sessions_per_tenant as f64),
+                    ),
+                    (
+                        "dags_per_session",
+                        Json::Num(config.dags_per_session as f64),
+                    ),
+                    ("shape", Json::Str(config.shape.clone())),
+                    ("size", Json::Num(f64::from(config.size))),
+                    ("model", Json::Str(config.model.clone())),
+                    ("seed_base", Json::Num(config.seed_base as f64)),
+                    ("arrival_gap", Json::Num(config.arrival_gap)),
+                    ("probe_dags", Json::Num(config.probe_dags as f64)),
+                ]),
+            ),
+            ("sessions_opened", Json::Num(self.sessions_opened as f64)),
+            ("dags_submitted", Json::Num(self.dags_submitted as f64)),
+            ("dags_ok", Json::Num(self.dags_ok as f64)),
+            ("quota_rejected", Json::Num(self.quota_rejected as f64)),
+            ("errors", Json::Num(self.errors as f64)),
+            ("events", Json::Num(self.events as f64)),
+            ("wall_secs", Json::Num(self.wall.as_secs_f64())),
+            (
+                "event_log_sha",
+                Json::Str(format!("{:016x}", fnv1a(self.event_log.as_bytes()))),
+            ),
+            (
+                "per_tenant",
+                Json::Arr(self.per_tenant.iter().map(tenant_json).collect()),
+            ),
+            (
+                "ledgers",
+                Json::Arr(self.ledgers.iter().map(ledger_json).collect()),
+            ),
+            ("ledgers_balanced", Json::Bool(self.ledgers_balanced)),
+        ])
+    }
+
+    /// One-paragraph human summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let worst = self
+            .per_tenant
+            .iter()
+            .map(|t| sorted_quantile(&t.latencies_ms, 0.99))
+            .fold(0.0f64, f64::max);
+        format!(
+            "sessions {} | dags {} (ok {} quota-rejected {} errors {}) | \
+             events {} | worst tenant p99 {:.2} ms | ledgers balanced: {} | \
+             event log {:016x}\n",
+            self.sessions_opened,
+            self.dags_submitted,
+            self.dags_ok,
+            self.quota_rejected,
+            self.errors,
+            self.events,
+            worst,
+            self.ledgers_balanced,
+            fnv1a(self.event_log.as_bytes()),
+        )
+    }
+}
+
+/// Exact quantile over an already-sorted slice (0 when empty).
+fn sorted_quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+/// FNV-1a over the event log: a stable fingerprint for the bench
+/// artifact without embedding the whole log.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+/// Format one session event as an event-log line. Times use Rust's
+/// shortest-roundtrip `f64` display, so equal virtual times render
+/// equal bytes.
+fn event_line(seq: u64, session: &str, event: &Json) -> String {
+    let dag = event.get("dag").and_then(Json::as_u64).unwrap_or(0);
+    match event.get("type").and_then(Json::as_str) {
+        Some("task_done") => {
+            let task = event.get("task").and_then(Json::as_u64).unwrap_or(0);
+            let end = event.get("end").and_then(Json::as_f64).unwrap_or(f64::NAN);
+            let procs = event.get("procs").and_then(Json::as_u64).unwrap_or(0);
+            format!("{seq} {session} dag={dag} task={task} end={end} procs={procs}")
+        }
+        Some("dag_done") => {
+            let at = event.get("at").and_then(Json::as_f64).unwrap_or(f64::NAN);
+            format!("{seq} {session} dag={dag} done at={at}")
+        }
+        _ => format!("{seq} {session} dag={dag} ?"),
+    }
+}
+
+/// Drain one session to `closed`, appending `(seq, line)` pairs.
+fn drain_session(
+    client: &mut Client,
+    session: &str,
+    max_events: u64,
+    out: &mut Vec<(u64, String)>,
+) -> io::Result<()> {
+    // Bounded: each DAG produces finitely many events and the session
+    // is closed, so `closed` must arrive; the cap only guards against
+    // a wedged server.
+    for _ in 0..100_000 {
+        let reply = client.call(&Request::Poll(crate::proto::PollRequest {
+            session: session.to_string(),
+            until: None,
+            max_events,
+        }))?;
+        if reply.get("status").and_then(Json::as_str) != Some("ok") {
+            return Err(io::Error::other(format!(
+                "poll of `{session}` failed: {}",
+                reply.encode()
+            )));
+        }
+        if let Some(events) = reply.get("events").and_then(Json::as_arr) {
+            for e in events {
+                let seq = e.get("seq").and_then(Json::as_u64).unwrap_or(u64::MAX);
+                out.push((seq, event_line(seq, session, e)));
+            }
+        }
+        if reply.get("closed").and_then(Json::as_bool) == Some(true) {
+            return Ok(());
+        }
+    }
+    Err(io::Error::other(format!(
+        "session `{session}` never closed"
+    )))
+}
+
+/// Run the deterministic session workload against a live daemon.
+///
+/// # Errors
+///
+/// Fails on transport errors during the single-threaded phases (the
+/// workload would no longer be the configured one); drain-phase
+/// failures are tallied in `errors` instead.
+///
+/// # Panics
+///
+/// Panics if any dimension of the configured workload is zero.
+pub fn run_sessions(config: &SessionLoadConfig) -> io::Result<SessionLoadReport> {
+    assert!(
+        config.tenants >= 1 && config.sessions_per_tenant >= 1 && config.dags_per_session >= 1,
+        "workload dimensions must be >= 1"
+    );
+    assert!(config.threads >= 1, "need at least one drain thread");
+    let start = Instant::now();
+    let mut client = Client::connect(&config.addr)?;
+    let mut report = SessionLoadReport {
+        sessions_opened: 0,
+        dags_submitted: 0,
+        dags_ok: 0,
+        quota_rejected: 0,
+        errors: 0,
+        events: 0,
+        wall: Duration::ZERO,
+        per_tenant: Vec::new(),
+        ledgers: Vec::new(),
+        ledgers_balanced: false,
+        event_log: String::new(),
+    };
+
+    // Phase A: open every session, single-threaded, fixed order.
+    let mut sessions: Vec<(String, String)> = Vec::new(); // (tenant, label)
+    for t in 0..config.tenants {
+        for s in 0..config.sessions_per_tenant {
+            sessions.push((format!("t{t}"), format!("t{t}-s{s}")));
+        }
+    }
+    for (tenant, label) in &sessions {
+        let reply = client.call(&Request::OpenSession(crate::proto::OpenSessionRequest {
+            tenant: tenant.clone(),
+            session: label.clone(),
+        }))?;
+        if reply.get("status").and_then(Json::as_str) == Some("ok") {
+            report.sessions_opened += 1;
+        } else {
+            return Err(io::Error::other(format!(
+                "open of `{label}` failed: {}",
+                reply.encode()
+            )));
+        }
+    }
+
+    // Phase B: quota probe. All open sessions still have frontier 0,
+    // so the world clock is pinned and no probe DAG can complete —
+    // the number of `quota_exceeded` replies is exactly
+    // `probe_dags - max_dags_in_flight` when positive, independent of
+    // timing.
+    let probe_label = "probe-0".to_string();
+    if config.probe_dags > 0 {
+        let reply = client.call(&Request::OpenSession(crate::proto::OpenSessionRequest {
+            tenant: "probe".to_string(),
+            session: probe_label.clone(),
+        }))?;
+        if reply.get("status").and_then(Json::as_str) != Some("ok") {
+            return Err(io::Error::other("probe session refused"));
+        }
+        for i in 0..config.probe_dags {
+            let reply = client.call(&Request::SubmitDag(Box::new(
+                crate::proto::SubmitDagRequest {
+                    session: probe_label.clone(),
+                    at: 0.0,
+                    graph: GraphSpec::Named {
+                        shape: config.shape.clone(),
+                        size: config.size,
+                    },
+                    model: config.model.clone(),
+                    seed: config.seed_base + i as u64,
+                },
+            )))?;
+            report.dags_submitted += 1;
+            match reply.get("status").and_then(Json::as_str) {
+                Some("ok") => report.dags_ok += 1,
+                Some("quota_exceeded") => report.quota_rejected += 1,
+                _ => report.errors += 1,
+            }
+        }
+        let _ = client.call(&Request::CloseSession(crate::proto::CloseSessionRequest {
+            session: probe_label.clone(),
+        }))?;
+    }
+
+    // Phase C: stream the DAGs, round-robin across sessions so every
+    // round shares a release date — contention by construction.
+    let n_sessions = sessions.len();
+    let mut latencies: Vec<Vec<f64>> = vec![Vec::new(); config.tenants];
+    for round in 0..config.dags_per_session {
+        #[allow(clippy::cast_precision_loss)]
+        let at = round as f64 * config.arrival_gap;
+        for (idx, (_, label)) in sessions.iter().enumerate() {
+            let seed = config.seed_base + (round * n_sessions + idx) as u64;
+            let req = Request::SubmitDag(Box::new(crate::proto::SubmitDagRequest {
+                session: label.clone(),
+                at,
+                graph: GraphSpec::Named {
+                    shape: config.shape.clone(),
+                    size: config.size,
+                },
+                model: config.model.clone(),
+                seed,
+            }));
+            let t0 = Instant::now();
+            let reply = client.call(&req)?;
+            latencies[idx / config.sessions_per_tenant]
+                .push(t0.elapsed().as_secs_f64() * 1000.0);
+            report.dags_submitted += 1;
+            match reply.get("status").and_then(Json::as_str) {
+                Some("ok") => report.dags_ok += 1,
+                Some("quota_exceeded") => report.quota_rejected += 1,
+                _ => report.errors += 1,
+            }
+        }
+    }
+
+    // Phase D: close every session (single-threaded). After the last
+    // close nothing gates the virtual clock, so the world can run to
+    // quiescence during the drain polls.
+    for (_, label) in &sessions {
+        let reply = client.call(&Request::CloseSession(crate::proto::CloseSessionRequest {
+            session: label.clone(),
+        }))?;
+        if reply.get("status").and_then(Json::as_str) != Some("ok") {
+            report.errors += 1;
+        }
+    }
+
+    // Phase E: drain events concurrently over disjoint session chunks.
+    // Reading events cannot perturb the log, so threads are safe here.
+    let mut all_labels: Vec<String> = sessions.iter().map(|(_, l)| l.clone()).collect();
+    if config.probe_dags > 0 {
+        all_labels.push(probe_label);
+    }
+    let chunk = all_labels.len().div_ceil(config.threads);
+    let collected: Mutex<Vec<(u64, String)>> = Mutex::new(Vec::new());
+    let drain_errors: Mutex<usize> = Mutex::new(0);
+    thread::scope(|scope| {
+        for labels in all_labels.chunks(chunk.max(1)) {
+            let collected = &collected;
+            let drain_errors = &drain_errors;
+            let config = &config;
+            scope.spawn(move || {
+                let mut local: Vec<(u64, String)> = Vec::new();
+                let mut failures = 0usize;
+                match Client::connect(&config.addr) {
+                    Ok(mut c) => {
+                        for label in labels {
+                            if drain_session(&mut c, label, config.max_events, &mut local)
+                                .is_err()
+                            {
+                                failures += 1;
+                            }
+                        }
+                    }
+                    Err(_) => failures += labels.len(),
+                }
+                collected.lock().expect("event lock").extend(local);
+                *drain_errors.lock().expect("error lock") += failures;
+            });
+        }
+    });
+    report.errors += drain_errors.into_inner().expect("error lock");
+    let mut events = collected.into_inner().expect("event lock");
+    events.sort_by_key(|(seq, _)| *seq);
+    report.events = events.len();
+    report.event_log = events
+        .into_iter()
+        .map(|(_, line)| line)
+        .collect::<Vec<_>>()
+        .join("\n");
+    if !report.event_log.is_empty() {
+        report.event_log.push('\n');
+    }
+
+    // Phase F: per-tenant latency tables and the server-side ledgers.
+    for (t, mut lat) in latencies.into_iter().enumerate() {
+        lat.sort_by(f64::total_cmp);
+        report.per_tenant.push(TenantLatencies {
+            tenant: format!("t{t}"),
+            latencies_ms: lat,
+        });
+    }
+    let stats_reply = Client::connect(&config.addr)
+        .and_then(|mut c| c.call(&Request::Stats))
+        .ok();
+    if let Some(Json::Obj(members)) = stats_reply
+        .as_ref()
+        .and_then(|r| r.get("sessions"))
+        .and_then(|s| s.get("ledgers"))
+    {
+        for (tenant, l) in members {
+            let n = |key: &str| l.get(key).and_then(Json::as_u64).unwrap_or(0);
+            report.ledgers.push(TenantLedger {
+                tenant: tenant.clone(),
+                submitted: n("submitted"),
+                ok: n("ok"),
+                errors: n("errors"),
+                drops: n("drops"),
+                balanced: l.get("balanced").and_then(Json::as_bool).unwrap_or(false),
+            });
+        }
+    }
+    report.ledgers_balanced =
+        !report.ledgers.is_empty() && report.ledgers.iter().all(|l| l.balanced);
+    report.wall = start.elapsed();
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -541,5 +1057,86 @@ mod tests {
             drops: 0,
         });
         assert!(r.summary().contains("UNBALANCED"));
+    }
+
+    #[test]
+    fn sorted_quantile_matches_exact_ranks() {
+        assert_eq!(sorted_quantile(&[], 0.5), 0.0);
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(sorted_quantile(&v, 0.50), 2.0);
+        assert_eq!(sorted_quantile(&v, 0.95), 4.0);
+        assert_eq!(sorted_quantile(&v, 1.0), 4.0);
+        assert_eq!(sorted_quantile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn event_lines_render_both_kinds_and_sort_by_seq() {
+        let task = obj(vec![
+            ("seq", Json::Num(3.0)),
+            ("dag", Json::Num(0.0)),
+            ("type", Json::Str("task_done".into())),
+            ("task", Json::Num(2.0)),
+            ("end", Json::Num(1.5)),
+            ("procs", Json::Num(4.0)),
+        ]);
+        let done = obj(vec![
+            ("seq", Json::Num(4.0)),
+            ("dag", Json::Num(0.0)),
+            ("type", Json::Str("dag_done".into())),
+            ("at", Json::Num(1.5)),
+        ]);
+        assert_eq!(event_line(3, "t0-s0", &task), "3 t0-s0 dag=0 task=2 end=1.5 procs=4");
+        assert_eq!(event_line(4, "t0-s0", &done), "4 t0-s0 dag=0 done at=1.5");
+        // Integral times render as integers (the wire does the same),
+        // so both sides of a byte-comparison agree.
+        let whole = obj(vec![
+            ("seq", Json::Num(5.0)),
+            ("dag", Json::Num(1.0)),
+            ("type", Json::Str("dag_done".into())),
+            ("at", Json::Num(3.0)),
+        ]);
+        assert_eq!(event_line(5, "t1-s0", &whole), "5 t1-s0 dag=1 done at=3");
+    }
+
+    #[test]
+    fn session_report_json_has_percentiles_ledgers_and_fingerprint() {
+        let report = SessionLoadReport {
+            sessions_opened: 2,
+            dags_submitted: 5,
+            dags_ok: 4,
+            quota_rejected: 1,
+            errors: 0,
+            events: 9,
+            wall: Duration::from_secs(1),
+            per_tenant: vec![TenantLatencies {
+                tenant: "t0".into(),
+                latencies_ms: vec![1.0, 2.0, 3.0, 4.0],
+            }],
+            ledgers: vec![TenantLedger {
+                tenant: "t0".into(),
+                submitted: 4,
+                ok: 4,
+                errors: 0,
+                drops: 0,
+                balanced: true,
+            }],
+            ledgers_balanced: true,
+            event_log: "0 t0-s0 dag=0 done at=1\n".into(),
+        };
+        let j = report.to_json(&SessionLoadConfig::default());
+        assert_eq!(j.get("dags_ok").unwrap().as_u64(), Some(4));
+        assert_eq!(j.get("quota_rejected").unwrap().as_u64(), Some(1));
+        let tenants = j.get("per_tenant").unwrap().as_arr().unwrap();
+        assert_eq!(tenants[0].get("latency_ms").unwrap().get("p50").unwrap().as_f64(), Some(2.0));
+        assert_eq!(tenants[0].get("latency_ms").unwrap().get("max").unwrap().as_f64(), Some(4.0));
+        let ledgers = j.get("ledgers").unwrap().as_arr().unwrap();
+        assert_eq!(ledgers[0].get("balanced"), Some(&Json::Bool(true)));
+        assert_eq!(j.get("ledgers_balanced"), Some(&Json::Bool(true)));
+        // The fingerprint is a pure function of the log bytes.
+        assert_eq!(
+            j.get("event_log_sha").unwrap().as_str().unwrap(),
+            format!("{:016x}", fnv1a(report.event_log.as_bytes()))
+        );
+        assert!(report.summary().contains("ledgers balanced: true"));
     }
 }

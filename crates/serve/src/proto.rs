@@ -20,9 +20,22 @@
 //! {"type": "shutdown"}
 //! ```
 //!
-//! Replies always carry a `"status"` of `"ok"`, `"error"`, or
+//! Session verbs (the streaming multi-tenant layer; see
+//! [`crate::sessions`]):
+//!
+//! ```json
+//! {"type": "open_session", "tenant": "acme", "session": "acme-1"}
+//! {"type": "submit_dag", "session": "acme-1", "at": 3.5,
+//!  "graph": {"shape": "chain", "size": 4}, "model": "amdahl", "seed": 7}
+//! {"type": "poll", "session": "acme-1", "until": 10.0, "max_events": 256}
+//! {"type": "close_session", "session": "acme-1"}
+//! ```
+//!
+//! Replies always carry a `"status"` of `"ok"`, `"error"`,
 //! `"overloaded"` (the backpressure reply — the request was *not*
-//! queued and may be retried later).
+//! queued and may be retried later), or `"quota_exceeded"` (a session
+//! submission bounced off a per-tenant admission quota; the reply
+//! names the `scope`, `used`, and `limit`).
 
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -182,6 +195,76 @@ pub enum GraphSpec {
         /// Shape size parameter.
         size: u32,
     },
+    /// Inline workflow-trace text in DOT digraph form (wire key
+    /// `trace-dot`); task weights and speedup parameters are derived
+    /// from the trace plus the request's model and seed.
+    TraceDot(String),
+    /// Inline workflow-trace text in JSON form (wire key `trace-json`).
+    TraceJson(String),
+}
+
+/// Parse the `graph` member shared by `submit` and `submit_dag`.
+fn parse_graph_spec(g: &Json) -> Result<GraphSpec, String> {
+    if let Some(mtg) = g.get("mtg").and_then(Json::as_str) {
+        return Ok(GraphSpec::Inline(mtg.to_string()));
+    }
+    if let Some(text) = g.get("trace-dot").and_then(Json::as_str) {
+        return Ok(GraphSpec::TraceDot(text.to_string()));
+    }
+    if let Some(text) = g.get("trace-json").and_then(Json::as_str) {
+        return Ok(GraphSpec::TraceJson(text.to_string()));
+    }
+    if let Some(shape) = g.get("shape").and_then(Json::as_str) {
+        let size = g
+            .get("size")
+            .and_then(Json::as_u64)
+            .ok_or("graph.size must be a non-negative integer")?;
+        let size = u32::try_from(size).map_err(|_| "graph.size out of range".to_string())?;
+        return Ok(GraphSpec::Named {
+            shape: shape.to_string(),
+            size,
+        });
+    }
+    Err("graph needs `mtg` (inline text), `trace-dot`/`trace-json` (workflow trace), or `shape`+`size`".to_string())
+}
+
+fn required_str(v: &Json, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(ToString::to_string)
+        .ok_or(format!("missing string field `{key}`"))
+}
+
+fn optional_str(v: &Json, key: &str, default: &str) -> Result<String, String> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(default.to_string()),
+        Some(x) => x
+            .as_str()
+            .map(ToString::to_string)
+            .ok_or(format!("`{key}` must be a string")),
+    }
+}
+
+fn optional_u64(v: &Json, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(x) => x
+            .as_u64()
+            .map(Some)
+            .ok_or(format!("`{key}` must be a non-negative integer")),
+    }
+}
+
+fn encode_graph_spec(spec: &GraphSpec) -> Json {
+    match spec {
+        GraphSpec::Inline(mtg) => obj(vec![("mtg", Json::Str(mtg.clone()))]),
+        GraphSpec::Named { shape, size } => obj(vec![
+            ("shape", Json::Str(shape.clone())),
+            ("size", Json::Num(f64::from(*size))),
+        ]),
+        GraphSpec::TraceDot(text) => obj(vec![("trace-dot", Json::Str(text.clone()))]),
+        GraphSpec::TraceJson(text) => obj(vec![("trace-json", Json::Str(text.clone()))]),
+    }
 }
 
 /// A parsed scheduling request.
@@ -205,6 +288,50 @@ pub struct SubmitRequest {
     pub include_allocations: bool,
 }
 
+/// Open a tenant session (streaming layer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenSessionRequest {
+    /// Tenant name — the unit of quota accounting.
+    pub tenant: String,
+    /// Session label, unique across the server.
+    pub session: String,
+}
+
+/// Stream one DAG into an open session with a release date.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitDagRequest {
+    /// Target session label.
+    pub session: String,
+    /// Release date on the shared virtual clock (must be ≥ the
+    /// session's poll frontier).
+    pub at: f64,
+    /// The task graph to admit.
+    pub graph: GraphSpec,
+    /// Model class for generated/trace graphs (default `amdahl`).
+    pub model: String,
+    /// Generator seed (default 42).
+    pub seed: u64,
+}
+
+/// Read back completion events, optionally advancing the session's
+/// virtual-time frontier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PollRequest {
+    /// Target session label.
+    pub session: String,
+    /// Advance the session frontier to this virtual time first.
+    pub until: Option<f64>,
+    /// Event batch cap for this poll (default 256).
+    pub max_events: u64,
+}
+
+/// Close a session: no more submissions, drain what is in flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CloseSessionRequest {
+    /// Target session label.
+    pub session: String,
+}
+
 /// A parsed request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -216,6 +343,14 @@ pub enum Request {
     Ping,
     /// Begin a graceful drain: stop accepting, finish queued work, exit.
     Shutdown,
+    /// Open a tenant session.
+    OpenSession(OpenSessionRequest),
+    /// Stream a DAG into an open session.
+    SubmitDag(Box<SubmitDagRequest>),
+    /// Read completion events from a session.
+    Poll(PollRequest),
+    /// Close a session and drain it.
+    CloseSession(CloseSessionRequest),
 }
 
 impl Request {
@@ -236,27 +371,49 @@ impl Request {
             "stats" => Ok(Self::Stats),
             "shutdown" => Ok(Self::Shutdown),
             "submit" => Ok(Self::Submit(Box::new(Self::parse_submit(&v)?))),
+            "open_session" => Ok(Self::OpenSession(OpenSessionRequest {
+                tenant: required_str(&v, "tenant")?,
+                session: required_str(&v, "session")?,
+            })),
+            "submit_dag" => Ok(Self::SubmitDag(Box::new(Self::parse_submit_dag(&v)?))),
+            "poll" => Ok(Self::Poll(Self::parse_poll(&v)?)),
+            "close_session" => Ok(Self::CloseSession(CloseSessionRequest {
+                session: required_str(&v, "session")?,
+            })),
             other => Err(format!("unknown request type `{other}`")),
         }
     }
 
+    fn parse_submit_dag(v: &Json) -> Result<SubmitDagRequest, String> {
+        let g = v.get("graph").ok_or("submit_dag requires a `graph` object")?;
+        let at = v
+            .get("at")
+            .and_then(Json::as_f64)
+            .ok_or("submit_dag requires a numeric `at` (release date)")?;
+        Ok(SubmitDagRequest {
+            session: required_str(v, "session")?,
+            at,
+            graph: parse_graph_spec(g)?,
+            model: optional_str(v, "model", "amdahl")?,
+            seed: optional_u64(v, "seed")?.unwrap_or(42),
+        })
+    }
+
+    fn parse_poll(v: &Json) -> Result<PollRequest, String> {
+        let until = match v.get("until") {
+            None | Some(Json::Null) => None,
+            Some(x) => Some(x.as_f64().ok_or("`until` must be a number")?),
+        };
+        Ok(PollRequest {
+            session: required_str(v, "session")?,
+            until,
+            max_events: optional_u64(v, "max_events")?.unwrap_or(256),
+        })
+    }
+
     fn parse_submit(v: &Json) -> Result<SubmitRequest, String> {
         let g = v.get("graph").ok_or("submit requires a `graph` object")?;
-        let graph = if let Some(mtg) = g.get("mtg").and_then(Json::as_str) {
-            GraphSpec::Inline(mtg.to_string())
-        } else if let Some(shape) = g.get("shape").and_then(Json::as_str) {
-            let size = g
-                .get("size")
-                .and_then(Json::as_u64)
-                .ok_or("graph.size must be a non-negative integer")?;
-            let size = u32::try_from(size).map_err(|_| "graph.size out of range".to_string())?;
-            GraphSpec::Named {
-                shape: shape.to_string(),
-                size,
-            }
-        } else {
-            return Err("graph needs either `mtg` (inline text) or `shape`+`size`".to_string());
-        };
+        let graph = parse_graph_spec(g)?;
         let num_field = |key: &str| -> Result<Option<u64>, String> {
             match v.get(key) {
                 None | Some(Json::Null) => Ok(None),
@@ -312,14 +469,38 @@ impl Request {
             Self::Ping => obj(vec![("type", Json::Str("ping".into()))]),
             Self::Stats => obj(vec![("type", Json::Str("stats".into()))]),
             Self::Shutdown => obj(vec![("type", Json::Str("shutdown".into()))]),
+            Self::OpenSession(o) => obj(vec![
+                ("type", Json::Str("open_session".into())),
+                ("tenant", Json::Str(o.tenant.clone())),
+                ("session", Json::Str(o.session.clone())),
+            ]),
+            Self::SubmitDag(s) => obj(vec![
+                ("type", Json::Str("submit_dag".into())),
+                ("session", Json::Str(s.session.clone())),
+                ("at", Json::Num(s.at)),
+                ("graph", encode_graph_spec(&s.graph)),
+                ("model", Json::Str(s.model.clone())),
+                #[allow(clippy::cast_precision_loss)]
+                ("seed", Json::Num(s.seed as f64)),
+            ]),
+            Self::Poll(p) => {
+                let mut members = vec![
+                    ("type", Json::Str("poll".into())),
+                    ("session", Json::Str(p.session.clone())),
+                    #[allow(clippy::cast_precision_loss)]
+                    ("max_events", Json::Num(p.max_events as f64)),
+                ];
+                if let Some(until) = p.until {
+                    members.push(("until", Json::Num(until)));
+                }
+                obj(members)
+            }
+            Self::CloseSession(c) => obj(vec![
+                ("type", Json::Str("close_session".into())),
+                ("session", Json::Str(c.session.clone())),
+            ]),
             Self::Submit(s) => {
-                let graph = match &s.graph {
-                    GraphSpec::Inline(mtg) => obj(vec![("mtg", Json::Str(mtg.clone()))]),
-                    GraphSpec::Named { shape, size } => obj(vec![
-                        ("shape", Json::Str(shape.clone())),
-                        ("size", Json::Num(f64::from(*size))),
-                    ]),
-                };
+                let graph = encode_graph_spec(&s.graph);
                 let mut members = vec![
                     ("type", Json::Str("submit".into())),
                     ("graph", graph),
@@ -353,6 +534,22 @@ pub fn error_reply(msg: &str) -> Vec<u8> {
     obj(vec![
         ("status", Json::Str("error".into())),
         ("error", Json::Str(msg.to_string())),
+    ])
+    .encode()
+    .into_bytes()
+}
+
+/// Build the structured `{"status": "quota_exceeded"}` reply payload
+/// for a session submission that bounced off a per-tenant quota.
+#[must_use]
+pub fn quota_reply(msg: &str, scope: &str, used: u64, limit: u64) -> Vec<u8> {
+    #[allow(clippy::cast_precision_loss)]
+    obj(vec![
+        ("status", Json::Str("quota_exceeded".into())),
+        ("error", Json::Str(msg.to_string())),
+        ("scope", Json::Str(scope.to_string())),
+        ("used", Json::Num(used as f64)),
+        ("limit", Json::Num(limit as f64)),
     ])
     .encode()
     .into_bytes()
@@ -457,6 +654,113 @@ mod tests {
         for req in [Request::Ping, Request::Stats, Request::Shutdown] {
             assert_eq!(Request::parse(&req.encode()).unwrap(), req);
         }
+    }
+
+    #[test]
+    fn session_requests_roundtrip() {
+        let reqs = [
+            Request::OpenSession(OpenSessionRequest {
+                tenant: "acme".into(),
+                session: "acme-1".into(),
+            }),
+            Request::SubmitDag(Box::new(SubmitDagRequest {
+                session: "acme-1".into(),
+                at: 3.5,
+                graph: GraphSpec::Named {
+                    shape: "chain".into(),
+                    size: 4,
+                },
+                model: "roofline".into(),
+                seed: 9,
+            })),
+            Request::SubmitDag(Box::new(SubmitDagRequest {
+                session: "acme-1".into(),
+                at: 0.0,
+                graph: GraphSpec::TraceDot("digraph g { a -> b }".into()),
+                model: "amdahl".into(),
+                seed: 42,
+            })),
+            Request::SubmitDag(Box::new(SubmitDagRequest {
+                session: "acme-1".into(),
+                at: 1.0,
+                graph: GraphSpec::TraceJson("{\"tasks\":[]}".into()),
+                model: "amdahl".into(),
+                seed: 42,
+            })),
+            Request::Poll(PollRequest {
+                session: "acme-1".into(),
+                until: Some(10.0),
+                max_events: 128,
+            }),
+            Request::Poll(PollRequest {
+                session: "acme-1".into(),
+                until: None,
+                max_events: 256,
+            }),
+            Request::CloseSession(CloseSessionRequest {
+                session: "acme-1".into(),
+            }),
+        ];
+        for req in reqs {
+            assert_eq!(Request::parse(&req.encode()).unwrap(), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn submit_dag_defaults_match_submit() {
+        let parsed = Request::parse(
+            br#"{"type":"submit_dag","session":"s","at":2.0,"graph":{"shape":"chain","size":3}}"#,
+        )
+        .unwrap();
+        match parsed {
+            Request::SubmitDag(s) => {
+                assert_eq!(s.model, "amdahl");
+                assert_eq!(s.seed, 42);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_session_requests_name_the_problem() {
+        let cases: &[(&[u8], &str)] = &[
+            (br#"{"type":"open_session"}"#, "tenant"),
+            (br#"{"type":"open_session","tenant":"a"}"#, "session"),
+            (br#"{"type":"submit_dag","session":"s"}"#, "graph"),
+            (
+                br#"{"type":"submit_dag","session":"s","graph":{"shape":"chain","size":2}}"#,
+                "`at`",
+            ),
+            (
+                br#"{"type":"submit_dag","session":"s","at":0,"graph":{}}"#,
+                "mtg",
+            ),
+            (
+                br#"{"type":"poll","session":"s","until":"x"}"#,
+                "`until`",
+            ),
+            (
+                br#"{"type":"poll","session":"s","max_events":-1}"#,
+                "`max_events`",
+            ),
+            (br#"{"type":"close_session"}"#, "session"),
+        ];
+        for (payload, needle) in cases {
+            let e = Request::parse(payload).unwrap_err();
+            assert!(e.contains(needle), "{payload:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn quota_reply_is_structured() {
+        let v = crate::json::parse(
+            std::str::from_utf8(&quota_reply("too many dags", "dags", 5, 4)).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(v.get("status").unwrap().as_str(), Some("quota_exceeded"));
+        assert_eq!(v.get("scope").unwrap().as_str(), Some("dags"));
+        assert_eq!(v.get("used").unwrap().as_u64(), Some(5));
+        assert_eq!(v.get("limit").unwrap().as_u64(), Some(4));
     }
 
     #[test]

@@ -28,9 +28,13 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
+use moldable_model::ModelClass;
+use moldable_tenant::TenantConfig;
+
 use crate::json::{obj, Json};
 use crate::proto::{self, FrameError, Request, SubmitRequest};
 use crate::service::{ServiceLimits, WorkerContext};
+use crate::sessions::SessionHub;
 use crate::stats::ServerStats;
 
 /// How long a connection thread sleeps between idle polls; bounds the
@@ -57,6 +61,9 @@ pub struct ServerConfig {
     pub request_timeout: Duration,
     /// Guard rails on request contents.
     pub limits: ServiceLimits,
+    /// The streaming session layer: shared platform size, allocation
+    /// μ, per-tenant quotas, idle reaping.
+    pub tenant: TenantConfig,
 }
 
 impl Default for ServerConfig {
@@ -68,6 +75,7 @@ impl Default for ServerConfig {
             max_frame: 1 << 20,
             request_timeout: Duration::from_secs(30),
             limits: ServiceLimits::default(),
+            tenant: TenantConfig::new(64, ModelClass::Amdahl.optimal_mu()),
         }
     }
 }
@@ -139,6 +147,7 @@ struct Shared {
     config: ServerConfig,
     hooks: FaultHooks,
     conns: Mutex<Vec<thread::JoinHandle<()>>>,
+    hub: SessionHub,
 }
 
 impl Shared {
@@ -148,6 +157,9 @@ impl Shared {
 
     fn start_drain(&self) {
         self.draining.store(true, Ordering::SeqCst);
+        // Close every streaming session too: in-flight DAGs finish and
+        // stay pollable, new session traffic is refused.
+        self.hub.drain();
         self.queue_ready.notify_all();
     }
 
@@ -210,6 +222,7 @@ impl Server {
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let workers = config.workers.max(1);
+        let hub = SessionHub::new(config.tenant, config.limits);
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             queue_ready: Condvar::new(),
@@ -218,6 +231,7 @@ impl Server {
             config,
             hooks: FaultHooks::default(),
             conns: Mutex::new(Vec::new()),
+            hub,
         });
 
         let worker_handles = (0..workers)
@@ -256,6 +270,13 @@ impl Server {
     #[must_use]
     pub fn stats(&self) -> &ServerStats {
         &self.shared.stats
+    }
+
+    /// The streaming session hub (shared with every connection
+    /// thread).
+    #[must_use]
+    pub fn session_hub(&self) -> &SessionHub {
+        &self.shared.hub
     }
 
     /// The fault-injection knobs (all disarmed by default). Chaos
@@ -427,6 +448,7 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()
                 ("status", Json::Str("ok".into())),
                 ("draining", Json::Bool(shared.draining())),
                 ("stats", shared.stats.to_json()),
+                ("sessions", shared.hub.summary_json()),
             ])
             .encode()
             .into_bytes(),
@@ -440,6 +462,32 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()
                 .into_bytes()
             }
             Ok(Request::Submit(req)) => handle_submit(*req, shared),
+            // Session verbs run inline on the connection thread: they
+            // never simulate more than the conservative clock allows
+            // per poll, and graph construction happens before the hub
+            // lock is taken. Opening and submitting are refused during
+            // a drain; polling and closing still work so clients can
+            // collect what their in-flight DAGs produced.
+            Ok(Request::OpenSession(req)) => {
+                if shared.draining() {
+                    ServerStats::bump(&shared.stats.errors);
+                    proto::error_reply("server is draining")
+                } else {
+                    shared.hub.open(&req, &shared.stats)
+                }
+            }
+            Ok(Request::SubmitDag(req)) => {
+                if shared.draining() {
+                    ServerStats::bump(&shared.stats.errors);
+                    ServerStats::bump(&shared.stats.session_dags_submitted);
+                    ServerStats::bump(&shared.stats.session_dags_errors);
+                    proto::error_reply("server is draining")
+                } else {
+                    shared.hub.submit_dag(&req, &shared.stats)
+                }
+            }
+            Ok(Request::Poll(req)) => shared.hub.poll(&req, &shared.stats),
+            Ok(Request::CloseSession(req)) => shared.hub.close(&req, &shared.stats),
         };
         proto::write_frame(&mut stream, &reply)?;
     }

@@ -9,7 +9,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use moldable_core::{baselines, AllocCache, OnlineScheduler, QueuePolicy};
-use moldable_graph::{gen, parse_workflow, TaskGraph};
+use moldable_graph::{gen, parse_trace, parse_workflow, TaskGraph, TraceFormat, TraceLimits};
 use moldable_model::ModelClass;
 use moldable_sim::{simulate, simulate_batched, Schedule, SimOptions};
 
@@ -239,7 +239,7 @@ impl WorkerContext {
             // Inline workflows carry their own models; their class (if
             // homogeneous) beats the request's default.
             GraphSpec::Inline(_) => graph.model_class().unwrap_or(class),
-            GraphSpec::Named { .. } => class,
+            GraphSpec::Named { .. } | GraphSpec::TraceDot(_) | GraphSpec::TraceJson(_) => class,
         };
         let schedule = self.run_scheduler(req, &graph, p, class)?;
         schedule
@@ -321,6 +321,16 @@ impl WorkerContext {
                     }
                 };
                 (g, Some(p))
+            }
+            GraphSpec::TraceDot(text) | GraphSpec::TraceJson(text) => {
+                let class = parse_model_class(&req.model)?;
+                let p = req.p.ok_or("trace graphs require `p`")?;
+                let format = match &req.graph {
+                    GraphSpec::TraceDot(_) => TraceFormat::Dot,
+                    _ => TraceFormat::Json,
+                };
+                let g = build_trace_graph(text, format, class, p, req.seed, &limits)?;
+                (Arc::new(g), Some(p))
             }
         };
         if graph.n_tasks() > limits.max_tasks {
@@ -408,8 +418,28 @@ impl WorkerContext {
     }
 }
 
+/// Parse and weight a workflow trace under the same task guard the
+/// named generators get (shared by one-shot submits and the session
+/// layer).
+pub(crate) fn build_trace_graph(
+    text: &str,
+    format: TraceFormat,
+    class: ModelClass,
+    p_total: u32,
+    seed: u64,
+    limits: &ServiceLimits,
+) -> Result<TaskGraph, String> {
+    let trace_limits = TraceLimits {
+        max_tasks: limits.max_tasks as u64,
+    };
+    let trace = parse_trace(text, format, &trace_limits).map_err(|e| format!("bad trace: {e}"))?;
+    trace
+        .into_graph(class, p_total, seed)
+        .map_err(|e| format!("bad trace: {e}"))
+}
+
 /// Parse a model-class name (the same names the CLI accepts).
-fn parse_model_class(name: &str) -> Result<ModelClass, String> {
+pub(crate) fn parse_model_class(name: &str) -> Result<ModelClass, String> {
     Ok(match name {
         "roofline" => ModelClass::Roofline,
         "communication" | "comm" => ModelClass::Communication,
@@ -577,6 +607,54 @@ mod tests {
         let allocs = r.get("allocations").unwrap().as_arr().unwrap();
         assert_eq!(allocs.len(), 2);
         assert!(allocs[0].get("procs").unwrap().as_u64().unwrap() >= 1);
+    }
+
+    #[test]
+    fn trace_submits_schedule_with_guard_parity() {
+        let dot = "digraph wf { a -> b; a -> c; b -> d; c -> d; }";
+        let req = SubmitRequest {
+            graph: GraphSpec::TraceDot(dot.into()),
+            ..named("chain", 3, 16, 7)
+        };
+        let mut ctx = WorkerContext::new();
+        let r = ctx.handle(&req);
+        assert_eq!(r.get("status").unwrap().as_str(), Some("ok"), "{r:?}");
+        assert_eq!(r.get("n_tasks").unwrap().as_u64(), Some(4));
+        // Determinism: same trace + seed => same reply.
+        assert_eq!(r, ctx.handle(&req));
+
+        let json = r#"{"tasks":[{"id":"a"},{"id":"b","parents":["a"]}]}"#;
+        let jreq = SubmitRequest {
+            graph: GraphSpec::TraceJson(json.into()),
+            ..named("chain", 3, 16, 7)
+        };
+        let r = ctx.handle(&jreq);
+        assert_eq!(r.get("status").unwrap().as_str(), Some("ok"), "{r:?}");
+        assert_eq!(r.get("n_tasks").unwrap().as_u64(), Some(2));
+
+        // Guard parity: the service task cap binds during trace
+        // parsing, exactly as for generated shapes.
+        let mut small = WorkerContext::with_limits(ServiceLimits {
+            max_tasks: 2,
+            ..ServiceLimits::default()
+        });
+        let r = small.handle(&req);
+        assert_eq!(r.get("status").unwrap().as_str(), Some("error"));
+        let msg = r.get("error").unwrap().as_str().unwrap();
+        assert!(msg.contains("more than the limit"), "{msg}");
+
+        // Traces require an explicit platform size.
+        let r = ctx.handle(&SubmitRequest {
+            p: None,
+            ..req.clone()
+        });
+        assert_eq!(r.get("status").unwrap().as_str(), Some("error"));
+        assert!(r
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("require `p`"));
     }
 
     #[test]

@@ -203,6 +203,21 @@ pub struct ServerStats {
     pub graph_cache_hits: AtomicU64,
     /// Named-generator submits that had to construct their graph.
     pub graph_cache_misses: AtomicU64,
+    /// Sessions opened by `open_session` over the server's lifetime.
+    pub sessions_opened: AtomicU64,
+    /// `close_session` requests acknowledged (closing is idempotent,
+    /// so re-closes count too).
+    pub sessions_closed: AtomicU64,
+    /// `submit_dag` requests received (well-formed frames).
+    pub session_dags_submitted: AtomicU64,
+    /// `submit_dag` requests admitted to the shared world.
+    pub session_dags_admitted: AtomicU64,
+    /// `submit_dag` requests bounced off a per-tenant quota.
+    pub session_dags_rejected_quota: AtomicU64,
+    /// `submit_dag` requests answered with any other structured error.
+    pub session_dags_errors: AtomicU64,
+    /// Completion events handed to clients by `poll`.
+    pub session_events_delivered: AtomicU64,
     /// End-to-end latency of completed submits (enqueue → reply built).
     pub latency: LatencyHisto,
 }
@@ -250,6 +265,16 @@ impl ServerStats {
             ("queue_depth", n(&self.queue_depth)),
             ("graph_cache_hits", n(&self.graph_cache_hits)),
             ("graph_cache_misses", n(&self.graph_cache_misses)),
+            ("sessions_opened", n(&self.sessions_opened)),
+            ("sessions_closed", n(&self.sessions_closed)),
+            ("session_dags_submitted", n(&self.session_dags_submitted)),
+            ("session_dags_admitted", n(&self.session_dags_admitted)),
+            (
+                "session_dags_rejected_quota",
+                n(&self.session_dags_rejected_quota),
+            ),
+            ("session_dags_errors", n(&self.session_dags_errors)),
+            ("session_events_delivered", n(&self.session_events_delivered)),
             ("latency", self.latency.to_json()),
         ])
     }
@@ -323,6 +348,13 @@ mod tests {
             "queue_depth",
             "graph_cache_hits",
             "graph_cache_misses",
+            "sessions_opened",
+            "sessions_closed",
+            "session_dags_submitted",
+            "session_dags_admitted",
+            "session_dags_rejected_quota",
+            "session_dags_errors",
+            "session_events_delivered",
             "latency",
         ] {
             assert!(j.get(key).is_some(), "{key}");

@@ -189,6 +189,63 @@ mod tests {
     }
 
     #[test]
+    fn simultaneous_arrivals_at_one_instant_release_in_submission_order() {
+        // Three tasks share one release date. `sort_by` is stable, so
+        // equal dates keep their submission order, ids are assigned in
+        // that order, and one `arrivals` call returns all of them.
+        let mut inst = TimedArrivals::new(vec![
+            (2.0, unit(1.0)),
+            (2.0, unit(2.0)),
+            (2.0, unit(3.0)),
+        ]);
+        assert_eq!(inst.next_arrival(), Some(2.0));
+        let got = inst.arrivals(2.0);
+        assert_eq!(got, vec![TaskId(0), TaskId(1), TaskId(2)]);
+        assert_eq!(inst.next_arrival(), None, "the instant was fully drained");
+        // The model of each id is the one submitted at that position.
+        assert_eq!(inst.model(TaskId(1)).time(1), 2.0);
+    }
+
+    #[test]
+    fn zero_length_gaps_queue_beyond_capacity_deterministically() {
+        // Five tasks, zero inter-arrival gap, two processors: the
+        // overflow queues in release order — starts at 1, 1, 2, 2, 3.
+        let releases: Vec<(f64, SpeedupModel)> =
+            (0..5).map(|_| (1.0, unit(1.0))).collect();
+        let mut inst = TimedArrivals::new(releases);
+        let s = simulate_instance(
+            &mut inst,
+            &mut OneProcGreedy::default(),
+            &SimOptions::new(2),
+        )
+        .unwrap();
+        let starts: Vec<f64> = s.placements.iter().map(|p| p.start).collect();
+        assert_eq!(starts, vec![1.0, 1.0, 2.0, 2.0, 3.0]);
+        let tasks: Vec<u32> = s.placements.iter().map(|p| p.task.0).collect();
+        assert_eq!(tasks, vec![0, 1, 2, 3, 4], "FIFO order across the tie");
+        assert_eq!(s.makespan, 4.0);
+    }
+
+    #[test]
+    fn equal_date_ties_are_stable_under_interleaved_submission() {
+        // Ties submitted out of order with distinct models: after the
+        // stable sort, the 1.0-dated pair keeps submission order
+        // (w=10 before w=20) and so does the 0.0-dated pair.
+        let mut inst = TimedArrivals::new(vec![
+            (1.0, unit(10.0)),
+            (0.0, unit(1.0)),
+            (1.0, unit(20.0)),
+            (0.0, unit(2.0)),
+        ]);
+        assert_eq!(inst.model(TaskId(0)).time(1), 1.0);
+        assert_eq!(inst.model(TaskId(1)).time(1), 2.0);
+        assert_eq!(inst.model(TaskId(2)).time(1), 10.0);
+        assert_eq!(inst.model(TaskId(3)).time(1), 20.0);
+        assert_eq!(inst.arrivals(0.0), vec![TaskId(0), TaskId(1)]);
+        assert_eq!(inst.arrivals(1.0), vec![TaskId(2), TaskId(3)]);
+    }
+
+    #[test]
     fn simultaneous_arrival_and_completion_orders_completion_first() {
         // Task 0 ends at t = 4; task 1 releases at t = 4. The freed
         // processor must be visible to the newly released task.

@@ -55,6 +55,7 @@ mod gantt;
 mod procmap;
 mod profile;
 mod schedule;
+mod stepper;
 mod svg;
 mod trace;
 mod validate;
@@ -68,4 +69,5 @@ pub use gantt::gantt_ascii;
 pub use procmap::ProcPool;
 pub use profile::{interval_profile, IntervalProfile};
 pub use schedule::{Placement, Schedule, ScheduleBuilder};
+pub use stepper::Stepper;
 pub use validate::ValidationError;

@@ -1,0 +1,629 @@
+//! Incremental, resumable form of the discrete-event engine.
+//!
+//! [`crate::simulate_instance`] runs an instance to completion in one
+//! call; long-lived services (the multi-tenant session layer) instead
+//! need to *step* a shared platform forward in bounded virtual-time
+//! slices, observe completions as they materialize, and feed new
+//! arrivals into the instance between steps. [`Stepper`] is that
+//! form: it owns the instance and the scheduler, exposes
+//! [`Stepper::advance_until`] to process every event up to a time
+//! horizon, and reports each completion incrementally as an index
+//! into its growing placement log.
+//!
+//! The event semantics are the one-shot engine's, verbatim: events
+//! ordered by `(time, start-sequence)`, all completions at one
+//! instant retired as a batch (processors freed first, consequences
+//! revealed in completion order, timed arrivals drained, then a new
+//! decision point), and the same [`SimError`] surface for scheduler
+//! bugs. `tests` below pin the stepper bit-identical to
+//! [`crate::simulate_instance`] — same placements, same makespan —
+//! whether advanced in one jump or in many small slices.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use moldable_graph::TaskId;
+
+use crate::{Instance, Placement, ProcPool, Schedule, Scheduler, SimError, SimOptions};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Available,
+    Running,
+    Done,
+}
+
+/// Completion event: ordered by time then submission sequence —
+/// identical to the one-shot engine's tie-break.
+struct Event {
+    time: f64,
+    seq: u64,
+    placement_idx: usize,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// An in-flight simulation that can be advanced in time slices.
+///
+/// Unlike the one-shot entry points this owns both the instance and
+/// the scheduler, so a service can hold one `Stepper` for the
+/// lifetime of a shared platform and mutate the instance between
+/// advances (submitting new work) through [`Stepper::instance_mut`].
+///
+/// Mutation contract: between advances the caller may only *add*
+/// future work — arrivals at or after [`Stepper::now`] — and register
+/// state for tasks the engine has not yet seen. Rewriting the past
+/// (arrivals before `now`, models of released tasks) breaks the
+/// engine invariants exactly as it would break the one-shot engine.
+pub struct Stepper<I, S> {
+    instance: I,
+    scheduler: S,
+    p_total: u32,
+    free: u32,
+    pool: Option<ProcPool>,
+    placements: Vec<Placement>,
+    heap: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    time: f64,
+    completed: usize,
+    status: Vec<Option<Status>>,
+    released_at: Vec<f64>,
+    picks: Vec<(TaskId, u32)>,
+    newly: Vec<TaskId>,
+    batch: Vec<usize>,
+    primed: bool,
+    error: Option<SimError>,
+}
+
+impl<I: Instance, S: Scheduler> Stepper<I, S> {
+    /// Wrap `instance` and `scheduler` for incremental simulation on
+    /// `opts.p_total` processors. Calls `scheduler.init`; the initial
+    /// frontier is released lazily on the first advance, so arrivals
+    /// registered before the first [`Stepper::advance_until`] are
+    /// seen exactly as the one-shot engine would see them.
+    pub fn new(instance: I, mut scheduler: S, opts: &SimOptions) -> Self {
+        let p_total = opts.p_total;
+        scheduler.init(p_total);
+        let hint = instance.size_hint();
+        Self {
+            instance,
+            scheduler,
+            p_total,
+            free: p_total,
+            pool: opts.record_proc_ids.then(|| ProcPool::new(p_total)),
+            placements: Vec::with_capacity(hint),
+            heap: BinaryHeap::with_capacity(p_total as usize),
+            seq: 0,
+            time: 0.0,
+            completed: 0,
+            status: Vec::with_capacity(hint),
+            released_at: Vec::with_capacity(hint),
+            picks: Vec::new(),
+            newly: Vec::new(),
+            batch: Vec::new(),
+            primed: false,
+            error: None,
+        }
+    }
+
+    /// Time of the last processed event (0 before any event).
+    #[must_use]
+    pub fn now(&self) -> f64 {
+        self.time
+    }
+
+    /// Currently idle processors.
+    #[must_use]
+    pub fn free(&self) -> u32 {
+        self.free
+    }
+
+    /// Platform size.
+    #[must_use]
+    pub fn p_total(&self) -> u32 {
+        self.p_total
+    }
+
+    /// Tasks completed so far.
+    #[must_use]
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+
+    /// The growing placement log, in start order. Completion indices
+    /// reported by [`Stepper::advance_until`] index into this slice.
+    #[must_use]
+    pub fn placements(&self) -> &[Placement] {
+        &self.placements
+    }
+
+    /// Shared view of the instance.
+    pub fn instance(&self) -> &I {
+        &self.instance
+    }
+
+    /// Mutable access to the instance, for feeding future work in
+    /// between advances (see the mutation contract on [`Stepper`]).
+    pub fn instance_mut(&mut self) -> &mut I {
+        &mut self.instance
+    }
+
+    /// Shared view of the scheduler.
+    pub fn scheduler(&self) -> &S {
+        &self.scheduler
+    }
+
+    /// Mutable access to the scheduler, for registering state about
+    /// tasks the engine has not yet released (see [`Stepper`]).
+    pub fn scheduler_mut(&mut self) -> &mut S {
+        &mut self.scheduler
+    }
+
+    /// Nothing running and no timed arrival pending: the platform is
+    /// fully idle until new work is fed in.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.heap.is_empty() && self.instance.next_arrival().is_none()
+    }
+
+    /// Process every event with time `<= until`, appending the
+    /// placement index of each completion to `completions` in
+    /// retirement order. `f64::INFINITY` runs to quiescence.
+    ///
+    /// # Errors
+    ///
+    /// The same [`SimError`]s as the one-shot engine. An error
+    /// poisons the stepper: every later call returns the same error.
+    pub fn advance_until(
+        &mut self,
+        until: f64,
+        completions: &mut Vec<usize>,
+    ) -> Result<(), SimError> {
+        if let Some(e) = &self.error {
+            return Err(e.clone());
+        }
+        match self.advance_inner(until, completions) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.error = Some(e.clone());
+                Err(e)
+            }
+        }
+    }
+
+    /// Run the remaining events to quiescence and return the final
+    /// [`Schedule`], with the one-shot engine's end-of-run
+    /// consistency checks.
+    ///
+    /// # Errors
+    ///
+    /// Any pending or provoked [`SimError`].
+    pub fn finish(mut self) -> Result<Schedule, SimError> {
+        let mut sink = Vec::new();
+        self.advance_until(f64::INFINITY, &mut sink)?;
+        if !self.instance.is_done() && self.completed > 0 {
+            return Err(SimError::InconsistentInstance);
+        }
+        if self.completed == 0 && !self.instance.is_done() {
+            return Err(SimError::Stuck {
+                time: 0.0,
+                completed: 0,
+            });
+        }
+        Ok(Schedule {
+            p_total: self.p_total,
+            placements: self.placements,
+            makespan: self.time,
+        })
+    }
+
+    fn ensure(&mut self, t: TaskId) {
+        let need = t.index() + 1;
+        if self.status.len() < need {
+            self.status.resize(need, None);
+            self.released_at.resize(need, 0.0);
+        }
+    }
+
+    fn release(&mut self, t: TaskId, at: f64) {
+        self.ensure(t);
+        self.scheduler.release(t, self.instance.model(t));
+        self.status[t.index()] = Some(Status::Available);
+        self.released_at[t.index()] = at;
+    }
+
+    fn drain_arrivals(&mut self) {
+        while let Some(a) = self.instance.next_arrival() {
+            if a > self.time {
+                break;
+            }
+            let mut arrived = std::mem::take(&mut self.newly);
+            arrived.clear();
+            arrived.extend(self.instance.arrivals(a));
+            for &t in &arrived {
+                self.release(t, a);
+            }
+            self.newly = arrived;
+        }
+    }
+
+    fn decide(&mut self) -> Result<(), SimError> {
+        loop {
+            let mut picks = std::mem::take(&mut self.picks);
+            picks.clear();
+            self.scheduler.select_into(self.time, self.free, &mut picks);
+            if picks.is_empty() {
+                self.picks = picks;
+                return Ok(());
+            }
+            for (t, p) in picks.drain(..) {
+                if t.index() >= self.status.len()
+                    || self.status[t.index()] != Some(Status::Available)
+                {
+                    return Err(SimError::NotAvailable(t));
+                }
+                if p == 0 {
+                    return Err(SimError::ZeroProcs(t));
+                }
+                if p > self.free {
+                    return Err(SimError::Oversubscribed {
+                        task: t,
+                        want: p,
+                        free: self.free,
+                    });
+                }
+                let dur = self.instance.model(t).time(p);
+                let proc_ranges = match &mut self.pool {
+                    Some(pool) => pool.alloc(p).expect("pool tracks free count"),
+                    None => Vec::new(),
+                };
+                self.free -= p;
+                self.status[t.index()] = Some(Status::Running);
+                let placement_idx = self.placements.len();
+                self.placements.push(Placement {
+                    task: t,
+                    start: self.time,
+                    end: self.time + dur,
+                    procs: p,
+                    proc_ranges,
+                    released: self.released_at[t.index()],
+                });
+                self.heap.push(Reverse(Event {
+                    time: self.time + dur,
+                    seq: self.seq,
+                    placement_idx,
+                }));
+                self.seq += 1;
+            }
+            self.picks = picks;
+        }
+    }
+
+    /// The engine's wedge check: available work exists, nothing runs,
+    /// nothing arrives, and the scheduler passes.
+    fn check_progress(&self) -> Result<(), SimError> {
+        if self.heap.is_empty()
+            && self.instance.next_arrival().is_none()
+            && !self.instance.is_done()
+        {
+            let any_available = self.status.contains(&Some(Status::Available));
+            return Err(if any_available {
+                SimError::Stuck {
+                    time: self.time,
+                    completed: self.completed,
+                }
+            } else {
+                SimError::InconsistentInstance
+            });
+        }
+        Ok(())
+    }
+
+    fn advance_inner(
+        &mut self,
+        until: f64,
+        completions: &mut Vec<usize>,
+    ) -> Result<(), SimError> {
+        if !self.primed {
+            self.primed = true;
+            let initial = self.instance.initial();
+            for t in initial {
+                self.release(t, 0.0);
+            }
+            self.drain_arrivals();
+            self.decide()?;
+            self.check_progress()?;
+        }
+        loop {
+            let next_completion = self.heap.peek().map(|Reverse(e)| e.time);
+            let next_arrival = self.instance.next_arrival();
+            let t_next = match (next_completion, next_arrival) {
+                (None, None) => break,
+                (Some(c), None) => c,
+                (None, Some(a)) => a,
+                (Some(c), Some(a)) => c.min(a),
+            };
+            if t_next > until {
+                break;
+            }
+            self.time = t_next;
+            self.batch.clear();
+            while let Some(Reverse(peek)) = self.heap.peek() {
+                if peek.time == self.time {
+                    let Reverse(ev) = self.heap.pop().expect("peeked");
+                    self.batch.push(ev.placement_idx);
+                } else {
+                    break;
+                }
+            }
+            // 1) free the processors of every completion in the batch
+            for i in 0..self.batch.len() {
+                let idx = self.batch[i];
+                let pl = &self.placements[idx];
+                self.free += pl.procs;
+                let task = pl.task;
+                if let Some(pool) = &mut self.pool {
+                    let ranges = std::mem::take(&mut self.placements[idx].proc_ranges);
+                    pool.release(&ranges);
+                    self.placements[idx].proc_ranges = ranges;
+                }
+                self.status[task.index()] = Some(Status::Done);
+                self.completed += 1;
+            }
+            // 2) reveal the consequences, in completion order
+            for i in 0..self.batch.len() {
+                let idx = self.batch[i];
+                let task = self.placements[idx].task;
+                let mut newly = std::mem::take(&mut self.newly);
+                newly.clear();
+                self.instance.on_complete_into(task, self.time, &mut newly);
+                for &t in &newly {
+                    self.release(t, self.time);
+                }
+                self.newly = newly;
+            }
+            completions.extend_from_slice(&self.batch);
+            // 3) timed arrivals due now
+            self.drain_arrivals();
+            // 4) new decision point
+            self.decide()?;
+            self.check_progress()?;
+        }
+        Ok(())
+    }
+}
+
+impl<I, S> std::fmt::Debug for Stepper<I, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Stepper")
+            .field("p_total", &self.p_total)
+            .field("free", &self.free)
+            .field("now", &self.time)
+            .field("completed", &self.completed)
+            .field("running", &self.heap.len())
+            .field("poisoned", &self.error.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate_instance, GraphInstance, TimedArrivals};
+    use moldable_graph::gen;
+    use moldable_model::{ModelClass, SpeedupModel};
+
+    fn unit(w: f64) -> SpeedupModel {
+        SpeedupModel::amdahl(w, 0.0).unwrap()
+    }
+
+    /// Greedy FIFO on a fixed allocation (mirror of the engine tests).
+    struct Fifo {
+        alloc: u32,
+        queue: std::collections::VecDeque<TaskId>,
+    }
+
+    impl Fifo {
+        fn new(alloc: u32) -> Self {
+            Self {
+                alloc,
+                queue: std::collections::VecDeque::new(),
+            }
+        }
+    }
+
+    impl Scheduler for Fifo {
+        fn release(&mut self, task: TaskId, _m: &SpeedupModel) {
+            self.queue.push_back(task);
+        }
+        fn select(&mut self, _now: f64, free: u32) -> Vec<(TaskId, u32)> {
+            let mut out = Vec::new();
+            let mut free = free;
+            while free >= self.alloc {
+                match self.queue.pop_front() {
+                    Some(t) => {
+                        out.push((t, self.alloc));
+                        free -= self.alloc;
+                    }
+                    None => break,
+                }
+            }
+            out
+        }
+    }
+
+    fn fingerprint(placements: &[Placement]) -> Vec<(u32, u64, u64, u32, u64)> {
+        placements
+            .iter()
+            .map(|pl| {
+                (
+                    pl.task.0,
+                    pl.start.to_bits(),
+                    pl.end.to_bits(),
+                    pl.procs,
+                    pl.released.to_bits(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stepper_matches_one_shot_engine_on_generated_graphs() {
+        for (shape, size, p) in [
+            ("cholesky", 8u32, 16u32),
+            ("layered", 10, 24),
+            ("fft", 5, 8),
+            ("fork-join", 40, 12),
+        ] {
+            let g = gen::by_name(shape, size, ModelClass::Amdahl, p, 7).unwrap();
+            let opts = SimOptions::new(p);
+            let reference = simulate_instance(
+                &mut GraphInstance::new(&g),
+                &mut Fifo::new(2),
+                &opts,
+            )
+            .unwrap();
+            let stepper = Stepper::new(GraphInstance::new(&g), Fifo::new(2), &opts);
+            let got = stepper.finish().unwrap();
+            assert_eq!(
+                fingerprint(&got.placements),
+                fingerprint(&reference.placements),
+                "{shape}"
+            );
+            assert_eq!(got.makespan.to_bits(), reference.makespan.to_bits());
+        }
+    }
+
+    #[test]
+    fn sliced_advances_are_bit_identical_to_one_jump() {
+        let g = gen::by_name("layered", 12, ModelClass::General, 16, 3).unwrap();
+        let opts = SimOptions::new(16);
+        let one = Stepper::new(GraphInstance::new(&g), Fifo::new(1), &opts)
+            .finish()
+            .unwrap();
+        let mut sliced = Stepper::new(GraphInstance::new(&g), Fifo::new(1), &opts);
+        let mut seen = Vec::new();
+        let mut t = 0.0;
+        while !(sliced.is_idle() && sliced.now() > 0.0) {
+            sliced.advance_until(t, &mut seen).unwrap();
+            if sliced.is_idle() && sliced.instance().is_done() {
+                break;
+            }
+            t += 0.37; // deliberately lands between event times
+            assert!(t < 1e6, "runaway");
+        }
+        assert_eq!(seen.len(), one.placements.len(), "every completion reported");
+        assert_eq!(fingerprint(sliced.placements()), fingerprint(&one.placements));
+        // Completion indices arrive in retirement order: end times are
+        // non-decreasing along the reported sequence.
+        let ends: Vec<f64> = seen.iter().map(|&i| sliced.placements()[i].end).collect();
+        assert!(ends.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn timed_arrivals_match_one_shot_engine() {
+        let releases: Vec<(f64, SpeedupModel)> = (0..40)
+            .map(|i| (f64::from(i % 7) * 0.5, unit(1.0 + f64::from(i % 3))))
+            .collect();
+        let opts = SimOptions::new(4);
+        let reference = simulate_instance(
+            &mut TimedArrivals::new(releases.clone()),
+            &mut Fifo::new(1),
+            &opts,
+        )
+        .unwrap();
+        let got = Stepper::new(TimedArrivals::new(releases), Fifo::new(1), &opts)
+            .finish()
+            .unwrap();
+        assert_eq!(fingerprint(&got.placements), fingerprint(&reference.placements));
+        assert_eq!(got.makespan.to_bits(), reference.makespan.to_bits());
+    }
+
+    #[test]
+    fn advance_until_is_inclusive_of_the_horizon() {
+        let mut g = moldable_graph::GraphBuilder::new();
+        g.add_task(unit(2.0));
+        g.add_task(unit(2.0));
+        let g = g.freeze();
+        let mut st = Stepper::new(GraphInstance::new(&g), Fifo::new(1), &SimOptions::new(2));
+        let mut done = Vec::new();
+        st.advance_until(1.9, &mut done).unwrap();
+        assert!(done.is_empty(), "completions at t=2 are beyond 1.9");
+        st.advance_until(2.0, &mut done).unwrap();
+        assert_eq!(done.len(), 2, "t=2 completions retire at horizon 2.0");
+        assert_eq!(st.now(), 2.0);
+        assert_eq!(st.free(), 2);
+    }
+
+    #[test]
+    fn work_fed_between_advances_is_scheduled() {
+        // An initially empty arrivals stream is quiescent, not an
+        // error; work appended later (at or after `now`) runs.
+        let opts = SimOptions::new(2);
+        let mut st = Stepper::new(TimedArrivals::new(Vec::new()), Fifo::new(1), &opts);
+        let mut done = Vec::new();
+        st.advance_until(10.0, &mut done).unwrap();
+        assert!(done.is_empty());
+        assert!(st.is_idle());
+        *st.instance_mut() = TimedArrivals::new(vec![(3.0, unit(2.0)), (3.0, unit(1.0))]);
+        st.advance_until(3.5, &mut done).unwrap();
+        assert!(done.is_empty(), "both still running at 3.5");
+        st.advance_until(10.0, &mut done).unwrap();
+        assert_eq!(done.len(), 2);
+        assert_eq!(st.placements()[0].start, 3.0);
+        assert_eq!(st.placements()[1].start, 3.0);
+        assert_eq!(st.now(), 5.0);
+    }
+
+    #[test]
+    fn errors_poison_the_stepper() {
+        struct Lazy;
+        impl Scheduler for Lazy {
+            fn release(&mut self, _t: TaskId, _m: &SpeedupModel) {}
+            fn select(&mut self, _now: f64, _free: u32) -> Vec<(TaskId, u32)> {
+                Vec::new()
+            }
+        }
+        let mut g = moldable_graph::GraphBuilder::new();
+        g.add_task(unit(1.0));
+        let g = g.freeze();
+        let mut st = Stepper::new(GraphInstance::new(&g), Lazy, &SimOptions::new(2));
+        let mut done = Vec::new();
+        let e1 = st.advance_until(1.0, &mut done).unwrap_err();
+        assert!(matches!(e1, SimError::Stuck { .. }));
+        let e2 = st.advance_until(2.0, &mut done).unwrap_err();
+        assert_eq!(e1, e2, "poisoned stepper repeats its error");
+    }
+
+    #[test]
+    fn proc_ids_are_recorded_and_recycled() {
+        let mut g = moldable_graph::GraphBuilder::new();
+        let a = g.add_task(unit(1.0));
+        let b = g.add_task(unit(1.0));
+        g.add_edge(a, b).unwrap();
+        let g = g.freeze();
+        let opts = SimOptions::new(2).with_proc_ids();
+        let s = Stepper::new(GraphInstance::new(&g), Fifo::new(2), &opts)
+            .finish()
+            .unwrap();
+        assert_eq!(s.placements[0].proc_ranges, vec![(0, 1)]);
+        assert_eq!(s.placements[1].proc_ranges, vec![(0, 1)], "procs recycled");
+    }
+}

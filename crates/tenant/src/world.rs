@@ -1,0 +1,331 @@
+//! The shared-platform instance: many DAGs, one processor pool.
+//!
+//! [`WorldInstance`] implements [`moldable_sim::Instance`] over a
+//! *growing* population of task graphs. Each admitted DAG gets a dense
+//! block of global task ids (`base .. base + n_tasks`), a private
+//! [`Frontier`], and a release date; the instance melds them into one
+//! arrival stream for the engine: a DAG "arrives" by releasing its
+//! sources at its release date, and completions propagate through its
+//! own frontier only.
+//!
+//! Arrival determinism: pending DAGs are ordered by `(release date,
+//! submission sequence)` — the exact tie-break [`TimedArrivals`] gets
+//! from its stable sort — so two DAGs submitted for the same instant
+//! release in admission order, bit-identically on every run.
+//!
+//! [`TimedArrivals`]: moldable_sim::TimedArrivals
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::sync::Arc;
+
+use moldable_graph::{Frontier, TaskGraph, TaskId};
+use moldable_model::SpeedupModel;
+use moldable_sim::Instance;
+
+/// Index of a DAG within a [`WorldInstance`], in admission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DagIdx(pub u32);
+
+/// Admission failure: the global task-id space is exhausted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdSpaceExhausted {
+    /// Tasks already registered.
+    pub used: u64,
+    /// Tasks the rejected DAG would have added.
+    pub requested: u64,
+}
+
+impl fmt::Display for IdSpaceExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "world task-id space exhausted: {} tasks registered, {} more requested, limit {}",
+            self.used,
+            self.requested,
+            u32::MAX
+        )
+    }
+}
+
+impl std::error::Error for IdSpaceExhausted {}
+
+struct DagSlot {
+    graph: Arc<TaskGraph>,
+    base: u32,
+    frontier: Frontier,
+    n_done: u32,
+    release_date: f64,
+}
+
+/// A pending DAG arrival, min-ordered by `(date, submission seq)`.
+struct Pending {
+    at: f64,
+    seq: u64,
+    dag: u32,
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.total_cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// A multi-DAG instance sharing one simulated platform.
+#[derive(Default)]
+pub struct WorldInstance {
+    dags: Vec<DagSlot>,
+    /// Global task id → owning DAG (parallel growth with id blocks).
+    task_dag: Vec<u32>,
+    pending: BinaryHeap<Reverse<Pending>>,
+    next_seq: u64,
+    n_tasks: u64,
+    completed: u64,
+}
+
+impl WorldInstance {
+    /// An empty world: no DAGs, zero tasks, trivially done.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Admit `graph` with release date `at`, assigning it the next
+    /// block of global task ids. Callers enforce monotonicity of `at`
+    /// against the engine clock; the world only orders arrivals.
+    ///
+    /// # Errors
+    ///
+    /// [`IdSpaceExhausted`] when the block would overflow `u32` ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is negative or non-finite (the contract of
+    /// release dates throughout the simulator).
+    pub fn submit(&mut self, graph: Arc<TaskGraph>, at: f64) -> Result<DagIdx, IdSpaceExhausted> {
+        assert!(
+            at.is_finite() && at >= 0.0,
+            "release dates must be finite and >= 0"
+        );
+        let n = graph.n_tasks() as u64;
+        if self.n_tasks + n > u64::from(u32::MAX) {
+            return Err(IdSpaceExhausted {
+                used: self.n_tasks,
+                requested: n,
+            });
+        }
+        #[allow(clippy::cast_possible_truncation)]
+        let base = self.n_tasks as u32;
+        let dag = u32::try_from(self.dags.len()).expect("dag count within task count");
+        let frontier = Frontier::new(&graph);
+        self.task_dag
+            .resize(self.task_dag.len() + graph.n_tasks(), dag);
+        self.dags.push(DagSlot {
+            graph,
+            base,
+            frontier,
+            n_done: 0,
+            release_date: at,
+        });
+        self.n_tasks += n;
+        self.pending.push(Reverse(Pending {
+            at,
+            seq: self.next_seq,
+            dag,
+        }));
+        self.next_seq += 1;
+        Ok(DagIdx(dag))
+    }
+
+    /// Number of admitted DAGs.
+    #[must_use]
+    pub fn n_dags(&self) -> usize {
+        self.dags.len()
+    }
+
+    /// Total tasks registered across all DAGs.
+    #[must_use]
+    pub fn n_tasks(&self) -> u64 {
+        self.n_tasks
+    }
+
+    /// Tasks completed across all DAGs.
+    #[must_use]
+    pub fn n_completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// The DAG owning a global task id, plus the task's id local to
+    /// that DAG.
+    #[must_use]
+    pub fn locate(&self, task: TaskId) -> (DagIdx, TaskId) {
+        let dag = self.task_dag[task.index()];
+        let base = self.dags[dag as usize].base;
+        (DagIdx(dag), TaskId(task.0 - base))
+    }
+
+    /// Has this DAG fully completed?
+    #[must_use]
+    pub fn dag_done(&self, dag: DagIdx) -> bool {
+        self.dags[dag.0 as usize].frontier.all_done()
+    }
+
+    /// Tasks in this DAG.
+    #[must_use]
+    pub fn dag_tasks(&self, dag: DagIdx) -> usize {
+        self.dags[dag.0 as usize].graph.n_tasks()
+    }
+
+    /// The DAG's release date.
+    #[must_use]
+    pub fn dag_release_date(&self, dag: DagIdx) -> f64 {
+        self.dags[dag.0 as usize].release_date
+    }
+
+    fn globalize(slot: &DagSlot, locals: &[TaskId]) -> Vec<TaskId> {
+        locals.iter().map(|t| TaskId(slot.base + t.0)).collect()
+    }
+}
+
+impl Instance for WorldInstance {
+    fn initial(&mut self) -> Vec<TaskId> {
+        // Everything — including date-0 DAGs — arrives through the
+        // timed-arrival path, exactly like `TimedArrivals`.
+        Vec::new()
+    }
+
+    fn on_complete(&mut self, task: TaskId, _time: f64) -> Vec<TaskId> {
+        let dag = self.task_dag[task.index()] as usize;
+        let slot = &mut self.dags[dag];
+        let local = TaskId(task.0 - slot.base);
+        let newly = slot.frontier.complete(&slot.graph, local);
+        slot.n_done += 1;
+        self.completed += 1;
+        Self::globalize(slot, &newly)
+    }
+
+    fn is_done(&self) -> bool {
+        self.completed == self.n_tasks && self.pending.is_empty()
+    }
+
+    fn model(&self, task: TaskId) -> &SpeedupModel {
+        let dag = self.task_dag[task.index()] as usize;
+        let slot = &self.dags[dag];
+        slot.graph.model(TaskId(task.0 - slot.base))
+    }
+
+    fn size_hint(&self) -> usize {
+        usize::try_from(self.n_tasks).unwrap_or(usize::MAX)
+    }
+
+    fn next_arrival(&self) -> Option<f64> {
+        self.pending.peek().map(|Reverse(p)| p.at)
+    }
+
+    fn arrivals(&mut self, time: f64) -> Vec<TaskId> {
+        let mut out = Vec::new();
+        while let Some(Reverse(p)) = self.pending.peek() {
+            if p.at > time {
+                break;
+            }
+            let dag = self.pending.pop().expect("peeked").0.dag as usize;
+            let slot = &self.dags[dag];
+            // A DAG arrives by releasing its sources, in id order —
+            // the same order `GraphInstance::initial` would use.
+            out.extend(slot.graph.sources().iter().map(|t| TaskId(slot.base + t.0)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moldable_graph::GraphBuilder;
+
+    fn unit(w: f64) -> SpeedupModel {
+        SpeedupModel::amdahl(w, 0.0).unwrap()
+    }
+
+    fn chain(ws: &[f64]) -> Arc<TaskGraph> {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<TaskId> = ws.iter().map(|&w| b.add_task(unit(w))).collect();
+        for pair in ids.windows(2) {
+            b.add_edge(pair[0], pair[1]).unwrap();
+        }
+        Arc::new(b.freeze())
+    }
+
+    #[test]
+    fn ids_are_blocked_per_dag_and_locatable() {
+        let mut w = WorldInstance::new();
+        let d0 = w.submit(chain(&[1.0, 2.0]), 0.0).unwrap();
+        let d1 = w.submit(chain(&[3.0]), 1.0).unwrap();
+        assert_eq!((d0, d1), (DagIdx(0), DagIdx(1)));
+        assert_eq!(w.n_tasks(), 3);
+        assert_eq!(w.locate(TaskId(0)), (DagIdx(0), TaskId(0)));
+        assert_eq!(w.locate(TaskId(1)), (DagIdx(0), TaskId(1)));
+        assert_eq!(w.locate(TaskId(2)), (DagIdx(1), TaskId(0)));
+        assert_eq!(w.model(TaskId(2)).time(1), 3.0);
+    }
+
+    #[test]
+    fn arrivals_release_sources_in_date_then_submission_order() {
+        let mut w = WorldInstance::new();
+        // Submitted out of date order; ties broken by submission.
+        let _a = w.submit(chain(&[1.0]), 5.0).unwrap();
+        let _b = w.submit(chain(&[1.0, 1.0]), 0.0).unwrap();
+        let _c = w.submit(chain(&[1.0]), 5.0).unwrap();
+        assert_eq!(w.next_arrival(), Some(0.0));
+        assert_eq!(w.arrivals(0.0), vec![TaskId(1)]);
+        assert_eq!(w.next_arrival(), Some(5.0));
+        // Both date-5 DAGs in one batch, submission order a then c.
+        assert_eq!(w.arrivals(5.0), vec![TaskId(0), TaskId(3)]);
+        assert_eq!(w.next_arrival(), None);
+    }
+
+    #[test]
+    fn completions_propagate_within_one_dag_only() {
+        let mut w = WorldInstance::new();
+        let d0 = w.submit(chain(&[1.0, 2.0]), 0.0).unwrap();
+        let _d1 = w.submit(chain(&[1.0, 1.0]), 0.0).unwrap();
+        let _ = w.arrivals(0.0);
+        let newly = w.on_complete(TaskId(0), 1.0);
+        assert_eq!(newly, vec![TaskId(1)], "successor inside dag 0 only");
+        assert!(!w.dag_done(d0));
+        let _ = w.on_complete(TaskId(1), 3.0);
+        assert!(w.dag_done(d0));
+        assert!(!w.is_done());
+    }
+
+    #[test]
+    fn empty_world_is_done_and_work_arrives_later() {
+        let mut w = WorldInstance::new();
+        assert!(w.is_done());
+        assert_eq!(w.next_arrival(), None);
+        let _ = w.submit(chain(&[1.0]), 2.0).unwrap();
+        assert!(!w.is_done());
+        assert_eq!(w.next_arrival(), Some(2.0));
+    }
+
+    #[test]
+    fn id_space_overflow_is_a_structured_error() {
+        let mut w = WorldInstance::new();
+        w.n_tasks = u64::from(u32::MAX) - 1; // simulate a full world
+        let err = w.submit(chain(&[1.0, 1.0]), 0.0).unwrap_err();
+        assert_eq!(err.requested, 2);
+        assert!(err.to_string().contains("task-id space exhausted"));
+    }
+}
