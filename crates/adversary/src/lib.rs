@@ -25,6 +25,8 @@
 //! assert!(r > 2.61 && r < 2.62);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod amdahl;
 pub mod arbitrary;
 pub mod communication;

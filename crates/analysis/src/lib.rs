@@ -22,6 +22,8 @@
 //! assert!(lb > 4.73 - 0.01 && lb <= ub.ratio + 1e-5);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod envelopes;
 mod optimize;
 

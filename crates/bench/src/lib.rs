@@ -2,6 +2,8 @@
 //! plain-text table rendering, and the scheduler/workload registries
 //! used by the `empirical` and `ablation` sweeps.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod par;
 pub mod timing;
 

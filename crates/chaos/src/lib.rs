@@ -33,6 +33,8 @@
 //!
 //! The CLI front end is `moldable chaos --seed S --scenarios N`.
 
+#![forbid(unsafe_code)]
+
 pub mod faulty;
 pub mod plan;
 pub mod runner;

@@ -15,7 +15,9 @@
 //! returns the text that `main` prints, so the whole CLI is unit
 //! testable without spawning processes.
 
-use std::collections::HashMap;
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
 
@@ -63,6 +65,7 @@ USAGE:
                     [--seed N] [--gap SECS] [--max-events N] [--probe-dags N]
                     [--threads N] [--out FILE] [--events-out FILE]
   moldable chaos    [--seed N] [--scenarios N] [--workers N] [--out FILE]
+  moldable lint     [--root DIR] [--json FILE]
 
 SHAPES:      chain, independent, fork-join, in-tree, out-tree, layered,
              random, lu, cholesky, fft, wavefront
@@ -90,16 +93,26 @@ own in-process daemon, and checks six invariants (alive, accounted,
 pool stable, drained, makespans bit-equal, session ledgers balanced
 after abandoned streams are reaped); the same seed reproduces
 the same schedule and verdicts. Exits non-zero if any invariant broke.
+`lint` runs the moldable-lint determinism & concurrency static-analysis
+pass over the workspace rooted at --root (default: the current
+directory) and exits non-zero on any violation; --json writes the
+machine-readable report. Same engine as `cargo run -p moldable-lint`.
 ";
 
 /// Parsed `--key value` options plus positional arguments.
+///
+/// A `BTreeMap` on purpose: `known()` reports the first unknown
+/// option, and with a hash map "first" would depend on the per-process
+/// hasher seed — the same bad invocation could name a different
+/// offender on every run. Sorted keys make every diagnostic a pure
+/// function of the argument vector.
 struct Opts {
-    named: HashMap<String, String>,
+    named: BTreeMap<String, String>,
 }
 
 impl Opts {
     fn parse(args: &[String]) -> Result<Self, CliError> {
-        let mut named = HashMap::new();
+        let mut named = BTreeMap::new();
         let mut it = args.iter();
         while let Some(a) = it.next() {
             let Some(key) = a.strip_prefix('-') else {
@@ -672,6 +685,27 @@ fn cmd_chaos(opts: &Opts) -> Result<String, CliError> {
     }
 }
 
+/// Run the determinism & concurrency lint over a workspace tree and
+/// treat any violation as a CLI failure — `moldable lint` is the same
+/// gate CI runs, reachable from the installed binary.
+fn cmd_lint(opts: &Opts) -> Result<String, CliError> {
+    opts.known(&["root", "json"])?;
+    let root = std::path::Path::new(opts.get("root").unwrap_or("."));
+    let report = moldable_lint::run_workspace(root)
+        .map_err(|e| err(format!("cannot scan {}: {e}", root.display())))?;
+    let mut out = report.to_text();
+    if let Some(path) = opts.get("json") {
+        fs::write(path, report.to_json())
+            .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        out.push_str(&format!("wrote report to {path}\n"));
+    }
+    if report.diagnostics.is_empty() {
+        Ok(out)
+    } else {
+        Err(CliError(out))
+    }
+}
+
 /// Entry point: dispatch `args` (without the program name) and return
 /// the text to print.
 ///
@@ -696,6 +730,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "loadgen" => cmd_loadgen(&opts),
         "session-loadgen" => cmd_session_loadgen(&opts),
         "chaos" => cmd_chaos(&opts),
+        "lint" => cmd_lint(&opts),
         other => Err(err(format!("unknown command `{other}` (see --help)"))),
     }
 }
@@ -722,6 +757,24 @@ mod tests {
     }
 
     #[test]
+    fn unknown_option_diagnostic_is_deterministic() {
+        // Regression pin for the moldable-lint no-hash-iter fix: Opts
+        // holds a BTreeMap, so with several unknown options the error
+        // always names the lexicographically first one. With the old
+        // HashMap, which option got reported depended on the
+        // per-process hasher seed.
+        for _ in 0..16 {
+            let e = run_args(&["info", "--zeta", "1", "--alpha", "2", "--graph", "g.mtg"])
+                .unwrap_err();
+            assert!(
+                e.0.contains("--alpha"),
+                "expected the first unknown option alphabetically, got: {}",
+                e.0
+            );
+        }
+    }
+
+    #[test]
     fn usage_enumerates_every_subcommand() {
         let usage = run_args(&["--help"]).unwrap();
         for cmd in [
@@ -734,12 +787,37 @@ mod tests {
             "loadgen",
             "session-loadgen",
             "chaos",
+            "lint",
         ] {
             assert!(
                 usage.contains(&format!("moldable {cmd}")),
                 "usage is missing `{cmd}`"
             );
         }
+    }
+
+    #[test]
+    fn lint_subcommand_gates_the_workspace() {
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+        let json = tmp("lint_report.json");
+        let out = run_args(&["lint", "--root", root, "--json", &json]).unwrap();
+        assert!(out.contains("0 violation(s)"), "{out}");
+        assert!(out.contains("wrote report"), "{out}");
+        let report = fs::read_to_string(&json).unwrap();
+        assert!(report.contains("\"lock_graph\""), "{report}");
+
+        // A tree with violations turns into a CLI error (non-zero exit
+        // from main): the unsafe-attr fixture workspace is missing its
+        // crate-level attributes on purpose.
+        let bad_root = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../lint/tests/fixtures/unsafe_attr_ws"
+        );
+        let e = run_args(&["lint", "--root", bad_root]).unwrap_err();
+        assert!(e.to_string().contains("unsafe-attr"), "{e}");
+
+        let e = run_args(&["lint", "--bogus", "1"]).unwrap_err();
+        assert!(e.to_string().contains("unknown option"));
     }
 
     #[test]

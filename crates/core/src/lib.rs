@@ -34,6 +34,8 @@
 //! assert!(schedule.makespan <= 4.74 * lb);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod allocator;
 pub mod baselines;
 

@@ -30,6 +30,8 @@
 //! assert!(lb.lower_bound() > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod bounds;
 mod builder;
 mod dot;

@@ -16,6 +16,8 @@
 //! graph, simulator, schedulers, and a *valid* fractional lower bound —
 //! and the `hetero` experiment compares the pool-choice rules.
 
+#![forbid(unsafe_code)]
+
 mod bound;
 mod engine;
 mod graph;

@@ -1,0 +1,368 @@
+//! A minimal hand-rolled Rust lexer — same in-tree spirit as the
+//! serve JSON codec: no `syn`, no proc-macro machinery, no
+//! dependencies at all.
+//!
+//! The lexer does not try to be a full Rust front end. It produces
+//! exactly what the rules in [`crate::rules`] need to be sound on this
+//! workspace's code:
+//!
+//! * identifiers and keywords (one token kind — rules match by text),
+//! * punctuation as single-character tokens,
+//! * string/char/number literals as opaque tokens (so `"Instant::now"`
+//!   inside a string never looks like a wall-clock read),
+//! * comments as *retained* tokens carrying their text and line (the
+//!   waiver syntax `// lint:allow(rule) reason` lives in comments, and
+//!   the `unsafe-safety` rule looks for `SAFETY:` comments),
+//! * correct disambiguation of lifetimes (`'a`) from char literals
+//!   (`'a'`), and of raw/byte strings (`r#"…"#`, `br"…"`) from
+//!   identifiers.
+//!
+//! Every token carries the 1-based source line it starts on, which is
+//! all the diagnostics need.
+
+/// What kind of lexeme a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `Instant`, `lock`, …).
+    Ident,
+    /// Lifetime (`'a`, `'static`). Never confused with char literals.
+    Lifetime,
+    /// Numeric literal (integer or float, any base).
+    Num,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Single punctuation character (`.`, `:`, `{`, `<`, …).
+    Punct,
+    /// `// …` comment (doc comments included), text retained.
+    LineComment,
+    /// `/* … */` comment (nesting handled), text retained.
+    BlockComment,
+}
+
+/// One lexeme with its starting line (1-based).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Lexeme class.
+    pub kind: TokKind,
+    /// Source text. Retained for identifiers and comments (what the
+    /// rules match on); empty for string literals, whose contents must
+    /// never trigger a rule.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is an identifier with exactly this text.
+    #[must_use]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the given punctuation character.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes() == [c as u8]
+    }
+}
+
+/// Tokenize `src`. Never panics: unterminated literals or comments are
+/// closed by end-of-file, which is good enough for a linter (rustc
+/// rejects such files long before CI runs us).
+#[must_use]
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        s: src.as_bytes(),
+        i: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run(src)
+}
+
+struct Lexer<'a> {
+    s: &'a [u8],
+    i: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+impl Lexer<'_> {
+    fn peek(&self, off: usize) -> u8 {
+        *self.s.get(self.i + off).unwrap_or(&0)
+    }
+
+    /// Advance one byte, counting newlines.
+    fn bump(&mut self) {
+        if self.peek(0) == b'\n' {
+            self.line += 1;
+        }
+        self.i += 1;
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self, src: &str) -> Vec<Tok> {
+        // A shebang line would confuse nothing, but skip it anyway.
+        if self.s.starts_with(b"#!") && self.peek(2) != b'[' {
+            while self.peek(0) != b'\n' && self.i < self.s.len() {
+                self.bump();
+            }
+        }
+        while self.i < self.s.len() {
+            let b = self.peek(0);
+            let line = self.line;
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.peek(1) == b'/' => self.line_comment(src, line),
+                b'/' if self.peek(1) == b'*' => self.block_comment(src, line),
+                b'\'' => self.quote(line),
+                b'"' => self.string(line),
+                b'0'..=b'9' => self.number(line),
+                _ if is_ident_start(b) => self.ident_or_prefixed_string(src, line),
+                _ => {
+                    // Multi-byte UTF-8 only occurs inside literals and
+                    // comments in this workspace; treat a stray lead
+                    // byte as opaque punctuation and skip its tail.
+                    self.bump();
+                    while self.i < self.s.len() && self.peek(0) & 0xC0 == 0x80 {
+                        self.bump();
+                    }
+                    self.push(TokKind::Punct, (b as char).to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, src: &str, line: u32) {
+        let start = self.i;
+        while self.i < self.s.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+        self.push(TokKind::LineComment, src[start..self.i].to_string(), line);
+    }
+
+    fn block_comment(&mut self, src: &str, line: u32) {
+        let start = self.i;
+        self.bump();
+        self.bump();
+        let mut depth = 1u32;
+        while self.i < self.s.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+        self.push(TokKind::BlockComment, src[start..self.i].to_string(), line);
+    }
+
+    /// `'` starts either a lifetime or a char literal. A char literal
+    /// has a closing quote right after one (possibly escaped) char; a
+    /// lifetime is `'` + identifier with no closing quote.
+    fn quote(&mut self, line: u32) {
+        self.bump(); // consume '
+        if self.peek(0) == b'\\' {
+            // Escaped char literal: consume escape, then to closing '.
+            self.bump();
+            self.bump();
+            while self.i < self.s.len() && self.peek(0) != b'\'' {
+                self.bump(); // \u{…} escapes
+            }
+            self.bump();
+            self.push(TokKind::Char, String::new(), line);
+        } else if is_ident_start(self.peek(0)) && self.peek(1) != b'\'' {
+            // Lifetime: 'a, 'static, '_ … (no closing quote).
+            while is_ident_cont(self.peek(0)) {
+                self.bump();
+            }
+            self.push(TokKind::Lifetime, String::new(), line);
+        } else {
+            // Plain char literal 'x' (or the degenerate '''/empty).
+            self.bump();
+            if self.peek(0) == b'\'' {
+                self.bump();
+            }
+            self.push(TokKind::Char, String::new(), line);
+        }
+    }
+
+    /// Ordinary `"…"` string with escapes.
+    fn string(&mut self, line: u32) {
+        self.bump(); // opening "
+        while self.i < self.s.len() {
+            match self.peek(0) {
+                b'\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        self.push(TokKind::Str, String::new(), line);
+    }
+
+    /// Raw string body after the prefix: `#`* then `"`, terminated by
+    /// `"` followed by the same number of `#`.
+    fn raw_string(&mut self, line: u32) {
+        let mut hashes = 0usize;
+        while self.peek(0) == b'#' {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek(0) == b'"' {
+            self.bump();
+            'scan: while self.i < self.s.len() {
+                if self.peek(0) == b'"' {
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if self.peek(1 + k) != b'#' {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        for _ in 0..=hashes {
+                            self.bump();
+                        }
+                        break 'scan;
+                    }
+                }
+                self.bump();
+            }
+        }
+        self.push(TokKind::Str, String::new(), line);
+    }
+
+    fn number(&mut self, line: u32) {
+        while is_ident_cont(self.peek(0)) {
+            self.bump();
+        }
+        // Fractional part — but never eat `..` (range) or `.method()`.
+        if self.peek(0) == b'.' && self.peek(1).is_ascii_digit() {
+            self.bump();
+            while is_ident_cont(self.peek(0)) {
+                self.bump();
+            }
+        }
+        self.push(TokKind::Num, String::new(), line);
+    }
+
+    fn ident_or_prefixed_string(&mut self, src: &str, line: u32) {
+        let start = self.i;
+        while is_ident_cont(self.peek(0)) {
+            self.bump();
+        }
+        let text = &src[start..self.i];
+        // String-literal prefixes: r"", r#""#, b"", br"", c"", cr"",
+        // and byte-char b'…'.
+        match text {
+            "r" | "br" | "cr" if self.peek(0) == b'"' || self.peek(0) == b'#' => {
+                self.raw_string(line);
+            }
+            "b" | "c" if self.peek(0) == b'"' => self.string(line),
+            "b" if self.peek(0) == b'\'' => self.quote(line),
+            _ => self.push(TokKind::Ident, text.to_string(), line),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_lines() {
+        let toks = lex("fn f() {\n  x.lock();\n}\n");
+        assert!(toks[0].is_ident("fn"));
+        assert!(toks[1].is_ident("f"));
+        let lock = toks.iter().find(|t| t.is_ident("lock")).unwrap();
+        assert_eq!(lock.line, 2);
+        assert_eq!(toks.last().unwrap().line, 3);
+    }
+
+    #[test]
+    fn strings_are_opaque() {
+        // The rule patterns must never fire on string contents.
+        for src in [
+            r#"let s = "Instant::now()";"#,
+            r##"let s = r#"HashMap "quoted" iter"#;"##,
+            r#"let s = b"SystemTime";"#,
+            r#"let s = concat!("thread_", "rng");"#,
+        ] {
+            let ids: Vec<_> = kinds(src)
+                .into_iter()
+                .filter(|(k, _)| *k == TokKind::Ident)
+                .map(|(_, t)| t)
+                .collect();
+            assert!(
+                !ids.iter().any(|t| t.contains("Instant")
+                    || t.contains("HashMap")
+                    || t.contains("SystemTime")
+                    || t.contains("thread_rng")),
+                "leaked literal contents into idents: {ids:?} from {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes = toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count();
+        let chars = toks.iter().filter(|(k, _)| *k == TokKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn comments_retained_with_text() {
+        let toks = lex("// lint:allow(no-hash-iter) seed order irrelevant\nlet x = 1;");
+        assert_eq!(toks[0].kind, TokKind::LineComment);
+        assert!(toks[0].text.contains("lint:allow(no-hash-iter)"));
+        assert_eq!(toks[0].line, 1);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still */ x");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1], (TokKind::Ident, "x".to_string()));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let toks = lex("for i in 0..10 { let y = 1.5; let z = 2.max(3); }");
+        // `..` survives as two puncts, `1.5` is one number, `2.max`
+        // is a number then `.` then ident.
+        assert!(toks.iter().any(|t| t.is_ident("max")));
+        let dots = toks.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 3); // `..` + `.max`
+    }
+}

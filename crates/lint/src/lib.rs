@@ -1,0 +1,249 @@
+#![forbid(unsafe_code)]
+//! `moldable-lint` — workspace determinism & concurrency static
+//! analysis.
+//!
+//! Every guarantee this repo sells — byte-replayable session logs,
+//! differentially bit-identical engines, seeded chaos verdicts —
+//! rests on source-level invariants: no wall clocks in scheduling
+//! paths, no hash-order-dependent iteration, total float ordering,
+//! no ambient entropy, a consistent lock order. This crate checks
+//! those invariants *mechanically*, as an offline, std-only pass with
+//! a hand-rolled lexer (same in-tree spirit as the serve JSON codec —
+//! no `syn`, no proc-macro dependencies).
+//!
+//! Rules (see [`rules::RULE_IDS`]):
+//!
+//! | rule | checks |
+//! |------|--------|
+//! | `no-wall-clock` | `Instant::now` / `SystemTime` outside bench/loadgen/accept-loop |
+//! | `no-hash-iter` | `HashMap`/`HashSet` iteration in deterministic crates |
+//! | `float-total-order` | `partial_cmp` comparators; `as f32` in schedule-affecting code |
+//! | `no-ambient-entropy` | `thread_rng`/`RandomState`/`std::env` reads outside cli/serve |
+//! | `lock-order` | cycles in the static lock-acquisition graph (serve + tenant) |
+//! | `unsafe-safety` | `unsafe` without a `// SAFETY:` comment |
+//! | `unsafe-attr` | missing `#![forbid(unsafe_code)]` / `#![deny(unsafe_op_in_unsafe_fn)]` |
+//! | `bad-waiver` | waivers without a reason, or naming an unknown rule |
+//!
+//! A finding is suppressed in source with
+//! `// lint:allow(<rule>) <reason>` on the offending line or the line
+//! above; the reason is mandatory and appears in the JSON report.
+//!
+//! The report is deterministic: two consecutive runs over the same
+//! tree emit byte-identical text and JSON (CI diffs them).
+
+pub mod lexer;
+pub mod lockorder;
+pub mod report;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use report::{Diagnostic, Report, WaivedDiagnostic};
+use rules::{FileCtx, RuleConfig, RULE_IDS};
+
+/// One source file handed to the analysis.
+#[derive(Debug, Clone)]
+pub struct FileInput {
+    /// Workspace-relative path, forward slashes.
+    pub rel_path: String,
+    /// Owning crate name (`core`, `serve`, …, or `moldable` for the
+    /// root facade).
+    pub crate_name: String,
+    /// File contents.
+    pub src: String,
+    /// Whether this is a crate root (`lib.rs`) — where the
+    /// `unsafe-attr` rule checks crate-level attributes.
+    pub is_crate_root: bool,
+}
+
+/// Analyze a set of files and produce the normalized report.
+#[must_use]
+pub fn run(files: &[FileInput], cfg: &RuleConfig) -> Report {
+    let ctxs: Vec<FileCtx> = files
+        .iter()
+        .map(|f| FileCtx::new(&f.rel_path, &f.crate_name, &f.src))
+        .collect();
+
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    for ctx in &ctxs {
+        raw.extend(rules::check_file(ctx, cfg));
+    }
+
+    // Crate-level attribute checks on crate roots.
+    for (f, ctx) in files.iter().zip(&ctxs) {
+        if !f.is_crate_root {
+            continue;
+        }
+        if cfg.pure_crates.contains(&f.crate_name) && !ctx.has_inner_attr("forbid", "unsafe_code")
+        {
+            raw.push(ctx.diag(
+                "unsafe-attr",
+                1,
+                format!(
+                    "pure crate `{}` must carry `#![forbid(unsafe_code)]`",
+                    f.crate_name
+                ),
+            ));
+        }
+        if cfg.ffi_crates.contains(&f.crate_name)
+            && !ctx.has_inner_attr("deny", "unsafe_op_in_unsafe_fn")
+        {
+            raw.push(ctx.diag(
+                "unsafe-attr",
+                1,
+                format!(
+                    "FFI-keeping crate `{}` must carry `#![deny(unsafe_op_in_unsafe_fn)]`",
+                    f.crate_name
+                ),
+            ));
+        }
+    }
+
+    // Lock-order analysis over the concurrent crates.
+    let lock_ctxs: Vec<&FileCtx> = ctxs
+        .iter()
+        .filter(|c| cfg.lock_crates.contains(&c.crate_name))
+        .collect();
+    let (lock_graph, lock_diags) = lockorder::analyze(&lock_ctxs);
+    raw.extend(lock_diags);
+
+    // Apply waivers; malformed waivers are violations themselves.
+    let mut rep = Report {
+        files_scanned: files.len(),
+        lock_graph,
+        ..Report::default()
+    };
+    for ctx in &ctxs {
+        for w in &ctx.waivers {
+            if !RULE_IDS.contains(&w.rule.as_str()) {
+                rep.diagnostics.push(ctx.diag(
+                    "bad-waiver",
+                    w.line,
+                    format!("waiver names unknown rule `{}`", w.rule),
+                ));
+            } else if w.reason.is_empty() {
+                rep.diagnostics.push(ctx.diag(
+                    "bad-waiver",
+                    w.line,
+                    format!("waiver for `{}` has no reason — justify it", w.rule),
+                ));
+            }
+        }
+    }
+    'diag: for d in raw {
+        for ctx in &ctxs {
+            if ctx.rel_path != d.file {
+                continue;
+            }
+            for w in &ctx.waivers {
+                if w.rule == d.rule && !w.reason.is_empty() && w.covers.contains(&d.line) {
+                    rep.waived.push(WaivedDiagnostic {
+                        diagnostic: d,
+                        reason: w.reason.clone(),
+                    });
+                    continue 'diag;
+                }
+            }
+        }
+        rep.diagnostics.push(d);
+    }
+    rep.normalize();
+    rep
+}
+
+/// Collect every workspace source file under `root`: the root facade
+/// (`src/`) and each `crates/<name>/src/` tree. Sorted, so analysis
+/// order — and therefore the report — is path-deterministic.
+///
+/// # Errors
+/// Propagates I/O failures reading the tree.
+pub fn collect_workspace_files(root: &Path) -> io::Result<Vec<FileInput>> {
+    let mut files = Vec::new();
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        push_tree(&root_src, root, "moldable", &mut files)?;
+    }
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = Vec::new();
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let p = entry?.path();
+            if p.is_dir() {
+                crate_dirs.push(p);
+            }
+        }
+    }
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let name = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let src = dir.join("src");
+        if src.is_dir() {
+            push_tree(&src, root, &name, &mut files)?;
+        }
+    }
+    files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(files)
+}
+
+fn push_tree(
+    dir: &Path,
+    root: &Path,
+    crate_name: &str,
+    out: &mut Vec<FileInput>,
+) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            push_tree(&p, root, crate_name, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            let rel = p
+                .strip_prefix(root)
+                .unwrap_or(&p)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let is_crate_root = rel.ends_with("/src/lib.rs") || rel == "src/lib.rs";
+            out.push(FileInput {
+                rel_path: rel,
+                crate_name: crate_name.to_string(),
+                src: fs::read_to_string(&p)?,
+                is_crate_root,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Lint the whole workspace rooted at `root` with the default rules.
+///
+/// # Errors
+/// Propagates I/O failures reading the tree.
+pub fn run_workspace(root: &Path) -> io::Result<Report> {
+    let files = collect_workspace_files(root)?;
+    Ok(run(&files, &RuleConfig::default()))
+}
+
+/// Lint standalone files (the fixture corpus), each attributed to
+/// `as_crate` for rule scoping.
+///
+/// # Errors
+/// Propagates I/O failures reading the files.
+pub fn run_files(paths: &[PathBuf], as_crate: &str) -> io::Result<Report> {
+    let mut files = Vec::new();
+    for p in paths {
+        files.push(FileInput {
+            rel_path: p.to_string_lossy().replace('\\', "/"),
+            crate_name: as_crate.to_string(),
+            src: fs::read_to_string(p)?,
+            is_crate_root: false,
+        });
+    }
+    Ok(run(&files, &RuleConfig::default()))
+}

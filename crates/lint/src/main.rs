@@ -1,0 +1,109 @@
+//! `moldable-lint` binary — the CI gate.
+//!
+//! ```text
+//! moldable-lint --workspace [--root DIR] [--deny-all] [--json PATH] [--quiet]
+//! moldable-lint --file A.rs [--file B.rs …] [--as-crate NAME] [--deny-all] [--json PATH]
+//! ```
+//!
+//! Exit codes: `0` clean (or violations found without `--deny-all`),
+//! `1` violations under `--deny-all`, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+moldable-lint: workspace determinism & concurrency static analysis
+
+USAGE:
+  moldable-lint --workspace [--root DIR] [--deny-all] [--json PATH] [--quiet]
+  moldable-lint --file PATH [--file PATH ...] [--as-crate NAME] [--deny-all] [--json PATH]
+
+OPTIONS:
+  --workspace        lint the whole workspace (root facade + crates/*/src)
+  --root DIR         workspace root (default: current directory)
+  --file PATH        lint a standalone file (repeatable; fixture mode)
+  --as-crate NAME    crate the standalone files belong to for rule
+                     scoping (default: core, a deterministic crate)
+  --deny-all         exit non-zero if any violation is found
+  --json PATH        write the machine-readable report to PATH
+  --quiet            suppress per-violation lines (summary only)
+";
+
+fn main() -> ExitCode {
+    // lint:allow(no-ambient-entropy) argv parsing for the lint binary's own CLI surface
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("moldable-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut workspace = false;
+    let mut root = PathBuf::from(".");
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut as_crate = "core".to_string();
+    let mut deny_all = false;
+    let mut json_out: Option<PathBuf> = None;
+    let mut quiet = false;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => root = PathBuf::from(need(&mut it, "--root")?),
+            "--file" => files.push(PathBuf::from(need(&mut it, "--file")?)),
+            "--as-crate" => as_crate = need(&mut it, "--as-crate")?,
+            "--deny-all" => deny_all = true,
+            "--json" => json_out = Some(PathBuf::from(need(&mut it, "--json")?)),
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown option `{other}`\n{USAGE}")),
+        }
+    }
+    if !workspace && files.is_empty() {
+        return Err(format!("pass --workspace or at least one --file\n{USAGE}"));
+    }
+    if workspace && !files.is_empty() {
+        return Err("--workspace and --file are mutually exclusive".to_string());
+    }
+
+    let report = if workspace {
+        moldable_lint::run_workspace(&root).map_err(|e| format!("reading {}: {e}", root.display()))?
+    } else {
+        moldable_lint::run_files(&files, &as_crate).map_err(|e| e.to_string())?
+    };
+
+    if let Some(path) = &json_out {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+            }
+        }
+        std::fs::write(path, report.to_json()).map_err(|e| format!("writing report: {e}"))?;
+    }
+    if quiet {
+        let text = report.to_text();
+        let summary = text.lines().last().unwrap_or_default();
+        println!("{summary}");
+    } else {
+        print!("{}", report.to_text());
+    }
+
+    if deny_all && !report.diagnostics.is_empty() {
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn need(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, String> {
+    it.next()
+        .cloned()
+        .ok_or_else(|| format!("{flag} needs a value"))
+}

@@ -1,0 +1,244 @@
+//! Machine-readable lint report: diagnostics, waivers, and the lock
+//! acquisition graph, rendered as deterministic JSON.
+//!
+//! Determinism contract (CI diffs two consecutive runs byte-for-byte):
+//! no timestamps, no absolute paths, every collection sorted before
+//! rendering, and the hand-rolled JSON writer emits keys in a fixed
+//! order. The same report rendered twice is the same bytes.
+
+use std::fmt::Write as _;
+
+/// One finding: a rule fired at a source location.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Rule identifier (e.g. `no-hash-iter`).
+    pub rule: String,
+    /// Human-readable explanation of the finding.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+}
+
+impl Diagnostic {
+    /// `file:line: [rule] message | excerpt` — one line per finding.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {} | {}",
+            self.file, self.line, self.rule, self.message, self.excerpt
+        )
+    }
+}
+
+/// A waived finding: the rule fired but an in-source
+/// `// lint:allow(rule) reason` covers it.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct WaivedDiagnostic {
+    /// The finding that was waived.
+    pub diagnostic: Diagnostic,
+    /// The reason text from the waiver comment.
+    pub reason: String,
+}
+
+/// One edge in the static lock-acquisition graph: while holding
+/// `from`, the code acquires `to`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LockEdge {
+    /// Lock held at the acquisition site.
+    pub from: String,
+    /// Lock acquired while `from` is held.
+    pub to: String,
+    /// Function the nesting occurs in (possibly via one inlined call).
+    pub func: String,
+    /// File of the inner acquisition (or the call being inlined).
+    pub file: String,
+    /// Line of the inner acquisition (or the call being inlined).
+    pub line: u32,
+}
+
+/// The static lock-acquisition graph extracted by the `lock-order`
+/// rule, plus any cycles found in it.
+#[derive(Debug, Clone, Default)]
+pub struct LockGraph {
+    /// Every named `Mutex`/`RwLock` seen, sorted.
+    pub nodes: Vec<String>,
+    /// Nested-acquisition edges, sorted and deduplicated.
+    pub edges: Vec<LockEdge>,
+    /// Cycles as ` -> `-joined node paths (`a -> b -> a`), sorted.
+    pub cycles: Vec<String>,
+}
+
+/// A full lint run over a set of files.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Active findings, sorted by (file, line, rule, message).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Findings suppressed by a reasoned waiver, same order.
+    pub waived: Vec<WaivedDiagnostic>,
+    /// The lock-acquisition graph (empty when no lock crate scanned).
+    pub lock_graph: LockGraph,
+}
+
+impl Report {
+    /// Finalize ordering so that text and JSON renderings are pure
+    /// functions of the findings, independent of discovery order.
+    pub fn normalize(&mut self) {
+        self.diagnostics.sort();
+        self.diagnostics.dedup();
+        self.waived.sort();
+        self.waived.dedup();
+        self.lock_graph.nodes.sort();
+        self.lock_graph.nodes.dedup();
+        self.lock_graph.edges.sort();
+        self.lock_graph.edges.dedup();
+        self.lock_graph.cycles.sort();
+        self.lock_graph.cycles.dedup();
+    }
+
+    /// Human-readable rendering: one line per finding, then a summary.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render());
+            out.push('\n');
+        }
+        let _ = writeln!(
+            out,
+            "moldable-lint: {} file(s), {} violation(s), {} waived, lock graph {} node(s) {} edge(s) {} cycle(s)",
+            self.files_scanned,
+            self.diagnostics.len(),
+            self.waived.len(),
+            self.lock_graph.nodes.len(),
+            self.lock_graph.edges.len(),
+            self.lock_graph.cycles.len(),
+        );
+        out
+    }
+
+    /// Deterministic JSON rendering (trailing newline included).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut o = String::from("{\n");
+        let _ = writeln!(o, "  \"version\": 1,");
+        let _ = writeln!(o, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(o, "  \"violations\": {},", self.diagnostics.len());
+        let _ = writeln!(o, "  \"waived\": {},", self.waived.len());
+        o.push_str("  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            o.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(o, "    {}", diag_json(d));
+        }
+        o.push_str(if self.diagnostics.is_empty() { "],\n" } else { "\n  ],\n" });
+        o.push_str("  \"waivers\": [");
+        for (i, w) in self.waived.iter().enumerate() {
+            o.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(
+                o,
+                "    {{\"waived\": {}, \"reason\": {}}}",
+                diag_json(&w.diagnostic),
+                json_str(&w.reason)
+            );
+        }
+        o.push_str(if self.waived.is_empty() { "],\n" } else { "\n  ],\n" });
+        o.push_str("  \"lock_graph\": {\n    \"nodes\": [");
+        for (i, n) in self.lock_graph.nodes.iter().enumerate() {
+            if i > 0 {
+                o.push_str(", ");
+            }
+            o.push_str(&json_str(n));
+        }
+        o.push_str("],\n    \"edges\": [");
+        for (i, e) in self.lock_graph.edges.iter().enumerate() {
+            o.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(
+                o,
+                "      {{\"from\": {}, \"to\": {}, \"fn\": {}, \"file\": {}, \"line\": {}}}",
+                json_str(&e.from),
+                json_str(&e.to),
+                json_str(&e.func),
+                json_str(&e.file),
+                e.line
+            );
+        }
+        o.push_str(if self.lock_graph.edges.is_empty() { "],\n" } else { "\n    ],\n" });
+        o.push_str("    \"cycles\": [");
+        for (i, c) in self.lock_graph.cycles.iter().enumerate() {
+            if i > 0 {
+                o.push_str(", ");
+            }
+            o.push_str(&json_str(c));
+        }
+        o.push_str("]\n  }\n}\n");
+        o
+    }
+}
+
+fn diag_json(d: &Diagnostic) -> String {
+    format!(
+        "{{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}, \"excerpt\": {}}}",
+        json_str(&d.file),
+        d.line,
+        json_str(&d.rule),
+        json_str(&d.message),
+        json_str(&d.excerpt)
+    )
+}
+
+/// Minimal JSON string escaping (the report never contains exotic
+/// control characters, but escape them anyway).
+#[must_use]
+pub fn json_str(s: &str) -> String {
+    let mut o = String::with_capacity(s.len() + 2);
+    o.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => o.push_str("\\\""),
+            '\\' => o.push_str("\\\\"),
+            '\n' => o.push_str("\\n"),
+            '\r' => o.push_str("\\r"),
+            '\t' => o.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(o, "\\u{:04x}", c as u32);
+            }
+            c => o.push(c),
+        }
+    }
+    o.push('"');
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_deterministic_and_sorted() {
+        let mut r = Report::default();
+        for (file, line) in [("b.rs", 2), ("a.rs", 9), ("a.rs", 1)] {
+            r.diagnostics.push(Diagnostic {
+                file: file.to_string(),
+                line,
+                rule: "no-wall-clock".to_string(),
+                message: "m".to_string(),
+                excerpt: "e".to_string(),
+            });
+        }
+        r.normalize();
+        assert_eq!(r.diagnostics[0].file, "a.rs");
+        assert_eq!(r.diagnostics[0].line, 1);
+        assert_eq!(r.to_json(), r.to_json());
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_controls() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+}

@@ -1,0 +1,10 @@
+// Fixture: malformed waivers are violations themselves.
+pub fn f(v: &mut Vec<f64>) {
+    // lint:allow(float-total-order)
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn g() {
+    // lint:allow(no-such-rule) the rule id does not exist
+    let _x = 1;
+}

@@ -1,0 +1,5 @@
+// Fixture: a well-formed waiver (rule known, reason given).
+pub fn f(v: &mut Vec<f64>) {
+    // lint:allow(float-total-order) inputs validated finite at the wire boundary
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

@@ -1,0 +1,8 @@
+// Fixture: partial_cmp comparator and f32 truncation.
+pub fn rank(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn shrink(x: f64) -> f32 {
+    x as f32
+}

@@ -1,0 +1,8 @@
+// Fixture: total float order, f64 end to end.
+pub fn rank(v: &mut Vec<f64>) {
+    v.sort_by(f64::total_cmp);
+}
+
+pub fn widen(x: f64) -> f64 {
+    x * 2.0
+}

@@ -1,0 +1,5 @@
+// Fixture: a justified partial_cmp (inputs proven NaN-free upstream).
+pub fn rank(v: &mut Vec<f64>) {
+    // lint:allow(float-total-order) inputs validated finite at the wire boundary
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

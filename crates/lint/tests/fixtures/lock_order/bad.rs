@@ -1,0 +1,20 @@
+// Fixture: inverted lock order — f takes a then b, g takes b then a.
+// The acquisition graph has the cycle a -> b -> a.
+use std::sync::Mutex;
+
+pub struct S {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+pub fn f(s: &S) {
+    let ga = s.a.lock().unwrap();
+    let gb = s.b.lock().unwrap();
+    drop((ga, gb));
+}
+
+pub fn g(s: &S) {
+    let gb = s.b.lock().unwrap();
+    let ga = s.a.lock().unwrap();
+    drop((ga, gb));
+}

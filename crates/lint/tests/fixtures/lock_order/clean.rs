@@ -1,0 +1,19 @@
+// Fixture: consistent lock order — every path takes a before b.
+use std::sync::Mutex;
+
+pub struct S {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+pub fn f(s: &S) {
+    let ga = s.a.lock().unwrap();
+    let gb = s.b.lock().unwrap();
+    drop((ga, gb));
+}
+
+pub fn g(s: &S) {
+    let ga = s.a.lock().unwrap();
+    let gb = s.b.lock().unwrap();
+    drop((ga, gb));
+}

@@ -1,0 +1,21 @@
+// Fixture: an inversion that is provably unreachable concurrently
+// (both functions documented single-threaded), waived with a reason.
+use std::sync::Mutex;
+
+pub struct S {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+pub fn f(s: &S) {
+    let ga = s.a.lock().unwrap();
+    // lint:allow(lock-order) f and g run on the same thread during startup, never concurrently
+    let gb = s.b.lock().unwrap();
+    drop((ga, gb));
+}
+
+pub fn g(s: &S) {
+    let gb = s.b.lock().unwrap();
+    let ga = s.a.lock().unwrap();
+    drop((ga, gb));
+}

@@ -1,0 +1,10 @@
+// Fixture: ambient entropy and environment reads in a deterministic
+// crate.
+pub fn roll() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}
+
+pub fn config() -> String {
+    std::env::var("MOLDABLE_SECRET_KNOB").unwrap_or_default()
+}

@@ -1,0 +1,13 @@
+// Fixture: seeds are explicit, state is passed in.
+pub struct Prng(u64);
+
+impl Prng {
+    pub fn from_seed(seed: u64) -> Self {
+        Self(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+        self.0
+    }
+}

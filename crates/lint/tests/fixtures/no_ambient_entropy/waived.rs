@@ -1,0 +1,5 @@
+// Fixture: a justified environment read.
+pub fn knob() -> Option<String> {
+    // lint:allow(no-ambient-entropy) read once at startup, logged into the report header
+    std::env::var("MOLDABLE_KNOB").ok()
+}

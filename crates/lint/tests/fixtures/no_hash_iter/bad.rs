@@ -1,0 +1,22 @@
+// Fixture: hash-order iteration in a deterministic crate.
+use std::collections::{HashMap, HashSet};
+
+pub struct Index {
+    by_id: HashMap<u32, String>,
+}
+
+pub fn render(ix: &Index) -> Vec<String> {
+    let mut out = Vec::new();
+    for (id, name) in ix.by_id.iter() {
+        out.push(format!("{id}: {name}"));
+    }
+    out
+}
+
+pub fn first(seen: &HashSet<u32>) -> Option<u32> {
+    let seen = seen;
+    for s in seen {
+        return Some(*s);
+    }
+    None
+}

@@ -1,0 +1,16 @@
+// Fixture: hash maps as lookup indexes (no iteration) and sorted
+// containers where order escapes.
+use std::collections::{BTreeMap, HashMap};
+
+pub struct Index {
+    by_id: HashMap<u32, String>,
+    ordered: BTreeMap<u32, String>,
+}
+
+pub fn lookup(ix: &Index, id: u32) -> Option<&String> {
+    ix.by_id.get(&id)
+}
+
+pub fn render(ix: &Index) -> Vec<String> {
+    ix.ordered.iter().map(|(id, name)| format!("{id}: {name}")).collect()
+}

@@ -1,0 +1,7 @@
+// Fixture: hash iteration folded into an order-independent reduction.
+use std::collections::HashMap;
+
+pub fn total(counts: &HashMap<u32, u64>) -> u64 {
+    // lint:allow(no-hash-iter) summation is commutative; iteration order never escapes
+    counts.values().sum()
+}

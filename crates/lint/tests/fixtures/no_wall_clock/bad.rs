@@ -1,0 +1,10 @@
+// Fixture: wall-clock read in a deterministic path. The simulated
+// clock is the only time source scheduling code may consult.
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn epoch_ms() -> u64 {
+    let t = std::time::SystemTime::now();
+    t.duration_since(std::time::UNIX_EPOCH).unwrap().as_millis() as u64
+}

@@ -1,0 +1,4 @@
+// Fixture: time flows from the simulation engine, not the host.
+pub fn next_event(now: f64, dt: f64) -> f64 {
+    now + dt
+}

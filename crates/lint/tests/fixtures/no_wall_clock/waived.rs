@@ -1,0 +1,5 @@
+// Fixture: a justified wall-clock read.
+pub fn uptime_anchor() -> std::time::Instant {
+    // lint:allow(no-wall-clock) feeds human-facing uptime stats only, never the schedule
+    std::time::Instant::now()
+}

@@ -1,0 +1,4 @@
+//! Fixture pure crate missing `#![forbid(unsafe_code)]`.
+pub fn f() -> u32 {
+    1
+}

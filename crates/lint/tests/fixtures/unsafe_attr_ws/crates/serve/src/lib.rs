@@ -1,0 +1,4 @@
+//! Fixture FFI crate missing `#![deny(unsafe_op_in_unsafe_fn)]`.
+pub fn f() -> u32 {
+    2
+}

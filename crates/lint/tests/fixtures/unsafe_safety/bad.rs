@@ -1,0 +1,4 @@
+// Fixture: unsafe without a SAFETY comment.
+pub fn read_first(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}

@@ -1,0 +1,6 @@
+// Fixture: waived unsafe (e.g. a macro expansion the comment cannot
+// reach).
+pub fn read_first(v: &[u8]) -> u8 {
+    // lint:allow(unsafe-safety) bounds proven by the caller contract documented on the trait
+    unsafe { *v.get_unchecked(0) }
+}

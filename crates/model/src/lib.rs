@@ -33,6 +33,8 @@
 //! assert_eq!(m.a_min(), 101.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod class;
 mod error;
 mod limits;

@@ -22,6 +22,8 @@
 //!   allocate each task the fewest processors meeting τ, and
 //!   shelf-schedule.
 
+#![forbid(unsafe_code)]
+
 pub mod brute;
 pub mod cpa;
 pub mod improve;

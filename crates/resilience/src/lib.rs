@@ -37,6 +37,8 @@
 //! assert!(inst.total_attempts() >= g.n_tasks() as u64);
 //! ```
 
+#![forbid(unsafe_code)]
+
 use moldable_graph::{TaskGraph, TaskId};
 use moldable_model::SpeedupModel;
 use moldable_sim::Instance;

@@ -56,6 +56,8 @@
 //! server.join();
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod json;
 pub mod loadgen;
 pub mod proto;

@@ -12,7 +12,7 @@
 //! a determinism check: every reply for a given seed must report the
 //! same makespan.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io;
 use std::net::TcpStream;
 use std::sync::Mutex;
@@ -295,8 +295,9 @@ struct ClientTally {
     transport_failures: usize,
     sent: usize,
     latencies_ms: Vec<f64>,
-    /// seed → makespans seen
-    makespans: HashMap<u64, Vec<f64>>,
+    /// seed → makespans seen. Sorted map: anything derived from a
+    /// walk over seeds stays insertion-order-independent.
+    makespans: BTreeMap<u64, Vec<f64>>,
 }
 
 /// Run the load described by `config` against a live daemon.
@@ -342,7 +343,7 @@ pub fn run(config: &LoadConfig) -> io::Result<LoadReport> {
         graph_cache_hits: None,
         graph_cache_misses: None,
     };
-    let mut makespans: HashMap<u64, Vec<f64>> = HashMap::new();
+    let mut makespans: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
     for t in tallies.into_inner().expect("tally lock") {
         report.sent += t.sent;
         report.ok += t.ok;
@@ -383,7 +384,7 @@ fn client_loop(config: &LoadConfig, client_idx: usize, start: Instant) -> Client
         transport_failures: 0,
         sent: 0,
         latencies_ms: Vec::new(),
-        makespans: HashMap::new(),
+        makespans: BTreeMap::new(),
     };
     let Ok(mut client) = Client::connect(&config.addr) else {
         // Connect failure after the initial probe: count every request

@@ -46,6 +46,7 @@ impl SessionHub {
             svc: Mutex::new(TenantService::new(cfg)),
             limits,
             p_total: cfg.p_total,
+            // lint:allow(no-wall-clock) feeds idle-session reaping and uptime stats only; virtual scheduling time comes from the Stepper
             started: Instant::now(),
         }
     }

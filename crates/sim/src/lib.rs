@@ -48,6 +48,8 @@
 //! schedule.validate(&g).unwrap();
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod arrivals;
 mod batched;
 mod engine;

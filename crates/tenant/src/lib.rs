@@ -24,6 +24,8 @@
 //! requests interleave in wall time (see the conservative-sync notes
 //! on [`TenantService`]).
 
+#![forbid(unsafe_code)]
+
 mod drr;
 mod service;
 mod world;

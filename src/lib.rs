@@ -24,6 +24,8 @@
 //!
 //! See `examples/quickstart.rs` for the 20-line happy path.
 
+#![forbid(unsafe_code)]
+
 pub use moldable_adversary as adversary;
 pub use moldable_analysis as analysis;
 pub use moldable_chaos as chaos;
