@@ -34,8 +34,9 @@ pub mod general;
 pub mod generic;
 pub mod roofline;
 
-use moldable_core::OnlineScheduler;
+use moldable_core::{AlgoName, OnlineScheduler};
 use moldable_graph::TaskGraph;
+use moldable_model::ModelClass;
 use moldable_sim::{simulate, Schedule, SimOptions};
 
 /// A lower-bound instance ready to run: the graph, the μ the paper's
@@ -66,7 +67,30 @@ impl LowerBoundInstance {
     #[must_use]
     pub fn run_online(&self) -> (f64, f64) {
         let mut sched = OnlineScheduler::with_mu(self.mu);
-        let s = simulate(&self.graph, &mut sched, &SimOptions::new(self.p_total))
+        self.run_with(&mut sched)
+    }
+
+    /// Run any registered algorithm on the instance: ICPP'22 keeps the
+    /// proof's μ (the witnesses are constructed against it); every
+    /// other algorithm runs with its own envelope-optimal μ for
+    /// `class`, since the witness is just an ordinary input to it.
+    /// Returns `(makespan, ratio vs. t_opt_upper)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation fails — the instances are valid by
+    /// construction, so a failure is a bug.
+    #[must_use]
+    pub fn run_algo(&self, algo: AlgoName, class: ModelClass) -> (f64, f64) {
+        let mut sched = match algo {
+            AlgoName::Icpp22 => OnlineScheduler::with_mu(self.mu),
+            other => OnlineScheduler::for_algo_class(other, class),
+        };
+        self.run_with(&mut sched)
+    }
+
+    fn run_with(&self, sched: &mut OnlineScheduler) -> (f64, f64) {
+        let s = simulate(&self.graph, sched, &SimOptions::new(self.p_total))
             .expect("lower-bound instances simulate cleanly");
         s.validate(&self.graph).expect("online schedule is valid");
         (s.makespan, s.makespan / self.t_opt_upper)

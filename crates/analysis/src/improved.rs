@@ -1,0 +1,189 @@
+//! Envelopes for the Improved'23 *dual* allocation (minimize time
+//! subject to an area budget `a(p) ≤ λ·a_min`, in the spirit of
+//! Perotin & Sun, arXiv 2304.14127).
+//!
+//! The dual allocation enforces its area stretch `α ≤ λ` *by
+//! construction* — integer rounding only shrinks the chosen `p`, hence
+//! the area — so Lemma 5 applies with `α = λ` and no rounding slack.
+//! On the communication model this drops the `x/3` rounding term the
+//! ICPP'22 analysis pays (`α_x = 1 + x²` instead of `1 + x² + x/3`),
+//! tightening the proven envelope from 3.61 to ≈ 3.37. On the roofline
+//! model the two allocations coincide (`λ = 1` picks exactly `p_max`),
+//! and on the Amdahl and general models the `(α_x, β_x)` families had
+//! no rounding slack to begin with, so those envelopes match ICPP'22's
+//! — the dual allocation's advantage there is empirical, not in the
+//! proven constant (the conformance harness measures it anyway).
+//!
+//! [`upper_bound`] numerically minimizes each envelope over `μ` and is
+//! pinned against `AlgoName::proven_upper_bound` in the conformance
+//! harness (this crate has no dependency on `moldable-core`, so the
+//! cross-check lives there).
+
+use moldable_model::{ModelClass, MU_MAX};
+
+use crate::{envelopes, golden_section_min, lemma5_ratio, Bound};
+
+/// Roofline: the dual allocation with `λ = 1` picks `p_max` exactly —
+/// identical to ICPP'22, ratio `1/μ`.
+pub mod roofline {
+    /// Ratio as a function of μ: `1/μ`.
+    #[must_use]
+    pub fn ratio_at(mu: f64) -> f64 {
+        crate::roofline::ratio_at(mu)
+    }
+}
+
+/// Communication: budget `λ = 1 + x²` makes every allocation of the
+/// Lemma 7 family affordable (`p = ⌈x√w′⌉` has area `≤ (1 + x²)w`
+/// *before* rounding, and the dual's rounding can only help), while the
+/// dual picks the *fastest* affordable `p`, so its time stretch is at
+/// most the family's `β_x = (3/5)(1/x + x)`. Lemma 5 then applies with
+/// `α = λ = 1 + x²` — no `x/3` term.
+pub mod communication {
+    use super::{envelopes, lemma5_ratio};
+
+    /// `α_x = λ = 1 + x²` (the ICPP'22 bound minus the rounding term).
+    #[must_use]
+    pub fn alpha(x: f64) -> f64 {
+        1.0 + x * x
+    }
+
+    /// Same feasible `x*(μ)` as the ICPP'22 envelope — the time-stretch
+    /// constraint `β_x ≤ δ(μ)` is unchanged.
+    #[must_use]
+    pub fn x_star(mu: f64) -> Option<f64> {
+        envelopes::communication::x_star(mu)
+    }
+
+    /// Ratio as a function of μ (∞ outside the feasible region).
+    #[must_use]
+    pub fn ratio_at(mu: f64) -> f64 {
+        match x_star(mu) {
+            Some(x) => lemma5_ratio(mu, alpha(x)),
+            None => f64::INFINITY,
+        }
+    }
+}
+
+/// Amdahl: the Lemma 8 family `α_x = 1 + x`, `β_x = 1 + 1/x` has no
+/// rounding slack, so the dual envelope equals ICPP'22's.
+pub mod amdahl {
+    /// Ratio as a function of μ — identical to the ICPP'22 envelope.
+    #[must_use]
+    pub fn ratio_at(mu: f64) -> f64 {
+        crate::amdahl::ratio_at(mu)
+    }
+}
+
+/// General (and arbitrary-but-monotone): the Lemma 9 family
+/// `α_x = 1 + 1/x + 1/x²`, `β_x = x + 1 + 1/x` has no rounding slack,
+/// so the dual envelope equals ICPP'22's.
+pub mod general {
+    /// Ratio as a function of μ — identical to the ICPP'22 envelope.
+    #[must_use]
+    pub fn ratio_at(mu: f64) -> f64 {
+        crate::general::ratio_at(mu)
+    }
+}
+
+/// Numerically minimize the dual allocation's envelope for `class`
+/// over `μ ∈ (0, (3−√5)/2]`.
+///
+/// # Panics
+///
+/// Panics for [`ModelClass::Arbitrary`]: Theorem 9's `Ω(ln D)` bound
+/// applies to *any* deterministic online algorithm, the dual one
+/// included. (Monotone arbitrary instances are gated by the general
+/// envelope instead — see `AlgoName::proven_upper_bound`.)
+#[must_use]
+pub fn upper_bound(class: ModelClass) -> Bound {
+    match class {
+        ModelClass::Roofline => Bound {
+            ratio: 1.0 / MU_MAX,
+            mu: MU_MAX,
+            x: 1.0,
+        },
+        ModelClass::Communication => {
+            let (mu, ratio) = golden_section_min(&communication::ratio_at, 1e-4, MU_MAX, 1e-10);
+            let x = communication::x_star(mu).expect("minimizer lies in the feasible region");
+            Bound { ratio, mu, x }
+        }
+        ModelClass::Amdahl => crate::upper_bound(ModelClass::Amdahl),
+        ModelClass::General => crate::upper_bound(ModelClass::General),
+        ModelClass::Arbitrary => {
+            panic!("no constant competitive ratio exists for the arbitrary model (Theorem 9)")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dual_bounds_pin_registry_constants() {
+        // The constants AlgoName::Improved23::proven_upper_bound hard-codes,
+        // each rounded up at the third decimal.
+        let r = upper_bound(ModelClass::Roofline);
+        assert!((r.ratio - 2.618_034).abs() < 1e-5, "roofline {}", r.ratio);
+        assert!(r.ratio <= 2.619);
+
+        let c = upper_bound(ModelClass::Communication);
+        assert!(
+            (c.ratio - 3.374_036).abs() < 5e-5,
+            "communication {}",
+            c.ratio
+        );
+        assert!(c.ratio <= 3.375);
+        assert!((c.mu - 0.331).abs() < 2e-3, "mu* = {}", c.mu);
+        assert!((c.x - 0.4873).abs() < 2e-3, "x* = {}", c.x);
+
+        let a = upper_bound(ModelClass::Amdahl);
+        assert!((a.ratio - 4.730_577).abs() < 5e-5, "amdahl {}", a.ratio);
+        assert!(a.ratio <= 4.731);
+        assert!((a.mu - 0.270875).abs() < 2e-3, "mu* = {}", a.mu);
+
+        let g = upper_bound(ModelClass::General);
+        assert!((g.ratio - 5.714_311).abs() < 5e-5, "general {}", g.ratio);
+        assert!(g.ratio <= 5.715);
+        assert!((g.mu - 0.210687).abs() < 2e-3, "mu* = {}", g.mu);
+    }
+
+    #[test]
+    fn dual_envelope_dominated_by_icpp22_envelope_pointwise() {
+        // alpha is smaller (communication) or equal (others) at every
+        // feasible mu, so the dual envelope never exceeds the primal.
+        for mu in [0.15, 0.2, 0.25, 0.3, 0.32, 0.33] {
+            assert!(roofline::ratio_at(mu) <= crate::roofline::ratio_at(mu) + 1e-12);
+            assert!(communication::ratio_at(mu) <= crate::communication::ratio_at(mu) + 1e-12);
+            assert!(amdahl::ratio_at(mu) <= crate::amdahl::ratio_at(mu) + 1e-12);
+            assert!(general::ratio_at(mu) <= crate::general::ratio_at(mu) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn communication_gain_is_the_rounding_term() {
+        // At any feasible mu the two envelopes differ by exactly
+        // mu·(x/3)/(mu(1-mu)) = x/(3(1-mu)).
+        for mu in [0.2, 0.3, 0.331] {
+            let x = communication::x_star(mu).unwrap();
+            let gap = crate::communication::ratio_at(mu) - communication::ratio_at(mu);
+            assert!((gap - x / (3.0 * (1.0 - mu))).abs() < 1e-9, "mu={mu}");
+        }
+    }
+
+    #[test]
+    fn communication_lambda_matches_registry() {
+        // lambda = 1 + x*² at the envelope-optimal mu — the registry
+        // stores 1.2361.
+        let b = upper_bound(ModelClass::Communication);
+        let lambda = 1.0 + b.x * b.x;
+        assert!((lambda - 1.2361).abs() < 2e-3, "lambda = {lambda}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no constant competitive ratio")]
+    fn arbitrary_has_no_upper_bound() {
+        let _ = upper_bound(ModelClass::Arbitrary);
+    }
+}

@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 
 mod envelopes;
+pub mod improved;
 mod optimize;
 
 pub use envelopes::{amdahl, communication, general, roofline};

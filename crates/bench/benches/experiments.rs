@@ -15,7 +15,9 @@ use std::hint::black_box;
 
 fn bench_table1() {
     // Numerical side of Table 1: minimize the four ratio curves.
-    bench("table1", "numeric", || black_box(moldable_analysis::table1()));
+    bench("table1", "numeric", || {
+        black_box(moldable_analysis::table1())
+    });
 }
 
 fn bench_lower_bound_instances() {

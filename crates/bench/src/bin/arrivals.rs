@@ -11,11 +11,11 @@
 use moldable_bench::{write_result, Table};
 use moldable_core::baselines::EctScheduler;
 use moldable_core::{EasyBackfillScheduler, OnlineScheduler};
+use moldable_model::rng::Rng;
+use moldable_model::rng::StdRng;
 use moldable_model::sample::ParamDistribution;
 use moldable_model::{ModelClass, SpeedupModel};
 use moldable_sim::{simulate_instance, Scheduler, SimOptions, TimedArrivals};
-use moldable_model::rng::StdRng;
-use moldable_model::rng::Rng;
 
 const P_TOTAL: u32 = 32;
 const N_TASKS: usize = 300;

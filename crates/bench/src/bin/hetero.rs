@@ -12,9 +12,9 @@ use moldable_hetero::{
     hetero_lower_bound, simulate_hetero, CpuOnly, GpuOnly, HeteroEct, HeteroGraph, HeteroPlatform,
     HeteroScheduler, HeteroTask, MuHetero,
 };
-use moldable_model::SpeedupModel;
-use moldable_model::rng::StdRng;
 use moldable_model::rng::Rng;
+use moldable_model::rng::StdRng;
+use moldable_model::SpeedupModel;
 
 /// Random layered DAG with per-task pool affinity: a fraction of tasks
 /// is `accel`-times faster on the GPU, the rest on the CPU.

@@ -15,12 +15,12 @@
 use moldable_bench::{write_result, Table, Workload};
 use moldable_core::OnlineScheduler;
 use moldable_graph::{GraphBuilder, TaskGraph};
+use moldable_model::rng::Rng;
+use moldable_model::rng::StdRng;
 use moldable_model::sample::ParamDistribution;
 use moldable_model::ModelClass;
 use moldable_offline::{cpa, optimal_makespan, turek_schedule, BruteForceLimits};
 use moldable_sim::{simulate, SimOptions};
-use moldable_model::rng::StdRng;
-use moldable_model::rng::Rng;
 
 fn online_makespan(g: &TaskGraph, class: ModelClass, p: u32) -> f64 {
     let mut s = OnlineScheduler::for_class(class);

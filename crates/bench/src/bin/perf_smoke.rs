@@ -276,6 +276,7 @@ fn serve_submit(seed: u64) -> moldable_serve::proto::SubmitRequest {
         model: "amdahl".into(),
         seed,
         scheduler: "online".into(),
+        algo: "icpp22".into(),
         mu: None,
         policy: None,
         include_allocations: false,

@@ -1,18 +1,30 @@
-//! The ratio-versus-μ curves behind Theorems 1–4: for each model, the
-//! Lemma 5 competitive ratio as a function of μ (with `x = x*(μ)`),
-//! sampled densely for plotting. The minima of these curves are the
-//! Table 1 upper bounds.
+//! The ratio-versus-μ curves behind Theorems 1–4, side by side with
+//! the Improved'23 dual-allocation envelopes: for each model and each
+//! registered algorithm, the competitive-ratio envelope as a function
+//! of μ (with `x = x*(μ)`), sampled densely for plotting. The minima
+//! of these curves are the Table 1 upper bounds and the Improved'23
+//! envelope constants in the scheduler registry.
 //!
 //! ```text
 //! cargo run --release -p moldable-bench --bin ratio_curves
 //! ```
 
-use moldable_analysis::{amdahl, communication, general, roofline, upper_bound};
+use moldable_analysis::{amdahl, communication, general, improved, roofline, upper_bound};
 use moldable_bench::{par_map, write_result, Table};
 use moldable_model::{ModelClass, MU_MAX};
 
 fn main() {
-    let mut t = Table::new(&["mu", "roofline", "communication", "amdahl", "general"]);
+    let mut t = Table::new(&[
+        "mu",
+        "roofline",
+        "communication",
+        "amdahl",
+        "general",
+        "i23 roofline",
+        "i23 communication",
+        "i23 amdahl",
+        "i23 general",
+    ]);
     let steps = 200;
     // The μ grid points are independent evaluations; fan out, then emit
     // the rows in grid order so the CSV is identical to a serial run.
@@ -21,10 +33,18 @@ fn main() {
         let mu = MU_MAX * f64::from(i) / f64::from(steps);
         (
             mu,
-            roofline::ratio_at(mu),
-            communication::ratio_at(mu),
-            amdahl::ratio_at(mu),
-            general::ratio_at(mu),
+            [
+                roofline::ratio_at(mu),
+                communication::ratio_at(mu),
+                amdahl::ratio_at(mu),
+                general::ratio_at(mu),
+            ],
+            [
+                improved::roofline::ratio_at(mu),
+                improved::communication::ratio_at(mu),
+                improved::amdahl::ratio_at(mu),
+                improved::general::ratio_at(mu),
+            ],
         )
     });
     let fmt = |v: f64| {
@@ -34,29 +54,30 @@ fn main() {
             String::from("inf")
         }
     };
-    for (mu, r, c, a, g) in rows {
-        t.row(vec![
-            format!("{mu:.6}"),
-            fmt(r),
-            fmt(c),
-            fmt(a),
-            fmt(g),
-        ]);
+    for (mu, icpp, i23) in rows {
+        let mut cells = vec![format!("{mu:.6}")];
+        cells.extend(icpp.into_iter().map(fmt));
+        cells.extend(i23.into_iter().map(fmt));
+        t.row(cells);
     }
     write_result("ratio_curves.csv", &t.to_csv());
 
-    println!("ratio(mu) curves sampled at {steps} points; minima (Table 1):");
+    println!("ratio(mu) curves sampled at {steps} points; minima (Table 1 / registry):");
     for class in ModelClass::bounded_classes() {
         let b = upper_bound(class);
+        let b23 = improved::upper_bound(class);
         println!(
-            "  {:>14}: min ratio {:.4} at mu* = {:.4} (x* = {:.4})",
+            "  {:>14}: icpp22 min {:.4} at mu* = {:.4} (x* = {:.4}); i23 min {:.4} at mu* = {:.4}",
             class.name(),
             b.ratio,
             b.mu,
-            b.x
+            b.x,
+            b23.ratio,
+            b23.mu
         );
     }
     println!("\nfull series in results/ratio_curves.csv (plot mu vs each column;");
     println!("the communication and general curves are infinite where the");
-    println!("beta-constraint is infeasible).");
+    println!("beta-constraint is infeasible; the i23 columns are the");
+    println!("Improved'23 dual-allocation envelopes from arXiv 2304.14127).");
 }

@@ -15,11 +15,10 @@ use std::path::PathBuf;
 use moldable_core::baselines::{self, EctScheduler, EqualShareScheduler};
 use moldable_core::{EasyBackfillScheduler, OnlineScheduler};
 use moldable_graph::{gen, TaskGraph};
+use moldable_model::rng::StdRng;
 use moldable_model::sample::ParamDistribution;
 use moldable_model::ModelClass;
 use moldable_sim::Scheduler;
-use moldable_model::rng::StdRng;
-
 
 /// Where experiment outputs land: `<workspace>/results`.
 ///

@@ -158,6 +158,10 @@ const SHAPES: &[(&str, u32, u32)] = &[
 /// Model classes the planner cycles through.
 const MODELS: &[&str] = &["amdahl", "roofline", "communication", "general"];
 
+/// Registry algorithms the planner mixes across scenarios. Must match
+/// `moldable_core::registry::ALGO_NAMES` (pinned by a test below).
+const ALGOS: &[&str] = &["icpp22", "improved23"];
+
 /// One seeded chaos scenario: a workload template, a fault schedule,
 /// and the clean submits whose makespans must match a fault-free run.
 #[derive(Debug, Clone, PartialEq)]
@@ -188,6 +192,10 @@ pub struct Scenario {
     /// Whether the final drain happens while a client is still
     /// submitting.
     pub drain_under_load: bool,
+    /// Registry algorithm every submit of this scenario runs under
+    /// (clean submits, sacrificial submits, and session DAGs alike),
+    /// so the fault-free baseline compares like with like.
+    pub algo: &'static str,
 }
 
 impl Scenario {
@@ -246,6 +254,11 @@ impl Scenario {
             session_faults.push(SessionFault::DrainWithOpenSession);
         }
 
+        // Drawn last so adding the algorithm dimension left every
+        // pre-existing parameter of the seeded schedule untouched.
+        let algo = ALGOS[usize::try_from(rng.gen_range(0u64..ALGOS.len() as u64))
+            .expect("algo index fits usize")];
+
         Self {
             index,
             seed,
@@ -259,6 +272,7 @@ impl Scenario {
             session_faults,
             clean_seeds,
             drain_under_load,
+            algo,
         }
     }
 
@@ -313,7 +327,9 @@ impl FaultPlan {
     #[must_use]
     pub fn new(master_seed: u64, n: usize) -> Self {
         let mut stream = SplitMix64::seed_from_u64(master_seed);
-        let scenarios = (0..n).map(|i| Scenario::derive(i, stream.next_u64())).collect();
+        let scenarios = (0..n)
+            .map(|i| Scenario::derive(i, stream.next_u64()))
+            .collect();
         Self {
             master_seed,
             scenarios,
@@ -354,10 +370,12 @@ mod tests {
         let mut session_kinds = std::collections::HashSet::new();
         let mut shapes = std::collections::BTreeSet::new();
         let mut models = std::collections::BTreeSet::new();
+        let mut algos = std::collections::BTreeSet::new();
         let mut drains = 0;
         for s in &plan.scenarios {
             shapes.insert(s.shape);
             models.insert(s.model);
+            algos.insert(s.algo);
             drains += usize::from(s.drain_under_load);
             for w in &s.wire_faults {
                 wire_kinds.insert(std::mem::discriminant(w));
@@ -374,7 +392,16 @@ mod tests {
         assert_eq!(session_kinds.len(), 3, "all session-fault variants drawn");
         assert!(shapes.len() >= 3, "shape variety: {shapes:?}");
         assert!(models.len() >= 3, "model variety: {models:?}");
+        assert_eq!(algos.len(), 2, "both registry algorithms drawn: {algos:?}");
         assert!(drains > 0, "some scenario drains under load");
+    }
+
+    #[test]
+    fn planner_algos_match_the_registry() {
+        assert_eq!(ALGOS, moldable_core::registry::ALGO_NAMES);
+        for s in &FaultPlan::new(7, 20).scenarios {
+            moldable_core::registry::by_name(s.algo).expect("scenario algo is registered");
+        }
     }
 
     #[test]

@@ -131,7 +131,10 @@ impl ChaosReport {
     /// Scenarios with at least one violated invariant.
     #[must_use]
     pub fn failures(&self) -> usize {
-        self.verdicts.iter().filter(|v| !v.invariants.all_hold()).count()
+        self.verdicts
+            .iter()
+            .filter(|v| !v.invariants.all_hold())
+            .count()
     }
 
     /// The scenario-log document (written by `moldable chaos --out`).
@@ -159,9 +162,7 @@ impl ChaosReport {
                                 ("seed", Json::Str(v.seed.to_string())),
                                 (
                                     "faults",
-                                    Json::Arr(
-                                        v.faults.iter().cloned().map(Json::Str).collect(),
-                                    ),
+                                    Json::Arr(v.faults.iter().cloned().map(Json::Str).collect()),
                                 ),
                                 (
                                     "invariants",
@@ -189,7 +190,11 @@ impl ChaosReport {
             self.seed,
             self.verdicts.len(),
             self.failures(),
-            if self.all_green() { "ALL GREEN" } else { "INVARIANT VIOLATED" }
+            if self.all_green() {
+                "ALL GREEN"
+            } else {
+                "INVARIANT VIOLATED"
+            }
         );
         for v in &self.verdicts {
             if !v.invariants.all_hold() {
@@ -266,7 +271,10 @@ pub fn run_scenario(scenario: &Scenario, workers: usize) -> ScenarioVerdict {
     for (i, fault) in scenario.wire_faults.iter().enumerate() {
         let template = Request::Submit(Box::new(submit_of(scenario, scenario.seed ^ i as u64)));
         if let Err(e) = faulty.apply(fault, &template) {
-            detail.push_str(&format!("wire fault {} could not connect: {e}\n", fault.describe()));
+            detail.push_str(&format!(
+                "wire fault {} could not connect: {e}\n",
+                fault.describe()
+            ));
         }
     }
 
@@ -331,7 +339,10 @@ pub fn run_scenario(scenario: &Scenario, workers: usize) -> ScenarioVerdict {
             for _ in 0..50 {
                 // Replies during drain are refusals; transport errors
                 // mean the daemon already went away. Both are fine.
-                if client.call(&Request::Submit(Box::new(req.clone()))).is_err() {
+                if client
+                    .call(&Request::Submit(Box::new(req.clone())))
+                    .is_err()
+                {
                     break;
                 }
             }
@@ -379,6 +390,7 @@ fn submit_of(scenario: &Scenario, seed: u64) -> SubmitRequest {
         model: scenario.model.to_string(),
         seed,
         scheduler: "online".to_string(),
+        algo: scenario.algo.to_string(),
         mu: None,
         policy: None,
         include_allocations: false,
@@ -398,8 +410,10 @@ fn apply_process_faults(scenario: &Scenario, server: &Server, addr: &str, detail
                 if let Ok(mut client) = Client::connect(addr) {
                     while server.fault_hooks().pending_panics() > 0 && attempts > 0 {
                         attempts -= 1;
-                        let _ = client
-                            .call(&Request::Submit(Box::new(submit_of(scenario, scenario.seed))));
+                        let _ = client.call(&Request::Submit(Box::new(submit_of(
+                            scenario,
+                            scenario.seed,
+                        ))));
                     }
                 }
                 if server.fault_hooks().pending_panics() != 0 {
@@ -417,10 +431,14 @@ fn apply_process_faults(scenario: &Scenario, server: &Server, addr: &str, detail
                 // error or (if the worker wins the zero-width race) the
                 // result is timing-dependent — the accounting invariant
                 // must hold either way, so no note is recorded here.
-                server.fault_hooks().set_timeout_skew(Duration::from_secs(3600));
+                server
+                    .fault_hooks()
+                    .set_timeout_skew(Duration::from_secs(3600));
                 if let Ok(mut client) = Client::connect(addr) {
-                    let _ = client
-                        .call(&Request::Submit(Box::new(submit_of(scenario, scenario.seed))));
+                    let _ = client.call(&Request::Submit(Box::new(submit_of(
+                        scenario,
+                        scenario.seed,
+                    ))));
                 }
                 server.fault_hooks().set_timeout_skew(Duration::ZERO);
             }
@@ -457,6 +475,7 @@ fn submit_dag_of(scenario: &Scenario, session: &str, at: f64) -> SubmitDagReques
         },
         model: scenario.model.to_string(),
         seed: scenario.seed & ((1 << 53) - 1),
+        algo: scenario.algo.to_string(),
     }
 }
 
@@ -505,11 +524,8 @@ fn run_session_phase(scenario: &Scenario, addr: &str, detail: &mut String) -> bo
                 // A corrupted frame must get an error reply (or a
                 // clean close), never wedge the daemon or unbalance a
                 // ledger.
-                let template = Request::SubmitDag(Box::new(submit_dag_of(
-                    scenario,
-                    "chaos-ghost",
-                    0.0,
-                )));
+                let template =
+                    Request::SubmitDag(Box::new(submit_dag_of(scenario, "chaos-ghost", 0.0)));
                 let faulty = FaultyClient::new(addr.to_string());
                 let fault = WireFault::CorruptPayload {
                     flips: *flips,
@@ -579,9 +595,7 @@ fn run_session_phase(scenario: &Scenario, addr: &str, detail: &mut String) -> bo
     }
     match client.call(&Request::Stats) {
         Ok(reply) => {
-            let Some(Json::Obj(ledgers)) = reply
-                .get("sessions")
-                .and_then(|s| s.get("ledgers"))
+            let Some(Json::Obj(ledgers)) = reply.get("sessions").and_then(|s| s.get("ledgers"))
             else {
                 detail.push_str("stats reply carried no session ledgers\n");
                 return false;
@@ -649,7 +663,9 @@ fn check_clean_submits(
             }
         }
         equal = false;
-        detail.push_str(&format!("seed {seed}: still overloaded after 100 attempts\n"));
+        detail.push_str(&format!(
+            "seed {seed}: still overloaded after 100 attempts\n"
+        ));
     }
     equal
 }
@@ -721,7 +737,10 @@ mod tests {
         });
         let j = report.to_json();
         assert_eq!(j.get("seed").unwrap().as_str(), Some("7"));
-        assert_eq!(j.get("all_green").unwrap().as_bool(), Some(report.all_green()));
+        assert_eq!(
+            j.get("all_green").unwrap().as_bool(),
+            Some(report.all_green())
+        );
         let verdicts = j.get("verdicts").unwrap().as_arr().unwrap();
         assert_eq!(verdicts.len(), 1);
         let v = &verdicts[0];
@@ -771,7 +790,10 @@ mod tests {
     /// The full default-size run (20 scenarios) — the CI chaos job's
     /// in-crate twin. Gated: it takes a few wall-clock seconds.
     #[test]
-    #[cfg_attr(not(feature = "slow-tests"), ignore = "enable with --features slow-tests")]
+    #[cfg_attr(
+        not(feature = "slow-tests"),
+        ignore = "enable with --features slow-tests"
+    )]
     fn default_twenty_scenario_run_is_all_green() {
         let report = run(&ChaosConfig::default());
         assert_eq!(report.verdicts.len(), 20);

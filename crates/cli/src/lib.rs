@@ -26,7 +26,6 @@ use moldable_graph::{gen, parse_workflow, TaskGraph};
 use moldable_model::ModelClass;
 use moldable_sim::{gantt_ascii, simulate, SimOptions};
 
-
 /// CLI failure, printed to stderr with exit code 2.
 #[derive(Debug)]
 pub struct CliError(pub String);
@@ -51,19 +50,20 @@ USAGE:
   moldable generate --shape SHAPE --size N [--model CLASS] [-P N] [--seed N] [--out FILE]
   moldable info     --graph FILE [-P N]
   moldable bounds   --graph FILE -P N
-  moldable schedule --graph FILE [-P N] [--scheduler NAME] [--mu X]
-                    [--policy NAME] [--gantt WIDTH] [--csv FILE] [--trace FILE]
-                    [--svg FILE]
+  moldable schedule --graph FILE [-P N] [--scheduler NAME] [--algo NAME]
+                    [--mu X] [--policy NAME] [--gantt WIDTH] [--csv FILE]
+                    [--trace FILE] [--svg FILE]
   moldable fit      --samples FILE   # lines: <procs> <time>
   moldable serve    [--addr HOST:PORT | --port N] [--workers N] [--queue-cap N]
                     [--max-frame BYTES] [--timeout SECS] [--port-file FILE]
   moldable loadgen  [--addr HOST:PORT] [--clients N] [--requests N] [--rate RPS]
                     [--shape SHAPE] [--size N] [--model CLASS] [-P N]
-                    [--seed N] [--seeds N] [--out FILE]
+                    [--algo NAME] [--seed N] [--seeds N] [--out FILE]
   moldable session-loadgen [--addr HOST:PORT] [--tenants N] [--sessions N]
                     [--dags N] [--shape SHAPE] [--size N] [--model CLASS]
-                    [--seed N] [--gap SECS] [--max-events N] [--probe-dags N]
-                    [--threads N] [--out FILE] [--events-out FILE]
+                    [--algo NAME] [--seed N] [--gap SECS] [--max-events N]
+                    [--probe-dags N] [--threads N] [--out FILE]
+                    [--events-out FILE]
   moldable chaos    [--seed N] [--scenarios N] [--workers N] [--out FILE]
   moldable lint     [--root DIR] [--json FILE]
 
@@ -73,6 +73,8 @@ CLASSES:     roofline, communication, amdahl, general  (default: amdahl)
 SCHEDULERS:  online (paper's Algorithm 1+2, default), one-proc, max-proc,
              ect, equal-share, backfill (EASY), adaptive (mu discovered
              online), cpa (offline)
+ALGOS:       icpp22 (default, ICPP'22 Algorithm 2), improved23 (the
+             Perotin–Sun dual allocation; online scheduler only)
 POLICIES:    fifo (default), lpt, spt, narrow-first, wide-first
 
 `serve` runs the scheduling daemon until SIGINT/SIGTERM or a `shutdown`
@@ -272,6 +274,7 @@ fn cmd_schedule(opts: &Opts) -> Result<String, CliError> {
         "graph",
         "P",
         "scheduler",
+        "algo",
         "mu",
         "policy",
         "gantt",
@@ -283,6 +286,8 @@ fn cmd_schedule(opts: &Opts) -> Result<String, CliError> {
     let p = platform(opts, hint)?;
     let name = opts.get("scheduler").unwrap_or("online");
     let class = g.model_class().unwrap_or(ModelClass::General);
+    let algo = moldable_core::registry::by_name(opts.get("algo").unwrap_or("icpp22"))
+        .map_err(|e| err(format!("{e} (see --help)")))?;
     let mu = opts.parse_num::<f64>("mu")?;
     let policy = match opts.get("policy") {
         Some(p) => Some(make_policy(p)?),
@@ -290,6 +295,11 @@ fn cmd_schedule(opts: &Opts) -> Result<String, CliError> {
     };
     if mu.is_some() && name != "online" && name != "backfill" {
         return Err(err("--mu only applies to the online scheduler"));
+    }
+    if algo != moldable_core::AlgoName::Icpp22 && name != "online" {
+        return Err(err(format!(
+            "--algo {algo} only applies to the online scheduler, not `{name}`"
+        )));
     }
     if policy.is_some() && name != "online" {
         return Err(err("--policy only applies to the online scheduler"));
@@ -306,8 +316,8 @@ fn cmd_schedule(opts: &Opts) -> Result<String, CliError> {
     let schedule = match name {
         "online" => {
             let mut s = match mu {
-                Some(m) => OnlineScheduler::with_mu(m),
-                None => OnlineScheduler::for_class(class),
+                Some(m) => OnlineScheduler::with_algo(algo, m),
+                None => OnlineScheduler::for_algo_class(algo, class),
             };
             if let Some(pol) = policy {
                 s = s.with_policy(pol);
@@ -341,6 +351,9 @@ fn cmd_schedule(opts: &Opts) -> Result<String, CliError> {
 
     let b = g.bounds(p);
     let mut out = String::new();
+    if name == "online" {
+        out.push_str(&format!("algo: {algo}\n"));
+    }
     out.push_str(&format!(
         "scheduler: {name}\nP: {p}\ntasks: {}\nmakespan: {:.6}\nlower bound: {:.6}\n\
          normalized: {:.4}\nutilization: {:.1}%\n",
@@ -510,8 +523,8 @@ fn cmd_loadgen(opts: &Opts) -> Result<String, CliError> {
     use moldable_serve::{loadgen, LoadConfig, LoadMode};
 
     opts.known(&[
-        "addr", "clients", "requests", "rate", "shape", "size", "model", "P", "seed", "seeds",
-        "out",
+        "addr", "clients", "requests", "rate", "shape", "size", "model", "P", "algo", "seed",
+        "seeds", "out",
     ])?;
     let mut config = LoadConfig::default();
     if let Some(addr) = opts.get("addr") {
@@ -547,6 +560,12 @@ fn cmd_loadgen(opts: &Opts) -> Result<String, CliError> {
     if let Some(p) = opts.parse_num::<u32>("P")? {
         config.p = p;
     }
+    if let Some(algo) = opts.get("algo") {
+        // Validated here so a typo fails before any connection is made
+        // rather than as a per-request daemon error.
+        moldable_core::registry::by_name(algo).map_err(|e| err(format!("{e} (see --help)")))?;
+        config.algo = algo.to_string();
+    }
     if let Some(seed) = opts.parse_num::<u64>("seed")? {
         config.seed_base = seed;
     }
@@ -581,6 +600,7 @@ fn cmd_session_loadgen(opts: &Opts) -> Result<String, CliError> {
         "shape",
         "size",
         "model",
+        "algo",
         "seed",
         "gap",
         "max-events",
@@ -615,6 +635,11 @@ fn cmd_session_loadgen(opts: &Opts) -> Result<String, CliError> {
     if let Some(model) = opts.get("model") {
         config.model = model.to_string();
     }
+    if let Some(algo) = opts.get("algo") {
+        // Same eager validation as `loadgen`: fail before connecting.
+        moldable_core::registry::by_name(algo).map_err(|e| err(format!("{e} (see --help)")))?;
+        config.algo = algo.to_string();
+    }
     if let Some(seed) = opts.parse_num::<u64>("seed")? {
         config.seed_base = seed;
     }
@@ -643,8 +668,7 @@ fn cmd_session_loadgen(opts: &Opts) -> Result<String, CliError> {
         out.push_str(&format!("wrote report to {path}\n"));
     }
     if let Some(path) = opts.get("events-out") {
-        fs::write(path, &report.event_log)
-            .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        fs::write(path, &report.event_log).map_err(|e| err(format!("cannot write {path}: {e}")))?;
         out.push_str(&format!("wrote event log to {path}\n"));
     }
     Ok(out)
@@ -695,8 +719,7 @@ fn cmd_lint(opts: &Opts) -> Result<String, CliError> {
         .map_err(|e| err(format!("cannot scan {}: {e}", root.display())))?;
     let mut out = report.to_text();
     if let Some(path) = opts.get("json") {
-        fs::write(path, report.to_json())
-            .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+        fs::write(path, report.to_json()).map_err(|e| err(format!("cannot write {path}: {e}")))?;
         out.push_str(&format!("wrote report to {path}\n"));
     }
     if report.diagnostics.is_empty() {
@@ -764,8 +787,8 @@ mod tests {
         // HashMap, which option got reported depended on the
         // per-process hasher seed.
         for _ in 0..16 {
-            let e = run_args(&["info", "--zeta", "1", "--alpha", "2", "--graph", "g.mtg"])
-                .unwrap_err();
+            let e =
+                run_args(&["info", "--zeta", "1", "--alpha", "2", "--graph", "g.mtg"]).unwrap_err();
             assert!(
                 e.0.contains("--alpha"),
                 "expected the first unknown option alphabetically, got: {}",
@@ -831,8 +854,21 @@ mod tests {
         let addr = server.local_addr().to_string();
         let out_file = tmp("bench_serve_cli.json");
         let out = run_args(&[
-            "loadgen", "--addr", &addr, "--clients", "2", "--requests", "20", "--shape", "lu",
-            "--size", "3", "--seeds", "4", "--out", &out_file,
+            "loadgen",
+            "--addr",
+            &addr,
+            "--clients",
+            "2",
+            "--requests",
+            "20",
+            "--shape",
+            "lu",
+            "--size",
+            "3",
+            "--seeds",
+            "4",
+            "--out",
+            &out_file,
         ])
         .unwrap();
         assert!(out.contains("ok 20"), "{out}");
@@ -869,15 +905,24 @@ mod tests {
             let addr = server.local_addr().to_string();
             let out = run_args(&[
                 "session-loadgen",
-                "--addr", &addr,
-                "--tenants", "2",
-                "--sessions", "2",
-                "--dags", "2",
-                "--size", "3",
-                "--probe-dags", "4",
-                "--threads", "2",
-                "--out", &out_file,
-                "--events-out", log,
+                "--addr",
+                &addr,
+                "--tenants",
+                "2",
+                "--sessions",
+                "2",
+                "--dags",
+                "2",
+                "--size",
+                "3",
+                "--probe-dags",
+                "4",
+                "--threads",
+                "2",
+                "--out",
+                &out_file,
+                "--events-out",
+                log,
             ])
             .unwrap();
             server.trigger_drain();
@@ -933,13 +978,29 @@ mod tests {
         let first_file = tmp("chaos_first.json");
         let second_file = tmp("chaos_second.json");
         let first = run_args(&[
-            "chaos", "--seed", "9", "--scenarios", "2", "--workers", "2", "--out", &first_file,
+            "chaos",
+            "--seed",
+            "9",
+            "--scenarios",
+            "2",
+            "--workers",
+            "2",
+            "--out",
+            &first_file,
         ])
         .unwrap();
         assert!(first.contains("ALL GREEN"), "{first}");
         assert!(first.contains("wrote scenario log"), "{first}");
         let second = run_args(&[
-            "chaos", "--seed", "9", "--scenarios", "2", "--workers", "2", "--out", &second_file,
+            "chaos",
+            "--seed",
+            "9",
+            "--scenarios",
+            "2",
+            "--workers",
+            "2",
+            "--out",
+            &second_file,
         ])
         .unwrap();
         assert!(second.contains("ALL GREEN"), "{second}");
@@ -985,7 +1046,10 @@ mod tests {
                     break p;
                 }
             }
-            assert!(std::time::Instant::now() < deadline, "port file never appeared");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "port file never appeared"
+            );
             std::thread::sleep(std::time::Duration::from_millis(20));
         };
         let mut client = Client::connect(&format!("127.0.0.1:{port}")).unwrap();
@@ -1158,6 +1222,61 @@ mod tests {
         assert!(e
             .to_string()
             .contains("only applies to the online scheduler"));
+    }
+
+    #[test]
+    fn schedule_selects_the_algorithm_by_name() {
+        let file = tmp("algo.mtg");
+        let _ = run_args(&[
+            "generate", "--shape", "cholesky", "--size", "4", "--model", "amdahl", "-P", "16",
+            "--out", &file,
+        ])
+        .unwrap();
+        // Both registered algorithms schedule the same workflow; the
+        // chosen one is echoed in the report.
+        let icpp = run_args(&["schedule", "--graph", &file, "--algo", "icpp22"]).unwrap();
+        assert!(icpp.contains("algo: icpp22"), "{icpp}");
+        let improved = run_args(&["schedule", "--graph", &file, "--algo", "improved23"]).unwrap();
+        assert!(improved.contains("algo: improved23"), "{improved}");
+        assert!(improved.contains("makespan:"), "{improved}");
+        // The default is icpp22, exactly as if --algo were omitted.
+        let default = run_args(&["schedule", "--graph", &file]).unwrap();
+        assert_eq!(default, icpp, "default algo must be icpp22");
+
+        let e = run_args(&["schedule", "--graph", &file, "--algo", "fastest"]).unwrap_err();
+        assert!(e.to_string().contains("unknown algo `fastest`"), "{e}");
+        let e = run_args(&[
+            "schedule",
+            "--graph",
+            &file,
+            "--scheduler",
+            "ect",
+            "--algo",
+            "improved23",
+        ])
+        .unwrap_err();
+        assert!(
+            e.to_string()
+                .contains("only applies to the online scheduler"),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn loadgen_commands_validate_algo_before_connecting() {
+        // Unknown algo must fail fast, before any connection attempt —
+        // the error names the algo, not a connection failure.
+        let e = run_args(&["loadgen", "--addr", "127.0.0.1:1", "--algo", "bogus"]).unwrap_err();
+        assert!(e.to_string().contains("unknown algo `bogus`"), "{e}");
+        let e = run_args(&[
+            "session-loadgen",
+            "--addr",
+            "127.0.0.1:1",
+            "--algo",
+            "bogus",
+        ])
+        .unwrap_err();
+        assert!(e.to_string().contains("unknown algo `bogus`"), "{e}");
     }
 
     #[test]

@@ -104,9 +104,9 @@ impl Scheduler for AdaptiveScheduler {
 mod tests {
     use super::*;
     use moldable_graph::{gen, GraphBuilder};
+    use moldable_model::rng::StdRng;
     use moldable_model::sample::ParamDistribution;
     use moldable_sim::{simulate, SimOptions};
-    use moldable_model::rng::StdRng;
 
     #[test]
     fn single_class_graph_matches_for_class_exactly() {

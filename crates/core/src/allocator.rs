@@ -128,6 +128,119 @@ pub fn allocate_linear_reference(model: &SpeedupModel, p_total: u32, mu: f64) ->
     }
 }
 
+/// Relative tolerance for the area budget of the dual allocation:
+/// `a(p) ≤ λ·a_min` is checked as `a(p) ≤ λ·a_min·(1 + AREA_RTOL)` so
+/// that the always-feasible point `p = 1` (where `a = a_min` exactly
+/// for monotone models) survives float rounding.
+const AREA_RTOL: f64 = 1e-12;
+
+/// The Improved'23 *dual* local allocation (after Perotin & Sun,
+/// arXiv 2304.14127): over `p ∈ [1, p_max]`, minimize the execution
+/// time `t(p)` subject to the **area budget** `a(p) ≤ λ·a_min`, where
+/// `λ = lambda ≥ 1`; then cap at `⌈μP⌉` exactly like Algorithm 2's
+/// Step 2.
+///
+/// On `[1, p_max]` the area is non-decreasing and the time
+/// non-increasing (Lemma 1), so the feasible set is a prefix
+/// `[1, p_λ]` and the constrained time-minimizer is simply the
+/// *largest* feasible `p` — found here by binary search in O(log P).
+/// This is the mirror image of [`allocate`], which takes the smallest
+/// `p` meeting a time-stretch bound: the dual spends its whole area
+/// budget on parallelism, and the budget makes the area stretch
+/// `α ≤ λ` hold *by construction* (integer rounding only shrinks the
+/// area), with no rounding slack.
+///
+/// For arbitrary (table / non-monotone closure) models it falls back
+/// to the exhaustive scan of [`allocate_improved_linear_reference`].
+///
+/// # Panics
+///
+/// Panics if `mu ∉ (0, (3−√5)/2]`, `lambda < 1`, or `p_total == 0`.
+#[must_use]
+pub fn allocate_improved(model: &SpeedupModel, p_total: u32, mu: f64, lambda: f64) -> Allocation {
+    assert!(
+        mu > 0.0 && mu <= moldable_model::MU_MAX + 1e-12,
+        "mu must lie in (0, (3-sqrt(5))/2], got {mu}"
+    );
+    assert!(
+        lambda >= 1.0,
+        "the area budget needs lambda >= 1, got {lambda}"
+    );
+    assert!(p_total >= 1);
+    let initial = match model {
+        SpeedupModel::Table(_)
+        | SpeedupModel::Formula {
+            nonincreasing: false,
+            ..
+        } => {
+            return allocate_improved_linear_reference(model, p_total, mu, lambda);
+        }
+        _ => {
+            let p_max = model.p_max(p_total);
+            let budget = lambda * model.a_min() * (1.0 + AREA_RTOL);
+            // Binary search for the largest p in [1, p_max] with
+            // a(p) <= budget; feasibility is a prefix because the area
+            // is non-decreasing on [1, p_max] (Lemma 1).
+            let (mut lo, mut hi) = (1u32, p_max);
+            while lo < hi {
+                let mid = lo + (hi - lo).div_ceil(2);
+                if model.area(mid) <= budget {
+                    lo = mid;
+                } else {
+                    hi = mid - 1;
+                }
+            }
+            debug_assert!(model.area(lo) <= budget, "p = 1 is always feasible");
+            lo
+        }
+    };
+    Allocation {
+        initial,
+        capped: initial.min(mu_cap(p_total, mu)),
+    }
+}
+
+/// Reference implementation of the dual allocation by exhaustive scan:
+/// among all `p ∈ [1, p_max]` with `a(p) ≤ λ·a_min` (with `a_min` the
+/// exact minimum area over `[1, p_max]`), pick the one of minimum time
+/// (ties broken toward smaller `p`). Correct for *any* model, monotone
+/// or not; used to cross-check [`allocate_improved`] in tests and to
+/// drive arbitrary models.
+///
+/// # Panics
+///
+/// Same contract as [`allocate_improved`].
+#[must_use]
+pub fn allocate_improved_linear_reference(
+    model: &SpeedupModel,
+    p_total: u32,
+    mu: f64,
+    lambda: f64,
+) -> Allocation {
+    assert!(mu > 0.0 && mu <= moldable_model::MU_MAX + 1e-12);
+    assert!(lambda >= 1.0, "the area budget needs lambda >= 1");
+    assert!(p_total >= 1);
+    let p_max = model.p_max(p_total);
+    let a_min = (1..=p_max)
+        .map(|p| model.area(p))
+        .fold(f64::INFINITY, f64::min);
+    let budget = lambda * a_min * (1.0 + AREA_RTOL);
+    let mut best: Option<(f64, u32)> = None;
+    for p in 1..=p_max {
+        if model.area(p) <= budget {
+            let time = model.time(p);
+            if best.is_none_or(|(t, _)| time < t) {
+                best = Some((time, p));
+            }
+        }
+    }
+    let (_, initial) = best.expect("the area minimizer always fits its own budget");
+    Allocation {
+        initial,
+        capped: initial.min(mu_cap(p_total, mu)),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,5 +378,112 @@ mod tests {
         let cap = mu_cap(p_total, 0.324); // 33
         assert!(a.initial > cap);
         assert_eq!(a.capped, cap);
+    }
+
+    // ---- the Improved'23 dual allocation ----
+
+    #[test]
+    fn dual_respects_budget_and_is_maximal() {
+        let models = [
+            SpeedupModel::roofline(123.0, 77).unwrap(),
+            SpeedupModel::communication(345.0, 0.9).unwrap(),
+            SpeedupModel::amdahl(512.0, 3.0).unwrap(),
+            SpeedupModel::general(800.0, 60, 2.0, 0.4).unwrap(),
+        ];
+        for m in &models {
+            for lambda in [1.0, 1.2361, 1.7575, 2.5] {
+                let p_total = 128;
+                let a = allocate_improved(m, p_total, 0.3, lambda);
+                let budget = lambda * m.a_min();
+                assert!(
+                    m.area(a.initial) <= budget * (1.0 + 1e-9),
+                    "budget violated for {m:?} at lambda={lambda}"
+                );
+                if a.initial < m.p_max(p_total) {
+                    assert!(
+                        m.area(a.initial + 1) > budget,
+                        "not maximal for {m:?} at lambda={lambda}: p+1 also fits"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dual_binary_search_matches_linear_reference() {
+        for lambda in [1.0, 1.2361, 1.7575, 1.764, 3.0] {
+            for p_total in [1u32, 2, 3, 7, 32, 100] {
+                let models = [
+                    SpeedupModel::roofline(40.0, 12).unwrap(),
+                    SpeedupModel::communication(90.0, 1.3).unwrap(),
+                    SpeedupModel::amdahl(64.0, 2.0).unwrap(),
+                    SpeedupModel::general(150.0, 20, 1.0, 0.7).unwrap(),
+                ];
+                for m in &models {
+                    assert_eq!(
+                        allocate_improved(m, p_total, 0.27, lambda),
+                        allocate_improved_linear_reference(m, p_total, 0.27, lambda),
+                        "mismatch for {m:?}, P={p_total}, lambda={lambda}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dual_coincides_with_icpp22_on_roofline() {
+        // For roofline tasks both allocations take p_max (the area is
+        // flat up to pbar), so at equal mu the two algorithms make
+        // identical decisions.
+        for (w, pbar, p_total) in [(100.0, 50, 100), (7.0, 200, 64), (1.0, 1, 16)] {
+            let m = SpeedupModel::roofline(w, pbar).unwrap();
+            assert_eq!(
+                allocate_improved(&m, p_total, MU_MAX, 1.0),
+                allocate(&m, p_total, MU_MAX),
+            );
+        }
+    }
+
+    #[test]
+    fn dual_spends_the_budget_on_parallelism() {
+        // Amdahl, lambda = 1.7575: p* ≈ (lambda-1)·w/d + lambda.
+        let m = SpeedupModel::amdahl(100.0, 1.0).unwrap();
+        let a = allocate_improved(&m, 512, 0.270875, 1.7575);
+        assert!(a.initial >= 76 && a.initial <= 77, "got {}", a.initial);
+        // The primal (min-area) allocation is far smaller at its mu*.
+        let primal = allocate(&m, 512, 0.270875);
+        assert!(primal.initial < a.initial);
+        // lambda = 1 with strictly increasing area degenerates to p=1.
+        let one = allocate_improved(&m, 512, 0.3, 1.0);
+        assert_eq!(one.initial, 1);
+    }
+
+    #[test]
+    fn dual_arbitrary_model_minimizes_time_within_budget() {
+        // Areas: 10, 4, 9, 4.8 — a_min = 4 at p=2. lambda = 1.25 →
+        // budget 5: feasible {2, 4} (areas 4, 4.8); times 2 vs 1.2 →
+        // p = 4.
+        let m = SpeedupModel::table(vec![10.0, 2.0, 3.0, 1.2]).unwrap();
+        let a = allocate_improved(&m, 8, 0.3, 1.25);
+        assert_eq!(a.initial, 4);
+        // Tighter budget keeps only the area minimizer.
+        let a = allocate_improved(&m, 8, 0.3, 1.0);
+        assert_eq!(a.initial, 2);
+    }
+
+    #[test]
+    fn dual_cap_applies() {
+        let m = SpeedupModel::roofline(1e6, 10_000).unwrap();
+        let p_total = 100;
+        let a = allocate_improved(&m, p_total, 0.331, 1.2361);
+        assert_eq!(a.capped, mu_cap(p_total, 0.331));
+        assert!(a.initial > a.capped);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda >= 1")]
+    fn dual_rejects_sub_unit_budget() {
+        let m = SpeedupModel::amdahl(1.0, 0.0).unwrap();
+        let _ = allocate_improved(&m, 4, 0.3, 0.9);
     }
 }

@@ -268,8 +268,8 @@ mod tests {
     #[test]
     fn valid_on_random_workflows_and_competitive_in_practice() {
         use moldable_graph::gen;
-        use moldable_model::sample::ParamDistribution;
         use moldable_model::rng::StdRng;
+        use moldable_model::sample::ParamDistribution;
         let p_total = 32;
         for class in ModelClass::bounded_classes() {
             let mu = class.optimal_mu();

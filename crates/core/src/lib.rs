@@ -4,10 +4,16 @@
 //! * [`allocator`] — **Algorithm 2**: the two-step processor
 //!   allocation (local-processor-allocation step minimizing the area
 //!   ratio `α` subject to the time-stretch constraint
-//!   `β ≤ (1−2μ)/(μ(1−μ))`, then the `⌈μP⌉` cap).
+//!   `β ≤ (1−2μ)/(μ(1−μ))`, then the `⌈μP⌉` cap) — plus the
+//!   Improved'23 *dual* allocation ([`allocate_improved`]) that
+//!   minimizes time subject to an area budget.
 //! * [`OnlineScheduler`] — **Algorithm 1**: list scheduling over a
 //!   waiting queue of available tasks, with the allocation of
 //!   Algorithm 2 and a per-model-class choice of `μ` (Theorems 1–4).
+//! * [`registry`] — the algorithm registry: both online algorithms
+//!   behind stable names (`icpp22`, `improved23`) with their per-class
+//!   parameters and proven envelopes, mirroring
+//!   `moldable_graph::gen::by_name`.
 //! * [`baselines`] — reference schedulers: naive allocations
 //!   (1 processor, `p_max`), the earliest-completion-time heuristic,
 //!   the equal-share strategy of Figure 4(b), and the two ablations of
@@ -41,6 +47,7 @@ pub mod baselines;
 
 pub mod memo;
 pub mod ready_queue;
+pub mod registry;
 
 mod adaptive;
 mod backfill;
@@ -48,9 +55,13 @@ mod online;
 mod policy;
 
 pub use adaptive::AdaptiveScheduler;
-pub use allocator::{allocate, allocate_linear_reference, mu_cap, Allocation};
+pub use allocator::{
+    allocate, allocate_improved, allocate_improved_linear_reference, allocate_linear_reference,
+    mu_cap, Allocation,
+};
 pub use backfill::EasyBackfillScheduler;
 pub use memo::AllocCache;
 pub use online::OnlineScheduler;
 pub use policy::QueuePolicy;
 pub use ready_queue::{IndexedQueue, LinearQueue, ReadyItem, ReadyQueue, SPILL_THRESHOLD};
+pub use registry::{AlgoName, ALGOS, ALGO_NAMES};

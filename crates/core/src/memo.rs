@@ -21,7 +21,8 @@ use std::sync::Arc;
 
 use moldable_model::SpeedupModel;
 
-use crate::{allocate, Allocation};
+use crate::registry::AlgoName;
+use crate::Allocation;
 
 /// Exact identity of a speedup model for interning purposes.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -64,9 +65,12 @@ impl ModelKey {
     }
 }
 
-/// Memoized front-end to [`allocate`] for a fixed platform size and μ.
+/// Memoized front-end to the local allocation ([`allocate`] or
+/// [`allocate_improved`], per [`AlgoName`]) for a fixed platform size
+/// and μ.
 #[derive(Debug)]
 pub struct AllocCache {
+    algo: AlgoName,
     p_total: u32,
     mu: f64,
     map: HashMap<ModelKey, Allocation>,
@@ -89,12 +93,28 @@ impl AllocCache {
     /// `p_total ≥ 1`.
     #[must_use]
     pub fn new(p_total: u32, mu: f64) -> Self {
+        Self::for_algo(AlgoName::Icpp22, p_total, mu)
+    }
+
+    /// Cache for `algo`'s allocations on a `P = p_total` platform with
+    /// parameter `μ`. For [`AlgoName::Improved23`] the per-class area
+    /// budget `λ` is looked up from each model's own class at
+    /// allocation time ([`AlgoName::lambda`]), so one cache serves
+    /// mixed-class workloads.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`allocate`]: `μ ∈ (0, (3−√5)/2]`,
+    /// `p_total ≥ 1`.
+    #[must_use]
+    pub fn for_algo(algo: AlgoName, p_total: u32, mu: f64) -> Self {
         assert!(
             mu > 0.0 && mu <= moldable_model::MU_MAX + 1e-12,
             "mu must lie in (0, (3-sqrt(5))/2], got {mu}"
         );
         assert!(p_total >= 1);
         Self {
+            algo,
             p_total,
             mu,
             map: HashMap::new(),
@@ -116,16 +136,31 @@ impl AllocCache {
         self.mu
     }
 
-    /// Whether this cache's decisions are valid for the given
-    /// `(P, μ)` pair (exact match; μ compared by bit pattern).
+    /// The algorithm this cache memoizes.
     #[must_use]
-    pub fn matches(&self, p_total: u32, mu: f64) -> bool {
-        self.p_total == p_total && self.mu.to_bits() == mu.to_bits()
+    pub fn algo(&self) -> AlgoName {
+        self.algo
     }
 
-    /// Algorithm 2 through the cache: identical to
-    /// `allocate(model, p_total, mu)`, but repeat models cost one hash
-    /// lookup.
+    /// Whether this cache's decisions are valid for the given
+    /// `(P, μ)` pair under the ICPP'22 algorithm (exact match; μ
+    /// compared by bit pattern).
+    #[must_use]
+    pub fn matches(&self, p_total: u32, mu: f64) -> bool {
+        self.matches_algo(AlgoName::Icpp22, p_total, mu)
+    }
+
+    /// Whether this cache's decisions are valid for the given
+    /// `(algo, P, μ)` triple (exact match; μ compared by bit pattern).
+    #[must_use]
+    pub fn matches_algo(&self, algo: AlgoName, p_total: u32, mu: f64) -> bool {
+        self.algo == algo && self.p_total == p_total && self.mu.to_bits() == mu.to_bits()
+    }
+
+    /// The local allocation through the cache: identical to
+    /// `allocate(model, p_total, mu)` (or `allocate_improved` with the
+    /// model class's λ, per the cache's algorithm), but repeat models
+    /// cost one hash lookup.
     pub fn allocate(&mut self, model: &SpeedupModel) -> Allocation {
         self.probes += 1;
         let key = ModelKey::of(model);
@@ -136,7 +171,7 @@ impl AllocCache {
         if matches!(model, SpeedupModel::Formula { .. }) {
             self.pinned.push(model.clone());
         }
-        let allocation = allocate(model, self.p_total, self.mu);
+        let allocation = self.algo.allocate(model, self.p_total, self.mu);
         self.map.insert(key, allocation);
         allocation
     }
@@ -172,6 +207,7 @@ impl AllocCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::allocate;
     use moldable_model::{ModelClass, MU_MAX};
 
     #[test]
@@ -229,6 +265,40 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a, c);
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn improved_cache_matches_direct_dual_allocate() {
+        let mut rng = moldable_model::rng::StdRng::seed_from_u64(9);
+        let dist = moldable_model::sample::ParamDistribution::default();
+        for class in [
+            ModelClass::Roofline,
+            ModelClass::Communication,
+            ModelClass::Amdahl,
+            ModelClass::General,
+            ModelClass::Arbitrary,
+        ] {
+            let mu = AlgoName::Improved23.optimal_mu(class);
+            let mut cache = AllocCache::for_algo(AlgoName::Improved23, 48, mu);
+            for _ in 0..30 {
+                let m = dist.sample(class, 48, &mut rng);
+                let want = AlgoName::Improved23.allocate(&m, 48, mu);
+                assert_eq!(cache.allocate(&m), want, "{class}");
+                assert_eq!(cache.allocate(&m), want, "{class} (warm)");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_is_algo_aware() {
+        let c = AllocCache::for_algo(AlgoName::Improved23, 16, 0.3);
+        assert!(c.matches_algo(AlgoName::Improved23, 16, 0.3));
+        assert!(!c.matches_algo(AlgoName::Icpp22, 16, 0.3));
+        assert!(!c.matches(16, 0.3), "matches() means icpp22");
+        assert_eq!(c.algo(), AlgoName::Improved23);
+        let c = AllocCache::new(16, 0.3);
+        assert!(c.matches(16, 0.3));
+        assert_eq!(c.algo(), AlgoName::Icpp22);
     }
 
     #[test]

@@ -8,7 +8,8 @@ use moldable_sim::{BatchScheduler, BatchStart, Scheduler};
 
 use crate::memo::AllocCache;
 use crate::ready_queue::{IndexedQueue, LinearQueue, ReadyItem, ReadyQueue};
-use crate::{allocate, Allocation, QueuePolicy};
+use crate::registry::AlgoName;
+use crate::{Allocation, QueuePolicy};
 
 /// The paper's online scheduler (Algorithm 1).
 ///
@@ -34,6 +35,10 @@ use crate::{allocate, Allocation, QueuePolicy};
 /// [`OnlineScheduler::with_mu`] for sweeps.
 #[derive(Debug)]
 pub struct OnlineScheduler {
+    /// Which registered local allocation drives Algorithm 1
+    /// ([`AlgoName::Icpp22`] unless built through
+    /// [`OnlineScheduler::with_algo`] / [`OnlineScheduler::for_algo_class`]).
+    algo: AlgoName,
     mu: f64,
     policy: QueuePolicy,
     p_total: u32,
@@ -48,7 +53,7 @@ pub struct OnlineScheduler {
     /// Adaptive cache bypass for the batched release path: set once the
     /// observed [`AllocCache`] hit rate proves the workload's models
     /// are (almost) all distinct, after which Algorithm 2 runs directly
-    /// — same decisions ([`allocate`] is pure), no interning overhead.
+    /// — same decisions ([`crate::allocate`] is pure), no interning overhead.
     bypass_cache: bool,
     /// Reused drain buffer for [`BatchScheduler::select_batch`].
     scratch: Vec<ReadyItem>,
@@ -85,24 +90,46 @@ impl QueueKind {
 }
 
 impl OnlineScheduler {
-    /// Scheduler with the μ that is optimal for `class` (Theorems 1–4).
+    /// ICPP'22 scheduler with the μ that is optimal for `class`
+    /// (Theorems 1–4).
     #[must_use]
     pub fn for_class(class: ModelClass) -> Self {
         Self::with_mu(class.optimal_mu())
     }
 
-    /// Scheduler with an explicit `μ ∈ (0, (3−√5)/2]`.
+    /// Scheduler for any registered algorithm with that algorithm's
+    /// envelope-optimal μ for `class` (see [`AlgoName::optimal_mu`]).
+    #[must_use]
+    pub fn for_algo_class(algo: AlgoName, class: ModelClass) -> Self {
+        Self::with_algo(algo, algo.optimal_mu(class))
+    }
+
+    /// ICPP'22 scheduler with an explicit `μ ∈ (0, (3−√5)/2]`.
     ///
     /// # Panics
     ///
     /// Panics if `mu` is outside the admissible range.
     #[must_use]
     pub fn with_mu(mu: f64) -> Self {
+        Self::with_algo(AlgoName::Icpp22, mu)
+    }
+
+    /// Scheduler for any registered algorithm with an explicit
+    /// `μ ∈ (0, (3−√5)/2]`. For [`AlgoName::Improved23`] the per-class
+    /// area budget λ is taken from each task's own model class
+    /// ([`AlgoName::lambda`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mu` is outside the admissible range.
+    #[must_use]
+    pub fn with_algo(algo: AlgoName, mu: f64) -> Self {
         assert!(
             mu > 0.0 && mu <= moldable_model::MU_MAX + 1e-12,
             "mu must lie in (0, (3-sqrt(5))/2], got {mu}"
         );
         Self {
+            algo,
             mu,
             policy: QueuePolicy::Fifo,
             p_total: 0,
@@ -150,6 +177,12 @@ impl OnlineScheduler {
         self.mu
     }
 
+    /// The registered algorithm in use.
+    #[must_use]
+    pub fn algo(&self) -> AlgoName {
+        self.algo
+    }
+
     /// The Algorithm 2 decision made for `task`.
     ///
     /// Returns `None` unless recording was enabled with
@@ -195,22 +228,22 @@ impl OnlineScheduler {
         let keep = self
             .cache
             .as_ref()
-            .is_some_and(|c| c.matches(p_total, self.mu));
+            .is_some_and(|c| c.matches_algo(self.algo, p_total, self.mu));
         if !keep {
-            self.cache = Some(AllocCache::new(p_total, self.mu));
+            self.cache = Some(AllocCache::for_algo(self.algo, p_total, self.mu));
         }
     }
 
     /// Algorithm 2 for the batched release path: through the cache
     /// until the observed hit rate proves the workload has (almost) no
-    /// repeat models, directly afterwards. [`allocate`] is a pure
+    /// repeat models, directly afterwards. [`crate::allocate`] is a pure
     /// function of `(model, P, μ)`, so the switch can never change a
     /// decision — it only stops paying a hash insert per distinct
     /// model (on a million-task instance with per-task sampled work,
     /// that insert is the single largest release cost).
     fn allocate_batched(&mut self, model: &SpeedupModel) -> Allocation {
         if self.bypass_cache {
-            return allocate(model, self.p_total, self.mu);
+            return self.algo.allocate(model, self.p_total, self.mu);
         }
         match self.cache.as_mut() {
             Some(cache) => {
@@ -222,7 +255,7 @@ impl OnlineScheduler {
                 }
                 allocation
             }
-            None => allocate(model, self.p_total, self.mu),
+            None => self.algo.allocate(model, self.p_total, self.mu),
         }
     }
 }
@@ -244,7 +277,7 @@ impl Scheduler for OnlineScheduler {
         debug_assert!(self.p_total >= 1, "init must run before release");
         let allocation = match self.cache.as_mut() {
             Some(cache) => cache.allocate(model),
-            None => allocate(model, self.p_total, self.mu),
+            None => self.algo.allocate(model, self.p_total, self.mu),
         };
         if let Some(d) = self.decisions.as_mut() {
             d.insert(task, allocation);
@@ -298,7 +331,7 @@ impl Scheduler for OnlineScheduler {
 /// * **Adaptive cache bypass.** When per-task sampled weights make
 ///   every model distinct, the cache's hash-and-insert per release is
 ///   pure overhead; the observed hit rate switches the path to direct
-///   [`allocate`] calls (see `allocate_batched` below).
+///   [`crate::allocate`] calls (see `allocate_batched` below).
 impl BatchScheduler for OnlineScheduler {
     fn init(&mut self, p_total: u32) {
         self.init_impl(p_total);

@@ -15,7 +15,7 @@ use moldable_graph::{gen, GraphBuilder, TaskGraph};
 use moldable_model::rng::{Rng, StdRng};
 use moldable_model::sample::ParamDistribution;
 use moldable_model::{ModelClass, SpeedupModel, MU_MAX};
-use moldable_sim::{simulate, SimOptions, Schedule};
+use moldable_sim::{simulate, Schedule, SimOptions};
 
 const POLICIES: [QueuePolicy; 5] = [
     QueuePolicy::Fifo,
@@ -89,7 +89,10 @@ fn indexed_queue_matches_reference_on_structured_graphs() {
             "fork_join",
             build(ModelClass::General, 0x57A7, &|a| gen::fork_join(12, 4, a)),
         ),
-        ("fft", build(ModelClass::Amdahl, 0x57A8, &|a| gen::fft(4, a))),
+        (
+            "fft",
+            build(ModelClass::Amdahl, 0x57A8, &|a| gen::fft(4, a)),
+        ),
         (
             "lu",
             build(ModelClass::Communication, 0x57A9, &|a| gen::lu(6, a)),
@@ -214,10 +217,22 @@ fn indexed_queue_matches_reference_on_fig3_chain_graphs() {
         assert_eq!(g.n_tasks() as u64, pr.n_tasks, "l={l}: task count");
         assert_eq!(chains.len() as u64, pr.n_chains, "l={l}: chain count");
         for policy in POLICIES {
-            differential(&g, pr.p_total, MU_MAX, policy, &format!("fig3 l={l} {policy:?}"));
+            differential(
+                &g,
+                pr.p_total,
+                MU_MAX,
+                policy,
+                &format!("fig3 l={l} {policy:?}"),
+            );
             // Starved platform: far fewer processors than the
             // construction assumes, so the queue stays deep.
-            differential(&g, 3, 0.15, policy, &format!("fig3-starved l={l} {policy:?}"));
+            differential(
+                &g,
+                3,
+                0.15,
+                policy,
+                &format!("fig3-starved l={l} {policy:?}"),
+            );
         }
     }
 }

@@ -319,7 +319,15 @@ impl GraphBuilder {
             .iter()
             .map(SpeedupModel::class)
             .reduce(ModelClass::join);
-        TaskGraph::from_csr(self.models, succ_off, succ, pred_off, pred, sources, model_class)
+        TaskGraph::from_csr(
+            self.models,
+            succ_off,
+            succ,
+            pred_off,
+            pred,
+            sources,
+            model_class,
+        )
     }
 }
 

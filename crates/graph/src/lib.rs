@@ -46,9 +46,7 @@ pub mod trace;
 pub use bounds::GraphBounds;
 pub use builder::GraphBuilder;
 pub use fileio::{parse_workflow, WorkflowError};
-pub use trace::{
-    parse_trace, TraceError, TraceFormat, TraceLimits, WorkflowTrace,
-};
 pub use frontier::Frontier;
 pub use stats::GraphStats;
 pub use task_graph::{GraphError, TaskGraph, TaskId};
+pub use trace::{parse_trace, TraceError, TraceFormat, TraceLimits, WorkflowTrace};

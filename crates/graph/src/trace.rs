@@ -276,12 +276,7 @@ struct TaskTable {
 }
 
 impl TaskTable {
-    fn intern(
-        &mut self,
-        name: &str,
-        line: usize,
-        limits: &TraceLimits,
-    ) -> Result<u32, TraceError> {
+    fn intern(&mut self, name: &str, line: usize, limits: &TraceLimits) -> Result<u32, TraceError> {
         if let Some(&i) = self.by_name.get(name) {
             return Ok(i);
         }
@@ -338,10 +333,7 @@ pub fn parse_dot_trace(text: &str, limits: &TraceLimits) -> Result<WorkflowTrace
                 }
                 stmt = tail.trim();
             }
-            stmt = stmt
-                .trim_start_matches('{')
-                .trim_end_matches('}')
-                .trim();
+            stmt = stmt.trim_start_matches('{').trim_end_matches('}').trim();
             if stmt.is_empty() {
                 continue;
             }
@@ -422,12 +414,14 @@ fn parse_dot_statement(
                 line,
                 msg: "expected `weight=<number>`".to_string(),
             })?;
-            let w: f64 = v.trim().trim_matches('"').parse().map_err(|_| {
-                TraceError::Parse {
+            let w: f64 = v
+                .trim()
+                .trim_matches('"')
+                .parse()
+                .map_err(|_| TraceError::Parse {
                     line,
                     msg: format!("bad weight `{}`", v.trim()),
-                }
-            })?;
+                })?;
             if !(w.is_finite() && w > 0.0) {
                 return Err(TraceError::BadWeight { line, id });
             }
@@ -531,13 +525,10 @@ pub fn parse_json_trace(text: &str, limits: &TraceLimits) -> Result<WorkflowTrac
     }
     let mut edges = Vec::with_capacity(by_name_edges.len() + child_edges.len());
     for (parent, child, line) in by_name_edges {
-        let from = *table
-            .by_name
-            .get(&parent)
-            .ok_or(TraceError::UnknownTask {
-                line,
-                id: parent.clone(),
-            })?;
+        let from = *table.by_name.get(&parent).ok_or(TraceError::UnknownTask {
+            line,
+            id: parent.clone(),
+        })?;
         edges.push(TraceEdge {
             from,
             to: child,
@@ -717,9 +708,8 @@ impl<'a> Cursor<'a> {
             Err(self.err(format!(
                 "expected `{}`, found `{}`",
                 b as char,
-                self.peek().map_or("end of input".to_string(), |c| {
-                    (c as char).to_string()
-                })
+                self.peek()
+                    .map_or("end of input".to_string(), |c| { (c as char).to_string() })
             )))
         }
     }
@@ -745,15 +735,13 @@ impl<'a> Cursor<'a> {
                             for _ in 0..4 {
                                 let h = self.bump().ok_or_else(|| self.err("bad \\u"))?;
                                 code = code * 16
-                                    + (h as char).to_digit(16).ok_or_else(|| {
-                                        self.err("bad \\u escape")
-                                    })?;
+                                    + (h as char)
+                                        .to_digit(16)
+                                        .ok_or_else(|| self.err("bad \\u escape"))?;
                             }
                             out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
                         }
-                        other => {
-                            return Err(self.err(format!("bad escape `\\{}`", other as char)))
-                        }
+                        other => return Err(self.err(format!("bad escape `\\{}`", other as char))),
                     }
                 }
                 byte if byte < 0x80 => out.push(byte as char),
@@ -790,8 +778,7 @@ impl<'a> Cursor<'a> {
             self.bump();
         }
         let s = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
-        s.parse()
-            .map_err(|_| self.err(format!("bad number `{s}`")))
+        s.parse().map_err(|_| self.err(format!("bad number `{s}`")))
     }
 
     /// Skip any JSON value (used for unknown keys).
@@ -926,11 +913,10 @@ mod tests {
         }
         let c = t.into_graph(ModelClass::Amdahl, 8, 43).unwrap();
         assert!(
-            (0..a.n_tasks())
-                .any(|i| {
-                    let id = TaskId(u32::try_from(i).unwrap());
-                    !a.model(id).bitwise_eq(c.model(id))
-                }),
+            (0..a.n_tasks()).any(|i| {
+                let id = TaskId(u32::try_from(i).unwrap());
+                !a.model(id).bitwise_eq(c.model(id))
+            }),
             "a different seed samples different models"
         );
     }
@@ -977,11 +963,7 @@ mod tests {
             ),
             ("digraph { subgraph x { } }", TraceFormat::Dot, "subgraph"),
             ("digraph { }", TraceFormat::Dot, "no tasks"),
-            (
-                "digraph { a [weight=1; }",
-                TraceFormat::Dot,
-                "unterminated",
-            ),
+            ("digraph { a [weight=1; }", TraceFormat::Dot, "unterminated"),
             ("{\"tasks\": [{}]}", TraceFormat::Json, "needs an `id`"),
             (
                 "{\"tasks\": [{\"id\":\"a\"},{\"id\":\"a\"}]}",

@@ -107,7 +107,12 @@ fn accepted_boundary_shapes_still_construct_near_the_edge() {
     // Building the full edge-size graphs is too expensive for a test,
     // but the guard must not reject anything it shouldn't: spot-check
     // real construction a comfortable distance inside each edge.
-    for (shape, size) in [("in-tree", 12u32), ("fft", 10), ("lu", 40), ("cholesky", 40)] {
+    for (shape, size) in [
+        ("in-tree", 12u32),
+        ("fft", 10),
+        ("lu", 40),
+        ("cholesky", 40),
+    ] {
         let g = gen::by_name(shape, size, ModelClass::Amdahl, 16, 7).unwrap();
         assert_eq!(
             u128::from(g.n_tasks() as u64),
@@ -152,9 +157,9 @@ fn frozen_generator_graphs_match_a_checked_rebuild() {
         }
         for t in g.task_ids() {
             for &s in g.succs(t) {
-                checked
-                    .add_edge(t, s)
-                    .unwrap_or_else(|e| panic!("{shape}/{size}: frozen edge {t}->{s} rejected: {e}"));
+                checked.add_edge(t, s).unwrap_or_else(|e| {
+                    panic!("{shape}/{size}: frozen edge {t}->{s} rejected: {e}")
+                });
             }
         }
         assert_eq!(checked.n_edges(), g.n_edges(), "{shape}/{size}: edge count");

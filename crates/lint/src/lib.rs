@@ -76,8 +76,7 @@ pub fn run(files: &[FileInput], cfg: &RuleConfig) -> Report {
         if !f.is_crate_root {
             continue;
         }
-        if cfg.pure_crates.contains(&f.crate_name) && !ctx.has_inner_attr("forbid", "unsafe_code")
-        {
+        if cfg.pure_crates.contains(&f.crate_name) && !ctx.has_inner_attr("forbid", "unsafe_code") {
             raw.push(ctx.diag(
                 "unsafe-attr",
                 1,

@@ -132,8 +132,7 @@ pub fn analyze(files: &[&FileCtx]) -> (LockGraph, Vec<Diagnostic>) {
         let anchor = edges
             .get(&(names[0].to_string(), names[1].to_string()))
             .cloned();
-        let (func, file, line) =
-            anchor.unwrap_or_else(|| ("?".to_string(), "?".to_string(), 0));
+        let (func, file, line) = anchor.unwrap_or_else(|| ("?".to_string(), "?".to_string(), 0));
         let excerpt = files
             .iter()
             .find(|c| c.rel_path == file)
@@ -342,7 +341,10 @@ mod tests {
         let (g, d) = analyze(&[&c]);
         assert_eq!(g.nodes, vec!["a".to_string(), "b".to_string()]);
         assert_eq!(g.edges.len(), 1);
-        assert_eq!((g.edges[0].from.as_str(), g.edges[0].to.as_str()), ("a", "b"));
+        assert_eq!(
+            (g.edges[0].from.as_str(), g.edges[0].to.as_str()),
+            ("a", "b")
+        );
         assert!(g.cycles.is_empty());
         assert!(d.is_empty());
     }
@@ -383,6 +385,9 @@ mod tests {
                      fn f(s: &S) { let c = s.cfg.read().unwrap(); let l = s.log.lock().unwrap(); use_both(c, l); }\n");
         let (g, _) = analyze(&[&c]);
         assert_eq!(g.edges.len(), 1);
-        assert_eq!((g.edges[0].from.as_str(), g.edges[0].to.as_str()), ("cfg", "log"));
+        assert_eq!(
+            (g.edges[0].from.as_str(), g.edges[0].to.as_str()),
+            ("cfg", "log")
+        );
     }
 }

@@ -75,7 +75,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     }
 
     let report = if workspace {
-        moldable_lint::run_workspace(&root).map_err(|e| format!("reading {}: {e}", root.display()))?
+        moldable_lint::run_workspace(&root)
+            .map_err(|e| format!("reading {}: {e}", root.display()))?
     } else {
         moldable_lint::run_files(&files, &as_crate).map_err(|e| e.to_string())?
     };

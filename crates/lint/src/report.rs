@@ -135,7 +135,11 @@ impl Report {
             o.push_str(if i == 0 { "\n" } else { ",\n" });
             let _ = write!(o, "    {}", diag_json(d));
         }
-        o.push_str(if self.diagnostics.is_empty() { "],\n" } else { "\n  ],\n" });
+        o.push_str(if self.diagnostics.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
         o.push_str("  \"waivers\": [");
         for (i, w) in self.waived.iter().enumerate() {
             o.push_str(if i == 0 { "\n" } else { ",\n" });
@@ -146,7 +150,11 @@ impl Report {
                 json_str(&w.reason)
             );
         }
-        o.push_str(if self.waived.is_empty() { "],\n" } else { "\n  ],\n" });
+        o.push_str(if self.waived.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
         o.push_str("  \"lock_graph\": {\n    \"nodes\": [");
         for (i, n) in self.lock_graph.nodes.iter().enumerate() {
             if i > 0 {
@@ -167,7 +175,11 @@ impl Report {
                 e.line
             );
         }
-        o.push_str(if self.lock_graph.edges.is_empty() { "],\n" } else { "\n    ],\n" });
+        o.push_str(if self.lock_graph.edges.is_empty() {
+            "],\n"
+        } else {
+            "\n    ],\n"
+        });
         o.push_str("    \"cycles\": [");
         for (i, c) in self.lock_graph.cycles.iter().enumerate() {
             if i > 0 {

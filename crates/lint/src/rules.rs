@@ -158,8 +158,7 @@ impl FileCtx {
 /// `#[cfg(test)]` skipped wholesale (test code may freely use wall
 /// clocks, temp dirs, and hash iteration).
 fn code_indices(toks: &[Tok]) -> Vec<usize> {
-    let is_comment =
-        |t: &Tok| matches!(t.kind, TokKind::LineComment | TokKind::BlockComment);
+    let is_comment = |t: &Tok| matches!(t.kind, TokKind::LineComment | TokKind::BlockComment);
     let mut code = Vec::with_capacity(toks.len());
     let mut i = 0;
     while i < toks.len() {
@@ -309,7 +308,14 @@ impl Default for RuleConfig {
         let v = |s: &[&str]| s.iter().map(ToString::to_string).collect();
         Self {
             deterministic_crates: v(&[
-                "core", "graph", "model", "sim", "tenant", "adversary", "offline", "hetero",
+                "core",
+                "graph",
+                "model",
+                "sim",
+                "tenant",
+                "adversary",
+                "offline",
+                "hetero",
             ]),
             wallclock_allow_paths: v(&[
                 "crates/bench/",
@@ -598,9 +604,7 @@ fn unsafe_safety(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
         if !t.is_ident("unsafe") {
             continue;
         }
-        let covered = safety_lines
-            .iter()
-            .any(|&l| l <= t.line && t.line - l <= 8);
+        let covered = safety_lines.iter().any(|&l| l <= t.line && t.line - l <= 8);
         if !covered {
             out.push(ctx.diag(
                 "unsafe-safety",
@@ -701,7 +705,8 @@ mod tests {
 
     #[test]
     fn waiver_parsing_covers_next_code_line() {
-        let src = "// lint:allow(no-hash-iter) order folded into a sum\nfor x in &s { total += x; }";
+        let src =
+            "// lint:allow(no-hash-iter) order folded into a sum\nfor x in &s { total += x; }";
         let c = ctx("core", src);
         assert_eq!(c.waivers.len(), 1);
         let w = &c.waivers[0];

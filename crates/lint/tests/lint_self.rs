@@ -74,8 +74,16 @@ fn workspace_lints_clean() {
 fn workspace_report_is_byte_identical_across_runs() {
     let a = run_workspace(&workspace_root()).unwrap();
     let b = run_workspace(&workspace_root()).unwrap();
-    assert_eq!(a.to_json(), b.to_json(), "JSON report must be deterministic");
-    assert_eq!(a.to_text(), b.to_text(), "text report must be deterministic");
+    assert_eq!(
+        a.to_json(),
+        b.to_json(),
+        "JSON report must be deterministic"
+    );
+    assert_eq!(
+        a.to_text(),
+        b.to_text(),
+        "text report must be deterministic"
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -85,7 +93,11 @@ fn workspace_report_is_byte_identical_across_runs() {
 #[test]
 fn no_wall_clock_fixtures() {
     let bad = lint_one("no_wall_clock", "bad.rs", "core");
-    assert!(rules_hit(&bad).contains(&"no-wall-clock".to_string()), "{}", bad.to_text());
+    assert!(
+        rules_hit(&bad).contains(&"no-wall-clock".to_string()),
+        "{}",
+        bad.to_text()
+    );
     let clean = lint_one("no_wall_clock", "clean.rs", "core");
     assert!(clean.diagnostics.is_empty(), "{}", clean.to_text());
     let waived = lint_one("no_wall_clock", "waived.rs", "core");
@@ -96,7 +108,11 @@ fn no_wall_clock_fixtures() {
 #[test]
 fn no_hash_iter_fixtures() {
     let bad = lint_one("no_hash_iter", "bad.rs", "core");
-    assert!(rules_hit(&bad).contains(&"no-hash-iter".to_string()), "{}", bad.to_text());
+    assert!(
+        rules_hit(&bad).contains(&"no-hash-iter".to_string()),
+        "{}",
+        bad.to_text()
+    );
     assert!(
         bad.diagnostics.len() >= 2,
         "both the method-call and for-loop forms should trip:\n{}",
@@ -120,7 +136,11 @@ fn no_hash_iter_fixtures() {
 #[test]
 fn float_total_order_fixtures() {
     let bad = lint_one("float_total_order", "bad.rs", "core");
-    assert!(rules_hit(&bad).contains(&"float-total-order".to_string()), "{}", bad.to_text());
+    assert!(
+        rules_hit(&bad).contains(&"float-total-order".to_string()),
+        "{}",
+        bad.to_text()
+    );
     let clean = lint_one("float_total_order", "clean.rs", "core");
     assert!(clean.diagnostics.is_empty(), "{}", clean.to_text());
     let waived = lint_one("float_total_order", "waived.rs", "core");
@@ -131,7 +151,11 @@ fn float_total_order_fixtures() {
 #[test]
 fn no_ambient_entropy_fixtures() {
     let bad = lint_one("no_ambient_entropy", "bad.rs", "core");
-    assert!(rules_hit(&bad).contains(&"no-ambient-entropy".to_string()), "{}", bad.to_text());
+    assert!(
+        rules_hit(&bad).contains(&"no-ambient-entropy".to_string()),
+        "{}",
+        bad.to_text()
+    );
     let clean = lint_one("no_ambient_entropy", "clean.rs", "core");
     assert!(clean.diagnostics.is_empty(), "{}", clean.to_text());
     let waived = lint_one("no_ambient_entropy", "waived.rs", "core");
@@ -151,7 +175,11 @@ fn lock_order_fixtures() {
     // Lock analysis only runs over the concurrent crates, so the
     // fixtures are attributed to `serve`.
     let bad = lint_one("lock_order", "bad.rs", "serve");
-    assert!(rules_hit(&bad).contains(&"lock-order".to_string()), "{}", bad.to_text());
+    assert!(
+        rules_hit(&bad).contains(&"lock-order".to_string()),
+        "{}",
+        bad.to_text()
+    );
     assert!(
         bad.lock_graph.cycles.iter().any(|c| c == "a -> b -> a"),
         "expected the canonical a -> b -> a cycle:\n{}",
@@ -161,7 +189,11 @@ fn lock_order_fixtures() {
     assert!(clean.diagnostics.is_empty(), "{}", clean.to_text());
     assert!(clean.lock_graph.cycles.is_empty());
     assert!(
-        clean.lock_graph.edges.iter().any(|e| e.from == "a" && e.to == "b"),
+        clean
+            .lock_graph
+            .edges
+            .iter()
+            .any(|e| e.from == "a" && e.to == "b"),
         "consistent a -> b ordering should still appear as an edge:\n{}",
         clean.to_text()
     );
@@ -170,13 +202,21 @@ fn lock_order_fixtures() {
     assert!(!waived.waived.is_empty(), "waiver should have fired");
     // Outside the lock crates the analysis does not run at all.
     let elsewhere = lint_one("lock_order", "bad.rs", "core");
-    assert!(elsewhere.lock_graph.nodes.is_empty(), "{}", elsewhere.to_text());
+    assert!(
+        elsewhere.lock_graph.nodes.is_empty(),
+        "{}",
+        elsewhere.to_text()
+    );
 }
 
 #[test]
 fn unsafe_safety_fixtures() {
     let bad = lint_one("unsafe_safety", "bad.rs", "serve");
-    assert!(rules_hit(&bad).contains(&"unsafe-safety".to_string()), "{}", bad.to_text());
+    assert!(
+        rules_hit(&bad).contains(&"unsafe-safety".to_string()),
+        "{}",
+        bad.to_text()
+    );
     let clean = lint_one("unsafe_safety", "clean.rs", "serve");
     assert!(clean.diagnostics.is_empty(), "{}", clean.to_text());
     let waived = lint_one("unsafe_safety", "waived.rs", "serve");
@@ -188,16 +228,29 @@ fn unsafe_safety_fixtures() {
 fn bad_waiver_fixtures() {
     let bad = lint_one("bad_waiver", "bad.rs", "core");
     let hits = rules_hit(&bad);
-    assert!(hits.contains(&"bad-waiver".to_string()), "{}", bad.to_text());
+    assert!(
+        hits.contains(&"bad-waiver".to_string()),
+        "{}",
+        bad.to_text()
+    );
     // A reason-less waiver does not suppress: the underlying
     // float-total-order violation must surface too.
-    assert!(hits.contains(&"float-total-order".to_string()), "{}", bad.to_text());
+    assert!(
+        hits.contains(&"float-total-order".to_string()),
+        "{}",
+        bad.to_text()
+    );
     let no_reason = bad
         .diagnostics
         .iter()
         .filter(|d| d.rule == "bad-waiver")
         .count();
-    assert_eq!(no_reason, 2, "one reason-less + one unknown-rule waiver:\n{}", bad.to_text());
+    assert_eq!(
+        no_reason,
+        2,
+        "one reason-less + one unknown-rule waiver:\n{}",
+        bad.to_text()
+    );
     let clean = lint_one("bad_waiver", "clean.rs", "core");
     assert!(clean.diagnostics.is_empty(), "{}", clean.to_text());
     assert!(!clean.waived.is_empty());
@@ -216,7 +269,9 @@ fn unsafe_attr_checked_on_crate_roots() {
         .filter(|d| d.rule == "unsafe-attr")
         .collect();
     assert_eq!(attr.len(), 2, "{}", rep.to_text());
-    assert!(attr.iter().any(|d| d.file.contains("core") && d.message.contains("forbid")));
+    assert!(attr
+        .iter()
+        .any(|d| d.file.contains("core") && d.message.contains("forbid")));
     assert!(attr
         .iter()
         .any(|d| d.file.contains("serve") && d.message.contains("unsafe_op_in_unsafe_fn")));
@@ -303,7 +358,11 @@ fn binary_workspace_gate_passes_and_json_is_stable() {
 #[test]
 fn binary_usage_errors_exit_2() {
     let out = lint_bin().output().unwrap();
-    assert_eq!(out.status.code(), Some(2), "no mode selected is a usage error");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "no mode selected is a usage error"
+    );
     let out = lint_bin().args(["--bogus-flag"]).output().unwrap();
     assert_eq!(out.status.code(), Some(2));
 }

@@ -126,7 +126,6 @@ fn random_monotonic_table<R: Rng + ?Sized>(w: f64, len: u32, rng: &mut R) -> Spe
 mod tests {
     use super::*;
     use crate::rng::StdRng;
-    
 
     #[test]
     fn sampled_models_match_requested_class() {

@@ -256,8 +256,8 @@ pub fn optimal_makespan(graph: &TaskGraph, p_total: u32, limits: BruteForceLimit
 
 #[cfg(test)]
 mod tests {
-    use moldable_graph::GraphBuilder;
     use super::*;
+    use moldable_graph::GraphBuilder;
     use moldable_model::SpeedupModel;
 
     fn amdahl(w: f64, d: f64) -> SpeedupModel {

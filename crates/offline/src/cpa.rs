@@ -148,8 +148,8 @@ pub fn cpa_schedule(graph: &TaskGraph, p_total: u32) -> Result<Schedule, SimErro
 
 #[cfg(test)]
 mod tests {
-    use moldable_graph::GraphBuilder;
     use super::*;
+    use moldable_graph::GraphBuilder;
     use moldable_model::SpeedupModel;
 
     #[test]

@@ -8,9 +8,9 @@
 //! graphs — it also quantifies how much headroom CPA leaves.
 
 use moldable_graph::TaskGraph;
-use moldable_sim::{simulate, Schedule, SimOptions};
-use moldable_model::rng::StdRng;
 use moldable_model::rng::Rng;
+use moldable_model::rng::StdRng;
+use moldable_sim::{simulate, Schedule, SimOptions};
 
 use crate::cpa::FixedAllocScheduler;
 
@@ -110,8 +110,8 @@ pub fn improve_allocations(
 
 #[cfg(test)]
 mod tests {
-    use moldable_graph::GraphBuilder;
     use super::*;
+    use moldable_graph::GraphBuilder;
     use moldable_graph::{gen, TaskId};
     use moldable_model::SpeedupModel;
 

@@ -21,6 +21,11 @@
 //!   paper's related-work Table 2): binary-search a target makespan τ,
 //!   allocate each task the fewest processors meeting τ, and
 //!   shelf-schedule.
+//! * [`wu_loiseau`] — the Wu–Loiseau-style *two-shelf* dual
+//!   approximation (arXiv 1609.08588 / Mounié–Rapine–Trystram lineage)
+//!   for independent tasks: a knapsack DP splits tasks between a shelf
+//!   of height τ and one of height τ/2, giving makespan ≤ 3τ*/2 at the
+//!   smallest feasible target.
 
 #![forbid(unsafe_code)]
 
@@ -28,8 +33,10 @@ pub mod brute;
 pub mod cpa;
 pub mod improve;
 pub mod turek;
+pub mod wu_loiseau;
 
 pub use brute::{optimal_makespan, BruteForceLimits};
 pub use cpa::cpa_allocations;
 pub use improve::{improve_allocations, ImproveOptions};
 pub use turek::turek_schedule;
+pub use wu_loiseau::{wu_loiseau_schedule, WuLoiseauResult};

@@ -163,12 +163,11 @@ impl moldable_sim::Scheduler for WidestFirst {
 
 #[cfg(test)]
 mod tests {
-    use moldable_graph::GraphBuilder;
     use super::*;
+    use moldable_graph::GraphBuilder;
+    use moldable_model::rng::StdRng;
     use moldable_model::sample::ParamDistribution;
     use moldable_model::ModelClass;
-    use moldable_model::rng::StdRng;
-    
 
     fn independent(n: usize, class: ModelClass, p_total: u32, seed: u64) -> TaskGraph {
         let mut rng = StdRng::seed_from_u64(seed);

@@ -40,10 +40,10 @@
 #![forbid(unsafe_code)]
 
 use moldable_graph::{TaskGraph, TaskId};
+use moldable_model::rng::Rng;
+use moldable_model::rng::StdRng;
 use moldable_model::SpeedupModel;
 use moldable_sim::Instance;
-use moldable_model::rng::StdRng;
-use moldable_model::rng::Rng;
 
 /// How attempt failures are drawn.
 ///
@@ -270,10 +270,10 @@ impl Instance for FaultyInstance<'_> {
 
 #[cfg(test)]
 mod tests {
-    use moldable_graph::GraphBuilder;
     use super::*;
     use moldable_core::OnlineScheduler;
     use moldable_graph::gen;
+    use moldable_graph::GraphBuilder;
     use moldable_model::ModelClass;
     use moldable_sim::{simulate, simulate_instance, SimOptions};
 

@@ -133,7 +133,12 @@ impl Json {
 /// Convenience: build an object from key/value pairs.
 #[must_use]
 pub fn obj(members: Vec<(&str, Json)>) -> Json {
-    Json::Obj(members.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    Json::Obj(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
 }
 
 fn write_num(n: f64, out: &mut String) {
@@ -321,7 +326,9 @@ impl Parser<'_> {
     fn hex4(&mut self) -> Result<u32, JsonError> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let d = self.peek().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             let nibble = match d {
                 b'0'..=b'9' => u32::from(d - b'0'),
                 b'a'..=b'f' => u32::from(d - b'a') + 10,
@@ -393,8 +400,7 @@ impl Parser<'_> {
                                 hi
                             };
                             out.push(
-                                char::from_u32(cp)
-                                    .ok_or_else(|| self.err("invalid code point"))?,
+                                char::from_u32(cp).ok_or_else(|| self.err("invalid code point"))?,
                             );
                         }
                         _ => return Err(self.err("unknown escape")),
@@ -585,7 +591,9 @@ mod tests {
             let len = (state % 64) as usize;
             let mut s = String::new();
             for _ in 0..len {
-                state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                state = state
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1);
                 // Bias toward structural characters to hit parser paths.
                 let c = match state >> 60 {
                     0 => '{',

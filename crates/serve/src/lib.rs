@@ -44,6 +44,7 @@
 //!         model: "amdahl".into(),
 //!         seed: 7,
 //!         scheduler: "online".into(),
+//!         algo: "icpp22".into(),
 //!         mu: None,
 //!         policy: None,
 //!         include_allocations: false,

@@ -58,7 +58,8 @@ impl Client {
             .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))?;
         let text = std::str::from_utf8(&payload)
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "reply not UTF-8"))?;
-        crate::json::parse(text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+        crate::json::parse(text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
     }
 }
 
@@ -94,6 +95,8 @@ pub struct LoadConfig {
     pub seed_base: u64,
     /// Number of distinct seeds cycled through (determinism probe).
     pub distinct_seeds: u64,
+    /// Algorithm registry name sent with every request.
+    pub algo: String,
 }
 
 impl Default for LoadConfig {
@@ -109,6 +112,7 @@ impl Default for LoadConfig {
             p: 64,
             seed_base: 42,
             distinct_seeds: 16,
+            algo: "icpp22".to_string(),
         }
     }
 }
@@ -163,7 +167,11 @@ impl LoadReport {
         if self.latencies_ms.is_empty() {
             return 0.0;
         }
-        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss
+        )]
         let idx = ((q * self.latencies_ms.len() as f64).ceil() as usize)
             .clamp(1, self.latencies_ms.len())
             - 1;
@@ -208,7 +216,10 @@ impl LoadReport {
             ("ok", Json::Num(self.ok as f64)),
             ("overloaded", Json::Num(self.overloaded as f64)),
             ("errors", Json::Num(self.errors as f64)),
-            ("transport_failures", Json::Num(self.transport_failures as f64)),
+            (
+                "transport_failures",
+                Json::Num(self.transport_failures as f64),
+            ),
             ("wall_secs", Json::Num(self.wall.as_secs_f64())),
             ("throughput_rps", Json::Num(self.throughput_rps())),
             (
@@ -413,6 +424,7 @@ fn client_loop(config: &LoadConfig, client_idx: usize, start: Instant) -> Client
             model: config.model.clone(),
             seed,
             scheduler: "online".to_string(),
+            algo: config.algo.clone(),
             mu: None,
             policy: None,
             include_allocations: false,
@@ -421,9 +433,7 @@ fn client_loop(config: &LoadConfig, client_idx: usize, start: Instant) -> Client
         tally.sent += 1;
         match client.call(&req) {
             Ok(reply) => {
-                tally
-                    .latencies_ms
-                    .push(t0.elapsed().as_secs_f64() * 1000.0);
+                tally.latencies_ms.push(t0.elapsed().as_secs_f64() * 1000.0);
                 match reply.get("status").and_then(Json::as_str) {
                     Some("ok") => {
                         tally.ok += 1;
@@ -496,6 +506,8 @@ pub struct SessionLoadConfig {
     pub probe_dags: usize,
     /// Concurrent poll-drain connections.
     pub threads: usize,
+    /// Algorithm registry name sent with every `submit_dag`.
+    pub algo: String,
 }
 
 impl Default for SessionLoadConfig {
@@ -513,6 +525,7 @@ impl Default for SessionLoadConfig {
             max_events: 4096,
             probe_dags: 0,
             threads: 8,
+            algo: "icpp22".to_string(),
         }
     }
 }
@@ -682,7 +695,11 @@ fn sorted_quantile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
-    #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    #[allow(
+        clippy::cast_precision_loss,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )]
     let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
     sorted[idx]
 }
@@ -835,6 +852,7 @@ pub fn run_sessions(config: &SessionLoadConfig) -> io::Result<SessionLoadReport>
                     },
                     model: config.model.clone(),
                     seed: config.seed_base + i as u64,
+                    algo: config.algo.clone(),
                 },
             )))?;
             report.dags_submitted += 1;
@@ -867,11 +885,11 @@ pub fn run_sessions(config: &SessionLoadConfig) -> io::Result<SessionLoadReport>
                 },
                 model: config.model.clone(),
                 seed,
+                algo: config.algo.clone(),
             }));
             let t0 = Instant::now();
             let reply = client.call(&req)?;
-            latencies[idx / config.sessions_per_tenant]
-                .push(t0.elapsed().as_secs_f64() * 1000.0);
+            latencies[idx / config.sessions_per_tenant].push(t0.elapsed().as_secs_f64() * 1000.0);
             report.dags_submitted += 1;
             match reply.get("status").and_then(Json::as_str) {
                 Some("ok") => report.dags_ok += 1,
@@ -913,8 +931,7 @@ pub fn run_sessions(config: &SessionLoadConfig) -> io::Result<SessionLoadReport>
                 match Client::connect(&config.addr) {
                     Ok(mut c) => {
                         for label in labels {
-                            if drain_session(&mut c, label, config.max_events, &mut local)
-                                .is_err()
+                            if drain_session(&mut c, label, config.max_events, &mut local).is_err()
                             {
                                 failures += 1;
                             }
@@ -1050,7 +1067,10 @@ mod tests {
         };
         assert!(r.summary().contains("accounting: unavailable"));
         assert!(r.summary().contains("graph cache: unavailable"));
-        assert_eq!(r.to_json(&LoadConfig::default()).get("accounting"), Some(&Json::Null));
+        assert_eq!(
+            r.to_json(&LoadConfig::default()).get("accounting"),
+            Some(&Json::Null)
+        );
         r.accounting = Some(Accounting {
             submitted: 5,
             ok: 3,
@@ -1086,7 +1106,10 @@ mod tests {
             ("type", Json::Str("dag_done".into())),
             ("at", Json::Num(1.5)),
         ]);
-        assert_eq!(event_line(3, "t0-s0", &task), "3 t0-s0 dag=0 task=2 end=1.5 procs=4");
+        assert_eq!(
+            event_line(3, "t0-s0", &task),
+            "3 t0-s0 dag=0 task=2 end=1.5 procs=4"
+        );
         assert_eq!(event_line(4, "t0-s0", &done), "4 t0-s0 dag=0 done at=1.5");
         // Integral times render as integers (the wire does the same),
         // so both sides of a byte-comparison agree.
@@ -1128,8 +1151,24 @@ mod tests {
         assert_eq!(j.get("dags_ok").unwrap().as_u64(), Some(4));
         assert_eq!(j.get("quota_rejected").unwrap().as_u64(), Some(1));
         let tenants = j.get("per_tenant").unwrap().as_arr().unwrap();
-        assert_eq!(tenants[0].get("latency_ms").unwrap().get("p50").unwrap().as_f64(), Some(2.0));
-        assert_eq!(tenants[0].get("latency_ms").unwrap().get("max").unwrap().as_f64(), Some(4.0));
+        assert_eq!(
+            tenants[0]
+                .get("latency_ms")
+                .unwrap()
+                .get("p50")
+                .unwrap()
+                .as_f64(),
+            Some(2.0)
+        );
+        assert_eq!(
+            tenants[0]
+                .get("latency_ms")
+                .unwrap()
+                .get("max")
+                .unwrap()
+                .as_f64(),
+            Some(4.0)
+        );
         let ledgers = j.get("ledgers").unwrap().as_arr().unwrap();
         assert_eq!(ledgers[0].get("balanced"), Some(&Json::Bool(true)));
         assert_eq!(j.get("ledgers_balanced"), Some(&Json::Bool(true)));

@@ -105,11 +105,7 @@ pub fn read_frame(r: &mut impl Read, max_len: u32) -> Result<Option<Vec<u8>>, Fr
 /// # Errors
 ///
 /// Same contract as [`read_frame`].
-pub fn read_frame_rest(
-    r: &mut impl Read,
-    first: u8,
-    max_len: u32,
-) -> Result<Vec<u8>, FrameError> {
+pub fn read_frame_rest(r: &mut impl Read, first: u8, max_len: u32) -> Result<Vec<u8>, FrameError> {
     let mut rest = [0u8; 3];
     r.read_exact(&mut rest).map_err(FrameError::Io)?;
     let len = u32::from_be_bytes([first, rest[0], rest[1], rest[2]]);
@@ -129,7 +125,9 @@ fn read_frame_body(
         let mut remaining = len as u64;
         let mut sink = [0u8; 8192];
         while remaining > 0 {
-            let take = sink.len().min(usize::try_from(remaining).unwrap_or(usize::MAX));
+            let take = sink
+                .len()
+                .min(usize::try_from(remaining).unwrap_or(usize::MAX));
             r.read_exact(&mut sink[..take]).map_err(FrameError::Io)?;
             remaining -= take as u64;
         }
@@ -154,7 +152,10 @@ fn read_frame_body(
 /// Panics if `payload` exceeds [`ABSOLUTE_MAX_FRAME`] bytes.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     let len = u32::try_from(payload.len()).expect("frame fits u32");
-    assert!(len <= ABSOLUTE_MAX_FRAME, "refusing to write a corrupt-sized frame");
+    assert!(
+        len <= ABSOLUTE_MAX_FRAME,
+        "refusing to write a corrupt-sized frame"
+    );
     w.write_all(&len.to_be_bytes())?;
     w.write_all(payload)?;
     w.flush()
@@ -280,6 +281,9 @@ pub struct SubmitRequest {
     pub seed: u64,
     /// Scheduler name (default `online`).
     pub scheduler: String,
+    /// Algorithm registry name for the online scheduler (default
+    /// `icpp22`; see `moldable_core::registry::by_name`).
+    pub algo: String,
     /// Explicit μ for the online scheduler.
     pub mu: Option<f64>,
     /// Queue policy name for the online scheduler.
@@ -311,6 +315,9 @@ pub struct SubmitDagRequest {
     pub model: String,
     /// Generator seed (default 42).
     pub seed: u64,
+    /// Algorithm registry name for the session's online scheduler
+    /// (default `icpp22`).
+    pub algo: String,
 }
 
 /// Read back completion events, optionally advancing the session's
@@ -385,7 +392,9 @@ impl Request {
     }
 
     fn parse_submit_dag(v: &Json) -> Result<SubmitDagRequest, String> {
-        let g = v.get("graph").ok_or("submit_dag requires a `graph` object")?;
+        let g = v
+            .get("graph")
+            .ok_or("submit_dag requires a `graph` object")?;
         let at = v
             .get("at")
             .and_then(Json::as_f64)
@@ -396,6 +405,7 @@ impl Request {
             graph: parse_graph_spec(g)?,
             model: optional_str(v, "model", "amdahl")?,
             seed: optional_u64(v, "seed")?.unwrap_or(42),
+            algo: optional_str(v, "algo", "icpp22")?,
         })
     }
 
@@ -446,6 +456,7 @@ impl Request {
             model: str_field("model", "amdahl")?,
             seed: num_field("seed")?.unwrap_or(42),
             scheduler: str_field("scheduler", "online")?,
+            algo: str_field("algo", "icpp22")?,
             mu,
             policy: match v.get("policy") {
                 None | Some(Json::Null) => None,
@@ -482,6 +493,7 @@ impl Request {
                 ("model", Json::Str(s.model.clone())),
                 #[allow(clippy::cast_precision_loss)]
                 ("seed", Json::Num(s.seed as f64)),
+                ("algo", Json::Str(s.algo.clone())),
             ]),
             Self::Poll(p) => {
                 let mut members = vec![
@@ -508,6 +520,7 @@ impl Request {
                     #[allow(clippy::cast_precision_loss)]
                     ("seed", Json::Num(s.seed as f64)),
                     ("scheduler", Json::Str(s.scheduler.clone())),
+                    ("algo", Json::Str(s.algo.clone())),
                 ];
                 if let Some(p) = s.p {
                     members.push(("p", Json::Num(f64::from(p))));
@@ -633,6 +646,7 @@ mod tests {
             model: "general".into(),
             seed: 7,
             scheduler: "online".into(),
+            algo: "improved23".into(),
             mu: Some(0.3),
             policy: Some("lpt".into()),
             include_allocations: true,
@@ -646,6 +660,7 @@ mod tests {
             model: "amdahl".into(),
             seed: 42,
             scheduler: "online".into(),
+            algo: "icpp22".into(),
             mu: None,
             policy: None,
             include_allocations: false,
@@ -672,6 +687,7 @@ mod tests {
                 },
                 model: "roofline".into(),
                 seed: 9,
+                algo: "improved23".into(),
             })),
             Request::SubmitDag(Box::new(SubmitDagRequest {
                 session: "acme-1".into(),
@@ -679,6 +695,7 @@ mod tests {
                 graph: GraphSpec::TraceDot("digraph g { a -> b }".into()),
                 model: "amdahl".into(),
                 seed: 42,
+                algo: "icpp22".into(),
             })),
             Request::SubmitDag(Box::new(SubmitDagRequest {
                 session: "acme-1".into(),
@@ -686,6 +703,7 @@ mod tests {
                 graph: GraphSpec::TraceJson("{\"tasks\":[]}".into()),
                 model: "amdahl".into(),
                 seed: 42,
+                algo: "icpp22".into(),
             })),
             Request::Poll(PollRequest {
                 session: "acme-1".into(),
@@ -735,10 +753,7 @@ mod tests {
                 br#"{"type":"submit_dag","session":"s","at":0,"graph":{}}"#,
                 "mtg",
             ),
-            (
-                br#"{"type":"poll","session":"s","until":"x"}"#,
-                "`until`",
-            ),
+            (br#"{"type":"poll","session":"s","until":"x"}"#, "`until`"),
             (
                 br#"{"type":"poll","session":"s","max_events":-1}"#,
                 "`max_events`",

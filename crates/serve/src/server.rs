@@ -669,9 +669,7 @@ mod tests {
 
     #[test]
     fn normal_handler_passes_through() {
-        let (reply, panicked) = catch_panic_reply(|| {
-            obj(vec![("status", Json::Str("ok".into()))])
-        });
+        let (reply, panicked) = catch_panic_reply(|| obj(vec![("status", Json::Str("ok".into()))]));
         assert!(!panicked);
         assert_eq!(reply.get("status").unwrap().as_str(), Some("ok"));
     }

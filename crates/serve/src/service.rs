@@ -8,7 +8,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use moldable_core::{baselines, AllocCache, OnlineScheduler, QueuePolicy};
+use moldable_core::{baselines, registry, AlgoName, AllocCache, OnlineScheduler, QueuePolicy};
 use moldable_graph::{gen, parse_trace, parse_workflow, TaskGraph, TraceFormat, TraceLimits};
 use moldable_model::ModelClass;
 use moldable_sim::{simulate, simulate_batched, Schedule, SimOptions};
@@ -138,12 +138,14 @@ impl EngineChoice {
 }
 
 /// Per-worker state reused across requests: one [`AllocCache`] per
-/// distinct `(P, μ)` pair seen by this worker, so repeated traffic
-/// against the same platform skips the Algorithm 2 binary search for
-/// every model it has seen before.
+/// distinct `(algo, P, μ)` triple seen by this worker, so repeated
+/// traffic against the same platform skips the local-allocation binary
+/// search for every model it has seen before. The algorithm is part of
+/// the key: the two registered algorithms make different decisions for
+/// the same model, so their memos must never be shared.
 #[derive(Debug)]
 pub struct WorkerContext {
-    caches: HashMap<(u32, u64), AllocCache>,
+    caches: HashMap<(AlgoName, u32, u64), AllocCache>,
     graphs: GraphCache,
     limits: ServiceLimits,
     engine: EngineChoice,
@@ -188,7 +190,7 @@ impl WorkerContext {
         self.engine
     }
 
-    /// Distinct `(P, μ)` caches currently held.
+    /// Distinct `(algo, P, μ)` caches currently held.
     #[must_use]
     pub fn cache_count(&self) -> usize {
         self.caches.len()
@@ -361,16 +363,23 @@ impl WorkerContext {
             SimOptions::new(p)
         };
         let sim_err = |e: moldable_sim::SimError| format!("simulation failed: {e}");
+        let algo = registry::by_name(&req.algo)?;
+        if req.scheduler != "online" && algo != AlgoName::Icpp22 {
+            return Err(format!(
+                "`algo` = `{algo}` only applies to the `online` scheduler, not `{}`",
+                req.scheduler
+            ));
+        }
         match req.scheduler.as_str() {
             "online" => {
-                let mu = req.mu.unwrap_or_else(|| class.optimal_mu());
+                let mu = req.mu.unwrap_or_else(|| algo.optimal_mu(class));
                 if !(mu > 0.0 && mu <= moldable_model::MU_MAX + 1e-12) {
                     return Err(format!(
                         "mu must lie in (0, {:.6}], got {mu}",
                         moldable_model::MU_MAX
                     ));
                 }
-                let mut s = OnlineScheduler::with_mu(mu);
+                let mut s = OnlineScheduler::with_algo(algo, mu);
                 if let Some(name) = &req.policy {
                     let policy = QueuePolicy::all()
                         .into_iter()
@@ -378,8 +387,8 @@ impl WorkerContext {
                         .ok_or_else(|| format!("unknown policy `{name}`"))?;
                     s = s.with_policy(policy);
                 }
-                // Reuse this worker's warm cache for the (P, μ) pair.
-                if let Some(cache) = self.caches.remove(&(p, mu.to_bits())) {
+                // Reuse this worker's warm cache for the (algo, P, μ) triple.
+                if let Some(cache) = self.caches.remove(&(algo, p, mu.to_bits())) {
                     s = s.with_alloc_cache(cache);
                 }
                 let result = match self.engine {
@@ -387,7 +396,7 @@ impl WorkerContext {
                     EngineChoice::Batched => simulate_batched(graph, &mut s, &opts),
                 };
                 if let Some(cache) = s.take_alloc_cache() {
-                    self.caches.insert((p, mu.to_bits()), cache);
+                    self.caches.insert((algo, p, mu.to_bits()), cache);
                 }
                 result.map_err(sim_err)
             }
@@ -482,6 +491,7 @@ mod tests {
             model: "amdahl".into(),
             seed,
             scheduler: "online".into(),
+            algo: "icpp22".into(),
             mu: None,
             policy: None,
             include_allocations: false,
@@ -597,6 +607,7 @@ mod tests {
             model: "amdahl".into(),
             seed: 0,
             scheduler: "online".into(),
+            algo: "icpp22".into(),
             mu: None,
             policy: None,
             include_allocations: true,
@@ -772,5 +783,70 @@ mod tests {
             let msg = r.get("error").unwrap().as_str().unwrap();
             assert!(msg.contains(needle), "`{msg}` missing `{needle}`");
         }
+    }
+
+    #[test]
+    fn improved23_is_selectable_and_deterministic() {
+        let mut ctx = WorkerContext::new();
+        let mut req = named("layered", 8, 48, 5);
+        req.algo = "improved23".into();
+        req.include_allocations = true;
+        let a = ctx.handle(&req);
+        assert_eq!(a.get("status").unwrap().as_str(), Some("ok"), "{a:?}");
+        assert_eq!(a, ctx.handle(&req), "per-seed determinism");
+        // The engine switch stays invisible under the new algorithm.
+        let mut batched = WorkerContext::new().with_engine(EngineChoice::Batched);
+        assert_eq!(a, batched.handle(&req), "engines must agree per algo");
+    }
+
+    #[test]
+    fn alloc_caches_key_on_the_algorithm() {
+        // Same shape, seed, P, and an *explicit* shared mu: only the
+        // algorithm distinguishes the two requests, so sharing one
+        // cache would silently cross-contaminate their decisions.
+        let mut ctx = WorkerContext::new();
+        let mut a = named("layered", 8, 48, 5);
+        a.mu = Some(0.3);
+        let mut b = a.clone();
+        b.algo = "improved23".into();
+        assert_eq!(ctx.handle(&a).get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(ctx.cache_count(), 1);
+        assert_eq!(ctx.handle(&b).get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(ctx.cache_count(), 2, "one cache per algorithm");
+        // Warm repeats reuse their own cache rather than forming more.
+        let _ = ctx.handle(&a);
+        let _ = ctx.handle(&b);
+        assert_eq!(ctx.cache_count(), 2);
+    }
+
+    #[test]
+    fn algo_errors_are_structured() {
+        let mut ctx = WorkerContext::new();
+        let mut unknown = named("chain", 3, 8, 1);
+        unknown.algo = "fastest".into();
+        let r = ctx.handle(&unknown);
+        assert_eq!(r.get("status").unwrap().as_str(), Some("error"));
+        let msg = r.get("error").unwrap().as_str().unwrap();
+        assert!(msg.contains("unknown algo `fastest`"), "{msg}");
+        assert!(
+            msg.contains("icpp22") && msg.contains("improved23"),
+            "{msg}"
+        );
+
+        let mut wrong_sched = named("chain", 3, 8, 1);
+        wrong_sched.scheduler = "ect".into();
+        wrong_sched.algo = "improved23".into();
+        let r = ctx.handle(&wrong_sched);
+        assert_eq!(r.get("status").unwrap().as_str(), Some("error"));
+        let msg = r.get("error").unwrap().as_str().unwrap();
+        assert!(
+            msg.contains("only applies to the `online` scheduler"),
+            "{msg}"
+        );
+
+        // The default algo on a baseline scheduler stays fine.
+        let mut ok = named("chain", 3, 8, 1);
+        ok.scheduler = "ect".into();
+        assert_eq!(ctx.handle(&ok).get("status").unwrap().as_str(), Some("ok"));
     }
 }

@@ -91,9 +91,17 @@ impl SessionHub {
     }
 
     /// Handle `submit_dag`, returning the reply payload. The graph is
-    /// built before the service lock is taken.
+    /// built — and the `algo` name resolved — before the service lock
+    /// is taken, so a malformed request never blocks other sessions.
     pub fn submit_dag(&self, req: &SubmitDagRequest, stats: &ServerStats) -> Vec<u8> {
         ServerStats::bump(&stats.session_dags_submitted);
+        let algo = match moldable_core::registry::by_name(&req.algo) {
+            Ok(a) => a,
+            Err(msg) => {
+                ServerStats::bump(&stats.session_dags_errors);
+                return error_reply(&msg);
+            }
+        };
         let graph = match self.build_dag(req) {
             Ok(g) => g,
             Err(msg) => {
@@ -104,7 +112,7 @@ impl SessionHub {
         let now_ms = self.now_ms();
         let mut svc = self.svc.lock().expect("session service poisoned");
         svc.tick(now_ms);
-        match svc.submit_dag(&req.session, graph, req.at, now_ms) {
+        match svc.submit_dag(&req.session, graph, req.at, algo, now_ms) {
             Ok(r) => {
                 ServerStats::bump(&stats.session_dags_admitted);
                 obj(vec![
@@ -206,10 +214,7 @@ impl SessionHub {
             ("tasks_completed", Json::Num(s.tasks_completed as f64)),
             ("events_pending", Json::Num(s.events_pending as f64)),
             ("sessions_reaped", Json::Num(s.sessions_reaped as f64)),
-            (
-                "ledgers",
-                Json::Obj(ledgers.into_iter().collect()),
-            ),
+            ("ledgers", Json::Obj(ledgers.into_iter().collect())),
         ])
     }
 
@@ -339,6 +344,7 @@ mod tests {
                 },
                 model: "amdahl".into(),
                 seed: 7,
+                algo: "icpp22".into(),
             },
             stats,
         );
@@ -416,7 +422,10 @@ mod tests {
         let stats = ServerStats::new();
         open(&hub, &stats, "acme", "s1");
         assert_eq!(
-            submit(&hub, &stats, "s1", 0.0).get("status").unwrap().as_str(),
+            submit(&hub, &stats, "s1", 0.0)
+                .get("status")
+                .unwrap()
+                .as_str(),
             Some("ok")
         );
         // Second in-flight DAG bounces: the world cannot advance while
@@ -454,6 +463,7 @@ mod tests {
                 },
                 model: "amdahl".into(),
                 seed: 7,
+                algo: "icpp22".into(),
             },
             &stats,
         );
@@ -477,6 +487,7 @@ mod tests {
                 graph: GraphSpec::TraceDot("digraph g { a -> b; a -> c; }".into()),
                 model: "amdahl".into(),
                 seed: 7,
+                algo: "icpp22".into(),
             },
             &stats,
         );
@@ -486,6 +497,84 @@ mod tests {
         close(&hub, &stats, "s1");
         let r = poll(&hub, &stats, "s1", None);
         assert_eq!(r.get("closed").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn unknown_algo_is_a_structured_error_before_admission() {
+        let hub = hub();
+        let stats = ServerStats::new();
+        open(&hub, &stats, "acme", "s1");
+        let payload = hub.submit_dag(
+            &SubmitDagRequest {
+                session: "s1".into(),
+                at: 0.0,
+                graph: GraphSpec::Named {
+                    shape: "chain".into(),
+                    size: 3,
+                },
+                model: "amdahl".into(),
+                seed: 7,
+                algo: "fastest".into(),
+            },
+            &stats,
+        );
+        let r = crate::json::parse(std::str::from_utf8(&payload).unwrap()).unwrap();
+        assert_eq!(r.get("status").unwrap().as_str(), Some("error"));
+        assert!(r
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("unknown algo `fastest`"));
+        use std::sync::atomic::Ordering;
+        // Counted as a session error; never reached the tenant ledger.
+        assert_eq!(stats.session_dags_errors.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.session_dags_admitted.load(Ordering::Relaxed), 0);
+        let summary = hub.summary_json();
+        let ledger = summary.get("ledgers").unwrap().get("acme").unwrap();
+        assert_eq!(
+            ledger.get("submitted").unwrap().as_u64(),
+            Some(0),
+            "rejected before the tenant ledger: {summary:?}"
+        );
+    }
+
+    #[test]
+    fn improved23_dags_stream_through_the_session_layer() {
+        let hub = hub();
+        let stats = ServerStats::new();
+        open(&hub, &stats, "acme", "s1");
+        let payload = hub.submit_dag(
+            &SubmitDagRequest {
+                session: "s1".into(),
+                at: 0.0,
+                graph: GraphSpec::Named {
+                    shape: "fork-join".into(),
+                    size: 4,
+                },
+                model: "amdahl".into(),
+                seed: 7,
+                algo: "improved23".into(),
+            },
+            &stats,
+        );
+        let r = crate::json::parse(std::str::from_utf8(&payload).unwrap()).unwrap();
+        assert_eq!(r.get("status").unwrap().as_str(), Some("ok"), "{r:?}");
+        close(&hub, &stats, "s1");
+        let r = poll(&hub, &stats, "s1", None);
+        assert_eq!(r.get("closed").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            r.get("events")
+                .unwrap()
+                .as_arr()
+                .unwrap()
+                .last()
+                .unwrap()
+                .get("type")
+                .unwrap()
+                .as_str(),
+            Some("dag_done")
+        );
     }
 
     #[test]

@@ -79,7 +79,11 @@ impl LatencyHisto {
         if total == 0 {
             return 0.0;
         }
-        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss
+        )]
         let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
         let mut seen = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
@@ -274,7 +278,10 @@ impl ServerStats {
                 n(&self.session_dags_rejected_quota),
             ),
             ("session_dags_errors", n(&self.session_dags_errors)),
-            ("session_events_delivered", n(&self.session_events_delivered)),
+            (
+                "session_events_delivered",
+                n(&self.session_events_delivered),
+            ),
             ("latency", self.latency.to_json()),
         ])
     }
@@ -400,10 +407,7 @@ mod tests {
         // Raw stats body and the full `stats` reply envelope both parse.
         let body = s.to_json();
         assert_eq!(Accounting::from_stats_json(&body), Some(direct));
-        let reply = obj(vec![
-            ("status", Json::Str("ok".into())),
-            ("stats", body),
-        ]);
+        let reply = obj(vec![("status", Json::Str("ok".into())), ("stats", body)]);
         assert_eq!(Accounting::from_stats_json(&reply), Some(direct));
         assert_eq!(Accounting::from_stats_json(&Json::Null), None);
     }

@@ -133,6 +133,7 @@ fn mutated_valid_frames_never_panic_the_codec() {
             model: "amdahl".into(),
             seed: 7,
             scheduler: "online".into(),
+            algo: "icpp22".into(),
             mu: None,
             policy: Some("fifo".into()),
             include_allocations: true,
@@ -143,7 +144,9 @@ fn mutated_valid_frames_never_panic_the_codec() {
         let payload = &templates[i % templates.len()];
         let mut frame = Vec::with_capacity(4 + payload.len());
         frame.extend_from_slice(
-            &u32::try_from(payload.len()).expect("payload fits u32").to_be_bytes(),
+            &u32::try_from(payload.len())
+                .expect("payload fits u32")
+                .to_be_bytes(),
         );
         frame.extend_from_slice(payload);
 

@@ -51,6 +51,7 @@ fn submit_named(session: &str, at: f64, seed: u64) -> Request {
         },
         model: "amdahl".into(),
         seed,
+        algo: "icpp22".into(),
     }))
 }
 
@@ -104,6 +105,7 @@ fn two_tenants_stream_mixed_graph_kinds_end_to_end() {
             ),
             model: "amdahl".into(),
             seed: 1,
+            algo: "icpp22".into(),
         })))
         .unwrap();
     assert_eq!(r.get("status").unwrap().as_str(), Some("ok"), "{r:?}");
@@ -114,11 +116,10 @@ fn two_tenants_stream_mixed_graph_kinds_end_to_end() {
         .call(&Request::SubmitDag(Box::new(SubmitDagRequest {
             session: "globex-s0".into(),
             at: 0.0,
-            graph: GraphSpec::TraceDot(
-                "digraph g { a -> b; a -> c; b -> d; c -> d; }".into(),
-            ),
+            graph: GraphSpec::TraceDot("digraph g { a -> b; a -> c; b -> d; c -> d; }".into()),
             model: "amdahl".into(),
             seed: 2,
+            algo: "icpp22".into(),
         })))
         .unwrap();
     assert_eq!(r.get("status").unwrap().as_str(), Some("ok"), "{r:?}");
@@ -189,7 +190,11 @@ fn quota_rejections_are_structured_over_tcp() {
     // The first DAG is still in flight (the session's own frontier
     // pins the clock at 0), so the second bounces on the quota.
     let r = client.call(&submit_named("s0", 0.0, 2)).unwrap();
-    assert_eq!(r.get("status").unwrap().as_str(), Some("quota_exceeded"), "{r:?}");
+    assert_eq!(
+        r.get("status").unwrap().as_str(),
+        Some("quota_exceeded"),
+        "{r:?}"
+    );
     assert_eq!(r.get("scope").unwrap().as_str(), Some("dags"));
     assert_eq!(r.get("used").unwrap().as_u64(), Some(1));
     assert_eq!(r.get("limit").unwrap().as_u64(), Some(1));
@@ -238,7 +243,10 @@ fn corrupt_frame_then_session_verbs_on_the_same_connection() {
         Some("ok")
     );
     assert_eq!(
-        call(&submit_named("s0", 0.0, 3)).get("status").unwrap().as_str(),
+        call(&submit_named("s0", 0.0, 3))
+            .get("status")
+            .unwrap()
+            .as_str(),
         Some("ok")
     );
     assert_eq!(
@@ -294,6 +302,57 @@ fn fresh_servers_replay_the_same_workload_to_identical_event_logs() {
 }
 
 #[test]
+fn session_event_log_fingerprints_are_pinned_per_algorithm() {
+    // The merged event log is a pure function of (workload, algorithm):
+    // one pinned FNV-1a fingerprint per registered algorithm. Any
+    // change to either allocation rule, the session scheduler, or the
+    // event-log format moves these constants — and the two algorithms
+    // must NOT collide, or the `algo` field isn't reaching the
+    // per-DAG allocation path at all.
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+        h
+    }
+    let run = |algo: &str| {
+        let server = ephemeral(ServerConfig::default());
+        let config = SessionLoadConfig {
+            addr: server.local_addr().to_string(),
+            tenants: 1,
+            sessions_per_tenant: 2,
+            dags_per_session: 2,
+            size: 4,
+            threads: 1,
+            algo: algo.to_string(),
+            ..SessionLoadConfig::default()
+        };
+        let report = loadgen::run_sessions(&config).unwrap();
+        server.trigger_drain();
+        server.join();
+        report
+    };
+    let mut fingerprints = Vec::new();
+    for algo in moldable_core::registry::ALGO_NAMES {
+        let report = run(algo);
+        assert!(report.ledgers_balanced, "{algo}: {:?}", report.ledgers);
+        assert_eq!(report.dags_ok, 4, "{algo}");
+        fingerprints.push((algo, fnv1a(report.event_log.as_bytes())));
+    }
+    assert_eq!(
+        fingerprints,
+        vec![
+            ("icpp22", 0x80e1_2fcd_be93_b615),
+            ("improved23", 0xcb43_53bf_7649_0e33),
+        ],
+        "per-algorithm session event logs drifted (fingerprints in hex: {:x?})",
+        fingerprints.iter().map(|(_, f)| f).collect::<Vec<_>>()
+    );
+}
+
+#[test]
 fn one_shot_submit_replies_are_bit_equal_to_the_service_layer() {
     // The streaming layer must not perturb the one-shot path: the TCP
     // reply bytes equal a direct `WorkerContext::handle` encoding.
@@ -310,6 +369,7 @@ fn one_shot_submit_replies_are_bit_equal_to_the_service_layer() {
         model: "amdahl".into(),
         seed: 7,
         scheduler: "online".into(),
+        algo: "icpp22".into(),
         mu: None,
         policy: None,
         include_allocations: false,

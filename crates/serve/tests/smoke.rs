@@ -30,6 +30,7 @@ fn submit(shape: &str, size: u32, p: u32, seed: u64) -> Request {
         model: "amdahl".into(),
         seed,
         scheduler: "online".into(),
+        algo: "icpp22".into(),
         mu: None,
         policy: None,
         include_allocations: false,
@@ -47,7 +48,11 @@ fn submit_stats_shutdown_end_to_end() {
     assert_eq!(pong.get("pong").unwrap().as_bool(), Some(true));
 
     let reply = client.call(&submit("cholesky", 5, 32, 7)).unwrap();
-    assert_eq!(reply.get("status").unwrap().as_str(), Some("ok"), "{reply:?}");
+    assert_eq!(
+        reply.get("status").unwrap().as_str(),
+        Some("ok"),
+        "{reply:?}"
+    );
     let makespan = reply.get("makespan").unwrap().as_f64().unwrap();
     let lb = reply.get("lower_bound").unwrap().as_f64().unwrap();
     assert!(makespan >= lb && lb > 0.0);
@@ -59,7 +64,13 @@ fn submit_stats_shutdown_end_to_end() {
     assert!(s.get("completed").unwrap().as_u64().unwrap() >= 1);
     assert!(s.get("connections").unwrap().as_u64().unwrap() >= 1);
     assert!(
-        s.get("latency").unwrap().get("count").unwrap().as_u64().unwrap() >= 1,
+        s.get("latency")
+            .unwrap()
+            .get("count")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            >= 1,
         "latency histogram recorded the submit"
     );
 
@@ -134,7 +145,11 @@ fn oversized_frame_gets_error_and_connection_survives() {
     let v = json::parse(std::str::from_utf8(&reply).unwrap()).unwrap();
     assert_eq!(v.get("status").unwrap().as_str(), Some("error"));
     assert!(
-        v.get("error").unwrap().as_str().unwrap().contains("exceeds limit"),
+        v.get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("exceeds limit"),
         "{v:?}"
     );
 
@@ -188,7 +203,9 @@ fn same_seed_same_makespan_across_connections() {
         makespans.push(reply.get("makespan").unwrap().as_f64().unwrap());
     }
     assert!(
-        makespans.windows(2).all(|w| w[0].to_bits() == w[1].to_bits()),
+        makespans
+            .windows(2)
+            .all(|w| w[0].to_bits() == w[1].to_bits()),
         "per-seed determinism across connections: {makespans:?}"
     );
     server.trigger_drain();
@@ -291,15 +308,28 @@ fn injected_worker_panics_become_error_replies_and_pool_survives() {
     let mut client = Client::connect(&addr).unwrap();
     for _ in 0..2 {
         let reply = client.call(&submit("cholesky", 4, 16, 5)).unwrap();
-        assert_eq!(reply.get("status").unwrap().as_str(), Some("error"), "{reply:?}");
-        assert!(reply.get("error").unwrap().as_str().unwrap().contains("panicked"));
+        assert_eq!(
+            reply.get("status").unwrap().as_str(),
+            Some("error"),
+            "{reply:?}"
+        );
+        assert!(reply
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("panicked"));
     }
     assert_eq!(server.fault_hooks().pending_panics(), 0, "budget consumed");
 
     // Service recovered: the next submit succeeds and the worker pool
     // did not shrink (catch_unwind containment held).
     let reply = client.call(&submit("cholesky", 4, 16, 5)).unwrap();
-    assert_eq!(reply.get("status").unwrap().as_str(), Some("ok"), "{reply:?}");
+    assert_eq!(
+        reply.get("status").unwrap().as_str(),
+        Some("ok"),
+        "{reply:?}"
+    );
     assert_eq!(server.live_workers(), pool, "no worker thread died");
 
     let ledger = accounting_of(&mut client);
@@ -326,20 +356,38 @@ fn timeout_skew_forces_timeouts_and_the_ledger_still_balances() {
     // Skew past the configured timeout: the effective deadline is zero,
     // so the connection layer gives up while the worker still finishes
     // the job in the background — the worst-case accounting race.
-    server.fault_hooks().set_timeout_skew(Duration::from_secs(3600));
+    server
+        .fault_hooks()
+        .set_timeout_skew(Duration::from_secs(3600));
     let reply = client.call(&submit("cholesky", 6, 32, 9)).unwrap();
-    assert_eq!(reply.get("status").unwrap().as_str(), Some("error"), "{reply:?}");
-    assert!(reply.get("error").unwrap().as_str().unwrap().contains("timed out"));
+    assert_eq!(
+        reply.get("status").unwrap().as_str(),
+        Some("error"),
+        "{reply:?}"
+    );
+    assert!(reply
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("timed out"));
 
     // Clearing the skew restores service.
     server.fault_hooks().set_timeout_skew(Duration::ZERO);
     let reply = client.call(&submit("cholesky", 6, 32, 9)).unwrap();
-    assert_eq!(reply.get("status").unwrap().as_str(), Some("ok"), "{reply:?}");
+    assert_eq!(
+        reply.get("status").unwrap().as_str(),
+        Some("ok"),
+        "{reply:?}"
+    );
 
     let ledger = accounting_of(&mut client);
     assert_eq!(ledger.submitted, 2);
     assert_eq!(ledger.ok, 1);
-    assert_eq!(ledger.errors, 1, "the timed-out request is an error, not lost");
+    assert_eq!(
+        ledger.errors, 1,
+        "the timed-out request is an error, not lost"
+    );
     assert!(ledger.balanced(), "{ledger:?}");
 
     server.trigger_drain();
@@ -394,10 +442,29 @@ fn chrome_trace_output_parses_with_serve_json() {
         assert_eq!(ev.get("ph").unwrap().as_str(), Some("X"));
         assert!(ev.get("ts").unwrap().as_f64().unwrap() >= 0.0);
         assert!(ev.get("dur").unwrap().as_f64().unwrap() >= 0.0);
-        assert!(ev.get("args").unwrap().get("procs").unwrap().as_u64().unwrap() >= 1);
+        assert!(
+            ev.get("args")
+                .unwrap()
+                .get("procs")
+                .unwrap()
+                .as_u64()
+                .unwrap()
+                >= 1
+        );
         // The escaped label survived parsing.
-        assert!(ev.get("name").unwrap().as_str().unwrap().starts_with("task \\\"")
-            || ev.get("name").unwrap().as_str().unwrap().starts_with("task \""));
+        assert!(
+            ev.get("name")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .starts_with("task \\\"")
+                || ev
+                    .get("name")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .starts_with("task \"")
+        );
     }
     // Round-trip: re-encoding still parses.
     assert!(json::parse(&v.encode()).is_ok());

@@ -193,11 +193,8 @@ mod tests {
         // Three tasks share one release date. `sort_by` is stable, so
         // equal dates keep their submission order, ids are assigned in
         // that order, and one `arrivals` call returns all of them.
-        let mut inst = TimedArrivals::new(vec![
-            (2.0, unit(1.0)),
-            (2.0, unit(2.0)),
-            (2.0, unit(3.0)),
-        ]);
+        let mut inst =
+            TimedArrivals::new(vec![(2.0, unit(1.0)), (2.0, unit(2.0)), (2.0, unit(3.0))]);
         assert_eq!(inst.next_arrival(), Some(2.0));
         let got = inst.arrivals(2.0);
         assert_eq!(got, vec![TaskId(0), TaskId(1), TaskId(2)]);
@@ -210,8 +207,7 @@ mod tests {
     fn zero_length_gaps_queue_beyond_capacity_deterministically() {
         // Five tasks, zero inter-arrival gap, two processors: the
         // overflow queues in release order — starts at 1, 1, 2, 2, 3.
-        let releases: Vec<(f64, SpeedupModel)> =
-            (0..5).map(|_| (1.0, unit(1.0))).collect();
+        let releases: Vec<(f64, SpeedupModel)> = (0..5).map(|_| (1.0, unit(1.0))).collect();
         let mut inst = TimedArrivals::new(releases);
         let s = simulate_instance(
             &mut inst,

@@ -300,21 +300,19 @@ pub fn simulate_instance(
     let hint = instance.size_hint();
     let mut status: Vec<Option<Status>> = Vec::with_capacity(hint);
     let mut released_at: Vec<f64> = Vec::with_capacity(hint);
-    let ensure =
-        |status: &mut Vec<Option<Status>>, released_at: &mut Vec<f64>, t: TaskId| {
-            let need = t.index() + 1;
-            if status.len() < need {
-                status.resize(need, None);
-                released_at.resize(need, 0.0);
-            }
-        };
+    let ensure = |status: &mut Vec<Option<Status>>, released_at: &mut Vec<f64>, t: TaskId| {
+        let need = t.index() + 1;
+        if status.len() < need {
+            status.resize(need, None);
+            released_at.resize(need, 0.0);
+        }
+    };
 
     let mut free = p_total;
     let mut pool = opts.record_proc_ids.then(|| ProcPool::new(p_total));
     let mut placements: Vec<Placement> = Vec::with_capacity(hint);
     // At most one outstanding completion per busy processor.
-    let mut heap: BinaryHeap<Reverse<Event>> =
-        BinaryHeap::with_capacity(p_total as usize);
+    let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::with_capacity(p_total as usize);
     let mut seq: u64 = 0;
     let mut time = 0.0f64;
     let mut completed = 0usize;

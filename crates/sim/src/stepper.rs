@@ -336,11 +336,7 @@ impl<I: Instance, S: Scheduler> Stepper<I, S> {
         Ok(())
     }
 
-    fn advance_inner(
-        &mut self,
-        until: f64,
-        completions: &mut Vec<usize>,
-    ) -> Result<(), SimError> {
+    fn advance_inner(&mut self, until: f64, completions: &mut Vec<usize>) -> Result<(), SimError> {
         if !self.primed {
             self.primed = true;
             let initial = self.instance.initial();
@@ -494,12 +490,8 @@ mod tests {
         ] {
             let g = gen::by_name(shape, size, ModelClass::Amdahl, p, 7).unwrap();
             let opts = SimOptions::new(p);
-            let reference = simulate_instance(
-                &mut GraphInstance::new(&g),
-                &mut Fifo::new(2),
-                &opts,
-            )
-            .unwrap();
+            let reference =
+                simulate_instance(&mut GraphInstance::new(&g), &mut Fifo::new(2), &opts).unwrap();
             let stepper = Stepper::new(GraphInstance::new(&g), Fifo::new(2), &opts);
             let got = stepper.finish().unwrap();
             assert_eq!(
@@ -529,8 +521,15 @@ mod tests {
             t += 0.37; // deliberately lands between event times
             assert!(t < 1e6, "runaway");
         }
-        assert_eq!(seen.len(), one.placements.len(), "every completion reported");
-        assert_eq!(fingerprint(sliced.placements()), fingerprint(&one.placements));
+        assert_eq!(
+            seen.len(),
+            one.placements.len(),
+            "every completion reported"
+        );
+        assert_eq!(
+            fingerprint(sliced.placements()),
+            fingerprint(&one.placements)
+        );
         // Completion indices arrive in retirement order: end times are
         // non-decreasing along the reported sequence.
         let ends: Vec<f64> = seen.iter().map(|&i| sliced.placements()[i].end).collect();
@@ -552,7 +551,10 @@ mod tests {
         let got = Stepper::new(TimedArrivals::new(releases), Fifo::new(1), &opts)
             .finish()
             .unwrap();
-        assert_eq!(fingerprint(&got.placements), fingerprint(&reference.placements));
+        assert_eq!(
+            fingerprint(&got.placements),
+            fingerprint(&reference.placements)
+        );
         assert_eq!(got.makespan.to_bits(), reference.makespan.to_bits());
     }
 

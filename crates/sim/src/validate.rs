@@ -198,9 +198,9 @@ impl Schedule {
 
 #[cfg(test)]
 mod tests {
-    use moldable_graph::GraphBuilder;
     use super::*;
     use crate::ScheduleBuilder;
+    use moldable_graph::GraphBuilder;
     use moldable_model::SpeedupModel;
 
     fn two_task_graph() -> (TaskGraph, TaskId, TaskId) {

@@ -116,11 +116,21 @@ fn arrival_tie_breaks_agree_across_legacy_batched_and_stepper() {
         .unwrap();
 
     let reference = fingerprint(&via_arrivals.placements);
-    assert_eq!(fingerprint(&via_graph.placements), reference, "graph/legacy");
+    assert_eq!(
+        fingerprint(&via_graph.placements),
+        reference,
+        "graph/legacy"
+    );
     assert_eq!(fingerprint(&via_batched.placements), reference, "batched");
     assert_eq!(fingerprint(&via_stepper.placements), reference, "stepper");
-    assert_eq!(via_arrivals.makespan.to_bits(), via_batched.makespan.to_bits());
-    assert_eq!(via_arrivals.makespan.to_bits(), via_stepper.makespan.to_bits());
+    assert_eq!(
+        via_arrivals.makespan.to_bits(),
+        via_batched.makespan.to_bits()
+    );
+    assert_eq!(
+        via_arrivals.makespan.to_bits(),
+        via_stepper.makespan.to_bits()
+    );
 }
 
 #[test]

@@ -6,11 +6,13 @@
 //! robin (Shreedhar & Varghese) to processor allocation:
 //!
 //! * Each session owns a FIFO queue of ready tasks and a *deficit*
-//!   counter in processor units. Allocation per task is Algorithm 1's
-//!   `allocate(model, P, μ).capped` via the shared [`AllocCache`] —
-//!   the same per-task allocation the one-shot service computes; only
-//!   the start-order policy (DRR instead of Algorithm 2's list order)
-//!   differs.
+//!   counter in processor units. Allocation per task is the owning
+//!   DAG's registered algorithm — `AlgoName::allocate(model, P, μ)`
+//!   capped at `⌈μP⌉`, via one shared [`AllocCache`] per registered
+//!   algorithm — the same per-task allocation the one-shot service
+//!   computes; only the start-order policy (DRR instead of
+//!   Algorithm 2's list order) differs. Sessions running different
+//!   algorithms coexist on one platform.
 //! * At each decision instant every non-empty queue is replenished by
 //!   one quantum (capped at [`BURST_QUANTA`]× to bound burst credit),
 //!   then a cyclic pass from a rotating cursor starts front tasks
@@ -30,7 +32,8 @@
 
 use std::collections::VecDeque;
 
-use moldable_core::AllocCache;
+use moldable_core::registry::ALGOS;
+use moldable_core::{AlgoName, AllocCache};
 use moldable_graph::TaskId;
 use moldable_model::SpeedupModel;
 use moldable_sim::Scheduler;
@@ -51,11 +54,16 @@ struct Slot {
 
 /// Deficit-round-robin moldable scheduler over session slots.
 pub struct DrrScheduler {
-    alloc: AllocCache,
+    /// One warm cache per registered algorithm, indexed in `ALGOS`
+    /// order; a task allocates through its DAG's algorithm.
+    caches: Vec<AllocCache>,
     p_total: u32,
     /// Global task id → owning slot; appended by
     /// [`DrrScheduler::register_tasks`] before the tasks can release.
     task_slot: Vec<u32>,
+    /// Global task id → the owning DAG's algorithm, parallel to
+    /// `task_slot`.
+    task_algo: Vec<AlgoName>,
     slots: Vec<Slot>,
     cursor: usize,
     /// Decision-instant gate: the engine calls `select` repeatedly
@@ -71,9 +79,13 @@ impl DrrScheduler {
     #[must_use]
     pub fn new(p_total: u32, mu: f64) -> Self {
         Self {
-            alloc: AllocCache::new(p_total, mu),
+            caches: ALGOS
+                .into_iter()
+                .map(|a| AllocCache::for_algo(a, p_total, mu))
+                .collect(),
             p_total,
             task_slot: Vec::new(),
+            task_algo: Vec::new(),
             slots: Vec::new(),
             cursor: 0,
             last_replenish: None,
@@ -82,15 +94,16 @@ impl DrrScheduler {
     }
 
     /// Declare that the next `n_tasks` global task ids belong to
-    /// session `slot`. Must be called in global-id order, before any
-    /// of those tasks is released by the engine.
-    pub fn register_tasks(&mut self, slot: usize, n_tasks: usize) {
+    /// session `slot` and allocate with `algo`. Must be called in
+    /// global-id order, before any of those tasks is released by the
+    /// engine.
+    pub fn register_tasks(&mut self, slot: usize, n_tasks: usize, algo: AlgoName) {
         if slot >= self.slots.len() {
             self.slots.resize_with(slot + 1, Slot::default);
         }
         let slot = u32::try_from(slot).expect("slot ids fit u32");
-        self.task_slot
-            .resize(self.task_slot.len() + n_tasks, slot);
+        self.task_slot.resize(self.task_slot.len() + n_tasks, slot);
+        self.task_algo.resize(self.task_algo.len() + n_tasks, algo);
     }
 
     /// Number of session slots seen so far.
@@ -129,7 +142,13 @@ impl Scheduler for DrrScheduler {
 
     fn release(&mut self, task: TaskId, model: &SpeedupModel) {
         let slot = self.task_slot[task.index()] as usize;
-        let procs = self.alloc.allocate(model).capped;
+        let algo = self.task_algo[task.index()];
+        let cache = self
+            .caches
+            .iter_mut()
+            .find(|c| c.algo() == algo)
+            .expect("every registered algorithm has a cache");
+        let procs = cache.allocate(model).capped;
         self.slots[slot].queue.push_back(Ready { task, procs });
     }
 
@@ -232,7 +251,7 @@ mod tests {
     fn single_slot_behaves_fifo() {
         let mut s = DrrScheduler::new(4, MU);
         s.init(4);
-        s.register_tasks(0, 3);
+        s.register_tasks(0, 3, AlgoName::Icpp22);
         for i in 0..3 {
             s.release(TaskId(i), &unit(1.0));
         }
@@ -249,8 +268,8 @@ mod tests {
         // tasks from each slot.
         let mut s = DrrScheduler::new(4, MU);
         s.init(4);
-        s.register_tasks(0, 4);
-        s.register_tasks(1, 4);
+        s.register_tasks(0, 4, AlgoName::Icpp22);
+        s.register_tasks(1, 4, AlgoName::Icpp22);
         for i in 0..4 {
             s.release(TaskId(i), &unit(1.0));
         }
@@ -269,7 +288,7 @@ mod tests {
         // when no one else wants the processors.
         let mut s = DrrScheduler::new(2, MU);
         s.init(2);
-        s.register_tasks(0, 6);
+        s.register_tasks(0, 6, AlgoName::Icpp22);
         for i in 0..6 {
             s.release(TaskId(i), &unit(1.0));
         }
@@ -286,7 +305,7 @@ mod tests {
     fn replenish_happens_once_per_decision_instant() {
         let mut s = DrrScheduler::new(2, MU);
         s.init(2);
-        s.register_tasks(0, 2);
+        s.register_tasks(0, 2, AlgoName::Icpp22);
         s.release(TaskId(0), &unit(1.0));
         let _ = s.select(0.0, 1);
         let d_after = s.slots[0].deficit;
@@ -302,8 +321,8 @@ mod tests {
         // queued task may fit the remaining free processors.
         let mut s = DrrScheduler::new(3, MU);
         s.init(3);
-        s.register_tasks(0, 50);
-        s.register_tasks(1, 1);
+        s.register_tasks(0, 50, AlgoName::Icpp22);
+        s.register_tasks(1, 1, AlgoName::Icpp22);
         for i in 0..50 {
             s.release(TaskId(i), &unit(1.0));
         }
@@ -316,12 +335,43 @@ mod tests {
     }
 
     #[test]
+    fn allocation_follows_each_dags_algorithm() {
+        // amdahl(30, 10) on P=16, mu=0.3: Algorithm 2 (min area under
+        // the time stretch) picks p=3; the dual allocation (min time
+        // under the area budget) spends its λ budget and picks p=4.
+        // Two slots registered under different algorithms must see
+        // exactly those allocations for the same model.
+        let model = SpeedupModel::amdahl(30.0, 10.0).unwrap();
+        let mut s = DrrScheduler::new(16, 0.3);
+        s.init(16);
+        s.register_tasks(0, 1, AlgoName::Icpp22);
+        s.register_tasks(1, 1, AlgoName::Improved23);
+        s.release(TaskId(0), &model);
+        s.release(TaskId(1), &model);
+        let picks = s.select(0.0, 16);
+        let procs_of = |id: u32| picks.iter().find(|(t, _)| t.0 == id).unwrap().1;
+        assert_eq!(
+            procs_of(0),
+            AlgoName::Icpp22.allocate(&model, 16, 0.3).capped
+        );
+        assert_eq!(
+            procs_of(1),
+            AlgoName::Improved23.allocate(&model, 16, 0.3).capped
+        );
+        assert_ne!(
+            procs_of(0),
+            procs_of(1),
+            "the two algorithms must differ on this model for the test to bite"
+        );
+    }
+
+    #[test]
     fn oversized_allocations_are_capped_to_fit_eventually() {
         // A task whose cap exceeds current free waits, but fits a full
         // platform: mu-capped allocations never exceed ceil(mu * P).
         let mut s = DrrScheduler::new(16, MU);
         s.init(16);
-        s.register_tasks(0, 1);
+        s.register_tasks(0, 1, AlgoName::Icpp22);
         s.release(TaskId(0), &SpeedupModel::amdahl(100.0, 0.0).unwrap());
         let picks = s.select(0.0, 1);
         assert!(picks.is_empty(), "does not fit one free proc");

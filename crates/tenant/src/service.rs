@@ -48,6 +48,7 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
 
+use moldable_core::AlgoName;
 use moldable_graph::TaskGraph;
 use moldable_sim::{SimError, SimOptions, Stepper};
 
@@ -454,7 +455,10 @@ impl TenantService {
     }
 
     /// Submit `graph` to session `label` with release date `at`
-    /// (virtual time, `>=` the session frontier).
+    /// (virtual time, `>=` the session frontier), allocating with
+    /// registry algorithm `algo`. DAGs of different algorithms share
+    /// the platform; each task allocates through its own DAG's
+    /// algorithm.
     ///
     /// # Errors
     ///
@@ -465,15 +469,17 @@ impl TenantService {
         label: &str,
         graph: Arc<TaskGraph>,
         at: f64,
+        algo: AlgoName,
         now_ms: u64,
     ) -> Result<SubmitReply, TenantError> {
         let slot = *self
             .by_label
             .get(label)
-            .ok_or_else(|| TenantError::UnknownSession(label.to_string()))? as usize;
+            .ok_or_else(|| TenantError::UnknownSession(label.to_string()))?
+            as usize;
         let tenant = self.sessions[slot].tenant;
         self.tenants[tenant].ledger.submitted += 1;
-        match self.try_admit(slot, graph, at, now_ms) {
+        match self.try_admit(slot, graph, at, algo, now_ms) {
             Ok(reply) => Ok(reply),
             Err(e) => {
                 if e.is_quota() {
@@ -491,6 +497,7 @@ impl TenantService {
         slot: usize,
         graph: Arc<TaskGraph>,
         at: f64,
+        algo: AlgoName,
         now_ms: u64,
     ) -> Result<SubmitReply, TenantError> {
         let n_tasks = graph.n_tasks();
@@ -505,7 +512,9 @@ impl TenantService {
             (s.tenant, s.frontier, s.state)
         };
         if state != SessionState::Open {
-            return Err(TenantError::SessionClosed(self.sessions[slot].label.clone()));
+            return Err(TenantError::SessionClosed(
+                self.sessions[slot].label.clone(),
+            ));
         }
         if at < frontier {
             return Err(TenantError::NonMonotonicSubmit { at, frontier });
@@ -532,7 +541,9 @@ impl TenantService {
             .instance_mut()
             .submit(graph, at)
             .map_err(TenantError::IdSpace)?;
-        self.stepper.scheduler_mut().register_tasks(slot, n_tasks);
+        self.stepper
+            .scheduler_mut()
+            .register_tasks(slot, n_tasks, algo);
         debug_assert_eq!(dag.0 as usize, self.dag_owner.len());
         let local_no = u32::try_from(self.sessions[slot].dags.len()).expect("dag count fits u32");
         self.dag_owner.push(DagOwner {
@@ -573,7 +584,8 @@ impl TenantService {
         let slot = *self
             .by_label
             .get(label)
-            .ok_or_else(|| TenantError::UnknownSession(label.to_string()))? as usize;
+            .ok_or_else(|| TenantError::UnknownSession(label.to_string()))?
+            as usize;
         {
             let s = &mut self.sessions[slot];
             s.last_activity_ms = now_ms;
@@ -605,7 +617,8 @@ impl TenantService {
         let slot = *self
             .by_label
             .get(label)
-            .ok_or_else(|| TenantError::UnknownSession(label.to_string()))? as usize;
+            .ok_or_else(|| TenantError::UnknownSession(label.to_string()))?
+            as usize;
         self.transition_to_draining(slot, now_ms);
         self.pump()?;
         let s = &self.sessions[slot];
@@ -627,8 +640,7 @@ impl TenantService {
         let mut reaped = 0;
         for slot in 0..self.sessions.len() {
             let s = &self.sessions[slot];
-            if s.state == SessionState::Open
-                && now_ms.saturating_sub(s.last_activity_ms) > timeout
+            if s.state == SessionState::Open && now_ms.saturating_sub(s.last_activity_ms) > timeout
             {
                 self.transition_to_draining(slot, now_ms);
                 self.sessions_reaped += 1;
@@ -771,6 +783,7 @@ mod tests {
     use moldable_model::SpeedupModel;
 
     const MU: f64 = 0.38;
+    const ALGO: AlgoName = AlgoName::Icpp22;
 
     /// A fully serial task: `time(p) = w` for all `p`, so Algorithm 1
     /// allocates exactly one processor — start/end times in these
@@ -797,7 +810,9 @@ mod tests {
         let mut s = svc(4);
         let open = s.open_session("acme", "s1", 0).unwrap();
         assert_eq!(open.now, 0.0);
-        let sub = s.submit_dag("s1", chain(&[1.0, 2.0]), 0.0, 0).unwrap();
+        let sub = s
+            .submit_dag("s1", chain(&[1.0, 2.0]), 0.0, ALGO, 0)
+            .unwrap();
         assert_eq!((sub.dag, sub.n_tasks), (0, 2));
         // Frontier still 0: nothing can run yet.
         let r = s.poll("s1", 0.0, 64, 0).unwrap();
@@ -807,11 +822,19 @@ mod tests {
         assert_eq!(r.events.len(), 3, "2 TaskDone + 1 DagDone: {r:?}");
         assert_eq!(
             r.events[0].kind,
-            EventKind::TaskDone { task: 0, end: 1.0, procs: 1 }
+            EventKind::TaskDone {
+                task: 0,
+                end: 1.0,
+                procs: 1
+            }
         );
         assert_eq!(
             r.events[1].kind,
-            EventKind::TaskDone { task: 1, end: 3.0, procs: 1 }
+            EventKind::TaskDone {
+                task: 1,
+                end: 3.0,
+                procs: 1
+            }
         );
         assert_eq!(r.events[2].kind, EventKind::DagDone { at: 3.0 });
         assert!(!r.closed);
@@ -821,7 +844,12 @@ mod tests {
         assert!(r.closed);
         assert_eq!(
             s.ledger("acme").unwrap(),
-            Ledger { submitted: 1, ok: 1, errors: 0, drops: 0 }
+            Ledger {
+                submitted: 1,
+                ok: 1,
+                errors: 0,
+                drops: 0
+            }
         );
     }
 
@@ -830,7 +858,7 @@ mod tests {
         let mut s = svc(4);
         s.open_session("a", "fast", 0).unwrap();
         s.open_session("b", "slow", 0).unwrap();
-        s.submit_dag("fast", chain(&[1.0]), 0.0, 0).unwrap();
+        s.submit_dag("fast", chain(&[1.0]), 0.0, ALGO, 0).unwrap();
         // `slow` still pins the clock at 0 — polling `fast` far ahead
         // must not advance past slow's frontier.
         let r = s.poll("fast", 100.0, 64, 0).unwrap();
@@ -846,14 +874,17 @@ mod tests {
     fn submissions_below_the_frontier_are_rejected() {
         let mut s = svc(4);
         s.open_session("t", "s", 0).unwrap();
-        s.submit_dag("s", chain(&[1.0]), 5.0, 0).unwrap();
-        let err = s.submit_dag("s", chain(&[1.0]), 4.0, 0).unwrap_err();
+        s.submit_dag("s", chain(&[1.0]), 5.0, ALGO, 0).unwrap();
+        let err = s.submit_dag("s", chain(&[1.0]), 4.0, ALGO, 0).unwrap_err();
         assert_eq!(
             err,
-            TenantError::NonMonotonicSubmit { at: 4.0, frontier: 5.0 }
+            TenantError::NonMonotonicSubmit {
+                at: 4.0,
+                frontier: 5.0
+            }
         );
         // Equal to the frontier is fine (same-instant arrivals).
-        s.submit_dag("s", chain(&[1.0]), 5.0, 0).unwrap();
+        s.submit_dag("s", chain(&[1.0]), 5.0, ALGO, 0).unwrap();
         let l = s.ledger("t").unwrap();
         assert_eq!((l.submitted, l.errors), (3, 1));
     }
@@ -864,18 +895,30 @@ mod tests {
         cfg.quotas.max_dags_in_flight = 2;
         let mut s = TenantService::new(cfg);
         s.open_session("t", "s", 0).unwrap();
-        s.submit_dag("s", chain(&[1.0]), 0.0, 0).unwrap();
-        s.submit_dag("s", chain(&[1.0]), 0.0, 0).unwrap();
-        let err = s.submit_dag("s", chain(&[1.0]), 0.0, 0).unwrap_err();
+        s.submit_dag("s", chain(&[1.0]), 0.0, ALGO, 0).unwrap();
+        s.submit_dag("s", chain(&[1.0]), 0.0, ALGO, 0).unwrap();
+        let err = s.submit_dag("s", chain(&[1.0]), 0.0, ALGO, 0).unwrap_err();
         assert!(err.is_quota(), "{err}");
         assert_eq!(
             err,
-            TenantError::QuotaExceeded { scope: "dags", used: 2, limit: 2 }
+            TenantError::QuotaExceeded {
+                scope: "dags",
+                used: 2,
+                limit: 2
+            }
         );
         // Drain: in-flight DAGs complete, quota frees, ledger balances.
         s.drain(0).unwrap();
         let l = s.ledger("t").unwrap();
-        assert_eq!(l, Ledger { submitted: 3, ok: 2, errors: 0, drops: 1 });
+        assert_eq!(
+            l,
+            Ledger {
+                submitted: 3,
+                ok: 2,
+                errors: 0,
+                drops: 1
+            }
+        );
         assert_eq!(l.submitted, l.ok + l.errors + l.drops);
     }
 
@@ -885,14 +928,20 @@ mod tests {
         cfg.quotas.max_tasks_in_flight = 3;
         let mut s = TenantService::new(cfg);
         s.open_session("t", "s", 0).unwrap();
-        s.submit_dag("s", chain(&[1.0, 1.0]), 0.0, 0).unwrap();
-        let err = s.submit_dag("s", chain(&[1.0, 1.0]), 0.0, 0).unwrap_err();
+        s.submit_dag("s", chain(&[1.0, 1.0]), 0.0, ALGO, 0).unwrap();
+        let err = s
+            .submit_dag("s", chain(&[1.0, 1.0]), 0.0, ALGO, 0)
+            .unwrap_err();
         assert_eq!(
             err,
-            TenantError::QuotaExceeded { scope: "tasks", used: 2, limit: 3 }
+            TenantError::QuotaExceeded {
+                scope: "tasks",
+                used: 2,
+                limit: 3
+            }
         );
         // A 1-task DAG still fits.
-        s.submit_dag("s", chain(&[1.0]), 0.0, 0).unwrap();
+        s.submit_dag("s", chain(&[1.0]), 0.0, ALGO, 0).unwrap();
     }
 
     #[test]
@@ -913,7 +962,7 @@ mod tests {
     fn drain_on_close_keeps_events_pollable() {
         let mut s = svc(2);
         s.open_session("t", "s", 0).unwrap();
-        s.submit_dag("s", chain(&[2.0, 3.0]), 0.0, 0).unwrap();
+        s.submit_dag("s", chain(&[2.0, 3.0]), 0.0, ALGO, 0).unwrap();
         let c = s.close_session("s", 0).unwrap();
         // Closing lifts the frontier: the whole chain drains.
         assert_eq!(c.dags_admitted, 1);
@@ -925,10 +974,18 @@ mod tests {
         assert_eq!(r.events.len(), 2);
         assert!(r.closed);
         // Submissions after close are structural errors.
-        let err = s.submit_dag("s", chain(&[1.0]), 9.0, 0).unwrap_err();
+        let err = s.submit_dag("s", chain(&[1.0]), 9.0, ALGO, 0).unwrap_err();
         assert_eq!(err, TenantError::SessionClosed("s".to_string()));
         let l = s.ledger("t").unwrap();
-        assert_eq!(l, Ledger { submitted: 2, ok: 1, errors: 1, drops: 0 });
+        assert_eq!(
+            l,
+            Ledger {
+                submitted: 2,
+                ok: 1,
+                errors: 1,
+                drops: 0
+            }
+        );
     }
 
     #[test]
@@ -938,7 +995,7 @@ mod tests {
         let mut s = TenantService::new(cfg);
         s.open_session("t", "busy", 0).unwrap();
         s.open_session("t", "ghost", 0).unwrap();
-        s.submit_dag("busy", chain(&[1.0]), 0.0, 0).unwrap();
+        s.submit_dag("busy", chain(&[1.0]), 0.0, ALGO, 0).unwrap();
         // ghost pins the clock at 0; poll can't see the completion.
         let r = s.poll("busy", 10.0, 64, 1_500).unwrap();
         assert!(r.events.is_empty());
@@ -974,11 +1031,11 @@ mod tests {
         s.open_session("t", "s", 0).unwrap();
         let empty = Arc::new(GraphBuilder::new().freeze());
         assert_eq!(
-            s.submit_dag("s", empty, 0.0, 0).unwrap_err(),
+            s.submit_dag("s", empty, 0.0, ALGO, 0).unwrap_err(),
             TenantError::EmptyDag
         );
         assert!(matches!(
-            s.submit_dag("s", chain(&[1.0]), f64::NAN, 0).unwrap_err(),
+            s.submit_dag("s", chain(&[1.0]), f64::NAN, ALGO, 0).unwrap_err(),
             TenantError::BadReleaseDate(at) if at.is_nan()
         ));
         let l = s.ledger("t").unwrap();
@@ -993,8 +1050,8 @@ mod tests {
             s.open_session("b", "b1", 0).unwrap();
             for i in 0..4 {
                 let at = f64::from(i);
-                s.submit_dag("a1", chain(&[1.0, 2.0]), at, 0).unwrap();
-                s.submit_dag("b1", chain(&[1.5]), at, 0).unwrap();
+                s.submit_dag("a1", chain(&[1.0, 2.0]), at, ALGO, 0).unwrap();
+                s.submit_dag("b1", chain(&[1.5]), at, ALGO, 0).unwrap();
             }
             s.drain(0).unwrap();
             let mut all = Vec::new();
@@ -1023,9 +1080,9 @@ mod tests {
         s.open_session("quiet", "q", 0).unwrap();
         // noisy floods 40 unit tasks at t=0; quiet submits one.
         for _ in 0..20 {
-            s.submit_dag("n", chain(&[1.0]), 0.0, 0).unwrap();
+            s.submit_dag("n", chain(&[1.0]), 0.0, ALGO, 0).unwrap();
         }
-        s.submit_dag("q", chain(&[1.0]), 0.0, 0).unwrap();
+        s.submit_dag("q", chain(&[1.0]), 0.0, ALGO, 0).unwrap();
         s.drain(0).unwrap();
         let r = s.poll("q", 0.0, 64, 0).unwrap();
         let end = r
@@ -1052,7 +1109,7 @@ mod tests {
                 let label = format!("t{t}-s{k}");
                 s.open_session(&tenant, &label, 0).unwrap();
                 for i in 0..4 {
-                    let _ = s.submit_dag(&label, chain(&[1.0, 1.0]), f64::from(i), 0);
+                    let _ = s.submit_dag(&label, chain(&[1.0, 1.0]), f64::from(i), ALGO, 0);
                 }
             }
         }

@@ -12,9 +12,12 @@
 
 use std::sync::Arc;
 
+use moldable_core::AlgoName;
 use moldable_graph::{gen, TaskGraph};
 use moldable_model::SpeedupModel;
 use moldable_tenant::{EventKind, TenantConfig, TenantService};
+
+const ALGO: AlgoName = AlgoName::Icpp22;
 
 /// FNV-1a over bytes — same construction the session loadgen uses for
 /// its event-log fingerprint.
@@ -44,7 +47,11 @@ fn workload_graph(which: u32) -> Arc<TaskGraph> {
 /// event-log rendering.
 fn run_workload() -> String {
     let mut svc = TenantService::new(TenantConfig::new(32, 0.3));
-    let sessions = [("acme", "acme-s0"), ("acme", "acme-s1"), ("zeta", "zeta-s0")];
+    let sessions = [
+        ("acme", "acme-s0"),
+        ("acme", "acme-s1"),
+        ("zeta", "zeta-s0"),
+    ];
     for (tenant, label) in sessions {
         svc.open_session(tenant, label, 0).unwrap();
     }
@@ -53,7 +60,7 @@ fn run_workload() -> String {
         for (i, (_, label)) in sessions.iter().enumerate() {
             let g = workload_graph(round * 3 + i as u32);
             let at = f64::from(round) * 5.0;
-            svc.submit_dag(label, g, at, 0).unwrap();
+            svc.submit_dag(label, g, at, ALGO, 0).unwrap();
         }
     }
     // Close everything, then poll each session dry. Closing first

@@ -9,9 +9,9 @@
 
 use moldable::core::OnlineScheduler;
 use moldable::graph::{gen, TaskGraph};
+use moldable::model::rng::{Rng, StdRng};
 use moldable::model::{ModelClass, SpeedupModel};
 use moldable::sim::{interval_profile, simulate, SimOptions};
-use moldable::model::rng::{Rng, StdRng};
 
 fn main() {
     let p_total = 64;

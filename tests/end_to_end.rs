@@ -72,8 +72,8 @@ fn figure4a_offline_optimum_is_one() {
 #[test]
 fn online_beats_its_guarantee_on_every_builtin_workload() {
     use moldable::graph::gen;
-    use moldable::model::sample::ParamDistribution;
     use moldable::model::rng::StdRng;
+    use moldable::model::sample::ParamDistribution;
     let p_total = 48;
     for class in ModelClass::bounded_classes() {
         let guarantee = class.proven_upper_bound().unwrap();

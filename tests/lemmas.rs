@@ -13,10 +13,10 @@
 use moldable::analysis;
 use moldable::core::OnlineScheduler;
 use moldable::graph::gen;
+use moldable::model::rng::StdRng;
 use moldable::model::sample::ParamDistribution;
 use moldable::model::{delta, ModelClass};
 use moldable::sim::{interval_profile, simulate, SimOptions};
-use moldable::model::rng::StdRng;
 
 /// The `(α, β)` pair Lemmas 6–9 guarantee for a class at its μ*.
 fn envelope(class: ModelClass) -> (f64, f64) {

@@ -12,7 +12,9 @@
 
 use moldable::adversary::{amdahl, arbitrary, communication, general, roofline};
 use moldable::core::baselines::EqualShareScheduler;
-use moldable::sim::{simulate_instance, SimOptions};
+use moldable::core::{AlgoName, OnlineScheduler};
+use moldable::model::ModelClass;
+use moldable::sim::{simulate, simulate_instance, SimOptions};
 
 /// Run one lower-bound instance and compare the measured ratio to its
 /// pinned value.
@@ -30,7 +32,11 @@ fn measured_table1_column_is_pinned() {
     // 1e-2: roofline at P = 1e5, communication at P = 1001, Amdahl and
     // general at K = 80.
     pin(&roofline::instance(100_000), 2.6180, "roofline P=1e5");
-    pin(&communication::instance(1001), 3.5083, "communication P=1001");
+    pin(
+        &communication::instance(1001),
+        3.5083,
+        "communication P=1001",
+    );
     pin(&amdahl::instance(80), 4.5567, "amdahl K=80");
     pin(&general::instance(80), 5.0765, "general K=80");
 }
@@ -39,9 +45,172 @@ fn measured_table1_column_is_pinned() {
 fn lower_bound_sweep_tail_is_pinned() {
     // The largest sweep sizes of results/lower_bounds.csv — exactly
     // the rows the perf work must keep byte-identical.
-    pin(&communication::instance(1601), 3.50958, "communication P=1601");
+    pin(
+        &communication::instance(1601),
+        3.50958,
+        "communication P=1601",
+    );
     pin(&amdahl::instance(120), 4.60754, "amdahl K=120");
     pin(&general::instance(120), 5.12686, "general K=120");
+}
+
+/// Run `algo` on a lower-bound witness and compare makespan and ratio
+/// to their pinned values at 1e-6 relative tolerance — far tighter
+/// than the 1e-2 table pins, so even sub-print-precision drift in
+/// either allocation rule trips the pin.
+fn pin_algo(
+    inst: &moldable::adversary::LowerBoundInstance,
+    class: ModelClass,
+    algo: AlgoName,
+    expect_mk: f64,
+    expect_ratio: f64,
+    ctx: &str,
+) {
+    let (mk, ratio) = inst.run_algo(algo, class);
+    assert!(
+        ((mk - expect_mk) / expect_mk).abs() < 1e-6,
+        "{ctx} [{algo}]: measured makespan {mk:.9} drifted from pinned {expect_mk:.9}"
+    );
+    assert!(
+        ((ratio - expect_ratio) / expect_ratio).abs() < 1e-6,
+        "{ctx} [{algo}]: measured ratio {ratio:.9} drifted from pinned {expect_ratio:.9}"
+    );
+}
+
+#[test]
+fn per_algorithm_witness_makespans_are_pinned() {
+    // Exact measured makespans and ratios of both registered
+    // algorithms on the Theorem 5–8 witnesses. On every witness the
+    // Improved'23 dual allocation is strictly better than ICPP'22
+    // except roofline, where the two allocation rules make identical
+    // decisions and the schedules coincide bit for bit.
+    let r = roofline::instance(100_000);
+    let (mk_i, ratio_i) = r.run_algo(AlgoName::Icpp22, ModelClass::Roofline);
+    let (mk_p, ratio_p) = r.run_algo(AlgoName::Improved23, ModelClass::Roofline);
+    assert_eq!(mk_i, mk_p, "roofline decisions are algo-independent");
+    assert!(
+        ((ratio_i - 2.618_006_650) / 2.618_006_650).abs() < 1e-6,
+        "{ratio_i:.9}"
+    );
+    assert_eq!(ratio_i, ratio_p);
+
+    let c = communication::instance(1001);
+    pin_algo(
+        &c,
+        ModelClass::Communication,
+        AlgoName::Icpp22,
+        8_300.034_255_173,
+        3.506_674_705,
+        "communication P=1001",
+    );
+    pin_algo(
+        &c,
+        ModelClass::Communication,
+        AlgoName::Improved23,
+        7_300.457_020_307,
+        3.084_364_134,
+        "communication P=1001",
+    );
+
+    let a = amdahl::instance(80);
+    pin_algo(
+        &a,
+        ModelClass::Amdahl,
+        AlgoName::Icpp22,
+        373.596_708_479,
+        4.556_752_047,
+        "amdahl K=80",
+    );
+    pin_algo(
+        &a,
+        ModelClass::Amdahl,
+        AlgoName::Improved23,
+        317.389_547_453,
+        3.871_194_358,
+        "amdahl K=80",
+    );
+
+    let g = general::instance(80);
+    pin_algo(
+        &g,
+        ModelClass::General,
+        AlgoName::Icpp22,
+        413.609_745_084,
+        5.076_523_413,
+        "general K=80",
+    );
+    pin_algo(
+        &g,
+        ModelClass::General,
+        AlgoName::Improved23,
+        281.544_289_515,
+        3.455_591_157,
+        "general K=80",
+    );
+}
+
+#[test]
+fn per_algorithm_sweep_tail_ratios_are_pinned() {
+    // The Improved'23 column of the sweep tail, pinned at 1e-6
+    // relative alongside the existing icpp22 1e-2 pins above.
+    let pins = [
+        (
+            communication::instance(1601),
+            ModelClass::Communication,
+            3.509_584_519,
+            3.086_805_964,
+            "communication P=1601",
+        ),
+        (
+            amdahl::instance(120),
+            ModelClass::Amdahl,
+            4.607_535_212,
+            3.929_730_063,
+            "amdahl K=120",
+        ),
+        (
+            general::instance(120),
+            ModelClass::General,
+            5.126_862_428,
+            3.503_555_151,
+            "general K=120",
+        ),
+    ];
+    for (inst, class, icpp, improved, ctx) in pins {
+        let (_, r_i) = inst.run_algo(AlgoName::Icpp22, class);
+        let (_, r_p) = inst.run_algo(AlgoName::Improved23, class);
+        assert!(
+            ((r_i - icpp) / icpp).abs() < 1e-6,
+            "{ctx} [icpp22]: {r_i:.9}"
+        );
+        assert!(
+            ((r_p - improved) / improved).abs() < 1e-6,
+            "{ctx} [improved23]: {r_p:.9}"
+        );
+    }
+}
+
+#[test]
+fn per_algorithm_fig3_ratios_are_pinned() {
+    // The Figure 3 chain forest against its unit-makespan offline
+    // schedule, per algorithm.
+    let pins = [
+        (2u32, 2.000_000_000, 1.952_600_620),
+        (3, 2.709_269_961, 2.510_486_511),
+    ];
+    for (l, icpp, improved) in pins {
+        let (g, offline) = arbitrary::offline_schedule(l);
+        let p = arbitrary::params(l).p_total;
+        for (algo, expect) in [(AlgoName::Icpp22, icpp), (AlgoName::Improved23, improved)] {
+            let mut s = OnlineScheduler::for_algo_class(algo, ModelClass::Arbitrary);
+            let sched = simulate(&g, &mut s, &SimOptions::new(p)).unwrap();
+            let ratio = sched.makespan / offline.makespan;
+            assert!(
+                ((ratio - expect) / expect).abs() < 1e-6,
+                "fig3 l={l} [{algo}]: measured ratio {ratio:.9} drifted from pinned {expect:.9}"
+            );
+        }
+    }
 }
 
 #[test]
