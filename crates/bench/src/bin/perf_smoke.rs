@@ -28,7 +28,13 @@
 //!   bare generate+simulate, through the service layer
 //!   (`WorkerContext::handle`, adds validation/bounds/JSON), and over a
 //!   real daemon socket — identical makespans, so the deltas are pure
-//!   layer overhead.
+//!   layer overhead;
+//! * `serve_epoll_500`, `serve_epoll_batched_500` — the same 500
+//!   requests over the non-blocking epoll transport: four closed-loop
+//!   connections across four worker shards, plain submits and 32-item
+//!   `submit_batch` frames. Every reply's makespan is asserted
+//!   bit-equal to the service-layer expectation; CI gates the batched
+//!   row at ≥ 3× the legacy `serve_tcp_500` throughput.
 
 use std::time::Instant;
 
@@ -363,13 +369,16 @@ fn serve_service(cached: bool) -> Measurement {
     }
 }
 
-/// The full daemon round-trip: loopback TCP, frame codec, bounded
-/// queue, worker pool — one closed-loop client.
+/// The full daemon round-trip through the **legacy** thread-per-
+/// connection transport: loopback TCP, frame codec, bounded queue,
+/// worker pool — one closed-loop client, one worker. This is the
+/// baseline the epoll rows are gated against.
 fn serve_tcp() -> Measurement {
-    use moldable_serve::server::{Server, ServerConfig};
+    use moldable_serve::server::{Server, ServerConfig, Transport};
     let server = Server::start(ServerConfig {
         addr: "127.0.0.1:0".into(),
         workers: 1,
+        transport: Transport::Threads,
         ..ServerConfig::default()
     })
     .expect("bind");
@@ -418,6 +427,130 @@ fn serve_tcp() -> Measurement {
     }
 }
 
+/// The epoll event-loop transport at its intended operating point:
+/// four closed-loop connections over four worker shards, the same 500
+/// requests partitioned round-robin exactly like `loadgen` does.
+/// `batch` > 1 packs that many submits per `submit_batch` frame. Every
+/// reply's makespan is asserted bit-equal to the per-seed expectation
+/// computed through a bare [`moldable_serve::WorkerContext`], so the transport cannot
+/// change a scheduling decision and still pass.
+fn serve_epoll(batch: usize) -> Measurement {
+    use moldable_serve::json::Json;
+    use moldable_serve::proto::Request;
+    use moldable_serve::server::{Server, ServerConfig, Transport};
+
+    let clients = 4;
+    // Per-seed ground truth from the service layer (no wire at all).
+    let mut ctx = moldable_serve::WorkerContext::new();
+    let expected: Vec<(f64, u64)> = (0..SERVE_SEEDS)
+        .map(|s| {
+            let reply = ctx.handle(&serve_submit(42 + s));
+            (
+                reply
+                    .get("makespan")
+                    .and_then(Json::as_f64)
+                    .expect("makespan"),
+                reply.get("n_tasks").and_then(Json::as_u64).expect("n_tasks"),
+            )
+        })
+        .collect();
+
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: clients,
+        transport: Transport::Epoll,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().to_string();
+
+    // Connect and warm every shard before the clock starts.
+    let mut conns: Vec<moldable_serve::Client> = (0..clients)
+        .map(|_| {
+            let mut c = moldable_serve::Client::connect(&addr).expect("connect");
+            let warm = c
+                .call(&Request::Submit(Box::new(serve_submit(42))))
+                .expect("warmup");
+            assert_eq!(warm.get("status").and_then(Json::as_str), Some("ok"));
+            c
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    let n_tasks = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for (client_idx, client) in conns.iter_mut().enumerate() {
+            let expected = &expected;
+            let n_tasks = &n_tasks;
+            scope.spawn(move || {
+                let mine: Vec<u64> = (0..SERVE_REQUESTS)
+                    .filter(|i| i % clients == client_idx)
+                    .map(|i| 42 + (i as u64 % SERVE_SEEDS))
+                    .collect();
+                let check = |reply: &Json, seed: u64| {
+                    assert_eq!(
+                        reply.get("status").and_then(Json::as_str),
+                        Some("ok"),
+                        "{}",
+                        reply.encode()
+                    );
+                    let (want, tasks) = expected[(seed - 42) as usize];
+                    let got = reply
+                        .get("makespan")
+                        .and_then(Json::as_f64)
+                        .expect("makespan");
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "seed {seed}: transport changed a makespan"
+                    );
+                    n_tasks.fetch_add(tasks as usize, std::sync::atomic::Ordering::Relaxed);
+                };
+                for group in mine.chunks(batch.max(1)) {
+                    if batch <= 1 {
+                        let reply = client
+                            .call(&Request::Submit(Box::new(serve_submit(group[0]))))
+                            .expect("call");
+                        check(&reply, group[0]);
+                        continue;
+                    }
+                    let frame = Request::Batch(
+                        group
+                            .iter()
+                            .map(|&s| Request::Submit(Box::new(serve_submit(s))).encode())
+                            .collect(),
+                    );
+                    let reply = client.call(&frame).expect("batch call");
+                    assert_eq!(reply.get("status").and_then(Json::as_str), Some("ok"));
+                    let results = reply
+                        .get("results")
+                        .and_then(Json::as_arr)
+                        .expect("results");
+                    assert_eq!(results.len(), group.len());
+                    for (r, &seed) in results.iter().zip(group) {
+                        check(r, seed);
+                    }
+                }
+            });
+        }
+    });
+    let sim_secs = t0.elapsed().as_secs_f64();
+    drop(conns);
+    server.trigger_drain();
+    server.join();
+    Measurement {
+        name: if batch > 1 {
+            "serve_epoll_batched_500"
+        } else {
+            "serve_epoll_500"
+        },
+        n_tasks: n_tasks.into_inner(),
+        build_secs: 0.0,
+        sim_secs,
+        makespan: expected[(SERVE_REQUESTS - 1) % SERVE_SEEDS as usize].0,
+    }
+}
+
 fn main() {
     println!("Engine throughput smoke test\n");
     let mut runs = Vec::new();
@@ -433,6 +566,8 @@ fn main() {
     runs.push(serve_service(true));
     runs.push(serve_service(false));
     runs.push(serve_tcp());
+    runs.push(serve_epoll(1));
+    runs.push(serve_epoll(32));
     let by_name = |name: &str| {
         runs.iter()
             .find(|m| m.name == name)
@@ -458,6 +593,8 @@ fn main() {
         "serve_service_cached_500",
         "serve_service_uncached_500",
         "serve_tcp_500",
+        "serve_epoll_500",
+        "serve_epoll_batched_500",
     ] {
         assert_eq!(by_name(name).makespan, serve_makespan, "{name} must agree");
     }

@@ -109,6 +109,26 @@ impl FaultyClient {
                 let _ = stream.flush();
                 Ok(read_reaction(&mut stream))
             }
+            WireFault::CorruptBatchItem { flips, seed } => {
+                // A valid `submit_batch` envelope of three template
+                // submits, middle item mangled: the daemon must answer
+                // the frame (per-item error for the mangled one, or a
+                // structured envelope error if the flips broke the
+                // enclosing JSON) — never hang or die.
+                let mut mangled = payload.clone();
+                let mut rng = SplitMix64::seed_from_u64(*seed);
+                for _ in 0..*flips {
+                    let at = usize::try_from(rng.gen_range(0u64..mangled.len() as u64))
+                        .expect("index fits usize");
+                    let mask = u8::try_from(rng.gen_range(1u64..=255)).expect("mask fits u8");
+                    mangled[at] ^= mask;
+                }
+                let batch = Request::Batch(vec![payload.clone(), mangled, payload.clone()]);
+                if proto::write_frame(&mut stream, &batch.encode()).is_err() {
+                    return Ok(read_reaction(&mut stream));
+                }
+                Ok(read_reaction(&mut stream))
+            }
             WireFault::CorruptLengthPrefix { xor } => {
                 let true_len = u32::try_from(payload.len()).expect("payload fits u32");
                 // Keep the lie within the daemon's frame limit so this

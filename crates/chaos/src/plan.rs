@@ -46,6 +46,18 @@ pub enum WireFault {
         /// XOR mask applied to the true length (1..=255).
         xor: u32,
     },
+    /// Send a well-framed `submit_batch` of three copies of the
+    /// template submit with the middle item's JSON mangled (`flips`
+    /// byte flips derived from `seed`). The envelope is valid, so the
+    /// daemon must answer it — the good items succeed and the mangled
+    /// one draws a structured per-item (or whole-envelope) error, never
+    /// a hang or a crash.
+    CorruptBatchItem {
+        /// Number of byte flips in the middle item.
+        flips: u32,
+        /// Seed for the flip positions and masks.
+        seed: u64,
+    },
 }
 
 impl WireFault {
@@ -66,6 +78,9 @@ impl WireFault {
             Self::ZeroLengthFrame => "wire:zero-length-frame".to_string(),
             Self::CorruptLengthPrefix { xor } => {
                 format!("wire:corrupt-length-prefix xor={xor}")
+            }
+            Self::CorruptBatchItem { flips, seed } => {
+                format!("wire:corrupt-batch-item flips={flips} seed={seed}")
             }
         }
     }
@@ -292,7 +307,7 @@ impl Scenario {
 }
 
 fn draw_wire_fault(rng: &mut StdRng) -> WireFault {
-    match rng.gen_range(0u64..6) {
+    match rng.gen_range(0u64..7) {
         0 => WireFault::SplitSlowWrites {
             chunk: usize::try_from(rng.gen_range(1u64..=7)).expect("chunk fits usize"),
             pause_ms: rng.gen_range(1u64..=4),
@@ -306,6 +321,10 @@ fn draw_wire_fault(rng: &mut StdRng) -> WireFault {
         },
         3 => WireFault::OversizedFrame,
         4 => WireFault::ZeroLengthFrame,
+        5 => WireFault::CorruptBatchItem {
+            flips: rng.gen_range(1u32..=8),
+            seed: rng.next_u64(),
+        },
         _ => WireFault::CorruptLengthPrefix {
             xor: rng.gen_range(1u32..=255),
         },
@@ -387,7 +406,7 @@ mod tests {
                 session_kinds.insert(std::mem::discriminant(f));
             }
         }
-        assert_eq!(wire_kinds.len(), 6, "all wire-fault variants drawn");
+        assert_eq!(wire_kinds.len(), 7, "all wire-fault variants drawn");
         assert_eq!(proc_kinds.len(), 3, "all process-fault variants drawn");
         assert_eq!(session_kinds.len(), 3, "all session-fault variants drawn");
         assert!(shapes.len() >= 3, "shape variety: {shapes:?}");
@@ -420,7 +439,8 @@ mod tests {
                     WireFault::SplitSlowWrites { chunk, pause_ms } => {
                         assert!((1..=7).contains(chunk) && (1..=4).contains(pause_ms));
                     }
-                    WireFault::CorruptPayload { flips, .. } => {
+                    WireFault::CorruptPayload { flips, .. }
+                    | WireFault::CorruptBatchItem { flips, .. } => {
                         assert!((1..=8).contains(flips));
                     }
                     WireFault::TruncateAndClose { keep_pct } => assert!(*keep_pct <= 90),

@@ -56,13 +56,14 @@ USAGE:
   moldable fit      --samples FILE   # lines: <procs> <time>
   moldable serve    [--addr HOST:PORT | --port N] [--workers N] [--queue-cap N]
                     [--max-frame BYTES] [--timeout SECS] [--port-file FILE]
+                    [--transport epoll|threads]
   moldable loadgen  [--addr HOST:PORT] [--clients N] [--requests N] [--rate RPS]
                     [--shape SHAPE] [--size N] [--model CLASS] [-P N]
-                    [--algo NAME] [--seed N] [--seeds N] [--out FILE]
+                    [--algo NAME] [--seed N] [--seeds N] [--batch N] [--out FILE]
   moldable session-loadgen [--addr HOST:PORT] [--tenants N] [--sessions N]
                     [--dags N] [--shape SHAPE] [--size N] [--model CLASS]
                     [--algo NAME] [--seed N] [--gap SECS] [--max-events N]
-                    [--probe-dags N] [--threads N] [--out FILE]
+                    [--probe-dags N] [--threads N] [--batch N] [--out FILE]
                     [--events-out FILE]
   moldable chaos    [--seed N] [--scenarios N] [--workers N] [--out FILE]
   moldable lint     [--root DIR] [--json FILE]
@@ -78,16 +79,21 @@ ALGOS:       icpp22 (default, ICPP'22 Algorithm 2), improved23 (the
 POLICIES:    fifo (default), lpt, spt, narrow-first, wide-first
 
 `serve` runs the scheduling daemon until SIGINT/SIGTERM or a `shutdown`
-request, then drains gracefully; --session-p/--session-mu size the
+request, then drains gracefully; --transport picks the non-blocking
+epoll event loop (default on Linux) or the legacy thread-per-connection
+transport; --session-p/--session-mu size the
 shared streaming platform and --session-max-sessions/--session-max-dags/
 --session-max-tasks/--session-idle-ms set per-tenant quotas and the
 idle reaper. `loadgen` drives closed-loop traffic
 (or open-loop with --rate) against a running daemon and prints
-throughput/latency percentiles; --out writes the JSON report.
+throughput/latency percentiles; --batch N packs N submits per
+`submit_batch` frame; --out writes the JSON report.
 `session-loadgen` streams a deterministic multi-tenant DAG workload
 through the session verbs (open_session/submit_dag/poll/close_session):
 --tenants × --sessions sessions each receive --dags DAGs, --probe-dags
-adds a quota-probing tenant, --out writes BENCH_sessions.json, and
+adds a quota-probing tenant, --batch N packs N submit_dags per
+`submit_batch` frame (order-preserving, so the event log is unchanged),
+--out writes BENCH_sessions.json, and
 --events-out writes the merged event log (same workload ⇒ identical
 bytes).
 `chaos` derives a seeded fault schedule, runs each scenario against its
@@ -446,6 +452,7 @@ fn cmd_serve(opts: &Opts) -> Result<String, CliError> {
         "max-frame",
         "timeout",
         "port-file",
+        "transport",
         "session-p",
         "session-mu",
         "session-max-sessions",
@@ -479,6 +486,17 @@ fn cmd_serve(opts: &Opts) -> Result<String, CliError> {
             return Err(err("--timeout must be positive seconds"));
         }
         config.request_timeout = std::time::Duration::from_secs_f64(t);
+    }
+    if let Some(t) = opts.get("transport") {
+        config.transport = match t {
+            "epoll" => moldable_serve::Transport::Epoll,
+            "threads" => moldable_serve::Transport::Threads,
+            other => {
+                return Err(err(format!(
+                    "--transport must be `epoll` or `threads`, got `{other}`"
+                )))
+            }
+        };
     }
     if let Some(p) = opts.parse_num::<u32>("session-p")? {
         if p == 0 {
@@ -524,7 +542,7 @@ fn cmd_loadgen(opts: &Opts) -> Result<String, CliError> {
 
     opts.known(&[
         "addr", "clients", "requests", "rate", "shape", "size", "model", "P", "algo", "seed",
-        "seeds", "out",
+        "seeds", "batch", "out",
     ])?;
     let mut config = LoadConfig::default();
     if let Some(addr) = opts.get("addr") {
@@ -575,6 +593,12 @@ fn cmd_loadgen(opts: &Opts) -> Result<String, CliError> {
         }
         config.distinct_seeds = seeds;
     }
+    if let Some(b) = opts.parse_num::<usize>("batch")? {
+        if b == 0 {
+            return Err(err("--batch must be at least 1"));
+        }
+        config.batch = b;
+    }
 
     let report = loadgen::run(&config)
         .map_err(|e| err(format!("load run failed against {}: {e}", config.addr)))?;
@@ -606,6 +630,7 @@ fn cmd_session_loadgen(opts: &Opts) -> Result<String, CliError> {
         "max-events",
         "probe-dags",
         "threads",
+        "batch",
         "out",
         "events-out",
     ])?;
@@ -657,6 +682,12 @@ fn cmd_session_loadgen(opts: &Opts) -> Result<String, CliError> {
     }
     if let Some(n) = opts.parse_num::<usize>("probe-dags")? {
         config.probe_dags = n;
+    }
+    if let Some(b) = opts.parse_num::<usize>("batch")? {
+        if b == 0 {
+            return Err(err("--batch must be at least 1"));
+        }
+        config.batch = b;
     }
 
     let report = loadgen::run_sessions(&config)

@@ -15,7 +15,18 @@
 //! * **One-level call inlining**: a call to a known function while a
 //!   lock is held contributes edges from the held lock to every lock
 //!   that function acquires anywhere in its body.
-//! * **Cycle** in the resulting digraph ⇒ `lock-order` violation.
+//! * **Multi-instance (sharded) locks**: the per-shard queue mutexes
+//!   and the event-loop state all share one *name* across many
+//!   instances, so "two shards held at once" shows up as a *self*
+//!   edge (`queue -> queue`). A direct nested acquisition of an
+//!   already-held name is therefore kept as a self edge — it is a
+//!   deadlock the moment two threads pick opposite instance orders
+//!   (or a single-instance re-entrant lock, which self-deadlocks
+//!   outright). Self edges from call inlining are still dropped:
+//!   the callee's guard lives inside the callee's own block, and
+//!   the block-scope over-approximation would make them pure noise.
+//! * **Cycle** in the resulting digraph ⇒ `lock-order` violation
+//!   (a self edge is a one-node cycle).
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -77,8 +88,8 @@ pub fn analyze(files: &[&FileCtx]) -> (LockGraph, Vec<Diagnostic>) {
 
     // Pass 3: simulate held-lock scopes, emit edges.
     let mut edges: BTreeMap<(String, String), (String, String, u32)> = BTreeMap::new();
-    let mut add_edge = |from: &str, to: &str, func: &str, file: &str, line: u32| {
-        if from != to {
+    let mut add_edge = |from: &str, to: &str, func: &str, file: &str, line: u32, allow_self: bool| {
+        if from != to || allow_self {
             edges
                 .entry((from.to_string(), to.to_string()))
                 .or_insert_with(|| (func.to_string(), file.to_string(), line));
@@ -90,7 +101,12 @@ pub fn analyze(files: &[&FileCtx]) -> (LockGraph, Vec<Diagnostic>) {
             match e {
                 Event::Acquire { lock, depth, line } => {
                     for &(h, _) in &held {
-                        add_edge(h, lock, &b.name, &b.file, *line);
+                        // A direct re-acquisition of a held name is a
+                        // self edge: either two instances of a sharded
+                        // lock (deadlocks under opposite instance
+                        // orders) or a re-entrant single Mutex
+                        // (deadlocks immediately).
+                        add_edge(h, lock, &b.name, &b.file, *line, true);
                     }
                     held.push((lock.as_str(), *depth));
                 }
@@ -101,7 +117,7 @@ pub fn analyze(files: &[&FileCtx]) -> (LockGraph, Vec<Diagnostic>) {
                     if let Some(acquired) = fn_locks.get(callee.as_str()) {
                         for &(h, _) in &held {
                             for &l in acquired {
-                                add_edge(h, l, &b.name, &b.file, *line);
+                                add_edge(h, l, &b.name, &b.file, *line, false);
                             }
                         }
                     }
@@ -138,14 +154,23 @@ pub fn analyze(files: &[&FileCtx]) -> (LockGraph, Vec<Diagnostic>) {
             .find(|c| c.rel_path == file)
             .map(|c| c.excerpt(line))
             .unwrap_or_default();
+        let message = if names.len() == 2 && names[0] == names[1] {
+            format!(
+                "lock-order self cycle `{cycle}` (in `{func}`) — two instances \
+                 of this lock are held at once; shard it by a total instance \
+                 order (e.g. ascending index) or release the first guard"
+            )
+        } else {
+            format!(
+                "lock-order cycle `{cycle}` (in `{func}`) — a consistent \
+                 acquisition order is required to rule out deadlock"
+            )
+        };
         diags.push(Diagnostic {
             file,
             line,
             rule: "lock-order".to_string(),
-            message: format!(
-                "lock-order cycle `{cycle}` (in `{func}`) — a consistent \
-                 acquisition order is required to rule out deadlock"
-            ),
+            message,
             excerpt,
         });
     }
@@ -377,6 +402,46 @@ mod tests {
         let (g, d) = analyze(&[&c]);
         assert!(g.cycles.contains(&"a -> b -> a".to_string()), "{:?}", g);
         assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn sharded_double_acquisition_is_a_self_cycle() {
+        // Two instances of one named lock (per-shard queues) held at
+        // the same time: collapses to a `queue -> queue` self edge,
+        // which is a one-node cycle.
+        let c = ctx("struct Shard { queue: Mutex<u32> }\n\
+                     struct S { shards: Vec<Shard> }\n\
+                     fn steal(s: &S) {\n  let mine = s.shards[0].queue.lock().unwrap();\n  let theirs = s.shards[1].queue.lock().unwrap();\n  use_both(mine, theirs);\n}\n");
+        let (g, d) = analyze(&[&c]);
+        assert_eq!(g.cycles, vec!["queue -> queue".to_string()]);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("self cycle"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn sharded_scoped_acquisition_is_clean() {
+        // Taking shard queues one at a time (guard dropped before the
+        // next instance) is the work-stealing pattern the server uses;
+        // it must not produce a self edge.
+        let c = ctx("struct Shard { queue: Mutex<u32> }\n\
+                     struct S { shards: Vec<Shard> }\n\
+                     fn scan(s: &S) {\n  { let mine = s.shards[0].queue.lock().unwrap(); use_it(mine); }\n  { let theirs = s.shards[1].queue.lock().unwrap(); use_it(theirs); }\n}\n");
+        let (g, d) = analyze(&[&c]);
+        assert!(g.edges.is_empty(), "{:?}", g.edges);
+        assert!(g.cycles.is_empty());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn call_inlined_self_edges_stay_dropped() {
+        // The callee's guard is block-scoped inside the callee, so a
+        // call-inlined same-name edge would be pure noise — only
+        // *direct* nested acquisitions count as self edges.
+        let c = ctx("struct S { completions: Mutex<u32> }\n\
+                     fn push_one(s: &S) { let g = s.completions.lock().unwrap(); use_it(g); }\n\
+                     fn flush(s: &S) { let g = s.completions.lock().unwrap(); use_it(g); push_one(s); }\n");
+        let (g, _) = analyze(&[&c]);
+        assert!(g.cycles.is_empty(), "{:?}", g.cycles);
     }
 
     #[test]

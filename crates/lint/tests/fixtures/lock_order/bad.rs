@@ -18,3 +18,19 @@ pub fn g(s: &S) {
     let ga = s.a.lock().unwrap();
     drop((ga, gb));
 }
+
+// Sharded variant: two instances of the per-shard `queue` mutex held
+// at once — a self cycle (`queue -> queue`) under name collapsing.
+pub struct Shard {
+    queue: Mutex<u32>,
+}
+
+pub struct Pool {
+    shards: Vec<Shard>,
+}
+
+pub fn steal_both(p: &Pool) {
+    let mine = p.shards[0].queue.lock().unwrap();
+    let theirs = p.shards[1].queue.lock().unwrap();
+    drop((mine, theirs));
+}

@@ -17,3 +17,24 @@ pub fn g(s: &S) {
     let gb = s.b.lock().unwrap();
     drop((ga, gb));
 }
+
+// Sharded variant: shard queues are taken one at a time, guard
+// released before the next instance — the work-stealing pattern.
+pub struct Shard {
+    queue: Mutex<u32>,
+}
+
+pub struct Pool {
+    shards: Vec<Shard>,
+}
+
+pub fn scan(p: &Pool) {
+    {
+        let mine = p.shards[0].queue.lock().unwrap();
+        drop(mine);
+    }
+    {
+        let theirs = p.shards[1].queue.lock().unwrap();
+        drop(theirs);
+    }
+}

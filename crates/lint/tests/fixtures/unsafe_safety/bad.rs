@@ -2,3 +2,11 @@
 pub fn read_first(v: &[u8]) -> u8 {
     unsafe { *v.get_unchecked(0) }
 }
+
+// FFI-shaped fixture: a raw epoll_wait call with no SAFETY comment.
+pub fn wait_events(epfd: i32, buf: &mut [u64]) -> i32 {
+    extern "C" {
+        fn epoll_wait(epfd: i32, events: *mut u64, maxevents: i32, timeout: i32) -> i32;
+    }
+    unsafe { epoll_wait(epfd, buf.as_mut_ptr(), buf.len() as i32, -1) }
+}

@@ -4,3 +4,13 @@ pub fn read_first(v: &[u8]) -> u8 {
     // SAFETY: the assert above guarantees index 0 is in bounds.
     unsafe { *v.get_unchecked(0) }
 }
+
+// FFI-shaped fixture: the same epoll_wait call, justified.
+pub fn wait_events(epfd: i32, buf: &mut [u64]) -> i32 {
+    extern "C" {
+        fn epoll_wait(epfd: i32, events: *mut u64, maxevents: i32, timeout: i32) -> i32;
+    }
+    // SAFETY: `buf` is a live &mut slice, so the pointer is valid for
+    // `buf.len()` writes and the kernel never retains it past return.
+    unsafe { epoll_wait(epfd, buf.as_mut_ptr(), buf.len() as i32, -1) }
+}

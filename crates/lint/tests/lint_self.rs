@@ -55,8 +55,10 @@ fn workspace_lints_clean() {
     );
     assert!(rep.files_scanned > 50, "expected a full workspace walk");
     // The serve/tenant lock graph is part of the report contract: the
-    // service mutexes must be visible as nodes and the graph acyclic.
-    for node in ["svc", "queue", "conns"] {
+    // service mutexes — including the per-worker request shards and
+    // the epoll event-loop state (completion queue, wake pipe) — must
+    // be visible as nodes and the graph acyclic.
+    for node in ["svc", "queue", "conns", "completions", "wake"] {
         assert!(
             rep.lock_graph.nodes.iter().any(|n| n == node),
             "lock graph missing node `{node}`:\n{}",
@@ -183,6 +185,20 @@ fn lock_order_fixtures() {
     assert!(
         bad.lock_graph.cycles.iter().any(|c| c == "a -> b -> a"),
         "expected the canonical a -> b -> a cycle:\n{}",
+        bad.to_text()
+    );
+    // The sharded variant: two instances of one named lock held at
+    // once collapse to a self cycle with a dedicated message.
+    assert!(
+        bad.lock_graph.cycles.iter().any(|c| c == "queue -> queue"),
+        "expected the sharded queue -> queue self cycle:\n{}",
+        bad.to_text()
+    );
+    assert!(
+        bad.diagnostics
+            .iter()
+            .any(|d| d.message.contains("self cycle")),
+        "{}",
         bad.to_text()
     );
     let clean = lint_one("lock_order", "clean.rs", "serve");

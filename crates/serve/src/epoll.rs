@@ -1,0 +1,231 @@
+//! Minimal `epoll(7)` FFI — the same no-new-dependency style as the
+//! `signal(2)` drain handler in [`crate::server`]: declare the four
+//! libc symbols every Linux Rust binary already links, wrap them in a
+//! safe [`Poller`], and keep all `unsafe` confined to this module.
+//!
+//! The event loop registers the listener level-triggered (accept
+//! storms are drained in a loop anyway) and client sockets
+//! edge-triggered (`EPOLLET`): the loop reads until `WouldBlock`,
+//! writes until `WouldBlock`, and relies on readiness *transitions*
+//! only — the textbook edge-triggered discipline.
+
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+/// Readable readiness.
+pub const EPOLLIN: u32 = 0x001;
+/// Writable readiness.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (always reported, never needs registering).
+pub const EPOLLERR: u32 = 0x008;
+/// Hangup (always reported, never needs registering).
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer closed its write half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+/// Edge-triggered mode.
+pub const EPOLLET: u32 = 1 << 31;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLL_CLOEXEC: i32 = 0o200_0000;
+
+/// One readiness event, ABI-compatible with the kernel's
+/// `struct epoll_event`. On x86-64 the kernel declares the struct
+/// packed (no padding between the `u32` mask and the `u64` data);
+/// other architectures use natural alignment.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Readiness mask (`EPOLLIN | ...`).
+    pub events: u32,
+    /// Caller-chosen cookie, returned verbatim with each event — the
+    /// event loop stores its connection id here.
+    pub data: u64,
+}
+
+impl EpollEvent {
+    /// A zeroed event, for pre-sizing `epoll_wait` buffers.
+    #[must_use]
+    pub const fn zeroed() -> Self {
+        Self { events: 0, data: 0 }
+    }
+
+    /// The readiness mask, copied out by value (the struct may be
+    /// packed, so references into it are off-limits).
+    #[must_use]
+    pub fn mask(&self) -> u32 {
+        let Self { events, .. } = *self;
+        events
+    }
+
+    /// The caller cookie, copied out by value.
+    #[must_use]
+    pub fn cookie(&self) -> u64 {
+        let Self { data, .. } = *self;
+        data
+    }
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn close(fd: i32) -> i32;
+}
+
+/// An owned epoll instance. Dropping closes the epoll fd (registered
+/// fds are *not* closed — their owners do that).
+#[derive(Debug)]
+pub struct Poller {
+    epfd: RawFd,
+}
+
+impl Poller {
+    /// Create an epoll instance (close-on-exec).
+    ///
+    /// # Errors
+    ///
+    /// The raw `epoll_create1` failure.
+    pub fn new() -> io::Result<Self> {
+        // SAFETY: no pointers cross the boundary; the kernel either
+        // returns a fresh fd we then own, or -1.
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Self { epfd })
+    }
+
+    /// Register `fd` with interest `events`; readiness for it will
+    /// carry `cookie` back.
+    ///
+    /// # Errors
+    ///
+    /// The raw `epoll_ctl` failure.
+    pub fn add(&self, fd: RawFd, cookie: u64, events: u32) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, cookie, events)
+    }
+
+    /// Change the interest set of an already-registered `fd`.
+    ///
+    /// # Errors
+    ///
+    /// The raw `epoll_ctl` failure.
+    pub fn modify(&self, fd: RawFd, cookie: u64, events: u32) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, cookie, events)
+    }
+
+    /// Deregister `fd`. Harmless if the fd was never registered.
+    pub fn del(&self, fd: RawFd) {
+        // Deregistration failure is unactionable (the fd is about to
+        // be closed, which deregisters implicitly anyway).
+        let _ = self.ctl(EPOLL_CTL_DEL, fd, 0, 0);
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, cookie: u64, events: u32) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events,
+            data: cookie,
+        };
+        // SAFETY: `ev` is a live stack value for the duration of the
+        // call; the kernel copies it and keeps no pointer. (DEL takes
+        // a non-null but ignored pointer on old kernels, so we always
+        // pass one.)
+        let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Block for up to `timeout` waiting for readiness; fills a prefix
+    /// of `events` and returns how many entries are valid. A signal
+    /// (`EINTR`) returns `Ok(0)` like an empty timeout — callers loop
+    /// anyway.
+    ///
+    /// # Errors
+    ///
+    /// The raw `epoll_wait` failure (other than `EINTR`).
+    pub fn wait(&self, events: &mut [EpollEvent], timeout: Duration) -> io::Result<usize> {
+        let max = i32::try_from(events.len()).unwrap_or(i32::MAX);
+        let ms = i32::try_from(timeout.as_millis()).unwrap_or(i32::MAX);
+        // SAFETY: the pointer/len pair comes from a live mutable
+        // slice; the kernel writes at most `max` entries into it.
+        let n = unsafe { epoll_wait(self.epfd, events.as_mut_ptr(), max, ms) };
+        if n < 0 {
+            let e = io::Error::last_os_error();
+            if e.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(e);
+        }
+        Ok(usize::try_from(n).unwrap_or(0))
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        // SAFETY: `epfd` was returned by `epoll_create1` and is owned
+        // exclusively by this value; closing it exactly once here.
+        unsafe {
+            close(self.epfd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::unix::io::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn poller_reports_readiness_and_cookies() {
+        let poller = Poller::new().unwrap();
+        let (mut a, b) = UnixStream::pair().unwrap();
+        poller.add(b.as_raw_fd(), 77, EPOLLIN).unwrap();
+        let mut events = [EpollEvent::zeroed(); 8];
+        // Nothing readable yet: an immediate timeout yields no events.
+        assert_eq!(
+            poller.wait(&mut events, Duration::ZERO).unwrap(),
+            0,
+            "no readiness before any write"
+        );
+        a.write_all(b"x").unwrap();
+        let n = poller.wait(&mut events, Duration::from_secs(5)).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].cookie(), 77);
+        assert_ne!(events[0].mask() & EPOLLIN, 0);
+        poller.del(b.as_raw_fd());
+        a.write_all(b"y").unwrap();
+        assert_eq!(
+            poller.wait(&mut events, Duration::ZERO).unwrap(),
+            0,
+            "deregistered fd reports nothing"
+        );
+    }
+
+    #[test]
+    fn edge_triggered_fires_on_transitions() {
+        let poller = Poller::new().unwrap();
+        let (mut a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        poller
+            .add(b.as_raw_fd(), 1, EPOLLIN | EPOLLET | EPOLLRDHUP)
+            .unwrap();
+        a.write_all(b"hello").unwrap();
+        let mut events = [EpollEvent::zeroed(); 8];
+        assert_eq!(poller.wait(&mut events, Duration::from_secs(5)).unwrap(), 1);
+        // Edge-triggered: without consuming the data, no second event.
+        assert_eq!(poller.wait(&mut events, Duration::ZERO).unwrap(), 0);
+        // Peer hangup is a fresh edge.
+        drop(a);
+        let n = poller.wait(&mut events, Duration::from_secs(5)).unwrap();
+        assert_eq!(n, 1);
+        assert_ne!(events[0].mask() & (EPOLLRDHUP | EPOLLHUP), 0);
+    }
+}

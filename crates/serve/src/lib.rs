@@ -10,10 +10,13 @@
 //! * [`json`] — hand-rolled JSON encode/parse (no external deps);
 //! * [`service`] — the request→schedule executor with per-worker
 //!   [`AllocCache`](moldable_core::AllocCache) reuse;
-//! * [`server`] — the daemon: acceptor, bounded queue with explicit
-//!   `overloaded` backpressure, worker pool, per-request timeouts,
-//!   `stats` with latency percentiles, graceful drain on `shutdown`
-//!   requests or SIGINT/SIGTERM;
+//! * [`server`] — the daemon: a non-blocking `epoll(7)` event loop
+//!   (or the legacy thread-per-connection transport), per-worker
+//!   request shards with spill-over and work-stealing, explicit
+//!   `overloaded` backpressure, per-request timeouts, `stats` with
+//!   latency percentiles, graceful drain on `shutdown` requests or
+//!   SIGINT/SIGTERM;
+//! * [`epoll`] — the minimal `epoll(7)` FFI wrapper (Linux only);
 //! * [`stats`] — counters and the log-scale latency histogram;
 //! * [`sessions`] — the streaming multi-tenant layer: clients open
 //!   sessions, stream DAGs with release dates onto one shared
@@ -59,6 +62,8 @@
 
 #![deny(unsafe_op_in_unsafe_fn)]
 
+#[cfg(target_os = "linux")]
+pub mod epoll;
 pub mod json;
 pub mod loadgen;
 pub mod proto;
@@ -74,7 +79,7 @@ pub use proto::{
     CloseSessionRequest, GraphSpec, OpenSessionRequest, PollRequest, Request, SubmitDagRequest,
     SubmitRequest,
 };
-pub use server::{install_drain_signals, FaultHooks, Server, ServerConfig};
+pub use server::{install_drain_signals, FaultHooks, Server, ServerConfig, Transport};
 pub use service::{EngineChoice, ServiceLimits, WorkerContext};
 pub use sessions::SessionHub;
 pub use stats::{Accounting, ServerStats};

@@ -97,6 +97,9 @@ pub struct LoadConfig {
     pub distinct_seeds: u64,
     /// Algorithm registry name sent with every request.
     pub algo: String,
+    /// Inner submits per `submit_batch` frame; 1 sends plain `submit`
+    /// frames (the default).
+    pub batch: usize,
 }
 
 impl Default for LoadConfig {
@@ -113,6 +116,7 @@ impl Default for LoadConfig {
             seed_base: 42,
             distinct_seeds: 16,
             algo: "icpp22".to_string(),
+            batch: 1,
         }
     }
 }
@@ -130,10 +134,15 @@ pub struct LoadReport {
     pub errors: usize,
     /// Transport failures (connection dropped mid-request).
     pub transport_failures: usize,
-    /// Wall-clock duration of the run.
+    /// Wall-clock duration of the run (request phase only; connects
+    /// happen up front and are reported separately).
     pub wall: Duration,
-    /// Per-request latencies (sorted ascending), milliseconds.
+    /// Per-request latencies (sorted ascending), milliseconds. For
+    /// batched runs each inner request records its frame's round trip.
     pub latencies_ms: Vec<f64>,
+    /// Per-client TCP connect latencies (sorted ascending),
+    /// milliseconds — the connect-vs-request cost split.
+    pub connect_ms: Vec<f64>,
     /// Whether every seed produced one single makespan.
     pub deterministic: bool,
     /// Distinct seeds observed with at least one `ok` reply.
@@ -210,6 +219,7 @@ impl LoadReport {
                     ("size", Json::Num(f64::from(config.size))),
                     ("model", Json::Str(config.model.clone())),
                     ("p", Json::Num(f64::from(config.p))),
+                    ("batch", Json::Num(config.batch.max(1) as f64)),
                 ]),
             ),
             ("sent", Json::Num(self.sent as f64)),
@@ -230,6 +240,22 @@ impl LoadReport {
                     ("p95", Json::Num(self.quantile_ms(0.95))),
                     ("p99", Json::Num(self.quantile_ms(0.99))),
                     ("max", Json::Num(self.quantile_ms(1.0))),
+                ]),
+            ),
+            (
+                "connect_ms",
+                obj(vec![
+                    ("count", Json::Num(self.connect_ms.len() as f64)),
+                    ("mean", {
+                        let n = self.connect_ms.len();
+                        Json::Num(if n == 0 {
+                            0.0
+                        } else {
+                            self.connect_ms.iter().sum::<f64>() / n as f64
+                        })
+                    }),
+                    ("p50", Json::Num(sorted_quantile(&self.connect_ms, 0.50))),
+                    ("max", Json::Num(sorted_quantile(&self.connect_ms, 1.0))),
                 ]),
             ),
             (
@@ -283,6 +309,7 @@ impl LoadReport {
         format!(
             "sent {} | ok {} | overloaded {} | errors {} | transport {} | \
              {:.1} req/s | latency ms p50 {:.2} p95 {:.2} p99 {:.2} max {:.2} | \
+             connect ms p50 {:.2} | \
              deterministic: {} | accounting: {accounting} | graph cache: {cache}\n",
             self.sent,
             self.ok,
@@ -294,6 +321,7 @@ impl LoadReport {
             self.quantile_ms(0.95),
             self.quantile_ms(0.99),
             self.quantile_ms(1.0),
+            sorted_quantile(&self.connect_ms, 0.50),
             self.deterministic
         )
     }
@@ -324,16 +352,32 @@ struct ClientTally {
 pub fn run(config: &LoadConfig) -> io::Result<LoadReport> {
     assert!(config.clients >= 1, "need at least one client");
     assert!(config.requests >= 1, "need at least one request");
-    // Fail fast if the daemon is unreachable.
-    drop(Client::connect(&config.addr)?);
+    // Connect every client up front: the request loops reuse these
+    // connections across rounds, and the report can split connect cost
+    // from request cost. The first connect failing means the daemon is
+    // unreachable — fail fast; later failures are tallied per client.
+    let mut conns: Vec<Option<Client>> = Vec::with_capacity(config.clients);
+    let mut connect_ms: Vec<f64> = Vec::new();
+    for c in 0..config.clients {
+        let t0 = Instant::now();
+        match Client::connect(&config.addr) {
+            Ok(client) => {
+                connect_ms.push(t0.elapsed().as_secs_f64() * 1000.0);
+                conns.push(Some(client));
+            }
+            Err(e) if c == 0 => return Err(e),
+            Err(_) => conns.push(None),
+        }
+    }
+    connect_ms.sort_by(f64::total_cmp);
 
     let tallies: Mutex<Vec<ClientTally>> = Mutex::new(Vec::new());
     let start = Instant::now();
     thread::scope(|scope| {
-        for c in 0..config.clients {
+        for (c, conn) in conns.into_iter().enumerate() {
             let tallies = &tallies;
             scope.spawn(move || {
-                let tally = client_loop(config, c, start);
+                let tally = client_loop(config, c, start, conn);
                 tallies.lock().expect("tally lock").push(tally);
             });
         }
@@ -348,6 +392,7 @@ pub fn run(config: &LoadConfig) -> io::Result<LoadReport> {
         transport_failures: 0,
         wall,
         latencies_ms: Vec::new(),
+        connect_ms,
         deterministic: true,
         seeds_observed: 0,
         accounting: None,
@@ -387,7 +432,12 @@ pub fn run(config: &LoadConfig) -> io::Result<LoadReport> {
     Ok(report)
 }
 
-fn client_loop(config: &LoadConfig, client_idx: usize, start: Instant) -> ClientTally {
+fn client_loop(
+    config: &LoadConfig,
+    client_idx: usize,
+    start: Instant,
+    conn: Option<Client>,
+) -> ClientTally {
     let mut tally = ClientTally {
         ok: 0,
         overloaded: 0,
@@ -397,68 +447,120 @@ fn client_loop(config: &LoadConfig, client_idx: usize, start: Instant) -> Client
         latencies_ms: Vec::new(),
         makespans: BTreeMap::new(),
     };
-    let Ok(mut client) = Client::connect(&config.addr) else {
-        // Connect failure after the initial probe: count every request
-        // this client owned as a transport failure.
-        tally.transport_failures = requests_of(config, client_idx);
+    let n = requests_of(config, client_idx);
+    let Some(mut client) = conn else {
+        // The up-front connect failed: count every request this client
+        // owned as a transport failure.
+        tally.transport_failures = n;
         return tally;
     };
-    let n = requests_of(config, client_idx);
-    for i in 0..n {
-        let global_idx = i * config.clients + client_idx;
+    let batch = config.batch.max(1);
+    let mut i = 0;
+    while i < n {
+        let group = (n - i).min(batch);
         if let LoadMode::Open(rate) = config.mode {
-            // Paced arrivals: request k (globally) is due at k/rate.
+            // Paced arrivals: request k (globally) is due at k/rate; a
+            // batch departs when its first member is due.
             #[allow(clippy::cast_precision_loss)]
-            let due = start + Duration::from_secs_f64(global_idx as f64 / rate.max(1e-9));
+            let due = start
+                + Duration::from_secs_f64(
+                    (i * config.clients + client_idx) as f64 / rate.max(1e-9),
+                );
             if let Some(wait) = due.checked_duration_since(Instant::now()) {
                 thread::sleep(wait);
             }
         }
-        let seed = config.seed_base + (global_idx as u64 % config.distinct_seeds.max(1));
-        let req = Request::Submit(Box::new(SubmitRequest {
-            graph: GraphSpec::Named {
-                shape: config.shape.clone(),
-                size: config.size,
-            },
-            p: Some(config.p),
-            model: config.model.clone(),
-            seed,
-            scheduler: "online".to_string(),
-            algo: config.algo.clone(),
-            mu: None,
-            policy: None,
-            include_allocations: false,
-        }));
+        let seeds: Vec<u64> = (i..i + group)
+            .map(|k| {
+                let global_idx = k * config.clients + client_idx;
+                config.seed_base + (global_idx as u64 % config.distinct_seeds.max(1))
+            })
+            .collect();
+        let req = if batch == 1 {
+            submit_request(config, seeds[0])
+        } else {
+            Request::Batch(seeds.iter().map(|&s| submit_request(config, s).encode()).collect())
+        };
         let t0 = Instant::now();
-        tally.sent += 1;
+        tally.sent += group;
         match client.call(&req) {
             Ok(reply) => {
-                tally.latencies_ms.push(t0.elapsed().as_secs_f64() * 1000.0);
-                match reply.get("status").and_then(Json::as_str) {
-                    Some("ok") => {
-                        tally.ok += 1;
-                        if let Some(m) = reply.get("makespan").and_then(Json::as_f64) {
-                            tally.makespans.entry(seed).or_default().push(m);
-                        }
-                    }
-                    Some("overloaded") => tally.overloaded += 1,
-                    _ => tally.errors += 1,
+                let rtt = t0.elapsed().as_secs_f64() * 1000.0;
+                if batch == 1 {
+                    tally.latencies_ms.push(rtt);
+                    tally_reply(&mut tally, &reply, seeds[0]);
+                } else {
+                    tally_batch_reply(&mut tally, &reply, &seeds, rtt);
                 }
             }
             Err(_) => {
-                tally.transport_failures += 1;
+                tally.transport_failures += group;
                 // Try to reconnect once; give up on this client if not.
                 match Client::connect(&config.addr) {
                     Ok(c) => client = c,
                     Err(_) => {
-                        tally.transport_failures += n - i - 1;
+                        tally.transport_failures += n - i - group;
                         break;
                     }
                 }
             }
         }
+        i += group;
     }
     tally
+}
+
+/// Build the `submit` request for one seed.
+fn submit_request(config: &LoadConfig, seed: u64) -> Request {
+    Request::Submit(Box::new(SubmitRequest {
+        graph: GraphSpec::Named {
+            shape: config.shape.clone(),
+            size: config.size,
+        },
+        p: Some(config.p),
+        model: config.model.clone(),
+        seed,
+        scheduler: "online".to_string(),
+        algo: config.algo.clone(),
+        mu: None,
+        policy: None,
+        include_allocations: false,
+    }))
+}
+
+/// Tally one plain `submit` reply.
+fn tally_reply(tally: &mut ClientTally, reply: &Json, seed: u64) {
+    match reply.get("status").and_then(Json::as_str) {
+        Some("ok") => {
+            tally.ok += 1;
+            if let Some(m) = reply.get("makespan").and_then(Json::as_f64) {
+                tally.makespans.entry(seed).or_default().push(m);
+            }
+        }
+        Some("overloaded") => tally.overloaded += 1,
+        _ => tally.errors += 1,
+    }
+}
+
+/// Tally a `submit_batch` envelope: each inner result counts as one
+/// request, and each inner request records the frame's round trip as
+/// its latency. An `overloaded` or `error` envelope (the queue refused
+/// the whole batch) charges every member.
+fn tally_batch_reply(tally: &mut ClientTally, reply: &Json, seeds: &[u64], rtt: f64) {
+    tally.latencies_ms.extend(std::iter::repeat_n(rtt, seeds.len()));
+    match reply.get("status").and_then(Json::as_str) {
+        Some("ok") => {
+            let results = reply.get("results").and_then(Json::as_arr).unwrap_or(&[]);
+            for (k, &seed) in seeds.iter().enumerate() {
+                match results.get(k) {
+                    Some(r) => tally_reply(tally, r, seed),
+                    None => tally.errors += 1,
+                }
+            }
+        }
+        Some("overloaded") => tally.overloaded += seeds.len(),
+        _ => tally.errors += seeds.len(),
+    }
 }
 
 /// How many of the `requests` belong to client `idx` (round-robin).
@@ -508,6 +610,11 @@ pub struct SessionLoadConfig {
     pub threads: usize,
     /// Algorithm registry name sent with every `submit_dag`.
     pub algo: String,
+    /// `submit_dag`s per `submit_batch` frame in the streaming phase;
+    /// 1 sends plain frames. Batching preserves submission order (one
+    /// client, one batch in flight, items executed in sequence), so the
+    /// event log is byte-identical for any batch size.
+    pub batch: usize,
 }
 
 impl Default for SessionLoadConfig {
@@ -526,6 +633,7 @@ impl Default for SessionLoadConfig {
             probe_dags: 0,
             threads: 8,
             algo: "icpp22".to_string(),
+            batch: 1,
         }
     }
 }
@@ -640,6 +748,7 @@ impl SessionLoadReport {
                     ("seed_base", Json::Num(config.seed_base as f64)),
                     ("arrival_gap", Json::Num(config.arrival_gap)),
                     ("probe_dags", Json::Num(config.probe_dags as f64)),
+                    ("batch", Json::Num(config.batch.max(1) as f64)),
                 ]),
             ),
             ("sessions_opened", Json::Num(self.sessions_opened as f64)),
@@ -870,31 +979,64 @@ pub fn run_sessions(config: &SessionLoadConfig) -> io::Result<SessionLoadReport>
     // Phase C: stream the DAGs, round-robin across sessions so every
     // round shares a release date — contention by construction.
     let n_sessions = sessions.len();
+    let batch = config.batch.max(1);
     let mut latencies: Vec<Vec<f64>> = vec![Vec::new(); config.tenants];
+    let session_indices: Vec<usize> = (0..n_sessions).collect();
     for round in 0..config.dags_per_session {
         #[allow(clippy::cast_precision_loss)]
         let at = round as f64 * config.arrival_gap;
-        for (idx, (_, label)) in sessions.iter().enumerate() {
-            let seed = config.seed_base + (round * n_sessions + idx) as u64;
-            let req = Request::SubmitDag(Box::new(crate::proto::SubmitDagRequest {
-                session: label.clone(),
+        let dag_request = |idx: usize| {
+            Request::SubmitDag(Box::new(crate::proto::SubmitDagRequest {
+                session: sessions[idx].1.clone(),
                 at,
                 graph: GraphSpec::Named {
                     shape: config.shape.clone(),
                     size: config.size,
                 },
                 model: config.model.clone(),
-                seed,
+                seed: config.seed_base + (round * n_sessions + idx) as u64,
                 algo: config.algo.clone(),
-            }));
+            }))
+        };
+        for chunk in session_indices.chunks(batch) {
+            if batch == 1 {
+                let idx = chunk[0];
+                let t0 = Instant::now();
+                let reply = client.call(&dag_request(idx))?;
+                latencies[idx / config.sessions_per_tenant]
+                    .push(t0.elapsed().as_secs_f64() * 1000.0);
+                report.dags_submitted += 1;
+                match reply.get("status").and_then(Json::as_str) {
+                    Some("ok") => report.dags_ok += 1,
+                    Some("quota_exceeded") => report.quota_rejected += 1,
+                    _ => report.errors += 1,
+                }
+                continue;
+            }
+            // Batched: one frame carries this chunk's submissions, in
+            // round-robin order. A refused envelope means the DAGs were
+            // never admitted — the workload is no longer the configured
+            // one, so fail fast like the other single-threaded phases.
+            let frame =
+                Request::Batch(chunk.iter().map(|&idx| dag_request(idx).encode()).collect());
             let t0 = Instant::now();
-            let reply = client.call(&req)?;
-            latencies[idx / config.sessions_per_tenant].push(t0.elapsed().as_secs_f64() * 1000.0);
-            report.dags_submitted += 1;
-            match reply.get("status").and_then(Json::as_str) {
-                Some("ok") => report.dags_ok += 1,
-                Some("quota_exceeded") => report.quota_rejected += 1,
-                _ => report.errors += 1,
+            let reply = client.call(&frame)?;
+            let rtt = t0.elapsed().as_secs_f64() * 1000.0;
+            if reply.get("status").and_then(Json::as_str) != Some("ok") {
+                return Err(io::Error::other(format!(
+                    "submit_batch envelope refused: {}",
+                    reply.encode()
+                )));
+            }
+            let results = reply.get("results").and_then(Json::as_arr).unwrap_or(&[]);
+            for (k, &idx) in chunk.iter().enumerate() {
+                latencies[idx / config.sessions_per_tenant].push(rtt);
+                report.dags_submitted += 1;
+                match results.get(k).and_then(|r| r.get("status")).and_then(Json::as_str) {
+                    Some("ok") => report.dags_ok += 1,
+                    Some("quota_exceeded") => report.quota_rejected += 1,
+                    _ => report.errors += 1,
+                }
             }
         }
     }
@@ -1019,6 +1161,7 @@ mod tests {
             transport_failures: 0,
             wall: Duration::from_secs(2),
             latencies_ms: vec![1.0, 2.0, 3.0, 4.0],
+            connect_ms: vec![0.5, 1.5],
             deterministic: true,
             seeds_observed: 1,
             graph_cache_hits: Some(3),
@@ -1059,6 +1202,7 @@ mod tests {
             transport_failures: 0,
             wall: Duration::from_secs(1),
             latencies_ms: vec![1.0],
+            connect_ms: vec![1.0],
             deterministic: true,
             seeds_observed: 1,
             accounting: None,

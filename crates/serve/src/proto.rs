@@ -31,6 +31,17 @@
 //! {"type": "close_session", "session": "acme-1"}
 //! ```
 //!
+//! Batched submits (`submit_batch`) pack many inner requests into one
+//! frame; `items[i]` is a complete request object, and the single
+//! reply carries `results[i]` — the reply object `items[i]` would
+//! have received on its own:
+//!
+//! ```json
+//! {"type": "submit_batch", "items": [
+//!   {"type": "submit", "graph": {"shape": "lu", "size": 3}},
+//!   {"type": "ping"}]}
+//! ```
+//!
 //! Replies always carry a `"status"` of `"ok"`, `"error"`,
 //! `"overloaded"` (the backpressure reply — the request was *not*
 //! queued and may be retried later), or `"quota_exceeded"` (a session
@@ -182,6 +193,228 @@ fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> io::Result<bool> {
         }
     }
     Ok(true)
+}
+
+/// One event produced by the incremental [`FrameDecoder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeEvent {
+    /// A complete frame payload.
+    Frame(Vec<u8>),
+    /// The peer announced a frame larger than the configured limit.
+    /// The decoder silently skips the payload bytes, so the stream
+    /// stays framed and the connection stays usable.
+    TooLarge {
+        /// Announced payload size.
+        announced: u32,
+        /// The limit it exceeded.
+        limit: u32,
+    },
+    /// The length prefix exceeds [`ABSOLUTE_MAX_FRAME`]; the stream is
+    /// desynchronized. The decoder poisons itself: all further input
+    /// is discarded and the connection must be closed.
+    Corrupt(u32),
+}
+
+#[derive(Debug)]
+enum DecodeState {
+    /// Accumulating the 4-byte big-endian length prefix.
+    Len { buf: [u8; 4], filled: usize },
+    /// Accumulating `buf.len()` payload bytes.
+    Body { buf: Vec<u8>, filled: usize },
+    /// Skipping the payload of an over-limit frame.
+    Skip { remaining: u64 },
+    /// A corrupt length prefix was seen; discard everything.
+    Poisoned,
+}
+
+/// Incremental, non-blocking counterpart of [`read_frame`]: feed it
+/// whatever bytes the socket yields — one byte at a time if need be —
+/// and collect complete frames as they materialize.
+///
+/// The error taxonomy matches the blocking reader exactly:
+/// [`DecodeEvent::TooLarge`] skips the payload and resynchronizes
+/// (mirroring [`FrameError::TooLarge`]'s drain), while
+/// [`DecodeEvent::Corrupt`] poisons the decoder (mirroring
+/// [`FrameError::Corrupt`]'s close-the-connection contract).
+#[derive(Debug)]
+pub struct FrameDecoder {
+    max_frame: u32,
+    state: DecodeState,
+}
+
+impl FrameDecoder {
+    /// A fresh decoder enforcing `max_frame` as the per-frame limit.
+    #[must_use]
+    pub fn new(max_frame: u32) -> Self {
+        Self {
+            max_frame,
+            state: DecodeState::Len {
+                buf: [0; 4],
+                filled: 0,
+            },
+        }
+    }
+
+    /// True while a frame is partially buffered (length prefix started,
+    /// body incomplete, or an oversized payload mid-skip). Used by the
+    /// event loop to avoid closing a connection mid-frame on drain.
+    #[must_use]
+    pub fn mid_frame(&self) -> bool {
+        match &self.state {
+            DecodeState::Len { filled, .. } => *filled > 0,
+            DecodeState::Body { .. } | DecodeState::Skip { .. } => true,
+            DecodeState::Poisoned => false,
+        }
+    }
+
+    /// Consume `input`, appending every decode event to `out`.
+    pub fn feed(&mut self, mut input: &[u8], out: &mut Vec<DecodeEvent>) {
+        while !input.is_empty() {
+            match &mut self.state {
+                DecodeState::Poisoned => return,
+                DecodeState::Len { buf, filled } => {
+                    let take = input.len().min(4 - *filled);
+                    buf[*filled..*filled + take].copy_from_slice(&input[..take]);
+                    *filled += take;
+                    input = &input[take..];
+                    if *filled == 4 {
+                        let len = u32::from_be_bytes(*buf);
+                        self.state = self.next_state_for(len, out);
+                    }
+                }
+                DecodeState::Body { buf, filled } => {
+                    let take = input.len().min(buf.len() - *filled);
+                    buf[*filled..*filled + take].copy_from_slice(&input[..take]);
+                    *filled += take;
+                    input = &input[take..];
+                    if *filled == buf.len() {
+                        let frame = std::mem::take(buf);
+                        out.push(DecodeEvent::Frame(frame));
+                        self.state = DecodeState::Len {
+                            buf: [0; 4],
+                            filled: 0,
+                        };
+                    }
+                }
+                DecodeState::Skip { remaining } => {
+                    let take = input
+                        .len()
+                        .min(usize::try_from(*remaining).unwrap_or(usize::MAX));
+                    *remaining -= take as u64;
+                    input = &input[take..];
+                    if *remaining == 0 {
+                        self.state = DecodeState::Len {
+                            buf: [0; 4],
+                            filled: 0,
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    fn next_state_for(&self, len: u32, out: &mut Vec<DecodeEvent>) -> DecodeState {
+        if len > ABSOLUTE_MAX_FRAME {
+            out.push(DecodeEvent::Corrupt(len));
+            return DecodeState::Poisoned;
+        }
+        if len > self.max_frame {
+            out.push(DecodeEvent::TooLarge {
+                announced: len,
+                limit: self.max_frame,
+            });
+            return DecodeState::Skip {
+                remaining: u64::from(len),
+            };
+        }
+        if len == 0 {
+            out.push(DecodeEvent::Frame(Vec::new()));
+            return DecodeState::Len {
+                buf: [0; 4],
+                filled: 0,
+            };
+        }
+        DecodeState::Body {
+            buf: vec![0; len as usize],
+            filled: 0,
+        }
+    }
+}
+
+/// Split the canonical `submit_batch` encoding into its raw item
+/// payloads *without* a full JSON parse, so the event loop stays cheap
+/// and workers parse items in parallel.
+///
+/// Fast path only: recognizes exactly the byte shape
+/// `{"type":"submit_batch","items":[...]}` that [`Request::encode`]
+/// produces (leading/trailing whitespace tolerated). Returns `None`
+/// for anything else — including non-batch requests and batches with
+/// reordered keys — so callers fall back to [`Request::parse`].
+#[must_use]
+pub fn split_batch_items(payload: &[u8]) -> Option<Vec<Vec<u8>>> {
+    const PREFIX: &[u8] = b"{\"type\":\"submit_batch\",\"items\":[";
+    let trimmed = trim_ascii_ws(payload);
+    let body = trimmed.strip_prefix(PREFIX)?;
+    let mut items = Vec::new();
+    let (mut depth, mut in_str, mut esc) = (0usize, false, false);
+    let mut start = 0usize;
+    for (i, &b) in body.iter().enumerate() {
+        if in_str {
+            if esc {
+                esc = false;
+            } else if b == b'\\' {
+                esc = true;
+            } else if b == b'"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_str = true,
+            b'{' | b'[' => depth += 1,
+            b'}' | b']' if depth > 0 => depth -= 1,
+            b']' => {
+                // End of the items array: everything after must be the
+                // closing brace of the envelope.
+                let item = trim_ascii_ws(&body[start..i]);
+                if !item.is_empty() {
+                    items.push(item.to_vec());
+                } else if !items.is_empty() {
+                    return None; // trailing comma
+                }
+                let rest = trim_ascii_ws(&body[i + 1..]);
+                return (rest == b"}").then_some(items);
+            }
+            b',' if depth == 0 => {
+                let item = trim_ascii_ws(&body[start..i]);
+                if item.is_empty() {
+                    return None; // empty element
+                }
+                items.push(item.to_vec());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    None // unterminated items array
+}
+
+fn trim_ascii_ws(mut bytes: &[u8]) -> &[u8] {
+    while let [b, rest @ ..] = bytes {
+        if b.is_ascii_whitespace() {
+            bytes = rest;
+        } else {
+            break;
+        }
+    }
+    while let [rest @ .., b] = bytes {
+        if b.is_ascii_whitespace() {
+            bytes = rest;
+        } else {
+            break;
+        }
+    }
+    bytes
 }
 
 /// How the graph of a submit request is specified.
@@ -344,6 +577,11 @@ pub struct CloseSessionRequest {
 pub enum Request {
     /// Schedule a task graph.
     Submit(Box<SubmitRequest>),
+    /// Many requests in one frame: each element is the raw JSON
+    /// payload of one inner request, executed in order by a single
+    /// worker, answered with one `{"status":"ok","results":[...]}`
+    /// frame. Amortizes framing and syscalls over many submits.
+    Batch(Vec<Vec<u8>>),
     /// Report server counters and latency percentiles.
     Stats,
     /// Liveness probe.
@@ -378,6 +616,18 @@ impl Request {
             "stats" => Ok(Self::Stats),
             "shutdown" => Ok(Self::Shutdown),
             "submit" => Ok(Self::Submit(Box::new(Self::parse_submit(&v)?))),
+            "submit_batch" => {
+                let items = v
+                    .get("items")
+                    .and_then(Json::as_arr)
+                    .ok_or("submit_batch requires an `items` array")?;
+                Ok(Self::Batch(
+                    items
+                        .iter()
+                        .map(|item| item.encode().into_bytes())
+                        .collect(),
+                ))
+            }
             "open_session" => Ok(Self::OpenSession(OpenSessionRequest {
                 tenant: required_str(&v, "tenant")?,
                 session: required_str(&v, "session")?,
@@ -476,6 +726,22 @@ impl Request {
     /// Encode this request as a JSON payload (used by clients).
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
+        if let Self::Batch(items) = self {
+            // Items are already-encoded JSON payloads; splice them in
+            // verbatim so batching never re-parses what clients built.
+            let mut out = Vec::with_capacity(
+                34 + items.iter().map(|i| i.len() + 1).sum::<usize>(),
+            );
+            out.extend_from_slice(b"{\"type\":\"submit_batch\",\"items\":[");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(b',');
+                }
+                out.extend_from_slice(item);
+            }
+            out.extend_from_slice(b"]}");
+            return out;
+        }
         let v = match self {
             Self::Ping => obj(vec![("type", Json::Str("ping".into()))]),
             Self::Stats => obj(vec![("type", Json::Str("stats".into()))]),
@@ -536,6 +802,7 @@ impl Request {
                 }
                 obj(members)
             }
+            Self::Batch(_) => unreachable!("batch encoding handled above"),
         };
         v.encode().into_bytes()
     }
@@ -763,6 +1030,161 @@ mod tests {
         for (payload, needle) in cases {
             let e = Request::parse(payload).unwrap_err();
             assert!(e.contains(needle), "{payload:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn batch_requests_roundtrip() {
+        let submit = Request::Submit(Box::new(SubmitRequest {
+            graph: GraphSpec::Named {
+                shape: "lu".into(),
+                size: 3,
+            },
+            p: Some(8),
+            model: "amdahl".into(),
+            seed: 7,
+            scheduler: "online".into(),
+            algo: "icpp22".into(),
+            mu: None,
+            policy: None,
+            include_allocations: false,
+        }));
+        let batch = Request::Batch(vec![submit.encode(), Request::Ping.encode()]);
+        let parsed = Request::parse(&batch.encode()).unwrap();
+        // Canonical items survive the parse → re-encode round trip
+        // bit-for-bit, so both transports see identical item bytes.
+        assert_eq!(parsed, batch);
+        let empty = Request::Batch(Vec::new());
+        assert_eq!(Request::parse(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn batch_without_items_names_the_problem() {
+        let e = Request::parse(br#"{"type":"submit_batch"}"#).unwrap_err();
+        assert!(e.contains("items"), "{e}");
+        let e = Request::parse(br#"{"type":"submit_batch","items":3}"#).unwrap_err();
+        assert!(e.contains("items"), "{e}");
+    }
+
+    #[test]
+    fn split_batch_items_matches_the_full_parse() {
+        let items = vec![
+            br#"{"type":"ping"}"#.to_vec(),
+            br#"{"type":"submit","graph":{"shape":"lu","size":3},"note":"a,b]}"}"#.to_vec(),
+            br#"{"type":"stats"}"#.to_vec(),
+        ];
+        let frame = Request::Batch(items.clone()).encode();
+        assert_eq!(split_batch_items(&frame).unwrap(), items);
+        // Empty batch splits to no items.
+        assert_eq!(
+            split_batch_items(&Request::Batch(Vec::new()).encode()).unwrap(),
+            Vec::<Vec<u8>>::new()
+        );
+        // Nested arrays/objects and escaped quotes stay one item.
+        let tricky = vec![br#"{"a":[1,[2,3]],"b":"\"],}","c":{"d":[]}}"#.to_vec()];
+        let frame = Request::Batch(tricky.clone()).encode();
+        assert_eq!(split_batch_items(&frame).unwrap(), tricky);
+    }
+
+    #[test]
+    fn split_batch_items_rejects_what_it_cannot_prove() {
+        // Not the canonical prefix → fall back to the full parser.
+        assert!(split_batch_items(br#"{"items":[],"type":"submit_batch"}"#).is_none());
+        assert!(split_batch_items(br#"{"type":"submit"}"#).is_none());
+        // Structural damage inside the fast path.
+        assert!(split_batch_items(br#"{"type":"submit_batch","items":[{},]}"#).is_none());
+        assert!(split_batch_items(br#"{"type":"submit_batch","items":[{}"#).is_none());
+        assert!(split_batch_items(br#"{"type":"submit_batch","items":[{}]x"#).is_none());
+    }
+
+    #[test]
+    fn frame_decoder_handles_one_byte_at_a_time() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"{\"a\":1}").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        write_frame(&mut wire, b"second").unwrap();
+        let mut dec = FrameDecoder::new(1024);
+        let mut events = Vec::new();
+        for &b in &wire {
+            dec.feed(&[b], &mut events);
+        }
+        assert_eq!(
+            events,
+            vec![
+                DecodeEvent::Frame(b"{\"a\":1}".to_vec()),
+                DecodeEvent::Frame(Vec::new()),
+                DecodeEvent::Frame(b"second".to_vec()),
+            ]
+        );
+        assert!(!dec.mid_frame());
+    }
+
+    #[test]
+    fn frame_decoder_agrees_with_the_blocking_reader_on_oversize() {
+        // An over-limit frame is skipped and the stream resynchronizes,
+        // exactly like read_frame's drain-and-report contract.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &[b'x'; 100]).unwrap();
+        write_frame(&mut wire, b"next").unwrap();
+        let mut dec = FrameDecoder::new(10);
+        let mut events = Vec::new();
+        for &b in &wire {
+            dec.feed(&[b], &mut events);
+        }
+        assert_eq!(
+            events,
+            vec![
+                DecodeEvent::TooLarge {
+                    announced: 100,
+                    limit: 10
+                },
+                DecodeEvent::Frame(b"next".to_vec()),
+            ]
+        );
+    }
+
+    #[test]
+    fn frame_decoder_poisons_on_corrupt_prefix() {
+        let mut wire = (ABSOLUTE_MAX_FRAME + 1).to_be_bytes().to_vec();
+        wire.extend_from_slice(b"junk");
+        let mut dec = FrameDecoder::new(1024);
+        let mut events = Vec::new();
+        dec.feed(&wire, &mut events);
+        assert_eq!(events, vec![DecodeEvent::Corrupt(ABSOLUTE_MAX_FRAME + 1)]);
+        // Poisoned: further input produces nothing.
+        dec.feed(b"more", &mut events);
+        assert_eq!(events.len(), 1);
+        assert!(!dec.mid_frame());
+    }
+
+    #[test]
+    fn frame_decoder_reports_partial_frames() {
+        let mut dec = FrameDecoder::new(1024);
+        let mut events = Vec::new();
+        dec.feed(&[0, 0], &mut events);
+        assert!(dec.mid_frame(), "half a length prefix is mid-frame");
+        dec.feed(&[0, 5, b'a', b'b'], &mut events);
+        assert!(dec.mid_frame(), "body incomplete");
+        dec.feed(b"cde", &mut events);
+        assert_eq!(events, vec![DecodeEvent::Frame(b"abcde".to_vec())]);
+        assert!(!dec.mid_frame());
+    }
+
+    #[test]
+    fn frame_decoder_chunk_boundaries_do_not_matter() {
+        // Whatever the chunking, the event stream is identical.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"{\"q\":true}").unwrap();
+        write_frame(&mut wire, &[b'y'; 64]).unwrap();
+        let mut expect = Vec::new();
+        FrameDecoder::new(32).feed(&wire, &mut expect);
+        for chunk in [1usize, 2, 3, 5, 7, 11, wire.len()] {
+            let mut dec = FrameDecoder::new(32);
+            let mut events = Vec::new();
+            for piece in wire.chunks(chunk) {
+                dec.feed(piece, &mut events);
+            }
+            assert_eq!(events, expect, "chunk size {chunk}");
         }
     }
 

@@ -1,27 +1,41 @@
-//! The `moldable-serve` daemon: a multi-threaded TCP server built on
-//! the standard library alone.
+//! The `moldable-serve` daemon: a TCP server built on the standard
+//! library alone, with two interchangeable transports.
 //!
 //! Threading model (see DESIGN.md §"Service layer"):
 //!
-//! * one **acceptor** thread owns the listener;
-//! * one lightweight **connection** thread per client parses frames
-//!   and writes replies (`ping`/`stats`/`shutdown` are answered
-//!   inline so observability survives overload);
-//! * a fixed **worker pool** executes submit requests popped from a
-//!   *bounded* queue; each worker keeps its own warm
-//!   [`AllocCache`](moldable_core::AllocCache)s via
-//!   [`WorkerContext`].
+//! * **Epoll transport** (Linux default): a single non-blocking
+//!   **event-loop** thread multiplexes the listener and every client
+//!   socket through [`crate::epoll::Poller`]. Client sockets are
+//!   registered edge-triggered with per-connection read/write buffers
+//!   and an incremental [`crate::proto::FrameDecoder`], so thousands of idle
+//!   connections cost no threads. Inline verbs (`ping`/`stats`/
+//!   session traffic) are answered on the loop; submits are handed to
+//!   the worker pool with a pending-token and answered when the
+//!   worker's completion comes back over a wake pipe.
+//! * **Threads transport** (legacy, and the non-Linux default): one
+//!   acceptor thread plus one connection thread per client.
+//! * Either way, a fixed **worker pool** executes submit requests from
+//!   *bounded per-worker shards*: a submit lands on its connection's
+//!   home shard, spills to the next shard when full, and idle workers
+//!   steal from their neighbours — the single-mutex handoff of the old
+//!   design is gone while total capacity stays exactly `queue_cap`.
 //!
-//! Backpressure is explicit: when the queue is full the connection
-//! thread replies `{"status": "overloaded"}` immediately — the server
-//! never buffers without bound. A `shutdown` request (or SIGINT via
-//! [`install_drain_signals`]) starts a graceful drain: the acceptor
-//! stops accepting, queued work is finished and answered, then every
-//! thread exits.
+//! Backpressure is explicit: when every shard is full the submit gets
+//! `{"status": "overloaded"}` immediately — the server never buffers
+//! without bound. A `shutdown` request (or SIGINT via
+//! [`install_drain_signals`]) starts a graceful drain: accepting
+//! stops, queued work is finished and answered, then every thread
+//! exits. The `submit_batch` verb packs many requests into one frame;
+//! a single worker executes the items in order and one reply frame
+//! carries all the results.
 
 use std::collections::VecDeque;
 use std::io::{self, Read};
+#[cfg(unix)]
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
@@ -31,28 +45,67 @@ use std::time::{Duration, Instant};
 use moldable_model::ModelClass;
 use moldable_tenant::TenantConfig;
 
-use crate::json::{obj, Json};
+use crate::json::{self, obj, Json};
 use crate::proto::{self, FrameError, Request, SubmitRequest};
 use crate::service::{ServiceLimits, WorkerContext};
 use crate::sessions::SessionHub;
 use crate::stats::ServerStats;
 
-/// How long a connection thread sleeps between idle polls; bounds the
-/// latency of noticing a drain request.
+/// How long idle loops sleep between polls; bounds the latency of
+/// noticing a drain request.
 const IDLE_TICK: Duration = Duration::from_millis(50);
 
-/// Once a frame has started arriving, how long the rest may take.
+/// Once a frame has started arriving, how long the rest may take
+/// (threads transport), and how long a drain waits for in-flight
+/// connections before force-closing them (epoll transport).
 const FRAME_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How long an idle worker parks on its own shard before re-scanning
+/// its neighbours for work to steal.
+const STEAL_TICK: Duration = Duration::from_millis(10);
+
+/// Which socket transport the daemon runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// Non-blocking `epoll(7)` readiness loop: one event-loop thread
+    /// multiplexes every connection (Linux only; the default there).
+    Epoll,
+    /// Thread-per-connection transport: the non-Linux default, the
+    /// fallback when epoll setup fails, and the baseline the perf
+    /// harness compares against.
+    Threads,
+}
+
+impl Transport {
+    /// Resolve from the `MOLDABLE_SERVE_TRANSPORT` environment
+    /// variable (`"epoll"` / `"threads"`), defaulting to
+    /// [`Transport::Epoll`] on Linux and [`Transport::Threads`]
+    /// elsewhere.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var("MOLDABLE_SERVE_TRANSPORT").as_deref() {
+            Ok("epoll") => Self::Epoll,
+            Ok("threads") => Self::Threads,
+            _ => {
+                if cfg!(target_os = "linux") {
+                    Self::Epoll
+                } else {
+                    Self::Threads
+                }
+            }
+        }
+    }
+}
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind address; port 0 picks an ephemeral port.
     pub addr: String,
-    /// Compute worker threads.
+    /// Compute worker threads (one request shard each).
     pub workers: usize,
-    /// Bounded request-queue capacity; beyond it submits get
-    /// `overloaded` replies.
+    /// Bounded request-queue capacity, summed across every shard;
+    /// beyond it submits get `overloaded` replies.
     pub queue_cap: usize,
     /// Maximum accepted frame size in bytes.
     pub max_frame: u32,
@@ -64,6 +117,9 @@ pub struct ServerConfig {
     /// The streaming session layer: shared platform size, allocation
     /// μ, per-tenant quotas, idle reaping.
     pub tenant: TenantConfig,
+    /// Socket transport (defaults from `MOLDABLE_SERVE_TRANSPORT`,
+    /// else epoll on Linux).
+    pub transport: Transport,
 }
 
 impl Default for ServerConfig {
@@ -76,6 +132,7 @@ impl Default for ServerConfig {
             request_timeout: Duration::from_secs(30),
             limits: ServiceLimits::default(),
             tenant: TenantConfig::new(64, ModelClass::Amdahl.optimal_mu()),
+            transport: Transport::from_env(),
         }
     }
 }
@@ -93,7 +150,7 @@ pub struct FaultHooks {
     panic_budget: AtomicU64,
     /// Milliseconds subtracted from the configured per-request timeout
     /// — simulated clock skew. Skew past the timeout makes every
-    /// submit time out at the connection layer while the worker still
+    /// submit time out at the transport layer while the worker still
     /// finishes the job, the worst-case accounting race.
     timeout_skew_ms: AtomicU64,
 }
@@ -131,23 +188,108 @@ impl FaultHooks {
     }
 }
 
-/// One queued submit request awaiting a worker.
+/// What a queued job executes.
+enum JobKind {
+    /// One parsed submit request.
+    Submit(Box<SubmitRequest>),
+    /// A `submit_batch`: the raw payloads of the inner requests,
+    /// parsed and executed in order by a single worker.
+    Batch(Vec<Vec<u8>>),
+}
+
+/// Where a finished job's reply goes.
+enum ReplyTo {
+    /// A connection thread blocked on `recv_timeout` (threads
+    /// transport).
+    Channel(mpsc::Sender<Json>),
+    /// The epoll event loop, keyed by its pending-request token.
+    #[cfg_attr(not(target_os = "linux"), allow(dead_code))]
+    Loop(u64),
+}
+
+/// One queued job awaiting a worker.
 struct Job {
-    req: SubmitRequest,
-    reply: mpsc::Sender<Json>,
+    kind: JobKind,
+    reply: ReplyTo,
     enqueued: Instant,
+}
+
+/// A finished job travelling back from a worker to the event loop.
+struct Completion {
+    token: u64,
+    reply: Json,
+}
+
+/// One bounded per-worker job queue.
+struct Shard {
+    queue: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+    cap: usize,
+}
+
+impl Shard {
+    fn new(cap: usize) -> Self {
+        Self {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Push unless full; `Err` hands the job back for spill-over.
+    fn try_push(&self, job: Job, stats: &ServerStats) -> Result<(), Job> {
+        let mut q = self.queue.lock().expect("queue lock");
+        if q.len() >= self.cap {
+            return Err(job);
+        }
+        q.push_back(job);
+        stats.queue_depth.fetch_add(1, Ordering::Relaxed);
+        drop(q);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Pop without blocking.
+    fn try_pop(&self, stats: &ServerStats) -> Option<Job> {
+        let mut q = self.queue.lock().expect("queue lock");
+        let job = q.pop_front();
+        if job.is_some() {
+            stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        }
+        job
+    }
+
+    /// Park briefly waiting for a local push (bounds steal latency).
+    fn idle_wait(&self, timeout: Duration) {
+        let q = self.queue.lock().expect("queue lock");
+        if q.is_empty() {
+            let _ = self.ready.wait_timeout(q, timeout).expect("queue lock");
+        }
+    }
+}
+
+/// Split `total` queue capacity across `n` shards so the per-shard
+/// caps sum to exactly `total` (the first `total % n` shards take the
+/// remainder).
+fn shard_caps(total: usize, n: usize) -> Vec<usize> {
+    let base = total / n;
+    let extra = total % n;
+    (0..n).map(|i| base + usize::from(i < extra)).collect()
 }
 
 /// State shared by every server thread.
 struct Shared {
-    queue: Mutex<VecDeque<Job>>,
-    queue_ready: Condvar,
+    shards: Vec<Shard>,
+    next_conn_id: AtomicU64,
     draining: AtomicBool,
     stats: ServerStats,
     config: ServerConfig,
     hooks: FaultHooks,
     conns: Mutex<Vec<thread::JoinHandle<()>>>,
     hub: SessionHub,
+    completions: Mutex<Vec<Completion>>,
+    #[cfg(unix)]
+    wake: Mutex<Option<UnixStream>>,
 }
 
 impl Shared {
@@ -160,44 +302,70 @@ impl Shared {
         // Close every streaming session too: in-flight DAGs finish and
         // stay pollable, new session traffic is refused.
         self.hub.drain();
-        self.queue_ready.notify_all();
+        for shard in &self.shards {
+            shard.ready.notify_all();
+        }
+        self.wake_loop();
     }
 
-    /// Try to enqueue; `Err` means the queue was full (backpressure).
-    fn enqueue(&self, job: Job) -> Result<(), ()> {
-        let mut q = self.queue.lock().expect("queue lock");
-        if q.len() >= self.config.queue_cap {
-            return Err(());
+    /// Try to enqueue on the home shard, spilling to the next shards
+    /// when full; `Err` means every shard was full (backpressure).
+    fn enqueue(&self, mut job: Job, home: usize) -> Result<(), ()> {
+        let n = self.shards.len();
+        for k in 0..n {
+            match self.shards[(home + k) % n].try_push(job, &self.stats) {
+                Ok(()) => {
+                    if k > 0 {
+                        ServerStats::bump(&self.stats.shard_spills);
+                    }
+                    return Ok(());
+                }
+                Err(back) => job = back,
+            }
         }
-        q.push_back(job);
-        self.stats
-            .queue_depth
-            .store(q.len() as u64, Ordering::Relaxed);
-        drop(q);
-        self.queue_ready.notify_one();
-        Ok(())
+        Err(())
     }
 
-    /// Pop the next job; `None` once draining and empty.
-    fn dequeue(&self) -> Option<Job> {
-        let mut q = self.queue.lock().expect("queue lock");
-        loop {
-            if let Some(job) = q.pop_front() {
-                self.stats
-                    .queue_depth
-                    .store(q.len() as u64, Ordering::Relaxed);
-                return Some(job);
-            }
-            if self.draining() {
-                return None;
-            }
-            let (guard, _) = self
-                .queue_ready
-                .wait_timeout(q, Duration::from_millis(100))
-                .expect("queue lock");
-            q = guard;
+    fn take_completions(&self) -> Vec<Completion> {
+        let mut done = self.completions.lock().expect("completions lock");
+        std::mem::take(&mut *done)
+    }
+
+    fn push_completion(&self, done: Completion) {
+        {
+            let mut list = self.completions.lock().expect("completions lock");
+            list.push(done);
+        }
+        self.wake_loop();
+    }
+
+    /// Hand the event loop its wake-pipe writer.
+    #[cfg(target_os = "linux")]
+    fn set_wake(&self, tx: UnixStream) {
+        let mut slot = self.wake.lock().expect("wake lock");
+        *slot = Some(tx);
+    }
+
+    /// Nudge the event loop out of `epoll_wait` (completion or drain).
+    #[cfg(unix)]
+    fn wake_loop(&self) {
+        let slot = self.wake.lock().expect("wake lock");
+        if let Some(tx) = slot.as_ref() {
+            // The pipe is non-blocking; a full pipe already guarantees
+            // a pending wake, so the result is irrelevant.
+            let mut w: &UnixStream = tx;
+            let _ = w.write(&[1]);
         }
     }
+
+    #[cfg(not(unix))]
+    fn wake_loop(&self) {}
+}
+
+/// The shard a connection's submits land on first.
+fn home_shard(shared: &Shared, conn_id: u64) -> usize {
+    let n = shared.shards.len() as u64;
+    usize::try_from(conn_id % n).unwrap_or(0)
 }
 
 /// A running daemon. Dropping without [`Server::join`] leaks threads;
@@ -223,15 +391,22 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let workers = config.workers.max(1);
         let hub = SessionHub::new(config.tenant, config.limits);
+        let shards = shard_caps(config.queue_cap, workers)
+            .into_iter()
+            .map(Shard::new)
+            .collect();
         let shared = Arc::new(Shared {
-            queue: Mutex::new(VecDeque::new()),
-            queue_ready: Condvar::new(),
+            shards,
+            next_conn_id: AtomicU64::new(FIRST_CONN_ID),
             draining: AtomicBool::new(false),
             stats: ServerStats::new(),
             config,
             hooks: FaultHooks::default(),
             conns: Mutex::new(Vec::new()),
             hub,
+            completions: Mutex::new(Vec::new()),
+            #[cfg(unix)]
+            wake: Mutex::new(None),
         });
 
         let worker_handles = (0..workers)
@@ -239,17 +414,24 @@ impl Server {
                 let shared = Arc::clone(&shared);
                 thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i))
                     .expect("spawn worker")
             })
             .collect();
 
         let acceptor = {
-            let shared = Arc::clone(&shared);
-            thread::Builder::new()
-                .name("serve-accept".to_string())
-                .spawn(move || accept_loop(&listener, &shared))
-                .expect("spawn acceptor")
+            let shared2 = Arc::clone(&shared);
+            match shared.config.transport {
+                #[cfg(target_os = "linux")]
+                Transport::Epoll => thread::Builder::new()
+                    .name("serve-epoll".to_string())
+                    .spawn(move || event_loop::run(listener, &shared2))
+                    .expect("spawn event loop"),
+                _ => thread::Builder::new()
+                    .name("serve-accept".to_string())
+                    .spawn(move || accept_loop(&listener, &shared2))
+                    .expect("spawn acceptor"),
+            }
         };
 
         Ok(Self {
@@ -272,8 +454,7 @@ impl Server {
         &self.shared.stats
     }
 
-    /// The streaming session hub (shared with every connection
-    /// thread).
+    /// The streaming session hub (shared with every transport thread).
     #[must_use]
     pub fn session_hub(&self) -> &SessionHub {
         &self.shared.hub
@@ -335,6 +516,10 @@ impl Server {
     }
 }
 
+/// Connection ids double as epoll cookies; 0 and 1 are reserved for
+/// the listener and the wake pipe.
+const FIRST_CONN_ID: u64 = 2;
+
 fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     loop {
         if shared.draining() {
@@ -343,11 +528,12 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 ServerStats::bump(&shared.stats.connections);
+                let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
                 let shared2 = Arc::clone(shared);
                 let handle = thread::Builder::new()
                     .name("serve-conn".to_string())
                     .spawn(move || {
-                        let _ = connection_loop(stream, &shared2);
+                        let _ = connection_loop(stream, conn_id, &shared2);
                     })
                     .expect("spawn connection thread");
                 let mut conns = shared.conns.lock().expect("conn list");
@@ -398,10 +584,69 @@ fn sniff_first_byte(stream: &mut TcpStream, shared: &Shared) -> io::Result<Optio
     }
 }
 
-fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
+/// Answer every verb that runs without a worker: observability, drain
+/// control, and the session layer. Returns `None` for `submit` and
+/// `submit_batch`, which go through the queue.
+fn inline_reply(shared: &Shared, req: &Request) -> Option<Vec<u8>> {
+    Some(match req {
+        Request::Submit(_) | Request::Batch(_) => return None,
+        Request::Ping => obj(vec![
+            ("status", Json::Str("ok".into())),
+            ("pong", Json::Bool(true)),
+        ])
+        .encode()
+        .into_bytes(),
+        Request::Stats => obj(vec![
+            ("status", Json::Str("ok".into())),
+            ("draining", Json::Bool(shared.draining())),
+            ("stats", shared.stats.to_json()),
+            ("sessions", shared.hub.summary_json()),
+        ])
+        .encode()
+        .into_bytes(),
+        Request::Shutdown => {
+            shared.start_drain();
+            obj(vec![
+                ("status", Json::Str("ok".into())),
+                ("draining", Json::Bool(true)),
+            ])
+            .encode()
+            .into_bytes()
+        }
+        // Session verbs run inline on the transport thread: they never
+        // simulate more than the conservative clock allows per poll,
+        // and graph construction happens before the hub lock is taken.
+        // Opening and submitting are refused during a drain; polling
+        // and closing still work so clients can collect what their
+        // in-flight DAGs produced.
+        Request::OpenSession(r) => {
+            if shared.draining() {
+                ServerStats::bump(&shared.stats.errors);
+                proto::error_reply("server is draining")
+            } else {
+                shared.hub.open(r, &shared.stats)
+            }
+        }
+        Request::SubmitDag(r) => {
+            if shared.draining() {
+                ServerStats::bump(&shared.stats.errors);
+                ServerStats::bump(&shared.stats.session_dags_submitted);
+                ServerStats::bump(&shared.stats.session_dags_errors);
+                proto::error_reply("server is draining")
+            } else {
+                shared.hub.submit_dag(r, &shared.stats)
+            }
+        }
+        Request::Poll(r) => shared.hub.poll(r, &shared.stats),
+        Request::CloseSession(r) => shared.hub.close(r, &shared.stats),
+    })
+}
+
+fn connection_loop(mut stream: TcpStream, conn_id: u64, shared: &Arc<Shared>) -> io::Result<()> {
     stream.set_nodelay(true).ok();
     stream.set_read_timeout(Some(IDLE_TICK))?;
     let max_frame = shared.config.max_frame;
+    let home = home_shard(shared, conn_id);
     loop {
         let Some(first) = sniff_first_byte(&mut stream, shared)? else {
             return Ok(()); // clean EOF or idle at drain
@@ -433,61 +678,22 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()
         };
         stream.set_read_timeout(Some(IDLE_TICK))?;
 
-        let reply: Vec<u8> = match Request::parse(&payload) {
-            Err(msg) => {
-                ServerStats::bump(&shared.stats.errors);
-                proto::error_reply(&msg)
-            }
-            Ok(Request::Ping) => obj(vec![
-                ("status", Json::Str("ok".into())),
-                ("pong", Json::Bool(true)),
-            ])
-            .encode()
-            .into_bytes(),
-            Ok(Request::Stats) => obj(vec![
-                ("status", Json::Str("ok".into())),
-                ("draining", Json::Bool(shared.draining())),
-                ("stats", shared.stats.to_json()),
-                ("sessions", shared.hub.summary_json()),
-            ])
-            .encode()
-            .into_bytes(),
-            Ok(Request::Shutdown) => {
-                shared.start_drain();
-                obj(vec![
-                    ("status", Json::Str("ok".into())),
-                    ("draining", Json::Bool(true)),
-                ])
-                .encode()
-                .into_bytes()
-            }
-            Ok(Request::Submit(req)) => handle_submit(*req, shared),
-            // Session verbs run inline on the connection thread: they
-            // never simulate more than the conservative clock allows
-            // per poll, and graph construction happens before the hub
-            // lock is taken. Opening and submitting are refused during
-            // a drain; polling and closing still work so clients can
-            // collect what their in-flight DAGs produced.
-            Ok(Request::OpenSession(req)) => {
-                if shared.draining() {
+        // Same fast path as the event loop: recognize a batch without
+        // parsing the inner payloads, so a garbage *item* draws a
+        // per-item error on the worker rather than failing the whole
+        // envelope's parse. Keeps the two transports byte-identical.
+        let reply: Vec<u8> = if let Some(items) = proto::split_batch_items(&payload) {
+            handle_batch(items, shared, home)
+        } else {
+            match Request::parse(&payload) {
+                Err(msg) => {
                     ServerStats::bump(&shared.stats.errors);
-                    proto::error_reply("server is draining")
-                } else {
-                    shared.hub.open(&req, &shared.stats)
+                    proto::error_reply(&msg)
                 }
+                Ok(Request::Submit(req)) => handle_submit(*req, shared, home),
+                Ok(Request::Batch(items)) => handle_batch(items, shared, home),
+                Ok(req) => inline_reply(shared, &req).expect("non-submit verbs answer inline"),
             }
-            Ok(Request::SubmitDag(req)) => {
-                if shared.draining() {
-                    ServerStats::bump(&shared.stats.errors);
-                    ServerStats::bump(&shared.stats.session_dags_submitted);
-                    ServerStats::bump(&shared.stats.session_dags_errors);
-                    proto::error_reply("server is draining")
-                } else {
-                    shared.hub.submit_dag(&req, &shared.stats)
-                }
-            }
-            Ok(Request::Poll(req)) => shared.hub.poll(&req, &shared.stats),
-            Ok(Request::CloseSession(req)) => shared.hub.close(&req, &shared.stats),
         };
         proto::write_frame(&mut stream, &reply)?;
     }
@@ -499,7 +705,7 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()
 /// exactly one of `submit_ok` / `submit_errors` / `rejected_overload`
 /// before returning — so at quiescence the ledger in
 /// [`crate::stats::Accounting`] balances.
-fn handle_submit(req: SubmitRequest, shared: &Shared) -> Vec<u8> {
+fn handle_submit(req: SubmitRequest, shared: &Shared, home: usize) -> Vec<u8> {
     ServerStats::bump(&shared.stats.submitted);
     if shared.draining() {
         ServerStats::bump(&shared.stats.errors);
@@ -508,11 +714,11 @@ fn handle_submit(req: SubmitRequest, shared: &Shared) -> Vec<u8> {
     }
     let (tx, rx) = mpsc::channel();
     let job = Job {
-        req,
-        reply: tx,
+        kind: JobKind::Submit(Box::new(req)),
+        reply: ReplyTo::Channel(tx),
         enqueued: Instant::now(),
     };
-    if shared.enqueue(job).is_err() {
+    if shared.enqueue(job, home).is_err() {
         ServerStats::bump(&shared.stats.rejected_overload);
         return proto::overloaded_reply();
     }
@@ -531,6 +737,49 @@ fn handle_submit(req: SubmitRequest, shared: &Shared) -> Vec<u8> {
         Err(_) => {
             ServerStats::bump(&shared.stats.timeouts);
             ServerStats::bump(&shared.stats.submit_errors);
+            proto::error_reply("request timed out")
+        }
+    }
+}
+
+/// The reply to an empty `submit_batch` (answered without a worker).
+fn empty_batch_reply() -> Vec<u8> {
+    obj(vec![
+        ("status", Json::Str("ok".into())),
+        ("results", Json::Arr(Vec::new())),
+    ])
+    .encode()
+    .into_bytes()
+}
+
+/// Enqueue a whole batch as one job and wait for its envelope reply.
+///
+/// The per-item accounting (submitted / submit_ok / submit_errors)
+/// happens inside [`run_batch`] on the worker, so the envelope path
+/// touches no ledger counters: a batch rejected for overload was never
+/// `submitted`, keeping the ledger balanced.
+fn handle_batch(items: Vec<Vec<u8>>, shared: &Shared, home: usize) -> Vec<u8> {
+    if items.is_empty() {
+        return empty_batch_reply();
+    }
+    if shared.draining() {
+        ServerStats::bump(&shared.stats.errors);
+        return proto::error_reply("server is draining");
+    }
+    let (tx, rx) = mpsc::channel();
+    let job = Job {
+        kind: JobKind::Batch(items),
+        reply: ReplyTo::Channel(tx),
+        enqueued: Instant::now(),
+    };
+    if shared.enqueue(job, home).is_err() {
+        return proto::overloaded_reply();
+    }
+    let timeout = shared.hooks.skewed(shared.config.request_timeout);
+    match rx.recv_timeout(timeout) {
+        Ok(json) => json.encode().into_bytes(),
+        Err(_) => {
+            ServerStats::bump(&shared.stats.timeouts);
             proto::error_reply("request timed out")
         }
     }
@@ -557,42 +806,677 @@ fn catch_panic_reply(f: impl FnOnce() -> Json + std::panic::UnwindSafe) -> (Json
     }
 }
 
-fn worker_loop(shared: &Shared) {
-    let mut ctx = WorkerContext::with_limits(shared.config.limits);
+/// A structured error as a [`Json`] value (the in-memory counterpart
+/// of [`proto::error_reply`], for batch result arrays).
+fn error_json(msg: &str) -> Json {
+    obj(vec![
+        ("status", Json::Str("error".into())),
+        ("error", Json::Str(msg.into())),
+    ])
+}
+
+/// Per-worker execution state: the warm [`WorkerContext`] plus the
+/// graph-cache counters already published into shared stats.
+struct WorkerState {
+    ctx: WorkerContext,
+    seen_hits: u64,
+    seen_misses: u64,
+}
+
+/// Execute one submit on this worker with panic containment, publish
+/// graph-cache deltas, and bump `completed`/`errors` by reply status.
+fn run_submit(shared: &Shared, state: &mut WorkerState, req: &SubmitRequest) -> Json {
+    let inject_panic = shared.hooks.take_panic();
+    let (reply, panicked) = {
+        let ctx = &mut state.ctx;
+        catch_panic_reply(std::panic::AssertUnwindSafe(|| {
+            assert!(!inject_panic, "chaos: injected worker panic");
+            ctx.handle(req)
+        }))
+    };
     // Graph-cache counters are per-context; publish deltas into the
     // shared stats so the totals survive a post-panic context reset.
-    let (mut seen_hits, mut seen_misses) = (0u64, 0u64);
-    while let Some(job) = shared.dequeue() {
-        let inject_panic = shared.hooks.take_panic();
-        let (reply, panicked) = catch_panic_reply(std::panic::AssertUnwindSafe(|| {
-            assert!(!inject_panic, "chaos: injected worker panic");
-            ctx.handle(&job.req)
-        }));
-        shared
-            .stats
-            .graph_cache_hits
-            .fetch_add(ctx.graph_cache_hits() - seen_hits, Ordering::Relaxed);
-        shared
-            .stats
-            .graph_cache_misses
-            .fetch_add(ctx.graph_cache_misses() - seen_misses, Ordering::Relaxed);
-        seen_hits = ctx.graph_cache_hits();
-        seen_misses = ctx.graph_cache_misses();
-        if panicked {
-            // The context's caches may have been mid-update when the
-            // handler unwound; start this worker over with fresh state.
-            ctx = WorkerContext::with_limits(shared.config.limits);
-            (seen_hits, seen_misses) = (0, 0);
+    shared
+        .stats
+        .graph_cache_hits
+        .fetch_add(state.ctx.graph_cache_hits() - state.seen_hits, Ordering::Relaxed);
+    shared
+        .stats
+        .graph_cache_misses
+        .fetch_add(state.ctx.graph_cache_misses() - state.seen_misses, Ordering::Relaxed);
+    state.seen_hits = state.ctx.graph_cache_hits();
+    state.seen_misses = state.ctx.graph_cache_misses();
+    if panicked {
+        // The context's caches may have been mid-update when the
+        // handler unwound; start this worker over with fresh state.
+        state.ctx = WorkerContext::with_limits(shared.config.limits);
+        state.seen_hits = 0;
+        state.seen_misses = 0;
+    }
+    let ok = reply.get("status").and_then(Json::as_str) == Some("ok");
+    ServerStats::bump(if ok {
+        &shared.stats.completed
+    } else {
+        &shared.stats.errors
+    });
+    reply
+}
+
+/// Execute one batch item. Submits get the full single-submit ledger
+/// treatment (`submitted`/`accepted` on entry, `submit_ok` /
+/// `submit_errors` by status); inline verbs answer exactly as they
+/// would standalone; nested batches are refused.
+fn run_batch_item(shared: &Shared, state: &mut WorkerState, item: &[u8], enqueued: Instant) -> Json {
+    match Request::parse(item) {
+        Err(msg) => {
+            ServerStats::bump(&shared.stats.errors);
+            error_json(&msg)
         }
-        let ok = reply.get("status").and_then(Json::as_str) == Some("ok");
-        ServerStats::bump(if ok {
-            &shared.stats.completed
-        } else {
-            &shared.stats.errors
-        });
-        shared.stats.latency.record(job.enqueued.elapsed());
-        // A gone receiver (client timed out or hung up) is fine.
-        let _ = job.reply.send(reply);
+        Ok(Request::Submit(req)) => {
+            ServerStats::bump(&shared.stats.submitted);
+            ServerStats::bump(&shared.stats.accepted);
+            let reply = run_submit(shared, state, &req);
+            let ok = reply.get("status").and_then(Json::as_str) == Some("ok");
+            ServerStats::bump(if ok {
+                &shared.stats.submit_ok
+            } else {
+                &shared.stats.submit_errors
+            });
+            shared.stats.latency.record(enqueued.elapsed());
+            reply
+        }
+        Ok(Request::Batch(_)) => {
+            ServerStats::bump(&shared.stats.errors);
+            error_json("nested submit_batch is not allowed")
+        }
+        Ok(req) => {
+            let bytes = inline_reply(shared, &req).expect("non-submit verbs answer inline");
+            let text = String::from_utf8_lossy(&bytes);
+            json::parse(&text).unwrap_or_else(|_| error_json("internal error: bad inline reply"))
+        }
+    }
+}
+
+/// Execute a whole admitted batch on this worker. An admitted batch
+/// always runs to completion — drain waits for it like any other
+/// queued work — so every item's ledger entries resolve.
+fn run_batch(shared: &Shared, state: &mut WorkerState, items: &[Vec<u8>], enqueued: Instant) -> Json {
+    ServerStats::bump(&shared.stats.batches);
+    shared
+        .stats
+        .batch_items
+        .fetch_add(items.len() as u64, Ordering::Relaxed);
+    let mut results = Vec::with_capacity(items.len());
+    for item in items {
+        results.push(run_batch_item(shared, state, item, enqueued));
+    }
+    obj(vec![
+        ("status", Json::Str("ok".into())),
+        ("results", Json::Arr(results)),
+    ])
+}
+
+/// Send a finished job's reply wherever it belongs.
+fn deliver(shared: &Shared, reply_to: ReplyTo, reply: Json) {
+    match reply_to {
+        ReplyTo::Channel(tx) => {
+            // A gone receiver (client timed out or hung up) is fine.
+            let _ = tx.send(reply);
+        }
+        ReplyTo::Loop(token) => shared.push_completion(Completion { token, reply }),
+    }
+}
+
+/// Pop the next job for worker `me`: own shard first, then steal from
+/// the neighbours, then park briefly. `None` once draining and every
+/// shard is empty.
+fn next_job(shared: &Shared, me: usize) -> Option<Job> {
+    let n = shared.shards.len();
+    loop {
+        if let Some(job) = shared.shards[me].try_pop(&shared.stats) {
+            return Some(job);
+        }
+        for k in 1..n {
+            if let Some(job) = shared.shards[(me + k) % n].try_pop(&shared.stats) {
+                ServerStats::bump(&shared.stats.shard_steals);
+                return Some(job);
+            }
+        }
+        if shared.draining() {
+            return None;
+        }
+        shared.shards[me].idle_wait(STEAL_TICK);
+    }
+}
+
+fn worker_loop(shared: &Shared, me: usize) {
+    let mut state = WorkerState {
+        ctx: WorkerContext::with_limits(shared.config.limits),
+        seen_hits: 0,
+        seen_misses: 0,
+    };
+    while let Some(job) = next_job(shared, me) {
+        let Job {
+            kind,
+            reply,
+            enqueued,
+        } = job;
+        let outcome = match kind {
+            JobKind::Submit(req) => {
+                let outcome = run_submit(shared, &mut state, &req);
+                shared.stats.latency.record(enqueued.elapsed());
+                outcome
+            }
+            JobKind::Batch(items) => run_batch(shared, &mut state, &items, enqueued),
+        };
+        deliver(shared, reply, outcome);
+    }
+}
+
+/// The non-blocking epoll transport: one thread multiplexing the
+/// listener, the worker wake pipe, and every client connection.
+#[cfg(target_os = "linux")]
+mod event_loop {
+    use super::*;
+    use crate::epoll::{
+        EpollEvent, Poller, EPOLLERR, EPOLLET, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP,
+    };
+    use crate::proto::{DecodeEvent, FrameDecoder};
+    use std::collections::BTreeMap;
+    use std::os::unix::io::AsRawFd;
+
+    /// Epoll cookie of the listener.
+    const LISTENER: u64 = 0;
+    /// Epoll cookie of the wake pipe's read end.
+    const WAKE: u64 = 1;
+
+    /// Per-connection state: the socket, the incremental decoder, the
+    /// decoded-but-undispatched events, and the pending write buffer.
+    struct Conn {
+        stream: TcpStream,
+        decoder: FrameDecoder,
+        inbox: VecDeque<DecodeEvent>,
+        wbuf: Vec<u8>,
+        wpos: usize,
+        /// A submit/batch is in flight; further frames wait in the
+        /// inbox so replies keep arrival order (same one-at-a-time
+        /// semantics as a connection thread).
+        busy: bool,
+        /// Finish the inbox and flush, then close (EOF seen, or a
+        /// corrupt frame was answered).
+        closing: bool,
+        /// Remove this connection at the next reap.
+        dead: bool,
+    }
+
+    impl Conn {
+        fn new(stream: TcpStream, max_frame: u32) -> Self {
+            Self {
+                stream,
+                decoder: FrameDecoder::new(max_frame),
+                inbox: VecDeque::new(),
+                wbuf: Vec::new(),
+                wpos: 0,
+                busy: false,
+                closing: false,
+                dead: false,
+            }
+        }
+
+        /// Nothing buffered in either direction and no frame underway.
+        fn idle(&self) -> bool {
+            !self.busy
+                && self.inbox.is_empty()
+                && self.wpos == self.wbuf.len()
+                && !self.decoder.mid_frame()
+        }
+    }
+
+    /// One submit/batch handed to the worker pool, awaiting its
+    /// completion (or the request timeout).
+    struct Pending {
+        conn: u64,
+        deadline: Instant,
+        is_batch: bool,
+    }
+
+    struct EventLoop {
+        shared: Arc<Shared>,
+        poller: Poller,
+        conns: BTreeMap<u64, Conn>,
+        pending: BTreeMap<u64, Pending>,
+        next_token: u64,
+    }
+
+    /// Run the readiness loop until a drain completes. Falls back to
+    /// the threads transport if epoll or the wake pipe cannot be set
+    /// up (containers with exotic seccomp filters).
+    pub(super) fn run(listener: TcpListener, shared: &Arc<Shared>) {
+        let Ok(poller) = Poller::new() else {
+            return accept_loop(&listener, shared);
+        };
+        let Ok((wake_rx, wake_tx)) = UnixStream::pair() else {
+            return accept_loop(&listener, shared);
+        };
+        let _ = wake_rx.set_nonblocking(true);
+        let _ = wake_tx.set_nonblocking(true);
+        shared.set_wake(wake_tx);
+        if poller.add(listener.as_raw_fd(), LISTENER, EPOLLIN).is_err()
+            || poller.add(wake_rx.as_raw_fd(), WAKE, EPOLLIN).is_err()
+        {
+            return accept_loop(&listener, shared);
+        }
+
+        let mut el = EventLoop {
+            shared: Arc::clone(shared),
+            poller,
+            conns: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            next_token: 0,
+        };
+        let mut accepting = true;
+        // The threads transport keeps serving a connection until its
+        // next idle read timeout fires (≤ IDLE_TICK) after a drain, so
+        // late drain-refusal requests still get answered; mirror that
+        // grace before closing idle connections, and force-close
+        // what's left after FRAME_TIMEOUT.
+        let mut idle_close_at: Option<Instant> = None;
+        let mut drain_deadline: Option<Instant> = None;
+        let mut events = [EpollEvent::zeroed(); 128];
+        loop {
+            let n = el.poller.wait(&mut events, IDLE_TICK).unwrap_or(0);
+            for ev in &events[..n] {
+                match ev.cookie() {
+                    LISTENER => el.accept_ready(&listener),
+                    WAKE => drain_wake(&wake_rx),
+                    id => el.on_conn_event(id, ev.mask()),
+                }
+            }
+            for done in el.shared.take_completions() {
+                el.settle(done);
+            }
+            let now = Instant::now();
+            el.expire(now);
+            if el.shared.draining() {
+                if accepting {
+                    accepting = false;
+                    el.poller.del(listener.as_raw_fd());
+                    idle_close_at = Some(now + IDLE_TICK);
+                    drain_deadline = Some(now + FRAME_TIMEOUT);
+                }
+                if idle_close_at.is_some_and(|t| now >= t) {
+                    el.close_idle();
+                }
+                if drain_deadline.is_some_and(|d| now >= d) {
+                    el.close_all();
+                }
+            }
+            el.reap();
+            if el.shared.draining() && el.conns.is_empty() && el.pending.is_empty() {
+                return;
+            }
+        }
+    }
+
+    /// Drain the wake pipe (level-triggered, so stale bytes would spin
+    /// the loop).
+    fn drain_wake(wake_rx: &UnixStream) {
+        let mut buf = [0u8; 256];
+        let mut r = wake_rx;
+        while let Ok(n) = r.read(&mut buf) {
+            if n == 0 {
+                return;
+            }
+        }
+    }
+
+    /// Read until `WouldBlock` (mandatory under edge-triggering) and
+    /// convert every decoded event into inbox entries.
+    fn read_ready(conn: &mut Conn) {
+        let mut buf = [0u8; 64 * 1024];
+        let mut decoded = Vec::new();
+        loop {
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    conn.closing = true;
+                    break;
+                }
+                Ok(n) => conn.decoder.feed(&buf[..n], &mut decoded),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    conn.dead = true;
+                    break;
+                }
+            }
+        }
+        conn.inbox.extend(decoded);
+    }
+
+    /// Write the buffered replies until `WouldBlock`; a drained buffer
+    /// on a closing connection finishes the close.
+    fn flush_io(conn: &mut Conn) {
+        while conn.wpos < conn.wbuf.len() {
+            match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+                Ok(0) => {
+                    conn.dead = true;
+                    return;
+                }
+                Ok(n) => conn.wpos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    conn.dead = true;
+                    return;
+                }
+            }
+        }
+        conn.wbuf.clear();
+        conn.wpos = 0;
+        if conn.closing {
+            conn.dead = true;
+        }
+    }
+
+    impl EventLoop {
+        /// Accept until `WouldBlock`, registering each socket
+        /// edge-triggered under a fresh connection id.
+        fn accept_ready(&mut self, listener: &TcpListener) {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        if self.shared.draining() {
+                            continue; // dropped: refuse post-drain arrivals
+                        }
+                        ServerStats::bump(&self.shared.stats.connections);
+                        stream.set_nonblocking(true).ok();
+                        stream.set_nodelay(true).ok();
+                        let id = self.shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+                        if self
+                            .poller
+                            .add(
+                                stream.as_raw_fd(),
+                                id,
+                                EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET,
+                            )
+                            .is_err()
+                        {
+                            continue; // dropped: nothing registered
+                        }
+                        self.conns
+                            .insert(id, Conn::new(stream, self.shared.config.max_frame));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => return,
+                }
+            }
+        }
+
+        fn on_conn_event(&mut self, id: u64, mask: u32) {
+            let readable = mask & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0;
+            {
+                let Some(conn) = self.conns.get_mut(&id) else {
+                    return;
+                };
+                if readable {
+                    read_ready(conn);
+                }
+                if mask & EPOLLOUT != 0 {
+                    flush_io(conn);
+                }
+            }
+            if readable {
+                self.pump(id);
+            }
+        }
+
+        /// Dispatch inbox entries in arrival order until the
+        /// connection goes busy (a submit in flight), closes, or runs
+        /// dry.
+        fn pump(&mut self, id: u64) {
+            loop {
+                let ev = {
+                    let Some(conn) = self.conns.get_mut(&id) else {
+                        return;
+                    };
+                    if conn.busy || conn.dead {
+                        return;
+                    }
+                    match conn.inbox.pop_front() {
+                        Some(ev) => ev,
+                        None => return,
+                    }
+                };
+                match ev {
+                    DecodeEvent::Frame(payload) => self.dispatch_frame(id, &payload),
+                    DecodeEvent::TooLarge { announced, limit } => {
+                        ServerStats::bump(&self.shared.stats.errors);
+                        self.queue_reply(
+                            id,
+                            &proto::error_reply(&format!(
+                                "frame of {announced} bytes exceeds limit {limit}"
+                            )),
+                        );
+                    }
+                    DecodeEvent::Corrupt(n) => {
+                        ServerStats::bump(&self.shared.stats.errors);
+                        self.queue_reply(
+                            id,
+                            &proto::error_reply(&format!("implausible frame length {n}; closing")),
+                        );
+                        if let Some(conn) = self.conns.get_mut(&id) {
+                            conn.closing = true;
+                        }
+                        return;
+                    }
+                }
+            }
+        }
+
+        fn dispatch_frame(&mut self, id: u64, payload: &[u8]) {
+            // Fast path: recognize a batch without parsing the inner
+            // payloads — the worker parses items, not the loop.
+            if let Some(items) = proto::split_batch_items(payload) {
+                self.dispatch_batch(id, items);
+                return;
+            }
+            match Request::parse(payload) {
+                Err(msg) => {
+                    ServerStats::bump(&self.shared.stats.errors);
+                    self.queue_reply(id, &proto::error_reply(&msg));
+                }
+                Ok(Request::Submit(req)) => self.dispatch_submit(id, req),
+                Ok(Request::Batch(items)) => self.dispatch_batch(id, items),
+                Ok(req) => {
+                    let reply =
+                        inline_reply(&self.shared, &req).expect("non-submit verbs answer inline");
+                    self.queue_reply(id, &reply);
+                }
+            }
+        }
+
+        /// Same ledger contract as [`handle_submit`], with the
+        /// `recv_timeout` replaced by a pending-token deadline.
+        fn dispatch_submit(&mut self, id: u64, req: Box<SubmitRequest>) {
+            ServerStats::bump(&self.shared.stats.submitted);
+            if self.shared.draining() {
+                ServerStats::bump(&self.shared.stats.errors);
+                ServerStats::bump(&self.shared.stats.submit_errors);
+                self.queue_reply(id, &proto::error_reply("server is draining"));
+                return;
+            }
+            let token = self.next_token;
+            self.next_token += 1;
+            let home = home_shard(&self.shared, id);
+            let job = Job {
+                kind: JobKind::Submit(req),
+                reply: ReplyTo::Loop(token),
+                enqueued: Instant::now(),
+            };
+            if self.shared.enqueue(job, home).is_err() {
+                ServerStats::bump(&self.shared.stats.rejected_overload);
+                self.queue_reply(id, &proto::overloaded_reply());
+                return;
+            }
+            ServerStats::bump(&self.shared.stats.accepted);
+            let deadline =
+                Instant::now() + self.shared.hooks.skewed(self.shared.config.request_timeout);
+            self.pending.insert(
+                token,
+                Pending {
+                    conn: id,
+                    deadline,
+                    is_batch: false,
+                },
+            );
+            if let Some(conn) = self.conns.get_mut(&id) {
+                conn.busy = true;
+            }
+        }
+
+        /// Same envelope contract as [`handle_batch`]: no ledger
+        /// counters here — items are accounted on the worker.
+        fn dispatch_batch(&mut self, id: u64, items: Vec<Vec<u8>>) {
+            if items.is_empty() {
+                self.queue_reply(id, &empty_batch_reply());
+                return;
+            }
+            if self.shared.draining() {
+                ServerStats::bump(&self.shared.stats.errors);
+                self.queue_reply(id, &proto::error_reply("server is draining"));
+                return;
+            }
+            let token = self.next_token;
+            self.next_token += 1;
+            let home = home_shard(&self.shared, id);
+            let job = Job {
+                kind: JobKind::Batch(items),
+                reply: ReplyTo::Loop(token),
+                enqueued: Instant::now(),
+            };
+            if self.shared.enqueue(job, home).is_err() {
+                self.queue_reply(id, &proto::overloaded_reply());
+                return;
+            }
+            let deadline =
+                Instant::now() + self.shared.hooks.skewed(self.shared.config.request_timeout);
+            self.pending.insert(
+                token,
+                Pending {
+                    conn: id,
+                    deadline,
+                    is_batch: true,
+                },
+            );
+            if let Some(conn) = self.conns.get_mut(&id) {
+                conn.busy = true;
+            }
+        }
+
+        /// A worker completion arrived. A token no longer pending
+        /// already timed out — the late reply is dropped, exactly like
+        /// the gone `mpsc` receiver in the threads transport.
+        fn settle(&mut self, done: Completion) {
+            let Some(p) = self.pending.remove(&done.token) else {
+                return;
+            };
+            if !p.is_batch {
+                let ok = done.reply.get("status").and_then(Json::as_str) == Some("ok");
+                ServerStats::bump(if ok {
+                    &self.shared.stats.submit_ok
+                } else {
+                    &self.shared.stats.submit_errors
+                });
+            }
+            self.finish(p.conn, &done.reply.encode().into_bytes());
+        }
+
+        /// Time out every pending request whose deadline passed,
+        /// mirroring the `recv_timeout` arm of [`handle_submit`] (the
+        /// worker still finishes the job; its completion will be
+        /// dropped as late).
+        fn expire(&mut self, now: Instant) {
+            let expired: Vec<u64> = self
+                .pending
+                .iter()
+                .filter(|(_, p)| now >= p.deadline)
+                .map(|(&t, _)| t)
+                .collect();
+            for token in expired {
+                let Some(p) = self.pending.remove(&token) else {
+                    continue;
+                };
+                ServerStats::bump(&self.shared.stats.timeouts);
+                if !p.is_batch {
+                    ServerStats::bump(&self.shared.stats.submit_errors);
+                }
+                self.finish(p.conn, &proto::error_reply("request timed out"));
+            }
+        }
+
+        /// Deliver a submit/batch outcome: write the reply, clear the
+        /// busy flag, and resume dispatching the inbox.
+        fn finish(&mut self, id: u64, payload: &[u8]) {
+            self.queue_reply(id, payload);
+            if let Some(conn) = self.conns.get_mut(&id) {
+                conn.busy = false;
+            }
+            self.pump(id);
+        }
+
+        /// Frame `payload` into the connection's write buffer and push
+        /// as much as the socket takes.
+        fn queue_reply(&mut self, id: u64, payload: &[u8]) {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                return;
+            };
+            if conn.dead {
+                return;
+            }
+            // Writing into a Vec cannot fail.
+            let _ = proto::write_frame(&mut conn.wbuf, payload);
+            flush_io(conn);
+        }
+
+        /// On drain, close connections with nothing in flight (the
+        /// threads transport closes them from `sniff_first_byte`).
+        fn close_idle(&mut self) {
+            for conn in self.conns.values_mut() {
+                if conn.idle() {
+                    conn.dead = true;
+                }
+            }
+        }
+
+        /// Force-close everything (drain grace period expired).
+        fn close_all(&mut self) {
+            for conn in self.conns.values_mut() {
+                conn.dead = true;
+            }
+        }
+
+        /// Promote finished closes, then deregister and drop dead
+        /// connections (dropping the socket closes the fd).
+        fn reap(&mut self) {
+            for conn in self.conns.values_mut() {
+                if conn.closing && !conn.busy && conn.inbox.is_empty() && conn.wpos == conn.wbuf.len()
+                {
+                    conn.dead = true;
+                }
+            }
+            let dead: Vec<u64> = self
+                .conns
+                .iter()
+                .filter(|(_, c)| c.dead)
+                .map(|(&id, _)| id)
+                .collect();
+            for id in dead {
+                if let Some(conn) = self.conns.remove(&id) {
+                    self.poller.del(conn.stream.as_raw_fd());
+                }
+            }
+        }
     }
 }
 
@@ -672,5 +1556,23 @@ mod tests {
         let (reply, panicked) = catch_panic_reply(|| obj(vec![("status", Json::Str("ok".into()))]));
         assert!(!panicked);
         assert_eq!(reply.get("status").unwrap().as_str(), Some("ok"));
+    }
+
+    #[test]
+    fn shard_caps_sum_to_total() {
+        for (total, n) in [(256usize, 8usize), (1, 4), (2, 4), (7, 3), (0, 2)] {
+            let caps = shard_caps(total, n);
+            assert_eq!(caps.len(), n);
+            assert_eq!(caps.iter().sum::<usize>(), total, "total {total} n {n}");
+            // Remainder spreads one-deep: caps differ by at most 1.
+            let (min, max) = (caps.iter().min().unwrap(), caps.iter().max().unwrap());
+            assert!(max - min <= 1);
+        }
+    }
+
+    #[test]
+    fn error_json_matches_wire_error_reply() {
+        let from_json = error_json("nope").encode().into_bytes();
+        assert_eq!(from_json, proto::error_reply("nope"));
     }
 }

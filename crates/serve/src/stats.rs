@@ -200,8 +200,18 @@ pub struct ServerStats {
     pub errors: AtomicU64,
     /// Requests that hit the per-request timeout.
     pub timeouts: AtomicU64,
-    /// Current queue depth (approximate under concurrency).
+    /// Current queue depth, summed across every shard (approximate
+    /// under concurrency).
     pub queue_depth: AtomicU64,
+    /// `submit_batch` envelopes admitted to the queue.
+    pub batches: AtomicU64,
+    /// Inner requests carried by admitted `submit_batch` envelopes.
+    pub batch_items: AtomicU64,
+    /// Jobs a worker popped from another worker's shard.
+    pub shard_steals: AtomicU64,
+    /// Jobs that landed on a non-home shard because the home shard was
+    /// full.
+    pub shard_spills: AtomicU64,
     /// Named-generator submits whose frozen graph came from a worker's
     /// graph cache (no construction).
     pub graph_cache_hits: AtomicU64,
@@ -267,6 +277,10 @@ impl ServerStats {
             ("errors", n(&self.errors)),
             ("timeouts", n(&self.timeouts)),
             ("queue_depth", n(&self.queue_depth)),
+            ("batches", n(&self.batches)),
+            ("batch_items", n(&self.batch_items)),
+            ("shard_steals", n(&self.shard_steals)),
+            ("shard_spills", n(&self.shard_spills)),
             ("graph_cache_hits", n(&self.graph_cache_hits)),
             ("graph_cache_misses", n(&self.graph_cache_misses)),
             ("sessions_opened", n(&self.sessions_opened)),
@@ -353,6 +367,10 @@ mod tests {
             "errors",
             "timeouts",
             "queue_depth",
+            "batches",
+            "batch_items",
+            "shard_steals",
+            "shard_spills",
             "graph_cache_hits",
             "graph_cache_misses",
             "sessions_opened",
